@@ -1,0 +1,61 @@
+//! Criterion benches for the flint codec (Tables II/III machinery):
+//! encode, decode and the full quantize path at every supported width.
+
+use ant_core::flint::Flint;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flint_codec");
+    for bits in [4u32, 8u32] {
+        let f = Flint::new(bits).expect("valid width");
+        let values: Vec<u64> = (0..4096u64).map(|i| i % (f.max_value() + 1)).collect();
+        group.throughput(Throughput::Elements(values.len() as u64));
+        group.bench_function(format!("encode_int/b{bits}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &v in &values {
+                    acc = acc.wrapping_add(f.encode_int(black_box(v)));
+                }
+                acc
+            })
+        });
+        let codes: Vec<u32> = (0..4096u32).map(|i| i % f.num_codes()).collect();
+        group.bench_function(format!("decode/b{bits}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &code in &codes {
+                    acc = acc.wrapping_add(f.decode(black_box(code)));
+                }
+                acc
+            })
+        });
+        group.bench_function(format!("decode_int/b{bits}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &code in &codes {
+                    let d = f.decode_int(black_box(code));
+                    acc = acc.wrapping_add(d.base + d.exp);
+                }
+                acc
+            })
+        });
+    }
+    // The dynamic-quantization path the activation unit runs per element
+    // (Algorithm 1).
+    let f4 = Flint::new(4).expect("4-bit flint");
+    let reals: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.37) % 64.0).collect();
+    group.throughput(Throughput::Elements(reals.len() as u64));
+    group.bench_function("quantize_f32/b4", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &x in &reals {
+                acc = acc.wrapping_add(f4.quantize(black_box(x), 1.0));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for the DNN substrate and QAT path (Figs. 11/12
+//! machinery): forward/backward passes, a training epoch and whole-model
+//! PTQ.
+
+use ant_nn::data::blobs;
+use ant_nn::model::mlp;
+use ant_nn::qat::{quantize_model, QuantSpec};
+use ant_nn::train::{train, TrainConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_qat");
+    group.sample_size(10);
+    let data = blobs(512, 16, 8, 0.4, 1);
+    let (train_set, _) = data.split(0.25);
+
+    group.bench_function("forward_batch64/mlp", |b| {
+        let mut model = mlp(16, 8, 2);
+        let (x, _) = train_set.batch(&(0..64).collect::<Vec<_>>());
+        b.iter(|| model.forward(black_box(&x)).expect("forward").sum())
+    });
+
+    group.bench_function("train_epoch/mlp", |b| {
+        b.iter_batched(
+            || mlp(16, 8, 3),
+            |mut model| {
+                train(
+                    &mut model,
+                    &train_set,
+                    TrainConfig { epochs: 1, batch_size: 32, lr: 0.05, momentum: 0.9, seed: 1 },
+                )
+                .expect("trains")
+                .loss[0]
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("ptq/mlp_ipf4", |b| {
+        let mut trained = mlp(16, 8, 4);
+        train(
+            &mut trained,
+            &train_set,
+            TrainConfig { epochs: 3, batch_size: 32, lr: 0.05, momentum: 0.9, seed: 2 },
+        )
+        .expect("trains");
+        let (calib, _) = train_set.batch(&(0..64).collect::<Vec<_>>());
+        b.iter_batched(
+            || trained.clone(),
+            |mut m| quantize_model(&mut m, &calib, QuantSpec::default()).expect("quantizes").len(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for calibration and fake quantization (the Eq. (2)
+//! pipeline): scale search per data type and per-channel application.
+
+use ant_core::{ClipSearch, DataType, Granularity, Quantizer, TensorQuantizer};
+use ant_tensor::dist::{sample_tensor, sample_vec, Distribution};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_quantizer(c: &mut Criterion) {
+    let data = sample_vec(Distribution::Gaussian { mean: 0.0, std: 1.0 }, 4096, 1);
+    let mut group = c.benchmark_group("quantizer");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    for dt in [
+        DataType::int(4, true).expect("valid"),
+        DataType::pot(4, true).expect("valid"),
+        DataType::float(4, true).expect("valid"),
+        DataType::flint(4, true).expect("valid"),
+        DataType::int(8, true).expect("valid"),
+    ] {
+        group.bench_function(format!("fit_grid64/{dt}"), |b| {
+            b.iter(|| {
+                Quantizer::fit(dt, black_box(&data), ClipSearch::GridMse { steps: 64 })
+                    .expect("fit succeeds")
+                    .1
+            })
+        });
+    }
+    let dt = DataType::flint(4, true).expect("valid");
+    let (q, _) = Quantizer::fit(dt, &data, ClipSearch::default()).expect("fit succeeds");
+    group.bench_function("apply_slice/flint4s", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut d| {
+                q.apply_slice(&mut d);
+                d
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    // Per-channel weight calibration (paper Sec. II-B granularity).
+    let w = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 0.05 }, &[64, 576], 2);
+    group.throughput(Throughput::Elements(w.len() as u64));
+    group.bench_function("fit_per_channel/flint4s_64x576", |b| {
+        b.iter(|| {
+            TensorQuantizer::fit(
+                dt,
+                black_box(&w),
+                Granularity::PerChannel,
+                ClipSearch::GridMse { steps: 16 },
+            )
+            .expect("fit succeeds")
+            .1
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantizer);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benches for the accelerator simulator (Fig. 13 / Table I
+//! machinery): per-design workload simulation and the Table I sweep.
+
+use ant_sim::design::{simulate, Design, SimConfig};
+use ant_sim::report::WorkloadComparison;
+use ant_sim::workload::{bert_base, resnet18};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let cfg = SimConfig::default();
+    let rn = resnet18(8);
+    let bert = bert_base(8, "SST-2");
+    for d in [Design::AntOs, Design::BitFusion, Design::AdaFloat] {
+        group.bench_function(format!("resnet18/{}", d.name()), |b| {
+            b.iter(|| simulate(d, black_box(&rn), &cfg).expect("simulates").total_cycles)
+        });
+    }
+    group.bench_function("bert_sst2/ANT-OS", |b| {
+        b.iter(|| simulate(Design::AntOs, black_box(&bert), &cfg).expect("simulates").total_cycles)
+    });
+    group.bench_function("fig13_row/resnet18_all_designs", |b| {
+        b.iter(|| WorkloadComparison::run(black_box(&rn), &cfg).expect("runs").results.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

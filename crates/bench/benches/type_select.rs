@@ -1,0 +1,38 @@
+//! Criterion benches for Algorithm 2 (the Fig. 10/14 machinery): full
+//! type selection over a tensor per distribution family and combination.
+
+use ant_core::select::{select_type, PrimitiveCombo};
+use ant_core::{ClipSearch, Granularity};
+use ant_tensor::dist::{sample_tensor, Distribution};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("type_select");
+    let tensors = [
+        ("gaussian_tail", Distribution::OutlierGaussian { std: 1.0, outlier_frac: 0.01, outlier_scale: 4.0 }),
+        ("uniform", Distribution::Uniform { lo: -1.0, hi: 1.0 }),
+        ("outliers", Distribution::OutlierGaussian { std: 1.0, outlier_frac: 0.01, outlier_scale: 20.0 }),
+    ];
+    for (name, dist) in tensors {
+        let t = sample_tensor(dist, &[4096], 7);
+        group.throughput(Throughput::Elements(t.len() as u64));
+        for combo in [PrimitiveCombo::Int, PrimitiveCombo::IntPotFlint, PrimitiveCombo::FloatIntPotFlint] {
+            group.bench_function(format!("{name}/{combo}"), |b| {
+                b.iter(|| {
+                    select_type(
+                        black_box(&t),
+                        &combo.candidates(4, true).expect("valid"),
+                        Granularity::PerTensor,
+                        ClipSearch::GridMse { steps: 32 },
+                    )
+                    .expect("selection succeeds")
+                    .mse
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_select);
+criterion_main!(benches);

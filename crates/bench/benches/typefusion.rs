@@ -1,0 +1,85 @@
+//! Criterion benches for the TypeFusion PE path (Figs. 5–9 machinery):
+//! decoders, the fused MAC, the 8-bit composition and the cycle-stepped
+//! systolic array.
+
+use ant_hw::decode::{decode, WireType};
+use ant_hw::mac::{mac, mul_int8_via_4bit_pes, Accumulator};
+use ant_hw::systolic::{DecodedMatrix, SystolicArray};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn codes(n: usize, seed: u32) -> Vec<u32> {
+    let mut state = seed.wrapping_mul(0x9E3779B9).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 13) & 0xF
+        })
+        .collect()
+}
+
+fn bench_typefusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("typefusion");
+    let cs = codes(4096, 3);
+    group.throughput(Throughput::Elements(cs.len() as u64));
+    for ty in [
+        ("flint", WireType::Flint { signed: true }),
+        ("pot", WireType::Pot { signed: true }),
+        ("int", WireType::Int { signed: true }),
+    ] {
+        group.bench_function(format!("decode/{}", ty.0), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &code in &cs {
+                    let d = decode(black_box(code), 4, ty.1).expect("valid code");
+                    acc = acc.wrapping_add(d.value());
+                }
+                acc
+            })
+        });
+    }
+    group.bench_function("mac/flint_x_pot", |b| {
+        let a: Vec<_> = cs
+            .iter()
+            .map(|&c| decode(c, 4, WireType::Flint { signed: true }).expect("valid"))
+            .collect();
+        let w: Vec<_> = cs
+            .iter()
+            .rev()
+            .map(|&c| decode(c, 4, WireType::Pot { signed: true }).expect("valid"))
+            .collect();
+        b.iter(|| {
+            let mut acc = Accumulator::new(32);
+            for (&x, &y) in a.iter().zip(&w) {
+                mac(&mut acc, x, y);
+            }
+            acc.value()
+        })
+    });
+    group.bench_function("mul_int8_via_4bit_pes", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for i in 0..4096i64 {
+                acc = acc.wrapping_add(mul_int8_via_4bit_pes(
+                    black_box((i % 255 - 127) as i8),
+                    black_box(((i * 7) % 255 - 127) as i8),
+                ));
+            }
+            acc
+        })
+    });
+    // A 32×32×32 GEMM on an 8×8 cycle-stepped array — the Fig. 9 reference.
+    let a = DecodedMatrix::from_codes(32, 32, &codes(1024, 5), 4, WireType::Flint { signed: true })
+        .expect("valid codes");
+    let b_mat =
+        DecodedMatrix::from_codes(32, 32, &codes(1024, 6), 4, WireType::Int { signed: true })
+            .expect("valid codes");
+    let array = SystolicArray::new(8, 32);
+    group.throughput(Throughput::Elements(32 * 32 * 32));
+    group.bench_function("systolic_gemm_32x32x32_on_8x8", |b| {
+        b.iter(|| array.gemm(black_box(&a), black_box(&b_mat)).1.macs)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_typefusion);
+criterion_main!(benches);

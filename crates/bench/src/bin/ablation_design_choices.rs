@@ -1,0 +1,106 @@
+//! Ablations for the design choices DESIGN.md calls out: the min-MSE clip
+//! search (vs max-abs scaling and vs coarser grids), the mixed-precision
+//! threshold τ, and the boundary-decoder placement (2n vs n² decoders).
+
+use ant_bench::render_table;
+use ant_core::select::PrimitiveCombo;
+use ant_core::{ClipSearch, DataType, Granularity, Quantizer, TensorQuantizer};
+use ant_hw::area::{ANT_DECODER_UM2, ANT_PE4_UM2};
+use ant_sim::profile::TensorProfile;
+use ant_tensor::Tensor;
+
+fn main() {
+    // ---------------------------------------------------------------
+    println!("== Ablation 1: clip-range search (Algorithm 2 line 5) ==\n");
+    let data = TensorProfile::cnn_weight().sample(8192, 7);
+    let dt = DataType::flint(4, true).expect("flint4s");
+    let mut rows = Vec::new();
+    for (name, search) in [
+        ("max-abs (no clipping)", ClipSearch::MaxAbs),
+        ("grid 8", ClipSearch::GridMse { steps: 8 }),
+        ("grid 16", ClipSearch::GridMse { steps: 16 }),
+        ("grid 64", ClipSearch::GridMse { steps: 64 }),
+        ("grid 256", ClipSearch::GridMse { steps: 256 }),
+    ] {
+        let (_, mse) = Quantizer::fit(dt, &data, search).expect("fit succeeds");
+        rows.push(vec![name.to_string(), format!("{mse:.4e}")]);
+    }
+    println!("{}", render_table(&["search", "flint4s MSE"], &rows));
+    println!("Min-MSE clipping matters most for heavy-tailed tensors; the curve");
+    println!("flattens by ~64 grid points, which is the library default.\n");
+
+    // ---------------------------------------------------------------
+    println!("== Ablation 2: weight-scale granularity (Sec. II-B) ==\n");
+    let w = {
+        // Channels with varying magnitude, as real conv layers have.
+        let mut t = Tensor::zeros(&[8, 512]);
+        for c in 0..8 {
+            let ch = TensorProfile::cnn_weight().sample(512, 100 + c as u64);
+            let scale = 0.25 * (c + 1) as f32;
+            for (dst, src) in t.channel_mut(c).expect("in range").iter_mut().zip(&ch) {
+                *dst = src * scale;
+            }
+        }
+        t
+    };
+    let mut rows = Vec::new();
+    for (name, g) in
+        [("per-tensor", Granularity::PerTensor), ("per-channel", Granularity::PerChannel)]
+    {
+        let (_, mse) =
+            TensorQuantizer::fit(dt, &w, g, ClipSearch::default()).expect("fit succeeds");
+        rows.push(vec![name.to_string(), format!("{mse:.4e}")]);
+    }
+    println!("{}", render_table(&["granularity", "flint4s MSE"], &rows));
+
+    // ---------------------------------------------------------------
+    println!("\n== Ablation 3: candidate list (what each primitive buys) ==\n");
+    let families = [
+        ("uniform act", TensorProfile::FirstLayerAct),
+        ("gaussian-tail weight", TensorProfile::cnn_weight()),
+        ("outlier act", TensorProfile::BertAct { frac: 0.008, scale: 18.0 }),
+    ];
+    let mut rows = Vec::new();
+    for (name, profile) in families {
+        let t = Tensor::from_slice(&profile.sample(4096, 11));
+        let signed = !profile.is_non_negative();
+        let mut row = vec![name.to_string()];
+        for combo in PrimitiveCombo::all() {
+            let sel = ant_core::select::select_type(
+                &t,
+                &combo.candidates(4, signed).expect("candidates"),
+                Granularity::PerTensor,
+                ClipSearch::default(),
+            )
+            .expect("selection succeeds");
+            row.push(format!("{:.2e}", sel.mse));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(&["tensor", "Int", "IP", "FIP", "IP-F", "FIP-F"], &rows)
+    );
+
+    // ---------------------------------------------------------------
+    println!("\n== Ablation 4: decoder placement (Sec. VI-A) ==\n");
+    // 2n boundary decoders (ANT's choice) vs one decoder per PE.
+    let n = 64u64;
+    let boundary = 2.0 * n as f64 * ANT_DECODER_UM2;
+    let per_pe = (n * n) as f64 * ANT_DECODER_UM2;
+    let array = (n * n) as f64 * ANT_PE4_UM2;
+    let mut rows = Vec::new();
+    rows.push(vec![
+        "2n boundary decoders".to_string(),
+        format!("{:.4}", boundary / 1e6),
+        format!("{:.2}%", boundary / array * 100.0),
+    ]);
+    rows.push(vec![
+        "n^2 per-PE decoders".to_string(),
+        format!("{:.4}", per_pe / 1e6),
+        format!("{:.2}%", per_pe / array * 100.0),
+    ]);
+    println!("{}", render_table(&["placement", "decoder mm^2", "of PE array"], &rows));
+    println!("Boundary placement amortises the decoder {}x — the 0.2% headline", n / 2);
+    println!("overhead of Table VII depends on it.");
+}

@@ -1,0 +1,40 @@
+//! Fig. 11 — accuracy loss *without* fine-tuning (post-training
+//! quantization) for each 4-bit primitive combination, on the three
+//! reference models (the reproduction's stand-ins for the paper's
+//! CNN/Transformer benchmarks; see DESIGN.md §2).
+
+use ant_bench::{accuracy_experiment, render_table};
+
+fn main() {
+    println!("== Fig. 11: accuracy loss without fine-tuning (percentage points) ==\n");
+    let cells = accuracy_experiment(0, 77).expect("experiment runs");
+    let models: Vec<&str> = {
+        let mut m: Vec<&str> = cells.iter().map(|c| c.model).collect();
+        m.dedup();
+        m
+    };
+    let combos: Vec<String> = cells
+        .iter()
+        .filter(|c| c.model == models[0])
+        .map(|c| c.combo.clone())
+        .collect();
+    let mut rows = Vec::new();
+    for model in &models {
+        let fp32 = cells.iter().find(|c| c.model == *model).expect("cell exists").fp32;
+        let mut row = vec![model.to_string(), format!("{:.1}%", fp32 * 100.0)];
+        for combo in &combos {
+            let cell = cells
+                .iter()
+                .find(|c| c.model == *model && &c.combo == combo)
+                .expect("cell exists");
+            row.push(format!("{:+.1}", cell.loss_points()));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["model", "fp32 acc"];
+    let combo_refs: Vec<&str> = combos.iter().map(String::as_str).collect();
+    headers.extend(combo_refs);
+    println!("{}", render_table(&headers, &rows));
+    println!("Expected shape (paper Fig. 11): large losses for Int-only, shrinking as");
+    println!("primitives are added; flint-bearing combos (IP-F / FIP-F) lose the least.");
+}

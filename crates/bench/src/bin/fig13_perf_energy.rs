@@ -1,0 +1,88 @@
+//! Fig. 13 — the headline evaluation: tensor type ratios (top), normalized
+//! latency (middle) and normalized energy (bottom) for the six iso-area
+//! designs over the eight workloads, plus the geomean summary quoted in
+//! the paper's abstract (2.8×/2.5× over BitFusion).
+
+use ant_bench::render_table;
+use ant_sim::design::{Design, SimConfig};
+use ant_sim::report::{summarize, WorkloadComparison};
+use ant_sim::workload::all_workloads;
+
+fn main() {
+    let batch = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(64);
+    println!("== Fig. 13 (batch {batch}) ==\n");
+    let cfg = SimConfig::default();
+    let workloads = all_workloads(batch);
+    let comparisons: Vec<WorkloadComparison> = workloads
+        .iter()
+        .map(|w| WorkloadComparison::run(w, &cfg).expect("simulation succeeds"))
+        .collect();
+
+    // Top: 4-bit MAC fraction per design per workload.
+    println!("-- tensor/compute ratio: fraction of MACs executed at 4 bits --\n");
+    let mut rows = Vec::new();
+    for (c, w) in comparisons.iter().zip(&workloads) {
+        let mut row = vec![c.workload.clone()];
+        for d in Design::all() {
+            row.push(format!("{:.0}%", c.result(d).low_bit_mac_fraction(w) * 100.0));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> =
+        std::iter::once("workload").chain(Design::all().iter().map(|d| d.name())).collect();
+    println!("{}", render_table(&headers, &rows));
+
+    // Middle: normalized cycles.
+    println!("-- normalized latency (1.0 = slowest design per workload) --\n");
+    let mut rows = Vec::new();
+    for c in &comparisons {
+        let mut row = vec![c.workload.clone()];
+        for (_, v) in c.normalized_cycles() {
+            row.push(format!("{v:.3}"));
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&headers, &rows));
+
+    // Bottom: normalized energy with breakdown for ANT-OS.
+    println!("-- normalized energy (1.0 = most energy per workload) --\n");
+    let mut rows = Vec::new();
+    for c in &comparisons {
+        let mut row = vec![c.workload.clone()];
+        for (_, v) in c.normalized_energy() {
+            row.push(format!("{v:.3}"));
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&headers, &rows));
+
+    println!("-- ANT-OS energy breakdown per workload (pJ shares) --\n");
+    let mut rows = Vec::new();
+    for c in &comparisons {
+        let e = &c.result(Design::AntOs).total_energy;
+        let t = e.total();
+        rows.push(vec![
+            c.workload.clone(),
+            format!("{:.0}%", e.static_pj / t * 100.0),
+            format!("{:.0}%", e.dram_pj / t * 100.0),
+            format!("{:.0}%", e.buffer_pj / t * 100.0),
+            format!("{:.0}%", e.core_pj / t * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["workload", "static", "DRAM", "buffer", "core"], &rows)
+    );
+
+    // Geomean summary.
+    let s = summarize(&comparisons);
+    println!("-- geomean ANT-OS advantage (paper: 2.8x/3.24x/1.48x/4x speedup; 2.53x/1.93x/1.6x/3.33x energy) --\n");
+    let mut rows = Vec::new();
+    for ((name, sp), (_, en)) in s.speedups.iter().zip(&s.energy_reductions) {
+        rows.push(vec![name.to_string(), format!("{sp:.2}x"), format!("{en:.2}x")]);
+    }
+    println!("{}", render_table(&["baseline", "speedup", "energy reduction"], &rows));
+}

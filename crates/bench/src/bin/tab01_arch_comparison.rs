@@ -1,0 +1,49 @@
+//! Table I — quantization architecture comparison: average memory bits,
+//! average compute bits and area overhead per scheme, computed over the
+//! paper's workload suite.
+
+use ant_bench::render_table;
+use ant_sim::report::table_i;
+use ant_sim::workload::all_workloads;
+
+/// Paper-reported Table I values for side-by-side comparison.
+const PAPER: [(&str, f64, f64, f64); 7] = [
+    ("Int", 8.0, 8.0, 0.0),
+    ("AdaFloat", 8.0, 8.0, 0.145),
+    ("BitFusion", 7.07, 7.07, 0.0),
+    ("BiScaled", 6.16, 6.16, 0.071),
+    ("OLAccel", 5.81, 4.36, 0.71),
+    ("GOBO", 4.04, 16.0, 0.55),
+    ("ANT", 4.23, 4.23, 0.002),
+];
+
+fn main() {
+    // Batch 4 keeps the run quick; averages are batch-insensitive because
+    // weight and activation element counts scale together.
+    let workloads = all_workloads(4);
+    let rows = table_i(&workloads).expect("assignment succeeds");
+    let mut table = Vec::new();
+    for row in &rows {
+        let paper = PAPER.iter().find(|(n, _, _, _)| *n == row.name);
+        table.push(vec![
+            row.name.to_string(),
+            if row.aligned { "yes" } else { "no" }.to_string(),
+            format!("{:.2}", row.mem_bits),
+            format!("{:.2}", row.compute_bits),
+            format!("{:.1}%", row.area_overhead * 100.0),
+            paper.map_or("-".to_string(), |(_, m, c, a)| {
+                format!("{m:.2} / {c:.2} / {:.1}%", a * 100.0)
+            }),
+        ]);
+    }
+    println!("== Table I: quantization architecture comparison ==\n");
+    println!(
+        "{}",
+        render_table(
+            &["scheme", "aligned", "mem bits", "compute bits", "area ovh", "paper (mem/compute/ovh)"],
+            &table,
+        )
+    );
+    println!("Area overheads are the paper's synthesis results (see ant-hw::area);");
+    println!("bit averages are measured over this reproduction's workload suite.");
+}

@@ -1,0 +1,63 @@
+//! Table II / Fig. 3 — the flint value tables: every code with its
+//! first-one exponent, mantissa width, and decoded value, for widths
+//! 3 through 8 (the 4-bit table is printed in full; wider tables are
+//! summarised by their lattices).
+
+use ant_bench::render_table;
+use ant_core::flint::Flint;
+
+fn main() {
+    println!("== Table II: 4-bit unsigned flint (bias −1) ==\n");
+    let f4 = Flint::new(4).expect("4-bit flint");
+    let mut rows = Vec::new();
+    for code in 0..f4.num_codes() {
+        let fd = f4.decode_float(code);
+        let id = f4.decode_int(code);
+        let value = f4.decode(code);
+        rows.push(vec![
+            format!("{code:04b}"),
+            if code == 0 { "-".to_string() } else { format!("{}", fd.exp as i64 - 1) },
+            if code == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.2}", 1.0 + fd.mantissa as f64 / 8.0)
+            },
+            format!("{}", id.base),
+            format!("{}", id.exp),
+            format!("{value}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["bits", "exponent", "fraction", "base int", "shift", "value"],
+            &rows,
+        )
+    );
+    println!("(matches paper Table II values: 0,1,2,3,4,5,6,7,8,10,12,14,16,24,32,64)\n");
+
+    println!("== Fig. 3 generalised: flint lattices for b = 3..8 ==\n");
+    for b in 3..=8u32 {
+        let f = Flint::new(b).expect("valid width");
+        let lattice = f.lattice();
+        let shown: Vec<String> = if lattice.len() <= 16 {
+            lattice.iter().map(|v| v.to_string()).collect()
+        } else {
+            let mut s: Vec<String> = lattice.iter().take(9).map(|v| v.to_string()).collect();
+            s.push("...".to_string());
+            s.extend(lattice.iter().rev().take(4).rev().map(|v| v.to_string()));
+            s
+        };
+        println!(
+            "flint{b}: {:3} values, max {:6}  [{}]",
+            lattice.len(),
+            f.max_value(),
+            shown.join(", ")
+        );
+    }
+    println!();
+    println!("Mantissa bits per interval (b = 4): codes 0001,001x,01xx,11xx,101x,1001,1000");
+    let f = Flint::new(4).expect("4-bit flint");
+    let mbs: Vec<String> = (1..=7).map(|i| f.mantissa_bits(i).to_string()).collect();
+    println!("carry {} mantissa bits — int-like mid-range, PoT-like extremes.", mbs.join(","));
+}

@@ -1,0 +1,63 @@
+//! Table VI — weight-only quantization: ANT versus GOBO at 3 and 4 bits on
+//! the Transformer reference model (the paper's comparison is BERT on
+//! MNLI). GOBO keeps ~0.3% outlier weights at full precision (reporting
+//! 3.04/4.04 effective bits); ANT stays fixed-length.
+
+use ant_bench::{render_table, trained_transformer};
+use ant_core::baselines::Gobo;
+use ant_core::select::{select_type, PrimitiveCombo};
+use ant_core::{ClipSearch, Granularity};
+use ant_nn::train::evaluate;
+
+fn main() {
+    println!("== Table VI: weight-only quantization, ANT vs GOBO (Transformer) ==\n");
+    let reference = trained_transformer(77).expect("model trains");
+    let mut rows = Vec::new();
+    for bits in [3u32, 4u32] {
+        // ANT weight-only: per-tensor IP-F selection. 3-bit flint needs a
+        // 4-bit signed container, so at 3 bits the candidates are int/pot.
+        let mut ant_model = reference.model.clone();
+        ant_model.for_each_param(&mut |p| {
+            if p.value.rank() >= 2 {
+                let combo = if bits >= 4 {
+                    PrimitiveCombo::IntPotFlint
+                } else {
+                    PrimitiveCombo::IntPot
+                };
+                let sel = select_type(
+                    &p.value,
+                    &combo.candidates(bits, true).expect("valid candidates"),
+                    Granularity::PerTensor,
+                    ClipSearch::GridMse { steps: 64 },
+                )
+                .expect("selection succeeds");
+                p.value = sel.quantizer.apply(&p.value).expect("apply succeeds");
+            }
+        });
+        let ant_acc = evaluate(&mut ant_model, &reference.test_set).expect("evaluation");
+
+        // GOBO weight-only with 3σ outlier detection.
+        let mut gobo_model = reference.model.clone();
+        let mut eff_bits = Vec::new();
+        gobo_model.for_each_param(&mut |p| {
+            if p.value.rank() >= 2 {
+                let (g, _) = Gobo::fit(bits, 3.0, p.value.as_slice()).expect("fit succeeds");
+                eff_bits.push(g.mem_bits());
+                p.value.map_inplace(|x| g.quantize_dequantize(x));
+            }
+        });
+        let gobo_acc = evaluate(&mut gobo_model, &reference.test_set).expect("evaluation");
+        let avg_eff: f64 = eff_bits.iter().sum::<f64>() / eff_bits.len().max(1) as f64;
+
+        rows.push(vec![
+            format!("{bits}-bit"),
+            format!("{:.1}%", ant_acc * 100.0),
+            format!("{:.1}% ({avg_eff:.2} bit)", gobo_acc * 100.0),
+            format!("{:.1}%", reference.fp32_accuracy * 100.0),
+        ]);
+    }
+    println!("{}", render_table(&["width", "ANT", "GOBO (eff. bits)", "source"], &rows));
+    println!("Expected shape (paper Table VI): the two schemes are within a fraction of");
+    println!("a point of each other at both widths; ANT achieves it with fixed-length");
+    println!("codes while GOBO needs variable-length outlier storage.");
+}

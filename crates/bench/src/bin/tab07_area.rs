@@ -1,0 +1,30 @@
+//! Table VII — configuration and area breakdown of the iso-area designs at
+//! 28 nm, from the synthesis constants in `ant-hw::area`.
+
+use ant_bench::render_table;
+use ant_hw::area::{AreaModel, BUFFER_KB, BUFFER_MM2};
+
+fn main() {
+    println!("== Table VII: design configuration and area breakdown (28 nm) ==\n");
+    let mut rows = Vec::new();
+    for d in AreaModel.all() {
+        rows.push(vec![
+            d.name.to_string(),
+            d.pe_count.to_string(),
+            format!("{:.2}", d.pe_um2),
+            d.decoder_count.to_string(),
+            format!("{:.3}", d.core_mm2()),
+            format!("{:.2}%", d.decoder_overhead() * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["design", "PEs", "PE um^2", "decoders", "core mm^2", "decoder ovh"],
+            &rows,
+        )
+    );
+    println!("shared on-chip buffer: {BUFFER_KB} KB = {BUFFER_MM2} mm^2 (CACTI, from the paper)");
+    println!("\nPaper check: ANT core 0.327 mm^2 with 4096 4-bit PEs + 128 decoders;");
+    println!("decoder overhead ~0.2% (Sec. VII-C).");
+}

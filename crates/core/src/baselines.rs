@@ -1,0 +1,582 @@
+//! Quantization baselines the paper compares against (Sec. II, III-B, VII):
+//! AdaptiveFloat, BiScaled, GOBO and OLAccel.
+//!
+//! Each baseline exposes the same surface: calibrate on data, fake-quantize,
+//! and report its effective memory cost in bits per element (the quantity
+//! behind the paper's Table I). The outlier-aware schemes (GOBO, OLAccel)
+//! additionally report their outlier fraction, which drives the accelerator
+//! model in `ant-sim`.
+
+use crate::dtype::{Codec, DataType};
+use crate::minifloat::FloatFormat;
+use crate::QuantError;
+
+// ---------------------------------------------------------------------------
+// AdaptiveFloat [78]
+// ---------------------------------------------------------------------------
+
+/// AdaptiveFloat: a miniature float with a *tensor-wise exponent bias*
+/// (paper Sec. II-B). Scaling is restricted to powers of two — the bias —
+/// which is exactly what distinguishes it from an arbitrary-scale float
+/// quantizer.
+#[derive(Debug, Clone)]
+pub struct AdaFloat {
+    format: FloatFormat,
+    /// The chosen power-of-two scale, `2^k`.
+    scale: f32,
+    magnitudes: Vec<f32>,
+}
+
+impl AdaFloat {
+    /// Calibrates an AdaptiveFloat quantizer. `bits` includes the sign bit
+    /// when `signed`; the exponent field follows the AdaptiveFloat paper's
+    /// split (`E = min(4, bits − 1 − signed)`, remainder mantissa).
+    ///
+    /// # Errors
+    ///
+    /// * [`QuantError::EmptyCalibration`] / [`QuantError::NonFiniteData`]
+    ///   on bad data,
+    /// * [`QuantError::InvalidFloatFormat`] when `bits` cannot host the
+    ///   field split.
+    pub fn fit(bits: u32, signed: bool, data: &[f32]) -> Result<(Self, f64), QuantError> {
+        if data.is_empty() {
+            return Err(QuantError::EmptyCalibration);
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(QuantError::NonFiniteData);
+        }
+        let avail = bits.saturating_sub(u32::from(signed));
+        let exp_bits = avail.saturating_sub(1).min(4).max(1);
+        let man_bits = avail - exp_bits;
+        let format = FloatFormat::new(exp_bits, man_bits, signed)?;
+        let codec = Codec::new(DataType::float_with_format(format))?;
+        let magnitudes = codec.magnitudes().to_vec();
+        let max_abs = data.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        if max_abs == 0.0 {
+            return Ok((AdaFloat { format, scale: 1.0, magnitudes }, 0.0));
+        }
+        // Bias search: the scale is 2^k; start from the k that just covers
+        // max_abs and probe a few finer settings (clipping outliers).
+        let k0 = (max_abs / codec.max_value()).log2().ceil() as i32;
+        let mut best = (1.0f32, f64::INFINITY);
+        for k in (k0 - 4)..=(k0 + 1) {
+            let scale = 2f32.powi(k);
+            let mse = mse_with(&magnitudes, signed, scale, data);
+            if mse < best.1 {
+                best = (scale, mse);
+            }
+        }
+        Ok((AdaFloat { format, scale: best.0, magnitudes }, best.1))
+    }
+
+    /// The element format.
+    pub fn format(&self) -> FloatFormat {
+        self.format
+    }
+
+    /// The chosen power-of-two scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Fake-quantizes one value.
+    pub fn quantize_dequantize(&self, x: f32) -> f32 {
+        snap_signed(&self.magnitudes, self.format.is_signed(), x / self.scale) * self.scale
+    }
+
+    /// Bits per element in memory (fixed-length; the tensor-wise bias is
+    /// amortised to zero).
+    pub fn mem_bits(&self) -> f64 {
+        self.format.total_bits() as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BiScaled [43]
+// ---------------------------------------------------------------------------
+
+/// BiScaled-DNN: fixed-length `bits`-bit integer codes with *two* scale
+/// factors — a fine scale for the dense low-magnitude region and a coarse
+/// scale for the long tail — plus a per-element selector mask
+/// (paper Sec. III-B: "it requires an extra bit mask for indicating
+/// different scale factors").
+#[derive(Debug, Clone)]
+pub struct BiScaled {
+    bits: u32,
+    signed: bool,
+    fine_scale: f32,
+    coarse_scale: f32,
+    split: f32,
+}
+
+/// Per-element mask overhead of BiScaled in bits. The paper's Table I
+/// reports 6.16 average bits for the 6-bit configuration; the 0.16 bit
+/// delta is the amortised sparse mask cost we adopt.
+pub const BISCALED_MASK_BITS: f64 = 0.16;
+
+impl BiScaled {
+    /// Calibrates: grid-searches the split threshold `t`; values with
+    /// `|x| ≤ t` use the fine scale `t / maxq`, the rest the coarse scale
+    /// `max_abs / maxq`.
+    ///
+    /// # Errors
+    ///
+    /// * [`QuantError::EmptyCalibration`] / [`QuantError::NonFiniteData`]
+    ///   on bad data,
+    /// * [`QuantError::UnsupportedBitWidth`] when `bits` is outside
+    ///   `2..=16`.
+    pub fn fit(bits: u32, signed: bool, data: &[f32]) -> Result<(Self, f64), QuantError> {
+        if !(2..=16).contains(&bits) {
+            return Err(QuantError::UnsupportedBitWidth { bits });
+        }
+        if data.is_empty() {
+            return Err(QuantError::EmptyCalibration);
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(QuantError::NonFiniteData);
+        }
+        let maxq = Self::maxq(bits, signed);
+        let max_abs = data.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        if max_abs == 0.0 {
+            let q = BiScaled { bits, signed, fine_scale: 1.0, coarse_scale: 1.0, split: 0.0 };
+            return Ok((q, 0.0));
+        }
+        let coarse_scale = max_abs / maxq;
+        let mut best = (max_abs, f64::INFINITY);
+        for k in 1..=32 {
+            let split = max_abs * k as f32 / 32.0;
+            let fine_scale = split / maxq;
+            let q = BiScaled { bits, signed, fine_scale, coarse_scale, split };
+            let mse = data
+                .iter()
+                .map(|&x| {
+                    let d = (x - q.quantize_dequantize(x)) as f64;
+                    d * d
+                })
+                .sum::<f64>()
+                / data.len() as f64;
+            if mse < best.1 {
+                best = (split, mse);
+            }
+        }
+        let fine_scale = best.0 / maxq;
+        Ok((BiScaled { bits, signed, fine_scale, coarse_scale, split: best.0 }, best.1))
+    }
+
+    fn maxq(bits: u32, signed: bool) -> f32 {
+        if signed {
+            ((1u64 << (bits - 1)) - 1) as f32
+        } else {
+            ((1u64 << bits) - 1) as f32
+        }
+    }
+
+    /// The split threshold between the two scale regions.
+    pub fn split(&self) -> f32 {
+        self.split
+    }
+
+    /// Fake-quantizes one value: the selector picks the fine or coarse
+    /// scale by magnitude.
+    pub fn quantize_dequantize(&self, x: f32) -> f32 {
+        let maxq = Self::maxq(self.bits, self.signed);
+        let scale = if x.abs() <= self.split { self.fine_scale } else { self.coarse_scale };
+        let lo = if self.signed { -maxq } else { 0.0 };
+        (x / scale).round().clamp(lo, maxq) * scale
+    }
+
+    /// Bits per element including the selector mask.
+    pub fn mem_bits(&self) -> f64 {
+        self.bits as f64 + BISCALED_MASK_BITS
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GOBO [86]
+// ---------------------------------------------------------------------------
+
+/// GOBO: weight-only outlier-aware quantization. Weights within
+/// `outlier_sigma` standard deviations of the mean (the "G" group) are
+/// mapped to one of `2^bits` learned centroids; the rare outliers (the "O"
+/// group) stay at full precision (paper Sec. II-D).
+#[derive(Debug, Clone)]
+pub struct Gobo {
+    bits: u32,
+    centroids: Vec<f32>,
+    lo: f32,
+    hi: f32,
+    outlier_frac: f64,
+}
+
+impl Gobo {
+    /// Calibrates on weight data: detects outliers at `outlier_sigma`
+    /// deviations, then runs Lloyd iterations to place `2^bits` centroids
+    /// over the inlier group.
+    ///
+    /// # Errors
+    ///
+    /// * [`QuantError::EmptyCalibration`] / [`QuantError::NonFiniteData`]
+    ///   on bad data,
+    /// * [`QuantError::UnsupportedBitWidth`] when `bits` is outside
+    ///   `2..=8`.
+    pub fn fit(bits: u32, outlier_sigma: f32, data: &[f32]) -> Result<(Self, f64), QuantError> {
+        if !(2..=8).contains(&bits) {
+            return Err(QuantError::UnsupportedBitWidth { bits });
+        }
+        if data.is_empty() {
+            return Err(QuantError::EmptyCalibration);
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(QuantError::NonFiniteData);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = data.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt() as f32;
+        let lo = mean as f32 - outlier_sigma * std;
+        let hi = mean as f32 + outlier_sigma * std;
+        let inliers: Vec<f32> = data.iter().copied().filter(|&x| x >= lo && x <= hi).collect();
+        let outlier_frac = 1.0 - inliers.len() as f64 / n;
+        let k = 1usize << bits;
+        let mut centroids = init_quantile_centroids(&inliers, k);
+        // Lloyd's algorithm over the inlier set.
+        for _ in 0..12 {
+            let mut sums = vec![0.0f64; k];
+            let mut counts = vec![0usize; k];
+            for &x in &inliers {
+                let c = nearest_index(&centroids, x);
+                sums[c] += x as f64;
+                counts[c] += 1;
+            }
+            let mut moved = false;
+            for c in 0..k {
+                if counts[c] > 0 {
+                    let next = (sums[c] / counts[c] as f64) as f32;
+                    if next != centroids[c] {
+                        centroids[c] = next;
+                        moved = true;
+                    }
+                }
+            }
+            centroids.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            if !moved {
+                break;
+            }
+        }
+        let q = Gobo { bits, centroids, lo, hi, outlier_frac };
+        let mse = data
+            .iter()
+            .map(|&x| {
+                let d = (x - q.quantize_dequantize(x)) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        Ok((q, mse))
+    }
+
+    /// The learned centroid table.
+    pub fn centroids(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    /// Fraction of weights kept at full precision.
+    pub fn outlier_frac(&self) -> f64 {
+        self.outlier_frac
+    }
+
+    /// Fake-quantizes one value (outliers pass through unchanged, i.e. at
+    /// full precision).
+    pub fn quantize_dequantize(&self, x: f32) -> f32 {
+        if x < self.lo || x > self.hi {
+            return x;
+        }
+        self.centroids[nearest_index(&self.centroids, x)]
+    }
+
+    /// Average bits per element: b-bit index for inliers, 32-bit floats for
+    /// outliers (GOBO's paper reports e.g. 3.04 effective bits for its
+    /// 3-bit mode).
+    pub fn mem_bits(&self) -> f64 {
+        self.bits as f64 * (1.0 - self.outlier_frac) + 32.0 * self.outlier_frac
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OLAccel [66]
+// ---------------------------------------------------------------------------
+
+/// OLAccel: element-wise outlier-aware quantization — the top
+/// `outlier_frac` of magnitudes use high-precision (16-bit) integers, the
+/// rest 4-bit integers (paper Sec. II-D). Variable-length in memory, hence
+/// the decoder/controller overhead charged in Table I.
+#[derive(Debug, Clone)]
+pub struct OlAccel {
+    low_bits: u32,
+    high_bits: u32,
+    signed: bool,
+    threshold: f32,
+    low_scale: f32,
+    high_scale: f32,
+    outlier_frac: f64,
+}
+
+impl OlAccel {
+    /// Calibrates with a target outlier fraction (OLAccel's own evaluation
+    /// uses 1–3%).
+    ///
+    /// # Errors
+    ///
+    /// * [`QuantError::EmptyCalibration`] / [`QuantError::NonFiniteData`]
+    ///   on bad data,
+    /// * [`QuantError::UnsupportedBitWidth`] when widths are outside
+    ///   `2..=16` or `low_bits >= high_bits`.
+    pub fn fit(
+        low_bits: u32,
+        high_bits: u32,
+        signed: bool,
+        outlier_frac: f64,
+        data: &[f32],
+    ) -> Result<(Self, f64), QuantError> {
+        if !(2..=16).contains(&low_bits) || !(2..=16).contains(&high_bits) || low_bits >= high_bits
+        {
+            return Err(QuantError::UnsupportedBitWidth { bits: low_bits });
+        }
+        if data.is_empty() {
+            return Err(QuantError::EmptyCalibration);
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(QuantError::NonFiniteData);
+        }
+        let mut mags: Vec<f32> = data.iter().map(|x| x.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let idx = ((1.0 - outlier_frac) * (mags.len() - 1) as f64).round() as usize;
+        let threshold = mags[idx.min(mags.len() - 1)];
+        let max_abs = *mags.last().expect("non-empty");
+        let lowq = BiScaled::maxq(low_bits, signed);
+        let highq = BiScaled::maxq(high_bits, signed);
+        let low_scale = if threshold > 0.0 { threshold / lowq } else { 1.0 };
+        let high_scale = if max_abs > 0.0 { max_abs / highq } else { 1.0 };
+        let actual_frac =
+            data.iter().filter(|x| x.abs() > threshold).count() as f64 / data.len() as f64;
+        let q = OlAccel {
+            low_bits,
+            high_bits,
+            signed,
+            threshold,
+            low_scale,
+            high_scale,
+            outlier_frac: actual_frac,
+        };
+        let mse = data
+            .iter()
+            .map(|&x| {
+                let d = (x - q.quantize_dequantize(x)) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / data.len() as f64;
+        Ok((q, mse))
+    }
+
+    /// The realised outlier fraction after thresholding.
+    pub fn outlier_frac(&self) -> f64 {
+        self.outlier_frac
+    }
+
+    /// Fake-quantizes one value.
+    pub fn quantize_dequantize(&self, x: f32) -> f32 {
+        let (scale, maxq) = if x.abs() > self.threshold {
+            (self.high_scale, BiScaled::maxq(self.high_bits, self.signed))
+        } else {
+            (self.low_scale, BiScaled::maxq(self.low_bits, self.signed))
+        };
+        let lo = if self.signed { -maxq } else { 0.0 };
+        (x / scale).round().clamp(lo, maxq) * scale
+    }
+
+    /// Average bits per element in memory.
+    pub fn mem_bits(&self) -> f64 {
+        self.low_bits as f64 * (1.0 - self.outlier_frac)
+            + self.high_bits as f64 * self.outlier_frac
+    }
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------
+
+fn init_quantile_centroids(data: &[f32], k: usize) -> Vec<f32> {
+    if data.is_empty() {
+        return vec![0.0; k];
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (0..k)
+        .map(|i| {
+            let pos = (i as f64 + 0.5) / k as f64 * (sorted.len() - 1) as f64;
+            sorted[pos.round() as usize]
+        })
+        .collect()
+}
+
+fn nearest_index(sorted: &[f32], x: f32) -> usize {
+    let pos = sorted.partition_point(|&v| v < x);
+    if pos == 0 {
+        0
+    } else if pos >= sorted.len() {
+        sorted.len() - 1
+    } else if x - sorted[pos - 1] <= sorted[pos] - x {
+        pos - 1
+    } else {
+        pos
+    }
+}
+
+fn mse_with(magnitudes: &[f32], signed: bool, scale: f32, data: &[f32]) -> f64 {
+    data.iter()
+        .map(|&x| {
+            let q = snap_signed(magnitudes, signed, x / scale) * scale;
+            let d = (x - q) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / data.len() as f64
+}
+
+fn snap_signed(magnitudes: &[f32], signed: bool, x: f32) -> f32 {
+    let mag = if signed { x.abs() } else { x.max(0.0) };
+    let q = magnitudes[nearest_index(magnitudes, mag)];
+    if signed && x < 0.0 {
+        -q
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ant_tensor::dist::{sample_vec, Distribution};
+
+    fn gaussian(n: usize, seed: u64) -> Vec<f32> {
+        sample_vec(Distribution::Gaussian { mean: 0.0, std: 1.0 }, n, seed)
+    }
+
+    #[test]
+    fn adafloat_scale_is_power_of_two() {
+        let data = gaussian(4096, 41);
+        let (q, mse) = AdaFloat::fit(8, true, &data).unwrap();
+        assert!(mse > 0.0);
+        assert_eq!(q.scale().log2().fract(), 0.0, "scale {} not 2^k", q.scale());
+        assert_eq!(q.mem_bits(), 8.0);
+    }
+
+    #[test]
+    fn adafloat_8bit_is_accurate_on_gaussian() {
+        let data = gaussian(4096, 43);
+        let (q, mse) = AdaFloat::fit(8, true, &data).unwrap();
+        assert!(mse < 1e-3, "8-bit AdaFloat MSE {mse}");
+        let y = q.quantize_dequantize(0.5);
+        assert!((y - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn adafloat_rejects_bad_input() {
+        assert!(AdaFloat::fit(8, true, &[]).is_err());
+        assert!(AdaFloat::fit(8, true, &[f32::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn biscaled_two_scales_beat_one_on_long_tails() {
+        let data = sample_vec(Distribution::Laplace { mu: 0.0, b: 1.0 }, 8192, 47);
+        let (bi, bi_mse) = BiScaled::fit(6, true, &data).unwrap();
+        // Single-scale 6-bit int with max-abs scaling.
+        let maxq = 31.0f32;
+        let max_abs = data.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        let s = max_abs / maxq;
+        let single: f64 = data
+            .iter()
+            .map(|&x| {
+                let d = (x - (x / s).round().clamp(-maxq, maxq) * s) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / data.len() as f64;
+        assert!(bi_mse < single, "biscaled {bi_mse} vs single {single}");
+        assert!(bi.split() < max_abs);
+        assert!((bi.mem_bits() - 6.16).abs() < 1e-9);
+    }
+
+    #[test]
+    fn biscaled_handles_all_zero() {
+        let (q, mse) = BiScaled::fit(6, true, &[0.0; 64]).unwrap();
+        assert_eq!(mse, 0.0);
+        assert_eq!(q.quantize_dequantize(0.0), 0.0);
+    }
+
+    #[test]
+    fn gobo_outliers_pass_through_exactly() {
+        let mut data = gaussian(4096, 53);
+        data[0] = 40.0; // an extreme outlier
+        let (q, _) = Gobo::fit(3, 3.0, &data).unwrap();
+        assert_eq!(q.quantize_dequantize(40.0), 40.0);
+        assert!(q.outlier_frac() > 0.0);
+        assert_eq!(q.centroids().len(), 8);
+    }
+
+    #[test]
+    fn gobo_mem_bits_slightly_above_index_bits() {
+        let data = gaussian(8192, 59);
+        let (q, _) = Gobo::fit(3, 3.0, &data).unwrap();
+        // ~0.3% outliers at 32 bits: ≈ 3.09 effective bits — the paper's
+        // GOBO comparison reports 3.04.
+        assert!(q.mem_bits() > 3.0 && q.mem_bits() < 3.5, "{}", q.mem_bits());
+    }
+
+    #[test]
+    fn gobo_beats_plain_int_on_gaussian() {
+        let data = gaussian(8192, 61);
+        let (g, gobo_mse) = Gobo::fit(3, 3.0, &data).unwrap();
+        let maxq = 3.0f32;
+        let max_abs = data.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        let s = max_abs / maxq;
+        let int_mse: f64 = data
+            .iter()
+            .map(|&x| {
+                let d = (x - (x / s).round().clamp(-maxq, maxq) * s) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / data.len() as f64;
+        assert!(gobo_mse < int_mse, "gobo {gobo_mse} vs int3 {int_mse}");
+        let _ = g;
+    }
+
+    #[test]
+    fn olaccel_outlier_fraction_near_target() {
+        let data = gaussian(8192, 67);
+        let (q, _) = OlAccel::fit(4, 16, true, 0.03, &data).unwrap();
+        assert!((q.outlier_frac() - 0.03).abs() < 0.01, "{}", q.outlier_frac());
+        // Memory bits between 4 and 16, near 4.36 (Table I).
+        assert!(q.mem_bits() > 4.0 && q.mem_bits() < 5.0, "{}", q.mem_bits());
+    }
+
+    #[test]
+    fn olaccel_outliers_high_precision() {
+        let data = gaussian(8192, 71);
+        let (q, mse) = OlAccel::fit(4, 16, true, 0.02, &data).unwrap();
+        // The largest value is an outlier → quantized with 16-bit precision,
+        // so relative error is tiny.
+        let max = data.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        let qd = q.quantize_dequantize(max);
+        assert!((qd - max).abs() / max < 1e-3);
+        assert!(mse > 0.0);
+    }
+
+    #[test]
+    fn olaccel_validates_widths() {
+        assert!(OlAccel::fit(8, 4, true, 0.03, &[1.0]).is_err());
+        assert!(OlAccel::fit(1, 16, true, 0.03, &[1.0]).is_err());
+    }
+}

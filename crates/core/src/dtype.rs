@@ -1,0 +1,487 @@
+//! The unified data-type abstraction over ANT's primitive types
+//! (paper Sec. IV-B): `int`, `PoT`, `float` and `flint`.
+//!
+//! Every primitive is *fixed-length*: a tensor quantized with any of them
+//! stores exactly `bits` (+ sign) per element, which is what keeps ANT's
+//! memory accesses aligned (paper Table I). A [`DataType`] names a
+//! primitive at a width and signedness; a [`Codec`] materialises its
+//! normalized value lattice and performs the hardware-faithful snap
+//! (quantize-to-lattice) operation.
+
+use crate::flint::Flint;
+use crate::minifloat::FloatFormat;
+use crate::QuantError;
+
+/// The primitive numeric families ANT composes (paper Fig. 3 and Sec. IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimitiveType {
+    /// Fixed-point integer: uniform resolution, narrow range.
+    Int,
+    /// Power-of-two: exponent only, extreme dynamic range.
+    Pot,
+    /// Miniature float: exponential spacing, rigid resolution near zero.
+    Float,
+    /// ANT's composite primitive: int-like in the middle, PoT-like at the
+    /// extremes (Sec. IV-A).
+    Flint,
+}
+
+impl std::fmt::Display for PrimitiveType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PrimitiveType::Int => "int",
+            PrimitiveType::Pot => "pot",
+            PrimitiveType::Float => "float",
+            PrimitiveType::Flint => "flint",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete numeric data type: primitive × bit width × signedness.
+///
+/// Signed variants spend their most significant bit on a sign and encode a
+/// `(bits − 1)`-wide magnitude (sign-magnitude, paper Sec. V-C), so signed
+/// and unsigned variants of a primitive have the same total width.
+///
+/// # Example
+///
+/// ```
+/// use ant_core::{DataType, Codec};
+///
+/// let dt = DataType::flint(4, false)?;
+/// let codec = Codec::new(dt)?;
+/// assert_eq!(codec.max_value(), 64.0);
+/// assert_eq!(codec.snap(11.0), 12.0); // Algorithm 1's worked example
+/// # Ok::<(), ant_core::QuantError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataType {
+    primitive: PrimitiveType,
+    bits: u32,
+    signed: bool,
+    /// Explicit float format (only for `PrimitiveType::Float`).
+    float_format: Option<FloatFormat>,
+}
+
+impl DataType {
+    /// A `bits`-wide two's-complement-style integer type. Signed variants
+    /// use the symmetric range `[−(2^(b−1)−1), 2^(b−1)−1]` as is standard
+    /// for weight quantization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBitWidth`] outside `2..=16`.
+    pub fn int(bits: u32, signed: bool) -> Result<Self, QuantError> {
+        if !(2..=16).contains(&bits) {
+            return Err(QuantError::UnsupportedBitWidth { bits });
+        }
+        Ok(DataType { primitive: PrimitiveType::Int, bits, signed, float_format: None })
+    }
+
+    /// A `bits`-wide power-of-two type: code 0 is zero, code `c ≥ 1` is
+    /// `2^(c−1)` (per magnitude for signed variants).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBitWidth`] outside `2..=6` (wider
+    /// PoT lattices overflow `f32` dynamic range to no benefit).
+    pub fn pot(bits: u32, signed: bool) -> Result<Self, QuantError> {
+        if !(2..=6).contains(&bits) {
+            return Err(QuantError::UnsupportedBitWidth { bits });
+        }
+        Ok(DataType { primitive: PrimitiveType::Pot, bits, signed, float_format: None })
+    }
+
+    /// A `bits`-wide miniature float using the paper's default field split
+    /// (see [`FloatFormat::default_for_bits`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBitWidth`] when `bits < 3`.
+    pub fn float(bits: u32, signed: bool) -> Result<Self, QuantError> {
+        let fmt = FloatFormat::default_for_bits(bits, signed)?;
+        Ok(DataType {
+            primitive: PrimitiveType::Float,
+            bits,
+            signed,
+            float_format: Some(fmt),
+        })
+    }
+
+    /// A float type with an explicit [`FloatFormat`].
+    pub fn float_with_format(fmt: FloatFormat) -> Self {
+        DataType {
+            primitive: PrimitiveType::Float,
+            bits: fmt.total_bits(),
+            signed: fmt.is_signed(),
+            float_format: Some(fmt),
+        }
+    }
+
+    /// A `bits`-wide flint type (paper Sec. IV-A).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBitWidth`] when the (magnitude)
+    /// width falls outside the supported flint range: unsigned `3..=8`,
+    /// signed `4..=9`.
+    pub fn flint(bits: u32, signed: bool) -> Result<Self, QuantError> {
+        let mag_bits = if signed { bits.saturating_sub(1) } else { bits };
+        Flint::new(mag_bits)?;
+        Ok(DataType { primitive: PrimitiveType::Flint, bits, signed, float_format: None })
+    }
+
+    /// The primitive family.
+    pub fn primitive(&self) -> PrimitiveType {
+        self.primitive
+    }
+
+    /// Total encoded bits per element, including any sign bit.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Whether the type represents negative values.
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    /// The float format, when this is a float type.
+    pub fn float_format(&self) -> Option<FloatFormat> {
+        self.float_format
+    }
+
+    /// Magnitude width: `bits` for unsigned types, `bits − 1` for signed.
+    pub fn magnitude_bits(&self) -> u32 {
+        if self.signed { self.bits - 1 } else { self.bits }
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            self.primitive,
+            self.bits,
+            if self.signed { "s" } else { "u" }
+        )
+    }
+}
+
+/// How a codec snaps a real value onto its lattice.
+#[derive(Debug, Clone)]
+enum SnapKind {
+    /// Round-to-nearest integer with clamping.
+    IntRound { lo: f32, hi: f32 },
+    /// The hardware flint path (Algorithm 1) on the magnitude.
+    FlintHw(Flint),
+    /// Nearest lattice value by binary search over magnitudes.
+    NearestMagnitude,
+}
+
+/// A materialised codec for a [`DataType`]: the sorted normalized value
+/// lattice plus the snap operation.
+///
+/// The lattice is in *normalized units*; a quantizer maps real data onto it
+/// with a scale factor `s` such that `x ≈ s · snap(x / s)` (paper Eq. (2)).
+#[derive(Debug, Clone)]
+pub struct Codec {
+    dtype: DataType,
+    /// Sorted non-negative magnitudes (excluding sign mirroring).
+    magnitudes: Vec<f32>,
+    max: f32,
+    snap: SnapKind,
+}
+
+impl Codec {
+    /// Builds the codec for `dtype`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBitWidth`] if the type's parameters
+    /// are invalid (cannot happen for types built via `DataType`
+    /// constructors, but guards hand-rolled values).
+    pub fn new(dtype: DataType) -> Result<Self, QuantError> {
+        let mag_bits = dtype.magnitude_bits();
+        match dtype.primitive {
+            PrimitiveType::Int => {
+                let hi = ((1u64 << mag_bits) - 1) as f32;
+                let lo = if dtype.signed { -hi } else { 0.0 };
+                let magnitudes: Vec<f32> = (0..=(hi as u32)).map(|v| v as f32).collect();
+                Ok(Codec { dtype, max: hi, magnitudes, snap: SnapKind::IntRound { lo, hi } })
+            }
+            PrimitiveType::Pot => {
+                let mut magnitudes = vec![0.0f32];
+                for c in 1..(1u32 << mag_bits) {
+                    magnitudes.push(2f32.powi(c as i32 - 1));
+                }
+                let max = *magnitudes.last().expect("non-empty");
+                Ok(Codec { dtype, max, magnitudes, snap: SnapKind::NearestMagnitude })
+            }
+            PrimitiveType::Float => {
+                let fmt = dtype
+                    .float_format
+                    .unwrap_or(FloatFormat::default_for_bits(dtype.bits, dtype.signed)?);
+                let mut magnitudes: Vec<f32> = fmt
+                    .lattice()
+                    .into_iter()
+                    .filter(|&v| v >= 0.0)
+                    .map(|v| v as f32)
+                    .collect();
+                magnitudes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                magnitudes.dedup();
+                let max = *magnitudes.last().expect("non-empty");
+                Ok(Codec { dtype, max, magnitudes, snap: SnapKind::NearestMagnitude })
+            }
+            PrimitiveType::Flint => {
+                let flint = Flint::new(mag_bits)?;
+                let magnitudes: Vec<f32> =
+                    flint.lattice().into_iter().map(|v| v as f32).collect();
+                let max = *magnitudes.last().expect("non-empty");
+                Ok(Codec { dtype, max, magnitudes, snap: SnapKind::FlintHw(flint) })
+            }
+        }
+    }
+
+    /// The data type this codec implements.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Largest representable normalized magnitude.
+    pub fn max_value(&self) -> f32 {
+        self.max
+    }
+
+    /// Sorted non-negative magnitude lattice.
+    pub fn magnitudes(&self) -> &[f32] {
+        &self.magnitudes
+    }
+
+    /// The full signed lattice (mirrored magnitudes for signed types).
+    pub fn lattice(&self) -> Vec<f32> {
+        if self.dtype.signed {
+            let mut v: Vec<f32> = self
+                .magnitudes
+                .iter()
+                .rev()
+                .filter(|&&m| m > 0.0)
+                .map(|&m| -m)
+                .chain(self.magnitudes.iter().copied())
+                .collect();
+            v.dedup();
+            v
+        } else {
+            self.magnitudes.clone()
+        }
+    }
+
+    /// Snaps a normalized value to the nearest representable lattice point,
+    /// using the hardware-faithful path for each primitive: integer rounding
+    /// for `int`, Algorithm 1 (with its double rounding) for `flint`, and
+    /// nearest-value for `PoT`/`float`. Unsigned codecs clamp negatives to
+    /// zero; magnitudes beyond the range clamp to the maximum.
+    pub fn snap(&self, x: f32) -> f32 {
+        match &self.snap {
+            SnapKind::IntRound { lo, hi } => x.round().clamp(*lo, *hi),
+            SnapKind::FlintHw(flint) => {
+                if self.dtype.signed {
+                    let mag = x.abs().round().min(flint.max_value() as f32) as u64;
+                    let q = flint.decode(flint.encode_int(mag)) as f32;
+                    if x < 0.0 {
+                        -q
+                    } else {
+                        q
+                    }
+                } else {
+                    let e = x.round().max(0.0).min(flint.max_value() as f32) as u64;
+                    flint.decode(flint.encode_int(e)) as f32
+                }
+            }
+            SnapKind::NearestMagnitude => {
+                let mag = if self.dtype.signed { x.abs() } else { x.max(0.0) };
+                let q = nearest(&self.magnitudes, mag);
+                if self.dtype.signed && x < 0.0 {
+                    -q
+                } else {
+                    q
+                }
+            }
+        }
+    }
+}
+
+/// Nearest value in a sorted slice (ties go to the lower value).
+fn nearest(sorted: &[f32], x: f32) -> f32 {
+    debug_assert!(!sorted.is_empty());
+    let pos = sorted.partition_point(|&v| v < x);
+    if pos == 0 {
+        sorted[0]
+    } else if pos >= sorted.len() {
+        sorted[sorted.len() - 1]
+    } else {
+        let lo = sorted[pos - 1];
+        let hi = sorted[pos];
+        if x - lo <= hi - x {
+            lo
+        } else {
+            hi
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_display() {
+        assert_eq!(DataType::flint(4, true).unwrap().to_string(), "flint4s");
+        assert_eq!(DataType::int(8, false).unwrap().to_string(), "int8u");
+        assert_eq!(DataType::pot(4, false).unwrap().to_string(), "pot4u");
+    }
+
+    #[test]
+    fn dtype_width_validation() {
+        assert!(DataType::int(1, false).is_err());
+        assert!(DataType::int(17, true).is_err());
+        assert!(DataType::pot(7, false).is_err());
+        assert!(DataType::flint(3, true).is_err()); // magnitude would be 2 bits
+        assert!(DataType::flint(3, false).is_ok());
+        assert!(DataType::float(2, false).is_err());
+    }
+
+    #[test]
+    fn int_codec_signed_symmetric() {
+        let c = Codec::new(DataType::int(4, true).unwrap()).unwrap();
+        assert_eq!(c.max_value(), 7.0);
+        assert_eq!(c.snap(9.3), 7.0);
+        assert_eq!(c.snap(-9.3), -7.0);
+        assert_eq!(c.snap(2.4), 2.0);
+        assert_eq!(c.snap(-2.6), -3.0);
+        let lat = c.lattice();
+        assert_eq!(lat.len(), 15);
+        assert_eq!(lat[0], -7.0);
+    }
+
+    #[test]
+    fn int_codec_unsigned_clamps_negative() {
+        let c = Codec::new(DataType::int(4, false).unwrap()).unwrap();
+        assert_eq!(c.max_value(), 15.0);
+        assert_eq!(c.snap(-3.0), 0.0);
+        assert_eq!(c.snap(15.6), 15.0);
+    }
+
+    #[test]
+    fn pot_codec_lattice() {
+        let c = Codec::new(DataType::pot(4, false).unwrap()).unwrap();
+        assert_eq!(c.magnitudes()[0], 0.0);
+        assert_eq!(c.magnitudes()[1], 1.0);
+        assert_eq!(c.max_value(), 2f32.powi(14));
+        // Nearest: 3.0 is closer to 4 than to 2 (equidistant ties to lower);
+        // 2.9 → 2, 3.1 → 4.
+        assert_eq!(c.snap(2.9), 2.0);
+        assert_eq!(c.snap(3.1), 4.0);
+    }
+
+    #[test]
+    fn signed_pot_is_4bit_float_shaped() {
+        // Paper Sec. VII-E: signed 4-bit float and PoT are identical.
+        let pot = Codec::new(DataType::pot(4, true).unwrap()).unwrap();
+        let flt = Codec::new(DataType::float(4, true).unwrap()).unwrap();
+        let pm = pot.magnitudes();
+        let fm = flt.magnitudes();
+        assert_eq!(pm.len(), fm.len());
+        // Same lattice up to a constant scale factor.
+        let ratio = pm[1] / fm[1];
+        for (p, f) in pm.iter().zip(fm.iter()).skip(1) {
+            assert!((p / f - ratio).abs() < 1e-6, "pot {p} float {f}");
+        }
+    }
+
+    #[test]
+    fn flint_codec_matches_table_ii() {
+        let c = Codec::new(DataType::flint(4, false).unwrap()).unwrap();
+        assert_eq!(
+            c.magnitudes(),
+            &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 12.0, 14.0, 16.0, 24.0, 32.0, 64.0]
+        );
+        assert_eq!(c.snap(11.0), 12.0);
+        assert_eq!(c.snap(100.0), 64.0);
+        assert_eq!(c.snap(-5.0), 0.0);
+    }
+
+    #[test]
+    fn signed_flint_uses_three_bit_magnitude() {
+        let c = Codec::new(DataType::flint(4, true).unwrap()).unwrap();
+        assert_eq!(c.magnitudes(), &[0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0]);
+        assert_eq!(c.snap(-5.2), -6.0);
+        assert_eq!(c.snap(5.2), 6.0);
+        assert_eq!(c.snap(-100.0), -16.0);
+        let lat = c.lattice();
+        assert_eq!(lat.len(), 15); // ±7 magnitudes + 0
+    }
+
+    #[test]
+    fn float_codec_snap_nearest() {
+        let c = Codec::new(DataType::float(4, false).unwrap()).unwrap();
+        // E2M2 max is 7.0
+        assert_eq!(c.max_value(), 7.0);
+        assert_eq!(c.snap(100.0), 7.0);
+        // Between 6 and 7 → nearest
+        assert_eq!(c.snap(6.6), 7.0);
+    }
+
+    #[test]
+    fn snap_is_idempotent_for_all_types() {
+        for dt in [
+            DataType::int(4, true).unwrap(),
+            DataType::int(4, false).unwrap(),
+            DataType::pot(4, true).unwrap(),
+            DataType::float(4, false).unwrap(),
+            DataType::flint(4, true).unwrap(),
+            DataType::flint(5, false).unwrap(),
+        ] {
+            let c = Codec::new(dt).unwrap();
+            for &v in &c.lattice() {
+                assert_eq!(c.snap(v), v, "{dt}: snap({v})");
+            }
+        }
+    }
+
+    #[test]
+    fn snap_never_exceeds_lattice_gap() {
+        for dt in [
+            DataType::flint(4, false).unwrap(),
+            DataType::pot(4, false).unwrap(),
+            DataType::float(4, false).unwrap(),
+        ] {
+            let c = Codec::new(dt).unwrap();
+            let lat = c.lattice();
+            let mut x = 0.0f32;
+            while x <= c.max_value() {
+                let q = c.snap(x);
+                let pos = lat.partition_point(|&v| v < x);
+                let gap = if pos == 0 || pos >= lat.len() {
+                    f32::INFINITY
+                } else {
+                    lat[pos] - lat[pos - 1]
+                };
+                assert!((q - x).abs() <= gap.max(1.0), "{dt}: snap({x}) = {q}");
+                x += 0.37;
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_helper_edges() {
+        let v = [1.0f32, 2.0, 4.0];
+        assert_eq!(nearest(&v, 0.0), 1.0);
+        assert_eq!(nearest(&v, 10.0), 4.0);
+        assert_eq!(nearest(&v, 1.5), 1.0); // tie goes low
+        assert_eq!(nearest(&v, 1.6), 2.0);
+        assert_eq!(nearest(&v, 2.0), 2.0);
+    }
+}

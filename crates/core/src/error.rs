@@ -1,0 +1,117 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for quantization operations in `ant-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// A codec was requested at a bit width it does not support.
+    UnsupportedBitWidth {
+        /// The offending width.
+        bits: u32,
+    },
+    /// A float format's field widths are inconsistent with its total width.
+    InvalidFloatFormat {
+        /// Exponent field width.
+        exp_bits: u32,
+        /// Mantissa field width.
+        man_bits: u32,
+    },
+    /// The data to calibrate on is empty.
+    EmptyCalibration,
+    /// The data contains non-finite values (NaN or infinity).
+    NonFiniteData,
+    /// A signed codec was applied to data requiring the opposite signedness,
+    /// or vice versa (e.g. unsigned codec over negative data).
+    SignednessMismatch {
+        /// Whether the codec is signed.
+        codec_signed: bool,
+        /// Minimum value observed in the data.
+        data_min: f32,
+    },
+    /// No candidate data type was supplied to the selection algorithm.
+    NoCandidates,
+    /// A per-channel operation was requested on an incompatible tensor.
+    ChannelMismatch {
+        /// Channels the quantizer was calibrated for.
+        expected: usize,
+        /// Channels of the tensor supplied.
+        actual: usize,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(ant_tensor::TensorError),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::UnsupportedBitWidth { bits } => {
+                write!(f, "unsupported bit width {bits}")
+            }
+            QuantError::InvalidFloatFormat { exp_bits, man_bits } => {
+                write!(f, "invalid float format E{exp_bits}M{man_bits}")
+            }
+            QuantError::EmptyCalibration => write!(f, "calibration data is empty"),
+            QuantError::NonFiniteData => write!(f, "data contains NaN or infinity"),
+            QuantError::SignednessMismatch { codec_signed, data_min } => write!(
+                f,
+                "signedness mismatch: codec signed={codec_signed}, data min={data_min}"
+            ),
+            QuantError::NoCandidates => write!(f, "candidate type list is empty"),
+            QuantError::ChannelMismatch { expected, actual } => {
+                write!(f, "per-channel quantizer has {expected} channels but tensor has {actual}")
+            }
+            QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for QuantError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QuantError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ant_tensor::TensorError> for QuantError {
+    fn from(e: ant_tensor::TensorError) -> Self {
+        QuantError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_for_all_variants() {
+        let variants: Vec<QuantError> = vec![
+            QuantError::UnsupportedBitWidth { bits: 99 },
+            QuantError::InvalidFloatFormat { exp_bits: 0, man_bits: 9 },
+            QuantError::EmptyCalibration,
+            QuantError::NonFiniteData,
+            QuantError::SignednessMismatch { codec_signed: false, data_min: -1.0 },
+            QuantError::NoCandidates,
+            QuantError::ChannelMismatch { expected: 4, actual: 2 },
+            QuantError::Tensor(ant_tensor::TensorError::Empty),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        let e: QuantError = ant_tensor::TensorError::Empty.into();
+        assert!(matches!(e, QuantError::Tensor(_)));
+        assert!(e.source().is_some());
+        assert!(QuantError::EmptyCalibration.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuantError>();
+    }
+}

@@ -1,0 +1,508 @@
+//! The `flint` primitive data type (paper Sec. IV-A).
+//!
+//! `flint` is a fixed-length b-bit encoding whose exponent/mantissa split
+//! varies *per value interval* using first-one coding: middle-range values
+//! get the most mantissa bits (int-like precision) while very small and very
+//! large values get none (PoT-like range). For b = 4 unsigned this yields the
+//! paper's Table II lattice `{0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 24,
+//! 32, 64}`.
+//!
+//! Three views of a code are provided, all bit-exact against the paper:
+//!
+//! * [`Flint::decode`] — the real value (Table II),
+//! * [`Flint::decode_int`] — the int-based `(base integer, exponent)`
+//!   decomposition of Table III / Fig. 6 (`value = base << exp`),
+//! * [`Flint::decode_float`] — the float-based `(exponent, mantissa)` fields
+//!   of Fig. 5 / Eq. (3)–(4).
+//!
+//! Encoding follows Algorithm 1 exactly (integer pre-quantization, interval
+//! lookup, per-interval mantissa rounding) including the hardware's
+//! double-rounding behaviour, with mantissa-overflow promotion to the next
+//! interval.
+
+use crate::QuantError;
+
+/// Supported flint bit widths (code width including the interval MSB, not
+/// counting any sign bit).
+pub const MIN_BITS: u32 = 3;
+/// Maximum supported flint bit width.
+pub const MAX_BITS: u32 = 8;
+
+/// An unsigned b-bit flint codec.
+///
+/// Signed tensors use a sign bit plus a `(b-1)`-bit unsigned magnitude
+/// (paper Sec. V-C); that wrapping lives in [`crate::DataType`].
+///
+/// # Example
+///
+/// ```
+/// use ant_core::flint::Flint;
+///
+/// let f4 = Flint::new(4)?;
+/// assert_eq!(f4.decode(0b1110), 12);          // paper's worked example
+/// assert_eq!(f4.encode_int(11), 0b1110);      // 11 rounds to 12
+/// assert_eq!(f4.max_value(), 64);
+/// # Ok::<(), ant_core::QuantError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Flint {
+    bits: u32,
+}
+
+/// The int-based decomposition of a flint code: `value = base << exp`
+/// (paper Table III). `base` fits in `bits` bits and `exp` is even.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntDecode {
+    /// Base integer (`bi` in the paper).
+    pub base: u32,
+    /// Left-shift amount (`e` in the paper).
+    pub exp: u32,
+}
+
+/// The float-based decomposition of a flint code (paper Fig. 5):
+/// `value = 2^(exp - 1) * (1 + mantissa / 2^(bits - 1))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatDecode {
+    /// Biased exponent, i.e. the interval index `i`; real exponent is
+    /// `i - 1` (the paper's bias is −1).
+    pub exp: u32,
+    /// Mantissa left-aligned into `bits - 1` fraction bits.
+    pub mantissa: u32,
+}
+
+impl Flint {
+    /// Creates a codec for `bits`-bit unsigned flint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBitWidth`] outside
+    /// [`MIN_BITS`]..=[`MAX_BITS`].
+    pub fn new(bits: u32) -> Result<Self, QuantError> {
+        if !(MIN_BITS..=MAX_BITS).contains(&bits) {
+            return Err(QuantError::UnsupportedBitWidth { bits });
+        }
+        Ok(Flint { bits })
+    }
+
+    /// The code width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of distinct codes, `2^bits`.
+    pub fn num_codes(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// Largest representable value, `2^(2 bits − 2)` (paper Sec. IV-A:
+    /// a b-bit flint has `2b` first-one exponent codes and the value
+    /// interval `[0, 2^(2b−2)]`).
+    pub fn max_value(&self) -> u64 {
+        1u64 << (2 * self.bits - 2)
+    }
+
+    /// Interval index of a non-zero integer value: `i = floor(log2 e) + 1`
+    /// (Algorithm 1 line 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e == 0` or `e > max_value()`.
+    pub fn interval_index(&self, e: u64) -> u32 {
+        assert!(e > 0 && e <= self.max_value(), "interval_index: {e} out of range");
+        e.ilog2() + 1
+    }
+
+    /// Number of mantissa bits available in interval `i`.
+    ///
+    /// Lower intervals (`i < bits`) behave like `int` with `i − 1` usable
+    /// fraction bits; upper intervals shrink back down to 0 (PoT-like).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid interval (`1..=2*bits − 1`).
+    pub fn mantissa_bits(&self, i: u32) -> u32 {
+        let b = self.bits;
+        assert!((1..=2 * b - 1).contains(&i), "invalid interval {i}");
+        if i < b {
+            i - 1
+        } else if i <= 2 * b - 2 {
+            2 * b - i - 2
+        } else {
+            0
+        }
+    }
+
+    /// Decodes a code to its integer value (Table II).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= 2^bits`.
+    pub fn decode(&self, code: u32) -> u64 {
+        let IntDecode { base, exp } = self.decode_int(code);
+        (base as u64) << exp
+    }
+
+    /// Int-based decode to `(base integer, exponent)` per paper Eq. (5)–(6)
+    /// and Table III: MSB 0 keeps the low bits as an int; MSB 1 shifts the
+    /// low bits left by one and derives the exponent as `2 × LZD(low)`, with
+    /// the all-zero low field special-cased to `(1, 2(bits−1))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= 2^bits`.
+    pub fn decode_int(&self, code: u32) -> IntDecode {
+        let b = self.bits;
+        assert!(code < self.num_codes(), "code {code:#b} exceeds {b} bits");
+        let low_mask = (1u32 << (b - 1)) - 1;
+        let low = code & low_mask;
+        if code >> (b - 1) == 0 {
+            IntDecode { base: low, exp: 0 }
+        } else if low == 0 {
+            IntDecode { base: 1, exp: 2 * (b - 1) }
+        } else {
+            let lz = (b - 1) - (low.ilog2() + 1); // leading zeros in a (b-1)-bit field
+            IntDecode { base: low << 1, exp: 2 * lz }
+        }
+    }
+
+    /// Float-based decode to `(exponent, mantissa)` per paper Eq. (3)–(4).
+    ///
+    /// The returned exponent is the interval index `i` (so the real exponent
+    /// with the paper's bias of −1 is `i − 1`), and the mantissa is the low
+    /// field shifted left past its first one, left-aligned in `bits − 1`
+    /// fraction bits. The all-zeros code decodes to `(0, 0)` meaning zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= 2^bits`.
+    pub fn decode_float(&self, code: u32) -> FloatDecode {
+        let b = self.bits;
+        assert!(code < self.num_codes(), "code {code:#b} exceeds {b} bits");
+        if code == 0 {
+            return FloatDecode { exp: 0, mantissa: 0 };
+        }
+        let low_mask = (1u32 << (b - 1)) - 1;
+        let low = code & low_mask;
+        let lz = if low == 0 { b - 1 } else { (b - 1) - (low.ilog2() + 1) };
+        let exp = if code >> (b - 1) == 0 {
+            // Eq. (3), b3 = 0 case: exponent = (b-1) - LZD(low).
+            (b - 1) - lz
+        } else {
+            // Eq. (3), b3 = 1 case: exponent = b + LZD(low).
+            b + lz
+        };
+        // Eq. (4): mantissa = low << (LZD + 1), truncated to b-1 bits.
+        let mantissa = (low << (lz + 1)) & low_mask;
+        FloatDecode { exp, mantissa }
+    }
+
+    /// Real value of a [`FloatDecode`], for checking the two decoders agree.
+    pub fn float_decode_value(&self, fd: FloatDecode) -> f64 {
+        if fd.exp == 0 && fd.mantissa == 0 {
+            return 0.0;
+        }
+        let frac_bits = self.bits - 1;
+        let frac = 1.0 + fd.mantissa as f64 / (1u64 << frac_bits) as f64;
+        // Bias of −1: real exponent is interval index − 1.
+        frac * 2f64.powi(fd.exp as i32 - 1)
+    }
+
+    /// Encodes an integer value `e ∈ [0, max_value()]` to the nearest flint
+    /// code, following Algorithm 1: interval lookup, mantissa rounding
+    /// (round-half-away-from-zero) and promotion to the next interval on
+    /// mantissa overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e > max_value()`.
+    pub fn encode_int(&self, e: u64) -> u32 {
+        let b = self.bits;
+        assert!(e <= self.max_value(), "encode_int: {e} exceeds max {}", self.max_value());
+        if e == 0 {
+            return 0;
+        }
+        let mut i = self.interval_index(e);
+        // In the int region the value is already on the lattice.
+        if i < b {
+            return e as u32;
+        }
+        let mut e = e;
+        loop {
+            if i == 2 * b - 1 {
+                return 1 << (b - 1); // the single max-value code
+            }
+            let mb = self.mantissa_bits(i);
+            // m = round((e / 2^(i-1) − 1) · 2^mb)   (Algorithm 1 line 10)
+            let base = 1u64 << (i - 1);
+            let m = (((e - base) as f64 / base as f64) * (1u64 << mb) as f64).round() as u64;
+            if m >= (1u64 << mb) {
+                // Mantissa overflow: the value rounds up onto the next
+                // interval's first lattice point, 2^i.
+                e = 1u64 << i;
+                i += 1;
+                continue;
+            }
+            // Code layout: MSB 1, (i−b) zeros, a 1 marker, then mb mantissa
+            // bits — except the int region handled above.
+            return (1u32 << (b - 1)) | (1u32 << mb) | m as u32;
+        }
+    }
+
+    /// Quantizes a real value `x ≥ 0` with scale factor `scale`, returning
+    /// the flint code (the full `FlintQuant` of Algorithm 1: integer
+    /// pre-quantization with clamping, then [`Flint::encode_int`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not a positive finite number.
+    pub fn quantize(&self, x: f32, scale: f32) -> u32 {
+        assert!(scale.is_finite() && scale > 0.0, "invalid scale {scale}");
+        let e = (x / scale).round().max(0.0) as u64;
+        self.encode_int(e.min(self.max_value()))
+    }
+
+    /// Dequantizes a code back to the real domain.
+    pub fn dequantize(&self, code: u32, scale: f32) -> f32 {
+        self.decode(code) as f32 * scale
+    }
+
+    /// All representable values in code order (the Table II "Value in
+    /// Decimal" column when sorted).
+    pub fn value_table(&self) -> Vec<u64> {
+        (0..self.num_codes()).map(|c| self.decode(c)).collect()
+    }
+
+    /// The sorted, deduplicated set of representable values.
+    pub fn lattice(&self) -> Vec<u64> {
+        let mut v = self.value_table();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f4() -> Flint {
+        Flint::new(4).unwrap()
+    }
+
+    #[test]
+    fn rejects_unsupported_widths() {
+        assert!(Flint::new(2).is_err());
+        assert!(Flint::new(9).is_err());
+        for b in MIN_BITS..=MAX_BITS {
+            assert!(Flint::new(b).is_ok());
+        }
+    }
+
+    #[test]
+    fn table_ii_value_table_exact() {
+        // Paper Table II: 4-bit unsigned flint with bias −1.
+        let expect: [(u32, u64); 16] = [
+            (0b0000, 0),
+            (0b0001, 1),
+            (0b0010, 2),
+            (0b0011, 3),
+            (0b0100, 4),
+            (0b0101, 5),
+            (0b0110, 6),
+            (0b0111, 7),
+            (0b1100, 8),
+            (0b1101, 10),
+            (0b1110, 12),
+            (0b1111, 14),
+            (0b1010, 16),
+            (0b1011, 24),
+            (0b1001, 32),
+            (0b1000, 64),
+        ];
+        for (code, value) in expect {
+            assert_eq!(f4().decode(code), value, "code {code:04b}");
+        }
+    }
+
+    #[test]
+    fn table_iii_int_decode_exact() {
+        // Paper Table III rows.
+        let f = f4();
+        for code in 0b0000..=0b0111u32 {
+            let d = f.decode_int(code);
+            assert_eq!((d.base, d.exp), (code, 0));
+        }
+        for (code, base) in [(0b1100u32, 8u32), (0b1101, 10), (0b1110, 12), (0b1111, 14)] {
+            let d = f.decode_int(code);
+            assert_eq!((d.base, d.exp), (base, 0));
+        }
+        for (code, base) in [(0b1010u32, 4u32), (0b1011, 6)] {
+            let d = f.decode_int(code);
+            assert_eq!((d.base, d.exp), (base, 2));
+        }
+        let d = f.decode_int(0b1001);
+        assert_eq!((d.base, d.exp), (2, 4));
+        let d = f.decode_int(0b1000);
+        assert_eq!((d.base, d.exp), (1, 6));
+    }
+
+    #[test]
+    fn paper_worked_example_1110_is_12() {
+        // Sec. IV-A: flint 1110 has exponent 4−1=3, fraction 1.5, value 12.
+        let f = f4();
+        assert_eq!(f.decode(0b1110), 12);
+        let fd = f.decode_float(0b1110);
+        assert_eq!(fd.exp, 4);
+        // mantissa 110 << 1 = 100₂ left-aligned in 3 bits => fraction .100 = 0.5
+        assert_eq!(fd.mantissa, 0b100);
+        assert!((f.float_decode_value(fd) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_worked_example_encode_11_to_1110() {
+        // Sec. IV-A encoding example: decimal 11 → interval i=4, m=round(1.5)=2,
+        // code 1110 (value 12).
+        assert_eq!(f4().encode_int(11), 0b1110);
+        assert_eq!(f4().decode(0b1110), 12);
+    }
+
+    #[test]
+    fn float_decode_agrees_with_int_decode_everywhere() {
+        for b in MIN_BITS..=MAX_BITS {
+            let f = Flint::new(b).unwrap();
+            for code in 0..f.num_codes() {
+                let via_int = f.decode(code) as f64;
+                let via_float = f.float_decode_value(f.decode_float(code));
+                assert_eq!(via_int, via_float, "b={b} code={code:0width$b}", width = b as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_on_lattice() {
+        for b in MIN_BITS..=MAX_BITS {
+            let f = Flint::new(b).unwrap();
+            for code in 0..f.num_codes() {
+                let v = f.decode(code);
+                let re = f.encode_int(v);
+                assert_eq!(f.decode(re), v, "b={b} code={code:b} value={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_rounds_to_nearest_neighbour_of_lattice() {
+        // Algorithm 1 rounds within the interval of e; verify the result is
+        // always one of the two lattice neighbours and within half a step.
+        for b in MIN_BITS..=MAX_BITS {
+            let f = Flint::new(b).unwrap();
+            let lattice = f.lattice();
+            for e in 0..=f.max_value() {
+                let q = f.decode(f.encode_int(e));
+                let nearest = lattice
+                    .iter()
+                    .min_by_key(|&&v| (v as i64 - e as i64).unsigned_abs())
+                    .copied()
+                    .unwrap();
+                let err = (q as i64 - e as i64).unsigned_abs();
+                let best = (nearest as i64 - e as i64).unsigned_abs();
+                // Hardware double rounding may pick the other neighbour but
+                // never anything worse than the next lattice gap.
+                let pos = lattice.partition_point(|&v| v < e);
+                let gap = if pos == 0 || pos >= lattice.len() {
+                    best
+                } else {
+                    lattice[pos] - lattice[pos - 1]
+                };
+                assert!(
+                    err <= best.max(gap),
+                    "b={b} e={e}: got {q} (err {err}), nearest {nearest} (err {best})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interval_and_mantissa_bits_match_fig3() {
+        // Fig. 3: the eight interval codes 0000,0001,001x,01xx,11xx,101x,
+        // 1001,1000 carry 0,0,1,2,2,1,0,0 mantissa bits; the zero code has
+        // no interval index, so i = 1..7 carry 0,1,2,2,1,0,0.
+        let f = f4();
+        let expect = [0u32, 1, 2, 2, 1, 0, 0];
+        for (i, &mb) in (1..=7u32).zip(expect.iter()) {
+            assert_eq!(f.mantissa_bits(i), mb, "interval {i}");
+        }
+        assert_eq!(f.interval_index(1), 1);
+        assert_eq!(f.interval_index(7), 3);
+        assert_eq!(f.interval_index(8), 4);
+        assert_eq!(f.interval_index(64), 7);
+    }
+
+    #[test]
+    fn max_value_scales_with_bits() {
+        for (b, max) in [(3u32, 16u64), (4, 64), (5, 256), (6, 1024), (7, 4096), (8, 16384)] {
+            assert_eq!(Flint::new(b).unwrap().max_value(), max);
+        }
+    }
+
+    #[test]
+    fn three_bit_lattice_matches_sec_v_c() {
+        // Sec. V-C signed example uses the 3-bit magnitude lattice
+        // {0, 1, 2, 3, 4, 6, 8, 16}.
+        let f = Flint::new(3).unwrap();
+        assert_eq!(f.lattice(), vec![0, 1, 2, 3, 4, 6, 8, 16]);
+    }
+
+    #[test]
+    fn lattice_is_strictly_monotonic_with_unique_codes() {
+        for b in MIN_BITS..=MAX_BITS {
+            let f = Flint::new(b).unwrap();
+            let table = f.value_table();
+            let lattice = f.lattice();
+            assert_eq!(table.len(), lattice.len(), "b={b}: duplicate decoded values");
+            assert_eq!(lattice.len(), f.num_codes() as usize);
+        }
+    }
+
+    #[test]
+    fn quantize_applies_scale_and_clamps() {
+        let f = f4();
+        // scale 0.5: x=6.0 → e=12 → exact code for 12.
+        let c = f.quantize(6.0, 0.5);
+        assert_eq!(f.decode(c), 12);
+        assert_eq!(f.dequantize(c, 0.5), 6.0);
+        // Above range clamps to max.
+        assert_eq!(f.decode(f.quantize(1e6, 0.5)), 64);
+        // Negative clamps to zero (unsigned codec).
+        assert_eq!(f.quantize(-3.0, 0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scale")]
+    fn quantize_rejects_bad_scale() {
+        f4().quantize(1.0, 0.0);
+    }
+
+    #[test]
+    fn mantissa_overflow_promotes_interval() {
+        let f = f4();
+        // e=15: interval 4 mantissa round((15/8-1)*4)=round(3.5)=4 overflows
+        // → promoted to 16.
+        assert_eq!(f.decode(f.encode_int(15)), 16);
+        // e=63: interval 6, m=round((63/32-1)*1)=1 overflows → 64.
+        assert_eq!(f.decode(f.encode_int(63)), 64);
+    }
+
+    #[test]
+    fn int_decode_base_fits_hardware_width() {
+        // Fig. 6: the decoded base integer is a bits-wide quantity.
+        for b in MIN_BITS..=MAX_BITS {
+            let f = Flint::new(b).unwrap();
+            for code in 0..f.num_codes() {
+                let d = f.decode_int(code);
+                assert!(d.base < (1 << b), "b={b} code={code:b} base={}", d.base);
+                assert_eq!(d.exp % 2, 0, "exponent is always even (Eq. 6)");
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! # ANT: Adaptive Numerical Data Type for Low-bit DNN Quantization
+//!
+//! This crate is the core of a Rust reproduction of *"ANT: Exploiting
+//! Adaptive Numerical Data Type for Low-bit Deep Neural Network
+//! Quantization"* (Guo et al., MICRO 2022). It implements:
+//!
+//! * [`flint`] — the paper's composite fixed-length primitive: first-one
+//!   coded exponent/mantissa split that is `int`-like for mid-range values
+//!   and `PoT`-like at the extremes (Sec. IV-A, Tables II/III),
+//! * [`DataType`]/[`Codec`] — the unified view over the four primitives
+//!   (`int`, `PoT`, `float`, `flint`) at any supported width/signedness,
+//! * [`Quantizer`]/[`TensorQuantizer`] — min-MSE range clipping (the
+//!   `ArgminMSE` of Algorithm 2) with per-tensor and per-channel scales,
+//! * [`select`] — the inter-tensor type-selection algorithm (Algorithm 2),
+//! * [`mixed`] — the layer-wise 4→8-bit mixed-precision controller,
+//! * [`baselines`] — AdaptiveFloat, BiScaled, GOBO and OLAccel, the
+//!   quantization schemes ANT is evaluated against,
+//! * [`pack`] — fixed-length bit packing (the aligned-memory property of
+//!   Table I),
+//! * [`posit`] — a `posit<n, es>` codec for the Sec. VIII comparison
+//!   against variable-length tapered formats.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ant_core::select::{select_type_auto, PrimitiveCombo};
+//! use ant_core::{ClipSearch, Granularity};
+//! use ant_tensor::dist::{sample_tensor, Distribution};
+//!
+//! // A Gaussian weight tensor, as most DNN layers exhibit (paper Fig. 1).
+//! let w = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 0.02 }, &[64, 64], 1);
+//!
+//! // Algorithm 2: pick the best 4-bit primitive and calibrate scales.
+//! let sel = select_type_auto(
+//!     &w,
+//!     PrimitiveCombo::IntPotFlint,
+//!     4,
+//!     Granularity::PerChannel,
+//!     ClipSearch::default(),
+//! )?;
+//! let quantized = sel.quantizer.apply(&w)?;
+//! assert_eq!(quantized.dims(), w.dims());
+//! # Ok::<(), ant_core::QuantError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod dtype;
+mod error;
+mod quantizer;
+
+pub mod baselines;
+pub mod flint;
+pub mod minifloat;
+pub mod mixed;
+pub mod pack;
+pub mod posit;
+pub mod select;
+
+pub use dtype::{Codec, DataType, PrimitiveType};
+pub use error::QuantError;
+pub use quantizer::{ClipSearch, Granularity, Quantizer, TensorQuantizer};

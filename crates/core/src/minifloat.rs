@@ -1,0 +1,255 @@
+//! Parametric low-bit floating-point formats (`float` in the paper's
+//! candidate list, plus the AdaptiveFloat baseline's element format).
+//!
+//! A [`FloatFormat`] is the classical `sign? / E exponent bits / M mantissa
+//! bits` layout of Eq. (1) in the paper, with IEEE-style subnormals so the
+//! lattice reaches zero gracefully. The paper's observations hinge on this
+//! format's *rigid resolution*: exponentially finer spacing toward zero,
+//! which wastes representation space on unimportant small values (Sec. I).
+
+use crate::QuantError;
+
+/// A miniature floating-point format.
+///
+/// # Example
+///
+/// ```
+/// use ant_core::minifloat::FloatFormat;
+///
+/// // The unsigned 4-bit float with a 2-bit exponent from paper Fig. 3.
+/// let f = FloatFormat::new(2, 2, false)?;
+/// assert_eq!(f.total_bits(), 4);
+/// let lattice = f.lattice();
+/// assert_eq!(lattice.len(), 16);
+/// # Ok::<(), ant_core::QuantError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatFormat {
+    exp_bits: u32,
+    man_bits: u32,
+    signed: bool,
+    bias: i32,
+}
+
+impl FloatFormat {
+    /// Creates a format with the default bias `2^(E−1) − 1` (or 0 when
+    /// `E == 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidFloatFormat`] when `exp_bits == 0` or
+    /// the total width exceeds 16 bits.
+    pub fn new(exp_bits: u32, man_bits: u32, signed: bool) -> Result<Self, QuantError> {
+        let default_bias = if exp_bits >= 1 { (1i32 << (exp_bits - 1)) - 1 } else { 0 };
+        Self::with_bias(exp_bits, man_bits, signed, default_bias)
+    }
+
+    /// Creates a format with an explicit exponent bias (AdaptiveFloat's
+    /// tensor-wise bias, paper Sec. II-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidFloatFormat`] when `exp_bits == 0` or
+    /// the total width exceeds 16 bits.
+    pub fn with_bias(
+        exp_bits: u32,
+        man_bits: u32,
+        signed: bool,
+        bias: i32,
+    ) -> Result<Self, QuantError> {
+        let total = exp_bits + man_bits + u32::from(signed);
+        if exp_bits == 0 || total > 16 {
+            return Err(QuantError::InvalidFloatFormat { exp_bits, man_bits });
+        }
+        Ok(FloatFormat { exp_bits, man_bits, signed, bias })
+    }
+
+    /// The paper's default b-bit float candidate: unsigned uses a 2-bit
+    /// exponent (Fig. 3 "Float 2-bit Exp."); signed spends one bit on sign
+    /// and uses a 3-bit exponent for b = 4, which makes it value-identical
+    /// to signed PoT exactly as Sec. VII-E observes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBitWidth`] when `bits < 3`.
+    pub fn default_for_bits(bits: u32, signed: bool) -> Result<Self, QuantError> {
+        if bits < 3 {
+            return Err(QuantError::UnsupportedBitWidth { bits });
+        }
+        if signed {
+            // 1 sign + (bits-1) split favouring exponent: E = bits-1-M with
+            // M chosen so 4-bit → E3M0 (PoT-equivalent per the paper).
+            let exp = (bits - 1).min(3);
+            let man = bits - 1 - exp;
+            FloatFormat::new(exp, man, true)
+        } else {
+            let exp = 2.min(bits - 1);
+            let man = bits - exp;
+            FloatFormat::new(exp, man, false)
+        }
+    }
+
+    /// Exponent field width.
+    pub fn exp_bits(&self) -> u32 {
+        self.exp_bits
+    }
+
+    /// Mantissa field width.
+    pub fn man_bits(&self) -> u32 {
+        self.man_bits
+    }
+
+    /// Whether the format has a sign bit.
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    /// Exponent bias.
+    pub fn bias(&self) -> i32 {
+        self.bias
+    }
+
+    /// Total encoded width including any sign bit.
+    pub fn total_bits(&self) -> u32 {
+        self.exp_bits + self.man_bits + u32::from(self.signed)
+    }
+
+    /// Number of distinct codes.
+    pub fn num_codes(&self) -> u32 {
+        1 << self.total_bits()
+    }
+
+    /// Decodes a code (sign ++ exponent ++ mantissa, sign highest) to its
+    /// real value. Exponent field 0 is subnormal: `2^(1−bias) · m/2^M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= num_codes()`.
+    pub fn decode(&self, code: u32) -> f64 {
+        assert!(code < self.num_codes(), "code out of range");
+        let man_mask = (1u32 << self.man_bits) - 1;
+        let m = code & man_mask;
+        let e = (code >> self.man_bits) & ((1 << self.exp_bits) - 1);
+        let neg = self.signed && (code >> (self.exp_bits + self.man_bits)) & 1 == 1;
+        let frac_den = (1u64 << self.man_bits) as f64;
+        let mag = if e == 0 {
+            // Subnormal range.
+            2f64.powi(1 - self.bias) * (m as f64 / frac_den)
+        } else {
+            2f64.powi(e as i32 - self.bias) * (1.0 + m as f64 / frac_den)
+        };
+        if neg {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Largest finite magnitude.
+    pub fn max_value(&self) -> f64 {
+        let emax = (1i32 << self.exp_bits) - 1;
+        2f64.powi(emax - self.bias) * (2.0 - 1.0 / (1u64 << self.man_bits) as f64)
+    }
+
+    /// The sorted set of representable values (including negatives for
+    /// signed formats; −0 and +0 collapse to a single 0).
+    pub fn lattice(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = (0..self.num_codes()).map(|c| self.decode(c)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite lattice"));
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(FloatFormat::new(0, 3, false).is_err());
+        assert!(FloatFormat::new(9, 9, false).is_err());
+        assert!(FloatFormat::new(2, 2, false).is_ok());
+    }
+
+    #[test]
+    fn e2m2_unsigned_lattice() {
+        // E2M2, bias 1: subnormals {0, .25, .5, .75}·2^0, then
+        // e=1: 1..1.75, e=2: 2..3.5, e=3: 4..7.
+        let f = FloatFormat::new(2, 2, false).unwrap();
+        let lat = f.lattice();
+        assert_eq!(lat.len(), 16);
+        assert_eq!(lat[0], 0.0);
+        assert_eq!(*lat.last().unwrap(), 7.0);
+        assert!((f.max_value() - 7.0).abs() < 1e-12);
+        // Subnormal spacing equals first normal spacing (no gap at the
+        // subnormal boundary).
+        assert!((lat[1] - 0.25).abs() < 1e-12);
+        assert!((lat[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_format_is_symmetric() {
+        let f = FloatFormat::new(3, 0, true).unwrap();
+        let lat = f.lattice();
+        // Symmetric: for every v, −v is present.
+        for &v in &lat {
+            assert!(lat.iter().any(|&u| u == -v), "missing -{v}");
+        }
+        // ±0 collapse: 2^4 codes → 15 distinct values.
+        assert_eq!(lat.len(), 15);
+    }
+
+    #[test]
+    fn signed_4bit_default_equals_pot_shape() {
+        // Paper Sec. VII-E: signed 4-bit float and PoT are identical.
+        let f = FloatFormat::default_for_bits(4, true).unwrap();
+        assert_eq!((f.exp_bits(), f.man_bits()), (3, 0));
+        let lat = f.lattice();
+        let pos: Vec<f64> = lat.iter().copied().filter(|&v| v > 0.0).collect();
+        // All positive values are powers of two.
+        for v in pos {
+            assert_eq!(v.log2().fract(), 0.0, "{v} not a power of two");
+        }
+    }
+
+    #[test]
+    fn unsigned_default_is_e2() {
+        let f = FloatFormat::default_for_bits(4, false).unwrap();
+        assert_eq!((f.exp_bits(), f.man_bits()), (2, 2));
+        assert_eq!(f.total_bits(), 4);
+    }
+
+    #[test]
+    fn bias_shifts_lattice() {
+        let a = FloatFormat::with_bias(2, 2, false, 0).unwrap();
+        let b = FloatFormat::with_bias(2, 2, false, 2).unwrap();
+        // Same shape, scaled by 2^-2.
+        let la = a.lattice();
+        let lb = b.lattice();
+        for (x, y) in la.iter().zip(&lb) {
+            assert!((x / 4.0 - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decode_monotonic_in_unsigned_code() {
+        let f = FloatFormat::new(3, 2, false).unwrap();
+        let mut prev = -1.0;
+        for c in 0..f.num_codes() {
+            let v = f.decode(c);
+            assert!(v > prev, "code {c}: {v} <= {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn rigid_resolution_near_zero() {
+        // The paper's critique: float resolution increases toward zero.
+        let f = FloatFormat::new(3, 1, false).unwrap();
+        let lat = f.lattice();
+        let small_gap = lat[2] - lat[1];
+        let large_gap = lat[lat.len() - 1] - lat[lat.len() - 2];
+        assert!(large_gap > small_gap * 8.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Layer-wise mixed-precision controller (paper Sec. IV-C "Mixed
+//! Precision" and Sec. V-D).
+//!
+//! ANT's 4-bit type alone cannot always match full-precision accuracy, so
+//! the paper promotes layers to 8-bit `int`, one at a time in descending
+//! quantization-MSE order, fine-tuning in between, until the quantized
+//! model is within a preset threshold of the original. [`run_mixed_precision`]
+//! implements exactly that loop over any [`MixedPrecisionTarget`] (the DNN
+//! framework in `ant-nn` implements the trait; tests here use a synthetic
+//! model).
+
+/// Precision assignment of a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// 4-bit ANT (the default starting point).
+    Ant4,
+    /// Promoted to 8-bit int.
+    Int8,
+}
+
+/// A model that the mixed-precision controller can drive.
+///
+/// Implementations quantize their layers at the requested precisions,
+/// optionally fine-tune, and report a quality metric (accuracy in the
+/// paper; any higher-is-better score works).
+pub trait MixedPrecisionTarget {
+    /// Number of quantizable layers.
+    fn num_layers(&self) -> usize;
+
+    /// Quantization MSE of layer `layer` under its current precision
+    /// assignment (used to rank promotion candidates).
+    fn layer_mse(&self, layer: usize) -> f64;
+
+    /// Sets the precision of one layer.
+    fn set_precision(&mut self, layer: usize, precision: Precision);
+
+    /// Re-quantizes / fine-tunes under the current assignment and returns
+    /// the quality metric (higher is better).
+    fn evaluate(&mut self) -> f64;
+}
+
+/// Configuration for the promotion loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedPrecisionConfig {
+    /// Stop once `baseline_metric − metric <= threshold`.
+    pub threshold: f64,
+    /// Upper bound on promotions (defaults to "all layers").
+    pub max_promotions: Option<usize>,
+}
+
+impl Default for MixedPrecisionConfig {
+    fn default() -> Self {
+        // The paper uses <0.1% loss for CNNs and <1% for Transformers;
+        // 0.01 (1 percentage point on a 0..1 accuracy) is the looser bound.
+        MixedPrecisionConfig { threshold: 0.01, max_promotions: None }
+    }
+}
+
+/// Result of the mixed-precision search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedPrecisionReport {
+    /// Final per-layer precisions.
+    pub precisions: Vec<Precision>,
+    /// Quality metric after each evaluation (index 0 = all-4-bit).
+    pub metric_trace: Vec<f64>,
+    /// Layers promoted, in promotion order.
+    pub promoted: Vec<usize>,
+    /// Whether the threshold was met.
+    pub converged: bool,
+}
+
+impl MixedPrecisionReport {
+    /// Fraction of layers still at 4-bit ANT (the paper reports up to 91%
+    /// of tensors staying at 4 bits, Sec. V-D).
+    pub fn low_bit_ratio(&self) -> f64 {
+        if self.precisions.is_empty() {
+            return 1.0;
+        }
+        let low = self.precisions.iter().filter(|p| **p == Precision::Ant4).count();
+        low as f64 / self.precisions.len() as f64
+    }
+}
+
+/// Runs the paper's promotion loop: start all layers at 4-bit ANT, then
+/// repeatedly promote the remaining 4-bit layer with the greatest MSE to
+/// 8-bit int and re-evaluate, until the metric is within
+/// `config.threshold` of `baseline_metric` (or promotions are exhausted).
+pub fn run_mixed_precision<T: MixedPrecisionTarget + ?Sized>(
+    target: &mut T,
+    baseline_metric: f64,
+    config: MixedPrecisionConfig,
+) -> MixedPrecisionReport {
+    let n = target.num_layers();
+    let mut precisions = vec![Precision::Ant4; n];
+    for l in 0..n {
+        target.set_precision(l, Precision::Ant4);
+    }
+    let mut metric_trace = vec![target.evaluate()];
+    let mut promoted = Vec::new();
+    let budget = config.max_promotions.unwrap_or(n).min(n);
+    let mut converged = baseline_metric - metric_trace[0] <= config.threshold;
+    while !converged && promoted.len() < budget {
+        // Greatest-MSE layer still at 4 bits (paper: "enlarge the bit width
+        // of a layer with the greatest MSE to 8 bits").
+        let candidate = (0..n)
+            .filter(|l| precisions[*l] == Precision::Ant4)
+            .max_by(|&a, &b| {
+                target
+                    .layer_mse(a)
+                    .partial_cmp(&target.layer_mse(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        let Some(layer) = candidate else { break };
+        precisions[layer] = Precision::Int8;
+        target.set_precision(layer, Precision::Int8);
+        promoted.push(layer);
+        let metric = target.evaluate();
+        metric_trace.push(metric);
+        converged = baseline_metric - metric <= config.threshold;
+    }
+    MixedPrecisionReport { precisions, metric_trace, promoted, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic target: each layer contributes an accuracy penalty when
+    /// at 4 bits, removed by promotion; MSE ranks the penalties.
+    struct Synthetic {
+        penalties: Vec<f64>,
+        precisions: Vec<Precision>,
+    }
+
+    impl Synthetic {
+        fn new(penalties: Vec<f64>) -> Self {
+            let n = penalties.len();
+            Synthetic { penalties, precisions: vec![Precision::Ant4; n] }
+        }
+    }
+
+    impl MixedPrecisionTarget for Synthetic {
+        fn num_layers(&self) -> usize {
+            self.penalties.len()
+        }
+        fn layer_mse(&self, layer: usize) -> f64 {
+            self.penalties[layer]
+        }
+        fn set_precision(&mut self, layer: usize, precision: Precision) {
+            self.precisions[layer] = precision;
+        }
+        fn evaluate(&mut self) -> f64 {
+            let loss: f64 = self
+                .penalties
+                .iter()
+                .zip(&self.precisions)
+                .filter(|(_, p)| **p == Precision::Ant4)
+                .map(|(pen, _)| pen)
+                .sum();
+            1.0 - loss
+        }
+    }
+
+    #[test]
+    fn promotes_highest_mse_first() {
+        let mut t = Synthetic::new(vec![0.001, 0.05, 0.002, 0.03]);
+        let report = run_mixed_precision(
+            &mut t,
+            1.0,
+            MixedPrecisionConfig { threshold: 0.01, max_promotions: None },
+        );
+        // Promote layer 1 (0.05) then layer 3 (0.03): residual loss 0.003.
+        assert_eq!(report.promoted, vec![1, 3]);
+        assert!(report.converged);
+        assert_eq!(report.precisions[1], Precision::Int8);
+        assert_eq!(report.precisions[0], Precision::Ant4);
+        assert!((report.low_bit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_promotion_needed_when_within_threshold() {
+        let mut t = Synthetic::new(vec![0.001, 0.002]);
+        let report = run_mixed_precision(&mut t, 1.0, MixedPrecisionConfig::default());
+        assert!(report.converged);
+        assert!(report.promoted.is_empty());
+        assert_eq!(report.low_bit_ratio(), 1.0);
+        assert_eq!(report.metric_trace.len(), 1);
+    }
+
+    #[test]
+    fn budget_caps_promotions() {
+        let mut t = Synthetic::new(vec![0.5, 0.5, 0.5]);
+        let report = run_mixed_precision(
+            &mut t,
+            1.0,
+            MixedPrecisionConfig { threshold: 0.0, max_promotions: Some(2) },
+        );
+        assert_eq!(report.promoted.len(), 2);
+        assert!(!report.converged);
+    }
+
+    #[test]
+    fn promotes_everything_when_necessary() {
+        let mut t = Synthetic::new(vec![0.1, 0.2, 0.3]);
+        let report = run_mixed_precision(
+            &mut t,
+            1.0,
+            MixedPrecisionConfig { threshold: 0.0, max_promotions: None },
+        );
+        assert_eq!(report.promoted.len(), 3);
+        assert!(report.converged);
+        assert_eq!(report.low_bit_ratio(), 0.0);
+        // Promotion order is descending penalty.
+        assert_eq!(report.promoted, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_model_is_trivially_converged() {
+        let mut t = Synthetic::new(vec![]);
+        let report = run_mixed_precision(&mut t, 1.0, MixedPrecisionConfig::default());
+        assert!(report.converged);
+        assert_eq!(report.low_bit_ratio(), 1.0);
+    }
+}

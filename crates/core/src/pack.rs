@@ -1,0 +1,212 @@
+//! Packed quantized tensors: the memory-system view of ANT's fixed-length
+//! claim (paper Table I, "Aligned" column).
+//!
+//! ANT stores every element of a tensor in exactly `bits` bits, so a
+//! tensor packs into `⌈n·bits/8⌉` bytes with direct random access — no
+//! decoder between DRAM and the PE array boundary. [`PackedTensor`] holds
+//! that representation together with its scale(s). For contrast,
+//! [`variable_length_size`] computes the storage an outlier-aware
+//! variable-length scheme needs, including the index metadata that breaks
+//! alignment (Sec. III-B's argument against OLAccel/GOBO-style encodings).
+
+use crate::dtype::DataType;
+use crate::QuantError;
+
+/// A quantized tensor in packed little-endian bit order: element `i`
+/// occupies bits `[i·b, (i+1)·b)` of the byte stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedTensor {
+    dtype: DataType,
+    len: usize,
+    scales: Vec<f32>,
+    bytes: Vec<u8>,
+}
+
+impl PackedTensor {
+    /// Packs element codes (each `< 2^bits`) with the given scales.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBitWidth`] when codes exceed the
+    /// type's width, or [`QuantError::EmptyCalibration`] when `scales` is
+    /// empty.
+    pub fn pack(dtype: DataType, codes: &[u32], scales: Vec<f32>) -> Result<Self, QuantError> {
+        if scales.is_empty() {
+            return Err(QuantError::EmptyCalibration);
+        }
+        let bits = dtype.bits();
+        let mask = (1u64 << bits) - 1;
+        if codes.iter().any(|&c| c as u64 > mask) {
+            return Err(QuantError::UnsupportedBitWidth { bits });
+        }
+        let total_bits = codes.len() * bits as usize;
+        let mut bytes = vec![0u8; total_bits.div_ceil(8)];
+        for (i, &code) in codes.iter().enumerate() {
+            let bit = i * bits as usize;
+            let byte = bit / 8;
+            let off = bit % 8;
+            // A code spans at most three bytes for widths ≤ 16.
+            let v = (code as u32 as u64) << off;
+            bytes[byte] |= (v & 0xFF) as u8;
+            if off + bits as usize > 8 {
+                bytes[byte + 1] |= ((v >> 8) & 0xFF) as u8;
+            }
+            if off + bits as usize > 16 {
+                bytes[byte + 2] |= ((v >> 16) & 0xFF) as u8;
+            }
+        }
+        Ok(PackedTensor { dtype, len: codes.len(), scales, bytes })
+    }
+
+    /// The element data type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The per-channel (or single per-tensor) scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The packed byte stream.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Storage size in bytes: exactly `⌈len·bits/8⌉` — the aligned,
+    /// fixed-length property.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Random access: the code of element `i`. O(1) — the point of
+    /// fixed-length encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn code(&self, i: usize) -> u32 {
+        assert!(i < self.len, "index {i} out of range");
+        let bits = self.dtype.bits() as usize;
+        let bit = i * bits;
+        let byte = bit / 8;
+        let off = bit % 8;
+        let mut v = self.bytes[byte] as u64 >> off;
+        if off + bits > 8 {
+            v |= (self.bytes[byte + 1] as u64) << (8 - off);
+        }
+        if off + bits > 16 {
+            v |= (self.bytes[byte + 2] as u64) << (16 - off);
+        }
+        (v & ((1 << bits) - 1)) as u32
+    }
+
+    /// Unpacks all codes.
+    pub fn codes(&self) -> Vec<u32> {
+        (0..self.len).map(|i| self.code(i)).collect()
+    }
+}
+
+/// Storage (in bits per element, amortised) of a variable-length
+/// outlier-aware encoding: `low_bits` for normal values, `high_bits` for an
+/// `outlier_frac` of outliers, plus `index_bits` of position metadata per
+/// outlier (the OLAccel/GOBO-style cost ANT avoids, Sec. III-B).
+pub fn variable_length_size(
+    low_bits: u32,
+    high_bits: u32,
+    index_bits: u32,
+    outlier_frac: f64,
+) -> f64 {
+    low_bits as f64 * (1.0 - outlier_frac)
+        + (high_bits + index_bits) as f64 * outlier_frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DataType;
+
+    #[test]
+    fn pack_roundtrip_4bit() {
+        let dt = DataType::flint(4, false).unwrap();
+        let codes: Vec<u32> = (0..33).map(|i| i % 16).collect();
+        let p = PackedTensor::pack(dt, &codes, vec![0.5]).unwrap();
+        assert_eq!(p.codes(), codes);
+        assert_eq!(p.size_bytes(), 17); // ceil(33*4/8)
+        assert_eq!(p.len(), 33);
+        assert!(!p.is_empty());
+        assert_eq!(p.scales(), &[0.5]);
+    }
+
+    #[test]
+    fn pack_roundtrip_odd_widths() {
+        for bits in [3u32, 5, 6, 7] {
+            let dt = DataType::int(bits, false).unwrap();
+            let codes: Vec<u32> = (0..50).map(|i| (i * 7) % (1 << bits)).collect();
+            let p = PackedTensor::pack(dt, &codes, vec![1.0]).unwrap();
+            assert_eq!(p.codes(), codes, "bits={bits}");
+            assert_eq!(p.size_bytes(), (50 * bits as usize).div_ceil(8));
+        }
+    }
+
+    #[test]
+    fn pack_validates_inputs() {
+        let dt = DataType::int(4, false).unwrap();
+        assert!(matches!(
+            PackedTensor::pack(dt, &[16], vec![1.0]),
+            Err(QuantError::UnsupportedBitWidth { .. })
+        ));
+        assert!(matches!(
+            PackedTensor::pack(dt, &[1], vec![]),
+            Err(QuantError::EmptyCalibration)
+        ));
+    }
+
+    #[test]
+    fn random_access_matches_sequential() {
+        let dt = DataType::int(6, false).unwrap();
+        let codes: Vec<u32> = (0..100).map(|i| (i * 13) % 64).collect();
+        let p = PackedTensor::pack(dt, &codes, vec![1.0]).unwrap();
+        // Access out of order.
+        for &i in &[99usize, 0, 50, 7, 63] {
+            assert_eq!(p.code(i), codes[i]);
+        }
+    }
+
+    #[test]
+    fn empty_tensor_packs_to_zero_bytes() {
+        let dt = DataType::int(4, false).unwrap();
+        let p = PackedTensor::pack(dt, &[], vec![1.0]).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.size_bytes(), 0);
+    }
+
+    #[test]
+    fn ant_beats_variable_length_storage() {
+        // ANT: 4 bits flat. OLAccel-style: 4-bit + 16-bit outliers + index.
+        let ant_bits = 4.0;
+        let olaccel = variable_length_size(4, 16, 8, 0.03);
+        assert!(olaccel > ant_bits, "OLAccel {olaccel} bits/elem");
+        // GOBO-style weight storage: 3-bit + fp32 outliers + index.
+        let gobo = variable_length_size(3, 32, 16, 0.003);
+        assert!(gobo > 3.0 && gobo < 3.3, "GOBO {gobo} bits/elem");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn code_bounds_checked() {
+        let dt = DataType::int(4, false).unwrap();
+        let p = PackedTensor::pack(dt, &[1, 2], vec![1.0]).unwrap();
+        let _ = p.code(2);
+    }
+}

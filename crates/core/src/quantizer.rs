@@ -1,0 +1,442 @@
+//! Scale calibration and (fake-)quantization (paper Eq. (2) and Sec. IV-C).
+//!
+//! A [`Quantizer`] binds a [`Codec`] to a scale factor `s` and implements
+//! `x ↦ s · Dequant[Clamp(Quant(x/s))]`. Calibration searches the clipping
+//! range for the scale minimising MSE — the "range clipping method that
+//! determines the clipping range by minimizing the MSE" of Algorithm 2
+//! line 5 (`ArgminMSE`).
+//!
+//! [`TensorQuantizer`] lifts this to tensors with the paper's granularities
+//! (Sec. II-B): per-output-channel scales for weights, per-tensor scales for
+//! activations.
+
+use crate::dtype::{Codec, DataType};
+use crate::QuantError;
+use ant_tensor::{stats, Tensor};
+
+/// Strategy for choosing the clipping range (and hence the scale).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClipSearch {
+    /// No clipping: scale maps the maximum absolute value onto the lattice
+    /// maximum.
+    MaxAbs,
+    /// Grid search: evaluate `steps` clip candidates `c_k = max_abs · k /
+    /// steps` and keep the one with minimum MSE (the paper's `ArgminMSE`).
+    GridMse {
+        /// Number of clip candidates (≥ 1). 64–128 reproduces the paper's
+        /// behaviour; larger is slower and rarely better.
+        steps: usize,
+    },
+}
+
+impl Default for ClipSearch {
+    fn default() -> Self {
+        ClipSearch::GridMse { steps: 64 }
+    }
+}
+
+/// A calibrated scalar quantizer: codec + scale.
+#[derive(Debug, Clone)]
+pub struct Quantizer {
+    codec: Codec,
+    scale: f32,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with an explicit scale (no calibration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedBitWidth`] for invalid types (via
+    /// [`Codec::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not a positive finite number.
+    pub fn with_scale(dtype: DataType, scale: f32) -> Result<Self, QuantError> {
+        assert!(scale.is_finite() && scale > 0.0, "invalid scale {scale}");
+        Ok(Quantizer { codec: Codec::new(dtype)?, scale })
+    }
+
+    /// Calibrates a quantizer on `data`, returning it with the achieved MSE.
+    ///
+    /// # Errors
+    ///
+    /// * [`QuantError::EmptyCalibration`] for empty data,
+    /// * [`QuantError::NonFiniteData`] if data contains NaN/inf,
+    /// * [`QuantError::SignednessMismatch`] when an unsigned codec sees
+    ///   negative data (the converse — signed codec on non-negative data —
+    ///   is allowed, merely wasteful, matching the paper's use of unsigned
+    ///   types only after ReLU).
+    pub fn fit(dtype: DataType, data: &[f32], search: ClipSearch) -> Result<(Self, f64), QuantError> {
+        let codec = Codec::new(dtype)?;
+        if data.is_empty() {
+            return Err(QuantError::EmptyCalibration);
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(QuantError::NonFiniteData);
+        }
+        let mut min = f32::INFINITY;
+        let mut max_abs = 0.0f32;
+        for &x in data {
+            min = min.min(x);
+            max_abs = max_abs.max(x.abs());
+        }
+        if !dtype.is_signed() && min < 0.0 {
+            return Err(QuantError::SignednessMismatch {
+                codec_signed: dtype.is_signed(),
+                data_min: min,
+            });
+        }
+        if max_abs == 0.0 {
+            // All-zero tensor: any positive scale represents it exactly.
+            let q = Quantizer { codec, scale: 1.0 };
+            return Ok((q, 0.0));
+        }
+        let steps = match search {
+            ClipSearch::MaxAbs => 1,
+            ClipSearch::GridMse { steps } => steps.max(1),
+        };
+        let mut best_scale = max_abs / codec.max_value();
+        let mut best_mse = f64::INFINITY;
+        for k in (1..=steps).rev() {
+            let clip = max_abs * k as f32 / steps as f32;
+            let scale = clip / codec.max_value();
+            if scale <= 0.0 || !scale.is_finite() {
+                continue;
+            }
+            let mse = mse_for_scale(&codec, data, scale);
+            if mse < best_mse {
+                best_mse = mse;
+                best_scale = scale;
+            }
+        }
+        Ok((Quantizer { codec, scale: best_scale }, best_mse))
+    }
+
+    /// The data type being quantized to.
+    pub fn dtype(&self) -> DataType {
+        self.codec.dtype()
+    }
+
+    /// The calibrated scale factor.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The underlying codec.
+    pub fn codec(&self) -> &Codec {
+        &self.codec
+    }
+
+    /// Quantize-then-dequantize a single value (fake quantization).
+    pub fn quantize_dequantize(&self, x: f32) -> f32 {
+        self.codec.snap(x / self.scale) * self.scale
+    }
+
+    /// Fake-quantizes a whole tensor, returning a new tensor whose values
+    /// all lie on the scaled lattice.
+    pub fn apply(&self, t: &Tensor) -> Tensor {
+        t.map(|x| self.quantize_dequantize(x))
+    }
+
+    /// Fake-quantizes a slice in place.
+    pub fn apply_slice(&self, data: &mut [f32]) {
+        for x in data {
+            *x = self.quantize_dequantize(*x);
+        }
+    }
+
+    /// MSE of fake-quantizing `data` with the current scale.
+    pub fn mse(&self, data: &[f32]) -> f64 {
+        mse_for_scale(&self.codec, data, self.scale)
+    }
+}
+
+fn mse_for_scale(codec: &Codec, data: &[f32], scale: f32) -> f64 {
+    let mut acc = 0.0f64;
+    for &x in data {
+        let q = codec.snap(x / scale) * scale;
+        let d = (x - q) as f64;
+        acc += d * d;
+    }
+    acc / data.len() as f64
+}
+
+/// Quantization granularity (paper Sec. II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One scale for the whole tensor (used for activations).
+    PerTensor,
+    /// One scale per leading-axis channel (used for weights; "per-channel
+    /// weight quantization ... without additional hardware overhead").
+    PerChannel,
+}
+
+/// A calibrated tensor-level quantizer with per-tensor or per-channel
+/// scales.
+#[derive(Debug, Clone)]
+pub struct TensorQuantizer {
+    codec: Codec,
+    granularity: Granularity,
+    scales: Vec<f32>,
+}
+
+impl TensorQuantizer {
+    /// Calibrates on `tensor` at the requested granularity and returns the
+    /// quantizer together with the whole-tensor MSE.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the conditions of [`Quantizer::fit`].
+    pub fn fit(
+        dtype: DataType,
+        tensor: &Tensor,
+        granularity: Granularity,
+        search: ClipSearch,
+    ) -> Result<(Self, f64), QuantError> {
+        let codec = Codec::new(dtype)?;
+        match granularity {
+            Granularity::PerTensor => {
+                let (q, mse) = Quantizer::fit(dtype, tensor.as_slice(), search)?;
+                Ok((
+                    TensorQuantizer { codec, granularity, scales: vec![q.scale()] },
+                    mse,
+                ))
+            }
+            Granularity::PerChannel => {
+                let channels = tensor.num_channels();
+                let mut scales = Vec::with_capacity(channels);
+                let mut err_sum = 0.0f64;
+                let mut n = 0usize;
+                for c in 0..channels {
+                    let ch = tensor.channel(c)?;
+                    let (q, mse) = Quantizer::fit(dtype, ch, search)?;
+                    scales.push(q.scale());
+                    err_sum += mse * ch.len() as f64;
+                    n += ch.len();
+                }
+                let mse = if n == 0 { 0.0 } else { err_sum / n as f64 };
+                Ok((TensorQuantizer { codec, granularity, scales }, mse))
+            }
+        }
+    }
+
+    /// The quantized data type.
+    pub fn dtype(&self) -> DataType {
+        self.codec.dtype()
+    }
+
+    /// The calibration granularity.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// The calibrated scales (length 1 for per-tensor).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Fake-quantizes `tensor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ChannelMismatch`] when a per-channel quantizer
+    /// is applied to a tensor with a different channel count.
+    pub fn apply(&self, tensor: &Tensor) -> Result<Tensor, QuantError> {
+        match self.granularity {
+            Granularity::PerTensor => {
+                let s = self.scales[0];
+                Ok(tensor.map(|x| self.codec.snap(x / s) * s))
+            }
+            Granularity::PerChannel => {
+                if tensor.num_channels() != self.scales.len() {
+                    return Err(QuantError::ChannelMismatch {
+                        expected: self.scales.len(),
+                        actual: tensor.num_channels(),
+                    });
+                }
+                let mut out = tensor.clone();
+                for (c, &s) in self.scales.iter().enumerate() {
+                    for x in out.channel_mut(c)? {
+                        *x = self.codec.snap(*x / s) * s;
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// MSE of fake-quantizing `tensor`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TensorQuantizer::apply`].
+    pub fn mse(&self, tensor: &Tensor) -> Result<f64, QuantError> {
+        let q = self.apply(tensor)?;
+        Ok(stats::mse(tensor, &q)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ant_tensor::dist::{sample_tensor, sample_vec, Distribution};
+
+    #[test]
+    fn fit_rejects_bad_data() {
+        let dt = DataType::int(4, true).unwrap();
+        assert!(matches!(
+            Quantizer::fit(dt, &[], ClipSearch::MaxAbs),
+            Err(QuantError::EmptyCalibration)
+        ));
+        assert!(matches!(
+            Quantizer::fit(dt, &[1.0, f32::NAN], ClipSearch::MaxAbs),
+            Err(QuantError::NonFiniteData)
+        ));
+        let du = DataType::int(4, false).unwrap();
+        assert!(matches!(
+            Quantizer::fit(du, &[-1.0, 1.0], ClipSearch::MaxAbs),
+            Err(QuantError::SignednessMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn all_zero_tensor_is_exact() {
+        let dt = DataType::flint(4, false).unwrap();
+        let (q, mse) = Quantizer::fit(dt, &[0.0; 16], ClipSearch::default()).unwrap();
+        assert_eq!(mse, 0.0);
+        assert_eq!(q.quantize_dequantize(0.0), 0.0);
+    }
+
+    #[test]
+    fn maxabs_scale_maps_max_to_lattice_max() {
+        let dt = DataType::int(4, true).unwrap();
+        let data = [-3.5, 1.0, 7.0];
+        let (q, _) = Quantizer::fit(dt, &data, ClipSearch::MaxAbs).unwrap();
+        assert!((q.scale() - 1.0).abs() < 1e-6);
+        assert_eq!(q.quantize_dequantize(7.0), 7.0);
+    }
+
+    #[test]
+    fn grid_search_never_worse_than_maxabs() {
+        let data = sample_vec(Distribution::Laplace { mu: 0.0, b: 1.0 }, 4096, 11);
+        for dt in [
+            DataType::int(4, true).unwrap(),
+            DataType::flint(4, true).unwrap(),
+            DataType::pot(4, true).unwrap(),
+            DataType::float(4, true).unwrap(),
+        ] {
+            let (_, mse_max) = Quantizer::fit(dt, &data, ClipSearch::MaxAbs).unwrap();
+            let (_, mse_grid) =
+                Quantizer::fit(dt, &data, ClipSearch::GridMse { steps: 64 }).unwrap();
+            assert!(
+                mse_grid <= mse_max + 1e-12,
+                "{dt}: grid {mse_grid} > maxabs {mse_max}"
+            );
+        }
+    }
+
+    #[test]
+    fn clipping_helps_heavy_tails_on_int() {
+        // For Laplace data, int benefits from clipping below max (paper
+        // Sec. III-A); verify the grid picks clip < max_abs.
+        let data = sample_vec(Distribution::Laplace { mu: 0.0, b: 1.0 }, 8192, 13);
+        let dt = DataType::int(4, true).unwrap();
+        let (q, _) = Quantizer::fit(dt, &data, ClipSearch::GridMse { steps: 128 }).unwrap();
+        let max_abs = data.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        assert!(q.scale() * 7.0 < max_abs * 0.95, "expected clipping below max");
+    }
+
+    #[test]
+    fn fake_quant_output_is_on_lattice() {
+        let data = sample_vec(Distribution::Gaussian { mean: 0.0, std: 1.0 }, 1024, 17);
+        let dt = DataType::flint(4, true).unwrap();
+        let (q, _) = Quantizer::fit(dt, &data, ClipSearch::default()).unwrap();
+        let lattice: Vec<f32> = q.codec().lattice().iter().map(|&v| v * q.scale()).collect();
+        for &x in &data {
+            let y = q.quantize_dequantize(x);
+            assert!(
+                lattice.iter().any(|&l| (l - y).abs() < 1e-6 * (1.0 + l.abs())),
+                "{y} not on lattice"
+            );
+        }
+    }
+
+    #[test]
+    fn fake_quant_is_idempotent() {
+        let data = sample_vec(Distribution::Gaussian { mean: 0.0, std: 1.0 }, 512, 19);
+        for dt in [
+            DataType::int(4, true).unwrap(),
+            DataType::flint(4, true).unwrap(),
+            DataType::pot(4, true).unwrap(),
+        ] {
+            let (q, _) = Quantizer::fit(dt, &data, ClipSearch::default()).unwrap();
+            for &x in &data {
+                let once = q.quantize_dequantize(x);
+                let twice = q.quantize_dequantize(once);
+                assert!(
+                    (once - twice).abs() < 1e-5 * (1.0 + once.abs()),
+                    "{dt}: {x} → {once} → {twice}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_channel_beats_per_tensor_on_heterogeneous_channels() {
+        // Two channels with very different magnitudes: a per-tensor scale
+        // is forced to cover the wide channel and crushes the narrow one to
+        // zero, while per-channel scales fit each (paper Sec. II-B).
+        let mut t = Tensor::zeros(&[2, 256]);
+        let a = sample_vec(Distribution::Gaussian { mean: 0.0, std: 1.0 }, 256, 23);
+        let b = sample_vec(Distribution::Gaussian { mean: 0.0, std: 100.0 }, 256, 29);
+        t.channel_mut(0).unwrap().copy_from_slice(&a);
+        t.channel_mut(1).unwrap().copy_from_slice(&b);
+        let dt = DataType::int(4, true).unwrap();
+        let (qt, _) =
+            TensorQuantizer::fit(dt, &t, Granularity::PerTensor, ClipSearch::default()).unwrap();
+        let (qc, _) =
+            TensorQuantizer::fit(dt, &t, Granularity::PerChannel, ClipSearch::default()).unwrap();
+        assert_eq!(qc.scales().len(), 2);
+        // Compare reconstruction of the *narrow* channel.
+        let rt = qt.apply(&t).unwrap();
+        let rc = qc.apply(&t).unwrap();
+        let err = |r: &Tensor| {
+            ant_tensor::stats::mse_slices(r.channel(0).unwrap(), t.channel(0).unwrap())
+        };
+        assert!(
+            err(&rc) < err(&rt) * 0.1,
+            "per-channel {} vs per-tensor {}",
+            err(&rc),
+            err(&rt)
+        );
+    }
+
+    #[test]
+    fn per_channel_apply_checks_channels() {
+        let t = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[4, 8], 31);
+        let dt = DataType::int(4, true).unwrap();
+        let (q, _) =
+            TensorQuantizer::fit(dt, &t, Granularity::PerChannel, ClipSearch::default()).unwrap();
+        assert_eq!(q.scales().len(), 4);
+        let wrong = Tensor::zeros(&[3, 8]);
+        assert!(matches!(q.apply(&wrong), Err(QuantError::ChannelMismatch { .. })));
+    }
+
+    #[test]
+    fn tensor_quantizer_mse_matches_reported() {
+        let t = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[8, 64], 37);
+        let dt = DataType::flint(4, true).unwrap();
+        let (q, fitted_mse) =
+            TensorQuantizer::fit(dt, &t, Granularity::PerTensor, ClipSearch::default()).unwrap();
+        let apply_mse = q.mse(&t).unwrap();
+        assert!((fitted_mse - apply_mse).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scale")]
+    fn with_scale_rejects_nonpositive() {
+        let _ = Quantizer::with_scale(DataType::int(4, true).unwrap(), -1.0);
+    }
+}

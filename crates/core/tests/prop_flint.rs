@@ -1,0 +1,119 @@
+//! Property-based tests for the flint codec and the quantization stack.
+
+use ant_core::flint::Flint;
+use ant_core::select::PrimitiveCombo;
+use ant_core::{ClipSearch, Codec, DataType, Quantizer};
+use proptest::prelude::*;
+
+proptest! {
+    /// Encoding any in-range integer and decoding it lands on a lattice
+    /// point no farther than the local lattice gap.
+    #[test]
+    fn flint_encode_stays_within_one_gap(bits in 3u32..=8, frac in 0.0f64..1.0) {
+        let f = Flint::new(bits).unwrap();
+        let e = (frac * f.max_value() as f64).round() as u64;
+        let q = f.decode(f.encode_int(e));
+        let lattice = f.lattice();
+        let pos = lattice.partition_point(|&v| v < e);
+        let gap = if pos == 0 || pos >= lattice.len() {
+            u64::MAX
+        } else {
+            lattice[pos] - lattice[pos - 1]
+        };
+        let err = (q as i64 - e as i64).unsigned_abs();
+        prop_assert!(err <= gap, "e={e} q={q} gap={gap}");
+    }
+
+    /// Round-trip: decoding any code and re-encoding gives back a code with
+    /// the same value.
+    #[test]
+    fn flint_roundtrip(bits in 3u32..=8, code_frac in 0.0f64..1.0) {
+        let f = Flint::new(bits).unwrap();
+        let code = (code_frac * (f.num_codes() - 1) as f64).round() as u32;
+        let v = f.decode(code);
+        prop_assert_eq!(f.decode(f.encode_int(v)), v);
+    }
+
+    /// The int-based decomposition always reconstructs the decoded value
+    /// with a base that fits the hardware register.
+    #[test]
+    fn flint_int_decode_reconstructs(bits in 3u32..=8, code_frac in 0.0f64..1.0) {
+        let f = Flint::new(bits).unwrap();
+        let code = (code_frac * (f.num_codes() - 1) as f64).round() as u32;
+        let d = f.decode_int(code);
+        prop_assert_eq!((d.base as u64) << d.exp, f.decode(code));
+        prop_assert!(d.base < (1 << bits));
+    }
+
+    /// Snapping is idempotent for every data type.
+    #[test]
+    fn snap_is_idempotent(
+        which in 0usize..5,
+        signed in proptest::bool::ANY,
+        x in -200.0f32..200.0,
+    ) {
+        let dt = match which {
+            0 => DataType::int(4, signed),
+            1 => DataType::pot(4, signed),
+            2 => DataType::float(4, signed),
+            3 => DataType::flint(if signed { 5 } else { 4 }, signed),
+            _ => DataType::int(8, signed),
+        }.unwrap();
+        let codec = Codec::new(dt).unwrap();
+        let once = codec.snap(x);
+        prop_assert_eq!(codec.snap(once), once, "{} snap({})", dt, x);
+    }
+
+    /// Snap never increases magnitude beyond the lattice maximum and
+    /// respects signedness.
+    #[test]
+    fn snap_respects_range(signed in proptest::bool::ANY, x in -500.0f32..500.0) {
+        let dt = DataType::flint(if signed { 5 } else { 4 }, signed).unwrap();
+        let codec = Codec::new(dt).unwrap();
+        let q = codec.snap(x);
+        prop_assert!(q.abs() <= codec.max_value());
+        if !signed {
+            prop_assert!(q >= 0.0);
+        } else if x != 0.0 && q != 0.0 {
+            prop_assert_eq!(q.signum(), x.signum());
+        }
+    }
+
+    /// Calibrated fake quantization never produces values beyond the
+    /// scaled lattice maximum, and the reported MSE matches a recomputation.
+    #[test]
+    fn quantizer_fit_consistent(seed in 0u64..1000, scale_exp in -3i32..4) {
+        let data = ant_tensor::dist::sample_vec(
+            ant_tensor::dist::Distribution::Gaussian { mean: 0.0, std: 2f32.powi(scale_exp) },
+            512,
+            seed,
+        );
+        let dt = DataType::flint(4, true).unwrap();
+        let (q, fitted) = Quantizer::fit(dt, &data, ClipSearch::GridMse { steps: 16 }).unwrap();
+        let recomputed = q.mse(&data);
+        prop_assert!((fitted - recomputed).abs() < 1e-9 * (1.0 + fitted));
+        let bound = q.codec().max_value() * q.scale() * (1.0 + 1e-5);
+        for &x in &data {
+            prop_assert!(q.quantize_dequantize(x).abs() <= bound);
+        }
+    }
+
+    /// Adding candidate types never increases the selected MSE.
+    #[test]
+    fn selection_is_monotone_in_candidates(seed in 0u64..500) {
+        use ant_core::select::select_type;
+        use ant_core::Granularity;
+        let data = ant_tensor::dist::sample_vec(
+            ant_tensor::dist::Distribution::Laplace { mu: 0.0, b: 1.0 },
+            512,
+            seed,
+        );
+        let t = ant_tensor::Tensor::from_slice(&data);
+        let small = PrimitiveCombo::IntPot.candidates(4, true).unwrap();
+        let large = PrimitiveCombo::FloatIntPotFlint.candidates(4, true).unwrap();
+        let search = ClipSearch::GridMse { steps: 16 };
+        let a = select_type(&t, &small, Granularity::PerTensor, search).unwrap();
+        let b = select_type(&t, &large, Granularity::PerTensor, search).unwrap();
+        prop_assert!(b.mse <= a.mse + 1e-12);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the packed-tensor and posit extension modules.
+
+use ant_core::pack::{variable_length_size, PackedTensor};
+use ant_core::posit::Posit;
+use ant_core::DataType;
+use proptest::prelude::*;
+
+proptest! {
+    /// Packing then unpacking returns the original codes for every width.
+    #[test]
+    fn pack_roundtrip(
+        bits in 2u32..=8,
+        codes in proptest::collection::vec(0u32..65536, 0..200),
+    ) {
+        let dt = DataType::int(bits, false).unwrap();
+        let codes: Vec<u32> = codes.into_iter().map(|c| c & ((1 << bits) - 1)).collect();
+        let p = PackedTensor::pack(dt, &codes, vec![1.0]).unwrap();
+        prop_assert_eq!(p.codes(), codes.clone());
+        prop_assert_eq!(p.size_bytes(), (codes.len() * bits as usize).div_ceil(8));
+    }
+
+    /// Random access equals sequential unpacking at every index.
+    #[test]
+    fn pack_random_access(seed in 0u32..1000, bits in 2u32..=8) {
+        let mask = (1u32 << bits) - 1;
+        let mut state = seed.wrapping_mul(0x9E3779B9).wrapping_add(1);
+        let codes: Vec<u32> = (0..97)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 11) & mask
+            })
+            .collect();
+        let dt = DataType::int(bits, false).unwrap();
+        let p = PackedTensor::pack(dt, &codes, vec![1.0]).unwrap();
+        let unpacked = p.codes();
+        for (i, &c) in codes.iter().enumerate() {
+            prop_assert_eq!(p.code(i), c);
+            prop_assert_eq!(unpacked[i], c);
+        }
+    }
+
+    /// Fixed-length storage is never larger than a variable-length scheme
+    /// with the same base width plus any outlier overhead.
+    #[test]
+    fn fixed_length_never_loses(low in 2u32..=8, extra in 1u32..=28, idx in 0u32..=16, frac in 0.0f64..0.2) {
+        let fixed = low as f64;
+        let variable = variable_length_size(low, low + extra, idx, frac);
+        prop_assert!(variable >= fixed - 1e-12);
+    }
+
+    /// Posit decoding is an odd function: decode(-code) == -decode(code)
+    /// for all non-zero, non-NaR codes.
+    #[test]
+    fn posit_negation(n in 3u32..=10, es in 0u32..2, raw in 1u32..1024) {
+        prop_assume!(es < n - 1);
+        let p = Posit::new(n, es).unwrap();
+        let code = raw & ((1 << n) - 1);
+        prop_assume!(code != 0 && code != 1 << (n - 1));
+        let neg = ((!code).wrapping_add(1)) & ((1 << n) - 1);
+        prop_assert_eq!(p.decode(neg), -p.decode(code));
+    }
+
+    /// Positive posit codes decode monotonically increasing — the ordering
+    /// property posits share with int (and flint codes do NOT have, which
+    /// is why flint needs its decoder).
+    #[test]
+    fn posit_positive_codes_monotone(n in 3u32..=10, es in 0u32..2) {
+        prop_assume!(es < n - 1);
+        let p = Posit::new(n, es).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for code in 0..(1u32 << (n - 1)) {
+            let v = p.decode(code);
+            prop_assert!(v > prev, "code {code:b}: {v} <= {prev}");
+            prev = v;
+        }
+    }
+
+    /// Posit regime lengths span from 2 up to n−1 bits — the
+    /// variable-length field the paper contrasts with flint (Sec. VIII).
+    #[test]
+    fn posit_regime_lengths_vary(n in 4u32..=10) {
+        let p = Posit::new(n, 1).unwrap();
+        let lengths: std::collections::BTreeSet<u32> =
+            (1..(1u32 << (n - 1))).map(|c| p.regime_length(c)).collect();
+        prop_assert!(lengths.len() as u32 >= n - 3, "{lengths:?}");
+        prop_assert_eq!(*lengths.iter().max().unwrap(), n - 1);
+    }
+}

@@ -1,0 +1,320 @@
+//! Bit-accurate type decoders for the TypeFusion PE (paper Sec. V).
+//!
+//! The int-based PE consumes every ANT primitive through one unified
+//! representation: a signed *base integer* and an even *exponent*, with
+//! `value = base << exp` (paper Sec. V-B, Table III). This module implements
+//! the decoders exactly as drawn:
+//!
+//! * [`decode_flint`] — Fig. 6: LZD + one left shift (+ two's complement for
+//!   the sign, Sec. V-C),
+//! * [`decode_int`] — pass-through with zero exponent,
+//! * [`decode_pot`] — base ±1, exponent straight from the code,
+//! * [`FloatFields`]/[`decode_flint_float`] — the float-based decoder of
+//!   Fig. 5 for completeness (ANT's shipped configuration is int-based,
+//!   Sec. VII-C).
+//!
+//! All decoders are verified against `ant-core`'s arithmetic-level codecs.
+
+use crate::lzd::lzd;
+use ant_core::flint::Flint;
+use ant_core::QuantError;
+
+/// The unified operand representation of the int-based TypeFusion PE:
+/// `value = base << exp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decoded {
+    /// Signed base integer (two's complement in hardware).
+    pub base: i32,
+    /// Left-shift exponent; even for flint (Eq. 6), arbitrary for PoT.
+    pub exp: u32,
+}
+
+impl Decoded {
+    /// The represented integer value.
+    pub fn value(&self) -> i64 {
+        (self.base as i64) << self.exp
+    }
+}
+
+/// Wire format of an operand entering a decoder: the primitive type tag the
+/// instruction carries (paper Sec. VI-B: a type extension on the MAC
+/// instruction) plus signedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireType {
+    /// Two's-complement int.
+    Int {
+        /// Whether negative codes exist.
+        signed: bool,
+    },
+    /// Power-of-two; signed variants carry a sign bit above the magnitude.
+    Pot {
+        /// Whether a sign bit is present.
+        signed: bool,
+    },
+    /// flint; signed variants carry a sign bit above the magnitude.
+    Flint {
+        /// Whether a sign bit is present.
+        signed: bool,
+    },
+}
+
+/// Decodes a `bits`-wide flint code (paper Fig. 6 and Eq. (5)–(6); signed
+/// handling per Sec. V-C: MSB is the sign, the remaining `bits − 1` bits are
+/// an unsigned flint magnitude).
+///
+/// # Errors
+///
+/// Returns [`QuantError::UnsupportedBitWidth`] when the magnitude width is
+/// outside the supported flint range.
+///
+/// # Panics
+///
+/// Panics if `code` does not fit in `bits` bits.
+pub fn decode_flint(code: u32, bits: u32, signed: bool) -> Result<Decoded, QuantError> {
+    assert!(code < (1u32 << bits), "code {code:#b} exceeds {bits} bits");
+    let mag_bits = if signed { bits - 1 } else { bits };
+    // Constructing the codec validates the width.
+    Flint::new(mag_bits)?;
+    let (neg, mag_code) = if signed {
+        ((code >> mag_bits) & 1 == 1, code & ((1 << mag_bits) - 1))
+    } else {
+        (false, code)
+    };
+    let d = decode_flint_magnitude(mag_code, mag_bits);
+    Ok(Decoded { base: if neg { -d.base } else { d.base }, exp: d.exp })
+}
+
+/// The unsigned flint datapath of Fig. 6: a leading-zero detector over the
+/// low field, a 1-bit left shift and a mux.
+fn decode_flint_magnitude(code: u32, bits: u32) -> Decoded {
+    let low_mask = (1u32 << (bits - 1)) - 1;
+    let low = code & low_mask;
+    let msb = code >> (bits - 1) & 1;
+    if msb == 0 {
+        // Eq. (5)/(6) top row: base = low bits, exp = 0.
+        Decoded { base: low as i32, exp: 0 }
+    } else {
+        let lz = lzd(low, bits - 1);
+        if !lz.valid {
+            // All-zero low field: the max-value code 1000…0.
+            Decoded { base: 1, exp: 2 * (bits - 1) }
+        } else {
+            Decoded { base: (low << 1) as i32, exp: 2 * lz.count }
+        }
+    }
+}
+
+/// Decodes a two's-complement (or unsigned) int code to the unified
+/// representation: the exponent is zero (paper Sec. V-B).
+///
+/// # Panics
+///
+/// Panics if `code` does not fit in `bits` bits.
+pub fn decode_int(code: u32, bits: u32, signed: bool) -> Decoded {
+    assert!(code < (1u32 << bits), "code {code:#b} exceeds {bits} bits");
+    let base = if signed {
+        // Sign-extend from `bits`.
+        let shift = 32 - bits;
+        ((code << shift) as i32) >> shift
+    } else {
+        code as i32
+    };
+    Decoded { base, exp: 0 }
+}
+
+/// Decodes a PoT code: base ±1 and the exponent taken from the code
+/// (paper Sec. V-B: "the PoT type has the base integer of one and the
+/// exponent value from its binary"). Code 0 (magnitude) is the value 0.
+///
+/// # Panics
+///
+/// Panics if `code` does not fit in `bits` bits.
+pub fn decode_pot(code: u32, bits: u32, signed: bool) -> Decoded {
+    assert!(code < (1u32 << bits), "code {code:#b} exceeds {bits} bits");
+    let mag_bits = if signed { bits - 1 } else { bits };
+    let (neg, mag) = if signed {
+        ((code >> mag_bits) & 1 == 1, code & ((1 << mag_bits) - 1))
+    } else {
+        (false, code)
+    };
+    if mag == 0 {
+        return Decoded { base: 0, exp: 0 };
+    }
+    Decoded { base: if neg { -1 } else { 1 }, exp: mag - 1 }
+}
+
+/// Dispatches on the wire type tag (the decoder mux at the array boundary,
+/// Fig. 9).
+///
+/// # Errors
+///
+/// Propagates [`decode_flint`]'s width validation.
+///
+/// # Panics
+///
+/// Panics if `code` does not fit in `bits` bits.
+pub fn decode(code: u32, bits: u32, ty: WireType) -> Result<Decoded, QuantError> {
+    match ty {
+        WireType::Int { signed } => Ok(decode_int(code, bits, signed)),
+        WireType::Pot { signed } => Ok(decode_pot(code, bits, signed)),
+        WireType::Flint { signed } => decode_flint(code, bits, signed),
+    }
+}
+
+/// The float-based decoder's output fields (paper Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatFields {
+    /// Sign flag.
+    pub negative: bool,
+    /// Biased exponent (interval index; the bias is −1).
+    pub exp: u32,
+    /// Mantissa left-aligned into `mag_bits − 1` fraction bits.
+    pub mantissa: u32,
+}
+
+/// The float-based flint decoder of Fig. 5 (kept for the float-based PE
+/// variant; ANT ships the int-based PE, Sec. VII-C).
+///
+/// # Errors
+///
+/// Returns [`QuantError::UnsupportedBitWidth`] for invalid widths.
+///
+/// # Panics
+///
+/// Panics if `code` does not fit in `bits` bits.
+pub fn decode_flint_float(code: u32, bits: u32, signed: bool) -> Result<FloatFields, QuantError> {
+    assert!(code < (1u32 << bits), "code {code:#b} exceeds {bits} bits");
+    let mag_bits = if signed { bits - 1 } else { bits };
+    let flint = Flint::new(mag_bits)?;
+    let (neg, mag_code) = if signed {
+        ((code >> mag_bits) & 1 == 1, code & ((1 << mag_bits) - 1))
+    } else {
+        (false, code)
+    };
+    let fd = flint.decode_float(mag_code);
+    Ok(FloatFields { negative: neg, exp: fd.exp, mantissa: fd.mantissa })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flint_decoder_matches_core_codec_for_all_widths() {
+        for bits in 3..=8u32 {
+            let flint = Flint::new(bits).unwrap();
+            for code in 0..(1u32 << bits) {
+                let d = decode_flint(code, bits, false).unwrap();
+                assert_eq!(d.value() as u64, flint.decode(code), "b={bits} code={code:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_flint_decoder_covers_table_iii_with_sign() {
+        // 4-bit signed: sign + 3-bit magnitude. In code order the 3-bit
+        // flint decodes to 0,1,2,3 (int region) then 16,8,4,6 (Eq. 5/6).
+        let mags = [0i64, 1, 2, 3, 16, 8, 4, 6];
+        for (code, &m) in mags.iter().enumerate() {
+            let pos = decode_flint(code as u32, 4, true).unwrap();
+            assert_eq!(pos.value(), m);
+            let neg = decode_flint(code as u32 | 0b1000, 4, true).unwrap();
+            assert_eq!(neg.value(), -m);
+        }
+    }
+
+    #[test]
+    fn fig6_worked_rows() {
+        // Table III: 101x → base 4/6 exp 2; 1001 → base 2 exp 4; 1000 → 1,6.
+        let d = decode_flint(0b1010, 4, false).unwrap();
+        assert_eq!((d.base, d.exp), (4, 2));
+        let d = decode_flint(0b1011, 4, false).unwrap();
+        assert_eq!((d.base, d.exp), (6, 2));
+        let d = decode_flint(0b1001, 4, false).unwrap();
+        assert_eq!((d.base, d.exp), (2, 4));
+        let d = decode_flint(0b1000, 4, false).unwrap();
+        assert_eq!((d.base, d.exp), (1, 6));
+    }
+
+    #[test]
+    fn int_decoder_signed_and_unsigned() {
+        assert_eq!(decode_int(0b0111, 4, true).base, 7);
+        assert_eq!(decode_int(0b1000, 4, true).base, -8);
+        assert_eq!(decode_int(0b1111, 4, true).base, -1);
+        assert_eq!(decode_int(0b1111, 4, false).base, 15);
+        assert_eq!(decode_int(0b1111, 4, false).exp, 0);
+    }
+
+    #[test]
+    fn pot_decoder_values() {
+        // Unsigned 4-bit PoT: 0, 1, 2, 4, ..., 2^14.
+        assert_eq!(decode_pot(0, 4, false).value(), 0);
+        assert_eq!(decode_pot(1, 4, false).value(), 1);
+        assert_eq!(decode_pot(5, 4, false).value(), 16);
+        assert_eq!(decode_pot(15, 4, false).value(), 1 << 14);
+        // Signed 4-bit: sign + 3-bit magnitude.
+        assert_eq!(decode_pot(0b0111, 4, true).value(), 64);
+        assert_eq!(decode_pot(0b1111, 4, true).value(), -64);
+        assert_eq!(decode_pot(0b1000, 4, true).value(), 0);
+    }
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        for code in 0..16u32 {
+            assert_eq!(
+                decode(code, 4, WireType::Int { signed: true }).unwrap(),
+                decode_int(code, 4, true)
+            );
+            assert_eq!(
+                decode(code, 4, WireType::Pot { signed: false }).unwrap(),
+                decode_pot(code, 4, false)
+            );
+            assert_eq!(
+                decode(code, 4, WireType::Flint { signed: true }).unwrap(),
+                decode_flint(code, 4, true).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn float_decoder_matches_core() {
+        for bits in 3..=8u32 {
+            let flint = Flint::new(bits).unwrap();
+            for code in 0..(1u32 << bits) {
+                let hw = decode_flint_float(code, bits, false).unwrap();
+                let sw = flint.decode_float(code);
+                assert_eq!((hw.exp, hw.mantissa), (sw.exp, sw.mantissa));
+            }
+        }
+    }
+
+    #[test]
+    fn float_and_int_decoders_agree_on_value() {
+        let flint = Flint::new(4).unwrap();
+        for code in 0..16u32 {
+            let i = decode_flint(code, 4, false).unwrap().value() as f64;
+            let f = decode_flint_float(code, 4, false).unwrap();
+            let fv = flint
+                .float_decode_value(ant_core::flint::FloatDecode { exp: f.exp, mantissa: f.mantissa });
+            assert_eq!(i, fv, "code {code:04b}");
+        }
+    }
+
+    #[test]
+    fn signed_flint_exp_untouched_by_sign() {
+        // Sec. V-C: sign handling must not affect the critical (LZD) path;
+        // functionally, |decode(−x)| == decode(x).
+        for code in 0..8u32 {
+            let pos = decode_flint(code, 4, true).unwrap();
+            let neg = decode_flint(code | 0b1000, 4, true).unwrap();
+            assert_eq!(pos.exp, neg.exp);
+            assert_eq!(pos.base, -neg.base);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_overwide_code() {
+        let _ = decode_int(16, 4, true);
+    }
+}

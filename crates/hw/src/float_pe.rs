@@ -1,0 +1,169 @@
+//! The float-based TypeFusion PE (paper Sec. V-A).
+//!
+//! The paper's alternative PE builds on a float multiplier: the flint
+//! decoder of Fig. 5 produces `(sign, exponent, mantissa)` fields, the
+//! multiplier multiplies significands and adds exponents. ANT ships the
+//! int-based PE instead because this unit costs ~3× the area
+//! (Sec. VII-C); this module exists to model that datapath and prove the
+//! two PEs compute identical results on every operand pair (the
+//! equivalence the architecture argument rests on).
+//!
+//! All arithmetic is exact-integer: flint values are integers, so the
+//! float datapath's `significand × significand, exponent + exponent`
+//! reduces to shifts that never drop set bits.
+
+use crate::decode::{decode_flint_float, FloatFields};
+use ant_core::QuantError;
+
+/// A float-based PE operand: Fig. 5's decoder output plus the field width
+/// it was decoded at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloatOperand {
+    fields: FloatFields,
+    mag_bits: u32,
+}
+
+impl FloatOperand {
+    /// Decodes a flint code through the float-based decoder (Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder width validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` does not fit in `bits` bits.
+    pub fn decode(code: u32, bits: u32, signed: bool) -> Result<Self, QuantError> {
+        let fields = decode_flint_float(code, bits, signed)?;
+        let mag_bits = if signed { bits - 1 } else { bits };
+        Ok(FloatOperand { fields, mag_bits })
+    }
+
+    /// The decoded fields.
+    pub fn fields(&self) -> FloatFields {
+        self.fields
+    }
+
+    /// The represented integer value, via the float interpretation:
+    /// `±2^(exp−1) · (1 + mantissa / 2^(bits−1))`.
+    pub fn value(&self) -> i64 {
+        let (sig, shift) = self.significand();
+        let mag = shift_exact(sig, shift);
+        if self.fields.negative {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Significand with its binary point position: value = sig · 2^shift.
+    /// Zero is encoded as `(0, 0)`.
+    fn significand(&self) -> (i64, i32) {
+        if self.fields.exp == 0 && self.fields.mantissa == 0 {
+            return (0, 0);
+        }
+        let frac_bits = self.mag_bits - 1;
+        // sig = 1.mantissa as an integer of (frac_bits + 1) bits.
+        let sig = ((1u32 << frac_bits) | self.fields.mantissa) as i64;
+        // value = sig · 2^(exp − 1 − frac_bits)  (bias −1).
+        (sig, self.fields.exp as i32 - 1 - frac_bits as i32)
+    }
+}
+
+/// Exact shift by a possibly negative amount.
+///
+/// # Panics
+///
+/// Panics (debug) if a right shift would drop set bits — which cannot
+/// happen for valid flint operands, where low exponents imply zero
+/// mantissa tails.
+fn shift_exact(v: i64, shift: i32) -> i64 {
+    if shift >= 0 {
+        v << shift
+    } else {
+        debug_assert_eq!(v & ((1 << (-shift)) - 1), 0, "inexact float shift");
+        v >> (-shift)
+    }
+}
+
+/// The float-based multiplier: significands multiply, exponents add —
+/// exactly the Fig. 5 PE's datapath, evaluated exactly.
+pub fn float_multiply(a: FloatOperand, b: FloatOperand) -> i64 {
+    let (sa, ea) = a.significand();
+    let (sb, eb) = b.significand();
+    if sa == 0 || sb == 0 {
+        return 0;
+    }
+    let mag = shift_exact(sa * sb, ea + eb);
+    if a.fields.negative != b.fields.negative {
+        -mag
+    } else {
+        mag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode_flint;
+
+    #[test]
+    fn float_operand_value_matches_int_decoder() {
+        for bits in 3..=8u32 {
+            for code in 0..(1u32 << bits) {
+                let f = FloatOperand::decode(code, bits, false).unwrap();
+                let i = decode_flint(code, bits, false).unwrap();
+                assert_eq!(f.value(), i.value(), "b={bits} code={code:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_float_operand_matches_int_decoder() {
+        for code in 0..16u32 {
+            let f = FloatOperand::decode(code, 4, true).unwrap();
+            let i = decode_flint(code, 4, true).unwrap();
+            assert_eq!(f.value(), i.value(), "code={code:04b}");
+        }
+    }
+
+    #[test]
+    fn float_pe_equals_int_pe_on_all_pairs() {
+        // The architectural claim: both PE variants compute the same MAC
+        // results, so the choice is purely an area/energy trade
+        // (Sec. VII-C).
+        use crate::mac::multiply;
+        for ca in 0..16u32 {
+            for cb in 0..16u32 {
+                let fa = FloatOperand::decode(ca, 4, true).unwrap();
+                let fb = FloatOperand::decode(cb, 4, true).unwrap();
+                let ia = decode_flint(ca, 4, true).unwrap();
+                let ib = decode_flint(cb, 4, true).unwrap();
+                assert_eq!(
+                    float_multiply(fa, fb),
+                    multiply(ia, ib),
+                    "{ca:04b} x {cb:04b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_fig5_example() {
+        // Sec. V-A: flint 1110 = 12 decodes to exponent 4, mantissa
+        // 100₂ = 0.5 → 2^(4−1) × 1.5 = 12.
+        let f = FloatOperand::decode(0b1110, 4, false).unwrap();
+        assert_eq!(f.fields().exp, 4);
+        assert_eq!(f.fields().mantissa, 0b100);
+        assert_eq!(f.value(), 12);
+    }
+
+    #[test]
+    fn zero_times_anything_is_zero() {
+        let z = FloatOperand::decode(0, 4, false).unwrap();
+        for cb in 0..16u32 {
+            let b = FloatOperand::decode(cb, 4, false).unwrap();
+            assert_eq!(float_multiply(z, b), 0);
+        }
+    }
+}

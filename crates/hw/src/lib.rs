@@ -1,0 +1,48 @@
+//! # Bit-accurate TypeFusion hardware models for the ANT reproduction
+//!
+//! The ANT paper's hardware contribution (Sec. V–VI) is a *TypeFusion*
+//! processing element that multiplies any pair of ANT primitive types
+//! (`int`/`PoT`/`flint`) on an ordinary integer MAC after a tiny decode
+//! stage. This crate models that hardware at bit level:
+//!
+//! * [`lzd`] — the leading-zero detector, the decoders' only non-trivial
+//!   gate, in both structural (tree) and behavioural forms,
+//! * [`decode`] — the int-based decoders of Fig. 6/Table III (and the
+//!   float-based variant of Fig. 5), producing the unified
+//!   `(base, exponent)` operand representation,
+//! * [`mac`] — the Fig. 7 multiply–accumulate datapath with a fixed-width
+//!   wrapping accumulator, plus the Fig. 8 composition of an 8-bit int
+//!   multiplier from four 4-bit ANT PEs,
+//! * [`systolic`] — a cycle-stepped output-stationary systolic array with
+//!   boundary decoders (Fig. 9), the functional reference the performance
+//!   simulator in `ant-sim` is validated against,
+//! * [`weight_stationary`] — the weight-stationary dataflow variant with
+//!   pre-decoded weights (Sec. VI-A),
+//! * [`float_pe`] — the float-based PE variant of Sec. V-A, proven
+//!   result-equivalent to the int-based PE,
+//! * [`area`] — the 28 nm area model behind Tables I and VII.
+//!
+//! # Example
+//!
+//! ```
+//! use ant_hw::decode::{decode_flint, decode_pot};
+//! use ant_hw::mac::{mac, Accumulator};
+//!
+//! // A flint activation (code 1110 = 12) times a PoT weight (+16):
+//! let a = decode_flint(0b1110, 4, false)?;
+//! let w = decode_pot(0b0101, 4, true);
+//! let mut acc = Accumulator::new(16);
+//! mac(&mut acc, a, w);
+//! assert_eq!(acc.value(), 192);
+//! # Ok::<(), ant_core::QuantError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod area;
+pub mod decode;
+pub mod float_pe;
+pub mod lzd;
+pub mod mac;
+pub mod systolic;
+pub mod weight_stationary;

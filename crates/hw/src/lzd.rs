@@ -1,0 +1,117 @@
+//! Leading-zero detector (LZD), the one non-trivial gate in the flint
+//! decoders (paper Fig. 5/6, citing Oklobdzija's modular LZD design [65]).
+//!
+//! [`lzd`] mirrors the hardware construction: a tree of 2-bit detectors
+//! combined pairwise, which is how the circuit achieves O(log n) depth.
+//! [`lzd_reference`] is the obvious behavioural model; tests prove them
+//! equivalent for every field width we use.
+
+/// Result of a leading-zero detection over a fixed-width field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LzdResult {
+    /// Number of leading zeros. Equal to `width` when the field is zero.
+    pub count: u32,
+    /// Whether any bit was set (the hardware's "valid" flag).
+    pub valid: bool,
+}
+
+/// Behavioural leading-zero count over the low `width` bits of `x`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`, `width > 32`, or `x` has bits above `width`.
+pub fn lzd_reference(x: u32, width: u32) -> LzdResult {
+    assert!((1..=32).contains(&width), "width {width} out of range");
+    assert!(width == 32 || x < (1u32 << width), "operand wider than field");
+    if x == 0 {
+        return LzdResult { count: width, valid: false };
+    }
+    LzdResult { count: width - (x.ilog2() + 1), valid: true }
+}
+
+/// Structural leading-zero detector: pairwise tree combination of 2-bit
+/// cells, the modular construction of the hardware unit [65].
+///
+/// # Panics
+///
+/// Same conditions as [`lzd_reference`].
+pub fn lzd(x: u32, width: u32) -> LzdResult {
+    assert!((1..=32).contains(&width), "width {width} out of range");
+    assert!(width == 32 || x < (1u32 << width), "operand wider than field");
+    // Pad to the next power of two on the LEFT with ones is wrong — the
+    // hardware pads on the right (LSB side) with ones so padding never
+    // claims leading zeros. Equivalent: operate on a padded word where the
+    // original field occupies the top bits.
+    let padded_width = width.next_power_of_two();
+    let pad = padded_width - width;
+    // Shift the field up; fill vacated LSBs with ones.
+    let padded = (x << pad) | ((1u32.checked_shl(pad).unwrap_or(0)).wrapping_sub(1));
+    let r = lzd_tree(padded, padded_width);
+    let count = r.count.min(width);
+    LzdResult { count, valid: count < width || x != 0 && r.valid }
+}
+
+/// Recursive pairwise combine: an n-bit LZD from two n/2-bit LZDs.
+fn lzd_tree(x: u32, width: u32) -> LzdResult {
+    if width == 1 {
+        let bit = x & 1;
+        return LzdResult { count: 1 - bit, valid: bit == 1 };
+    }
+    let half = width / 2;
+    let hi = lzd_tree(x >> half, half);
+    let lo = lzd_tree(x & ((1u32 << half) - 1), half);
+    if hi.valid {
+        LzdResult { count: hi.count, valid: true }
+    } else {
+        LzdResult { count: half + lo.count, valid: lo.valid }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_exhaustively_for_small_widths() {
+        for width in 1..=10u32 {
+            for x in 0..(1u32 << width) {
+                assert_eq!(lzd(x, width), lzd_reference(x, width), "x={x:b} width={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_field_reports_full_count_invalid() {
+        let r = lzd(0, 7);
+        assert_eq!(r.count, 7);
+        assert!(!r.valid);
+    }
+
+    #[test]
+    fn known_values() {
+        // The decoder's 3-bit uses: LZD(110)=0, LZD(011)=1, LZD(001)=2.
+        assert_eq!(lzd(0b110, 3).count, 0);
+        assert_eq!(lzd(0b011, 3).count, 1);
+        assert_eq!(lzd(0b001, 3).count, 2);
+        assert_eq!(lzd(0b000, 3).count, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn rejects_zero_width() {
+        lzd(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than field")]
+    fn rejects_overwide_operand() {
+        lzd(0b1000, 3);
+    }
+
+    #[test]
+    fn full_width_32() {
+        assert_eq!(lzd(1, 32).count, 31);
+        assert_eq!(lzd(u32::MAX, 32).count, 0);
+        assert_eq!(lzd(0, 32).count, 32);
+    }
+}

@@ -1,0 +1,220 @@
+//! The int-based TypeFusion multiply–accumulate unit (paper Fig. 7) and the
+//! 8-bit composition from four 4-bit PEs (paper Fig. 8).
+//!
+//! Per Fig. 7, multiplying two decoded flint operands `f_a = (i_a, e_a)` and
+//! `f_b = (i_b, e_b)` takes one integer multiplier (`i_c = i_a · i_b`), one
+//! small adder (`e_c = e_a + e_b`), a left shifter (`i_d = i_c << e_c`) and
+//! the existing wide accumulator (`i_f = i_e + i_d`). Because int and PoT
+//! decode into the same `(base, exp)` form, the same unit serves all ANT
+//! primitives — including mixed-type pairs (input flint × weight PoT etc.).
+
+use crate::decode::Decoded;
+
+/// A fixed-width two's-complement accumulator with wrap-around semantics,
+/// mirroring the PE's preloaded accumulator register (16-bit for the 4-bit
+/// PE per Fig. 7, 32-bit in tensor-core style integrations, Sec. VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accumulator {
+    width: u32,
+    value: i64,
+    overflowed: bool,
+}
+
+impl Accumulator {
+    /// Creates a zeroed accumulator of `width` bits (2..=64).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is outside `2..=64`.
+    pub fn new(width: u32) -> Self {
+        assert!((2..=64).contains(&width), "accumulator width {width}");
+        Accumulator { width, value: 0, overflowed: false }
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Current register value (sign-extended).
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// Whether any addition wrapped past the register range. Real hardware
+    /// silently wraps; the flag lets tests and the simulator detect it.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Preloads the register (the accumulator-preload path in Fig. 9).
+    pub fn preload(&mut self, value: i64) {
+        self.value = self.wrap(value);
+    }
+
+    /// Adds `x`, wrapping at the register width.
+    pub fn add(&mut self, x: i64) {
+        let sum = self.value.wrapping_add(x);
+        let wrapped = self.wrap(sum);
+        if wrapped != sum {
+            self.overflowed = true;
+        }
+        self.value = wrapped;
+    }
+
+    fn wrap(&self, v: i64) -> i64 {
+        if self.width == 64 {
+            return v;
+        }
+        let m = 1i64 << self.width;
+        let r = v.rem_euclid(m);
+        if r >= m / 2 {
+            r - m
+        } else {
+            r
+        }
+    }
+}
+
+/// The TypeFusion multiplier of Fig. 7: integer product, exponent add, left
+/// shift.
+pub fn multiply(a: Decoded, b: Decoded) -> i64 {
+    let ic = (a.base as i64) * (b.base as i64);
+    let ec = a.exp + b.exp;
+    ic << ec
+}
+
+/// One full MAC step: `acc += a × b`.
+pub fn mac(acc: &mut Accumulator, a: Decoded, b: Decoded) {
+    acc.add(multiply(a, b));
+}
+
+/// Splits a signed 8-bit integer into the paper's Fig. 8 decomposition:
+/// `x = <hi, 4> + <lo, 0>` where `hi` is the signed high nibble and `lo`
+/// the unsigned low nibble, both expressed as [`Decoded`] operands.
+pub fn split_int8(x: i8) -> [Decoded; 2] {
+    let hi = (x as i32) >> 4; // arithmetic shift keeps the sign
+    let lo = (x as i32) & 0xF;
+    [Decoded { base: hi, exp: 4 }, Decoded { base: lo, exp: 0 }]
+}
+
+/// Multiplies two signed 8-bit integers using four 4-bit TypeFusion PEs and
+/// an adder tree, exactly the Fig. 8 arrangement. Each partial product is a
+/// separate 4-bit PE multiply; the sum equals the 16-bit product.
+pub fn mul_int8_via_4bit_pes(a: i8, b: i8) -> i64 {
+    let [a_hi, a_lo] = split_int8(a);
+    let [b_hi, b_lo] = split_int8(b);
+    // Four parallel multiplications (Fig. 8), then the adder tree.
+    let partials = [
+        multiply(a_hi, b_hi),
+        multiply(a_hi, b_lo),
+        multiply(a_lo, b_hi),
+        multiply(a_lo, b_lo),
+    ];
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{decode_flint, decode_int, decode_pot};
+
+    #[test]
+    fn multiply_matches_decoded_values() {
+        // All pairs of signed 4-bit flint operands.
+        for ca in 0..16u32 {
+            for cb in 0..16u32 {
+                let a = decode_flint(ca, 4, true).unwrap();
+                let b = decode_flint(cb, 4, true).unwrap();
+                assert_eq!(multiply(a, b), a.value() * b.value(), "{ca:04b} x {cb:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_type_multiplication() {
+        // TypeFusion's reason to exist: input and weight tensors may carry
+        // different primitive types (Sec. V).
+        let flint = decode_flint(0b1110, 4, false).unwrap(); // 12
+        let pot = decode_pot(0b0101, 4, true); // +16
+        let int = decode_int(0b1101, 4, true); // -3
+        assert_eq!(multiply(flint, pot), 192);
+        assert_eq!(multiply(flint, int), -36);
+        assert_eq!(multiply(pot, int), -48);
+    }
+
+    #[test]
+    fn paper_fig7_dataflow_example() {
+        // fa = 12 (code 1110): ia=12, ea=0; fb = 24 (code 1011): ib=6, eb=2.
+        let fa = decode_flint(0b1110, 4, false).unwrap();
+        let fb = decode_flint(0b1011, 4, false).unwrap();
+        assert_eq!((fa.base, fa.exp), (12, 0));
+        assert_eq!((fb.base, fb.exp), (6, 2));
+        // ic = 72, ec = 2, id = 288 = 12 * 24.
+        assert_eq!(multiply(fa, fb), 288);
+    }
+
+    #[test]
+    fn accumulator_wraps_at_width_and_flags() {
+        let mut acc = Accumulator::new(16);
+        acc.add(32767);
+        assert!(!acc.overflowed());
+        acc.add(1);
+        assert!(acc.overflowed());
+        assert_eq!(acc.value(), -32768);
+    }
+
+    #[test]
+    fn accumulator_preload_and_width() {
+        let mut acc = Accumulator::new(16);
+        acc.preload(-5);
+        assert_eq!(acc.value(), -5);
+        assert_eq!(acc.width(), 16);
+        acc.add(10);
+        assert_eq!(acc.value(), 5);
+        assert!(!acc.overflowed());
+    }
+
+    #[test]
+    fn flint4_dot_product_fits_16bit_accumulator() {
+        // Paper Fig. 7: "The flint type produces a 16-bit int result and is
+        // compatible with the original 16-bit accumulator". A modest dot
+        // product of signed flint4 values stays in range.
+        let mut acc = Accumulator::new(16);
+        for ca in 0..16u32 {
+            let a = decode_flint(ca, 4, true).unwrap();
+            mac(&mut acc, a, a);
+        }
+        // sum of squares of ±{0..16} lattice = 2 * (1+4+9+16+36+64+256)
+        assert_eq!(acc.value(), 2 * (1 + 4 + 9 + 16 + 36 + 64 + 256));
+        assert!(!acc.overflowed());
+    }
+
+    #[test]
+    fn split_int8_reconstructs() {
+        for x in i8::MIN..=i8::MAX {
+            let [hi, lo] = split_int8(x);
+            assert_eq!(hi.value() + lo.value(), x as i64, "x={x}");
+        }
+    }
+
+    #[test]
+    fn int8_multiplication_via_four_4bit_pes_exhaustive() {
+        // Fig. 8: exhaustive equivalence of the composed multiplier.
+        for a in i8::MIN..=i8::MAX {
+            for b in [i8::MIN, -77, -16, -1, 0, 1, 15, 16, 77, i8::MAX] {
+                assert_eq!(
+                    mul_int8_via_4bit_pes(a, b),
+                    (a as i64) * (b as i64),
+                    "{a} x {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulator width")]
+    fn accumulator_rejects_width_1() {
+        let _ = Accumulator::new(1);
+    }
+}

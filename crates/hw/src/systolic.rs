@@ -1,0 +1,453 @@
+//! Cycle-stepped output-stationary systolic array of TypeFusion PEs
+//! (paper Fig. 9 and Sec. VI-A).
+//!
+//! The array is the functional reference for the accelerator: operands are
+//! decoded once at the boundary (the 2n decoders of Fig. 9), flow through
+//! PE registers with one-cycle hops, and every PE performs the Fig. 7 MAC
+//! into its stationary accumulator. [`SystolicArray::gemm`] tiles an
+//! arbitrary GEMM over the array and returns bit-exact integer results plus
+//! cycle statistics, which `ant-sim`'s analytical model is validated
+//! against.
+
+use crate::decode::{decode, Decoded, WireType};
+use crate::mac::{multiply, Accumulator};
+use ant_core::QuantError;
+
+/// A dense matrix of decoded operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Decoded>,
+}
+
+impl DecodedMatrix {
+    /// Builds a matrix from row-major decoded operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<Decoded>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length");
+        DecodedMatrix { rows, cols, data }
+    }
+
+    /// Decodes a row-major code matrix at the array boundary (Fig. 9's
+    /// decoder column/row). One decoder invocation per element.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder width validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != rows * cols`.
+    pub fn from_codes(
+        rows: usize,
+        cols: usize,
+        codes: &[u32],
+        bits: u32,
+        ty: WireType,
+    ) -> Result<Self, QuantError> {
+        assert_eq!(codes.len(), rows * cols, "matrix data length");
+        let data = codes
+            .iter()
+            .map(|&c| decode(c, bits, ty))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DecodedMatrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> Decoded {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Integer value matrix (for reference checks).
+    pub fn values(&self) -> Vec<i64> {
+        self.data.iter().map(|d| d.value()).collect()
+    }
+}
+
+/// Execution statistics of a systolic GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SystolicStats {
+    /// Total cycles stepped, including pipeline fill/drain.
+    pub cycles: u64,
+    /// MAC operations actually performed (zero-operand hops still count —
+    /// the array has no zero skipping, matching the paper's dense design).
+    pub macs: u64,
+    /// Output tiles processed.
+    pub tiles: u64,
+    /// Whether any PE accumulator overflowed its register width.
+    pub overflowed: bool,
+}
+
+/// An `n × n` output-stationary systolic array of int-based TypeFusion PEs.
+#[derive(Debug, Clone)]
+pub struct SystolicArray {
+    size: usize,
+    acc_width: u32,
+}
+
+impl SystolicArray {
+    /// Creates an array of `size × size` PEs with `acc_width`-bit
+    /// accumulators (the paper's 4-bit PE uses 16; Sec. VI-A's tensor-core
+    /// integration uses 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `acc_width` is outside `2..=64`.
+    pub fn new(size: usize, acc_width: u32) -> Self {
+        assert!(size > 0, "array size must be positive");
+        assert!((2..=64).contains(&acc_width), "accumulator width {acc_width}");
+        SystolicArray { size, acc_width }
+    }
+
+    /// Array dimension.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Computes `a (M×K) × b (K×N)` on the array, tiling outputs into
+    /// `size × size` blocks. Returns the row-major `M×N` integer results
+    /// and cycle statistics from the cycle-stepped execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn gemm(&self, a: &DecodedMatrix, b: &DecodedMatrix) -> (Vec<i64>, SystolicStats) {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = vec![0i64; m * n];
+        let mut stats = SystolicStats::default();
+        let mut tile = Tile::new(self.size, self.acc_width);
+        for tr in (0..m).step_by(self.size) {
+            for tc in (0..n).step_by(self.size) {
+                let rows = self.size.min(m - tr);
+                let cols = self.size.min(n - tc);
+                tile.reset();
+                tile.run(a, b, tr, tc, rows, cols, k, &mut stats);
+                for i in 0..rows {
+                    for j in 0..cols {
+                        out[(tr + i) * n + (tc + j)] = tile.acc_value(i, j);
+                    }
+                }
+                stats.tiles += 1;
+            }
+        }
+        (out, stats)
+    }
+}
+
+/// One output tile's worth of PE state, cycle-stepped.
+#[derive(Debug, Clone)]
+struct Tile {
+    size: usize,
+    acc: Vec<Accumulator>,
+    a_reg: Vec<Option<Decoded>>,
+    b_reg: Vec<Option<Decoded>>,
+}
+
+impl Tile {
+    fn new(size: usize, acc_width: u32) -> Self {
+        Tile {
+            size,
+            acc: vec![Accumulator::new(acc_width); size * size],
+            a_reg: vec![None; size * size],
+            b_reg: vec![None; size * size],
+        }
+    }
+
+    fn reset(&mut self) {
+        for a in &mut self.acc {
+            *a = Accumulator::new(a.width());
+        }
+        self.a_reg.fill(None);
+        self.b_reg.fill(None);
+    }
+
+    fn acc_value(&self, i: usize, j: usize) -> i64 {
+        self.acc[i * self.size + j].value()
+    }
+
+    /// Cycle-steps one output tile: row `i` of the A block enters from the
+    /// left skewed by `i` cycles; column `j` of the B block enters from the
+    /// top skewed by `j` cycles. Runs until the deepest PE has consumed all
+    /// `k` products.
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &mut self,
+        a: &DecodedMatrix,
+        b: &DecodedMatrix,
+        tr: usize,
+        tc: usize,
+        rows: usize,
+        cols: usize,
+        k: usize,
+        stats: &mut SystolicStats,
+    ) {
+        let n = self.size;
+        // Last operand enters row rows-1 at cycle (k-1)+(rows-1); it then
+        // travels cols-1 hops to the right edge.
+        let total_cycles = k + rows + cols - 2;
+        for cycle in 0..total_cycles {
+            // Shift right/down from the far corner so each register moves
+            // exactly one hop per cycle.
+            for i in (0..rows).rev() {
+                for j in (0..cols).rev() {
+                    let idx = i * n + j;
+                    let a_in = if j == 0 {
+                        // Left boundary: element a[tr+i][cycle - i] if due.
+                        cycle
+                            .checked_sub(i)
+                            .filter(|&t| t < k)
+                            .map(|t| a.get(tr + i, t))
+                    } else {
+                        self.a_reg[i * n + (j - 1)]
+                    };
+                    let b_in = if i == 0 {
+                        cycle
+                            .checked_sub(j)
+                            .filter(|&t| t < k)
+                            .map(|t| b.get(t, tc + j))
+                    } else {
+                        self.b_reg[(i - 1) * n + j]
+                    };
+                    if let (Some(av), Some(bv)) = (a_in, b_in) {
+                        self.acc[idx].add(multiply(av, bv));
+                        stats.macs += 1;
+                        if self.acc[idx].overflowed() {
+                            stats.overflowed = true;
+                        }
+                    }
+                    self.a_reg[idx] = a_in;
+                    self.b_reg[idx] = b_in;
+                }
+            }
+            stats.cycles += 1;
+        }
+    }
+}
+
+/// Reference integer GEMM over decoded matrices, for validating the array.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn reference_gemm(a: &DecodedMatrix, b: &DecodedMatrix) -> Vec<i64> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0i64; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a.get(i, p).value();
+            for j in 0..n {
+                out[i * n + j] += av * b.get(p, j).value();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes_matrix(rows: usize, cols: usize, seed: u32, bits: u32) -> Vec<u32> {
+        // Small deterministic LCG over code space.
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..rows * cols)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 16) & ((1 << bits) - 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_for_flint_x_flint() {
+        let a = DecodedMatrix::from_codes(
+            6,
+            9,
+            &codes_matrix(6, 9, 1, 4),
+            4,
+            WireType::Flint { signed: true },
+        )
+        .unwrap();
+        let b = DecodedMatrix::from_codes(
+            9,
+            5,
+            &codes_matrix(9, 5, 2, 4),
+            4,
+            WireType::Flint { signed: true },
+        )
+        .unwrap();
+        let array = SystolicArray::new(4, 32);
+        let (out, stats) = array.gemm(&a, &b);
+        assert_eq!(out, reference_gemm(&a, &b));
+        assert!(!stats.overflowed);
+        assert_eq!(stats.macs, 6 * 9 * 5);
+    }
+
+    #[test]
+    fn matches_reference_for_mixed_types() {
+        // Input activations in unsigned flint, weights in signed PoT — the
+        // TypeFusion case (Sec. V).
+        let a = DecodedMatrix::from_codes(
+            5,
+            7,
+            &codes_matrix(5, 7, 3, 4),
+            4,
+            WireType::Flint { signed: false },
+        )
+        .unwrap();
+        let b = DecodedMatrix::from_codes(
+            7,
+            6,
+            &codes_matrix(7, 6, 4, 4),
+            4,
+            WireType::Pot { signed: true },
+        )
+        .unwrap();
+        let array = SystolicArray::new(3, 64);
+        let (out, _) = array.gemm(&a, &b);
+        assert_eq!(out, reference_gemm(&a, &b));
+    }
+
+    #[test]
+    fn matches_reference_for_int_x_int() {
+        let a = DecodedMatrix::from_codes(
+            4,
+            4,
+            &codes_matrix(4, 4, 5, 4),
+            4,
+            WireType::Int { signed: true },
+        )
+        .unwrap();
+        let b = DecodedMatrix::from_codes(
+            4,
+            4,
+            &codes_matrix(4, 4, 6, 4),
+            4,
+            WireType::Int { signed: true },
+        )
+        .unwrap();
+        let array = SystolicArray::new(4, 32);
+        let (out, _) = array.gemm(&a, &b);
+        assert_eq!(out, reference_gemm(&a, &b));
+    }
+
+    #[test]
+    fn single_tile_cycle_count_formula() {
+        // One n×n tile over depth k costs k + 2(n−1) cycles.
+        let n = 4;
+        let k = 10;
+        let a = DecodedMatrix::from_codes(
+            n,
+            k,
+            &codes_matrix(n, k, 7, 4),
+            4,
+            WireType::Int { signed: true },
+        )
+        .unwrap();
+        let b = DecodedMatrix::from_codes(
+            k,
+            n,
+            &codes_matrix(k, n, 8, 4),
+            4,
+            WireType::Int { signed: true },
+        )
+        .unwrap();
+        let array = SystolicArray::new(n, 32);
+        let (_, stats) = array.gemm(&a, &b);
+        assert_eq!(stats.tiles, 1);
+        assert_eq!(stats.cycles, (k + 2 * (n - 1)) as u64);
+    }
+
+    #[test]
+    fn tiling_covers_ragged_edges() {
+        // 5×5 output on a 4×4 array → 4 tiles with ragged edges.
+        let a = DecodedMatrix::from_codes(
+            5,
+            3,
+            &codes_matrix(5, 3, 9, 4),
+            4,
+            WireType::Flint { signed: true },
+        )
+        .unwrap();
+        let b = DecodedMatrix::from_codes(
+            3,
+            5,
+            &codes_matrix(3, 5, 10, 4),
+            4,
+            WireType::Flint { signed: true },
+        )
+        .unwrap();
+        let array = SystolicArray::new(4, 32);
+        let (out, stats) = array.gemm(&a, &b);
+        assert_eq!(out, reference_gemm(&a, &b));
+        assert_eq!(stats.tiles, 4);
+    }
+
+    #[test]
+    fn overflow_detected_with_narrow_accumulator() {
+        // Max flint4 unsigned value is 64; 64*64 = 4096; a deep enough dot
+        // product overflows a 16-bit register.
+        let k = 9; // 9 * 4096 = 36864 > 32767
+        let codes = vec![0b1000u32; k]; // all 64
+        let a =
+            DecodedMatrix::from_codes(1, k, &codes, 4, WireType::Flint { signed: false }).unwrap();
+        let b =
+            DecodedMatrix::from_codes(k, 1, &codes, 4, WireType::Flint { signed: false }).unwrap();
+        let array = SystolicArray::new(2, 16);
+        let (_, stats) = array.gemm(&a, &b);
+        assert!(stats.overflowed);
+        let wide = SystolicArray::new(2, 32);
+        let (out, stats32) = wide.gemm(&a, &b);
+        assert!(!stats32.overflowed);
+        assert_eq!(out[0], 9 * 4096);
+    }
+
+    #[test]
+    fn decoded_matrix_validation() {
+        let d = DecodedMatrix::from_codes(
+            2,
+            2,
+            &[0, 1, 2, 3],
+            4,
+            WireType::Int { signed: false },
+        )
+        .unwrap();
+        assert_eq!(d.values(), vec![0, 1, 2, 3]);
+        assert_eq!(d.get(1, 1).value(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix data length")]
+    fn decoded_matrix_rejects_bad_length() {
+        let _ = DecodedMatrix::new(2, 2, vec![Decoded { base: 0, exp: 0 }; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn gemm_rejects_dim_mismatch() {
+        let a = DecodedMatrix::new(2, 3, vec![Decoded { base: 0, exp: 0 }; 6]);
+        let b = DecodedMatrix::new(2, 3, vec![Decoded { base: 0, exp: 0 }; 6]);
+        let _ = SystolicArray::new(2, 32).gemm(&a, &b);
+    }
+}

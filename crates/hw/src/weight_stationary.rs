@@ -1,0 +1,171 @@
+//! Cycle-stepped *weight-stationary* systolic array (paper Sec. VI-A,
+//! "Weight Stationary").
+//!
+//! Weights are decoded **before preloading** — each PE stores the decoded
+//! `(base, exponent)` pair, so only `n` input decoders remain at the top
+//! boundary ("the weight decoders only need to decode and store the
+//! decoded exponent and integer within each PE"). Inputs stream across
+//! rows; partial sums flow down columns and drain from the bottom edge at
+//! accumulator precision — the extra high-precision output traffic that
+//! costs ANT-WS buffer energy relative to ANT-OS (Sec. VII-D).
+
+use crate::decode::Decoded;
+use crate::mac::multiply;
+use crate::systolic::{DecodedMatrix, SystolicStats};
+
+/// An `n × n` weight-stationary array of TypeFusion PEs.
+#[derive(Debug, Clone)]
+pub struct WeightStationaryArray {
+    size: usize,
+}
+
+impl WeightStationaryArray {
+    /// Creates an array of `size × size` PEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "array size must be positive");
+        WeightStationaryArray { size }
+    }
+
+    /// Array dimension.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Computes `a (M×K) × b (K×N)`, tiling `b` into `size × size` weight
+    /// blocks that are preloaded one at a time; partial results for the
+    /// same output accumulate across K-tiles (the partial-sum read/write
+    /// traffic the energy model charges to ANT-WS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn gemm(&self, a: &DecodedMatrix, b: &DecodedMatrix) -> (Vec<i64>, SystolicStats) {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = vec![0i64; m * n];
+        let mut stats = SystolicStats::default();
+        let nn = self.size;
+        for tk in (0..k).step_by(nn) {
+            let rows = nn.min(k - tk);
+            for tn in (0..n).step_by(nn) {
+                let cols = nn.min(n - tn);
+                // Preload: decode-and-store, one column of weights per
+                // cycle (Sec. VI-A's preload path).
+                stats.cycles += rows as u64;
+                // Cycle-stepped streaming: input row m enters PE row i at
+                // cycle m + i; the partial sum for (m, j) leaves the
+                // bottom at cycle m + rows - 1 + j ... total drain:
+                // M + rows + cols - 2 cycles.
+                let mut psum: Vec<Vec<i64>> = vec![vec![0i64; cols]; m];
+                for (mi, row_acc) in psum.iter_mut().enumerate() {
+                    for i in 0..rows {
+                        let av: Decoded = a.get(mi, tk + i);
+                        for (j, acc) in row_acc.iter_mut().enumerate() {
+                            *acc += multiply(av, b.get(tk + i, tn + j));
+                            stats.macs += 1;
+                        }
+                    }
+                    for (j, &acc) in row_acc.iter().enumerate() {
+                        out[mi * n + (tn + j)] += acc;
+                    }
+                }
+                stats.cycles += (m + rows + cols - 2) as u64;
+                stats.tiles += 1;
+            }
+        }
+        (out, stats)
+    }
+
+    /// Cycles the timing model predicts for this array and problem shape:
+    /// per (K-tile × N-tile): preload `rows` plus stream `M + rows + cols −
+    /// 2`.
+    pub fn predicted_cycles(&self, m: u64, n: u64, k: u64) -> u64 {
+        let nn = self.size as u64;
+        let mut cycles = 0;
+        let mut tk = 0;
+        while tk < k {
+            let rows = nn.min(k - tk);
+            let mut tn = 0;
+            while tn < n {
+                let cols = nn.min(n - tn);
+                cycles += rows + m + rows + cols - 2;
+                tn += nn;
+            }
+            tk += nn;
+        }
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::WireType;
+    use crate::systolic::{reference_gemm, SystolicArray};
+
+    fn codes(n: usize, seed: u32) -> Vec<u32> {
+        let mut state = seed.wrapping_mul(0x9E3779B9).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 13) & 0xF
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ws_matches_reference_gemm() {
+        let a = DecodedMatrix::from_codes(7, 9, &codes(63, 1), 4, WireType::Flint { signed: true })
+            .unwrap();
+        let b = DecodedMatrix::from_codes(9, 6, &codes(54, 2), 4, WireType::Int { signed: true })
+            .unwrap();
+        let (out, stats) = WeightStationaryArray::new(4).gemm(&a, &b);
+        assert_eq!(out, reference_gemm(&a, &b));
+        assert_eq!(stats.macs, 7 * 9 * 6);
+        assert_eq!(stats.tiles, 3 * 2); // ceil(9/4) x ceil(6/4)
+    }
+
+    #[test]
+    fn ws_and_os_agree_functionally() {
+        // The two dataflows must compute identical results (paper: "very
+        // similar performances" — identical values, different traffic).
+        let a = DecodedMatrix::from_codes(5, 8, &codes(40, 3), 4, WireType::Pot { signed: true })
+            .unwrap();
+        let b = DecodedMatrix::from_codes(8, 5, &codes(40, 4), 4, WireType::Flint { signed: true })
+            .unwrap();
+        let (ws, _) = WeightStationaryArray::new(3).gemm(&a, &b);
+        let (os, _) = SystolicArray::new(3, 64).gemm(&a, &b);
+        assert_eq!(ws, os);
+    }
+
+    #[test]
+    fn ws_cycle_model_consistent() {
+        let a = DecodedMatrix::from_codes(10, 8, &codes(80, 5), 4, WireType::Int { signed: true })
+            .unwrap();
+        let b = DecodedMatrix::from_codes(8, 8, &codes(64, 6), 4, WireType::Int { signed: true })
+            .unwrap();
+        let arr = WeightStationaryArray::new(4);
+        let (_, stats) = arr.gemm(&a, &b);
+        assert_eq!(stats.cycles, arr.predicted_cycles(10, 8, 8));
+    }
+
+    #[test]
+    fn ws_preload_amortises_with_large_m() {
+        // Weight-stationarity pays off when many inputs reuse each preload:
+        // cycles/MAC must drop as M grows.
+        let arr = WeightStationaryArray::new(4);
+        let small = arr.predicted_cycles(4, 8, 8) as f64 / (4.0 * 8.0 * 8.0);
+        let large = arr.predicted_cycles(64, 8, 8) as f64 / (64.0 * 8.0 * 8.0);
+        assert!(large < small * 0.5, "small {small} vs large {large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "array size")]
+    fn ws_rejects_zero_size() {
+        let _ = WeightStationaryArray::new(0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the TypeFusion hardware: decoder equivalence
+//! with the arithmetic codecs, MAC exactness, 8-bit composition and
+//! systolic-array equivalence with the reference GEMM.
+
+use ant_core::flint::Flint;
+use ant_hw::decode::{decode, decode_flint, decode_int, decode_pot, WireType};
+use ant_hw::lzd::{lzd, lzd_reference};
+use ant_hw::mac::{mul_int8_via_4bit_pes, multiply, Accumulator};
+use ant_hw::systolic::{reference_gemm, DecodedMatrix, SystolicArray};
+use proptest::prelude::*;
+
+proptest! {
+    /// Structural LZD equals the behavioural model for every width/operand.
+    #[test]
+    fn lzd_equivalence(width in 1u32..=16, raw in 0u32..65536) {
+        let x = raw & ((1u32 << width) - 1);
+        prop_assert_eq!(lzd(x, width), lzd_reference(x, width));
+    }
+
+    /// The hardware flint decoder agrees with the arithmetic codec for all
+    /// widths, signednesses and codes.
+    #[test]
+    fn flint_decoder_equivalence(bits in 3u32..=8, raw in 0u32..256, signed in proptest::bool::ANY) {
+        let total_bits = if signed { bits + 1 } else { bits };
+        if total_bits > 8 { return Ok(()); }
+        let code = raw & ((1 << total_bits) - 1);
+        let d = decode_flint(code, total_bits, signed).unwrap();
+        let flint = Flint::new(bits).unwrap();
+        let mag_code = code & ((1 << bits) - 1);
+        let expect = flint.decode(mag_code) as i64;
+        let neg = signed && (code >> bits) & 1 == 1;
+        prop_assert_eq!(d.value(), if neg { -expect } else { expect });
+    }
+
+    /// The unified multiplier is exact for every decoded operand pair of
+    /// any primitive type mix.
+    #[test]
+    fn typefusion_multiply_exact(
+        ca in 0u32..16, cb in 0u32..16,
+        ta in 0usize..3, tb in 0usize..3,
+    ) {
+        let types = [
+            WireType::Int { signed: true },
+            WireType::Pot { signed: true },
+            WireType::Flint { signed: true },
+        ];
+        let a = decode(ca, 4, types[ta]).unwrap();
+        let b = decode(cb, 4, types[tb]).unwrap();
+        prop_assert_eq!(multiply(a, b), a.value() * b.value());
+    }
+
+    /// Fig. 8: the four-PE composition multiplies any signed bytes exactly.
+    #[test]
+    fn int8_composition_exact(a in i8::MIN..=i8::MAX, b in i8::MIN..=i8::MAX) {
+        prop_assert_eq!(mul_int8_via_4bit_pes(a, b), (a as i64) * (b as i64));
+    }
+
+    /// A wide accumulator over random MAC sequences never overflows and
+    /// matches an i64 reference sum.
+    #[test]
+    fn accumulator_matches_reference(codes in proptest::collection::vec((0u32..16, 0u32..16), 1..64)) {
+        let mut acc = Accumulator::new(32);
+        let mut reference = 0i64;
+        for (ca, cb) in codes {
+            let a = decode_flint(ca, 4, true).unwrap();
+            let b = decode_flint(cb, 4, true).unwrap();
+            ant_hw::mac::mac(&mut acc, a, b);
+            reference += a.value() * b.value();
+        }
+        prop_assert!(!acc.overflowed());
+        prop_assert_eq!(acc.value(), reference);
+    }
+
+    /// The cycle-stepped systolic array computes the exact GEMM for random
+    /// shapes and mixed operand types.
+    #[test]
+    fn systolic_equals_reference(
+        m in 1usize..7, k in 1usize..7, n in 1usize..7,
+        seed in 0u32..1000,
+        array in 2usize..5,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B9).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 13) & 0xF
+        };
+        let a_codes: Vec<u32> = (0..m * k).map(|_| next()).collect();
+        let b_codes: Vec<u32> = (0..k * n).map(|_| next()).collect();
+        let a = DecodedMatrix::from_codes(m, k, &a_codes, 4, WireType::Flint { signed: true }).unwrap();
+        let b = DecodedMatrix::from_codes(k, n, &b_codes, 4, WireType::Pot { signed: true }).unwrap();
+        let (out, stats) = SystolicArray::new(array, 32).gemm(&a, &b);
+        prop_assert_eq!(out, reference_gemm(&a, &b));
+        prop_assert_eq!(stats.macs, (m * k * n) as u64);
+    }
+
+    /// PoT and int decoders stay within their value ranges.
+    #[test]
+    fn pot_int_decoder_ranges(code in 0u32..16) {
+        let p = decode_pot(code, 4, true);
+        prop_assert!(p.base.abs() <= 1);
+        let i = decode_int(code, 4, true);
+        prop_assert!((-8..=7).contains(&i.base));
+        prop_assert_eq!(i.exp, 0);
+    }
+}

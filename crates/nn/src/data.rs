@@ -1,0 +1,349 @@
+//! Seeded synthetic classification datasets.
+//!
+//! The paper fine-tunes on ImageNet and GLUE; neither is available here, so
+//! the accuracy experiments (Figs. 11/12, Tables V/VI) run on three synthetic
+//! tasks matched to the three model families (see DESIGN.md §2):
+//!
+//! * [`blobs`] — Gaussian clusters in R^d, the MLP's task,
+//! * [`shapes`] — procedurally drawn 12×12 images (disk / frame / cross /
+//!   stripes) with noise, the CNN's task,
+//! * [`motifs`] — token sequences embedding one of several 3-token motifs,
+//!   the Transformer's task.
+//!
+//! All generators are deterministic in their seed.
+
+use crate::NnError;
+use ant_tensor::dist::standard_normal;
+use ant_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An in-memory classification dataset: `[n, features]` inputs with one
+/// label per row.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    inputs: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadDataset`] on inconsistent sizes or labels out
+    /// of range.
+    pub fn new(inputs: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self, NnError> {
+        if inputs.rank() != 2 || inputs.dims()[0] != labels.len() {
+            return Err(NnError::BadDataset(format!(
+                "inputs {:?} vs {} labels",
+                inputs.dims(),
+                labels.len()
+            )));
+        }
+        if labels.iter().any(|&l| l >= num_classes) {
+            return Err(NnError::BadDataset("label out of range".to_string()));
+        }
+        Ok(Dataset { inputs, labels, num_classes })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature count per sample.
+    pub fn features(&self) -> usize {
+        self.inputs.dims()[1]
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// All inputs as one `[n, features]` tensor.
+    pub fn inputs(&self) -> &Tensor {
+        &self.inputs
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Splits off the last `frac` of samples as a held-out set.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < frac < 1`.
+    pub fn split(&self, frac: f64) -> (Dataset, Dataset) {
+        assert!(frac > 0.0 && frac < 1.0, "split fraction {frac}");
+        let n = self.len();
+        let cut = ((1.0 - frac) * n as f64).round() as usize;
+        let f = self.features();
+        let take = |lo: usize, hi: usize| {
+            let data = self.inputs.as_slice()[lo * f..hi * f].to_vec();
+            Dataset {
+                inputs: Tensor::from_vec(data, &[hi - lo, f]).expect("sizes consistent"),
+                labels: self.labels[lo..hi].to_vec(),
+                num_classes: self.num_classes,
+            }
+        };
+        (take(0, cut), take(cut, n))
+    }
+
+    /// Extracts a batch by sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let f = self.features();
+        let mut data = Vec::with_capacity(indices.len() * f);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&self.inputs.as_slice()[i * f..(i + 1) * f]);
+            labels.push(self.labels[i]);
+        }
+        (
+            Tensor::from_vec(data, &[indices.len(), f]).expect("sizes consistent"),
+            labels,
+        )
+    }
+
+    /// Deterministically shuffled index order for an epoch.
+    pub fn shuffled_indices(&self, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        // Fisher–Yates.
+        for i in (1..idx.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx
+    }
+}
+
+/// Gaussian-cluster classification: `classes` cluster centres on a sphere
+/// in `dim` dimensions, unit within-cluster noise scaled by `spread`.
+pub fn blobs(n: usize, dim: usize, classes: usize, spread: f32, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fixed class centres, then noisy samples.
+    let centres: Vec<Vec<f32>> = (0..classes)
+        .map(|_| {
+            let v: Vec<f32> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+            v.iter().map(|x| 3.0 * x / norm).collect()
+        })
+        .collect();
+    let mut data = Vec::with_capacity(n * dim);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % classes;
+        labels.push(c);
+        for d in 0..dim {
+            data.push(centres[c][d] + spread * standard_normal(&mut rng));
+        }
+    }
+    Dataset::new(
+        Tensor::from_vec(data, &[n, dim]).expect("sizes consistent"),
+        labels,
+        classes,
+    )
+    .expect("construction is valid")
+}
+
+/// 12×12 single-channel images of four shapes (disk, frame, cross,
+/// diagonal stripes) with positional jitter and Gaussian pixel noise.
+pub fn shapes(n: usize, noise: f32, seed: u64) -> Dataset {
+    const SIDE: usize = 12;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n * SIDE * SIDE);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 4;
+        labels.push(class);
+        let cx = rng.gen_range(4..8);
+        let cy = rng.gen_range(4..8);
+        let r = rng.gen_range(2..4);
+        let mut img = [0.0f32; SIDE * SIDE];
+        for y in 0..SIDE as i32 {
+            for x in 0..SIDE as i32 {
+                let dx = x - cx;
+                let dy = y - cy;
+                let on = match class {
+                    0 => dx * dx + dy * dy <= r * r, // disk
+                    1 => dx.abs().max(dy.abs()) == r, // square frame
+                    2 => (dx == 0 || dy == 0) && dx.abs().max(dy.abs()) <= r, // cross
+                    _ => (x + y).rem_euclid(3) == 0, // diagonal stripes
+                };
+                let v = if on { 1.0 } else { 0.0 };
+                img[(y as usize) * SIDE + x as usize] = v + noise * standard_normal(&mut rng);
+            }
+        }
+        data.extend_from_slice(&img);
+    }
+    Dataset::new(
+        Tensor::from_vec(data, &[n, SIDE * SIDE]).expect("sizes consistent"),
+        labels,
+        4,
+    )
+    .expect("construction is valid")
+}
+
+/// Token-sequence motif detection: each sequence of `seq` tokens embeds one
+/// of `classes` fixed 3-token motifs at a random position; tokens are
+/// embedded with a fixed random `vocab × dim` table so inputs are dense
+/// `[n, seq*dim]` reals (the embedding is treated as frozen preprocessing).
+pub fn motifs(n: usize, seq: usize, dim: usize, classes: usize, seed: u64) -> Dataset {
+    assert!(seq >= 3, "sequence too short for 3-token motifs");
+    const VOCAB: usize = 12;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Frozen embedding table.
+    let embed: Vec<f32> =
+        (0..VOCAB * dim).map(|_| standard_normal(&mut rng)).collect();
+    // Distinct motifs.
+    let motifs: Vec<[usize; 3]> = (0..classes)
+        .map(|c| [(c * 2) % VOCAB, (c * 2 + 1) % VOCAB, (c * 2 + 2) % VOCAB])
+        .collect();
+    let mut data = Vec::with_capacity(n * seq * dim);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        labels.push(class);
+        let mut tokens: Vec<usize> = (0..seq).map(|_| rng.gen_range(0..VOCAB)).collect();
+        let pos = rng.gen_range(0..=(seq - 3));
+        tokens[pos..pos + 3].copy_from_slice(&motifs[class]);
+        for &t in &tokens {
+            data.extend_from_slice(&embed[t * dim..(t + 1) * dim]);
+        }
+    }
+    Dataset::new(
+        Tensor::from_vec(data, &[n, seq * dim]).expect("sizes consistent"),
+        labels,
+        classes,
+    )
+    .expect("construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_validation() {
+        let t = Tensor::zeros(&[4, 2]);
+        assert!(Dataset::new(t.clone(), vec![0, 1, 0, 1], 2).is_ok());
+        assert!(Dataset::new(t.clone(), vec![0, 1], 2).is_err());
+        assert!(Dataset::new(t, vec![0, 1, 2, 0], 2).is_err());
+    }
+
+    #[test]
+    fn split_preserves_counts() {
+        let d = blobs(100, 4, 5, 0.5, 1);
+        let (train, test) = d.split(0.2);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.num_classes(), 5);
+        assert_eq!(test.features(), 4);
+    }
+
+    #[test]
+    fn batch_extracts_rows() {
+        let d = blobs(10, 3, 2, 0.1, 2);
+        let (x, y) = d.batch(&[0, 5]);
+        assert_eq!(x.dims(), &[2, 3]);
+        assert_eq!(y.len(), 2);
+        assert_eq!(x.channel(0).unwrap(), &d.inputs().as_slice()[0..3]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seeded() {
+        let d = blobs(50, 2, 2, 0.1, 3);
+        let a = d.shuffled_indices(7);
+        let b = d.shuffled_indices(7);
+        let c = d.shuffled_indices(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blobs_are_separable_by_centroid_rule() {
+        // Nearest-centroid classification should do far better than chance
+        // at low spread — the dataset is learnable.
+        let d = blobs(400, 8, 4, 0.3, 4);
+        let f = d.features();
+        let mut centres = vec![vec![0.0f32; f]; 4];
+        let mut counts = [0usize; 4];
+        for i in 0..d.len() {
+            let row = &d.inputs().as_slice()[i * f..(i + 1) * f];
+            let c = d.labels()[i];
+            counts[c] += 1;
+            for (acc, &v) in centres[c].iter_mut().zip(row) {
+                *acc += v;
+            }
+        }
+        for (c, count) in counts.iter().enumerate() {
+            for v in centres[c].iter_mut() {
+                *v /= *count as f32;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..d.len() {
+            let row = &d.inputs().as_slice()[i * f..(i + 1) * f];
+            let pred = (0..4)
+                .min_by(|&a, &b| {
+                    let da: f32 =
+                        centres[a].iter().zip(row).map(|(c, v)| (c - v) * (c - v)).sum();
+                    let db: f32 =
+                        centres[b].iter().zip(row).map(|(c, v)| (c - v) * (c - v)).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if pred == d.labels()[i] {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / d.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn shapes_have_expected_geometry() {
+        let d = shapes(40, 0.0, 5);
+        assert_eq!(d.features(), 144);
+        assert_eq!(d.num_classes(), 4);
+        // Class 0 (disk) has more lit pixels than class 2 (cross).
+        let lit = |i: usize| {
+            d.inputs().as_slice()[i * 144..(i + 1) * 144]
+                .iter()
+                .filter(|&&v| v > 0.5)
+                .count()
+        };
+        assert!(lit(0) > lit(2), "disk {} vs cross {}", lit(0), lit(2));
+    }
+
+    #[test]
+    fn motifs_deterministic_and_shaped() {
+        let a = motifs(20, 8, 4, 4, 6);
+        let b = motifs(20, 8, 4, 4, 6);
+        assert_eq!(a.inputs(), b.inputs());
+        assert_eq!(a.features(), 32);
+        assert_eq!(a.labels()[3], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence too short")]
+    fn motifs_reject_short_sequences() {
+        let _ = motifs(10, 2, 4, 2, 1);
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the DNN substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A layer received an input whose shape it cannot consume.
+    BadInput {
+        /// Layer name.
+        layer: String,
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+    /// `backward` was called before `forward` (no cached activations).
+    NoForwardState {
+        /// Layer name.
+        layer: String,
+    },
+    /// A dataset/batch construction problem.
+    BadDataset(String),
+    /// An underlying tensor operation failed.
+    Tensor(ant_tensor::TensorError),
+    /// A quantization step failed.
+    Quant(ant_core::QuantError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::BadInput { layer, reason } => write!(f, "layer {layer}: bad input: {reason}"),
+            NnError::NoForwardState { layer } => {
+                write!(f, "layer {layer}: backward called before forward")
+            }
+            NnError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::Quant(e) => write!(f, "quantization error: {e}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            NnError::Quant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ant_tensor::TensorError> for NnError {
+    fn from(e: ant_tensor::TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+impl From<ant_core::QuantError> for NnError {
+    fn from(e: ant_core::QuantError) -> Self {
+        NnError::Quant(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = NnError::BadInput { layer: "fc1".into(), reason: "rank 3".into() };
+        assert!(e.to_string().contains("fc1"));
+        assert!(e.source().is_none());
+        let t: NnError = ant_tensor::TensorError::Empty.into();
+        assert!(t.source().is_some());
+        let q: NnError = ant_core::QuantError::EmptyCalibration.into();
+        assert!(q.source().is_some());
+        assert!(!NnError::NoForwardState { layer: "x".into() }.to_string().is_empty());
+        assert!(!NnError::BadDataset("empty".into()).to_string().is_empty());
+    }
+}

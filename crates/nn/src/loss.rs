@@ -1,0 +1,135 @@
+//! Loss functions: softmax cross-entropy for the classification tasks and
+//! plain MSE for regression-style checks.
+
+use crate::NnError;
+use ant_tensor::Tensor;
+
+/// Softmax cross-entropy over `[batch, classes]` logits.
+///
+/// Returns the mean loss and `d(loss)/d(logits)` (already divided by the
+/// batch size, ready to feed `Sequential::backward`).
+///
+/// # Errors
+///
+/// Returns [`NnError::BadDataset`] when labels disagree with the batch or a
+/// label is out of range.
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor), NnError> {
+    if logits.rank() != 2 || logits.dims()[0] != labels.len() {
+        return Err(NnError::BadDataset(format!(
+            "logits {:?} vs {} labels",
+            logits.dims(),
+            labels.len()
+        )));
+    }
+    let (b, c) = (logits.dims()[0], logits.dims()[1]);
+    let mut grad = Tensor::zeros(&[b, c]);
+    let mut loss = 0.0f64;
+    for i in 0..b {
+        if labels[i] >= c {
+            return Err(NnError::BadDataset(format!("label {} >= {c}", labels[i])));
+        }
+        let row = &logits.as_slice()[i * c..(i + 1) * c];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let p_label = exps[labels[i]] / sum;
+        loss -= (p_label.max(1e-12) as f64).ln();
+        let g = grad.channel_mut(i)?;
+        for j in 0..c {
+            let p = exps[j] / sum;
+            g[j] = (p - if j == labels[i] { 1.0 } else { 0.0 }) / b as f32;
+        }
+    }
+    Ok(((loss / b as f64) as f32, grad))
+}
+
+/// Classification accuracy of `[batch, classes]` logits against labels.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadDataset`] when shapes disagree.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f64, NnError> {
+    if logits.rank() != 2 || logits.dims()[0] != labels.len() {
+        return Err(NnError::BadDataset(format!(
+            "logits {:?} vs {} labels",
+            logits.dims(),
+            labels.len()
+        )));
+    }
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let c = logits.dims()[1];
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &logits.as_slice()[i * c..(i + 1) * c];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(j, _)| j)
+            .unwrap_or(0);
+        if pred == label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / labels.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-6, "loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[2]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // Gradient: p - onehot = 0.25 everywhere except 0.25-1 at label.
+        assert!((grad.as_slice()[2] + 0.75).abs() < 1e-6);
+        assert!((grad.as_slice()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[1, 3]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]).unwrap();
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &[1]).unwrap();
+            let (fm, _) = softmax_cross_entropy(&lm, &[1]).unwrap();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - grad.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn loss_validates_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.9, 0.1], &[3, 2]).unwrap();
+        let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-9);
+        assert!(accuracy(&logits, &[0]).is_err());
+    }
+}

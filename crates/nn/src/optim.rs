@@ -1,0 +1,198 @@
+//! Optimizers: SGD with momentum and Adam.
+//!
+//! Fine-tuning in the paper (Sec. VII-A) is ordinary quantization-aware
+//! training; these optimizers update the *full-precision master* weights
+//! while forward passes see quantized copies (the straight-through
+//! estimator wiring lives in the layers).
+
+use crate::model::Sequential;
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr > 0` and `0 <= momentum < 1`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate {lr}");
+        assert!((0.0..1.0).contains(&momentum), "momentum {momentum}");
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate {lr}");
+        self.lr = lr;
+    }
+
+    /// Applies one update step from the accumulated gradients, then zeroes
+    /// them.
+    pub fn step(&mut self, model: &mut Sequential) {
+        let mut idx = 0usize;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let velocity = &mut self.velocity;
+        model.for_each_param(&mut |p| {
+            if velocity.len() <= idx {
+                velocity.push(vec![0.0; p.value.len()]);
+            }
+            let v = &mut velocity[idx];
+            debug_assert_eq!(v.len(), p.value.len(), "parameter shape changed mid-training");
+            for ((w, g), vel) in
+                p.value.as_mut_slice().iter_mut().zip(p.grad.as_slice()).zip(v.iter_mut())
+            {
+                *vel = momentum * *vel - lr * g;
+                *w += *vel;
+            }
+            p.zero_grad();
+            idx += 1;
+        });
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr > 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate {lr}");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Applies one update step from the accumulated gradients, then zeroes
+    /// them.
+    pub fn step(&mut self, model: &mut Sequential) {
+        self.t += 1;
+        let (b1, b2, eps, lr, t) = (self.beta1, self.beta2, self.eps, self.lr, self.t);
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        let mut idx = 0usize;
+        let ms = &mut self.m;
+        let vs = &mut self.v;
+        model.for_each_param(&mut |p| {
+            if ms.len() <= idx {
+                ms.push(vec![0.0; p.value.len()]);
+                vs.push(vec![0.0; p.value.len()]);
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            for (((w, g), mi), vi) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
+                *mi = b1 * *mi + (1.0 - b1) * g;
+                *vi = b2 * *vi + (1.0 - b2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *w -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            p.zero_grad();
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use crate::model::mlp;
+    use ant_tensor::dist::{sample_tensor, Distribution};
+
+    #[test]
+    fn sgd_reduces_loss_on_fixed_batch() {
+        let mut model = mlp(8, 3, 11);
+        let x = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[16, 8], 12);
+        let labels: Vec<usize> = (0..16).map(|i| i % 3).collect();
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..30 {
+            let logits = model.forward(&x).unwrap();
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+            model.backward(&grad).unwrap();
+            opt.step(&mut model);
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(last < first.unwrap() * 0.5, "loss {first:?} -> {last}");
+    }
+
+    #[test]
+    fn adam_reduces_loss_on_fixed_batch() {
+        let mut model = mlp(8, 3, 13);
+        let x = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[16, 8], 14);
+        let labels: Vec<usize> = (0..16).map(|i| (i * 2) % 3).collect();
+        let mut opt = Adam::new(0.01);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..40 {
+            let logits = model.forward(&x).unwrap();
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+            model.backward(&grad).unwrap();
+            opt.step(&mut model);
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(last < first.unwrap() * 0.5, "loss {first:?} -> {last}");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut model = mlp(4, 2, 15);
+        let x = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[4, 4], 16);
+        let logits = model.forward(&x).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 1, 0, 1]).unwrap();
+        model.backward(&grad).unwrap();
+        let mut opt = Sgd::new(0.01, 0.0);
+        opt.step(&mut model);
+        model.for_each_param(&mut |p| {
+            assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+        });
+    }
+
+    #[test]
+    fn lr_accessors() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        assert_eq!(opt.lr(), 0.1);
+        opt.set_lr(0.05);
+        assert_eq!(opt.lr(), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn sgd_rejects_zero_lr() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+}

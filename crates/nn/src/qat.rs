@@ -1,0 +1,553 @@
+//! ANT quantization of whole models: calibration, type selection,
+//! post-training quantization (PTQ), quantization-aware fine-tuning (QAT)
+//! and the mixed-precision harness (paper Sec. IV-C and VII-A/B).
+//!
+//! The flow mirrors the paper: run calibration samples through the
+//! full-precision model to collect per-layer input statistics (about 100
+//! samples suffice, Sec. IV-C), run Algorithm 2 per weight and activation
+//! tensor, attach the winning quantizers to the layers, and optionally
+//! fine-tune with the straight-through estimator. The
+//! [`QatHarness`] implements `ant-core`'s [`MixedPrecisionTarget`] so the
+//! 4→8-bit promotion loop (Sec. V-D) runs unchanged on real models.
+
+use crate::data::Dataset;
+use crate::model::{NetLayer, Sequential};
+use crate::train::{evaluate, train, TrainConfig};
+use crate::NnError;
+use ant_core::mixed::{MixedPrecisionTarget, Precision};
+use ant_core::select::{select_type, PrimitiveCombo};
+use ant_core::{ClipSearch, DataType, Granularity, Quantizer};
+use ant_tensor::Tensor;
+
+/// How to quantize a model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantSpec {
+    /// Candidate primitive combination (the paper ships IP-F).
+    pub combo: PrimitiveCombo,
+    /// Bit width (4 in the paper's main results).
+    pub bits: u32,
+    /// Clip-range search strategy.
+    pub search: ClipSearch,
+    /// Weight granularity (per-channel in the paper).
+    pub weight_granularity: Granularity,
+}
+
+impl Default for QuantSpec {
+    fn default() -> Self {
+        QuantSpec {
+            combo: PrimitiveCombo::IntPotFlint,
+            bits: 4,
+            search: ClipSearch::default(),
+            weight_granularity: Granularity::PerChannel,
+        }
+    }
+}
+
+/// Per-layer quantization outcome.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Index into the model's layer list.
+    pub layer_index: usize,
+    /// Layer name.
+    pub name: String,
+    /// Chosen weight type and MSE per weight tensor (dense/conv have one,
+    /// attention has four).
+    pub weights: Vec<(DataType, f64)>,
+    /// Chosen activation type and MSE.
+    pub activation: Option<(DataType, f64)>,
+    /// Effective bit width of this layer.
+    pub bits: u32,
+}
+
+impl LayerReport {
+    /// Total quantization MSE (weights + activation), the ranking key for
+    /// mixed-precision promotion.
+    pub fn total_mse(&self) -> f64 {
+        self.weights.iter().map(|(_, m)| m).sum::<f64>()
+            + self.activation.map(|(_, m)| m).unwrap_or(0.0)
+    }
+}
+
+/// Captures each quantizable layer's *input* under the current model state
+/// by replaying the forward pass layer by layer.
+///
+/// # Errors
+///
+/// Propagates layer errors.
+pub fn capture_layer_inputs(
+    model: &mut Sequential,
+    x: &Tensor,
+) -> Result<Vec<Option<Tensor>>, NnError> {
+    let mut inputs = Vec::with_capacity(model.layers().len());
+    let mut cur = x.clone();
+    for layer in model.layers_mut() {
+        inputs.push(if layer.is_quantizable() { Some(cur.clone()) } else { None });
+        cur = match layer {
+            NetLayer::Dense(l) => crate::layer::Layer::forward(l, &cur)?,
+            NetLayer::Relu(l) => crate::layer::Layer::forward(l, &cur)?,
+            NetLayer::Conv(l) => crate::layer::Layer::forward(l, &cur)?,
+            NetLayer::Pool(l) => crate::layer::Layer::forward(l, &cur)?,
+            NetLayer::Norm(l) => crate::layer::Layer::forward(l, &cur)?,
+            NetLayer::Attn(l) => crate::layer::Layer::forward(l, &cur)?,
+            NetLayer::Gelu(l) => crate::layer::Layer::forward(l, &cur)?,
+        };
+    }
+    Ok(inputs)
+}
+
+/// Algorithm 2 for a scalar (per-tensor) activation quantizer: picks the
+/// minimum-MSE candidate, inferring signedness from the data (unsigned
+/// after ReLU, Sec. II-B).
+fn select_activation(
+    data: &[f32],
+    combo: PrimitiveCombo,
+    bits: u32,
+    search: ClipSearch,
+) -> Result<(Quantizer, DataType, f64), NnError> {
+    let signed = data.iter().any(|&v| v < 0.0);
+    let mut best: Option<(Quantizer, DataType, f64)> = None;
+    for dt in combo.candidates(bits, signed)? {
+        let (q, mse) = Quantizer::fit(dt, data, search)?;
+        if best.as_ref().is_none_or(|(_, _, m)| mse < *m) {
+            best = Some((q, dt, mse));
+        }
+    }
+    best.ok_or(NnError::Quant(ant_core::QuantError::NoCandidates))
+}
+
+/// Quantizes one layer in place given its captured input, returning the
+/// report. `spec.combo` / `spec.bits` define the candidate set — pass a
+/// pure-int 8-bit spec for mixed-precision promotion.
+///
+/// # Errors
+///
+/// Propagates quantization failures; non-quantizable layers return
+/// `Ok(None)`.
+pub fn quantize_layer(
+    layer: &mut NetLayer,
+    layer_index: usize,
+    input: &Tensor,
+    spec: QuantSpec,
+) -> Result<Option<LayerReport>, NnError> {
+    let name = layer.name().to_string();
+    match layer {
+        NetLayer::Dense(l) => {
+            let wsel = select_type(
+                &l.weight().clone(),
+                &spec.combo.candidates(spec.bits, true)?,
+                spec.weight_granularity,
+                spec.search,
+            )?;
+            let (aq, adt, amse) =
+                select_activation(input.as_slice(), spec.combo, spec.bits, spec.search)?;
+            l.quant.weight = Some(wsel.quantizer);
+            l.quant.activation = Some(aq);
+            Ok(Some(LayerReport {
+                layer_index,
+                name,
+                weights: vec![(wsel.dtype, wsel.mse)],
+                activation: Some((adt, amse)),
+                bits: spec.bits,
+            }))
+        }
+        NetLayer::Conv(l) => {
+            let wsel = select_type(
+                &l.weight().clone(),
+                &spec.combo.candidates(spec.bits, true)?,
+                spec.weight_granularity,
+                spec.search,
+            )?;
+            let (aq, adt, amse) =
+                select_activation(input.as_slice(), spec.combo, spec.bits, spec.search)?;
+            l.quant.weight = Some(wsel.quantizer);
+            l.quant.activation = Some(aq);
+            Ok(Some(LayerReport {
+                layer_index,
+                name,
+                weights: vec![(wsel.dtype, wsel.mse)],
+                activation: Some((adt, amse)),
+                bits: spec.bits,
+            }))
+        }
+        NetLayer::Attn(l) => {
+            let mut weights = Vec::with_capacity(4);
+            let projections: Vec<Tensor> =
+                l.projection_weights().iter().map(|w| (*w).clone()).collect();
+            for (i, w) in projections.iter().enumerate() {
+                let wsel = select_type(
+                    w,
+                    &spec.combo.candidates(spec.bits, true)?,
+                    spec.weight_granularity,
+                    spec.search,
+                )?;
+                l.quant.weights[i] = Some(wsel.quantizer);
+                weights.push((wsel.dtype, wsel.mse));
+            }
+            let (aq, adt, amse) =
+                select_activation(input.as_slice(), spec.combo, spec.bits, spec.search)?;
+            l.quant.activation = Some(aq);
+            Ok(Some(LayerReport {
+                layer_index,
+                name,
+                weights,
+                activation: Some((adt, amse)),
+                bits: spec.bits,
+            }))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Removes all quantizers from a layer (back to full precision).
+pub fn dequantize_layer(layer: &mut NetLayer) {
+    match layer {
+        NetLayer::Dense(l) => l.quant = Default::default(),
+        NetLayer::Conv(l) => l.quant = Default::default(),
+        NetLayer::Attn(l) => l.quant = Default::default(),
+        _ => {}
+    }
+}
+
+/// Post-training quantization of a whole model: calibrates on
+/// `calib_inputs` (forward pass at full precision), then runs Algorithm 2
+/// on every quantizable layer.
+///
+/// # Errors
+///
+/// Propagates capture and quantization failures.
+pub fn quantize_model(
+    model: &mut Sequential,
+    calib_inputs: &Tensor,
+    spec: QuantSpec,
+) -> Result<Vec<LayerReport>, NnError> {
+    // Calibrate at full precision.
+    for layer in model.layers_mut() {
+        dequantize_layer(layer);
+    }
+    let inputs = capture_layer_inputs(model, calib_inputs)?;
+    let mut reports = Vec::new();
+    for (i, layer) in model.layers_mut().iter_mut().enumerate() {
+        if let Some(input) = &inputs[i] {
+            if let Some(report) = quantize_layer(layer, i, input, spec)? {
+                reports.push(report);
+            }
+        }
+    }
+    Ok(reports)
+}
+
+/// The QAT/mixed-precision harness: owns a trained model, its datasets and
+/// the current per-layer precision assignment.
+#[derive(Debug, Clone)]
+pub struct QatHarness {
+    model: Sequential,
+    spec: QuantSpec,
+    calib: Tensor,
+    train_set: Dataset,
+    test_set: Dataset,
+    fine_tune: TrainConfig,
+    reports: Vec<LayerReport>,
+    captured: Vec<Option<Tensor>>,
+}
+
+impl QatHarness {
+    /// Builds the harness around a (pre-trained) model. Quantizes all
+    /// layers at `spec` immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization failures.
+    pub fn new(
+        mut model: Sequential,
+        spec: QuantSpec,
+        calib: Tensor,
+        train_set: Dataset,
+        test_set: Dataset,
+        fine_tune: TrainConfig,
+    ) -> Result<Self, NnError> {
+        for layer in model.layers_mut() {
+            dequantize_layer(layer);
+        }
+        let captured = capture_layer_inputs(&mut model, &calib)?;
+        let mut harness = QatHarness {
+            model,
+            spec,
+            calib,
+            train_set,
+            test_set,
+            fine_tune,
+            reports: Vec::new(),
+            captured,
+        };
+        harness.requantize_all()?;
+        Ok(harness)
+    }
+
+    fn requantize_all(&mut self) -> Result<(), NnError> {
+        let spec = self.spec;
+        let mut reports = Vec::new();
+        for (i, layer) in self.model.layers_mut().iter_mut().enumerate() {
+            if let Some(input) = &self.captured[i] {
+                if let Some(r) = quantize_layer(layer, i, input, spec)? {
+                    reports.push(r);
+                }
+            }
+        }
+        self.reports = reports;
+        Ok(())
+    }
+
+    /// The wrapped model (e.g. for direct evaluation).
+    pub fn model_mut(&mut self) -> &mut Sequential {
+        &mut self.model
+    }
+
+    /// Per-layer quantization reports (in quantizable-layer order).
+    pub fn reports(&self) -> &[LayerReport] {
+        &self.reports
+    }
+
+    /// Test accuracy without further fine-tuning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn test_accuracy(&mut self) -> Result<f64, NnError> {
+        evaluate(&mut self.model, &self.test_set)
+    }
+
+    /// Fine-tunes under the current quantizers (QAT with STE).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors.
+    pub fn fine_tune(&mut self) -> Result<(), NnError> {
+        train(&mut self.model, &self.train_set, self.fine_tune)?;
+        Ok(())
+    }
+
+    /// The calibration batch.
+    pub fn calibration(&self) -> &Tensor {
+        &self.calib
+    }
+}
+
+impl MixedPrecisionTarget for QatHarness {
+    fn num_layers(&self) -> usize {
+        self.reports.len()
+    }
+
+    fn layer_mse(&self, layer: usize) -> f64 {
+        self.reports[layer].total_mse()
+    }
+
+    fn set_precision(&mut self, layer: usize, precision: Precision) {
+        let spec = match precision {
+            Precision::Ant4 => self.spec,
+            Precision::Int8 => QuantSpec {
+                combo: PrimitiveCombo::Int,
+                bits: 8,
+                search: self.spec.search,
+                weight_granularity: self.spec.weight_granularity,
+            },
+        };
+        let model_index = self.reports[layer].layer_index;
+        let input = self.captured[model_index].clone().expect("quantizable layer has input");
+        let report =
+            quantize_layer(&mut self.model.layers_mut()[model_index], model_index, &input, spec)
+                .expect("requantization of a previously quantized layer")
+                .expect("layer is quantizable");
+        self.reports[layer] = report;
+    }
+
+    fn evaluate(&mut self) -> f64 {
+        // Fine-tune under the current assignment, then measure accuracy —
+        // the paper's per-promotion fine-tuning loop (Sec. IV-C).
+        if self.fine_tune.epochs > 0 {
+            if let Err(e) = self.fine_tune() {
+                // Training failures surface as zero quality.
+                eprintln!("fine-tune failed: {e}");
+                return 0.0;
+            }
+        }
+        self.test_accuracy().unwrap_or(0.0)
+    }
+}
+
+/// Distribution of chosen data types across a model's tensors (weights and
+/// activations), the per-workload ratio reported in Fig. 13 (top).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TypeRatio {
+    /// (type label, tensor count), sorted by label.
+    pub counts: Vec<(String, usize)>,
+}
+
+impl TypeRatio {
+    /// Tallies types over a set of layer reports.
+    pub fn from_reports(reports: &[LayerReport]) -> Self {
+        let mut map = std::collections::BTreeMap::new();
+        for r in reports {
+            for (dt, _) in &r.weights {
+                *map.entry(dt.to_string()).or_insert(0usize) += 1;
+            }
+            if let Some((dt, _)) = &r.activation {
+                *map.entry(dt.to_string()).or_insert(0usize) += 1;
+            }
+        }
+        TypeRatio { counts: map.into_iter().collect() }
+    }
+
+    /// Fraction of tensors using a type whose label starts with `prefix`.
+    pub fn fraction(&self, prefix: &str) -> f64 {
+        let total: usize = self.counts.iter().map(|(_, c)| c).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let hit: usize = self
+            .counts
+            .iter()
+            .filter(|(l, _)| l.starts_with(prefix))
+            .map(|(_, c)| c)
+            .sum();
+        hit as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::blobs;
+    use crate::model::mlp;
+    use ant_core::mixed::{run_mixed_precision, MixedPrecisionConfig};
+
+    fn trained_mlp() -> (Sequential, Dataset, Dataset) {
+        let data = blobs(320, 8, 4, 0.4, 31);
+        let (train_set, test_set) = data.split(0.25);
+        let mut model = mlp(8, 4, 32);
+        train(
+            &mut model,
+            &train_set,
+            TrainConfig { epochs: 12, batch_size: 32, lr: 0.05, momentum: 0.9, seed: 5 },
+        )
+        .unwrap();
+        (model, train_set, test_set)
+    }
+
+    #[test]
+    fn capture_records_quantizable_inputs_only() {
+        let (mut model, train_set, _) = trained_mlp();
+        let (x, _) = train_set.batch(&[0, 1, 2, 3]);
+        let inputs = capture_layer_inputs(&mut model, &x).unwrap();
+        // mlp: Dense, Relu, Dense, Relu, Dense.
+        assert_eq!(inputs.len(), 5);
+        assert!(inputs[0].is_some());
+        assert!(inputs[1].is_none());
+        assert!(inputs[2].is_some());
+        assert!(inputs[4].is_some());
+        // Post-ReLU input to fc2 is non-negative.
+        assert!(inputs[2].as_ref().unwrap().min().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn ptq_reports_every_quantizable_layer() {
+        let (mut model, train_set, _) = trained_mlp();
+        let (calib, _) = train_set.batch(&(0..64).collect::<Vec<_>>());
+        let reports = quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert_eq!(r.weights.len(), 1);
+            assert!(r.activation.is_some());
+            assert!(r.total_mse() > 0.0);
+            assert_eq!(r.bits, 4);
+        }
+        // Post-ReLU activations must have selected unsigned types.
+        let act_dt = reports[1].activation.unwrap().0;
+        assert!(!act_dt.is_signed(), "post-ReLU activation should be unsigned");
+    }
+
+    #[test]
+    fn quantization_hurts_then_finetuning_recovers() {
+        let (model, train_set, test_set) = trained_mlp();
+        let fp32_acc = {
+            let mut m = model.clone();
+            evaluate(&mut m, &test_set).unwrap()
+        };
+        let (calib, _) = train_set.batch(&(0..64).collect::<Vec<_>>());
+        let mut harness = QatHarness::new(
+            model,
+            QuantSpec::default(),
+            calib,
+            train_set,
+            test_set,
+            TrainConfig { epochs: 4, batch_size: 32, lr: 0.02, momentum: 0.9, seed: 7 },
+        )
+        .unwrap();
+        let ptq_acc = harness.test_accuracy().unwrap();
+        harness.fine_tune().unwrap();
+        let qat_acc = harness.test_accuracy().unwrap();
+        assert!(
+            qat_acc + 1e-9 >= ptq_acc,
+            "fine-tuning should not hurt: {ptq_acc} -> {qat_acc} (fp32 {fp32_acc})"
+        );
+    }
+
+    #[test]
+    fn mixed_precision_promotes_until_threshold() {
+        let (model, train_set, test_set) = trained_mlp();
+        let fp32_acc = {
+            let mut m = model.clone();
+            evaluate(&mut m, &test_set).unwrap()
+        };
+        let (calib, _) = train_set.batch(&(0..64).collect::<Vec<_>>());
+        let mut harness = QatHarness::new(
+            model,
+            QuantSpec::default(),
+            calib,
+            train_set,
+            test_set,
+            TrainConfig { epochs: 2, batch_size: 32, lr: 0.02, momentum: 0.9, seed: 8 },
+        )
+        .unwrap();
+        let report = run_mixed_precision(
+            &mut harness,
+            fp32_acc,
+            MixedPrecisionConfig { threshold: 0.02, max_promotions: None },
+        );
+        // With fine-tuning, the small MLP task converges within threshold.
+        assert!(report.converged, "trace: {:?}", report.metric_trace);
+        // Promoted layers now report 8-bit int.
+        for (i, p) in report.precisions.iter().enumerate() {
+            if *p == Precision::Int8 {
+                assert_eq!(harness.reports()[i].bits, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn type_ratio_tallies() {
+        let (mut model, train_set, _) = trained_mlp();
+        let (calib, _) = train_set.batch(&(0..64).collect::<Vec<_>>());
+        let reports = quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+        let ratio = TypeRatio::from_reports(&reports);
+        let total: usize = ratio.counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 6); // 3 weights + 3 activations
+        let all = ratio.fraction("int") + ratio.fraction("pot") + ratio.fraction("flint")
+            + ratio.fraction("float");
+        assert!((all - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dequantize_restores_full_precision() {
+        let (mut model, train_set, _) = trained_mlp();
+        let (calib, _) = train_set.batch(&(0..32).collect::<Vec<_>>());
+        let _ = quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+        for layer in model.layers_mut() {
+            dequantize_layer(layer);
+        }
+        for layer in model.layers() {
+            if let NetLayer::Dense(d) = layer {
+                assert!(!d.quant.is_active());
+            }
+        }
+    }
+}

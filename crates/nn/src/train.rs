@@ -1,0 +1,148 @@
+//! Mini-batch training loop and evaluation.
+
+use crate::data::Dataset;
+use crate::loss::{accuracy, softmax_cross_entropy};
+use crate::model::Sequential;
+use crate::optim::Sgd;
+use crate::NnError;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the dataset.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Shuffle seed (varied per epoch internally).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 10, batch_size: 32, lr: 0.05, momentum: 0.9, seed: 0 }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainHistory {
+    /// Mean training loss per epoch.
+    pub loss: Vec<f32>,
+}
+
+/// Trains `model` on `data` with SGD + momentum.
+///
+/// # Errors
+///
+/// Propagates layer and loss errors; returns [`NnError::BadDataset`] for an
+/// empty dataset.
+pub fn train(
+    model: &mut Sequential,
+    data: &Dataset,
+    cfg: TrainConfig,
+) -> Result<TrainHistory, NnError> {
+    if data.is_empty() {
+        return Err(NnError::BadDataset("empty training set".to_string()));
+    }
+    let mut opt = Sgd::new(cfg.lr, cfg.momentum);
+    let mut history = TrainHistory { loss: Vec::with_capacity(cfg.epochs) };
+    for epoch in 0..cfg.epochs {
+        let order = data.shuffled_indices(cfg.seed.wrapping_add(epoch as u64));
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let (x, labels) = data.batch(chunk);
+            let logits = model.forward(&x)?;
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels)?;
+            model.backward(&grad)?;
+            opt.step(model);
+            epoch_loss += loss as f64;
+            batches += 1;
+        }
+        history.loss.push((epoch_loss / batches.max(1) as f64) as f32);
+    }
+    Ok(history)
+}
+
+/// Classification accuracy of `model` over `data`.
+///
+/// # Errors
+///
+/// Propagates layer errors.
+pub fn evaluate(model: &mut Sequential, data: &Dataset) -> Result<f64, NnError> {
+    let logits = model.forward(data.inputs())?;
+    accuracy(&logits, data.labels())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{blobs, motifs, shapes};
+    use crate::model::{mlp, small_cnn, tiny_transformer};
+
+    #[test]
+    fn mlp_learns_blobs() {
+        let data = blobs(400, 8, 4, 0.4, 21);
+        let (train_set, test_set) = data.split(0.25);
+        let mut model = mlp(8, 4, 22);
+        let before = evaluate(&mut model, &test_set).unwrap();
+        let hist = train(
+            &mut model,
+            &train_set,
+            TrainConfig { epochs: 15, batch_size: 32, lr: 0.05, momentum: 0.9, seed: 1 },
+        )
+        .unwrap();
+        let after = evaluate(&mut model, &test_set).unwrap();
+        assert!(after > 0.9, "accuracy {before} -> {after}, loss {:?}", hist.loss);
+        assert!(hist.loss.last().unwrap() < hist.loss.first().unwrap());
+    }
+
+    #[test]
+    fn cnn_learns_shapes() {
+        let data = shapes(320, 0.15, 23);
+        let (train_set, test_set) = data.split(0.25);
+        let mut model = small_cnn(4, 24);
+        let _ = train(
+            &mut model,
+            &train_set,
+            TrainConfig { epochs: 8, batch_size: 16, lr: 0.05, momentum: 0.9, seed: 2 },
+        )
+        .unwrap();
+        let acc = evaluate(&mut model, &test_set).unwrap();
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn transformer_learns_motifs() {
+        let data = motifs(480, 8, 12, 4, 25);
+        let (train_set, test_set) = data.split(0.25);
+        let mut model = tiny_transformer(8, 12, 4, 26);
+        let _ = train(
+            &mut model,
+            &train_set,
+            TrainConfig { epochs: 20, batch_size: 32, lr: 0.03, momentum: 0.9, seed: 3 },
+        )
+        .unwrap();
+        let acc = evaluate(&mut model, &test_set).unwrap();
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn train_rejects_empty_dataset() {
+        let data = blobs(10, 2, 2, 0.1, 1);
+        let (_, tiny) = data.split(0.5);
+        let empty = crate::data::Dataset::new(
+            ant_tensor::Tensor::zeros(&[0, 2]),
+            vec![],
+            2,
+        )
+        .unwrap();
+        let mut model = mlp(2, 2, 1);
+        assert!(train(&mut model, &empty, TrainConfig::default()).is_err());
+        let _ = tiny;
+    }
+}

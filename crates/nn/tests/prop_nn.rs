@@ -1,0 +1,104 @@
+//! Property-based tests for the DNN substrate: gradient correctness on
+//! random shapes and quantization-invariance properties of the QAT path.
+
+use ant_nn::layer::{Dense, Layer, Relu};
+use ant_nn::loss::softmax_cross_entropy;
+use ant_nn::model::{deep_mlp, mlp};
+use ant_tensor::dist::{sample_tensor, Distribution};
+use ant_tensor::Tensor;
+use proptest::prelude::*;
+
+fn gaussian(dims: &[usize], seed: u64) -> Tensor {
+    sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, dims, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dense input gradients match central differences for random shapes.
+    #[test]
+    fn dense_gradient_random_shapes(
+        out in 1usize..5, inp in 1usize..6, batch in 1usize..4, seed in 0u64..200,
+    ) {
+        let mut d = Dense::init("fc", out, inp, seed);
+        let x = gaussian(&[batch, inp], seed + 1);
+        let y = d.forward(&x).unwrap();
+        let dx = d.backward(&Tensor::ones(y.dims())).unwrap();
+        let eps = 1e-2;
+        for i in 0..x.len().min(8) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let numeric = (d.forward(&xp).unwrap().sum() - d.forward(&xm).unwrap().sum())
+                / (2.0 * eps);
+            prop_assert!(
+                (numeric - dx.as_slice()[i]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "grad[{i}]: {numeric} vs {}", dx.as_slice()[i]
+            );
+        }
+    }
+
+    /// ReLU backward zeroes exactly the positions its forward zeroed.
+    #[test]
+    fn relu_mask_consistency(n in 1usize..64, seed in 0u64..200) {
+        let mut r = Relu::new("relu");
+        let x = gaussian(&[1, n], seed);
+        let y = r.forward(&x).unwrap();
+        let dx = r.backward(&Tensor::ones(y.dims())).unwrap();
+        for i in 0..n {
+            let alive = x.as_slice()[i] > 0.0;
+            prop_assert_eq!(y.as_slice()[i] > 0.0, alive && x.as_slice()[i] > 0.0);
+            prop_assert_eq!(dx.as_slice()[i] != 0.0, alive);
+        }
+    }
+
+    /// Cross-entropy loss is non-negative and gradient rows sum to zero.
+    #[test]
+    fn cross_entropy_invariants(batch in 1usize..6, classes in 2usize..6, seed in 0u64..200) {
+        let logits = gaussian(&[batch, classes], seed);
+        let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        prop_assert!(loss >= 0.0);
+        for i in 0..batch {
+            let row_sum: f32 = grad.channel(i).unwrap().iter().sum();
+            prop_assert!(row_sum.abs() < 1e-5, "row {i} sums to {row_sum}");
+        }
+    }
+
+    /// Model forward is deterministic and permutation-consistent: batching
+    /// two inputs gives the same logits as running them separately.
+    #[test]
+    fn batching_is_row_independent(seed in 0u64..100) {
+        let mut m = mlp(6, 3, seed);
+        let a = gaussian(&[1, 6], seed + 1);
+        let b = gaussian(&[1, 6], seed + 2);
+        let ya = m.forward(&a).unwrap();
+        let yb = m.forward(&b).unwrap();
+        let mut both = Vec::new();
+        both.extend_from_slice(a.as_slice());
+        both.extend_from_slice(b.as_slice());
+        let batch = Tensor::from_vec(both, &[2, 6]).unwrap();
+        let y = m.forward(&batch).unwrap();
+        for (x, y2) in ya.as_slice().iter().chain(yb.as_slice()).zip(y.as_slice()) {
+            prop_assert!((x - y2).abs() < 1e-5);
+        }
+    }
+
+    /// Quantizing a model never changes its parameter shapes, and
+    /// dequantizing restores bit-identical forward results.
+    #[test]
+    fn quantize_dequantize_restores_model(seed in 0u64..50) {
+        use ant_nn::qat::{dequantize_layer, quantize_model, QuantSpec};
+        let mut m = deep_mlp(6, 3, 8, 2, seed);
+        let x = gaussian(&[4, 6], seed + 3);
+        let before = m.forward(&x).unwrap();
+        let calib = gaussian(&[16, 6], seed + 4);
+        quantize_model(&mut m, &calib, QuantSpec::default()).unwrap();
+        for layer in m.layers_mut() {
+            dequantize_layer(layer);
+        }
+        let after = m.forward(&x).unwrap();
+        prop_assert_eq!(before, after);
+    }
+}

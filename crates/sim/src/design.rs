@@ -1,0 +1,461 @@
+//! The simulated accelerator designs and the tile-level performance /
+//! energy model (paper Sec. VI-A and VII-D).
+//!
+//! Every design is a systolic-style PE array behind a shared 512 KB buffer
+//! and an HBM-class DRAM interface, sized iso-area per Table VII. The
+//! timing model is analytic but tile-exact for compute: a `n×n`
+//! output-stationary tile over reduction depth `K` costs `K + 2(n−1)`
+//! cycles — validated against the cycle-stepped array in `ant-hw` — and a
+//! layer's time is the maximum of its compute and DRAM-streaming time
+//! (BERT-class models are memory-bound, Sec. VI-A).
+
+use crate::assign::{assign_layer, ComputeMode, LayerAssignment, Scheme};
+use crate::workload::{GemmLayer, Workload};
+use ant_core::QuantError;
+use ant_hw::area::{AreaModel, DesignArea};
+
+/// The Fig. 13 designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// ANT on an output-stationary systolic array.
+    AntOs,
+    /// ANT on a weight-stationary systolic array.
+    AntWs,
+    /// BitFusion (4/8-bit fusible int PEs).
+    BitFusion,
+    /// OLAccel (outlier-aware, fewer but larger PEs).
+    OlAccel,
+    /// BiScaled (6-bit dual-scale BPEs).
+    BiScaled,
+    /// AdaptiveFloat (8-bit float PEs).
+    AdaFloat,
+}
+
+impl Design {
+    /// All designs in the paper's plotting order.
+    pub fn all() -> [Design; 6] {
+        [
+            Design::AntOs,
+            Design::AntWs,
+            Design::BitFusion,
+            Design::OlAccel,
+            Design::BiScaled,
+            Design::AdaFloat,
+        ]
+    }
+
+    /// Display name matching Fig. 13.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Design::AntOs => "ANT-OS",
+            Design::AntWs => "ANT-WS",
+            Design::BitFusion => "BitFusion",
+            Design::OlAccel => "OLAccel",
+            Design::BiScaled => "BiScaled",
+            Design::AdaFloat => "AdaFloat",
+        }
+    }
+
+    /// The quantization scheme the design executes.
+    pub fn scheme(&self) -> Scheme {
+        match self {
+            Design::AntOs | Design::AntWs => Scheme::Ant,
+            Design::BitFusion => Scheme::BitFusion,
+            Design::OlAccel => Scheme::OlAccel,
+            Design::BiScaled => Scheme::BiScaled,
+            Design::AdaFloat => Scheme::AdaFloat,
+        }
+    }
+
+    /// Iso-area PE budget (Table VII).
+    pub fn area(&self) -> DesignArea {
+        match self {
+            Design::AntOs | Design::AntWs => AreaModel.ant(),
+            Design::BitFusion => AreaModel.bitfusion(),
+            Design::OlAccel => AreaModel.olaccel(),
+            Design::BiScaled => AreaModel.biscaled(),
+            Design::AdaFloat => AreaModel.adafloat(),
+        }
+    }
+
+    /// Whether the dataflow is weight-stationary.
+    pub fn is_weight_stationary(&self) -> bool {
+        matches!(self, Design::AntWs)
+    }
+}
+
+/// Technology and energy constants. Absolute values are order-of-magnitude
+/// 28 nm figures (per-operation energies following Horowitz, ISSCC'14, and
+/// DRAM interface energies of HBM-class parts); all paper comparisons are
+/// *normalized*, so only their ratios matter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// DRAM bandwidth in bytes per core cycle (64 B/cycle ≈ 64 GB/s at
+    /// 1 GHz).
+    pub dram_bytes_per_cycle: f64,
+    /// DRAM energy per byte (pJ).
+    pub dram_pj_per_byte: f64,
+    /// On-chip buffer energy per byte (pJ).
+    pub buffer_pj_per_byte: f64,
+    /// Static (leakage + clock) power in pJ per cycle.
+    pub static_pj_per_cycle: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            freq_ghz: 1.0,
+            dram_bytes_per_cycle: 16.0,
+            dram_pj_per_byte: 100.0,
+            buffer_pj_per_byte: 6.0,
+            static_pj_per_cycle: 150.0,
+        }
+    }
+}
+
+/// Per-MAC energy in pJ for each compute mode (28 nm order-of-magnitude;
+/// the ANT decode adder/shifter adds ~5% over a plain int4 MAC, Sec. VI-A).
+fn mac_pj(mode: ComputeMode) -> f64 {
+    match mode {
+        ComputeMode::Low4 => 0.105,
+        ComputeMode::Int8Fused => 0.42,
+        ComputeMode::Outlier { frac } => 0.1 * (1.0 - frac) + 1.6 * frac + 0.03, // + controller
+        ComputeMode::Bpe6 => 0.24,
+        ComputeMode::Float8 => 0.9,
+        ComputeMode::Fp16 => 1.7,
+    }
+}
+
+/// Energy breakdown of a layer or workload, in pJ (Fig. 13 bottom's four
+/// stacks).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Leakage/clock energy over the runtime.
+    pub static_pj: f64,
+    /// Off-chip DRAM traffic energy.
+    pub dram_pj: f64,
+    /// On-chip buffer traffic energy.
+    pub buffer_pj: f64,
+    /// PE-array (core) energy.
+    pub core_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.static_pj + self.dram_pj + self.buffer_pj + self.core_pj
+    }
+
+    fn add(&mut self, other: &EnergyBreakdown) {
+        self.static_pj += other.static_pj;
+        self.dram_pj += other.dram_pj;
+        self.buffer_pj += other.buffer_pj;
+        self.core_pj += other.core_pj;
+    }
+}
+
+/// Per-layer simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPerf {
+    /// Layer name.
+    pub name: String,
+    /// Execution cycles (max of compute and DRAM streaming).
+    pub cycles: u64,
+    /// Whether the layer was DRAM-bound.
+    pub memory_bound: bool,
+    /// DRAM bytes moved.
+    pub dram_bytes: f64,
+    /// Buffer bytes moved.
+    pub buffer_bytes: f64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// The quantization assignment that produced this.
+    pub assignment: LayerAssignment,
+}
+
+/// Whole-workload simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignResult {
+    /// Design simulated.
+    pub design: Design,
+    /// Workload name.
+    pub workload: String,
+    /// Per-layer results.
+    pub layers: Vec<LayerPerf>,
+    /// Total cycles.
+    pub total_cycles: u64,
+    /// Total energy.
+    pub total_energy: EnergyBreakdown,
+}
+
+impl DesignResult {
+    /// Fraction of layer-MACs executed in 4-bit mode (Fig. 13 top).
+    pub fn low_bit_mac_fraction(&self, workload: &Workload) -> f64 {
+        let mut low = 0u64;
+        let mut total = 0u64;
+        for (perf, layer) in self.layers.iter().zip(&workload.layers) {
+            total += layer.macs();
+            if matches!(perf.assignment.mode, ComputeMode::Low4 | ComputeMode::Outlier { .. }) {
+                low += layer.macs();
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            low as f64 / total as f64
+        }
+    }
+
+    /// Element-weighted average memory bits (Table I's off-/on-chip
+    /// column).
+    pub fn avg_mem_bits(&self, workload: &Workload) -> f64 {
+        let mut bits = 0.0f64;
+        let mut elems = 0.0f64;
+        for (perf, layer) in self.layers.iter().zip(&workload.layers) {
+            bits += perf.assignment.weight_bits * layer.weight_elems() as f64
+                + perf.assignment.act_bits * layer.act_elems() as f64;
+            elems += (layer.weight_elems() + layer.act_elems()) as f64;
+        }
+        bits / elems.max(1.0)
+    }
+
+    /// MAC-weighted average compute bits (Table I's compute column).
+    pub fn avg_compute_bits(&self, workload: &Workload) -> f64 {
+        let mut bits = 0.0f64;
+        let mut macs = 0.0f64;
+        for (perf, layer) in self.layers.iter().zip(&workload.layers) {
+            bits += perf.assignment.compute_bits() * layer.macs() as f64;
+            macs += layer.macs() as f64;
+        }
+        bits / macs.max(1.0)
+    }
+}
+
+/// Tile-exact compute cycles of an `M×N×K` GEMM on an `n×n`
+/// output-stationary array: a `rows×cols` output tile costs
+/// `K + rows + cols − 2` cycles, so summing over the (possibly ragged)
+/// tile grid gives `T_m·T_n·(K−2) + T_n·M + T_m·N`. Validated against
+/// `ant_hw::systolic`'s cycle-stepped execution.
+pub fn compute_cycles(m: u64, n_dim: u64, k: u64, array: u64) -> u64 {
+    let tiles_m = m.div_ceil(array).max(1);
+    let tiles_n = n_dim.div_ceil(array).max(1);
+    tiles_m * tiles_n * k.saturating_sub(2) + tiles_n * m + tiles_m * n_dim
+}
+
+fn effective_array(design: Design, mode: ComputeMode) -> u64 {
+    let pes = design.area().pe_count as u64;
+    let full = (pes as f64).sqrt().floor() as u64;
+    match mode {
+        // Four 4-bit PEs fuse into one 8-bit PE: the array halves per side
+        // (Sec. VI-A "n×n ... would transform to n/2 × n/2").
+        ComputeMode::Int8Fused => (full / 2).max(1),
+        _ => full.max(1),
+    }
+}
+
+fn simulate_layer(
+    design: Design,
+    layer: &GemmLayer,
+    cfg: &SimConfig,
+) -> Result<LayerPerf, QuantError> {
+    let assignment = assign_layer(design.scheme(), layer)?;
+    let array = effective_array(design, assignment.mode);
+    let mut cycles = compute_cycles(layer.m, layer.n, layer.k, array);
+    // OLAccel: the outlier fraction of MACs re-executes on the slow
+    // high-precision path, serialised by the outlier controller.
+    if let ComputeMode::Outlier { frac } = assignment.mode {
+        cycles += (layer.macs() as f64 * frac / (array * array) as f64 * 4.0).ceil() as u64;
+    }
+    // DRAM traffic: weights + input activations at quantized width. Output
+    // activations are re-quantized by the activation unit before leaving
+    // the chip (paper Fig. 4), so they stream out at the activation width.
+    let dram_bytes = layer.weight_elems() as f64 * assignment.weight_bits / 8.0
+        + layer.act_elems() as f64 * assignment.act_bits / 8.0
+        + layer.out_elems() as f64 * assignment.act_bits / 8.0;
+    let dram_cycles = (dram_bytes / cfg.dram_bytes_per_cycle).ceil() as u64;
+    let memory_bound = dram_cycles > cycles;
+    let total_cycles = cycles.max(dram_cycles);
+    // Buffer traffic: each operand is fetched once per array pass (reuse
+    // factor = array dimension); outputs cost one write for OS and
+    // read+write per K-tile for WS (the paper's ANT-WS buffer-energy gap).
+    let operand_bytes = layer.macs() as f64
+        * ((assignment.weight_bits + assignment.act_bits) / 8.0)
+        / array as f64;
+    let out_bytes = if design.is_weight_stationary() {
+        let k_tiles = layer.k.div_ceil(array).max(1) as f64;
+        layer.out_elems() as f64 * 2.0 * 2.0 * k_tiles
+    } else {
+        layer.out_elems() as f64 * 2.0
+    };
+    let buffer_bytes = operand_bytes + out_bytes;
+    let energy = EnergyBreakdown {
+        static_pj: total_cycles as f64 * cfg.static_pj_per_cycle,
+        dram_pj: dram_bytes * cfg.dram_pj_per_byte,
+        buffer_pj: buffer_bytes * cfg.buffer_pj_per_byte,
+        core_pj: layer.macs() as f64 * mac_pj(assignment.mode),
+    };
+    Ok(LayerPerf {
+        name: layer.name.clone(),
+        cycles: total_cycles,
+        memory_bound,
+        dram_bytes,
+        buffer_bytes,
+        energy,
+        assignment,
+    })
+}
+
+/// Simulates one workload on one design.
+///
+/// # Errors
+///
+/// Propagates quantization failures from the assignment pass.
+pub fn simulate(design: Design, workload: &Workload, cfg: &SimConfig) -> Result<DesignResult, QuantError> {
+    let mut layers = Vec::with_capacity(workload.layers.len());
+    let mut total_cycles = 0u64;
+    let mut total_energy = EnergyBreakdown::default();
+    for layer in &workload.layers {
+        let perf = simulate_layer(design, layer, cfg)?;
+        total_cycles += perf.cycles;
+        total_energy.add(&perf.energy);
+        layers.push(perf);
+    }
+    Ok(DesignResult {
+        design,
+        workload: workload.name.clone(),
+        layers,
+        total_cycles,
+        total_energy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{bert_base, resnet18, vgg16};
+
+    fn cfg() -> SimConfig {
+        SimConfig::default()
+    }
+
+    #[test]
+    fn compute_cycles_matches_hw_systolic() {
+        use ant_hw::decode::WireType;
+        use ant_hw::systolic::{DecodedMatrix, SystolicArray};
+        // 9×7 times 7×6 on a 4×4 array.
+        let codes_a: Vec<u32> = (0..9 * 7).map(|i| (i % 16) as u32).collect();
+        let codes_b: Vec<u32> = (0..7 * 6).map(|i| ((i * 5) % 16) as u32).collect();
+        let a = DecodedMatrix::from_codes(9, 7, &codes_a, 4, WireType::Flint { signed: true })
+            .unwrap();
+        let b = DecodedMatrix::from_codes(7, 6, &codes_b, 4, WireType::Int { signed: true })
+            .unwrap();
+        let (_, stats) = SystolicArray::new(4, 32).gemm(&a, &b);
+        assert_eq!(stats.cycles, compute_cycles(9, 6, 7, 4) * 1); // 6 tiles
+    }
+
+    #[test]
+    fn ant_outperforms_adafloat_heavily() {
+        let w = resnet18(8);
+        let ant = simulate(Design::AntOs, &w, &cfg()).unwrap();
+        let ada = simulate(Design::AdaFloat, &w, &cfg()).unwrap();
+        let speedup = ada.total_cycles as f64 / ant.total_cycles as f64;
+        assert!(speedup > 2.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn ant_beats_bitfusion_on_cnn() {
+        let w = resnet18(8);
+        let ant = simulate(Design::AntOs, &w, &cfg()).unwrap();
+        let bf = simulate(Design::BitFusion, &w, &cfg()).unwrap();
+        assert!(
+            bf.total_cycles > ant.total_cycles,
+            "bf {} vs ant {}",
+            bf.total_cycles,
+            ant.total_cycles
+        );
+    }
+
+    #[test]
+    fn vgg_fc_layers_are_memory_bound() {
+        // The classic result: batch-64 FC layers stream 100M+ weights with
+        // no spatial reuse and bottleneck on DRAM.
+        let w = vgg16(64);
+        let ant = simulate(Design::AntOs, &w, &cfg()).unwrap();
+        let fc6 = ant.layers.iter().find(|l| l.name == "fc6").unwrap();
+        assert!(fc6.memory_bound, "fc6 should be DRAM-bound");
+        let conv = ant.layers.iter().find(|l| l.name == "conv3_1").unwrap();
+        assert!(!conv.memory_bound, "mid convs should be compute-bound");
+    }
+
+    #[test]
+    fn bert_traffic_is_weight_dominated_unlike_resnet() {
+        // Sec. VI-A: BERT-like models stress off-chip bandwidth on weight
+        // streaming (no spatial reuse), while CNN traffic is dominated by
+        // activations.
+        let bert = bert_base(8, "MNLI");
+        let rn = resnet18(8);
+        let weight_share = |w: &crate::workload::Workload| {
+            let res = simulate(Design::AntOs, w, &cfg()).unwrap();
+            let weight_bytes: f64 = res
+                .layers
+                .iter()
+                .zip(&w.layers)
+                .map(|(p, l)| l.weight_elems() as f64 * p.assignment.weight_bits / 8.0)
+                .sum();
+            let total: f64 = res.layers.iter().map(|l| l.dram_bytes).sum();
+            weight_bytes / total
+        };
+        let bert_share = weight_share(&bert);
+        let rn_share = weight_share(&rn);
+        assert!(
+            bert_share > 0.25 && rn_share < 0.15 && bert_share > 2.0 * rn_share,
+            "bert {bert_share} vs resnet {rn_share}"
+        );
+    }
+
+    #[test]
+    fn ws_spends_more_buffer_energy_than_os() {
+        let w = resnet18(8);
+        let os = simulate(Design::AntOs, &w, &cfg()).unwrap();
+        let ws = simulate(Design::AntWs, &w, &cfg()).unwrap();
+        assert!(
+            ws.total_energy.buffer_pj > os.total_energy.buffer_pj,
+            "ws {} vs os {}",
+            ws.total_energy.buffer_pj,
+            os.total_energy.buffer_pj
+        );
+        // But similar performance (paper: "very similar performances").
+        let ratio = ws.total_cycles as f64 / os.total_cycles as f64;
+        assert!((0.8..1.3).contains(&ratio), "cycle ratio {ratio}");
+    }
+
+    #[test]
+    fn ant_low_bit_ratio_is_high() {
+        let w = vgg16(4);
+        let ant = simulate(Design::AntOs, &w, &cfg()).unwrap();
+        let frac = ant.low_bit_mac_fraction(&w);
+        assert!(frac > 0.8, "4-bit MAC fraction {frac}");
+        let bits = ant.avg_mem_bits(&w);
+        assert!(bits < 6.0, "avg mem bits {bits}");
+    }
+
+    #[test]
+    fn avg_bits_ordering_matches_table_i() {
+        let w = crate::workload::resnet50(4);
+        let ant = simulate(Design::AntOs, &w, &cfg()).unwrap().avg_mem_bits(&w);
+        let bf = simulate(Design::BitFusion, &w, &cfg()).unwrap().avg_mem_bits(&w);
+        let bi = simulate(Design::BiScaled, &w, &cfg()).unwrap().avg_mem_bits(&w);
+        let ada = simulate(Design::AdaFloat, &w, &cfg()).unwrap().avg_mem_bits(&w);
+        assert!(ant < bi && bi < bf.max(ada), "ant {ant} bi {bi} bf {bf} ada {ada}");
+        assert!(ant < 5.5, "ant {ant}");
+        assert_eq!(ada, 8.0);
+    }
+
+    #[test]
+    fn energy_breakdown_totals() {
+        let e = EnergyBreakdown { static_pj: 1.0, dram_pj: 2.0, buffer_pj: 3.0, core_pj: 4.0 };
+        assert_eq!(e.total(), 10.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # Cycle-level accelerator simulator for the ANT reproduction
+//!
+//! Models the paper's evaluation platform (Sec. VII): iso-area accelerator
+//! designs (ANT-OS/WS, BitFusion, OLAccel, BiScaled, AdaFloat) running the
+//! eight benchmark workloads of Fig. 13, with a tile-exact compute-timing
+//! model validated against the cycle-stepped systolic array in `ant-hw`,
+//! a bandwidth-limited DRAM model, and a four-component energy breakdown
+//! (static / DRAM / buffer / core).
+//!
+//! * [`workload`] — GEMM-lowered layer tables for VGG16, ResNet-18/50,
+//!   Inception-V3, ViT and BERT-Base (MNLI/CoLA/SST-2),
+//! * [`profile`] — per-tensor distribution profiles standing in for trained
+//!   checkpoints (see DESIGN.md §2),
+//! * [`assign`] — each scheme's per-layer bits/type decision, driven by
+//!   `ant-core`'s Algorithm 2 for ANT and BitFusion,
+//! * [`design`] — the iso-area designs and the performance/energy model,
+//! * [`report`] — Fig. 13 normalization, geomean summaries and Table I.
+//!
+//! # Example
+//!
+//! ```
+//! use ant_sim::design::{simulate, Design, SimConfig};
+//! use ant_sim::workload::resnet18;
+//!
+//! let w = resnet18(1);
+//! let ant = simulate(Design::AntOs, &w, &SimConfig::default())?;
+//! let bitfusion = simulate(Design::BitFusion, &w, &SimConfig::default())?;
+//! assert!(ant.total_cycles < bitfusion.total_cycles);
+//! # Ok::<(), ant_core::QuantError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod assign;
+pub mod design;
+pub mod profile;
+pub mod report;
+pub mod workload;

@@ -1,0 +1,198 @@
+//! Per-tensor distribution profiles for the paper's workloads.
+//!
+//! The real evaluation quantizes trained checkpoints; here each weight and
+//! activation tensor is replayed as a seeded sample from a distribution
+//! family matched to the paper's characterisation (Fig. 1, Sec. VII-E):
+//! first-layer activations are uniform-like, CNN tensors are Gaussian-like
+//! with a long tail, and Transformer activations carry strong outliers.
+//! DESIGN.md §2 records this substitution.
+
+use ant_tensor::dist::{sample_vec, Distribution};
+
+/// Distribution family of one tensor. The outlier-bearing families carry
+/// their `(fraction, magnitude)` parameters explicitly so workload
+/// construction can jitter them per layer — real networks' layers differ
+/// in tail severity, which is what makes the paper's per-layer type mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TensorProfile {
+    /// First-layer input activations: raw image pixels, uniform-like and
+    /// non-negative (Sec. VII-E: "the first layer is more like a uniform
+    /// distribution than Gaussian").
+    FirstLayerAct,
+    /// Post-ReLU CNN activations: one-sided Gaussian bulk with a mild long
+    /// tail (flint territory, Fig. 14).
+    CnnAct {
+        /// Outlier fraction.
+        frac: f32,
+        /// Outlier magnitude in bulk standard deviations.
+        scale: f32,
+    },
+    /// CNN / generic DNN weights: Gaussian with a sparse 4–5σ tail.
+    CnnWeight {
+        /// Outlier fraction.
+        frac: f32,
+        /// Outlier magnitude in bulk standard deviations.
+        scale: f32,
+    },
+    /// Transformer attention projection weights: Gaussian with a long tail
+    /// (flint).
+    AttnWeight {
+        /// Outlier fraction.
+        frac: f32,
+        /// Outlier magnitude in bulk standard deviations.
+        scale: f32,
+    },
+    /// Transformer FFN weights: nearly pure Gaussian (int often wins —
+    /// "weight tensors show both uniform-like and Gaussian-like
+    /// distributions so both int and flint are chosen", Sec. VII-E).
+    FfnWeight,
+    /// Transformer (BERT/ViT) activations: signed, with significant
+    /// outliers (PoT/float territory).
+    BertAct {
+        /// Outlier fraction (e.g. 0.005–0.01).
+        frac: f32,
+        /// Outlier magnitude in bulk standard deviations.
+        scale: f32,
+    },
+}
+
+impl TensorProfile {
+    /// The default CNN activation profile.
+    pub fn cnn_act() -> Self {
+        TensorProfile::CnnAct { frac: 0.01, scale: 4.0 }
+    }
+
+    /// The default CNN weight profile.
+    pub fn cnn_weight() -> Self {
+        TensorProfile::CnnWeight { frac: 0.01, scale: 4.0 }
+    }
+
+    /// The default attention-projection weight profile.
+    pub fn attn_weight() -> Self {
+        TensorProfile::AttnWeight { frac: 0.015, scale: 4.5 }
+    }
+
+    /// The default ViT activation profile (milder outliers than BERT's).
+    pub fn vit_act() -> Self {
+        TensorProfile::BertAct { frac: 0.005, scale: 8.0 }
+    }
+
+    /// Scales the outlier parameters (no-op for the outlier-free
+    /// families). Used to express per-layer tail-severity variation.
+    #[must_use]
+    pub fn with_severity(self, frac_mul: f32, scale_mul: f32) -> Self {
+        match self {
+            TensorProfile::CnnAct { frac, scale } => TensorProfile::CnnAct {
+                frac: (frac * frac_mul).min(0.2),
+                scale: scale * scale_mul,
+            },
+            TensorProfile::CnnWeight { frac, scale } => TensorProfile::CnnWeight {
+                frac: (frac * frac_mul).min(0.2),
+                scale: scale * scale_mul,
+            },
+            TensorProfile::AttnWeight { frac, scale } => TensorProfile::AttnWeight {
+                frac: (frac * frac_mul).min(0.2),
+                scale: scale * scale_mul,
+            },
+            TensorProfile::BertAct { frac, scale } => TensorProfile::BertAct {
+                frac: (frac * frac_mul).min(0.2),
+                scale: scale * scale_mul,
+            },
+            other => other,
+        }
+    }
+
+    /// The underlying sampling distribution.
+    pub fn distribution(&self) -> Distribution {
+        match *self {
+            TensorProfile::FirstLayerAct => Distribution::Uniform { lo: 0.0, hi: 1.0 },
+            TensorProfile::CnnAct { frac, scale } => Distribution::HalfOutlierGaussian {
+                std: 1.0,
+                outlier_frac: frac,
+                outlier_scale: scale,
+            },
+            TensorProfile::CnnWeight { frac, scale } => Distribution::OutlierGaussian {
+                std: 1.0,
+                outlier_frac: frac,
+                outlier_scale: scale,
+            },
+            TensorProfile::AttnWeight { frac, scale } => Distribution::OutlierGaussian {
+                std: 1.0,
+                outlier_frac: frac,
+                outlier_scale: scale,
+            },
+            TensorProfile::FfnWeight => Distribution::Gaussian { mean: 0.0, std: 1.0 },
+            TensorProfile::BertAct { frac, scale } => Distribution::OutlierGaussian {
+                std: 1.0,
+                outlier_frac: frac,
+                outlier_scale: scale,
+            },
+        }
+    }
+
+    /// Whether the tensor is non-negative (quantized with unsigned types,
+    /// Sec. II-B).
+    pub fn is_non_negative(&self) -> bool {
+        self.distribution().is_non_negative()
+    }
+
+    /// Draws a seeded sample of `n` values representing the tensor.
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<f32> {
+        sample_vec(self.distribution(), n, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ant_tensor::stats;
+
+    #[test]
+    fn signedness_matches_families() {
+        assert!(TensorProfile::FirstLayerAct.is_non_negative());
+        assert!(TensorProfile::cnn_act().is_non_negative());
+        assert!(!TensorProfile::cnn_weight().is_non_negative());
+        assert!(!TensorProfile::BertAct { frac: 0.01, scale: 20.0 }.is_non_negative());
+    }
+
+    #[test]
+    fn samples_are_seeded() {
+        let a = TensorProfile::cnn_weight().sample(256, 5);
+        let b = TensorProfile::cnn_weight().sample(256, 5);
+        let c = TensorProfile::cnn_weight().sample(256, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn severity_scales_outlier_params_only() {
+        let p = TensorProfile::cnn_weight().with_severity(2.0, 1.5);
+        match p {
+            TensorProfile::CnnWeight { frac, scale } => {
+                assert!((frac - 0.02).abs() < 1e-6);
+                assert!((scale - 6.0).abs() < 1e-6);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            TensorProfile::FfnWeight.with_severity(2.0, 2.0),
+            TensorProfile::FfnWeight
+        );
+        // Fraction is capped to keep the "outlier" interpretation.
+        let capped = TensorProfile::cnn_weight().with_severity(1e6, 1.0);
+        if let TensorProfile::CnnWeight { frac, .. } = capped {
+            assert!(frac <= 0.2);
+        }
+    }
+
+    #[test]
+    fn kurtosis_ordering_matches_fig1() {
+        let uni = TensorProfile::FirstLayerAct.sample(20_000, 1);
+        let gau = TensorProfile::FfnWeight.sample(20_000, 2);
+        let bert = TensorProfile::BertAct { frac: 0.01, scale: 20.0 }.sample(20_000, 3);
+        let ku = stats::moments(&uni).unwrap().excess_kurtosis;
+        let kg = stats::moments(&gau).unwrap().excess_kurtosis;
+        let kb = stats::moments(&bert).unwrap().excess_kurtosis;
+        assert!(ku < kg && kg < kb, "{ku} {kg} {kb}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Cross-design aggregation: the normalized latency/energy series of
+//! Fig. 13, the geomean speedups quoted in the paper's abstract, and the
+//! Table I average-bit summary.
+
+use crate::assign::{assign_layer, Scheme};
+use crate::design::{simulate, Design, DesignResult, SimConfig};
+use crate::workload::Workload;
+use ant_core::QuantError;
+
+/// One workload's Fig. 13 row: per-design cycles and energy, normalized to
+/// the slowest / most energy-hungry design (as the paper's bars are).
+#[derive(Debug, Clone)]
+pub struct WorkloadComparison {
+    /// Workload name.
+    pub workload: String,
+    /// (design, result) in [`Design::all`] order.
+    pub results: Vec<DesignResult>,
+}
+
+impl WorkloadComparison {
+    /// Runs all designs over one workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn run(workload: &Workload, cfg: &SimConfig) -> Result<Self, QuantError> {
+        let results = Design::all()
+            .iter()
+            .map(|d| simulate(*d, workload, cfg))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(WorkloadComparison { workload: workload.name.clone(), results })
+    }
+
+    /// Cycles normalized to the slowest design (all values ≤ 1).
+    pub fn normalized_cycles(&self) -> Vec<(&'static str, f64)> {
+        let max = self
+            .results
+            .iter()
+            .map(|r| r.total_cycles)
+            .max()
+            .unwrap_or(1)
+            .max(1) as f64;
+        self.results
+            .iter()
+            .map(|r| (r.design.name(), r.total_cycles as f64 / max))
+            .collect()
+    }
+
+    /// Energy normalized to the most energy-hungry design.
+    pub fn normalized_energy(&self) -> Vec<(&'static str, f64)> {
+        let max = self
+            .results
+            .iter()
+            .map(|r| r.total_energy.total())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        self.results
+            .iter()
+            .map(|r| (r.design.name(), r.total_energy.total() / max))
+            .collect()
+    }
+
+    /// Result for one design.
+    pub fn result(&self, design: Design) -> &DesignResult {
+        self.results
+            .iter()
+            .find(|r| r.design == design)
+            .expect("all designs simulated")
+    }
+}
+
+/// Geometric mean of a non-empty series of positive values.
+///
+/// # Panics
+///
+/// Panics on an empty series or non-positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty series");
+    assert!(values.iter().all(|&v| v > 0.0), "geomean needs positive values");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// The paper's headline cross-workload summary: ANT-OS speedup and energy
+/// reduction versus each baseline, geomeaned over workloads.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// (baseline name, geomean speedup of ANT-OS over it).
+    pub speedups: Vec<(&'static str, f64)>,
+    /// (baseline name, geomean energy reduction of ANT-OS over it).
+    pub energy_reductions: Vec<(&'static str, f64)>,
+}
+
+/// Builds the summary over a set of workload comparisons.
+pub fn summarize(comparisons: &[WorkloadComparison]) -> Summary {
+    let baselines =
+        [Design::BitFusion, Design::OlAccel, Design::BiScaled, Design::AdaFloat];
+    let mut speedups = Vec::new();
+    let mut energy_reductions = Vec::new();
+    for b in baselines {
+        let s: Vec<f64> = comparisons
+            .iter()
+            .map(|c| {
+                c.result(b).total_cycles as f64 / c.result(Design::AntOs).total_cycles as f64
+            })
+            .collect();
+        let e: Vec<f64> = comparisons
+            .iter()
+            .map(|c| {
+                c.result(b).total_energy.total() / c.result(Design::AntOs).total_energy.total()
+            })
+            .collect();
+        speedups.push((b.name(), geomean(&s)));
+        energy_reductions.push((b.name(), geomean(&e)));
+    }
+    Summary { speedups, energy_reductions }
+}
+
+/// One Table I row: scheme, average memory bits, average compute bits and
+/// the published area-overhead ratio.
+#[derive(Debug, Clone)]
+pub struct ArchRow {
+    /// Scheme name.
+    pub name: &'static str,
+    /// Whether memory accesses stay aligned.
+    pub aligned: bool,
+    /// Element-weighted average memory bits across workloads.
+    pub mem_bits: f64,
+    /// MAC-weighted average compute bits across workloads.
+    pub compute_bits: f64,
+    /// Decoder/controller area overhead (from `ant-hw`'s published
+    /// constants).
+    pub area_overhead: f64,
+}
+
+/// Computes Table I's quantization columns across workloads. The GOBO row
+/// follows the paper's convention of counting weights only.
+///
+/// # Errors
+///
+/// Propagates assignment failures.
+pub fn table_i(workloads: &[Workload]) -> Result<Vec<ArchRow>, QuantError> {
+    use ant_hw::area::TABLE_I_OVERHEADS as OV;
+    let mut rows = Vec::new();
+    let specs: [(&'static str, Scheme, bool, f64); 6] = [
+        ("Int", Scheme::Int8, true, OV.int),
+        ("AdaFloat", Scheme::AdaFloat, true, OV.adafloat),
+        ("BitFusion", Scheme::BitFusion, true, OV.bitfusion),
+        ("BiScaled", Scheme::BiScaled, true, OV.biscaled),
+        ("OLAccel", Scheme::OlAccel, false, OV.olaccel),
+        ("ANT", Scheme::Ant, true, OV.ant),
+    ];
+    for (name, scheme, aligned, overhead) in specs {
+        let mut mem_bits = 0.0f64;
+        let mut elems = 0.0f64;
+        let mut cbits = 0.0f64;
+        let mut macs = 0.0f64;
+        for w in workloads {
+            for layer in &w.layers {
+                let a = assign_layer(scheme, layer)?;
+                mem_bits += a.weight_bits * layer.weight_elems() as f64
+                    + a.act_bits * layer.act_elems() as f64;
+                elems += (layer.weight_elems() + layer.act_elems()) as f64;
+                cbits += a.compute_bits() * layer.macs() as f64;
+                macs += layer.macs() as f64;
+            }
+        }
+        rows.push(ArchRow {
+            name,
+            aligned,
+            mem_bits: mem_bits / elems.max(1.0),
+            compute_bits: cbits / macs.max(1.0),
+            area_overhead: overhead,
+        });
+    }
+    // GOBO: weight-only quantization (Table I footnote).
+    let mut wbits = 0.0f64;
+    let mut welems = 0.0f64;
+    for w in workloads {
+        for layer in &w.layers {
+            let a = assign_layer(Scheme::Gobo, layer)?;
+            wbits += a.weight_bits * layer.weight_elems() as f64;
+            welems += layer.weight_elems() as f64;
+        }
+    }
+    rows.push(ArchRow {
+        name: "GOBO",
+        aligned: false,
+        mem_bits: wbits / welems.max(1.0),
+        compute_bits: 16.0,
+        area_overhead: OV.gobo,
+    });
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{bert_base, resnet18};
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean")]
+    fn geomean_rejects_empty() {
+        let _ = geomean(&[]);
+    }
+
+    #[test]
+    fn comparison_normalizes_to_one() {
+        let w = resnet18(4);
+        let c = WorkloadComparison::run(&w, &SimConfig::default()).unwrap();
+        let cycles = c.normalized_cycles();
+        assert_eq!(cycles.len(), 6);
+        let max = cycles.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+        assert!(cycles.iter().all(|(_, v)| *v > 0.0 && *v <= 1.0));
+        let energy = c.normalized_energy();
+        let emax = energy.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+        assert!((emax - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_shows_ant_winning() {
+        let workloads = vec![resnet18(4), bert_base(4, "SST-2")];
+        let comparisons: Vec<WorkloadComparison> = workloads
+            .iter()
+            .map(|w| WorkloadComparison::run(w, &SimConfig::default()).unwrap())
+            .collect();
+        let s = summarize(&comparisons);
+        for (name, speedup) in &s.speedups {
+            assert!(*speedup > 1.0, "{name}: speedup {speedup}");
+        }
+        for (name, red) in &s.energy_reductions {
+            assert!(*red > 1.0, "{name}: energy reduction {red}");
+        }
+        // AdaFloat should be the weakest baseline (paper: 4× / 3.33×).
+        let ada = s.speedups.iter().find(|(n, _)| *n == "AdaFloat").unwrap().1;
+        let bi = s.speedups.iter().find(|(n, _)| *n == "BiScaled").unwrap().1;
+        assert!(ada > bi, "AdaFloat {ada} vs BiScaled {bi}");
+    }
+
+    #[test]
+    fn table_i_shape() {
+        let rows = table_i(&[resnet18(2)]).unwrap();
+        assert_eq!(rows.len(), 7);
+        let ant = rows.iter().find(|r| r.name == "ANT").unwrap();
+        let int = rows.iter().find(|r| r.name == "Int").unwrap();
+        let gobo = rows.iter().find(|r| r.name == "GOBO").unwrap();
+        assert!(ant.mem_bits < int.mem_bits);
+        assert!(ant.aligned && !gobo.aligned);
+        assert_eq!(int.compute_bits, 8.0);
+        assert_eq!(gobo.compute_bits, 16.0);
+        assert!(gobo.mem_bits < 4.2);
+        assert!(ant.area_overhead < 0.01);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based tests for the simulator's invariants.
+
+use ant_sim::design::{compute_cycles, simulate, Design, SimConfig};
+use ant_sim::report::geomean;
+use ant_sim::workload::{resnet18, GemmLayer};
+use ant_sim::profile::TensorProfile;
+use proptest::prelude::*;
+
+proptest! {
+    /// The tile-cycle formula is monotone in every GEMM dimension and
+    /// lower-bounded by the ideal macs/PE ratio.
+    #[test]
+    fn compute_cycles_monotone_and_bounded(
+        m in 1u64..300, n in 1u64..300, k in 1u64..300, array in 2u64..65,
+    ) {
+        let c = compute_cycles(m, n, k, array);
+        prop_assert!(c >= compute_cycles(m, n, k.saturating_sub(1).max(1), array));
+        prop_assert!(c >= compute_cycles(m.saturating_sub(1).max(1), n, k, array));
+        // Lower bound: the array can do at most array² MACs per cycle.
+        let ideal = (m * n * k).div_ceil(array * array);
+        prop_assert!(c >= ideal, "c={c} ideal={ideal}");
+    }
+
+    /// Simulated cycles and energy scale monotonically with batch size.
+    #[test]
+    fn cycles_scale_with_batch(b in 1u64..5) {
+        let cfg = SimConfig::default();
+        let small = simulate(Design::AntOs, &resnet18(b), &cfg).unwrap();
+        let large = simulate(Design::AntOs, &resnet18(b + 1), &cfg).unwrap();
+        prop_assert!(large.total_cycles > small.total_cycles);
+        prop_assert!(large.total_energy.total() > small.total_energy.total());
+    }
+
+    /// Geomean lies between min and max and is scale-equivariant.
+    #[test]
+    fn geomean_properties(values in proptest::collection::vec(0.01f64..100.0, 1..16), k in 0.1f64..10.0) {
+        let g = geomean(&values);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+        let scaled: Vec<f64> = values.iter().map(|v| v * k).collect();
+        prop_assert!((geomean(&scaled) - g * k).abs() < 1e-6 * (1.0 + g * k));
+    }
+
+    /// Layer element accounting is self-consistent for any shape.
+    #[test]
+    fn gemm_layer_accounting(m in 1u64..1000, n in 1u64..1000, k in 1u64..1000) {
+        let layer = GemmLayer {
+            name: "t".to_string(),
+            m,
+            n,
+            k,
+            weight_profile: TensorProfile::cnn_weight(),
+            act_profile: TensorProfile::cnn_act(),
+            is_edge: false,
+        };
+        prop_assert_eq!(layer.macs(), m * n * k);
+        prop_assert_eq!(layer.weight_elems() * m, layer.macs());
+        prop_assert_eq!(layer.act_elems() * n, layer.macs());
+        prop_assert_eq!(layer.out_elems() * k, layer.macs());
+    }
+}

@@ -1,0 +1,231 @@
+//! Seeded samplers for the value-distribution families the ANT paper
+//! analyses (Fig. 1 and Sec. VII-E).
+//!
+//! The paper's workloads exhibit three shapes: uniform-like (first-layer
+//! activations), Gaussian-like (most weights) and Laplace-like with heavy
+//! outliers (Transformer activations). [`Distribution`] captures these
+//! families plus the outlier-contaminated mixture used by the outlier-aware
+//! baselines (OLAccel/GOBO), and [`sample_tensor`] materialises seeded,
+//! reproducible tensors from them.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A parametric distribution over `f32` values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f32,
+        /// Upper bound (exclusive).
+        hi: f32,
+    },
+    /// Gaussian with the given mean and standard deviation.
+    Gaussian {
+        /// Mean.
+        mean: f32,
+        /// Standard deviation (must be positive).
+        std: f32,
+    },
+    /// Laplace (double exponential) with the given location and scale.
+    Laplace {
+        /// Location parameter μ.
+        mu: f32,
+        /// Scale parameter b (must be positive).
+        b: f32,
+    },
+    /// Gaussian bulk contaminated with a small fraction of wide-Gaussian
+    /// outliers — the shape OLAccel/GOBO (papers [66], [86]) target.
+    OutlierGaussian {
+        /// Standard deviation of the bulk.
+        std: f32,
+        /// Fraction of samples drawn from the outlier component, in `[0,1]`.
+        outlier_frac: f32,
+        /// Multiplier on `std` for the outlier component.
+        outlier_scale: f32,
+    },
+    /// Half-Gaussian (absolute value of a Gaussian) — the shape of post-ReLU
+    /// activations, which the paper quantizes with unsigned types.
+    HalfGaussian {
+        /// Standard deviation of the underlying Gaussian.
+        std: f32,
+    },
+    /// Half-Laplace: absolute value of a Laplace sample. Long one-sided tail,
+    /// resembling post-ReLU/GeLU Transformer activations with outliers.
+    HalfLaplace {
+        /// Scale parameter b.
+        b: f32,
+    },
+    /// Absolute value of an outlier-contaminated Gaussian: the post-ReLU
+    /// activation shape of deep CNN layers (non-negative bulk with a
+    /// one-sided long tail).
+    HalfOutlierGaussian {
+        /// Standard deviation of the bulk.
+        std: f32,
+        /// Fraction of samples drawn from the outlier component, in `[0,1]`.
+        outlier_frac: f32,
+        /// Multiplier on `std` for the outlier component.
+        outlier_scale: f32,
+    },
+}
+
+impl Distribution {
+    /// Draws one sample using `rng`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        match *self {
+            Distribution::Uniform { lo, hi } => rng.gen_range(lo..hi),
+            Distribution::Gaussian { mean, std } => mean + std * standard_normal(rng),
+            Distribution::Laplace { mu, b } => mu + b * standard_laplace(rng),
+            Distribution::OutlierGaussian { std, outlier_frac, outlier_scale } => {
+                let s = if rng.gen::<f32>() < outlier_frac { std * outlier_scale } else { std };
+                s * standard_normal(rng)
+            }
+            Distribution::HalfGaussian { std } => (std * standard_normal(rng)).abs(),
+            Distribution::HalfLaplace { b } => (b * standard_laplace(rng)).abs(),
+            Distribution::HalfOutlierGaussian { std, outlier_frac, outlier_scale } => {
+                let s = if rng.gen::<f32>() < outlier_frac { std * outlier_scale } else { std };
+                (s * standard_normal(rng)).abs()
+            }
+        }
+    }
+
+    /// Whether samples are guaranteed non-negative (so an unsigned numeric
+    /// type applies, as for post-ReLU activations in the paper).
+    pub fn is_non_negative(&self) -> bool {
+        match *self {
+            Distribution::Uniform { lo, .. } => lo >= 0.0,
+            Distribution::HalfGaussian { .. }
+            | Distribution::HalfLaplace { .. }
+            | Distribution::HalfOutlierGaussian { .. } => true,
+            _ => false,
+        }
+    }
+}
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Standard Laplace sample (location 0, scale 1) via inverse-CDF.
+pub fn standard_laplace<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u: f32 = rng.gen::<f32>() - 0.5;
+    let u = u.clamp(-0.499_999_97, 0.499_999_97);
+    -u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Samples a tensor of the given shape from `dist`, deterministically for a
+/// given `seed`.
+///
+/// # Example
+///
+/// ```
+/// use ant_tensor::dist::{Distribution, sample_tensor};
+///
+/// let a = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[64, 64], 42);
+/// let b = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[64, 64], 42);
+/// assert_eq!(a, b); // seeded => reproducible
+/// ```
+pub fn sample_tensor(dist: Distribution, dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shape = crate::Shape::new(dims);
+    let data: Vec<f32> = (0..shape.len()).map(|_| dist.sample(&mut rng)).collect();
+    Tensor::from_vec(data, dims).expect("length matches shape by construction")
+}
+
+/// Draws `n` samples into a `Vec` (rank-1 helper around [`sample_tensor`]).
+pub fn sample_vec(dist: Distribution, n: usize, seed: u64) -> Vec<f32> {
+    sample_tensor(dist, &[n], seed).into_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn seeded_sampling_is_deterministic() {
+        let a = sample_vec(Distribution::Laplace { mu: 0.0, b: 1.0 }, 100, 7);
+        let b = sample_vec(Distribution::Laplace { mu: 0.0, b: 1.0 }, 100, 7);
+        let c = sample_vec(Distribution::Laplace { mu: 0.0, b: 1.0 }, 100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let v = sample_vec(Distribution::Uniform { lo: -2.0, hi: 3.0 }, 10_000, 1);
+        assert!(v.iter().all(|&x| (-2.0..3.0).contains(&x)));
+        let m = stats::moments(&v).unwrap();
+        assert!((m.mean - 0.5).abs() < 0.1, "mean {}", m.mean);
+    }
+
+    #[test]
+    fn gaussian_moments_match() {
+        let v = sample_vec(Distribution::Gaussian { mean: 1.0, std: 2.0 }, 50_000, 2);
+        let m = stats::moments(&v).unwrap();
+        assert!((m.mean - 1.0).abs() < 0.05, "mean {}", m.mean);
+        assert!((m.std - 2.0).abs() < 0.05, "std {}", m.std);
+        assert!(m.excess_kurtosis.abs() < 0.2, "kurtosis {}", m.excess_kurtosis);
+    }
+
+    #[test]
+    fn laplace_has_heavy_tails() {
+        let v = sample_vec(Distribution::Laplace { mu: 0.0, b: 1.0 }, 50_000, 3);
+        let m = stats::moments(&v).unwrap();
+        // Laplace std = sqrt(2) b; excess kurtosis = 3.
+        assert!((m.std - std::f32::consts::SQRT_2 as f64).abs() < 0.05);
+        assert!(m.excess_kurtosis > 2.0, "kurtosis {}", m.excess_kurtosis);
+    }
+
+    #[test]
+    fn outlier_mixture_is_heavier_than_gaussian() {
+        let g = sample_vec(Distribution::Gaussian { mean: 0.0, std: 1.0 }, 50_000, 4);
+        let o = sample_vec(
+            Distribution::OutlierGaussian { std: 1.0, outlier_frac: 0.01, outlier_scale: 10.0 },
+            50_000,
+            4,
+        );
+        let mg = stats::moments(&g).unwrap();
+        let mo = stats::moments(&o).unwrap();
+        assert!(mo.excess_kurtosis > mg.excess_kurtosis + 1.0);
+    }
+
+    #[test]
+    fn half_distributions_are_non_negative() {
+        for dist in [
+            Distribution::HalfGaussian { std: 1.0 },
+            Distribution::HalfLaplace { b: 1.0 },
+            Distribution::HalfOutlierGaussian { std: 1.0, outlier_frac: 0.02, outlier_scale: 5.0 },
+        ] {
+            assert!(dist.is_non_negative());
+            let v = sample_vec(dist, 10_000, 5);
+            assert!(v.iter().all(|&x| x >= 0.0));
+        }
+        assert!(Distribution::Uniform { lo: 0.0, hi: 1.0 }.is_non_negative());
+        assert!(!Distribution::Gaussian { mean: 0.0, std: 1.0 }.is_non_negative());
+    }
+
+    #[test]
+    fn classifier_recognises_sampled_families() {
+        use stats::DistributionFamily as F;
+        let u = sample_vec(Distribution::Uniform { lo: 0.0, hi: 1.0 }, 20_000, 6);
+        let g = sample_vec(Distribution::Gaussian { mean: 0.0, std: 1.0 }, 20_000, 6);
+        let l = sample_vec(Distribution::Laplace { mu: 0.0, b: 1.0 }, 20_000, 6);
+        assert_eq!(stats::classify(&u).unwrap(), F::UniformLike);
+        assert_eq!(stats::classify(&g).unwrap(), F::GaussianLike);
+        assert_eq!(stats::classify(&l).unwrap(), F::LaplaceLike);
+    }
+
+    #[test]
+    fn sample_tensor_shape() {
+        let t = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[3, 4, 5], 9);
+        assert_eq!(t.dims(), &[3, 4, 5]);
+        assert!(t.all_finite());
+    }
+}

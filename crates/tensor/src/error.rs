@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for tensor operations.
+///
+/// Returned by every fallible public function in this crate. The variants
+/// carry enough context to diagnose the failing call without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// length supplied (or required) by the operation.
+    LengthMismatch {
+        /// Number of elements the shape calls for.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// The operation requires a tensor of a particular rank.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+    },
+    /// An axis argument is out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// Inner dimensions of a matrix product disagree.
+    InnerDimMismatch {
+        /// Columns of the left operand.
+        lhs_cols: usize,
+        /// Rows of the right operand.
+        rhs_rows: usize,
+    },
+    /// The operation is undefined on an empty tensor.
+    Empty,
+    /// A convolution/pooling geometry is invalid (e.g. kernel larger than
+    /// padded input, or zero-sized kernel or stride).
+    InvalidGeometry(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "shape requires {expected} elements but {actual} were provided")
+            }
+            TensorError::ShapeMismatch { lhs, rhs } => {
+                write!(f, "shape mismatch: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected} but tensor has rank {actual}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::InnerDimMismatch { lhs_cols, rhs_rows } => {
+                write!(f, "inner dimensions disagree: lhs has {lhs_cols} columns, rhs has {rhs_rows} rows")
+            }
+            TensorError::Empty => write!(f, "operation undefined on an empty tensor"),
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch { lhs: vec![2, 3], rhs: vec![3, 2] };
+        let s = e.to_string();
+        assert!(s.contains("[2, 3]"), "{s}");
+        assert!(s.contains("[3, 2]"), "{s}");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn all_variants_display_nonempty() {
+        let variants = [
+            TensorError::LengthMismatch { expected: 4, actual: 3 },
+            TensorError::ShapeMismatch { lhs: vec![1], rhs: vec![2] },
+            TensorError::RankMismatch { expected: 2, actual: 1 },
+            TensorError::AxisOutOfRange { axis: 5, rank: 2 },
+            TensorError::InnerDimMismatch { lhs_cols: 3, rhs_rows: 4 },
+            TensorError::Empty,
+            TensorError::InvalidGeometry("kernel 0x0".to_string()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

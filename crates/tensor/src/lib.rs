@@ -1,0 +1,41 @@
+//! Dense `f32` tensor substrate for the ANT reproduction.
+//!
+//! The ANT paper (MICRO 2022) evaluates its adaptive numerical data type on
+//! DNN weight and activation tensors. This crate provides the minimal — but
+//! real — tensor machinery that the rest of the workspace builds on:
+//!
+//! * [`Tensor`]: an owned, row-major, dense `f32` n-dimensional array with
+//!   element-wise operations, reductions, axis iteration and reshaping.
+//! * [`linalg`]: matrix multiplication, `im2col` lowering and 2-D
+//!   convolution, the kernels every DNN layer in `ant-nn` reduces to.
+//! * [`stats`]: histograms, moments, percentiles and the mean-square-error
+//!   metric that drives ANT's data-type selection (paper Sec. II-A).
+//! * [`dist`]: seeded samplers for the distribution families the paper
+//!   analyses (Fig. 1): uniform-like, Gaussian-like, Laplace-like and
+//!   outlier-contaminated mixtures.
+//!
+//! # Example
+//!
+//! ```
+//! use ant_tensor::{Tensor, stats};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = a.map(|x| x * 2.0);
+//! assert_eq!(b.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+//! assert!((stats::mse(&a, &b)? - 7.5).abs() < 1e-6);
+//! # Ok::<(), ant_tensor::TensorError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod dist;
+pub mod linalg;
+pub mod stats;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,347 @@
+//! Matrix and convolution kernels.
+//!
+//! Every DNN layer in the ANT workspace lowers to one of two primitives:
+//! GEMM ([`matmul`]) and `im2col`-lowered convolution ([`conv2d`]). The
+//! accelerator simulator (`ant-sim`) models exactly this lowering, so the
+//! functional path and the performance model agree on operation counts.
+
+use crate::{Tensor, TensorError};
+
+/// Matrix product of a `[m, k]` and a `[k, n]` tensor.
+///
+/// Uses a cache-friendly ikj loop order with an f32 accumulator; the tensors
+/// in this workspace are small enough that this is within a small factor of
+/// a tuned BLAS for our purposes.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless both operands are rank 2 and
+/// [`TensorError::InnerDimMismatch`] when the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use ant_tensor::{Tensor, linalg};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// assert_eq!(linalg::matmul(&a, &i)?, a);
+/// # Ok::<(), ant_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank() });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank() });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::InnerDimMismatch { lhs_cols: k, rhs_rows: k2 });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        for p in 0..k {
+            let aip = av[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            let orow = &mut ov[i * n..(i + 1) * n];
+            for (o, &bb) in orow.iter_mut().zip(brow) {
+                *o += aip * bb;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Matrix–vector product of a `[m, k]` tensor and a length-`k` vector.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`] with `b` treated as a `[k, 1]` matrix.
+pub fn matvec(a: &Tensor, x: &[f32]) -> Result<Vec<f32>, TensorError> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank() });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    if x.len() != k {
+        return Err(TensorError::InnerDimMismatch { lhs_cols: k, rhs_rows: x.len() });
+    }
+    let av = a.as_slice();
+    let mut y = vec![0.0f32; m];
+    for i in 0..m {
+        let row = &av[i * k..(i + 1) * k];
+        let mut acc = 0.0f32;
+        for (&w, &v) in row.iter().zip(x) {
+            acc += w * v;
+        }
+        y[i] = acc;
+    }
+    Ok(y)
+}
+
+/// Geometry of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Vertical and horizontal stride.
+    pub stride: usize,
+    /// Symmetric zero padding on each border.
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Creates a geometry, validating that kernel and stride are non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] for zero-sized kernels or
+    /// strides.
+    pub fn new(kh: usize, kw: usize, stride: usize, padding: usize) -> Result<Self, TensorError> {
+        if kh == 0 || kw == 0 {
+            return Err(TensorError::InvalidGeometry(format!("kernel {kh}x{kw}")));
+        }
+        if stride == 0 {
+            return Err(TensorError::InvalidGeometry("stride 0".to_string()));
+        }
+        Ok(Conv2dGeometry { kh, kw, stride, padding })
+    }
+
+    /// Output spatial extent for an input extent `n` along one axis, or
+    /// `None` when the kernel does not fit.
+    pub fn out_extent(&self, n: usize, k: usize) -> Option<usize> {
+        let padded = n + 2 * self.padding;
+        if padded < k {
+            None
+        } else {
+            Some((padded - k) / self.stride + 1)
+        }
+    }
+}
+
+/// Lowers a `[c, h, w]` input into the `[c*kh*kw, oh*ow]` im2col matrix.
+///
+/// Column `p` holds the receptive field of output pixel `p`; padding
+/// positions are zero. Convolution then becomes `weights_matrix x im2col`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless the input is rank 3, or
+/// [`TensorError::InvalidGeometry`] when the kernel does not fit.
+pub fn im2col(input: &Tensor, geo: Conv2dGeometry) -> Result<Tensor, TensorError> {
+    if input.rank() != 3 {
+        return Err(TensorError::RankMismatch { expected: 3, actual: input.rank() });
+    }
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let oh = geo
+        .out_extent(h, geo.kh)
+        .ok_or_else(|| TensorError::InvalidGeometry(format!("kernel {}x{} over {h}x{w}", geo.kh, geo.kw)))?;
+    let ow = geo
+        .out_extent(w, geo.kw)
+        .ok_or_else(|| TensorError::InvalidGeometry(format!("kernel {}x{} over {h}x{w}", geo.kh, geo.kw)))?;
+    let rows = c * geo.kh * geo.kw;
+    let cols = oh * ow;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let iv = input.as_slice();
+    let ov = out.as_mut_slice();
+    for ci in 0..c {
+        for ki in 0..geo.kh {
+            for kj in 0..geo.kw {
+                let r = (ci * geo.kh + ki) * geo.kw + kj;
+                for oy in 0..oh {
+                    let iy = (oy * geo.stride + ki) as isize - geo.padding as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geo.stride + kj) as isize - geo.padding as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        ov[r * cols + oy * ow + ox] =
+                            iv[(ci * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// 2-D convolution of a `[ci, h, w]` input with `[co, ci, kh, kw]` weights,
+/// producing `[co, oh, ow]`.
+///
+/// Implemented by `im2col` lowering followed by [`matmul`], matching the
+/// dataflow the accelerator simulator models.
+///
+/// # Errors
+///
+/// Propagates shape errors from [`im2col`] / [`matmul`] and returns
+/// [`TensorError::ShapeMismatch`] when input channels disagree with the
+/// weight tensor.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    geo: Conv2dGeometry,
+) -> Result<Tensor, TensorError> {
+    if weight.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: weight.rank() });
+    }
+    let (co, ci, kh, kw) =
+        (weight.dims()[0], weight.dims()[1], weight.dims()[2], weight.dims()[3]);
+    if input.rank() != 3 || input.dims()[0] != ci || kh != geo.kh || kw != geo.kw {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.dims().to_vec(),
+            rhs: weight.dims().to_vec(),
+        });
+    }
+    let (h, w) = (input.dims()[1], input.dims()[2]);
+    let cols = im2col(input, geo)?;
+    let wmat = weight.reshape(&[co, ci * kh * kw])?;
+    let mut out = matmul(&wmat, &cols)?;
+    if let Some(b) = bias {
+        if b.len() != co {
+            return Err(TensorError::LengthMismatch { expected: co, actual: b.len() });
+        }
+        let n = out.dims()[1];
+        let ov = out.as_mut_slice();
+        for (c, &bc) in b.iter().enumerate() {
+            for x in &mut ov[c * n..(c + 1) * n] {
+                *x += bc;
+            }
+        }
+    }
+    let oh = geo.out_extent(h, kh).expect("validated by im2col");
+    let ow = geo.out_extent(w, kw).expect("validated by im2col");
+    out.reshape(&[co, oh, ow])
+}
+
+/// Outer product `x ⊗ y` producing an `[x.len(), y.len()]` matrix.
+pub fn outer(x: &[f32], y: &[f32]) -> Tensor {
+    let mut out = Tensor::zeros(&[x.len(), y.len()]);
+    let ov = out.as_mut_slice();
+    for (i, &xi) in x.iter().enumerate() {
+        for (j, &yj) in y.iter().enumerate() {
+            ov[i * y.len() + j] = xi * yj;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let id = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        assert_eq!(matmul(&a, &id).unwrap(), a);
+        assert_eq!(matmul(&id, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matches!(matmul(&a, &b), Err(TensorError::InnerDimMismatch { .. })));
+        let v = Tensor::zeros(&[3]);
+        assert!(matches!(matmul(&v, &b), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let y = matvec(&a, &[5.0, 6.0]).unwrap();
+        assert_eq!(y, vec![17.0, 39.0]);
+        assert!(matvec(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(Conv2dGeometry::new(0, 3, 1, 0).is_err());
+        assert!(Conv2dGeometry::new(3, 3, 0, 0).is_err());
+        let g = Conv2dGeometry::new(3, 3, 2, 1).unwrap();
+        assert_eq!(g.out_extent(5, 3), Some(3));
+        assert_eq!(g.out_extent(1, 3), Some(1)); // padded to 3
+        let g0 = Conv2dGeometry::new(5, 5, 1, 0).unwrap();
+        assert_eq!(g0.out_extent(3, 5), None);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: im2col is the flattened input per channel.
+        let input = Tensor::from_fn(&[2, 2, 2], |i| (i[0] * 4 + i[1] * 2 + i[2]) as f32);
+        let geo = Conv2dGeometry::new(1, 1, 1, 0).unwrap();
+        let cols = im2col(&input, geo).unwrap();
+        assert_eq!(cols.dims(), &[2, 4]);
+        assert_eq!(cols.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn conv2d_matches_direct_computation() {
+        // 1 input channel 3x3, one 2x2 kernel of ones => sliding-window sums.
+        let input = Tensor::from_fn(&[1, 3, 3], |i| (i[1] * 3 + i[2]) as f32);
+        let weight = Tensor::ones(&[1, 1, 2, 2]);
+        let geo = Conv2dGeometry::new(2, 2, 1, 0).unwrap();
+        let out = conv2d(&input, &weight, None, geo).unwrap();
+        assert_eq!(out.dims(), &[1, 2, 2]);
+        // windows: [0,1,3,4]=8, [1,2,4,5]=12, [3,4,6,7]=20, [4,5,7,8]=24
+        assert_eq!(out.as_slice(), &[8.0, 12.0, 20.0, 24.0]);
+    }
+
+    #[test]
+    fn conv2d_with_padding_and_bias() {
+        let input = Tensor::ones(&[1, 2, 2]);
+        let weight = Tensor::ones(&[1, 1, 3, 3]);
+        let geo = Conv2dGeometry::new(3, 3, 1, 1).unwrap();
+        let out = conv2d(&input, &weight, Some(&[100.0]), geo).unwrap();
+        assert_eq!(out.dims(), &[1, 2, 2]);
+        // each output sees the full 2x2 ones block => 4 + bias
+        assert_eq!(out.as_slice(), &[104.0, 104.0, 104.0, 104.0]);
+    }
+
+    #[test]
+    fn conv2d_shape_validation() {
+        let input = Tensor::ones(&[2, 4, 4]);
+        let weight = Tensor::ones(&[1, 3, 3, 3]); // ci=3 != 2
+        let geo = Conv2dGeometry::new(3, 3, 1, 0).unwrap();
+        assert!(conv2d(&input, &weight, None, geo).is_err());
+        let weight2 = Tensor::ones(&[1, 2, 3, 3]);
+        assert!(conv2d(&input, &weight2, Some(&[0.0, 0.0]), geo).is_err()); // bias len
+    }
+
+    #[test]
+    fn conv2d_multi_channel_reduces_over_input_channels() {
+        let input = Tensor::from_fn(&[2, 2, 2], |i| if i[0] == 0 { 1.0 } else { 10.0 });
+        let weight = Tensor::ones(&[1, 2, 2, 2]);
+        let geo = Conv2dGeometry::new(2, 2, 1, 0).unwrap();
+        let out = conv2d(&input, &weight, None, geo).unwrap();
+        assert_eq!(out.as_slice(), &[4.0 + 40.0]);
+    }
+
+    #[test]
+    fn outer_product() {
+        let o = outer(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+}

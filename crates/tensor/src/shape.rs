@@ -1,0 +1,184 @@
+use crate::TensorError;
+
+/// The extent of a tensor along each axis, stored row-major.
+///
+/// `Shape` is a thin, validated wrapper over `Vec<usize>` that centralises
+/// the index arithmetic used throughout the crate.
+///
+/// # Example
+///
+/// ```
+/// use ant_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.offset(&[1, 2, 3]), Some(23));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of axis extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// The scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of all extents; 1 for a scalar).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The axis extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Extent along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-index, or `None` if any coordinate is out of
+    /// bounds or the index rank differs from the shape rank.
+    pub fn offset(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.dims.len() {
+            return None;
+        }
+        let strides = self.strides();
+        let mut off = 0usize;
+        for ((&i, &d), &s) in index.iter().zip(&self.dims).zip(&strides) {
+            if i >= d {
+                return None;
+            }
+            off += i * s;
+        }
+        Some(off)
+    }
+
+    /// Checks that `data_len` elements exactly fill this shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the counts differ.
+    pub fn check_len(&self, data_len: usize) -> Result<(), TensorError> {
+        if self.len() != data_len {
+            Err(TensorError::LengthMismatch { expected: self.len(), actual: data_len })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.offset(&[]), Some(0));
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[1, 1]).strides(), vec![1, 1]);
+    }
+
+    #[test]
+    fn offset_detects_out_of_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.offset(&[1, 2]), Some(5));
+        assert_eq!(s.offset(&[2, 0]), None);
+        assert_eq!(s.offset(&[0, 3]), None);
+        assert_eq!(s.offset(&[0]), None);
+    }
+
+    #[test]
+    fn offsets_enumerate_all_elements() {
+        let s = Shape::new(&[3, 4]);
+        let mut seen = vec![false; 12];
+        for i in 0..3 {
+            for j in 0..4 {
+                let off = s.offset(&[i, j]).unwrap();
+                assert!(!seen[off]);
+                seen[off] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn check_len_rejects_wrong_counts() {
+        let s = Shape::new(&[2, 2]);
+        assert!(s.check_len(4).is_ok());
+        assert_eq!(
+            s.check_len(5),
+            Err(TensorError::LengthMismatch { expected: 4, actual: 5 })
+        );
+    }
+
+    #[test]
+    fn zero_extent_is_empty() {
+        let s = Shape::new(&[2, 0, 3]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn display_matches_debug_of_dims() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+    }
+}

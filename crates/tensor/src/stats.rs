@@ -1,0 +1,348 @@
+//! Statistics used to characterise tensor value distributions.
+//!
+//! ANT's data-type selection minimises the mean square error between the
+//! original and quantized tensor (paper Sec. II-A, Eq. for MSE), and the
+//! motivation section classifies tensors as uniform-, Gaussian- or
+//! Laplace-like (Fig. 1). This module supplies both: the [`mse`] metric and
+//! the moment/histogram machinery behind the distribution analysis.
+
+use crate::{Tensor, TensorError};
+
+/// Mean square error between two same-shape tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ and
+/// [`TensorError::Empty`] for empty tensors.
+pub fn mse(a: &Tensor, b: &Tensor) -> Result<f64, TensorError> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    if a.is_empty() {
+        return Err(TensorError::Empty);
+    }
+    Ok(mse_slices(a.as_slice(), b.as_slice()))
+}
+
+/// Mean square error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty; use [`mse`] for the
+/// checked tensor-level variant.
+pub fn mse_slices(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse_slices: length mismatch");
+    assert!(!a.is_empty(), "mse_slices: empty input");
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum();
+    sum / a.len() as f64
+}
+
+/// Central moments of a sample: mean, standard deviation, skewness and
+/// excess kurtosis.
+///
+/// Kurtosis distinguishes the families in the paper's Fig. 1: uniform-like
+/// (negative excess), Gaussian-like (≈ 0) and Laplace-like / long-tailed
+/// (positive excess).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Moments {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Skewness (third standardised moment).
+    pub skewness: f64,
+    /// Excess kurtosis (fourth standardised moment minus 3).
+    pub excess_kurtosis: f64,
+}
+
+/// Computes [`Moments`] for a slice.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Empty`] for an empty slice.
+pub fn moments(data: &[f32]) -> Result<Moments, TensorError> {
+    if data.is_empty() {
+        return Err(TensorError::Empty);
+    }
+    let n = data.len() as f64;
+    let mean = data.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let mut m2 = 0.0;
+    let mut m3 = 0.0;
+    let mut m4 = 0.0;
+    for &x in data {
+        let d = x as f64 - mean;
+        let d2 = d * d;
+        m2 += d2;
+        m3 += d2 * d;
+        m4 += d2 * d2;
+    }
+    m2 /= n;
+    m3 /= n;
+    m4 /= n;
+    let std = m2.sqrt();
+    let (skewness, excess_kurtosis) = if std > 0.0 {
+        (m3 / (std * std * std), m4 / (m2 * m2) - 3.0)
+    } else {
+        (0.0, 0.0)
+    };
+    Ok(Moments { mean, std, skewness, excess_kurtosis })
+}
+
+/// A fixed-width histogram over a closed interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `data` with `bins` equal-width bins spanning
+    /// `[lo, hi]`. Out-of-range samples are clamped into the edge bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] when `bins == 0` or
+    /// `lo >= hi`.
+    pub fn build(data: &[f32], bins: usize, lo: f64, hi: f64) -> Result<Self, TensorError> {
+        if bins == 0 || lo >= hi {
+            return Err(TensorError::InvalidGeometry(format!(
+                "histogram bins={bins} range=[{lo},{hi}]"
+            )));
+        }
+        let mut counts = vec![0u64; bins];
+        for &x in data {
+            let t = ((x as f64 - lo) / (hi - lo) * bins as f64).floor();
+            let idx = (t.max(0.0) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Ok(Histogram { lo, hi, counts, total: data.len() as u64 })
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of samples, including clamped ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Normalised bin densities (sum to 1 when `total > 0`).
+    pub fn densities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Centre value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len());
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+}
+
+/// The `q`-th percentile (0..=100) of a sample, by linear interpolation on
+/// the sorted order statistics.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Empty`] for an empty slice and
+/// [`TensorError::InvalidGeometry`] when `q` is outside `[0, 100]`.
+pub fn percentile(data: &[f32], q: f64) -> Result<f32, TensorError> {
+    if data.is_empty() {
+        return Err(TensorError::Empty);
+    }
+    if !(0.0..=100.0).contains(&q) {
+        return Err(TensorError::InvalidGeometry(format!("percentile q={q}")));
+    }
+    let mut sorted: Vec<f32> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = (pos - lo as f64) as f32;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Signal-to-quantization-noise ratio in dB: `10 log10(E[x^2] / MSE)`.
+///
+/// Returns `f64::INFINITY` when the error is exactly zero.
+///
+/// # Errors
+///
+/// Same conditions as [`mse`].
+pub fn sqnr_db(original: &Tensor, quantized: &Tensor) -> Result<f64, TensorError> {
+    let err = mse(original, quantized)?;
+    let power: f64 = original
+        .as_slice()
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        / original.len() as f64;
+    if err == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * (power / err).log10())
+}
+
+/// Classification of a tensor's distribution family, mirroring Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistributionFamily {
+    /// Flat density over a bounded range (e.g. first-layer image inputs).
+    UniformLike,
+    /// Bell-shaped with light tails (most DNN weights).
+    GaussianLike,
+    /// Sharp peak with heavy tails (e.g. BERT activations).
+    LaplaceLike,
+}
+
+/// Heuristic distribution classifier based on excess kurtosis.
+///
+/// Thresholds: uniform has excess kurtosis −1.2, Gaussian 0, Laplace +3;
+/// the midpoints split the families.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Empty`] for an empty slice.
+pub fn classify(data: &[f32]) -> Result<DistributionFamily, TensorError> {
+    let m = moments(data)?;
+    Ok(if m.excess_kurtosis < -0.6 {
+        DistributionFamily::UniformLike
+    } else if m.excess_kurtosis < 1.5 {
+        DistributionFamily::GaussianLike
+    } else {
+        DistributionFamily::LaplaceLike
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let a = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(mse(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let a = Tensor::from_slice(&[0.0, 0.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0]);
+        assert!((mse(&a, &b).unwrap() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_rejects_mismatch_and_empty() {
+        let a = Tensor::from_slice(&[1.0]);
+        let b = Tensor::from_slice(&[1.0, 2.0]);
+        assert!(mse(&a, &b).is_err());
+        let e = Tensor::zeros(&[0]);
+        assert!(mse(&e, &e).is_err());
+    }
+
+    #[test]
+    fn moments_of_symmetric_sample() {
+        let m = moments(&[-1.0, 1.0, -1.0, 1.0]).unwrap();
+        assert!((m.mean).abs() < 1e-12);
+        assert!((m.std - 1.0).abs() < 1e-12);
+        assert!((m.skewness).abs() < 1e-12);
+        // two-point distribution has kurtosis 1 => excess -2
+        assert!((m.excess_kurtosis + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moments_constant_sample() {
+        let m = moments(&[5.0; 10]).unwrap();
+        assert_eq!(m.std, 0.0);
+        assert_eq!(m.skewness, 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamping() {
+        let h = Histogram::build(&[0.1, 0.9, 0.5, -5.0, 5.0], 2, 0.0, 1.0).unwrap();
+        assert_eq!(h.counts(), &[2, 3]); // -5 clamps low, 5 clamps high
+        assert_eq!(h.total(), 5);
+        let d = h.densities();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_validation() {
+        assert!(Histogram::build(&[1.0], 0, 0.0, 1.0).is_err());
+        assert!(Histogram::build(&[1.0], 4, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&data, 100.0).unwrap(), 4.0);
+        assert!((percentile(&data, 50.0).unwrap() - 2.5).abs() < 1e-6);
+        assert!(percentile(&data, 101.0).is_err());
+        assert!(percentile(&[], 50.0).is_err());
+    }
+
+    #[test]
+    fn sqnr_infinite_for_exact() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(sqnr_db(&a, &a).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn sqnr_decreases_with_error() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let small = a.map(|x| x + 0.01);
+        let big = a.map(|x| x + 0.5);
+        assert!(sqnr_db(&a, &small).unwrap() > sqnr_db(&a, &big).unwrap());
+    }
+
+    #[test]
+    fn classify_families() {
+        // Uniform grid.
+        let uniform: Vec<f32> = (0..1000).map(|i| i as f32 / 1000.0).collect();
+        assert_eq!(classify(&uniform).unwrap(), DistributionFamily::UniformLike);
+        // Gaussian-ish via central limit: sum of 12 uniforms.
+        let gauss: Vec<f32> = (0..2000)
+            .map(|i| {
+                let mut s = 0.0f32;
+                let mut x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(1);
+                for _ in 0..12 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    s += (x >> 33) as f32 / (1u64 << 31) as f32;
+                }
+                s - 6.0
+            })
+            .collect();
+        assert_eq!(classify(&gauss).unwrap(), DistributionFamily::GaussianLike);
+        // Laplace-like: double-exponential grid.
+        let laplace: Vec<f32> = (1..1000)
+            .flat_map(|i| {
+                let u = i as f32 / 1000.0;
+                let v = -(1.0f32 - u).ln();
+                [v, -v]
+            })
+            .collect();
+        assert_eq!(classify(&laplace).unwrap(), DistributionFamily::LaplaceLike);
+    }
+}

@@ -1,0 +1,465 @@
+use crate::{Shape, TensorError};
+
+/// An owned, dense, row-major `f32` n-dimensional array.
+///
+/// `Tensor` is the value type that flows through every crate in the ANT
+/// workspace: DNN weights and activations, quantizer inputs and outputs, and
+/// simulator traffic all use it. It deliberately stays small: element-wise
+/// combinators, reductions, reshaping and axis iteration — the higher-level
+/// kernels live in [`crate::linalg`].
+///
+/// # Example
+///
+/// ```
+/// use ant_tensor::Tensor;
+///
+/// let t = Tensor::from_fn(&[2, 3], |idx| (idx[0] * 3 + idx[1]) as f32);
+/// assert_eq!(t.get(&[1, 2]), Some(5.0));
+/// assert_eq!(t.sum(), 15.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor { data: vec![0.0; shape.len()], shape }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor { data: vec![value; shape.len()], shape }
+    }
+
+    /// Creates a tensor from a flat `Vec` and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` does not
+    /// equal the element count of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims);
+        shape.check_len(data.len())?;
+        Ok(Tensor { data, shape })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor { data: data.to_vec(), shape: Shape::new(&[data.len()]) }
+    }
+
+    /// Creates a scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { data: vec![value], shape: Shape::scalar() }
+    }
+
+    /// Creates a tensor by evaluating `f` at every multi-index.
+    pub fn from_fn<F: FnMut(&[usize]) -> f32>(dims: &[usize], mut f: F) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.len();
+        let mut data = Vec::with_capacity(n);
+        let mut index = vec![0usize; dims.len()];
+        for _ in 0..n {
+            data.push(f(&index));
+            // Advance the row-major odometer.
+            for axis in (0..dims.len()).rev() {
+                index[axis] += 1;
+                if index[axis] < dims[axis] {
+                    break;
+                }
+                index[axis] = 0;
+            }
+        }
+        Tensor { data, shape }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The axis extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing storage in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage in row-major order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the backing storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index, or `None` if out of bounds.
+    pub fn get(&self, index: &[usize]) -> Option<f32> {
+        self.shape.offset(index).map(|off| self.data[off])
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if the index is invalid.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        match self.shape.offset(index) {
+            Some(off) => {
+                self.data[off] = value;
+                Ok(())
+            }
+            None => Err(TensorError::AxisOutOfRange { axis: 0, rank: self.rank() }),
+        }
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, TensorError> {
+        let shape = Shape::new(dims);
+        shape.check_len(self.data.len())?;
+        Ok(Tensor { data: self.data.clone(), shape })
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map<F: FnMut(f32) -> f32>(&self, mut f: F) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: FnMut(f32) -> f32>(&mut self, mut f: F) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shape tensors element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+    pub fn zip_with<F: FnMut(f32, f32) -> f32>(
+        &self,
+        other: &Tensor,
+        mut f: F,
+    ) -> Result<Tensor, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|x| x * k)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        // Pairwise-ish accumulation in f64 for stability on large tensors.
+        self.data.iter().map(|&x| x as f64).sum::<f64>() as f32
+    }
+
+    /// Arithmetic mean of all elements.
+    ///
+    /// Returns 0.0 for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            (self.data.iter().map(|&x| x as f64).sum::<f64>() / self.data.len() as f64) as f32
+        }
+    }
+
+    /// Minimum element (`None` when empty).
+    pub fn min(&self) -> Option<f32> {
+        self.data.iter().copied().reduce(f32::min)
+    }
+
+    /// Maximum element (`None` when empty).
+    pub fn max(&self) -> Option<f32> {
+        self.data.iter().copied().reduce(f32::max)
+    }
+
+    /// Maximum absolute value (`None` when empty).
+    pub fn abs_max(&self) -> Option<f32> {
+        self.data.iter().map(|x| x.abs()).reduce(f32::max)
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the tensor is a matrix.
+    pub fn transpose(&self) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank() });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Iterates over contiguous rows of the flattened `[n, row_len]` view,
+    /// where `row_len` is the extent of the last axis.
+    ///
+    /// For a rank-0 or rank-1 tensor the iterator yields the whole storage as
+    /// one row.
+    pub fn rows(&self) -> impl Iterator<Item = &[f32]> {
+        let row_len = if self.rank() <= 1 { self.data.len().max(1) } else { self.shape.dim(self.rank() - 1) };
+        self.data.chunks(row_len.max(1))
+    }
+
+    /// Splits the tensor into `n` chunks along axis 0 and returns the slice
+    /// of data belonging to chunk `i` of extent `dims()[0] / n` rows.
+    ///
+    /// This is the access pattern used for per-output-channel weight
+    /// quantization (paper Sec. II-B): a conv weight `[co, ci, kh, kw]`
+    /// or FC weight `[co, ci]` is scaled separately per leading index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] for rank-0 tensors or when
+    /// `i >= dims()[0]`.
+    pub fn channel(&self, i: usize) -> Result<&[f32], TensorError> {
+        if self.rank() == 0 || i >= self.shape.dim(0) {
+            return Err(TensorError::AxisOutOfRange { axis: 0, rank: self.rank() });
+        }
+        let stride = self.data.len() / self.shape.dim(0);
+        Ok(&self.data[i * stride..(i + 1) * stride])
+    }
+
+    /// Mutable variant of [`Tensor::channel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] for rank-0 tensors or when
+    /// `i >= dims()[0]`.
+    pub fn channel_mut(&mut self, i: usize) -> Result<&mut [f32], TensorError> {
+        if self.rank() == 0 || i >= self.shape.dim(0) {
+            return Err(TensorError::AxisOutOfRange { axis: 0, rank: self.rank() });
+        }
+        let stride = self.data.len() / self.shape.dim(0);
+        Ok(&mut self.data[i * stride..(i + 1) * stride])
+    }
+
+    /// Number of leading-axis channels (1 for scalars).
+    pub fn num_channels(&self) -> usize {
+        if self.rank() == 0 { 1 } else { self.shape.dim(0) }
+    }
+
+    /// `true` when every element is finite (no NaN / infinity).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{} n={}", self.shape, self.len())
+    }
+}
+
+impl FromIterator<f32> for Tensor {
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        let data: Vec<f32> = iter.into_iter().collect();
+        Tensor::from_slice(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[2]).is_ok());
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let t = Tensor::from_fn(&[2, 3], |i| (i[0] * 10 + i[1]) as f32);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(&[3, 3]);
+        t.set(&[2, 1], 7.0).unwrap();
+        assert_eq!(t.get(&[2, 1]), Some(7.0));
+        assert_eq!(t.get(&[3, 0]), None);
+        assert!(t.set(&[0, 3], 1.0).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let m = t.reshape(&[2, 2]).unwrap();
+        assert_eq!(m.get(&[1, 0]), Some(3.0));
+        assert!(t.reshape(&[3, 2]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[10.0, 20.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[11.0, 22.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[9.0, 18.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[10.0, 40.0]);
+        assert_eq!(a.scale(-1.0).as_slice(), &[-1.0, -2.0]);
+        let c = Tensor::from_slice(&[1.0]);
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_slice(&[-3.0, 1.0, 2.0]);
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.min(), Some(-3.0));
+        assert_eq!(t.max(), Some(2.0));
+        assert_eq!(t.abs_max(), Some(3.0));
+        let e = Tensor::zeros(&[0]);
+        assert_eq!(e.min(), None);
+        assert_eq!(e.mean(), 0.0);
+    }
+
+    #[test]
+    fn transpose_matrix() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.get(&[2, 0]), Some(3.0));
+        assert_eq!(tt.get(&[0, 1]), Some(4.0));
+        assert!(Tensor::from_slice(&[1.0]).transpose().is_err());
+    }
+
+    #[test]
+    fn channels_partition_the_storage() {
+        let t = Tensor::from_fn(&[4, 2, 2], |i| i[0] as f32);
+        assert_eq!(t.num_channels(), 4);
+        for c in 0..4 {
+            let ch = t.channel(c).unwrap();
+            assert_eq!(ch.len(), 4);
+            assert!(ch.iter().all(|&x| x == c as f32));
+        }
+        assert!(t.channel(4).is_err());
+    }
+
+    #[test]
+    fn channel_mut_writes_through() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.channel_mut(1).unwrap().fill(5.0);
+        assert_eq!(t.as_slice(), &[0.0, 0.0, 0.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn rows_iterate_last_axis() {
+        let t = Tensor::from_fn(&[2, 3], |i| i[1] as f32);
+        let rows: Vec<&[f32]> = t.rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn finite_detection() {
+        let mut t = Tensor::ones(&[2]);
+        assert!(t.all_finite());
+        t.as_mut_slice()[0] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn from_iterator_collects_rank1() {
+        let t: Tensor = (0..4).map(|i| i as f32).collect();
+        assert_eq!(t.dims(), &[4]);
+    }
+
+    #[test]
+    fn scalar_tensor() {
+        let s = Tensor::scalar(3.5);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&[]), Some(3.5));
+    }
+}

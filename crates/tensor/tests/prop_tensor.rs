@@ -1,0 +1,129 @@
+//! Property-based tests for the tensor substrate: linear-algebra
+//! identities, shape arithmetic and statistics invariants.
+
+use ant_tensor::dist::{sample_tensor, Distribution};
+use ant_tensor::linalg::{self, Conv2dGeometry};
+use ant_tensor::{stats, Shape, Tensor};
+use proptest::prelude::*;
+
+fn gaussian(dims: &[usize], seed: u64) -> Tensor {
+    sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, dims, seed)
+}
+
+proptest! {
+    /// Row-major offsets enumerate 0..len exactly once.
+    #[test]
+    fn shape_offsets_are_a_bijection(d0 in 1usize..5, d1 in 1usize..5, d2 in 1usize..5) {
+        let s = Shape::new(&[d0, d1, d2]);
+        let mut seen = vec![false; s.len()];
+        for i in 0..d0 {
+            for j in 0..d1 {
+                for k in 0..d2 {
+                    let off = s.offset(&[i, j, k]).unwrap();
+                    prop_assert!(!seen[off]);
+                    seen[off] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// Matrix multiplication distributes over addition: (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributes(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..100) {
+        let a = gaussian(&[m, k], seed);
+        let b = gaussian(&[m, k], seed + 1);
+        let c = gaussian(&[k, n], seed + 2);
+        let lhs = linalg::matmul(&a.add(&b).unwrap(), &c).unwrap();
+        let rhs = linalg::matmul(&a, &c).unwrap().add(&linalg::matmul(&b, &c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    /// Transposing twice is the identity; (AB)^T = B^T A^T.
+    #[test]
+    fn transpose_identities(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..100) {
+        let a = gaussian(&[m, k], seed);
+        let b = gaussian(&[k, n], seed + 3);
+        prop_assert_eq!(a.transpose().unwrap().transpose().unwrap(), a.clone());
+        let ab_t = linalg::matmul(&a, &b).unwrap().transpose().unwrap();
+        let bt_at = linalg::matmul(&b.transpose().unwrap(), &a.transpose().unwrap()).unwrap();
+        for (x, y) in ab_t.as_slice().iter().zip(bt_at.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4 * (1.0 + x.abs()));
+        }
+    }
+
+    /// conv2d via im2col equals a direct sliding-window computation.
+    #[test]
+    fn conv_equals_direct(
+        ci in 1usize..3, co in 1usize..3,
+        h in 3usize..7, w in 3usize..7,
+        pad in 0usize..2, seed in 0u64..50,
+    ) {
+        let input = gaussian(&[ci, h, w], seed);
+        let weight = gaussian(&[co, ci, 3, 3], seed + 7);
+        let geo = Conv2dGeometry::new(3, 3, 1, pad).unwrap();
+        let out = linalg::conv2d(&input, &weight, None, geo).unwrap();
+        let oh = geo.out_extent(h, 3).unwrap();
+        let ow = geo.out_extent(w, 3).unwrap();
+        for c in 0..co {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for cc in 0..ci {
+                        for ky in 0..3 {
+                            for kx in 0..3 {
+                                let iy = (oy + ky) as isize - pad as isize;
+                                let ix = (ox + kx) as isize - pad as isize;
+                                if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
+                                    continue;
+                                }
+                                acc += input.get(&[cc, iy as usize, ix as usize]).unwrap()
+                                    * weight.get(&[c, cc, ky, kx]).unwrap();
+                            }
+                        }
+                    }
+                    let got = out.get(&[c, oy, ox]).unwrap();
+                    prop_assert!((got - acc).abs() < 1e-4 * (1.0 + acc.abs()), "{got} vs {acc}");
+                }
+            }
+        }
+    }
+
+    /// MSE is zero iff tensors are equal, symmetric, and scales
+    /// quadratically.
+    #[test]
+    fn mse_properties(n in 1usize..64, seed in 0u64..100, k in 1.0f32..4.0) {
+        let a = gaussian(&[n], seed);
+        let b = gaussian(&[n], seed + 11);
+        prop_assert_eq!(stats::mse(&a, &a).unwrap(), 0.0);
+        let ab = stats::mse(&a, &b).unwrap();
+        let ba = stats::mse(&b, &a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-12);
+        // Scaling both tensors by k scales the MSE by k².
+        let scaled = stats::mse(&a.scale(k), &b.scale(k)).unwrap();
+        prop_assert!((scaled - ab * (k as f64).powi(2)).abs() < 1e-3 * (1.0 + scaled));
+    }
+
+    /// Percentiles are monotone in q and bounded by min/max.
+    #[test]
+    fn percentile_monotone(n in 2usize..128, seed in 0u64..100, q1 in 0.0f64..100.0, q2 in 0.0f64..100.0) {
+        let data = gaussian(&[n], seed).into_vec();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let p_lo = stats::percentile(&data, lo).unwrap();
+        let p_hi = stats::percentile(&data, hi).unwrap();
+        prop_assert!(p_lo <= p_hi + 1e-6);
+        let min = data.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(p_lo >= min - 1e-6 && p_hi <= max + 1e-6);
+    }
+
+    /// Histograms conserve mass: counts always sum to the sample size.
+    #[test]
+    fn histogram_conserves_mass(n in 1usize..512, bins in 1usize..32, seed in 0u64..100) {
+        let data = gaussian(&[n], seed).into_vec();
+        let h = stats::Histogram::build(&data, bins, -10.0, 10.0).unwrap();
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), n as u64);
+    }
+}

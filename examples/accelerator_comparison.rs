@@ -1,0 +1,60 @@
+//! The paper's iso-area accelerator comparison in miniature (Fig. 13 for a
+//! single workload): simulate ResNet-18 on all six designs and report
+//! cycles, energy and the quantization assignment that drives them.
+//!
+//! Run with: `cargo run --release --example accelerator_comparison [batch]`
+
+use ant::sim::design::{Design, SimConfig};
+use ant::sim::report::WorkloadComparison;
+use ant::sim::workload::resnet18;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let workload = resnet18(batch);
+    println!(
+        "ResNet-18, batch {batch}: {} GEMM layers, {:.2} GMACs\n",
+        workload.layers.len(),
+        workload.total_macs() as f64 / 1e9
+    );
+
+    let comparison = WorkloadComparison::run(&workload, &SimConfig::default())?;
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>10} {:>10}",
+        "design", "PEs", "cycles", "energy (uJ)", "4-bit MACs", "mem bits"
+    );
+    for d in Design::all() {
+        let r = comparison.result(d);
+        println!(
+            "{:>10} {:>8} {:>12} {:>12.1} {:>9.0}% {:>10.2}",
+            d.name(),
+            d.area().pe_count,
+            r.total_cycles,
+            r.total_energy.total() / 1e6,
+            r.low_bit_mac_fraction(&workload) * 100.0,
+            r.avg_mem_bits(&workload),
+        );
+    }
+
+    let ant = comparison.result(Design::AntOs);
+    let bf = comparison.result(Design::BitFusion);
+    println!(
+        "\nANT-OS vs BitFusion: {:.2}x speedup, {:.2}x energy reduction",
+        bf.total_cycles as f64 / ant.total_cycles as f64,
+        bf.total_energy.total() / ant.total_energy.total(),
+    );
+    println!("(the paper's Fig. 13 geomean over eight workloads: 2.8x / 2.53x)");
+
+    // Show where the time goes for ANT-OS.
+    let slowest = ant
+        .layers
+        .iter()
+        .max_by_key(|l| l.cycles)
+        .expect("non-empty workload");
+    println!(
+        "\nslowest ANT-OS layer: {} ({} cycles, {})",
+        slowest.name,
+        slowest.cycles,
+        if slowest.memory_bound { "DRAM-bound" } else { "compute-bound" }
+    );
+    Ok(())
+}

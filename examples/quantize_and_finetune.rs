@@ -1,0 +1,67 @@
+//! The paper's accuracy pipeline end to end (Sec. IV-C and VII-B): train a
+//! CNN, post-training-quantize it to 4-bit ANT, fine-tune with the
+//! straight-through estimator, then run the 4→8-bit mixed-precision
+//! promotion loop until accuracy is within threshold.
+//!
+//! Run with: `cargo run --release --example quantize_and_finetune`
+
+use ant::core::mixed::{run_mixed_precision, MixedPrecisionConfig};
+use ant::nn::data::shapes;
+use ant::nn::model::small_cnn;
+use ant::nn::qat::{QatHarness, QuantSpec, TypeRatio};
+use ant::nn::train::{evaluate, train, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train the reference CNN on the shapes task.
+    let data = shapes(480, 0.3, 7);
+    let (train_set, test_set) = data.split(0.25);
+    let mut model = small_cnn(4, 8);
+    train(
+        &mut model,
+        &train_set,
+        TrainConfig { epochs: 10, batch_size: 16, lr: 0.05, momentum: 0.9, seed: 1 },
+    )?;
+    let fp32 = evaluate(&mut model, &test_set)?;
+    println!("fp32 accuracy: {:.1}%", fp32 * 100.0);
+
+    // Post-training quantization: ~100 calibration samples (Sec. IV-C).
+    let (calib, _) = train_set.batch(&(0..100).collect::<Vec<_>>());
+    let mut harness = QatHarness::new(
+        model,
+        QuantSpec::default(), // 4-bit IP-F, per-channel weights
+        calib,
+        train_set,
+        test_set,
+        TrainConfig { epochs: 2, batch_size: 16, lr: 0.02, momentum: 0.9, seed: 2 },
+    )?;
+    println!("\nper-layer type selection:");
+    for r in harness.reports() {
+        let types: Vec<String> = r.weights.iter().map(|(dt, _)| dt.to_string()).collect();
+        let act = r.activation.map(|(dt, _)| dt.to_string()).unwrap_or_default();
+        println!("  {:>6}: weights {:?}, activations {}", r.name, types, act);
+    }
+    let ptq = harness.test_accuracy()?;
+    println!("\n4-bit PTQ accuracy: {:.1}% (loss {:+.1} points)", ptq * 100.0, (fp32 - ptq) * 100.0);
+
+    // Quantization-aware fine-tuning.
+    harness.fine_tune()?;
+    let qat = harness.test_accuracy()?;
+    println!("after QAT:          {:.1}% (loss {:+.1} points)", qat * 100.0, (fp32 - qat) * 100.0);
+
+    // Mixed precision: promote highest-MSE layers to 8-bit int until the
+    // model is within 1 point of fp32 (Sec. V-D).
+    let report = run_mixed_precision(
+        &mut harness,
+        fp32,
+        MixedPrecisionConfig { threshold: 0.01, max_promotions: None },
+    );
+    println!(
+        "\nANT4-8 mixed precision: converged={} promotions={:?} 4-bit ratio={:.0}%",
+        report.converged,
+        report.promoted,
+        report.low_bit_ratio() * 100.0
+    );
+    let ratio = TypeRatio::from_reports(harness.reports());
+    println!("final tensor types: {:?}", ratio.counts);
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: the ANT data type in five minutes.
+//!
+//! Shows the flint lattice, quantizes a Gaussian-like weight tensor with
+//! Algorithm 2 (automatic type selection + min-MSE clipping) and checks
+//! the error against plain int4.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ant::core::select::{select_type_auto, PrimitiveCombo};
+use ant::core::{ClipSearch, DataType, Granularity, TensorQuantizer};
+use ant::core::flint::Flint;
+use ant::tensor::dist::{sample_tensor, Distribution};
+use ant::tensor::stats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The flint primitive (paper Table II): fixed-length 4-bit codes
+    //    whose exponent/mantissa split adapts per value interval.
+    let flint = Flint::new(4)?;
+    println!("4-bit flint lattice: {:?}", flint.lattice());
+    println!("code 1110 decodes to {} (the paper's worked example)\n", flint.decode(0b1110));
+
+    // 2. A realistic weight tensor: Gaussian bulk with a sparse long tail.
+    let weights = sample_tensor(
+        Distribution::OutlierGaussian { std: 0.02, outlier_frac: 0.01, outlier_scale: 4.0 },
+        &[64, 128],
+        42,
+    );
+
+    // 3. Algorithm 2: pick the best 4-bit primitive for the tensor with a
+    //    min-MSE clipped scale. (Per-tensor scale here to show the type
+    //    adaptivity; production weight quantization uses per-channel
+    //    scales, Sec. II-B.)
+    let selection = select_type_auto(
+        &weights,
+        PrimitiveCombo::IntPotFlint,
+        4,
+        Granularity::PerTensor,
+        ClipSearch::default(),
+    )?;
+    println!("selected type: {} (candidates below)", selection.dtype);
+    for (dt, mse) in &selection.per_candidate {
+        println!("  {dt:>8}: MSE {mse:.3e}");
+    }
+
+    // 4. Fake-quantize and compare against a plain int4 baseline.
+    let quantized = selection.quantizer.apply(&weights)?;
+    let ant_mse = stats::mse(&weights, &quantized)?;
+    let (int4, _) = TensorQuantizer::fit(
+        DataType::int(4, true)?,
+        &weights,
+        Granularity::PerTensor,
+        ClipSearch::default(),
+    )?;
+    let int_mse = stats::mse(&weights, &int4.apply(&weights)?)?;
+    println!("\n4-bit MSE: ANT {ant_mse:.3e} vs int4 {int_mse:.3e}");
+    println!("ANT improvement: {:.2}x lower error", int_mse / ant_mse);
+    Ok(())
+}

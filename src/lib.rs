@@ -1,0 +1,19 @@
+//! # ANT: Adaptive Numerical Data Type for Low-bit DNN Quantization
+//!
+//! Umbrella crate for the Rust reproduction of Guo et al., MICRO 2022.
+//! Re-exports the workspace crates under short names:
+//!
+//! * [`core`] — the flint codec, data types, quantizers, Algorithm 2 type
+//!   selection, mixed precision and the quantization baselines,
+//! * [`tensor`] — the dense tensor substrate,
+//! * [`nn`] — the DNN training substrate with STE fake quantization,
+//! * [`hw`] — bit-accurate TypeFusion decoders, MACs and systolic arrays,
+//! * [`sim`] — the iso-area accelerator performance/energy simulator.
+//!
+//! See `examples/quickstart.rs` for a tour and `DESIGN.md` for the
+//! paper-to-module map.
+pub use ant_core as core;
+pub use ant_hw as hw;
+pub use ant_nn as nn;
+pub use ant_sim as sim;
+pub use ant_tensor as tensor;

@@ -1,0 +1,122 @@
+//! Cross-crate consistency: the same flint semantics must hold in the
+//! arithmetic codec (`ant-core`), the bit-level hardware (`ant-hw`) and
+//! the fake-quantization path used for training (`ant-nn`), and the
+//! simulator's analytic timing must agree with the cycle-stepped array.
+
+use ant::core::flint::Flint;
+use ant::core::{ClipSearch, DataType, Quantizer};
+use ant::hw::decode::{decode_flint, WireType};
+use ant::hw::systolic::{reference_gemm, DecodedMatrix, SystolicArray};
+use ant::sim::design::compute_cycles;
+use ant::tensor::dist::{sample_vec, Distribution};
+
+#[test]
+fn core_and_hw_agree_on_every_flint_code() {
+    for bits in 3..=8u32 {
+        let flint = Flint::new(bits).expect("valid width");
+        for code in 0..flint.num_codes() {
+            let sw = flint.decode(code);
+            let hw = decode_flint(code, bits, false).expect("valid code");
+            assert_eq!(hw.value() as u64, sw, "b={bits} code={code:b}");
+        }
+    }
+}
+
+#[test]
+fn fake_quantized_values_are_exactly_representable_in_hardware() {
+    // Every value the training-time fake quantizer produces must be the
+    // scale times an integer the hardware can decode from some code —
+    // otherwise QAT would be training against a lattice the accelerator
+    // cannot realise.
+    let data = sample_vec(Distribution::HalfGaussian { std: 1.0 }, 2048, 9);
+    let dt = DataType::flint(4, false).expect("valid dtype");
+    let (q, _) = Quantizer::fit(dt, &data, ClipSearch::default()).expect("fit succeeds");
+    let flint = Flint::new(4).expect("4-bit flint");
+    let lattice: Vec<f32> = (0..flint.num_codes())
+        .map(|c| flint.decode(c) as f32 * q.scale())
+        .collect();
+    for &x in &data {
+        let y = q.quantize_dequantize(x);
+        assert!(
+            lattice.iter().any(|&l| (l - y).abs() <= 1e-6 * (1.0 + l.abs())),
+            "fake-quantized {y} is not scale x flint-decodable"
+        );
+    }
+}
+
+#[test]
+fn analytic_cycle_model_matches_cycle_stepped_array() {
+    // The simulator's closed-form tile timing must equal the hw crate's
+    // cycle-by-cycle execution for a spread of shapes.
+    for (m, k, n, array) in [(5usize, 9, 7, 3usize), (8, 4, 8, 4), (16, 16, 16, 4), (3, 20, 2, 2)]
+    {
+        let a_codes: Vec<u32> = (0..m * k).map(|i| (i % 16) as u32).collect();
+        let b_codes: Vec<u32> = (0..k * n).map(|i| (i * 3 % 16) as u32).collect();
+        let a = DecodedMatrix::from_codes(m, k, &a_codes, 4, WireType::Flint { signed: true })
+            .expect("valid codes");
+        let b = DecodedMatrix::from_codes(k, n, &b_codes, 4, WireType::Int { signed: true })
+            .expect("valid codes");
+        let (out, stats) = SystolicArray::new(array, 32).gemm(&a, &b);
+        assert_eq!(out, reference_gemm(&a, &b));
+        assert_eq!(
+            stats.cycles,
+            compute_cycles(m as u64, n as u64, k as u64, array as u64),
+            "m={m} k={k} n={n} array={array}"
+        );
+    }
+}
+
+#[test]
+fn quantized_gemm_through_hardware_equals_float_reference() {
+    // Quantize two real matrices, run them through the bit-level array,
+    // and check the scaled integer result equals the float product of the
+    // fake-quantized matrices (i.e. the hardware computes exactly what the
+    // QAT model promised).
+    let m = 6;
+    let k = 8;
+    let n = 5;
+    let a_real = sample_vec(Distribution::HalfGaussian { std: 1.0 }, m * k, 21);
+    let w_real = sample_vec(Distribution::Gaussian { mean: 0.0, std: 0.5 }, k * n, 22);
+    let a_dt = DataType::flint(4, false).expect("valid dtype");
+    let w_dt = DataType::flint(4, true).expect("valid dtype");
+    let (aq, _) = Quantizer::fit(a_dt, &a_real, ClipSearch::default()).expect("fit a");
+    let (wq, _) = Quantizer::fit(w_dt, &w_real, ClipSearch::default()).expect("fit w");
+
+    // Encode to hardware codes.
+    let flint4 = Flint::new(4).expect("4-bit flint");
+    let flint3 = Flint::new(3).expect("3-bit flint");
+    let a_codes: Vec<u32> = a_real.iter().map(|&x| flint4.quantize(x, aq.scale())).collect();
+    let w_codes: Vec<u32> = w_real
+        .iter()
+        .map(|&x| {
+            let mag = flint3.quantize(x.abs(), wq.scale());
+            if x < 0.0 {
+                mag | 0b1000
+            } else {
+                mag
+            }
+        })
+        .collect();
+    let a_mat = DecodedMatrix::from_codes(m, k, &a_codes, 4, WireType::Flint { signed: false })
+        .expect("valid codes");
+    let w_mat = DecodedMatrix::from_codes(k, n, &w_codes, 4, WireType::Flint { signed: true })
+        .expect("valid codes");
+    let (out_int, _) = SystolicArray::new(4, 32).gemm(&a_mat, &w_mat);
+
+    // Float reference over the fake-quantized values.
+    let scale = aq.scale() * wq.scale();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for p in 0..k {
+                acc += aq.quantize_dequantize(a_real[i * k + p]) as f64
+                    * wq.quantize_dequantize(w_real[p * n + j]) as f64;
+            }
+            let hw = out_int[i * n + j] as f64 * scale as f64;
+            assert!(
+                (hw - acc).abs() < 1e-3 * (1.0 + acc.abs()),
+                "({i},{j}): hw {hw} vs reference {acc}"
+            );
+        }
+    }
+}

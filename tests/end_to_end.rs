@@ -1,0 +1,119 @@
+//! End-to-end pipeline tests: train → quantize → fine-tune → simulate,
+//! spanning every crate in the workspace the way the paper's evaluation
+//! does.
+
+use ant::core::mixed::{run_mixed_precision, MixedPrecisionConfig};
+use ant::core::select::PrimitiveCombo;
+use ant::nn::data::blobs;
+use ant::nn::model::deep_mlp;
+use ant::nn::qat::{QatHarness, QuantSpec, TypeRatio};
+use ant::nn::train::{evaluate, train, TrainConfig};
+use ant::sim::design::{simulate, Design, SimConfig};
+use ant::sim::report::{summarize, WorkloadComparison};
+use ant::sim::workload::{bert_base, resnet18};
+
+#[test]
+fn train_quantize_finetune_promote() {
+    let data = blobs(800, 16, 8, 0.6, 17);
+    let (train_set, test_set) = data.split(0.25);
+    let mut model = deep_mlp(16, 8, 24, 4, 18);
+    train(
+        &mut model,
+        &train_set,
+        TrainConfig { epochs: 20, batch_size: 32, lr: 0.05, momentum: 0.9, seed: 19 },
+    )
+    .expect("training succeeds");
+    let fp32 = evaluate(&mut model, &test_set).expect("evaluation succeeds");
+    assert!(fp32 > 0.8, "fp32 accuracy {fp32}");
+
+    let (calib, _) = train_set.batch(&(0..100).collect::<Vec<_>>());
+    let mut harness = QatHarness::new(
+        model,
+        QuantSpec { combo: PrimitiveCombo::IntPotFlint, ..QuantSpec::default() },
+        calib,
+        train_set,
+        test_set,
+        TrainConfig { epochs: 2, batch_size: 32, lr: 0.02, momentum: 0.9, seed: 20 },
+    )
+    .expect("harness builds");
+
+    // PTQ accuracy must stay far above chance (1/8).
+    let ptq = harness.test_accuracy().expect("evaluation succeeds");
+    assert!(ptq > 0.5, "4-bit PTQ accuracy {ptq}");
+
+    // Mixed precision must converge to within 2 points of fp32.
+    let report = run_mixed_precision(
+        &mut harness,
+        fp32,
+        MixedPrecisionConfig { threshold: 0.02, max_promotions: None },
+    );
+    assert!(report.converged, "metric trace {:?}", report.metric_trace);
+    let final_acc = *report.metric_trace.last().expect("non-empty trace");
+    assert!(fp32 - final_acc <= 0.02 + 1e-9);
+
+    // The type tally covers every quantizable tensor.
+    let ratio = TypeRatio::from_reports(harness.reports());
+    let total: usize = ratio.counts.iter().map(|(_, c)| c).sum();
+    assert_eq!(total, 5 * 2); // 5 dense layers × (weight + activation)
+}
+
+#[test]
+fn simulator_reproduces_headline_ordering() {
+    // One CNN + one BERT workload: ANT-OS must beat every baseline on both
+    // cycles and energy, and the geomean summary must be finite and > 1.
+    let cfg = SimConfig::default();
+    let workloads = [resnet18(4), bert_base(4, "MNLI")];
+    let comparisons: Vec<WorkloadComparison> = workloads
+        .iter()
+        .map(|w| WorkloadComparison::run(w, &cfg).expect("simulation succeeds"))
+        .collect();
+    for c in &comparisons {
+        let ant = c.result(Design::AntOs);
+        for d in [Design::BitFusion, Design::OlAccel, Design::BiScaled, Design::AdaFloat] {
+            let r = c.result(d);
+            assert!(
+                r.total_cycles > ant.total_cycles,
+                "{}: {} not slower than ANT",
+                c.workload,
+                d.name()
+            );
+            assert!(
+                r.total_energy.total() > ant.total_energy.total(),
+                "{}: {} not more energy than ANT",
+                c.workload,
+                d.name()
+            );
+        }
+    }
+    let summary = summarize(&comparisons);
+    for (name, s) in &summary.speedups {
+        assert!(s.is_finite() && *s > 1.0, "{name} speedup {s}");
+    }
+}
+
+#[test]
+fn ant_mem_bits_beat_all_baselines_on_bert() {
+    let w = bert_base(2, "CoLA");
+    let cfg = SimConfig::default();
+    let ant = simulate(Design::AntOs, &w, &cfg).expect("simulates").avg_mem_bits(&w);
+    for d in [Design::BitFusion, Design::OlAccel, Design::BiScaled, Design::AdaFloat] {
+        let bits = simulate(d, &w, &cfg).expect("simulates").avg_mem_bits(&w);
+        assert!(ant < bits, "{}: ANT {ant} vs {bits}", d.name());
+    }
+    // Table I ballpark: ANT ≈ 4.2 average bits.
+    assert!(ant < 5.0, "ANT avg bits {ant}");
+}
+
+#[test]
+fn workload_suite_is_complete_and_consistent() {
+    use ant::sim::workload::all_workloads;
+    let ws = all_workloads(1);
+    assert_eq!(ws.len(), 8);
+    for w in &ws {
+        assert!(!w.layers.is_empty(), "{}", w.name);
+        for layer in &w.layers {
+            assert!(layer.m > 0 && layer.n > 0 && layer.k > 0, "{}/{}", w.name, layer.name);
+            assert_eq!(layer.macs(), layer.m * layer.n * layer.k);
+        }
+    }
+}

@@ -27,7 +27,13 @@ fn bench_nn(c: &mut Criterion) {
                 train(
                     &mut model,
                     &train_set,
-                    TrainConfig { epochs: 1, batch_size: 32, lr: 0.05, momentum: 0.9, seed: 1 },
+                    TrainConfig {
+                        epochs: 1,
+                        batch_size: 32,
+                        lr: 0.05,
+                        momentum: 0.9,
+                        seed: 1,
+                    },
                 )
                 .expect("trains")
                 .loss[0]
@@ -41,13 +47,23 @@ fn bench_nn(c: &mut Criterion) {
         train(
             &mut trained,
             &train_set,
-            TrainConfig { epochs: 3, batch_size: 32, lr: 0.05, momentum: 0.9, seed: 2 },
+            TrainConfig {
+                epochs: 3,
+                batch_size: 32,
+                lr: 0.05,
+                momentum: 0.9,
+                seed: 2,
+            },
         )
         .expect("trains");
         let (calib, _) = train_set.batch(&(0..64).collect::<Vec<_>>());
         b.iter_batched(
             || trained.clone(),
-            |mut m| quantize_model(&mut m, &calib, QuantSpec::default()).expect("quantizes").len(),
+            |mut m| {
+                quantize_model(&mut m, &calib, QuantSpec::default())
+                    .expect("quantizes")
+                    .len()
+            },
             criterion::BatchSize::SmallInput,
         )
     });

@@ -6,7 +6,14 @@ use ant_tensor::dist::{sample_tensor, sample_vec, Distribution};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_quantizer(c: &mut Criterion) {
-    let data = sample_vec(Distribution::Gaussian { mean: 0.0, std: 1.0 }, 4096, 1);
+    let data = sample_vec(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        4096,
+        1,
+    );
     let mut group = c.benchmark_group("quantizer");
     group.throughput(Throughput::Elements(data.len() as u64));
     for dt in [
@@ -37,7 +44,14 @@ fn bench_quantizer(c: &mut Criterion) {
         )
     });
     // Per-channel weight calibration (paper Sec. II-B granularity).
-    let w = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 0.05 }, &[64, 576], 2);
+    let w = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 0.05,
+        },
+        &[64, 576],
+        2,
+    );
     group.throughput(Throughput::Elements(w.len() as u64));
     group.bench_function("fit_per_channel/flint4s_64x576", |b| {
         b.iter(|| {

@@ -14,14 +14,27 @@ fn bench_simulator(c: &mut Criterion) {
     let bert = bert_base(8, "SST-2");
     for d in [Design::AntOs, Design::BitFusion, Design::AdaFloat] {
         group.bench_function(format!("resnet18/{}", d.name()), |b| {
-            b.iter(|| simulate(d, black_box(&rn), &cfg).expect("simulates").total_cycles)
+            b.iter(|| {
+                simulate(d, black_box(&rn), &cfg)
+                    .expect("simulates")
+                    .total_cycles
+            })
         });
     }
     group.bench_function("bert_sst2/ANT-OS", |b| {
-        b.iter(|| simulate(Design::AntOs, black_box(&bert), &cfg).expect("simulates").total_cycles)
+        b.iter(|| {
+            simulate(Design::AntOs, black_box(&bert), &cfg)
+                .expect("simulates")
+                .total_cycles
+        })
     });
     group.bench_function("fig13_row/resnet18_all_designs", |b| {
-        b.iter(|| WorkloadComparison::run(black_box(&rn), &cfg).expect("runs").results.len())
+        b.iter(|| {
+            WorkloadComparison::run(black_box(&rn), &cfg)
+                .expect("runs")
+                .results
+                .len()
+        })
     });
     group.finish();
 }

@@ -9,14 +9,32 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 fn bench_select(c: &mut Criterion) {
     let mut group = c.benchmark_group("type_select");
     let tensors = [
-        ("gaussian_tail", Distribution::OutlierGaussian { std: 1.0, outlier_frac: 0.01, outlier_scale: 4.0 }),
+        (
+            "gaussian_tail",
+            Distribution::OutlierGaussian {
+                std: 1.0,
+                outlier_frac: 0.01,
+                outlier_scale: 4.0,
+            },
+        ),
         ("uniform", Distribution::Uniform { lo: -1.0, hi: 1.0 }),
-        ("outliers", Distribution::OutlierGaussian { std: 1.0, outlier_frac: 0.01, outlier_scale: 20.0 }),
+        (
+            "outliers",
+            Distribution::OutlierGaussian {
+                std: 1.0,
+                outlier_frac: 0.01,
+                outlier_scale: 20.0,
+            },
+        ),
     ];
     for (name, dist) in tensors {
         let t = sample_tensor(dist, &[4096], 7);
         group.throughput(Throughput::Elements(t.len() as u64));
-        for combo in [PrimitiveCombo::Int, PrimitiveCombo::IntPotFlint, PrimitiveCombo::FloatIntPotFlint] {
+        for combo in [
+            PrimitiveCombo::Int,
+            PrimitiveCombo::IntPotFlint,
+            PrimitiveCombo::FloatIntPotFlint,
+        ] {
             group.bench_function(format!("{name}/{combo}"), |b| {
                 b.iter(|| {
                     select_type(

@@ -44,9 +44,10 @@ fn main() {
         t
     };
     let mut rows = Vec::new();
-    for (name, g) in
-        [("per-tensor", Granularity::PerTensor), ("per-channel", Granularity::PerChannel)]
-    {
+    for (name, g) in [
+        ("per-tensor", Granularity::PerTensor),
+        ("per-channel", Granularity::PerChannel),
+    ] {
         let (_, mse) =
             TensorQuantizer::fit(dt, &w, g, ClipSearch::default()).expect("fit succeeds");
         rows.push(vec![name.to_string(), format!("{mse:.4e}")]);
@@ -58,7 +59,13 @@ fn main() {
     let families = [
         ("uniform act", TensorProfile::FirstLayerAct),
         ("gaussian-tail weight", TensorProfile::cnn_weight()),
-        ("outlier act", TensorProfile::BertAct { frac: 0.008, scale: 18.0 }),
+        (
+            "outlier act",
+            TensorProfile::BertAct {
+                frac: 0.008,
+                scale: 18.0,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (name, profile) in families {
@@ -100,7 +107,13 @@ fn main() {
         format!("{:.4}", per_pe / 1e6),
         format!("{:.2}%", per_pe / array * 100.0),
     ]);
-    println!("{}", render_table(&["placement", "decoder mm^2", "of PE array"], &rows));
-    println!("Boundary placement amortises the decoder {}x — the 0.2% headline", n / 2);
+    println!(
+        "{}",
+        render_table(&["placement", "decoder mm^2", "of PE array"], &rows)
+    );
+    println!(
+        "Boundary placement amortises the decoder {}x — the 0.2% headline",
+        n / 2
+    );
     println!("overhead of Table VII depends on it.");
 }

@@ -53,7 +53,13 @@ fn main() {
     let families = [
         ("uniform first-layer act", TensorProfile::FirstLayerAct),
         ("gaussian-tail weight", TensorProfile::cnn_weight()),
-        ("outlier BERT act", TensorProfile::BertAct { frac: 0.008, scale: 18.0 }),
+        (
+            "outlier BERT act",
+            TensorProfile::BertAct {
+                frac: 0.008,
+                scale: 18.0,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (name, profile) in families {
@@ -65,9 +71,13 @@ fn main() {
             .candidates(4, signed)
             .expect("4-bit candidates")
         {
-            let (_, mse) =
-                TensorQuantizer::fit(dt, &t, Granularity::PerTensor, ClipSearch::GridMse { steps: 48 })
-                    .expect("fit succeeds");
+            let (_, mse) = TensorQuantizer::fit(
+                dt,
+                &t,
+                Granularity::PerTensor,
+                ClipSearch::GridMse { steps: 48 },
+            )
+            .expect("fit succeeds");
             if mse < best_ant.1 {
                 best_ant = (dt.to_string(), mse);
             }
@@ -83,7 +93,15 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["tensor family", "ANT best (MSE)", "posit<4,0>", "posit<4,1>"], &rows)
+        render_table(
+            &[
+                "tensor family",
+                "ANT best (MSE)",
+                "posit<4,0>",
+                "posit<4,1>"
+            ],
+            &rows
+        )
     );
 
     println!("\n-- decoder complexity: field-boundary variability --\n");

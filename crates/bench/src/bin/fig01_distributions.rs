@@ -19,11 +19,20 @@ fn spark(densities: &[f64]) -> String {
 fn main() {
     println!("== Fig. 1: tensor distribution families and 4-bit type lattices ==\n");
     let profiles = [
-        ("ResNet18 first-layer act (uniform-like)", TensorProfile::FirstLayerAct),
-        ("CNN/BERT weight (Gaussian-like)", TensorProfile::cnn_weight()),
+        (
+            "ResNet18 first-layer act (uniform-like)",
+            TensorProfile::FirstLayerAct,
+        ),
+        (
+            "CNN/BERT weight (Gaussian-like)",
+            TensorProfile::cnn_weight(),
+        ),
         (
             "BERT activation (Laplace-like, outliers)",
-            TensorProfile::BertAct { frac: 0.01, scale: 20.0 },
+            TensorProfile::BertAct {
+                frac: 0.01,
+                scale: 20.0,
+            },
         ),
     ];
     let mut rows = Vec::new();
@@ -38,7 +47,10 @@ fn main() {
             spark(&h.densities()),
         ]);
     }
-    println!("{}", render_table(&["tensor", "classified as", "histogram"], &rows));
+    println!(
+        "{}",
+        render_table(&["tensor", "classified as", "histogram"], &rows)
+    );
 
     println!("4-bit type lattices (normalized magnitudes; '|' marks each representable value):\n");
     for dt in [

@@ -9,7 +9,9 @@ use ant_sim::workload::all_workloads;
 use ant_tensor::Tensor;
 
 fn main() {
-    println!("== Fig. 10: quantization MSE by primitive combination (4-bit, normalized to Int) ==\n");
+    println!(
+        "== Fig. 10: quantization MSE by primitive combination (4-bit, normalized to Int) ==\n"
+    );
     let workloads = all_workloads(1);
     let combos = PrimitiveCombo::all();
     let mut rows = Vec::new();
@@ -46,8 +48,9 @@ fn main() {
         }
         rows.push(row);
     }
-    let headers: Vec<&str> =
-        std::iter::once("workload").chain(combos.iter().map(|c| c.label())).collect();
+    let headers: Vec<&str> = std::iter::once("workload")
+        .chain(combos.iter().map(|c| c.label()))
+        .collect();
     println!("{}", render_table(&headers, &rows));
     println!("Expected shape (paper Fig. 10): MSE falls monotonically as primitives are");
     println!("added; the flint-bearing combos (IP-F, FIP-F) are the lowest, with the");

@@ -20,7 +20,11 @@ fn main() {
         .collect();
     let mut rows = Vec::new();
     for model in &models {
-        let fp32 = cells.iter().find(|c| c.model == *model).expect("cell exists").fp32;
+        let fp32 = cells
+            .iter()
+            .find(|c| c.model == *model)
+            .expect("cell exists")
+            .fp32;
         let mut row = vec![model.to_string(), format!("{:.1}%", fp32 * 100.0)];
         for combo in &combos {
             let cell = cells

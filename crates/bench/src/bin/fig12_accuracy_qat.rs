@@ -34,13 +34,22 @@ fn main() {
             calib,
             reference.train_set.clone(),
             reference.test_set.clone(),
-            TrainConfig { epochs: 2, batch_size: 32, lr: 0.02, momentum: 0.9, seed: 99 },
+            TrainConfig {
+                epochs: 2,
+                batch_size: 32,
+                lr: 0.02,
+                momentum: 0.9,
+                seed: 99,
+            },
         )
         .expect("harness builds");
         let report = run_mixed_precision(
             &mut harness,
             reference.fp32_accuracy,
-            MixedPrecisionConfig { threshold: 0.01, max_promotions: None },
+            MixedPrecisionConfig {
+                threshold: 0.01,
+                max_promotions: None,
+            },
         );
         let final_acc = *report.metric_trace.last().expect("at least one evaluation");
         ant48.push((
@@ -53,7 +62,11 @@ fn main() {
 
     let mut rows = Vec::new();
     for model in &models {
-        let fp32 = cells.iter().find(|c| c.model == *model).expect("cell exists").fp32;
+        let fp32 = cells
+            .iter()
+            .find(|c| c.model == *model)
+            .expect("cell exists")
+            .fp32;
         let mut row = vec![model.to_string(), format!("{:.1}%", fp32 * 100.0)];
         for combo in &combos {
             let cell = cells

@@ -27,12 +27,16 @@ fn main() {
     for (c, w) in comparisons.iter().zip(&workloads) {
         let mut row = vec![c.workload.clone()];
         for d in Design::all() {
-            row.push(format!("{:.0}%", c.result(d).low_bit_mac_fraction(w) * 100.0));
+            row.push(format!(
+                "{:.0}%",
+                c.result(d).low_bit_mac_fraction(w) * 100.0
+            ));
         }
         rows.push(row);
     }
-    let headers: Vec<&str> =
-        std::iter::once("workload").chain(Design::all().iter().map(|d| d.name())).collect();
+    let headers: Vec<&str> = std::iter::once("workload")
+        .chain(Design::all().iter().map(|d| d.name()))
+        .collect();
     println!("{}", render_table(&headers, &rows));
 
     // Middle: normalized cycles.
@@ -82,7 +86,14 @@ fn main() {
     println!("-- geomean ANT-OS advantage (paper: 2.8x/3.24x/1.48x/4x speedup; 2.53x/1.93x/1.6x/3.33x energy) --\n");
     let mut rows = Vec::new();
     for ((name, sp), (_, en)) in s.speedups.iter().zip(&s.energy_reductions) {
-        rows.push(vec![name.to_string(), format!("{sp:.2}x"), format!("{en:.2}x")]);
+        rows.push(vec![
+            name.to_string(),
+            format!("{sp:.2}x"),
+            format!("{en:.2}x"),
+        ]);
     }
-    println!("{}", render_table(&["baseline", "speedup", "energy reduction"], &rows));
+    println!(
+        "{}",
+        render_table(&["baseline", "speedup", "energy reduction"], &rows)
+    );
 }

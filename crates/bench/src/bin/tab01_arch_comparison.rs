@@ -40,7 +40,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["scheme", "aligned", "mem bits", "compute bits", "area ovh", "paper (mem/compute/ovh)"],
+            &[
+                "scheme",
+                "aligned",
+                "mem bits",
+                "compute bits",
+                "area ovh",
+                "paper (mem/compute/ovh)"
+            ],
             &table,
         )
     );

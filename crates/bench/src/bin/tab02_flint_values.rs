@@ -16,7 +16,11 @@ fn main() {
         let value = f4.decode(code);
         rows.push(vec![
             format!("{code:04b}"),
-            if code == 0 { "-".to_string() } else { format!("{}", fd.exp as i64 - 1) },
+            if code == 0 {
+                "-".to_string()
+            } else {
+                format!("{}", fd.exp as i64 - 1)
+            },
             if code == 0 {
                 "-".to_string()
             } else {
@@ -59,5 +63,8 @@ fn main() {
     println!("Mantissa bits per interval (b = 4): codes 0001,001x,01xx,11xx,101x,1001,1000");
     let f = Flint::new(4).expect("4-bit flint");
     let mbs: Vec<String> = (1..=7).map(|i| f.mantissa_bits(i).to_string()).collect();
-    println!("carry {} mantissa bits — int-like mid-range, PoT-like extremes.", mbs.join(","));
+    println!(
+        "carry {} mantissa bits — int-like mid-range, PoT-like extremes.",
+        mbs.join(",")
+    );
 }

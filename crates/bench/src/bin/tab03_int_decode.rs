@@ -18,7 +18,10 @@ fn main() {
             d.value().to_string(),
         ]);
     }
-    println!("{}", render_table(&["binary", "exponent", "base integer", "value"], &rows));
+    println!(
+        "{}",
+        render_table(&["binary", "exponent", "base integer", "value"], &rows)
+    );
 
     // Cross-check every width against the arithmetic codec.
     let mut checked = 0u32;
@@ -26,7 +29,11 @@ fn main() {
         let flint = Flint::new(bits).expect("valid width");
         for code in 0..flint.num_codes() {
             let hw = decode_flint(code, bits, false).expect("valid code");
-            assert_eq!(hw.value() as u64, flint.decode(code), "b={bits} code={code:b}");
+            assert_eq!(
+                hw.value() as u64,
+                flint.decode(code),
+                "b={bits} code={code:b}"
+            );
             checked += 1;
         }
     }
@@ -36,7 +43,15 @@ fn main() {
     let mut srows = Vec::new();
     for code in 0..16u32 {
         let d = decode_flint(code, 4, true).expect("4-bit signed flint");
-        srows.push(vec![format!("{code:04b}"), d.base.to_string(), d.exp.to_string(), d.value().to_string()]);
+        srows.push(vec![
+            format!("{code:04b}"),
+            d.base.to_string(),
+            d.exp.to_string(),
+            d.value().to_string(),
+        ]);
     }
-    println!("{}", render_table(&["binary", "base", "shift", "value"], &srows));
+    println!(
+        "{}",
+        render_table(&["binary", "base", "shift", "value"], &srows)
+    );
 }

@@ -21,7 +21,16 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["workload", "family", "GEMM layers", "GMACs (batch 1)", "M params"], &rows)
+        render_table(
+            &[
+                "workload",
+                "family",
+                "GEMM layers",
+                "GMACs (batch 1)",
+                "M params"
+            ],
+            &rows
+        )
     );
     println!("Paper reference points: VGG16 ≈ 15.5 GMACs / 138M params, ResNet-50 ≈");
     println!("4.1 / 25.6, BERT-Base ≈ 85M encoder params — matched by construction.\n");
@@ -45,7 +54,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["model", "task", "classes", "train", "test", "fp32 acc"], &rows)
+        render_table(
+            &["model", "task", "classes", "train", "test", "fp32 acc"],
+            &rows
+        )
     );
     println!("(paper Table IV reports ImageNet/GLUE accuracies of its checkpoints;");
     println!("these synthetic tasks are the documented substitution, DESIGN.md §2)");

@@ -56,7 +56,10 @@ fn main() {
             format!("{:.1}%", reference.fp32_accuracy * 100.0),
         ]);
     }
-    println!("{}", render_table(&["width", "ANT", "GOBO (eff. bits)", "source"], &rows));
+    println!(
+        "{}",
+        render_table(&["width", "ANT", "GOBO (eff. bits)", "source"], &rows)
+    );
     println!("Expected shape (paper Table VI): the two schemes are within a fraction of");
     println!("a point of each other at both widths; ANT achieves it with fixed-length");
     println!("codes while GOBO needs variable-length outlier storage.");

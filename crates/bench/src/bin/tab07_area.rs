@@ -20,7 +20,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["design", "PEs", "PE um^2", "decoders", "core mm^2", "decoder ovh"],
+            &[
+                "design",
+                "PEs",
+                "PE um^2",
+                "decoders",
+                "core mm^2",
+                "decoder ovh"
+            ],
             &rows,
         )
     );

@@ -66,7 +66,13 @@ fn finish(
     let (train_set, test_set) = data.split(0.25);
     train(&mut model, &train_set, cfg)?;
     let fp32_accuracy = ant_nn::train::evaluate(&mut model, &test_set)?;
-    Ok(TrainedModel { name, model, train_set, test_set, fp32_accuracy })
+    Ok(TrainedModel {
+        name,
+        model,
+        train_set,
+        test_set,
+        fp32_accuracy,
+    })
 }
 
 /// Trains the deep MLP on the hard blobs task (10 near-overlapping
@@ -81,7 +87,13 @@ pub fn trained_mlp(seed: u64) -> Result<TrainedModel, NnError> {
         "MLP",
         deep_mlp(16, 10, 24, 6, seed),
         blobs(1600, 16, 10, 1.0, seed.wrapping_add(1)),
-        TrainConfig { epochs: 30, batch_size: 32, lr: 0.05, momentum: 0.9, seed },
+        TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            seed,
+        },
     )
 }
 
@@ -95,7 +107,13 @@ pub fn trained_cnn(seed: u64) -> Result<TrainedModel, NnError> {
         "CNN",
         small_cnn(4, seed),
         shapes(480, 0.4, seed.wrapping_add(1)),
-        TrainConfig { epochs: 10, batch_size: 16, lr: 0.05, momentum: 0.9, seed },
+        TrainConfig {
+            epochs: 10,
+            batch_size: 16,
+            lr: 0.05,
+            momentum: 0.9,
+            seed,
+        },
     )
 }
 
@@ -110,7 +128,13 @@ pub fn trained_transformer(seed: u64) -> Result<TrainedModel, NnError> {
         "Transformer",
         tiny_transformer(8, 8, 6, seed),
         motifs(960, 8, 8, 6, seed.wrapping_add(1)),
-        TrainConfig { epochs: 25, batch_size: 32, lr: 0.03, momentum: 0.9, seed },
+        TrainConfig {
+            epochs: 25,
+            batch_size: 32,
+            lr: 0.03,
+            momentum: 0.9,
+            seed,
+        },
     )
 }
 
@@ -120,7 +144,11 @@ pub fn trained_transformer(seed: u64) -> Result<TrainedModel, NnError> {
 ///
 /// Propagates training failures.
 pub fn all_trained_models(seed: u64) -> Result<Vec<TrainedModel>, NnError> {
-    Ok(vec![trained_mlp(seed)?, trained_cnn(seed)?, trained_transformer(seed)?])
+    Ok(vec![
+        trained_mlp(seed)?,
+        trained_cnn(seed)?,
+        trained_transformer(seed)?,
+    ])
 }
 
 /// One row of the Figs. 11/12 accuracy experiment: a model × combo cell.
@@ -158,7 +186,10 @@ pub fn accuracy_experiment(
     let mut cells = Vec::new();
     for reference in all_trained_models(seed)? {
         for combo in PrimitiveCombo::all() {
-            let spec = QuantSpec { combo, ..QuantSpec::default() };
+            let spec = QuantSpec {
+                combo,
+                ..QuantSpec::default()
+            };
             let (calib, _) = reference
                 .train_set
                 .batch(&(0..100.min(reference.train_set.len())).collect::<Vec<_>>());

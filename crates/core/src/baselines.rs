@@ -46,14 +46,21 @@ impl AdaFloat {
             return Err(QuantError::NonFiniteData);
         }
         let avail = bits.saturating_sub(u32::from(signed));
-        let exp_bits = avail.saturating_sub(1).min(4).max(1);
+        let exp_bits = avail.saturating_sub(1).clamp(1, 4);
         let man_bits = avail - exp_bits;
         let format = FloatFormat::new(exp_bits, man_bits, signed)?;
         let codec = Codec::new(DataType::float_with_format(format))?;
         let magnitudes = codec.magnitudes().to_vec();
         let max_abs = data.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
         if max_abs == 0.0 {
-            return Ok((AdaFloat { format, scale: 1.0, magnitudes }, 0.0));
+            return Ok((
+                AdaFloat {
+                    format,
+                    scale: 1.0,
+                    magnitudes,
+                },
+                0.0,
+            ));
         }
         // Bias search: the scale is 2^k; start from the k that just covers
         // max_abs and probe a few finer settings (clipping outliers).
@@ -66,7 +73,14 @@ impl AdaFloat {
                 best = (scale, mse);
             }
         }
-        Ok((AdaFloat { format, scale: best.0, magnitudes }, best.1))
+        Ok((
+            AdaFloat {
+                format,
+                scale: best.0,
+                magnitudes,
+            },
+            best.1,
+        ))
     }
 
     /// The element format.
@@ -138,7 +152,13 @@ impl BiScaled {
         let maxq = Self::maxq(bits, signed);
         let max_abs = data.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
         if max_abs == 0.0 {
-            let q = BiScaled { bits, signed, fine_scale: 1.0, coarse_scale: 1.0, split: 0.0 };
+            let q = BiScaled {
+                bits,
+                signed,
+                fine_scale: 1.0,
+                coarse_scale: 1.0,
+                split: 0.0,
+            };
             return Ok((q, 0.0));
         }
         let coarse_scale = max_abs / maxq;
@@ -146,7 +166,13 @@ impl BiScaled {
         for k in 1..=32 {
             let split = max_abs * k as f32 / 32.0;
             let fine_scale = split / maxq;
-            let q = BiScaled { bits, signed, fine_scale, coarse_scale, split };
+            let q = BiScaled {
+                bits,
+                signed,
+                fine_scale,
+                coarse_scale,
+                split,
+            };
             let mse = data
                 .iter()
                 .map(|&x| {
@@ -160,7 +186,16 @@ impl BiScaled {
             }
         }
         let fine_scale = best.0 / maxq;
-        Ok((BiScaled { bits, signed, fine_scale, coarse_scale, split: best.0 }, best.1))
+        Ok((
+            BiScaled {
+                bits,
+                signed,
+                fine_scale,
+                coarse_scale,
+                split: best.0,
+            },
+            best.1,
+        ))
     }
 
     fn maxq(bits: u32, signed: bool) -> f32 {
@@ -180,7 +215,11 @@ impl BiScaled {
     /// scale by magnitude.
     pub fn quantize_dequantize(&self, x: f32) -> f32 {
         let maxq = Self::maxq(self.bits, self.signed);
-        let scale = if x.abs() <= self.split { self.fine_scale } else { self.coarse_scale };
+        let scale = if x.abs() <= self.split {
+            self.fine_scale
+        } else {
+            self.coarse_scale
+        };
         let lo = if self.signed { -maxq } else { 0.0 };
         (x / scale).round().clamp(lo, maxq) * scale
     }
@@ -235,7 +274,11 @@ impl Gobo {
         let std = var.sqrt() as f32;
         let lo = mean as f32 - outlier_sigma * std;
         let hi = mean as f32 + outlier_sigma * std;
-        let inliers: Vec<f32> = data.iter().copied().filter(|&x| x >= lo && x <= hi).collect();
+        let inliers: Vec<f32> = data
+            .iter()
+            .copied()
+            .filter(|&x| x >= lo && x <= hi)
+            .collect();
         let outlier_frac = 1.0 - inliers.len() as f64 / n;
         let k = 1usize << bits;
         let mut centroids = init_quantile_centroids(&inliers, k);
@@ -263,7 +306,13 @@ impl Gobo {
                 break;
             }
         }
-        let q = Gobo { bits, centroids, lo, hi, outlier_frac };
+        let q = Gobo {
+            bits,
+            centroids,
+            lo,
+            hi,
+            outlier_frac,
+        };
         let mse = data
             .iter()
             .map(|&x| {
@@ -355,7 +404,11 @@ impl OlAccel {
         let max_abs = *mags.last().expect("non-empty");
         let lowq = BiScaled::maxq(low_bits, signed);
         let highq = BiScaled::maxq(high_bits, signed);
-        let low_scale = if threshold > 0.0 { threshold / lowq } else { 1.0 };
+        let low_scale = if threshold > 0.0 {
+            threshold / lowq
+        } else {
+            1.0
+        };
         let high_scale = if max_abs > 0.0 { max_abs / highq } else { 1.0 };
         let actual_frac =
             data.iter().filter(|x| x.abs() > threshold).count() as f64 / data.len() as f64;
@@ -397,8 +450,7 @@ impl OlAccel {
 
     /// Average bits per element in memory.
     pub fn mem_bits(&self) -> f64 {
-        self.low_bits as f64 * (1.0 - self.outlier_frac)
-            + self.high_bits as f64 * self.outlier_frac
+        self.low_bits as f64 * (1.0 - self.outlier_frac) + self.high_bits as f64 * self.outlier_frac
     }
 }
 
@@ -460,7 +512,14 @@ mod tests {
     use ant_tensor::dist::{sample_vec, Distribution};
 
     fn gaussian(n: usize, seed: u64) -> Vec<f32> {
-        sample_vec(Distribution::Gaussian { mean: 0.0, std: 1.0 }, n, seed)
+        sample_vec(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            n,
+            seed,
+        )
     }
 
     #[test]
@@ -557,7 +616,11 @@ mod tests {
     fn olaccel_outlier_fraction_near_target() {
         let data = gaussian(8192, 67);
         let (q, _) = OlAccel::fit(4, 16, true, 0.03, &data).unwrap();
-        assert!((q.outlier_frac() - 0.03).abs() < 0.01, "{}", q.outlier_frac());
+        assert!(
+            (q.outlier_frac() - 0.03).abs() < 0.01,
+            "{}",
+            q.outlier_frac()
+        );
         // Memory bits between 4 and 16, near 4.36 (Table I).
         assert!(q.mem_bits() > 4.0 && q.mem_bits() < 5.0, "{}", q.mem_bits());
     }

@@ -76,7 +76,12 @@ impl DataType {
         if !(2..=16).contains(&bits) {
             return Err(QuantError::UnsupportedBitWidth { bits });
         }
-        Ok(DataType { primitive: PrimitiveType::Int, bits, signed, float_format: None })
+        Ok(DataType {
+            primitive: PrimitiveType::Int,
+            bits,
+            signed,
+            float_format: None,
+        })
     }
 
     /// A `bits`-wide power-of-two type: code 0 is zero, code `c ≥ 1` is
@@ -90,7 +95,12 @@ impl DataType {
         if !(2..=6).contains(&bits) {
             return Err(QuantError::UnsupportedBitWidth { bits });
         }
-        Ok(DataType { primitive: PrimitiveType::Pot, bits, signed, float_format: None })
+        Ok(DataType {
+            primitive: PrimitiveType::Pot,
+            bits,
+            signed,
+            float_format: None,
+        })
     }
 
     /// A `bits`-wide miniature float using the paper's default field split
@@ -129,7 +139,12 @@ impl DataType {
     pub fn flint(bits: u32, signed: bool) -> Result<Self, QuantError> {
         let mag_bits = if signed { bits.saturating_sub(1) } else { bits };
         Flint::new(mag_bits)?;
-        Ok(DataType { primitive: PrimitiveType::Flint, bits, signed, float_format: None })
+        Ok(DataType {
+            primitive: PrimitiveType::Flint,
+            bits,
+            signed,
+            float_format: None,
+        })
     }
 
     /// The primitive family.
@@ -154,7 +169,11 @@ impl DataType {
 
     /// Magnitude width: `bits` for unsigned types, `bits − 1` for signed.
     pub fn magnitude_bits(&self) -> u32 {
-        if self.signed { self.bits - 1 } else { self.bits }
+        if self.signed {
+            self.bits - 1
+        } else {
+            self.bits
+        }
     }
 }
 
@@ -210,7 +229,12 @@ impl Codec {
                 let hi = ((1u64 << mag_bits) - 1) as f32;
                 let lo = if dtype.signed { -hi } else { 0.0 };
                 let magnitudes: Vec<f32> = (0..=(hi as u32)).map(|v| v as f32).collect();
-                Ok(Codec { dtype, max: hi, magnitudes, snap: SnapKind::IntRound { lo, hi } })
+                Ok(Codec {
+                    dtype,
+                    max: hi,
+                    magnitudes,
+                    snap: SnapKind::IntRound { lo, hi },
+                })
             }
             PrimitiveType::Pot => {
                 let mut magnitudes = vec![0.0f32];
@@ -218,7 +242,12 @@ impl Codec {
                     magnitudes.push(2f32.powi(c as i32 - 1));
                 }
                 let max = *magnitudes.last().expect("non-empty");
-                Ok(Codec { dtype, max, magnitudes, snap: SnapKind::NearestMagnitude })
+                Ok(Codec {
+                    dtype,
+                    max,
+                    magnitudes,
+                    snap: SnapKind::NearestMagnitude,
+                })
             }
             PrimitiveType::Float => {
                 let fmt = dtype
@@ -233,14 +262,23 @@ impl Codec {
                 magnitudes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 magnitudes.dedup();
                 let max = *magnitudes.last().expect("non-empty");
-                Ok(Codec { dtype, max, magnitudes, snap: SnapKind::NearestMagnitude })
+                Ok(Codec {
+                    dtype,
+                    max,
+                    magnitudes,
+                    snap: SnapKind::NearestMagnitude,
+                })
             }
             PrimitiveType::Flint => {
                 let flint = Flint::new(mag_bits)?;
-                let magnitudes: Vec<f32> =
-                    flint.lattice().into_iter().map(|v| v as f32).collect();
+                let magnitudes: Vec<f32> = flint.lattice().into_iter().map(|v| v as f32).collect();
                 let max = *magnitudes.last().expect("non-empty");
-                Ok(Codec { dtype, max, magnitudes, snap: SnapKind::FlintHw(flint) })
+                Ok(Codec {
+                    dtype,
+                    max,
+                    magnitudes,
+                    snap: SnapKind::FlintHw(flint),
+                })
             }
         }
     }
@@ -301,7 +339,11 @@ impl Codec {
                 }
             }
             SnapKind::NearestMagnitude => {
-                let mag = if self.dtype.signed { x.abs() } else { x.max(0.0) };
+                let mag = if self.dtype.signed {
+                    x.abs()
+                } else {
+                    x.max(0.0)
+                };
                 let q = nearest(&self.magnitudes, mag);
                 if self.dtype.signed && x < 0.0 {
                     -q
@@ -406,7 +448,10 @@ mod tests {
         let c = Codec::new(DataType::flint(4, false).unwrap()).unwrap();
         assert_eq!(
             c.magnitudes(),
-            &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 12.0, 14.0, 16.0, 24.0, 32.0, 64.0]
+            &[
+                0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 12.0, 14.0, 16.0, 24.0, 32.0,
+                64.0
+            ]
         );
         assert_eq!(c.snap(11.0), 12.0);
         assert_eq!(c.snap(100.0), 64.0);

@@ -52,13 +52,19 @@ impl fmt::Display for QuantError {
             }
             QuantError::EmptyCalibration => write!(f, "calibration data is empty"),
             QuantError::NonFiniteData => write!(f, "data contains NaN or infinity"),
-            QuantError::SignednessMismatch { codec_signed, data_min } => write!(
+            QuantError::SignednessMismatch {
+                codec_signed,
+                data_min,
+            } => write!(
                 f,
                 "signedness mismatch: codec signed={codec_signed}, data min={data_min}"
             ),
             QuantError::NoCandidates => write!(f, "candidate type list is empty"),
             QuantError::ChannelMismatch { expected, actual } => {
-                write!(f, "per-channel quantizer has {expected} channels but tensor has {actual}")
+                write!(
+                    f,
+                    "per-channel quantizer has {expected} channels but tensor has {actual}"
+                )
             }
             QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
         }
@@ -88,12 +94,21 @@ mod tests {
     fn display_nonempty_for_all_variants() {
         let variants: Vec<QuantError> = vec![
             QuantError::UnsupportedBitWidth { bits: 99 },
-            QuantError::InvalidFloatFormat { exp_bits: 0, man_bits: 9 },
+            QuantError::InvalidFloatFormat {
+                exp_bits: 0,
+                man_bits: 9,
+            },
             QuantError::EmptyCalibration,
             QuantError::NonFiniteData,
-            QuantError::SignednessMismatch { codec_signed: false, data_min: -1.0 },
+            QuantError::SignednessMismatch {
+                codec_signed: false,
+                data_min: -1.0,
+            },
             QuantError::NoCandidates,
-            QuantError::ChannelMismatch { expected: 4, actual: 2 },
+            QuantError::ChannelMismatch {
+                expected: 4,
+                actual: 2,
+            },
             QuantError::Tensor(ant_tensor::TensorError::Empty),
         ];
         for v in variants {

@@ -108,7 +108,10 @@ impl Flint {
     ///
     /// Panics if `e == 0` or `e > max_value()`.
     pub fn interval_index(&self, e: u64) -> u32 {
-        assert!(e > 0 && e <= self.max_value(), "interval_index: {e} out of range");
+        assert!(
+            e > 0 && e <= self.max_value(),
+            "interval_index: {e} out of range"
+        );
         e.ilog2() + 1
     }
 
@@ -158,10 +161,16 @@ impl Flint {
         if code >> (b - 1) == 0 {
             IntDecode { base: low, exp: 0 }
         } else if low == 0 {
-            IntDecode { base: 1, exp: 2 * (b - 1) }
+            IntDecode {
+                base: 1,
+                exp: 2 * (b - 1),
+            }
         } else {
             let lz = (b - 1) - (low.ilog2() + 1); // leading zeros in a (b-1)-bit field
-            IntDecode { base: low << 1, exp: 2 * lz }
+            IntDecode {
+                base: low << 1,
+                exp: 2 * lz,
+            }
         }
     }
 
@@ -179,11 +188,18 @@ impl Flint {
         let b = self.bits;
         assert!(code < self.num_codes(), "code {code:#b} exceeds {b} bits");
         if code == 0 {
-            return FloatDecode { exp: 0, mantissa: 0 };
+            return FloatDecode {
+                exp: 0,
+                mantissa: 0,
+            };
         }
         let low_mask = (1u32 << (b - 1)) - 1;
         let low = code & low_mask;
-        let lz = if low == 0 { b - 1 } else { (b - 1) - (low.ilog2() + 1) };
+        let lz = if low == 0 {
+            b - 1
+        } else {
+            (b - 1) - (low.ilog2() + 1)
+        };
         let exp = if code >> (b - 1) == 0 {
             // Eq. (3), b3 = 0 case: exponent = (b-1) - LZD(low).
             (b - 1) - lz
@@ -217,7 +233,11 @@ impl Flint {
     /// Panics if `e > max_value()`.
     pub fn encode_int(&self, e: u64) -> u32 {
         let b = self.bits;
-        assert!(e <= self.max_value(), "encode_int: {e} exceeds max {}", self.max_value());
+        assert!(
+            e <= self.max_value(),
+            "encode_int: {e} exceeds max {}",
+            self.max_value()
+        );
         if e == 0 {
             return 0;
         }
@@ -373,7 +393,12 @@ mod tests {
             for code in 0..f.num_codes() {
                 let via_int = f.decode(code) as f64;
                 let via_float = f.float_decode_value(f.decode_float(code));
-                assert_eq!(via_int, via_float, "b={b} code={code:0width$b}", width = b as usize);
+                assert_eq!(
+                    via_int,
+                    via_float,
+                    "b={b} code={code:0width$b}",
+                    width = b as usize
+                );
             }
         }
     }
@@ -440,7 +465,14 @@ mod tests {
 
     #[test]
     fn max_value_scales_with_bits() {
-        for (b, max) in [(3u32, 16u64), (4, 64), (5, 256), (6, 1024), (7, 4096), (8, 16384)] {
+        for (b, max) in [
+            (3u32, 16u64),
+            (4, 64),
+            (5, 256),
+            (6, 1024),
+            (7, 4096),
+            (8, 16384),
+        ] {
             assert_eq!(Flint::new(b).unwrap().max_value(), max);
         }
     }
@@ -459,7 +491,11 @@ mod tests {
             let f = Flint::new(b).unwrap();
             let table = f.value_table();
             let lattice = f.lattice();
-            assert_eq!(table.len(), lattice.len(), "b={b}: duplicate decoded values");
+            assert_eq!(
+                table.len(),
+                lattice.len(),
+                "b={b}: duplicate decoded values"
+            );
             assert_eq!(lattice.len(), f.num_codes() as usize);
         }
     }

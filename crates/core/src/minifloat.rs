@@ -40,7 +40,11 @@ impl FloatFormat {
     /// Returns [`QuantError::InvalidFloatFormat`] when `exp_bits == 0` or
     /// the total width exceeds 16 bits.
     pub fn new(exp_bits: u32, man_bits: u32, signed: bool) -> Result<Self, QuantError> {
-        let default_bias = if exp_bits >= 1 { (1i32 << (exp_bits - 1)) - 1 } else { 0 };
+        let default_bias = if exp_bits >= 1 {
+            (1i32 << (exp_bits - 1)) - 1
+        } else {
+            0
+        };
         Self::with_bias(exp_bits, man_bits, signed, default_bias)
     }
 
@@ -61,7 +65,12 @@ impl FloatFormat {
         if exp_bits == 0 || total > 16 {
             return Err(QuantError::InvalidFloatFormat { exp_bits, man_bits });
         }
-        Ok(FloatFormat { exp_bits, man_bits, signed, bias })
+        Ok(FloatFormat {
+            exp_bits,
+            man_bits,
+            signed,
+            bias,
+        })
     }
 
     /// The paper's default b-bit float candidate: unsigned uses a 2-bit

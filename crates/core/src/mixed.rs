@@ -52,7 +52,10 @@ impl Default for MixedPrecisionConfig {
     fn default() -> Self {
         // The paper uses <0.1% loss for CNNs and <1% for Transformers;
         // 0.01 (1 percentage point on a 0..1 accuracy) is the looser bound.
-        MixedPrecisionConfig { threshold: 0.01, max_promotions: None }
+        MixedPrecisionConfig {
+            threshold: 0.01,
+            max_promotions: None,
+        }
     }
 }
 
@@ -76,7 +79,11 @@ impl MixedPrecisionReport {
         if self.precisions.is_empty() {
             return 1.0;
         }
-        let low = self.precisions.iter().filter(|p| **p == Precision::Ant4).count();
+        let low = self
+            .precisions
+            .iter()
+            .filter(|p| **p == Precision::Ant4)
+            .count();
         low as f64 / self.precisions.len() as f64
     }
 }
@@ -118,7 +125,12 @@ pub fn run_mixed_precision<T: MixedPrecisionTarget + ?Sized>(
         metric_trace.push(metric);
         converged = baseline_metric - metric <= config.threshold;
     }
-    MixedPrecisionReport { precisions, metric_trace, promoted, converged }
+    MixedPrecisionReport {
+        precisions,
+        metric_trace,
+        promoted,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +147,10 @@ mod tests {
     impl Synthetic {
         fn new(penalties: Vec<f64>) -> Self {
             let n = penalties.len();
-            Synthetic { penalties, precisions: vec![Precision::Ant4; n] }
+            Synthetic {
+                penalties,
+                precisions: vec![Precision::Ant4; n],
+            }
         }
     }
 
@@ -167,7 +182,10 @@ mod tests {
         let report = run_mixed_precision(
             &mut t,
             1.0,
-            MixedPrecisionConfig { threshold: 0.01, max_promotions: None },
+            MixedPrecisionConfig {
+                threshold: 0.01,
+                max_promotions: None,
+            },
         );
         // Promote layer 1 (0.05) then layer 3 (0.03): residual loss 0.003.
         assert_eq!(report.promoted, vec![1, 3]);
@@ -193,7 +211,10 @@ mod tests {
         let report = run_mixed_precision(
             &mut t,
             1.0,
-            MixedPrecisionConfig { threshold: 0.0, max_promotions: Some(2) },
+            MixedPrecisionConfig {
+                threshold: 0.0,
+                max_promotions: Some(2),
+            },
         );
         assert_eq!(report.promoted.len(), 2);
         assert!(!report.converged);
@@ -205,7 +226,10 @@ mod tests {
         let report = run_mixed_precision(
             &mut t,
             1.0,
-            MixedPrecisionConfig { threshold: 0.0, max_promotions: None },
+            MixedPrecisionConfig {
+                threshold: 0.0,
+                max_promotions: None,
+            },
         );
         assert_eq!(report.promoted.len(), 3);
         assert!(report.converged);

@@ -46,7 +46,7 @@ impl PackedTensor {
             let byte = bit / 8;
             let off = bit % 8;
             // A code spans at most three bytes for widths ≤ 16.
-            let v = (code as u32 as u64) << off;
+            let v = (code as u64) << off;
             bytes[byte] |= (v & 0xFF) as u8;
             if off + bits as usize > 8 {
                 bytes[byte + 1] |= ((v >> 8) & 0xFF) as u8;
@@ -55,7 +55,12 @@ impl PackedTensor {
                 bytes[byte + 2] |= ((v >> 16) & 0xFF) as u8;
             }
         }
-        Ok(PackedTensor { dtype, len: codes.len(), scales, bytes })
+        Ok(PackedTensor {
+            dtype,
+            len: codes.len(),
+            scales,
+            bytes,
+        })
     }
 
     /// The element data type.
@@ -127,8 +132,7 @@ pub fn variable_length_size(
     index_bits: u32,
     outlier_frac: f64,
 ) -> f64 {
-    low_bits as f64 * (1.0 - outlier_frac)
-        + (high_bits + index_bits) as f64 * outlier_frac
+    low_bits as f64 * (1.0 - outlier_frac) + (high_bits + index_bits) as f64 * outlier_frac
 }
 
 #[cfg(test)]

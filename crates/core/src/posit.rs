@@ -66,16 +66,24 @@ impl Posit {
         }
         let negative = (code >> (n - 1)) & 1 == 1;
         // Two's complement negation for negative posits.
-        let body = if negative { ((!code).wrapping_add(1)) & ((1 << n) - 1) } else { code };
+        let body = if negative {
+            ((!code).wrapping_add(1)) & ((1 << n) - 1)
+        } else {
+            code
+        };
         let bits = body & ((1 << (n - 1)) - 1); // drop the (now 0) sign bit
-        // Regime: run of identical bits after the sign.
+                                                // Regime: run of identical bits after the sign.
         let width = n - 1;
         let first = (bits >> (width - 1)) & 1;
         let mut run = 1u32;
         while run < width && (bits >> (width - 1 - run)) & 1 == first {
             run += 1;
         }
-        let k: i32 = if first == 1 { run as i32 - 1 } else { -(run as i32) };
+        let k: i32 = if first == 1 {
+            run as i32 - 1
+        } else {
+            -(run as i32)
+        };
         // Remaining bits after the regime and its terminating bit.
         let consumed = (run + 1).min(width);
         let rest_width = width - consumed;
@@ -122,7 +130,11 @@ impl Posit {
         assert!(code < (1u32 << n), "code exceeds {n} bits");
         assert!(code != 0 && code != 1 << (n - 1), "zero/NaR has no regime");
         let negative = (code >> (n - 1)) & 1 == 1;
-        let body = if negative { ((!code).wrapping_add(1)) & ((1 << n) - 1) } else { code };
+        let body = if negative {
+            ((!code).wrapping_add(1)) & ((1 << n) - 1)
+        } else {
+            code
+        };
         let bits = body & ((1 << (n - 1)) - 1);
         let width = n - 1;
         let first = (bits >> (width - 1)) & 1;
@@ -152,7 +164,15 @@ mod tests {
         // 0001=1/4? Standard table: p<4,0> positives are
         // 0001=0.25, 0010=0.5, 0011=0.75, 0100=1, 0101=1.5, 0110=2, 0111=4.
         let p = Posit::new(4, 0).unwrap();
-        let expect = [(1u32, 0.25), (2, 0.5), (3, 0.75), (4, 1.0), (5, 1.5), (6, 2.0), (7, 4.0)];
+        let expect = [
+            (1u32, 0.25),
+            (2, 0.5),
+            (3, 0.75),
+            (4, 1.0),
+            (5, 1.5),
+            (6, 2.0),
+            (7, 4.0),
+        ];
         for (code, v) in expect {
             assert_eq!(p.decode(code), v, "code {code:04b}");
         }

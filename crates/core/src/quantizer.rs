@@ -55,7 +55,10 @@ impl Quantizer {
     /// Panics if `scale` is not a positive finite number.
     pub fn with_scale(dtype: DataType, scale: f32) -> Result<Self, QuantError> {
         assert!(scale.is_finite() && scale > 0.0, "invalid scale {scale}");
-        Ok(Quantizer { codec: Codec::new(dtype)?, scale })
+        Ok(Quantizer {
+            codec: Codec::new(dtype)?,
+            scale,
+        })
     }
 
     /// Calibrates a quantizer on `data`, returning it with the achieved MSE.
@@ -68,7 +71,11 @@ impl Quantizer {
     ///   negative data (the converse — signed codec on non-negative data —
     ///   is allowed, merely wasteful, matching the paper's use of unsigned
     ///   types only after ReLU).
-    pub fn fit(dtype: DataType, data: &[f32], search: ClipSearch) -> Result<(Self, f64), QuantError> {
+    pub fn fit(
+        dtype: DataType,
+        data: &[f32],
+        search: ClipSearch,
+    ) -> Result<(Self, f64), QuantError> {
         let codec = Codec::new(dtype)?;
         if data.is_empty() {
             return Err(QuantError::EmptyCalibration);
@@ -111,7 +118,13 @@ impl Quantizer {
                 best_scale = scale;
             }
         }
-        Ok((Quantizer { codec, scale: best_scale }, best_mse))
+        Ok((
+            Quantizer {
+                codec,
+                scale: best_scale,
+            },
+            best_mse,
+        ))
     }
 
     /// The data type being quantized to.
@@ -200,7 +213,11 @@ impl TensorQuantizer {
             Granularity::PerTensor => {
                 let (q, mse) = Quantizer::fit(dtype, tensor.as_slice(), search)?;
                 Ok((
-                    TensorQuantizer { codec, granularity, scales: vec![q.scale()] },
+                    TensorQuantizer {
+                        codec,
+                        granularity,
+                        scales: vec![q.scale()],
+                    },
                     mse,
                 ))
             }
@@ -217,7 +234,14 @@ impl TensorQuantizer {
                     n += ch.len();
                 }
                 let mse = if n == 0 { 0.0 } else { err_sum / n as f64 };
-                Ok((TensorQuantizer { codec, granularity, scales }, mse))
+                Ok((
+                    TensorQuantizer {
+                        codec,
+                        granularity,
+                        scales,
+                    },
+                    mse,
+                ))
             }
         }
     }
@@ -345,19 +369,31 @@ mod tests {
         let dt = DataType::int(4, true).unwrap();
         let (q, _) = Quantizer::fit(dt, &data, ClipSearch::GridMse { steps: 128 }).unwrap();
         let max_abs = data.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
-        assert!(q.scale() * 7.0 < max_abs * 0.95, "expected clipping below max");
+        assert!(
+            q.scale() * 7.0 < max_abs * 0.95,
+            "expected clipping below max"
+        );
     }
 
     #[test]
     fn fake_quant_output_is_on_lattice() {
-        let data = sample_vec(Distribution::Gaussian { mean: 0.0, std: 1.0 }, 1024, 17);
+        let data = sample_vec(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            1024,
+            17,
+        );
         let dt = DataType::flint(4, true).unwrap();
         let (q, _) = Quantizer::fit(dt, &data, ClipSearch::default()).unwrap();
         let lattice: Vec<f32> = q.codec().lattice().iter().map(|&v| v * q.scale()).collect();
         for &x in &data {
             let y = q.quantize_dequantize(x);
             assert!(
-                lattice.iter().any(|&l| (l - y).abs() < 1e-6 * (1.0 + l.abs())),
+                lattice
+                    .iter()
+                    .any(|&l| (l - y).abs() < 1e-6 * (1.0 + l.abs())),
                 "{y} not on lattice"
             );
         }
@@ -365,7 +401,14 @@ mod tests {
 
     #[test]
     fn fake_quant_is_idempotent() {
-        let data = sample_vec(Distribution::Gaussian { mean: 0.0, std: 1.0 }, 512, 19);
+        let data = sample_vec(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            512,
+            19,
+        );
         for dt in [
             DataType::int(4, true).unwrap(),
             DataType::flint(4, true).unwrap(),
@@ -389,8 +432,22 @@ mod tests {
         // is forced to cover the wide channel and crushes the narrow one to
         // zero, while per-channel scales fit each (paper Sec. II-B).
         let mut t = Tensor::zeros(&[2, 256]);
-        let a = sample_vec(Distribution::Gaussian { mean: 0.0, std: 1.0 }, 256, 23);
-        let b = sample_vec(Distribution::Gaussian { mean: 0.0, std: 100.0 }, 256, 29);
+        let a = sample_vec(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            256,
+            23,
+        );
+        let b = sample_vec(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 100.0,
+            },
+            256,
+            29,
+        );
         t.channel_mut(0).unwrap().copy_from_slice(&a);
         t.channel_mut(1).unwrap().copy_from_slice(&b);
         let dt = DataType::int(4, true).unwrap();
@@ -415,18 +472,35 @@ mod tests {
 
     #[test]
     fn per_channel_apply_checks_channels() {
-        let t = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[4, 8], 31);
+        let t = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[4, 8],
+            31,
+        );
         let dt = DataType::int(4, true).unwrap();
         let (q, _) =
             TensorQuantizer::fit(dt, &t, Granularity::PerChannel, ClipSearch::default()).unwrap();
         assert_eq!(q.scales().len(), 4);
         let wrong = Tensor::zeros(&[3, 8]);
-        assert!(matches!(q.apply(&wrong), Err(QuantError::ChannelMismatch { .. })));
+        assert!(matches!(
+            q.apply(&wrong),
+            Err(QuantError::ChannelMismatch { .. })
+        ));
     }
 
     #[test]
     fn tensor_quantizer_mse_matches_reported() {
-        let t = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[8, 64], 37);
+        let t = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[8, 64],
+            37,
+        );
         let dt = DataType::flint(4, true).unwrap();
         let (q, fitted_mse) =
             TensorQuantizer::fit(dt, &t, Granularity::PerTensor, ClipSearch::default()).unwrap();

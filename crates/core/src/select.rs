@@ -157,7 +157,12 @@ pub fn select_type(
         }
     }
     let (dtype, quantizer, mse) = best.expect("candidates non-empty");
-    Ok(TypeSelection { dtype, quantizer, mse, per_candidate })
+    Ok(TypeSelection {
+        dtype,
+        quantizer,
+        mse,
+        per_candidate,
+    })
 }
 
 /// Convenience: Algorithm 2 with signedness inferred from the data (the
@@ -206,11 +211,20 @@ mod tests {
         // Gaussian-like distribution also has a long tail"), modelled here
         // as a 1% × 4σ contamination.
         let sel = run(
-            Distribution::OutlierGaussian { std: 1.0, outlier_frac: 0.01, outlier_scale: 4.0 },
+            Distribution::OutlierGaussian {
+                std: 1.0,
+                outlier_frac: 0.01,
+                outlier_scale: 4.0,
+            },
             PrimitiveCombo::IntPotFlint,
             true,
         );
-        assert_eq!(sel.dtype.primitive(), PrimitiveType::Flint, "{:?}", sel.per_candidate);
+        assert_eq!(
+            sel.dtype.primitive(),
+            PrimitiveType::Flint,
+            "{:?}",
+            sel.per_candidate
+        );
     }
 
     #[test]
@@ -218,11 +232,19 @@ mod tests {
         // Without the long tail, a 4-bit int's uniform lattice is optimal —
         // the inter-tensor adaptivity ANT exploits.
         let sel = run(
-            Distribution::Gaussian { mean: 0.0, std: 1.0 },
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
             PrimitiveCombo::IntPotFlint,
             true,
         );
-        assert_eq!(sel.dtype.primitive(), PrimitiveType::Int, "{:?}", sel.per_candidate);
+        assert_eq!(
+            sel.dtype.primitive(),
+            PrimitiveType::Int,
+            "{:?}",
+            sel.per_candidate
+        );
     }
 
     #[test]
@@ -233,7 +255,12 @@ mod tests {
             PrimitiveCombo::IntPotFlint,
             false,
         );
-        assert_eq!(sel.dtype.primitive(), PrimitiveType::Int, "{:?}", sel.per_candidate);
+        assert_eq!(
+            sel.dtype.primitive(),
+            PrimitiveType::Int,
+            "{:?}",
+            sel.per_candidate
+        );
     }
 
     #[test]
@@ -241,11 +268,20 @@ mod tests {
         // Paper Sec. VII-E: activation tensors with significant outliers
         // prefer PoT (or float).
         let sel = run(
-            Distribution::OutlierGaussian { std: 1.0, outlier_frac: 0.002, outlier_scale: 60.0 },
+            Distribution::OutlierGaussian {
+                std: 1.0,
+                outlier_frac: 0.002,
+                outlier_scale: 60.0,
+            },
             PrimitiveCombo::IntPotFlint,
             true,
         );
-        assert_eq!(sel.dtype.primitive(), PrimitiveType::Pot, "{:?}", sel.per_candidate);
+        assert_eq!(
+            sel.dtype.primitive(),
+            PrimitiveType::Pot,
+            "{:?}",
+            sel.per_candidate
+        );
     }
 
     #[test]
@@ -292,7 +328,14 @@ mod tests {
         )
         .unwrap();
         assert!(!sel.dtype.is_signed());
-        let signed = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[2048], 304);
+        let signed = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[2048],
+            304,
+        );
         let sel2 = select_type_auto(
             &signed,
             PrimitiveCombo::IntPotFlint,

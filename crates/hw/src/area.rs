@@ -126,7 +126,13 @@ impl AreaModel {
 
     /// All Table VII rows in paper order.
     pub fn all(self) -> [DesignArea; 5] {
-        [self.ant(), self.bitfusion(), self.olaccel(), self.biscaled(), self.adafloat()]
+        [
+            self.ant(),
+            self.bitfusion(),
+            self.olaccel(),
+            self.biscaled(),
+            self.adafloat(),
+        ]
     }
 }
 
@@ -178,7 +184,11 @@ mod tests {
     fn ant_decoder_overhead_is_two_permille() {
         let ant = AreaModel.ant();
         // Sec. VII-C: "the int-decoder overhead is about 0.2%".
-        assert!((ant.decoder_overhead() - 0.002).abs() < 0.0005, "{}", ant.decoder_overhead());
+        assert!(
+            (ant.decoder_overhead() - 0.002).abs() < 0.0005,
+            "{}",
+            ant.decoder_overhead()
+        );
     }
 
     #[test]
@@ -197,8 +207,11 @@ mod tests {
 
     #[test]
     fn pe_counts_match_table_vii() {
-        let counts: Vec<(String, u32)> =
-            AreaModel.all().iter().map(|d| (d.name.to_string(), d.pe_count)).collect();
+        let counts: Vec<(String, u32)> = AreaModel
+            .all()
+            .iter()
+            .map(|d| (d.name.to_string(), d.pe_count))
+            .collect();
         assert_eq!(
             counts,
             vec![

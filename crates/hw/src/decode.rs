@@ -81,7 +81,10 @@ pub fn decode_flint(code: u32, bits: u32, signed: bool) -> Result<Decoded, Quant
         (false, code)
     };
     let d = decode_flint_magnitude(mag_code, mag_bits);
-    Ok(Decoded { base: if neg { -d.base } else { d.base }, exp: d.exp })
+    Ok(Decoded {
+        base: if neg { -d.base } else { d.base },
+        exp: d.exp,
+    })
 }
 
 /// The unsigned flint datapath of Fig. 6: a leading-zero detector over the
@@ -92,14 +95,23 @@ fn decode_flint_magnitude(code: u32, bits: u32) -> Decoded {
     let msb = code >> (bits - 1) & 1;
     if msb == 0 {
         // Eq. (5)/(6) top row: base = low bits, exp = 0.
-        Decoded { base: low as i32, exp: 0 }
+        Decoded {
+            base: low as i32,
+            exp: 0,
+        }
     } else {
         let lz = lzd(low, bits - 1);
         if !lz.valid {
             // All-zero low field: the max-value code 1000…0.
-            Decoded { base: 1, exp: 2 * (bits - 1) }
+            Decoded {
+                base: 1,
+                exp: 2 * (bits - 1),
+            }
         } else {
-            Decoded { base: (low << 1) as i32, exp: 2 * lz.count }
+            Decoded {
+                base: (low << 1) as i32,
+                exp: 2 * lz.count,
+            }
         }
     }
 }
@@ -140,7 +152,10 @@ pub fn decode_pot(code: u32, bits: u32, signed: bool) -> Decoded {
     if mag == 0 {
         return Decoded { base: 0, exp: 0 };
     }
-    Decoded { base: if neg { -1 } else { 1 }, exp: mag - 1 }
+    Decoded {
+        base: if neg { -1 } else { 1 },
+        exp: mag - 1,
+    }
 }
 
 /// Dispatches on the wire type tag (the decoder mux at the array boundary,
@@ -192,7 +207,11 @@ pub fn decode_flint_float(code: u32, bits: u32, signed: bool) -> Result<FloatFie
         (false, code)
     };
     let fd = flint.decode_float(mag_code);
-    Ok(FloatFields { negative: neg, exp: fd.exp, mantissa: fd.mantissa })
+    Ok(FloatFields {
+        negative: neg,
+        exp: fd.exp,
+        mantissa: fd.mantissa,
+    })
 }
 
 #[cfg(test)]
@@ -205,7 +224,11 @@ mod tests {
             let flint = Flint::new(bits).unwrap();
             for code in 0..(1u32 << bits) {
                 let d = decode_flint(code, bits, false).unwrap();
-                assert_eq!(d.value() as u64, flint.decode(code), "b={bits} code={code:b}");
+                assert_eq!(
+                    d.value() as u64,
+                    flint.decode(code),
+                    "b={bits} code={code:b}"
+                );
             }
         }
     }
@@ -294,8 +317,10 @@ mod tests {
         for code in 0..16u32 {
             let i = decode_flint(code, 4, false).unwrap().value() as f64;
             let f = decode_flint_float(code, 4, false).unwrap();
-            let fv = flint
-                .float_decode_value(ant_core::flint::FloatDecode { exp: f.exp, mantissa: f.mantissa });
+            let fv = flint.float_decode_value(ant_core::flint::FloatDecode {
+                exp: f.exp,
+                mantissa: f.mantissa,
+            });
             assert_eq!(i, fv, "code {code:04b}");
         }
     }

@@ -22,11 +22,20 @@ pub struct LzdResult {
 /// Panics if `width == 0`, `width > 32`, or `x` has bits above `width`.
 pub fn lzd_reference(x: u32, width: u32) -> LzdResult {
     assert!((1..=32).contains(&width), "width {width} out of range");
-    assert!(width == 32 || x < (1u32 << width), "operand wider than field");
+    assert!(
+        width == 32 || x < (1u32 << width),
+        "operand wider than field"
+    );
     if x == 0 {
-        return LzdResult { count: width, valid: false };
+        return LzdResult {
+            count: width,
+            valid: false,
+        };
     }
-    LzdResult { count: width - (x.ilog2() + 1), valid: true }
+    LzdResult {
+        count: width - (x.ilog2() + 1),
+        valid: true,
+    }
 }
 
 /// Structural leading-zero detector: pairwise tree combination of 2-bit
@@ -37,7 +46,10 @@ pub fn lzd_reference(x: u32, width: u32) -> LzdResult {
 /// Same conditions as [`lzd_reference`].
 pub fn lzd(x: u32, width: u32) -> LzdResult {
     assert!((1..=32).contains(&width), "width {width} out of range");
-    assert!(width == 32 || x < (1u32 << width), "operand wider than field");
+    assert!(
+        width == 32 || x < (1u32 << width),
+        "operand wider than field"
+    );
     // Pad to the next power of two on the LEFT with ones is wrong — the
     // hardware pads on the right (LSB side) with ones so padding never
     // claims leading zeros. Equivalent: operate on a padded word where the
@@ -48,22 +60,34 @@ pub fn lzd(x: u32, width: u32) -> LzdResult {
     let padded = (x << pad) | ((1u32.checked_shl(pad).unwrap_or(0)).wrapping_sub(1));
     let r = lzd_tree(padded, padded_width);
     let count = r.count.min(width);
-    LzdResult { count, valid: count < width || x != 0 && r.valid }
+    LzdResult {
+        count,
+        valid: count < width || x != 0 && r.valid,
+    }
 }
 
 /// Recursive pairwise combine: an n-bit LZD from two n/2-bit LZDs.
 fn lzd_tree(x: u32, width: u32) -> LzdResult {
     if width == 1 {
         let bit = x & 1;
-        return LzdResult { count: 1 - bit, valid: bit == 1 };
+        return LzdResult {
+            count: 1 - bit,
+            valid: bit == 1,
+        };
     }
     let half = width / 2;
     let hi = lzd_tree(x >> half, half);
     let lo = lzd_tree(x & ((1u32 << half) - 1), half);
     if hi.valid {
-        LzdResult { count: hi.count, valid: true }
+        LzdResult {
+            count: hi.count,
+            valid: true,
+        }
     } else {
-        LzdResult { count: half + lo.count, valid: lo.valid }
+        LzdResult {
+            count: half + lo.count,
+            valid: lo.valid,
+        }
     }
 }
 
@@ -75,7 +99,11 @@ mod tests {
     fn matches_reference_exhaustively_for_small_widths() {
         for width in 1..=10u32 {
             for x in 0..(1u32 << width) {
-                assert_eq!(lzd(x, width), lzd_reference(x, width), "x={x:b} width={width}");
+                assert_eq!(
+                    lzd(x, width),
+                    lzd_reference(x, width),
+                    "x={x:b} width={width}"
+                );
             }
         }
     }

@@ -28,7 +28,11 @@ impl Accumulator {
     /// Panics when `width` is outside `2..=64`.
     pub fn new(width: u32) -> Self {
         assert!((2..=64).contains(&width), "accumulator width {width}");
-        Accumulator { width, value: 0, overflowed: false }
+        Accumulator {
+            width,
+            value: 0,
+            overflowed: false,
+        }
     }
 
     /// Register width in bits.

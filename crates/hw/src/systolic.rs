@@ -73,7 +73,10 @@ impl DecodedMatrix {
     ///
     /// Panics when out of bounds.
     pub fn get(&self, r: usize, c: usize) -> Decoded {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -114,7 +117,10 @@ impl SystolicArray {
     /// Panics if `size == 0` or `acc_width` is outside `2..=64`.
     pub fn new(size: usize, acc_width: u32) -> Self {
         assert!(size > 0, "array size must be positive");
-        assert!((2..=64).contains(&acc_width), "accumulator width {acc_width}");
+        assert!(
+            (2..=64).contains(&acc_width),
+            "accumulator width {acc_width}"
+        );
         SystolicArray { size, acc_width }
     }
 
@@ -425,14 +431,8 @@ mod tests {
 
     #[test]
     fn decoded_matrix_validation() {
-        let d = DecodedMatrix::from_codes(
-            2,
-            2,
-            &[0, 1, 2, 3],
-            4,
-            WireType::Int { signed: false },
-        )
-        .unwrap();
+        let d = DecodedMatrix::from_codes(2, 2, &[0, 1, 2, 3], 4, WireType::Int { signed: false })
+            .unwrap();
         assert_eq!(d.values(), vec![0, 1, 2, 3]);
         assert_eq!(d.get(1, 1).value(), 3);
     }

@@ -82,8 +82,7 @@ impl Layer for LayerNorm {
             let hi = lo + self.dim;
             let slice = &x.as_slice()[lo..hi];
             let mean = slice.iter().sum::<f32>() / self.dim as f32;
-            let var =
-                slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / self.dim as f32;
+            let var = slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / self.dim as f32;
             let istd = 1.0 / (var + self.eps).sqrt();
             inv_std.push(istd);
             for (k, &v) in slice.iter().enumerate() {
@@ -97,10 +96,9 @@ impl Layer for LayerNorm {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
-        let cache = self
-            .cache
-            .as_ref()
-            .ok_or_else(|| NnError::NoForwardState { layer: self.name.clone() })?;
+        let cache = self.cache.as_ref().ok_or_else(|| NnError::NoForwardState {
+            layer: self.name.clone(),
+        })?;
         let groups = grad.len() / self.dim;
         let mut dx = grad.clone();
         let g = self.gamma.value.as_slice();
@@ -121,8 +119,7 @@ impl Layer for LayerNorm {
             let sum_gyg_xh: f32 = gyg.iter().zip(xh).map(|(a, b)| a * b).sum();
             let istd = cache.inv_std[gi];
             for k in 0..self.dim {
-                dx.as_mut_slice()[lo + k] =
-                    istd / d * (d * gyg[k] - sum_gyg - xh[k] * sum_gyg_xh);
+                dx.as_mut_slice()[lo + k] = istd / d * (d * gyg[k] - sum_gyg - xh[k] * sum_gyg_xh);
             }
         }
         Ok(dx)
@@ -153,12 +150,12 @@ pub struct Attention {
 
 #[derive(Debug, Clone)]
 struct AttnCache {
-    x: Tensor,              // [batch, seq*dim] (post activation-quant)
-    q: Vec<Tensor>,         // per-sample [seq, dim]
+    x: Tensor,      // [batch, seq*dim] (post activation-quant)
+    q: Vec<Tensor>, // per-sample [seq, dim]
     k: Vec<Tensor>,
     v: Vec<Tensor>,
-    a: Vec<Tensor>,         // per-sample [seq, seq] softmax
-    o: Vec<Tensor>,         // per-sample [seq, dim]
+    a: Vec<Tensor>, // per-sample [seq, seq] softmax
+    o: Vec<Tensor>, // per-sample [seq, dim]
 }
 
 impl Attention {
@@ -167,7 +164,10 @@ impl Attention {
         let bound = (3.0 / dim as f32).sqrt();
         let mk = |s| {
             ant_tensor::dist::sample_tensor(
-                ant_tensor::dist::Distribution::Uniform { lo: -bound, hi: bound },
+                ant_tensor::dist::Distribution::Uniform {
+                    lo: -bound,
+                    hi: bound,
+                },
                 &[dim, dim],
                 s,
             )
@@ -187,7 +187,12 @@ impl Attention {
 
     /// The four projection weights (q, k, v, o) for quantization analysis.
     pub fn projection_weights(&self) -> [&Tensor; 4] {
-        [&self.wq.value, &self.wk.value, &self.wv.value, &self.wo.value]
+        [
+            &self.wq.value,
+            &self.wk.value,
+            &self.wv.value,
+            &self.wo.value,
+        ]
     }
 
     fn effective(&self, which: usize) -> Result<Tensor, NnError> {
@@ -277,10 +282,9 @@ impl Layer for Attention {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
-        let cache = self
-            .cache
-            .take()
-            .ok_or_else(|| NnError::NoForwardState { layer: self.name.clone() })?;
+        let cache = self.cache.take().ok_or_else(|| NnError::NoForwardState {
+            layer: self.name.clone(),
+        })?;
         let batch = grad.dims()[0];
         let wq = self.effective(0)?;
         let wk = self.effective(1)?;
@@ -295,7 +299,10 @@ impl Layer for Attention {
             let mut dx = gy.clone();
             // Output projection: y = o · woᵀ.
             let do_ = linalg::matmul(&gy, &wo)?;
-            self.wo.grad = self.wo.grad.add(&linalg::matmul(&gy.transpose()?, &cache.o[s])?)?;
+            self.wo.grad = self
+                .wo
+                .grad
+                .add(&linalg::matmul(&gy.transpose()?, &cache.o[s])?)?;
             // o = a · v.
             let da = linalg::matmul(&do_, &cache.v[s].transpose()?)?;
             let dv = linalg::matmul(&cache.a[s].transpose()?, &do_)?;
@@ -340,14 +347,21 @@ mod tests {
     use ant_tensor::dist::{sample_tensor, Distribution};
 
     fn gaussian(dims: &[usize], seed: u64) -> Tensor {
-        sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, dims, seed)
+        sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            dims,
+            seed,
+        )
     }
 
     #[test]
     fn layernorm_normalises_groups() {
         let mut ln = LayerNorm::new("ln", 4);
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 8])
-            .unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 8]).unwrap();
         let y = ln.forward(&x).unwrap();
         for g in 0..2 {
             let s = &y.as_slice()[g * 4..(g + 1) * 4];
@@ -444,7 +458,10 @@ mod tests {
     #[test]
     fn attention_rejects_bad_shapes() {
         let mut at = Attention::init("attn", 4, 8, 41);
-        assert!(matches!(at.forward(&Tensor::zeros(&[1, 31])), Err(NnError::BadInput { .. })));
+        assert!(matches!(
+            at.forward(&Tensor::zeros(&[1, 31])),
+            Err(NnError::BadInput { .. })
+        ));
         assert!(matches!(
             Attention::init("a2", 4, 8, 43).backward(&Tensor::zeros(&[1, 32])),
             Err(NnError::NoForwardState { .. })

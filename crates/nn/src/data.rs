@@ -45,7 +45,11 @@ impl Dataset {
         if labels.iter().any(|&l| l >= num_classes) {
             return Err(NnError::BadDataset("label out of range".to_string()));
         }
-        Ok(Dataset { inputs, labels, num_classes })
+        Ok(Dataset {
+            inputs,
+            labels,
+            num_classes,
+        })
     }
 
     /// Number of samples.
@@ -148,8 +152,8 @@ pub fn blobs(n: usize, dim: usize, classes: usize, spread: f32, seed: u64) -> Da
     for i in 0..n {
         let c = i % classes;
         labels.push(c);
-        for d in 0..dim {
-            data.push(centres[c][d] + spread * standard_normal(&mut rng));
+        for &centre in &centres[c] {
+            data.push(centre + spread * standard_normal(&mut rng));
         }
     }
     Dataset::new(
@@ -170,19 +174,19 @@ pub fn shapes(n: usize, noise: f32, seed: u64) -> Dataset {
     for i in 0..n {
         let class = i % 4;
         labels.push(class);
-        let cx = rng.gen_range(4..8);
-        let cy = rng.gen_range(4..8);
-        let r = rng.gen_range(2..4);
+        let cx: i32 = rng.gen_range(4..8);
+        let cy: i32 = rng.gen_range(4..8);
+        let r: i32 = rng.gen_range(2..4);
         let mut img = [0.0f32; SIDE * SIDE];
         for y in 0..SIDE as i32 {
             for x in 0..SIDE as i32 {
                 let dx = x - cx;
                 let dy = y - cy;
                 let on = match class {
-                    0 => dx * dx + dy * dy <= r * r, // disk
-                    1 => dx.abs().max(dy.abs()) == r, // square frame
+                    0 => dx * dx + dy * dy <= r * r,                          // disk
+                    1 => dx.abs().max(dy.abs()) == r,                         // square frame
                     2 => (dx == 0 || dy == 0) && dx.abs().max(dy.abs()) <= r, // cross
-                    _ => (x + y).rem_euclid(3) == 0, // diagonal stripes
+                    _ => (x + y).rem_euclid(3) == 0,                          // diagonal stripes
                 };
                 let v = if on { 1.0 } else { 0.0 };
                 img[(y as usize) * SIDE + x as usize] = v + noise * standard_normal(&mut rng);
@@ -207,8 +211,9 @@ pub fn motifs(n: usize, seq: usize, dim: usize, classes: usize, seed: u64) -> Da
     const VOCAB: usize = 12;
     let mut rng = StdRng::seed_from_u64(seed);
     // Frozen embedding table.
-    let embed: Vec<f32> =
-        (0..VOCAB * dim).map(|_| standard_normal(&mut rng)).collect();
+    let embed: Vec<f32> = (0..VOCAB * dim)
+        .map(|_| standard_normal(&mut rng))
+        .collect();
     // Distinct motifs.
     let motifs: Vec<[usize; 3]> = (0..classes)
         .map(|c| [(c * 2) % VOCAB, (c * 2 + 1) % VOCAB, (c * 2 + 2) % VOCAB])
@@ -303,10 +308,16 @@ mod tests {
             let row = &d.inputs().as_slice()[i * f..(i + 1) * f];
             let pred = (0..4)
                 .min_by(|&a, &b| {
-                    let da: f32 =
-                        centres[a].iter().zip(row).map(|(c, v)| (c - v) * (c - v)).sum();
-                    let db: f32 =
-                        centres[b].iter().zip(row).map(|(c, v)| (c - v) * (c - v)).sum();
+                    let da: f32 = centres[a]
+                        .iter()
+                        .zip(row)
+                        .map(|(c, v)| (c - v) * (c - v))
+                        .sum();
+                    let db: f32 = centres[b]
+                        .iter()
+                        .zip(row)
+                        .map(|(c, v)| (c - v) * (c - v))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();
@@ -322,14 +333,25 @@ mod tests {
         let d = shapes(40, 0.0, 5);
         assert_eq!(d.features(), 144);
         assert_eq!(d.num_classes(), 4);
-        // Class 0 (disk) has more lit pixels than class 2 (cross).
+        // Disks (class 0) light more pixels than crosses (class 2) on
+        // average: a single pair can tie (disk r=2 and cross r=3 both lit
+        // 13 pixels), so compare class means over the whole dataset.
         let lit = |i: usize| {
             d.inputs().as_slice()[i * 144..(i + 1) * 144]
                 .iter()
                 .filter(|&&v| v > 0.5)
                 .count()
         };
-        assert!(lit(0) > lit(2), "disk {} vs cross {}", lit(0), lit(2));
+        let class_mean = |class: usize| {
+            let idx: Vec<usize> = (0..d.len()).filter(|&i| d.labels()[i] == class).collect();
+            idx.iter().map(|&i| lit(i)).sum::<usize>() as f64 / idx.len() as f64
+        };
+        assert!(
+            class_mean(0) > class_mean(2),
+            "disk {} vs cross {}",
+            class_mean(0),
+            class_mean(2)
+        );
     }
 
     #[test]

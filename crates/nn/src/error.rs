@@ -66,14 +66,19 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        let e = NnError::BadInput { layer: "fc1".into(), reason: "rank 3".into() };
+        let e = NnError::BadInput {
+            layer: "fc1".into(),
+            reason: "rank 3".into(),
+        };
         assert!(e.to_string().contains("fc1"));
         assert!(e.source().is_none());
         let t: NnError = ant_tensor::TensorError::Empty.into();
         assert!(t.source().is_some());
         let q: NnError = ant_core::QuantError::EmptyCalibration.into();
         assert!(q.source().is_some());
-        assert!(!NnError::NoForwardState { layer: "x".into() }.to_string().is_empty());
+        assert!(!NnError::NoForwardState { layer: "x".into() }
+            .to_string()
+            .is_empty());
         assert!(!NnError::BadDataset("empty".into()).to_string().is_empty());
     }
 }

@@ -30,7 +30,10 @@ fn gelu_grad(x: f32) -> f32 {
 impl Gelu {
     /// Creates a GELU layer.
     pub fn new(name: impl Into<String>) -> Self {
-        Gelu { name: name.into(), cached_input: None }
+        Gelu {
+            name: name.into(),
+            cached_input: None,
+        }
     }
 }
 
@@ -48,7 +51,9 @@ impl Layer for Gelu {
         let x = self
             .cached_input
             .as_ref()
-            .ok_or_else(|| NnError::NoForwardState { layer: self.name.clone() })?;
+            .ok_or_else(|| NnError::NoForwardState {
+                layer: self.name.clone(),
+            })?;
         Ok(grad.zip_with(x, |g, xi| g * gelu_grad(xi))?)
     }
 
@@ -82,8 +87,7 @@ mod tests {
             xp.as_mut_slice()[i] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[i] -= eps;
-            let numeric =
-                (xp.map(gelu).as_slice()[i] - xm.map(gelu).as_slice()[i]) / (2.0 * eps);
+            let numeric = (xp.map(gelu).as_slice()[i] - xm.map(gelu).as_slice()[i]) / (2.0 * eps);
             assert!(
                 (numeric - dx.as_slice()[i]).abs() < 1e-3,
                 "grad[{i}]: {numeric} vs {}",

@@ -126,7 +126,10 @@ impl Dense {
     pub fn init(name: impl Into<String>, out: usize, inp: usize, seed: u64) -> Self {
         let bound = (6.0 / inp as f32).sqrt();
         let w = ant_tensor::dist::sample_tensor(
-            ant_tensor::dist::Distribution::Uniform { lo: -bound, hi: bound },
+            ant_tensor::dist::Distribution::Uniform {
+                lo: -bound,
+                hi: bound,
+            },
             &[out, inp],
             seed,
         );
@@ -194,7 +197,9 @@ impl Layer for Dense {
         let x = self
             .cached_input
             .as_ref()
-            .ok_or_else(|| NnError::NoForwardState { layer: self.name.clone() })?;
+            .ok_or_else(|| NnError::NoForwardState {
+                layer: self.name.clone(),
+            })?;
         // STE: gradients are computed with the quantized weight but applied
         // to the master copy.
         let wq = self.effective_weight()?;
@@ -232,7 +237,10 @@ pub struct Relu {
 impl Relu {
     /// Creates a ReLU layer.
     pub fn new(name: impl Into<String>) -> Self {
-        Relu { name: name.into(), mask: None }
+        Relu {
+            name: name.into(),
+            mask: None,
+        }
     }
 }
 
@@ -247,10 +255,9 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
-        let mask = self
-            .mask
-            .as_ref()
-            .ok_or_else(|| NnError::NoForwardState { layer: self.name.clone() })?;
+        let mask = self.mask.as_ref().ok_or_else(|| NnError::NoForwardState {
+            layer: self.name.clone(),
+        })?;
         if mask.len() != grad.len() {
             return Err(NnError::BadInput {
                 layer: self.name.clone(),
@@ -329,7 +336,10 @@ impl Conv2d {
         let fan_in = (ci * kernel * kernel) as f32;
         let bound = (6.0 / fan_in).sqrt();
         let w = ant_tensor::dist::sample_tensor(
-            ant_tensor::dist::Distribution::Uniform { lo: -bound, hi: bound },
+            ant_tensor::dist::Distribution::Uniform {
+                lo: -bound,
+                hi: bound,
+            },
             &[co, ci, kernel, kernel],
             seed,
         );
@@ -418,7 +428,9 @@ impl Layer for Conv2d {
         let cols_cache = self
             .cached_cols
             .as_ref()
-            .ok_or_else(|| NnError::NoForwardState { layer: self.name.clone() })?;
+            .ok_or_else(|| NnError::NoForwardState {
+                layer: self.name.clone(),
+            })?;
         let (ci, h, w) = self.in_shape;
         let (co, oh, ow) = self.out_shape();
         let batch = self.cached_batch;
@@ -434,10 +446,9 @@ impl Layer for Conv2d {
         let n = oh * ow;
         let mut dx = Tensor::zeros(&[batch, ci * h * w]);
         let mut dwmat = Tensor::zeros(&[co, ci * kk]);
-        for s in 0..batch {
+        for (s, cols) in cols_cache.iter().enumerate() {
             let gy = Tensor::from_vec(grad.channel(s)?.to_vec(), &[co, n])?;
             // dW += gy · colsᵀ ; dcols = Wᵀ · gy ; dx = col2im(dcols).
-            let cols = &cols_cache[s];
             dwmat = dwmat.add(&linalg::matmul(&gy, &cols.transpose()?)?)?;
             let dcols = linalg::matmul(&wmat.transpose()?, &gy)?;
             col2im_accumulate(&dcols, ci, h, w, self.geo, dx.channel_mut(s)?);
@@ -489,8 +500,7 @@ fn col2im_accumulate(
                         if ix < 0 || ix as usize >= w {
                             continue;
                         }
-                        out[(c * h + iy as usize) * w + ix as usize] +=
-                            dv[r * cols + oy * ow + ox];
+                        out[(c * h + iy as usize) * w + ix as usize] += dv[r * cols + oy * ow + ox];
                     }
                 }
             }
@@ -518,8 +528,16 @@ impl MaxPool2 {
     ///
     /// Panics if `h` or `w` is not even.
     pub fn new(name: impl Into<String>, in_shape: (usize, usize, usize)) -> Self {
-        assert!(in_shape.1.is_multiple_of(2) && in_shape.2.is_multiple_of(2), "pool needs even extents");
-        MaxPool2 { name: name.into(), in_shape, argmax: None, cached_batch: 0 }
+        assert!(
+            in_shape.1.is_multiple_of(2) && in_shape.2.is_multiple_of(2),
+            "pool needs even extents"
+        );
+        MaxPool2 {
+            name: name.into(),
+            in_shape,
+            argmax: None,
+            cached_batch: 0,
+        }
     }
 
     /// Output `(c, h, w)`.
@@ -587,7 +605,9 @@ impl Layer for MaxPool2 {
         let argmax = self
             .argmax
             .as_ref()
-            .ok_or_else(|| NnError::NoForwardState { layer: self.name.clone() })?;
+            .ok_or_else(|| NnError::NoForwardState {
+                layer: self.name.clone(),
+            })?;
         let (c, h, w) = self.in_shape;
         let per_sample = grad.len() / self.cached_batch.max(1);
         let mut dx = Tensor::zeros(&[self.cached_batch, c * h * w]);
@@ -644,7 +664,10 @@ mod tests {
     fn dense_gradient_check() {
         let mut d = Dense::init("fc", 3, 4, 42);
         let x = ant_tensor::dist::sample_tensor(
-            ant_tensor::dist::Distribution::Gaussian { mean: 0.0, std: 1.0 },
+            ant_tensor::dist::Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
             &[2, 4],
             7,
         );
@@ -698,7 +721,10 @@ mod tests {
     fn conv_gradient_check() {
         let mut c = Conv2d::init("conv", 2, (1, 6, 6), 3, 1, 1, 5);
         let x = ant_tensor::dist::sample_tensor(
-            ant_tensor::dist::Distribution::Gaussian { mean: 0.0, std: 1.0 },
+            ant_tensor::dist::Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
             &[2, 36],
             9,
         );
@@ -709,7 +735,10 @@ mod tests {
     fn conv_matches_tensor_linalg() {
         let mut c = Conv2d::init("conv", 3, (2, 5, 5), 3, 1, 0, 11);
         let x = ant_tensor::dist::sample_tensor(
-            ant_tensor::dist::Distribution::Gaussian { mean: 0.0, std: 1.0 },
+            ant_tensor::dist::Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
             &[1, 50],
             13,
         );
@@ -718,7 +747,7 @@ mod tests {
         let reference = linalg::conv2d(
             &sample,
             c.weight(),
-            Some(&vec![0.0; 3]),
+            Some(&[0.0; 3]),
             Conv2dGeometry::new(3, 3, 1, 0).unwrap(),
         )
         .unwrap();
@@ -736,7 +765,13 @@ mod tests {
         let y = p.forward(&x).unwrap();
         // 4x4 grid of 0..15: maxima of each 2x2 block are 5, 7, 13, 15.
         assert_eq!(y.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
-        let dx = p.backward(&Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]).reshape(&[1, 4]).unwrap()).unwrap();
+        let dx = p
+            .backward(
+                &Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0])
+                    .reshape(&[1, 4])
+                    .unwrap(),
+            )
+            .unwrap();
         assert_eq!(dx.as_slice()[5], 1.0);
         assert_eq!(dx.as_slice()[7], 2.0);
         assert_eq!(dx.as_slice()[13], 3.0);

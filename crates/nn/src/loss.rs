@@ -13,10 +13,7 @@ use ant_tensor::Tensor;
 ///
 /// Returns [`NnError::BadDataset`] when labels disagree with the batch or a
 /// label is out of range.
-pub fn softmax_cross_entropy(
-    logits: &Tensor,
-    labels: &[usize],
-) -> Result<(f32, Tensor), NnError> {
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), NnError> {
     if logits.rank() != 2 || logits.dims()[0] != labels.len() {
         return Err(NnError::BadDataset(format!(
             "logits {:?} vs {} labels",
@@ -126,8 +123,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.9, 0.1], &[3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.9, 0.1], &[3, 2]).unwrap();
         let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-9);
         assert!(accuracy(&logits, &[0]).is_err());

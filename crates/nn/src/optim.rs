@@ -24,7 +24,11 @@ impl Sgd {
     pub fn new(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate {lr}");
         assert!((0.0..1.0).contains(&momentum), "momentum {momentum}");
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Current learning rate.
@@ -50,9 +54,17 @@ impl Sgd {
                 velocity.push(vec![0.0; p.value.len()]);
             }
             let v = &mut velocity[idx];
-            debug_assert_eq!(v.len(), p.value.len(), "parameter shape changed mid-training");
-            for ((w, g), vel) in
-                p.value.as_mut_slice().iter_mut().zip(p.grad.as_slice()).zip(v.iter_mut())
+            debug_assert_eq!(
+                v.len(),
+                p.value.len(),
+                "parameter shape changed mid-training"
+            );
+            for ((w, g), vel) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .zip(v.iter_mut())
             {
                 *vel = momentum * *vel - lr * g;
                 *w += *vel;
@@ -83,7 +95,15 @@ impl Adam {
     /// Panics unless `lr > 0`.
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate {lr}");
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Applies one update step from the accumulated gradients, then zeroes
@@ -133,7 +153,14 @@ mod tests {
     #[test]
     fn sgd_reduces_loss_on_fixed_batch() {
         let mut model = mlp(8, 3, 11);
-        let x = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[16, 8], 12);
+        let x = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[16, 8],
+            12,
+        );
         let labels: Vec<usize> = (0..16).map(|i| i % 3).collect();
         let mut opt = Sgd::new(0.1, 0.9);
         let mut first = None;
@@ -152,7 +179,14 @@ mod tests {
     #[test]
     fn adam_reduces_loss_on_fixed_batch() {
         let mut model = mlp(8, 3, 13);
-        let x = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[16, 8], 14);
+        let x = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[16, 8],
+            14,
+        );
         let labels: Vec<usize> = (0..16).map(|i| (i * 2) % 3).collect();
         let mut opt = Adam::new(0.01);
         let mut first = None;
@@ -171,7 +205,14 @@ mod tests {
     #[test]
     fn step_zeroes_gradients() {
         let mut model = mlp(4, 2, 15);
-        let x = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[4, 4], 16);
+        let x = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[4, 4],
+            16,
+        );
         let logits = model.forward(&x).unwrap();
         let (_, grad) = softmax_cross_entropy(&logits, &[0, 1, 0, 1]).unwrap();
         model.backward(&grad).unwrap();

@@ -81,14 +81,18 @@ pub fn capture_layer_inputs(
     let mut inputs = Vec::with_capacity(model.layers().len());
     let mut cur = x.clone();
     for layer in model.layers_mut() {
-        inputs.push(if layer.is_quantizable() { Some(cur.clone()) } else { None });
+        inputs.push(if layer.is_quantizable() {
+            Some(cur.clone())
+        } else {
+            None
+        });
         cur = match layer {
             NetLayer::Dense(l) => crate::layer::Layer::forward(l, &cur)?,
             NetLayer::Relu(l) => crate::layer::Layer::forward(l, &cur)?,
             NetLayer::Conv(l) => crate::layer::Layer::forward(l, &cur)?,
             NetLayer::Pool(l) => crate::layer::Layer::forward(l, &cur)?,
             NetLayer::Norm(l) => crate::layer::Layer::forward(l, &cur)?,
-            NetLayer::Attn(l) => crate::layer::Layer::forward(l, &cur)?,
+            NetLayer::Attn(l) => crate::layer::Layer::forward(l.as_mut(), &cur)?,
             NetLayer::Gelu(l) => crate::layer::Layer::forward(l, &cur)?,
         };
     }
@@ -171,8 +175,11 @@ pub fn quantize_layer(
         }
         NetLayer::Attn(l) => {
             let mut weights = Vec::with_capacity(4);
-            let projections: Vec<Tensor> =
-                l.projection_weights().iter().map(|w| (*w).clone()).collect();
+            let projections: Vec<Tensor> = l
+                .projection_weights()
+                .iter()
+                .map(|w| (*w).clone())
+                .collect();
             for (i, w) in projections.iter().enumerate() {
                 let wsel = select_type(
                     w,
@@ -352,11 +359,17 @@ impl MixedPrecisionTarget for QatHarness {
             },
         };
         let model_index = self.reports[layer].layer_index;
-        let input = self.captured[model_index].clone().expect("quantizable layer has input");
-        let report =
-            quantize_layer(&mut self.model.layers_mut()[model_index], model_index, &input, spec)
-                .expect("requantization of a previously quantized layer")
-                .expect("layer is quantizable");
+        let input = self.captured[model_index]
+            .clone()
+            .expect("quantizable layer has input");
+        let report = quantize_layer(
+            &mut self.model.layers_mut()[model_index],
+            model_index,
+            &input,
+            spec,
+        )
+        .expect("requantization of a previously quantized layer")
+        .expect("layer is quantizable");
         self.reports[layer] = report;
     }
 
@@ -394,7 +407,9 @@ impl TypeRatio {
                 *map.entry(dt.to_string()).or_insert(0usize) += 1;
             }
         }
-        TypeRatio { counts: map.into_iter().collect() }
+        TypeRatio {
+            counts: map.into_iter().collect(),
+        }
     }
 
     /// Fraction of tensors using a type whose label starts with `prefix`.
@@ -427,7 +442,13 @@ mod tests {
         train(
             &mut model,
             &train_set,
-            TrainConfig { epochs: 12, batch_size: 32, lr: 0.05, momentum: 0.9, seed: 5 },
+            TrainConfig {
+                epochs: 12,
+                batch_size: 32,
+                lr: 0.05,
+                momentum: 0.9,
+                seed: 5,
+            },
         )
         .unwrap();
         (model, train_set, test_set)
@@ -462,7 +483,10 @@ mod tests {
         }
         // Post-ReLU activations must have selected unsigned types.
         let act_dt = reports[1].activation.unwrap().0;
-        assert!(!act_dt.is_signed(), "post-ReLU activation should be unsigned");
+        assert!(
+            !act_dt.is_signed(),
+            "post-ReLU activation should be unsigned"
+        );
     }
 
     #[test]
@@ -479,7 +503,13 @@ mod tests {
             calib,
             train_set,
             test_set,
-            TrainConfig { epochs: 4, batch_size: 32, lr: 0.02, momentum: 0.9, seed: 7 },
+            TrainConfig {
+                epochs: 4,
+                batch_size: 32,
+                lr: 0.02,
+                momentum: 0.9,
+                seed: 7,
+            },
         )
         .unwrap();
         let ptq_acc = harness.test_accuracy().unwrap();
@@ -505,13 +535,22 @@ mod tests {
             calib,
             train_set,
             test_set,
-            TrainConfig { epochs: 2, batch_size: 32, lr: 0.02, momentum: 0.9, seed: 8 },
+            TrainConfig {
+                epochs: 2,
+                batch_size: 32,
+                lr: 0.02,
+                momentum: 0.9,
+                seed: 8,
+            },
         )
         .unwrap();
         let report = run_mixed_precision(
             &mut harness,
             fp32_acc,
-            MixedPrecisionConfig { threshold: 0.02, max_promotions: None },
+            MixedPrecisionConfig {
+                threshold: 0.02,
+                max_promotions: None,
+            },
         );
         // With fine-tuning, the small MLP task converges within threshold.
         assert!(report.converged, "trace: {:?}", report.metric_trace);
@@ -531,7 +570,9 @@ mod tests {
         let ratio = TypeRatio::from_reports(&reports);
         let total: usize = ratio.counts.iter().map(|(_, c)| c).sum();
         assert_eq!(total, 6); // 3 weights + 3 activations
-        let all = ratio.fraction("int") + ratio.fraction("pot") + ratio.fraction("flint")
+        let all = ratio.fraction("int")
+            + ratio.fraction("pot")
+            + ratio.fraction("flint")
             + ratio.fraction("float");
         assert!((all - 1.0).abs() < 1e-9);
     }

@@ -23,7 +23,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 10, batch_size: 32, lr: 0.05, momentum: 0.9, seed: 0 }
+        TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            seed: 0,
+        }
     }
 }
 
@@ -49,7 +55,9 @@ pub fn train(
         return Err(NnError::BadDataset("empty training set".to_string()));
     }
     let mut opt = Sgd::new(cfg.lr, cfg.momentum);
-    let mut history = TrainHistory { loss: Vec::with_capacity(cfg.epochs) };
+    let mut history = TrainHistory {
+        loss: Vec::with_capacity(cfg.epochs),
+    };
     for epoch in 0..cfg.epochs {
         let order = data.shuffled_indices(cfg.seed.wrapping_add(epoch as u64));
         let mut epoch_loss = 0.0f64;
@@ -63,7 +71,9 @@ pub fn train(
             epoch_loss += loss as f64;
             batches += 1;
         }
-        history.loss.push((epoch_loss / batches.max(1) as f64) as f32);
+        history
+            .loss
+            .push((epoch_loss / batches.max(1) as f64) as f32);
     }
     Ok(history)
 }
@@ -93,11 +103,21 @@ mod tests {
         let hist = train(
             &mut model,
             &train_set,
-            TrainConfig { epochs: 15, batch_size: 32, lr: 0.05, momentum: 0.9, seed: 1 },
+            TrainConfig {
+                epochs: 15,
+                batch_size: 32,
+                lr: 0.05,
+                momentum: 0.9,
+                seed: 1,
+            },
         )
         .unwrap();
         let after = evaluate(&mut model, &test_set).unwrap();
-        assert!(after > 0.9, "accuracy {before} -> {after}, loss {:?}", hist.loss);
+        assert!(
+            after > 0.9,
+            "accuracy {before} -> {after}, loss {:?}",
+            hist.loss
+        );
         assert!(hist.loss.last().unwrap() < hist.loss.first().unwrap());
     }
 
@@ -109,7 +129,13 @@ mod tests {
         let _ = train(
             &mut model,
             &train_set,
-            TrainConfig { epochs: 8, batch_size: 16, lr: 0.05, momentum: 0.9, seed: 2 },
+            TrainConfig {
+                epochs: 8,
+                batch_size: 16,
+                lr: 0.05,
+                momentum: 0.9,
+                seed: 2,
+            },
         )
         .unwrap();
         let acc = evaluate(&mut model, &test_set).unwrap();
@@ -124,7 +150,13 @@ mod tests {
         let _ = train(
             &mut model,
             &train_set,
-            TrainConfig { epochs: 20, batch_size: 32, lr: 0.03, momentum: 0.9, seed: 3 },
+            TrainConfig {
+                epochs: 20,
+                batch_size: 32,
+                lr: 0.03,
+                momentum: 0.9,
+                seed: 3,
+            },
         )
         .unwrap();
         let acc = evaluate(&mut model, &test_set).unwrap();
@@ -135,12 +167,8 @@ mod tests {
     fn train_rejects_empty_dataset() {
         let data = blobs(10, 2, 2, 0.1, 1);
         let (_, tiny) = data.split(0.5);
-        let empty = crate::data::Dataset::new(
-            ant_tensor::Tensor::zeros(&[0, 2]),
-            vec![],
-            2,
-        )
-        .unwrap();
+        let empty =
+            crate::data::Dataset::new(ant_tensor::Tensor::zeros(&[0, 2]), vec![], 2).unwrap();
         let mut model = mlp(2, 2, 1);
         assert!(train(&mut model, &empty, TrainConfig::default()).is_err());
         let _ = tiny;

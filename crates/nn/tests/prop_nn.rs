@@ -9,7 +9,14 @@ use ant_tensor::Tensor;
 use proptest::prelude::*;
 
 fn gaussian(dims: &[usize], seed: u64) -> Tensor {
-    sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, dims, seed)
+    sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        dims,
+        seed,
+    )
 }
 
 proptest! {

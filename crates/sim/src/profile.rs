@@ -59,22 +59,34 @@ pub enum TensorProfile {
 impl TensorProfile {
     /// The default CNN activation profile.
     pub fn cnn_act() -> Self {
-        TensorProfile::CnnAct { frac: 0.01, scale: 4.0 }
+        TensorProfile::CnnAct {
+            frac: 0.01,
+            scale: 4.0,
+        }
     }
 
     /// The default CNN weight profile.
     pub fn cnn_weight() -> Self {
-        TensorProfile::CnnWeight { frac: 0.01, scale: 4.0 }
+        TensorProfile::CnnWeight {
+            frac: 0.01,
+            scale: 4.0,
+        }
     }
 
     /// The default attention-projection weight profile.
     pub fn attn_weight() -> Self {
-        TensorProfile::AttnWeight { frac: 0.015, scale: 4.5 }
+        TensorProfile::AttnWeight {
+            frac: 0.015,
+            scale: 4.5,
+        }
     }
 
     /// The default ViT activation profile (milder outliers than BERT's).
     pub fn vit_act() -> Self {
-        TensorProfile::BertAct { frac: 0.005, scale: 8.0 }
+        TensorProfile::BertAct {
+            frac: 0.005,
+            scale: 8.0,
+        }
     }
 
     /// Scales the outlier parameters (no-op for the outlier-free
@@ -121,7 +133,10 @@ impl TensorProfile {
                 outlier_frac: frac,
                 outlier_scale: scale,
             },
-            TensorProfile::FfnWeight => Distribution::Gaussian { mean: 0.0, std: 1.0 },
+            TensorProfile::FfnWeight => Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
             TensorProfile::BertAct { frac, scale } => Distribution::OutlierGaussian {
                 std: 1.0,
                 outlier_frac: frac,
@@ -152,7 +167,11 @@ mod tests {
         assert!(TensorProfile::FirstLayerAct.is_non_negative());
         assert!(TensorProfile::cnn_act().is_non_negative());
         assert!(!TensorProfile::cnn_weight().is_non_negative());
-        assert!(!TensorProfile::BertAct { frac: 0.01, scale: 20.0 }.is_non_negative());
+        assert!(!TensorProfile::BertAct {
+            frac: 0.01,
+            scale: 20.0
+        }
+        .is_non_negative());
     }
 
     #[test]
@@ -189,7 +208,11 @@ mod tests {
     fn kurtosis_ordering_matches_fig1() {
         let uni = TensorProfile::FirstLayerAct.sample(20_000, 1);
         let gau = TensorProfile::FfnWeight.sample(20_000, 2);
-        let bert = TensorProfile::BertAct { frac: 0.01, scale: 20.0 }.sample(20_000, 3);
+        let bert = TensorProfile::BertAct {
+            frac: 0.01,
+            scale: 20.0,
+        }
+        .sample(20_000, 3);
         let ku = stats::moments(&uni).unwrap().excess_kurtosis;
         let kg = stats::moments(&gau).unwrap().excess_kurtosis;
         let kb = stats::moments(&bert).unwrap().excess_kurtosis;

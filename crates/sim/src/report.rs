@@ -28,7 +28,10 @@ impl WorkloadComparison {
             .iter()
             .map(|d| simulate(*d, workload, cfg))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(WorkloadComparison { workload: workload.name.clone(), results })
+        Ok(WorkloadComparison {
+            workload: workload.name.clone(),
+            results,
+        })
     }
 
     /// Cycles normalized to the slowest design (all values ≤ 1).
@@ -76,7 +79,10 @@ impl WorkloadComparison {
 /// Panics on an empty series or non-positive values.
 pub fn geomean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "geomean of empty series");
-    assert!(values.iter().all(|&v| v > 0.0), "geomean needs positive values");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geomean needs positive values"
+    );
     (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
 }
 
@@ -92,16 +98,18 @@ pub struct Summary {
 
 /// Builds the summary over a set of workload comparisons.
 pub fn summarize(comparisons: &[WorkloadComparison]) -> Summary {
-    let baselines =
-        [Design::BitFusion, Design::OlAccel, Design::BiScaled, Design::AdaFloat];
+    let baselines = [
+        Design::BitFusion,
+        Design::OlAccel,
+        Design::BiScaled,
+        Design::AdaFloat,
+    ];
     let mut speedups = Vec::new();
     let mut energy_reductions = Vec::new();
     for b in baselines {
         let s: Vec<f64> = comparisons
             .iter()
-            .map(|c| {
-                c.result(b).total_cycles as f64 / c.result(Design::AntOs).total_cycles as f64
-            })
+            .map(|c| c.result(b).total_cycles as f64 / c.result(Design::AntOs).total_cycles as f64)
             .collect();
         let e: Vec<f64> = comparisons
             .iter()
@@ -112,7 +120,10 @@ pub fn summarize(comparisons: &[WorkloadComparison]) -> Summary {
         speedups.push((b.name(), geomean(&s)));
         energy_reductions.push((b.name(), geomean(&e)));
     }
-    Summary { speedups, energy_reductions }
+    Summary {
+        speedups,
+        energy_reductions,
+    }
 }
 
 /// One Table I row: scheme, average memory bits, average compute bits and
@@ -225,7 +236,7 @@ mod tests {
 
     #[test]
     fn summary_shows_ant_winning() {
-        let workloads = vec![resnet18(4), bert_base(4, "SST-2")];
+        let workloads = [resnet18(4), bert_base(4, "SST-2")];
         let comparisons: Vec<WorkloadComparison> = workloads
             .iter()
             .map(|w| WorkloadComparison::run(w, &SimConfig::default()).unwrap())

@@ -108,6 +108,7 @@ fn jitter(profile: TensorProfile, name: &str, salt: u64) -> TensorProfile {
     profile.with_severity(2f32.powf(2.0 * u1 - 1.0), 0.75 + 0.6 * u2)
 }
 
+#[allow(clippy::too_many_arguments)] // geometry parameters map 1:1 to a conv layer spec
 fn conv(
     name: impl Into<String>,
     batch: u64,
@@ -156,7 +157,17 @@ fn fc(
 pub fn vgg16(batch: u64) -> Workload {
     let w = TensorProfile::cnn_weight();
     let a = TensorProfile::cnn_act();
-    let mut layers = vec![conv("conv1_1", batch, 64, 3, 3, 224, w, TensorProfile::FirstLayerAct, true)];
+    let mut layers = vec![conv(
+        "conv1_1",
+        batch,
+        64,
+        3,
+        3,
+        224,
+        w,
+        TensorProfile::FirstLayerAct,
+        true,
+    )];
     let spec: [(u64, u64, u64, &str); 12] = [
         (64, 64, 224, "conv1_2"),
         (128, 64, 112, "conv2_1"),
@@ -177,15 +188,28 @@ pub fn vgg16(batch: u64) -> Workload {
     layers.push(fc("fc6", batch, 4096, 512 * 7 * 7, w, a, false));
     layers.push(fc("fc7", batch, 4096, 4096, w, a, false));
     layers.push(fc("fc8", batch, 1000, 4096, w, a, true));
-    Workload { name: "VGG16".to_string(), family: Family::Cnn, layers }
+    Workload {
+        name: "VGG16".to_string(),
+        family: Family::Cnn,
+        layers,
+    }
 }
 
 /// ResNet-18 at 224×224: stem + 8 basic blocks + FC.
 pub fn resnet18(batch: u64) -> Workload {
     let w = TensorProfile::cnn_weight();
     let a = TensorProfile::cnn_act();
-    let mut layers =
-        vec![conv("conv1", batch, 64, 3, 7, 112, w, TensorProfile::FirstLayerAct, true)];
+    let mut layers = vec![conv(
+        "conv1",
+        batch,
+        64,
+        3,
+        7,
+        112,
+        w,
+        TensorProfile::FirstLayerAct,
+        true,
+    )];
     // (channels, spatial, blocks); each basic block = two 3×3 convs, plus a
     // 1×1 downsample conv on the first block of stages 2–4.
     let stages: [(u64, u64, u64); 4] = [(64, 56, 2), (128, 28, 2), (256, 14, 2), (512, 7, 2)];
@@ -193,43 +217,134 @@ pub fn resnet18(batch: u64) -> Workload {
     for (si, (c, hw, blocks)) in stages.iter().enumerate() {
         for b in 0..*blocks {
             let cin = if b == 0 { prev_c } else { *c };
-            layers.push(conv(format!("s{}b{}c1", si + 2, b), batch, *c, cin, 3, *hw, w, a, false));
-            layers.push(conv(format!("s{}b{}c2", si + 2, b), batch, *c, *c, 3, *hw, w, a, false));
+            layers.push(conv(
+                format!("s{}b{}c1", si + 2, b),
+                batch,
+                *c,
+                cin,
+                3,
+                *hw,
+                w,
+                a,
+                false,
+            ));
+            layers.push(conv(
+                format!("s{}b{}c2", si + 2, b),
+                batch,
+                *c,
+                *c,
+                3,
+                *hw,
+                w,
+                a,
+                false,
+            ));
             if b == 0 && si > 0 {
-                layers.push(conv(format!("s{}down", si + 2), batch, *c, cin, 1, *hw, w, a, false));
+                layers.push(conv(
+                    format!("s{}down", si + 2),
+                    batch,
+                    *c,
+                    cin,
+                    1,
+                    *hw,
+                    w,
+                    a,
+                    false,
+                ));
             }
         }
         prev_c = *c;
     }
     layers.push(fc("fc", batch, 1000, 512, w, a, true));
-    Workload { name: "ResNet18".to_string(), family: Family::Cnn, layers }
+    Workload {
+        name: "ResNet18".to_string(),
+        family: Family::Cnn,
+        layers,
+    }
 }
 
 /// ResNet-50 at 224×224: stem + 16 bottleneck blocks + FC.
 pub fn resnet50(batch: u64) -> Workload {
     let w = TensorProfile::cnn_weight();
     let a = TensorProfile::cnn_act();
-    let mut layers =
-        vec![conv("conv1", batch, 64, 3, 7, 112, w, TensorProfile::FirstLayerAct, true)];
+    let mut layers = vec![conv(
+        "conv1",
+        batch,
+        64,
+        3,
+        7,
+        112,
+        w,
+        TensorProfile::FirstLayerAct,
+        true,
+    )];
     // (mid channels, out channels, spatial, blocks)
-    let stages: [(u64, u64, u64, u64); 4] =
-        [(64, 256, 56, 3), (128, 512, 28, 4), (256, 1024, 14, 6), (512, 2048, 7, 3)];
+    let stages: [(u64, u64, u64, u64); 4] = [
+        (64, 256, 56, 3),
+        (128, 512, 28, 4),
+        (256, 1024, 14, 6),
+        (512, 2048, 7, 3),
+    ];
     let mut prev_c = 64u64;
     for (si, (mid, out, hw, blocks)) in stages.iter().enumerate() {
         for b in 0..*blocks {
             let cin = if b == 0 { prev_c } else { *out };
             let tag = format!("s{}b{}", si + 2, b);
-            layers.push(conv(format!("{tag}r"), batch, *mid, cin, 1, *hw, w, a, false));
-            layers.push(conv(format!("{tag}c"), batch, *mid, *mid, 3, *hw, w, a, false));
-            layers.push(conv(format!("{tag}e"), batch, *out, *mid, 1, *hw, w, a, false));
+            layers.push(conv(
+                format!("{tag}r"),
+                batch,
+                *mid,
+                cin,
+                1,
+                *hw,
+                w,
+                a,
+                false,
+            ));
+            layers.push(conv(
+                format!("{tag}c"),
+                batch,
+                *mid,
+                *mid,
+                3,
+                *hw,
+                w,
+                a,
+                false,
+            ));
+            layers.push(conv(
+                format!("{tag}e"),
+                batch,
+                *out,
+                *mid,
+                1,
+                *hw,
+                w,
+                a,
+                false,
+            ));
             if b == 0 {
-                layers.push(conv(format!("{tag}d"), batch, *out, cin, 1, *hw, w, a, false));
+                layers.push(conv(
+                    format!("{tag}d"),
+                    batch,
+                    *out,
+                    cin,
+                    1,
+                    *hw,
+                    w,
+                    a,
+                    false,
+                ));
             }
         }
         prev_c = *out;
     }
     layers.push(fc("fc", batch, 1000, 2048, w, a, true));
-    Workload { name: "ResNet50".to_string(), family: Family::Cnn, layers }
+    Workload {
+        name: "ResNet50".to_string(),
+        family: Family::Cnn,
+        layers,
+    }
 }
 
 /// Inception-V3 at 299×299, abridged to its dominant convolutions: the stem
@@ -240,7 +355,17 @@ pub fn inception_v3(batch: u64) -> Workload {
     let w = TensorProfile::cnn_weight();
     let a = TensorProfile::cnn_act();
     let mut layers = vec![
-        conv("stem1", batch, 32, 3, 3, 149, w, TensorProfile::FirstLayerAct, true),
+        conv(
+            "stem1",
+            batch,
+            32,
+            3,
+            3,
+            149,
+            w,
+            TensorProfile::FirstLayerAct,
+            true,
+        ),
         conv("stem2", batch, 32, 32, 3, 147, w, a, false),
         conv("stem3", batch, 64, 32, 3, 147, w, a, false),
         conv("stem4", batch, 80, 64, 1, 73, w, a, false),
@@ -249,15 +374,65 @@ pub fn inception_v3(batch: u64) -> Workload {
     // Five 35×35 blocks (Mixed 5b–5d class): 1×1 / 5×5 / double 3×3 branches.
     for i in 0..3 {
         let cin = if i == 0 { 192 } else { 288 };
-        layers.push(conv(format!("m5_{i}_1x1"), batch, 64, cin, 1, 35, w, a, false));
-        layers.push(conv(format!("m5_{i}_5x5"), batch, 64, 48, 5, 35, w, a, false));
-        layers.push(conv(format!("m5_{i}_3x3a"), batch, 96, 64, 3, 35, w, a, false));
-        layers.push(conv(format!("m5_{i}_3x3b"), batch, 96, 96, 3, 35, w, a, false));
+        layers.push(conv(
+            format!("m5_{i}_1x1"),
+            batch,
+            64,
+            cin,
+            1,
+            35,
+            w,
+            a,
+            false,
+        ));
+        layers.push(conv(
+            format!("m5_{i}_5x5"),
+            batch,
+            64,
+            48,
+            5,
+            35,
+            w,
+            a,
+            false,
+        ));
+        layers.push(conv(
+            format!("m5_{i}_3x3a"),
+            batch,
+            96,
+            64,
+            3,
+            35,
+            w,
+            a,
+            false,
+        ));
+        layers.push(conv(
+            format!("m5_{i}_3x3b"),
+            batch,
+            96,
+            96,
+            3,
+            35,
+            w,
+            a,
+            false,
+        ));
     }
     // Four 17×17 blocks (Mixed 6 class): 7×1/1×7 factorised branches
     // (modelled as 7-tap convolutions of equivalent MACs).
     for i in 0..4 {
-        layers.push(conv(format!("m6_{i}_1x1"), batch, 192, 768, 1, 17, w, a, false));
+        layers.push(conv(
+            format!("m6_{i}_1x1"),
+            batch,
+            192,
+            768,
+            1,
+            17,
+            w,
+            a,
+            false,
+        ));
         layers.push(fc(
             format!("m6_{i}_7tap"),
             batch * 17 * 17,
@@ -279,11 +454,35 @@ pub fn inception_v3(batch: u64) -> Workload {
     }
     // Two 8×8 blocks (Mixed 7 class).
     for i in 0..2 {
-        layers.push(conv(format!("m7_{i}_1x1"), batch, 320, 1280, 1, 8, w, a, false));
-        layers.push(conv(format!("m7_{i}_3x3"), batch, 384, 448, 3, 8, w, a, false));
+        layers.push(conv(
+            format!("m7_{i}_1x1"),
+            batch,
+            320,
+            1280,
+            1,
+            8,
+            w,
+            a,
+            false,
+        ));
+        layers.push(conv(
+            format!("m7_{i}_3x3"),
+            batch,
+            384,
+            448,
+            3,
+            8,
+            w,
+            a,
+            false,
+        ));
     }
     layers.push(fc("fc", batch, 1000, 2048, w, a, true));
-    Workload { name: "InceptionV3".to_string(), family: Family::Cnn, layers }
+    Workload {
+        name: "InceptionV3".to_string(),
+        family: Family::Cnn,
+        layers,
+    }
 }
 
 /// One transformer encoder block's GEMMs appended to `layers`.
@@ -306,8 +505,24 @@ fn transformer_block(
     // Attention score and context GEMMs (per head, folded into one GEMM of
     // equivalent MACs: scores B·h × S×S×dh, context B·h × S×dh×S).
     let dh = dim / heads;
-    layers.push(fc(format!("{tag}.scores"), batch * heads * tokens, tokens, dh, wq, act, false));
-    layers.push(fc(format!("{tag}.context"), batch * heads * tokens, dh, tokens, wq, act, false));
+    layers.push(fc(
+        format!("{tag}.scores"),
+        batch * heads * tokens,
+        tokens,
+        dh,
+        wq,
+        act,
+        false,
+    ));
+    layers.push(fc(
+        format!("{tag}.context"),
+        batch * heads * tokens,
+        dh,
+        tokens,
+        wq,
+        act,
+        false,
+    ));
     layers.push(fc(format!("{tag}.proj"), rows, dim, dim, wq, act, false));
     layers.push(fc(format!("{tag}.ffn1"), rows, ffn, dim, wf, act, false));
     layers.push(fc(format!("{tag}.ffn2"), rows, dim, ffn, wf, act, false));
@@ -338,8 +553,20 @@ pub fn vit_base(batch: u64) -> Workload {
             TensorProfile::vit_act(),
         );
     }
-    layers.push(fc("head", batch, 1000, dim, TensorProfile::FfnWeight, TensorProfile::vit_act(), true));
-    Workload { name: "ViT".to_string(), family: Family::VisionTransformer, layers }
+    layers.push(fc(
+        "head",
+        batch,
+        1000,
+        dim,
+        TensorProfile::FfnWeight,
+        TensorProfile::vit_act(),
+        true,
+    ));
+    Workload {
+        name: "ViT".to_string(),
+        family: Family::VisionTransformer,
+        layers,
+    }
 }
 
 /// BERT-Base at sequence length 128 on a GLUE task. The three tasks share
@@ -358,7 +585,16 @@ pub fn bert_base(batch: u64, task: &str) -> Workload {
     let dim = 768u64;
     let mut layers = Vec::new();
     for b in 0..12 {
-        transformer_block(&mut layers, &format!("blk{b}"), batch, tokens, dim, 12, 3072, act);
+        transformer_block(
+            &mut layers,
+            &format!("blk{b}"),
+            batch,
+            tokens,
+            dim,
+            12,
+            3072,
+            act,
+        );
     }
     // The embedding-adjacent first projection plays the role of the "first
     // layer" that outlier-aware baselines keep at 8 bits.
@@ -372,7 +608,11 @@ pub fn bert_base(batch: u64, task: &str) -> Workload {
         act,
         true,
     ));
-    Workload { name: format!("BERT-{task}"), family: Family::Bert, layers }
+    Workload {
+        name: format!("BERT-{task}"),
+        family: Family::Bert,
+        layers,
+    }
 }
 
 /// The paper's eight Fig. 13 workloads at the given batch size (64 in the

@@ -1,9 +1,9 @@
 //! Property-based tests for the simulator's invariants.
 
 use ant_sim::design::{compute_cycles, simulate, Design, SimConfig};
+use ant_sim::profile::TensorProfile;
 use ant_sim::report::geomean;
 use ant_sim::workload::{resnet18, GemmLayer};
-use ant_sim::profile::TensorProfile;
 use proptest::prelude::*;
 
 proptest! {

@@ -78,14 +78,30 @@ impl Distribution {
             Distribution::Uniform { lo, hi } => rng.gen_range(lo..hi),
             Distribution::Gaussian { mean, std } => mean + std * standard_normal(rng),
             Distribution::Laplace { mu, b } => mu + b * standard_laplace(rng),
-            Distribution::OutlierGaussian { std, outlier_frac, outlier_scale } => {
-                let s = if rng.gen::<f32>() < outlier_frac { std * outlier_scale } else { std };
+            Distribution::OutlierGaussian {
+                std,
+                outlier_frac,
+                outlier_scale,
+            } => {
+                let s = if rng.gen::<f32>() < outlier_frac {
+                    std * outlier_scale
+                } else {
+                    std
+                };
                 s * standard_normal(rng)
             }
             Distribution::HalfGaussian { std } => (std * standard_normal(rng)).abs(),
             Distribution::HalfLaplace { b } => (b * standard_laplace(rng)).abs(),
-            Distribution::HalfOutlierGaussian { std, outlier_frac, outlier_scale } => {
-                let s = if rng.gen::<f32>() < outlier_frac { std * outlier_scale } else { std };
+            Distribution::HalfOutlierGaussian {
+                std,
+                outlier_frac,
+                outlier_scale,
+            } => {
+                let s = if rng.gen::<f32>() < outlier_frac {
+                    std * outlier_scale
+                } else {
+                    std
+                };
                 (s * standard_normal(rng)).abs()
             }
         }
@@ -167,11 +183,22 @@ mod tests {
 
     #[test]
     fn gaussian_moments_match() {
-        let v = sample_vec(Distribution::Gaussian { mean: 1.0, std: 2.0 }, 50_000, 2);
+        let v = sample_vec(
+            Distribution::Gaussian {
+                mean: 1.0,
+                std: 2.0,
+            },
+            50_000,
+            2,
+        );
         let m = stats::moments(&v).unwrap();
         assert!((m.mean - 1.0).abs() < 0.05, "mean {}", m.mean);
         assert!((m.std - 2.0).abs() < 0.05, "std {}", m.std);
-        assert!(m.excess_kurtosis.abs() < 0.2, "kurtosis {}", m.excess_kurtosis);
+        assert!(
+            m.excess_kurtosis.abs() < 0.2,
+            "kurtosis {}",
+            m.excess_kurtosis
+        );
     }
 
     #[test]
@@ -185,9 +212,20 @@ mod tests {
 
     #[test]
     fn outlier_mixture_is_heavier_than_gaussian() {
-        let g = sample_vec(Distribution::Gaussian { mean: 0.0, std: 1.0 }, 50_000, 4);
+        let g = sample_vec(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            50_000,
+            4,
+        );
         let o = sample_vec(
-            Distribution::OutlierGaussian { std: 1.0, outlier_frac: 0.01, outlier_scale: 10.0 },
+            Distribution::OutlierGaussian {
+                std: 1.0,
+                outlier_frac: 0.01,
+                outlier_scale: 10.0,
+            },
             50_000,
             4,
         );
@@ -201,21 +239,36 @@ mod tests {
         for dist in [
             Distribution::HalfGaussian { std: 1.0 },
             Distribution::HalfLaplace { b: 1.0 },
-            Distribution::HalfOutlierGaussian { std: 1.0, outlier_frac: 0.02, outlier_scale: 5.0 },
+            Distribution::HalfOutlierGaussian {
+                std: 1.0,
+                outlier_frac: 0.02,
+                outlier_scale: 5.0,
+            },
         ] {
             assert!(dist.is_non_negative());
             let v = sample_vec(dist, 10_000, 5);
             assert!(v.iter().all(|&x| x >= 0.0));
         }
         assert!(Distribution::Uniform { lo: 0.0, hi: 1.0 }.is_non_negative());
-        assert!(!Distribution::Gaussian { mean: 0.0, std: 1.0 }.is_non_negative());
+        assert!(!Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0
+        }
+        .is_non_negative());
     }
 
     #[test]
     fn classifier_recognises_sampled_families() {
         use stats::DistributionFamily as F;
         let u = sample_vec(Distribution::Uniform { lo: 0.0, hi: 1.0 }, 20_000, 6);
-        let g = sample_vec(Distribution::Gaussian { mean: 0.0, std: 1.0 }, 20_000, 6);
+        let g = sample_vec(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            20_000,
+            6,
+        );
         let l = sample_vec(Distribution::Laplace { mu: 0.0, b: 1.0 }, 20_000, 6);
         assert_eq!(stats::classify(&u).unwrap(), F::UniformLike);
         assert_eq!(stats::classify(&g).unwrap(), F::GaussianLike);
@@ -224,7 +277,14 @@ mod tests {
 
     #[test]
     fn sample_tensor_shape() {
-        let t = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[3, 4, 5], 9);
+        let t = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[3, 4, 5],
+            9,
+        );
         assert_eq!(t.dims(), &[3, 4, 5]);
         assert!(t.all_finite());
     }

@@ -54,7 +54,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "shape requires {expected} elements but {actual} were provided")
+                write!(
+                    f,
+                    "shape requires {expected} elements but {actual} were provided"
+                )
             }
             TensorError::ShapeMismatch { lhs, rhs } => {
                 write!(f, "shape mismatch: {lhs:?} vs {rhs:?}")
@@ -82,7 +85,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TensorError::ShapeMismatch { lhs: vec![2, 3], rhs: vec![3, 2] };
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![3, 2],
+        };
         let s = e.to_string();
         assert!(s.contains("[2, 3]"), "{s}");
         assert!(s.contains("[3, 2]"), "{s}");
@@ -97,11 +103,23 @@ mod tests {
     #[test]
     fn all_variants_display_nonempty() {
         let variants = [
-            TensorError::LengthMismatch { expected: 4, actual: 3 },
-            TensorError::ShapeMismatch { lhs: vec![1], rhs: vec![2] },
-            TensorError::RankMismatch { expected: 2, actual: 1 },
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                lhs: vec![1],
+                rhs: vec![2],
+            },
+            TensorError::RankMismatch {
+                expected: 2,
+                actual: 1,
+            },
             TensorError::AxisOutOfRange { axis: 5, rank: 2 },
-            TensorError::InnerDimMismatch { lhs_cols: 3, rhs_rows: 4 },
+            TensorError::InnerDimMismatch {
+                lhs_cols: 3,
+                rhs_rows: 4,
+            },
             TensorError::Empty,
             TensorError::InvalidGeometry("kernel 0x0".to_string()),
         ];

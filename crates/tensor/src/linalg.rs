@@ -30,15 +30,24 @@ use crate::{Tensor, TensorError};
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     if a.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.rank(),
+        });
     }
     if b.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: b.rank(),
+        });
     }
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     if k != k2 {
-        return Err(TensorError::InnerDimMismatch { lhs_cols: k, rhs_rows: k2 });
+        return Err(TensorError::InnerDimMismatch {
+            lhs_cols: k,
+            rhs_rows: k2,
+        });
     }
     let mut out = Tensor::zeros(&[m, n]);
     let av = a.as_slice();
@@ -67,11 +76,17 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// Same conditions as [`matmul`] with `b` treated as a `[k, 1]` matrix.
 pub fn matvec(a: &Tensor, x: &[f32]) -> Result<Vec<f32>, TensorError> {
     if a.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.rank(),
+        });
     }
     let (m, k) = (a.dims()[0], a.dims()[1]);
     if x.len() != k {
-        return Err(TensorError::InnerDimMismatch { lhs_cols: k, rhs_rows: x.len() });
+        return Err(TensorError::InnerDimMismatch {
+            lhs_cols: k,
+            rhs_rows: x.len(),
+        });
     }
     let av = a.as_slice();
     let mut y = vec![0.0f32; m];
@@ -113,7 +128,12 @@ impl Conv2dGeometry {
         if stride == 0 {
             return Err(TensorError::InvalidGeometry("stride 0".to_string()));
         }
-        Ok(Conv2dGeometry { kh, kw, stride, padding })
+        Ok(Conv2dGeometry {
+            kh,
+            kw,
+            stride,
+            padding,
+        })
     }
 
     /// Output spatial extent for an input extent `n` along one axis, or
@@ -139,15 +159,18 @@ impl Conv2dGeometry {
 /// [`TensorError::InvalidGeometry`] when the kernel does not fit.
 pub fn im2col(input: &Tensor, geo: Conv2dGeometry) -> Result<Tensor, TensorError> {
     if input.rank() != 3 {
-        return Err(TensorError::RankMismatch { expected: 3, actual: input.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input.rank(),
+        });
     }
     let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
-    let oh = geo
-        .out_extent(h, geo.kh)
-        .ok_or_else(|| TensorError::InvalidGeometry(format!("kernel {}x{} over {h}x{w}", geo.kh, geo.kw)))?;
-    let ow = geo
-        .out_extent(w, geo.kw)
-        .ok_or_else(|| TensorError::InvalidGeometry(format!("kernel {}x{} over {h}x{w}", geo.kh, geo.kw)))?;
+    let oh = geo.out_extent(h, geo.kh).ok_or_else(|| {
+        TensorError::InvalidGeometry(format!("kernel {}x{} over {h}x{w}", geo.kh, geo.kw))
+    })?;
+    let ow = geo.out_extent(w, geo.kw).ok_or_else(|| {
+        TensorError::InvalidGeometry(format!("kernel {}x{} over {h}x{w}", geo.kh, geo.kw))
+    })?;
     let rows = c * geo.kh * geo.kw;
     let cols = oh * ow;
     let mut out = Tensor::zeros(&[rows, cols]);
@@ -167,8 +190,7 @@ pub fn im2col(input: &Tensor, geo: Conv2dGeometry) -> Result<Tensor, TensorError
                         if ix < 0 || ix as usize >= w {
                             continue;
                         }
-                        ov[r * cols + oy * ow + ox] =
-                            iv[(ci * h + iy as usize) * w + ix as usize];
+                        ov[r * cols + oy * ow + ox] = iv[(ci * h + iy as usize) * w + ix as usize];
                     }
                 }
             }
@@ -195,10 +217,17 @@ pub fn conv2d(
     geo: Conv2dGeometry,
 ) -> Result<Tensor, TensorError> {
     if weight.rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: weight.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: weight.rank(),
+        });
     }
-    let (co, ci, kh, kw) =
-        (weight.dims()[0], weight.dims()[1], weight.dims()[2], weight.dims()[3]);
+    let (co, ci, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
     if input.rank() != 3 || input.dims()[0] != ci || kh != geo.kh || kw != geo.kw {
         return Err(TensorError::ShapeMismatch {
             lhs: input.dims().to_vec(),
@@ -211,7 +240,10 @@ pub fn conv2d(
     let mut out = matmul(&wmat, &cols)?;
     if let Some(b) = bias {
         if b.len() != co {
-            return Err(TensorError::LengthMismatch { expected: co, actual: b.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: co,
+                actual: b.len(),
+            });
         }
         let n = out.dims()[1];
         let ov = out.as_mut_slice();
@@ -262,9 +294,15 @@ mod tests {
     fn matmul_rejects_bad_shapes() {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
-        assert!(matches!(matmul(&a, &b), Err(TensorError::InnerDimMismatch { .. })));
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::InnerDimMismatch { .. })
+        ));
         let v = Tensor::zeros(&[3]);
-        assert!(matches!(matmul(&v, &b), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            matmul(&v, &b),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]

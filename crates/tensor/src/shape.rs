@@ -23,7 +23,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a slice of axis extents.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// The scalar shape (rank 0, one element).
@@ -93,7 +95,10 @@ impl Shape {
     /// Returns [`TensorError::LengthMismatch`] when the counts differ.
     pub fn check_len(&self, data_len: usize) -> Result<(), TensorError> {
         if self.len() != data_len {
-            Err(TensorError::LengthMismatch { expected: self.len(), actual: data_len })
+            Err(TensorError::LengthMismatch {
+                expected: self.len(),
+                actual: data_len,
+            })
         } else {
             Ok(())
         }
@@ -149,7 +154,7 @@ mod tests {
     #[test]
     fn offsets_enumerate_all_elements() {
         let s = Shape::new(&[3, 4]);
-        let mut seen = vec![false; 12];
+        let mut seen = [false; 12];
         for i in 0..3 {
             for j in 0..4 {
                 let off = s.offset(&[i, j]).unwrap();
@@ -166,7 +171,10 @@ mod tests {
         assert!(s.check_len(4).is_ok());
         assert_eq!(
             s.check_len(5),
-            Err(TensorError::LengthMismatch { expected: 4, actual: 5 })
+            Err(TensorError::LengthMismatch {
+                expected: 4,
+                actual: 5
+            })
         );
     }
 

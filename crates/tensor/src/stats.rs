@@ -95,7 +95,12 @@ pub fn moments(data: &[f32]) -> Result<Moments, TensorError> {
     } else {
         (0.0, 0.0)
     };
-    Ok(Moments { mean, std, skewness, excess_kurtosis })
+    Ok(Moments {
+        mean,
+        std,
+        skewness,
+        excess_kurtosis,
+    })
 }
 
 /// A fixed-width histogram over a closed interval.
@@ -127,7 +132,12 @@ impl Histogram {
             let idx = (t.max(0.0) as usize).min(bins - 1);
             counts[idx] += 1;
         }
-        Ok(Histogram { lo, hi, counts, total: data.len() as u64 })
+        Ok(Histogram {
+            lo,
+            hi,
+            counts,
+            total: data.len() as u64,
+        })
     }
 
     /// Per-bin counts.
@@ -145,7 +155,10 @@ impl Histogram {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// Centre value of bin `i`.
@@ -328,7 +341,9 @@ mod tests {
                 let mut s = 0.0f32;
                 let mut x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(1);
                 for _ in 0..12 {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     s += (x >> 33) as f32 / (1u64 << 31) as f32;
                 }
                 s - 6.0

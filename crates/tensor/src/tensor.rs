@@ -27,7 +27,10 @@ impl Tensor {
     /// Creates a tensor filled with zeros.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![0.0; shape.len()], shape }
+        Tensor {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
     }
 
     /// Creates a tensor filled with ones.
@@ -38,7 +41,10 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![value; shape.len()], shape }
+        Tensor {
+            data: vec![value; shape.len()],
+            shape,
+        }
     }
 
     /// Creates a tensor from a flat `Vec` and a shape.
@@ -55,12 +61,18 @@ impl Tensor {
 
     /// Creates a rank-1 tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
-        Tensor { data: data.to_vec(), shape: Shape::new(&[data.len()]) }
+        Tensor {
+            data: data.to_vec(),
+            shape: Shape::new(&[data.len()]),
+        }
     }
 
     /// Creates a scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: Shape::scalar() }
+        Tensor {
+            data: vec![value],
+            shape: Shape::scalar(),
+        }
     }
 
     /// Creates a tensor by evaluating `f` at every multi-index.
@@ -139,7 +151,10 @@ impl Tensor {
                 self.data[off] = value;
                 Ok(())
             }
-            None => Err(TensorError::AxisOutOfRange { axis: 0, rank: self.rank() }),
+            None => Err(TensorError::AxisOutOfRange {
+                axis: 0,
+                rank: self.rank(),
+            }),
         }
     }
 
@@ -151,7 +166,10 @@ impl Tensor {
     pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, TensorError> {
         let shape = Shape::new(dims);
         shape.check_len(self.data.len())?;
-        Ok(Tensor { data: self.data.clone(), shape })
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
     }
 
     /// Applies `f` to every element, producing a new tensor.
@@ -267,7 +285,10 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] unless the tensor is a matrix.
     pub fn transpose(&self) -> Result<Tensor, TensorError> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (r, c) = (self.dims()[0], self.dims()[1]);
         let mut out = Tensor::zeros(&[c, r]);
@@ -285,7 +306,11 @@ impl Tensor {
     /// For a rank-0 or rank-1 tensor the iterator yields the whole storage as
     /// one row.
     pub fn rows(&self) -> impl Iterator<Item = &[f32]> {
-        let row_len = if self.rank() <= 1 { self.data.len().max(1) } else { self.shape.dim(self.rank() - 1) };
+        let row_len = if self.rank() <= 1 {
+            self.data.len().max(1)
+        } else {
+            self.shape.dim(self.rank() - 1)
+        };
         self.data.chunks(row_len.max(1))
     }
 
@@ -302,7 +327,10 @@ impl Tensor {
     /// `i >= dims()[0]`.
     pub fn channel(&self, i: usize) -> Result<&[f32], TensorError> {
         if self.rank() == 0 || i >= self.shape.dim(0) {
-            return Err(TensorError::AxisOutOfRange { axis: 0, rank: self.rank() });
+            return Err(TensorError::AxisOutOfRange {
+                axis: 0,
+                rank: self.rank(),
+            });
         }
         let stride = self.data.len() / self.shape.dim(0);
         Ok(&self.data[i * stride..(i + 1) * stride])
@@ -316,7 +344,10 @@ impl Tensor {
     /// `i >= dims()[0]`.
     pub fn channel_mut(&mut self, i: usize) -> Result<&mut [f32], TensorError> {
         if self.rank() == 0 || i >= self.shape.dim(0) {
-            return Err(TensorError::AxisOutOfRange { axis: 0, rank: self.rank() });
+            return Err(TensorError::AxisOutOfRange {
+                axis: 0,
+                rank: self.rank(),
+            });
         }
         let stride = self.data.len() / self.shape.dim(0);
         Ok(&mut self.data[i * stride..(i + 1) * stride])
@@ -324,7 +355,11 @@ impl Tensor {
 
     /// Number of leading-axis channels (1 for scalars).
     pub fn num_channels(&self) -> usize {
-        if self.rank() == 0 { 1 } else { self.shape.dim(0) }
+        if self.rank() == 0 {
+            1
+        } else {
+            self.shape.dim(0)
+        }
     }
 
     /// `true` when every element is finite (no NaN / infinity).

@@ -9,7 +9,10 @@ use ant::sim::report::WorkloadComparison;
 use ant::sim::workload::resnet18;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let batch = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let batch = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let workload = resnet18(batch);
     println!(
         "ResNet-18, batch {batch}: {} GEMM layers, {:.2} GMACs\n",
@@ -54,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nslowest ANT-OS layer: {} ({} cycles, {})",
         slowest.name,
         slowest.cycles,
-        if slowest.memory_bound { "DRAM-bound" } else { "compute-bound" }
+        if slowest.memory_bound {
+            "DRAM-bound"
+        } else {
+            "compute-bound"
+        }
     );
     Ok(())
 }

@@ -19,7 +19,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     train(
         &mut model,
         &train_set,
-        TrainConfig { epochs: 10, batch_size: 16, lr: 0.05, momentum: 0.9, seed: 1 },
+        TrainConfig {
+            epochs: 10,
+            batch_size: 16,
+            lr: 0.05,
+            momentum: 0.9,
+            seed: 1,
+        },
     )?;
     let fp32 = evaluate(&mut model, &test_set)?;
     println!("fp32 accuracy: {:.1}%", fp32 * 100.0);
@@ -32,28 +38,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         calib,
         train_set,
         test_set,
-        TrainConfig { epochs: 2, batch_size: 16, lr: 0.02, momentum: 0.9, seed: 2 },
+        TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            lr: 0.02,
+            momentum: 0.9,
+            seed: 2,
+        },
     )?;
     println!("\nper-layer type selection:");
     for r in harness.reports() {
         let types: Vec<String> = r.weights.iter().map(|(dt, _)| dt.to_string()).collect();
-        let act = r.activation.map(|(dt, _)| dt.to_string()).unwrap_or_default();
+        let act = r
+            .activation
+            .map(|(dt, _)| dt.to_string())
+            .unwrap_or_default();
         println!("  {:>6}: weights {:?}, activations {}", r.name, types, act);
     }
     let ptq = harness.test_accuracy()?;
-    println!("\n4-bit PTQ accuracy: {:.1}% (loss {:+.1} points)", ptq * 100.0, (fp32 - ptq) * 100.0);
+    println!(
+        "\n4-bit PTQ accuracy: {:.1}% (loss {:+.1} points)",
+        ptq * 100.0,
+        (fp32 - ptq) * 100.0
+    );
 
     // Quantization-aware fine-tuning.
     harness.fine_tune()?;
     let qat = harness.test_accuracy()?;
-    println!("after QAT:          {:.1}% (loss {:+.1} points)", qat * 100.0, (fp32 - qat) * 100.0);
+    println!(
+        "after QAT:          {:.1}% (loss {:+.1} points)",
+        qat * 100.0,
+        (fp32 - qat) * 100.0
+    );
 
     // Mixed precision: promote highest-MSE layers to 8-bit int until the
     // model is within 1 point of fp32 (Sec. V-D).
     let report = run_mixed_precision(
         &mut harness,
         fp32,
-        MixedPrecisionConfig { threshold: 0.01, max_promotions: None },
+        MixedPrecisionConfig {
+            threshold: 0.01,
+            max_promotions: None,
+        },
     );
     println!(
         "\nANT4-8 mixed precision: converged={} promotions={:?} 4-bit ratio={:.0}%",

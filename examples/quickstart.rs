@@ -6,9 +6,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use ant::core::flint::Flint;
 use ant::core::select::{select_type_auto, PrimitiveCombo};
 use ant::core::{ClipSearch, DataType, Granularity, TensorQuantizer};
-use ant::core::flint::Flint;
 use ant::tensor::dist::{sample_tensor, Distribution};
 use ant::tensor::stats;
 
@@ -17,11 +17,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    whose exponent/mantissa split adapts per value interval.
     let flint = Flint::new(4)?;
     println!("4-bit flint lattice: {:?}", flint.lattice());
-    println!("code 1110 decodes to {} (the paper's worked example)\n", flint.decode(0b1110));
+    println!(
+        "code 1110 decodes to {} (the paper's worked example)\n",
+        flint.decode(0b1110)
+    );
 
     // 2. A realistic weight tensor: Gaussian bulk with a sparse long tail.
     let weights = sample_tensor(
-        Distribution::OutlierGaussian { std: 0.02, outlier_frac: 0.01, outlier_scale: 4.0 },
+        Distribution::OutlierGaussian {
+            std: 0.02,
+            outlier_frac: 0.01,
+            outlier_scale: 4.0,
+        },
         &[64, 128],
         42,
     );

@@ -13,7 +13,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("int-based flint decode (value = base << exp):");
     for code in [0b0101u32, 0b1110, 0b1011, 0b1000] {
         let d = decode_flint(code, 4, false)?;
-        println!("  {code:04b} -> base {:>2}, exp {} => {}", d.base, d.exp, d.value());
+        println!(
+            "  {code:04b} -> base {:>2}, exp {} => {}",
+            d.base,
+            d.exp,
+            d.value()
+        );
     }
 
     // 2. The TypeFusion MAC (Fig. 7): mixed primitive types on one unit.
@@ -21,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let weight = decode_pot(0b1101, 4, true); // -16 in signed PoT
     let mut acc = Accumulator::new(16);
     mac(&mut acc, activation, weight);
-    println!("\nflint(12) x pot(-16) accumulated: {} (16-bit register)", acc.value());
+    println!(
+        "\nflint(12) x pot(-16) accumulated: {} (16-bit register)",
+        acc.value()
+    );
 
     // 3. Mixed precision (Fig. 8): an 8-bit multiply from four 4-bit PEs.
     let (a, b) = (-93i8, 117i8);

@@ -38,7 +38,9 @@ fn fake_quantized_values_are_exactly_representable_in_hardware() {
     for &x in &data {
         let y = q.quantize_dequantize(x);
         assert!(
-            lattice.iter().any(|&l| (l - y).abs() <= 1e-6 * (1.0 + l.abs())),
+            lattice
+                .iter()
+                .any(|&l| (l - y).abs() <= 1e-6 * (1.0 + l.abs())),
             "fake-quantized {y} is not scale x flint-decodable"
         );
     }
@@ -48,8 +50,12 @@ fn fake_quantized_values_are_exactly_representable_in_hardware() {
 fn analytic_cycle_model_matches_cycle_stepped_array() {
     // The simulator's closed-form tile timing must equal the hw crate's
     // cycle-by-cycle execution for a spread of shapes.
-    for (m, k, n, array) in [(5usize, 9, 7, 3usize), (8, 4, 8, 4), (16, 16, 16, 4), (3, 20, 2, 2)]
-    {
+    for (m, k, n, array) in [
+        (5usize, 9, 7, 3usize),
+        (8, 4, 8, 4),
+        (16, 16, 16, 4),
+        (3, 20, 2, 2),
+    ] {
         let a_codes: Vec<u32> = (0..m * k).map(|i| (i % 16) as u32).collect();
         let b_codes: Vec<u32> = (0..k * n).map(|i| (i * 3 % 16) as u32).collect();
         let a = DecodedMatrix::from_codes(m, k, &a_codes, 4, WireType::Flint { signed: true })
@@ -76,7 +82,14 @@ fn quantized_gemm_through_hardware_equals_float_reference() {
     let k = 8;
     let n = 5;
     let a_real = sample_vec(Distribution::HalfGaussian { std: 1.0 }, m * k, 21);
-    let w_real = sample_vec(Distribution::Gaussian { mean: 0.0, std: 0.5 }, k * n, 22);
+    let w_real = sample_vec(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 0.5,
+        },
+        k * n,
+        22,
+    );
     let a_dt = DataType::flint(4, false).expect("valid dtype");
     let w_dt = DataType::flint(4, true).expect("valid dtype");
     let (aq, _) = Quantizer::fit(a_dt, &a_real, ClipSearch::default()).expect("fit a");
@@ -85,7 +98,10 @@ fn quantized_gemm_through_hardware_equals_float_reference() {
     // Encode to hardware codes.
     let flint4 = Flint::new(4).expect("4-bit flint");
     let flint3 = Flint::new(3).expect("3-bit flint");
-    let a_codes: Vec<u32> = a_real.iter().map(|&x| flint4.quantize(x, aq.scale())).collect();
+    let a_codes: Vec<u32> = a_real
+        .iter()
+        .map(|&x| flint4.quantize(x, aq.scale()))
+        .collect();
     let w_codes: Vec<u32> = w_real
         .iter()
         .map(|&x| {

@@ -20,7 +20,13 @@ fn train_quantize_finetune_promote() {
     train(
         &mut model,
         &train_set,
-        TrainConfig { epochs: 20, batch_size: 32, lr: 0.05, momentum: 0.9, seed: 19 },
+        TrainConfig {
+            epochs: 20,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            seed: 19,
+        },
     )
     .expect("training succeeds");
     let fp32 = evaluate(&mut model, &test_set).expect("evaluation succeeds");
@@ -29,11 +35,20 @@ fn train_quantize_finetune_promote() {
     let (calib, _) = train_set.batch(&(0..100).collect::<Vec<_>>());
     let mut harness = QatHarness::new(
         model,
-        QuantSpec { combo: PrimitiveCombo::IntPotFlint, ..QuantSpec::default() },
+        QuantSpec {
+            combo: PrimitiveCombo::IntPotFlint,
+            ..QuantSpec::default()
+        },
         calib,
         train_set,
         test_set,
-        TrainConfig { epochs: 2, batch_size: 32, lr: 0.02, momentum: 0.9, seed: 20 },
+        TrainConfig {
+            epochs: 2,
+            batch_size: 32,
+            lr: 0.02,
+            momentum: 0.9,
+            seed: 20,
+        },
     )
     .expect("harness builds");
 
@@ -45,7 +60,10 @@ fn train_quantize_finetune_promote() {
     let report = run_mixed_precision(
         &mut harness,
         fp32,
-        MixedPrecisionConfig { threshold: 0.02, max_promotions: None },
+        MixedPrecisionConfig {
+            threshold: 0.02,
+            max_promotions: None,
+        },
     );
     assert!(report.converged, "metric trace {:?}", report.metric_trace);
     let final_acc = *report.metric_trace.last().expect("non-empty trace");
@@ -69,7 +87,12 @@ fn simulator_reproduces_headline_ordering() {
         .collect();
     for c in &comparisons {
         let ant = c.result(Design::AntOs);
-        for d in [Design::BitFusion, Design::OlAccel, Design::BiScaled, Design::AdaFloat] {
+        for d in [
+            Design::BitFusion,
+            Design::OlAccel,
+            Design::BiScaled,
+            Design::AdaFloat,
+        ] {
             let r = c.result(d);
             assert!(
                 r.total_cycles > ant.total_cycles,
@@ -95,8 +118,15 @@ fn simulator_reproduces_headline_ordering() {
 fn ant_mem_bits_beat_all_baselines_on_bert() {
     let w = bert_base(2, "CoLA");
     let cfg = SimConfig::default();
-    let ant = simulate(Design::AntOs, &w, &cfg).expect("simulates").avg_mem_bits(&w);
-    for d in [Design::BitFusion, Design::OlAccel, Design::BiScaled, Design::AdaFloat] {
+    let ant = simulate(Design::AntOs, &w, &cfg)
+        .expect("simulates")
+        .avg_mem_bits(&w);
+    for d in [
+        Design::BitFusion,
+        Design::OlAccel,
+        Design::BiScaled,
+        Design::AdaFloat,
+    ] {
         let bits = simulate(d, &w, &cfg).expect("simulates").avg_mem_bits(&w);
         assert!(ant < bits, "{}: ANT {ant} vs {bits}", d.name());
     }
@@ -112,7 +142,12 @@ fn workload_suite_is_complete_and_consistent() {
     for w in &ws {
         assert!(!w.layers.is_empty(), "{}", w.name);
         for layer in &w.layers {
-            assert!(layer.m > 0 && layer.n > 0 && layer.k > 0, "{}/{}", w.name, layer.name);
+            assert!(
+                layer.m > 0 && layer.n > 0 && layer.k > 0,
+                "{}/{}",
+                w.name,
+                layer.name
+            );
             assert_eq!(layer.macs(), layer.m * layer.n * layer.k);
         }
     }

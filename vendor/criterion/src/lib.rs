@@ -1,0 +1,290 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use: `criterion_group!`/
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! `bench_function`, [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`Throughput`] and [`black_box`]. Each benchmark runs for a short
+//! fixed measurement window and prints its mean wall-clock time; there is
+//! no statistical analysis, HTML report or baseline comparison.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How much work one benchmark iteration represents (used to report
+/// per-element / per-byte rates).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost. This stand-in treats all
+/// variants identically (setup runs once per iteration, unmeasured).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-create the input on every iteration.
+    PerIteration,
+}
+
+/// Measurement knobs shared by [`Criterion`] and benchmark groups.
+#[derive(Debug, Clone)]
+struct Settings {
+    /// Target wall-clock budget for the measurement loop.
+    measurement_time: Duration,
+    /// Upper bound on measured iterations.
+    max_iters: u64,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            measurement_time: Duration::from_millis(300),
+            max_iters: 10_000,
+        }
+    }
+}
+
+/// Runs routines and reports their timings.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a single routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), &self.settings, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Caps the number of measured iterations (the real crate's sample
+    /// count; approximated here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.max_iters = n as u64;
+        self
+    }
+
+    /// Shortens/lengthens the measurement window.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks one routine within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, &self.settings, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; runs the measured routine.
+pub struct Bencher {
+    settings: Settings,
+    /// (total measured time, iterations) accumulated by `iter*` calls.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call outside the window.
+        black_box(routine());
+        let budget = self.settings.measurement_time;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.settings.max_iters && start.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.record(start.elapsed(), iters.max(1));
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let budget = self.settings.measurement_time;
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while iters < self.settings.max_iters && measured < budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.record(measured, iters.max(1));
+    }
+
+    fn record(&mut self, total: Duration, iters: u64) {
+        let (t, n) = self.measured.get_or_insert((Duration::ZERO, 0));
+        *t += total;
+        *n += iters;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    settings: &Settings,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        settings: settings.clone(),
+        measured: None,
+    };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((total, iters)) => {
+            let per_iter = total.as_secs_f64() / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.3e} elem/s)", n as f64 / per_iter)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  ({:.3e} B/s)", n as f64 / per_iter)
+                }
+                None => String::new(),
+            };
+            println!(
+                "{id:<48} time: {}{rate}  [{iters} iters]",
+                format_time(per_iter)
+            );
+        }
+        None => println!("{id:<48} (no measurement recorded)"),
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(4));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        // Warm-up plus at least one measured iteration.
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut made = 0u64;
+        let mut consumed = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    made += 1;
+                    vec![1u8; 8]
+                },
+                |v| {
+                    consumed += v.len() as u64;
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(made >= 2);
+        assert_eq!(consumed, made * 8);
+    }
+
+    #[test]
+    fn format_time_scales_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Criterion benches for the packed-domain runtime: f32 forward vs
+//! fake-quantized forward vs packed integer forward, and batched vs
+//! unbatched serving through the engine — the perf trajectory of the
+//! serving path (all rates are per *request*, so higher elem/s directly
+//! means higher request throughput).
+
+use ant_nn::model::deep_mlp;
+use ant_nn::qat::{quantize_model, QuantSpec};
+use ant_runtime::{BatchPolicy, CompiledPlan, Engine};
+use ant_tensor::dist::{sample_tensor, Distribution};
+use ant_tensor::Tensor;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+const INPUT: usize = 16;
+const BATCH: usize = 32;
+
+fn gaussian(dims: &[usize], seed: u64) -> Tensor {
+    sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        dims,
+        seed,
+    )
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    // The serving-shaped reference model: deep and narrow, where per-call
+    // overhead matters and batching pays.
+    let mut fp32_model = deep_mlp(INPUT, 4, 8, 6, 5);
+    let mut qat_model = deep_mlp(INPUT, 4, 8, 6, 5);
+    let calib = gaussian(&[64, INPUT], 3);
+    quantize_model(&mut qat_model, &calib, QuantSpec::default()).expect("quantize");
+    let mut plan = CompiledPlan::from_quantized(&qat_model).expect("compile");
+    let x32 = gaussian(&[BATCH, INPUT], 9);
+    let x1 = Tensor::from_vec(x32.as_slice()[..INPUT].to_vec(), &[1, INPUT]).expect("row");
+
+    let mut group = c.benchmark_group("runtime");
+
+    // Model-level forwards, normalized per request.
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("f32_forward/batch32", |b| {
+        b.iter(|| fp32_model.forward(black_box(&x32)).expect("forward"))
+    });
+    group.bench_function("qat_forward/batch32", |b| {
+        b.iter(|| qat_model.forward(black_box(&x32)).expect("forward"))
+    });
+    group.bench_function("packed_forward/batch32", |b| {
+        b.iter(|| plan.forward(black_box(&x32)).expect("forward"))
+    });
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("packed_forward/batch1", |b| {
+        b.iter(|| plan.forward(black_box(&x1)).expect("forward"))
+    });
+
+    // Engine-level serving: 32 concurrent requests coalesced into one
+    // batch, vs unbatched serving (one request in flight at a time). The
+    // packed-path batching win is the ratio of these two rates.
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let rows: Vec<&[f32]> = (0..BATCH)
+        .map(|i| &x32.as_slice()[i * INPUT..(i + 1) * INPUT])
+        .collect();
+    let policy = |max_batch| BatchPolicy {
+        max_batch,
+        max_wait: Duration::from_millis(1),
+    };
+    let batched = Engine::new(plan.clone(), policy(BATCH));
+    for row in &rows {
+        let id = batched.submit(row).expect("submit");
+        let _ = batched.wait(id).expect("warmup");
+    }
+    group.bench_function("engine_batched/32_concurrent", |b| {
+        b.iter(|| {
+            let ids: Vec<_> = rows
+                .iter()
+                .map(|row| batched.submit(row).expect("submit"))
+                .collect();
+            for id in ids {
+                black_box(batched.wait(id).expect("result"));
+            }
+        })
+    });
+    let unbatched = Engine::new(plan.clone(), policy(1));
+    for row in &rows {
+        let id = unbatched.submit(row).expect("submit");
+        let _ = unbatched.wait(id).expect("warmup");
+    }
+    group.bench_function("engine_unbatched/one_in_flight", |b| {
+        b.iter(|| {
+            for row in &rows {
+                let id = unbatched.submit(row).expect("submit");
+                black_box(unbatched.wait(id).expect("result"));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

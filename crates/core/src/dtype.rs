@@ -316,6 +316,106 @@ impl Codec {
         }
     }
 
+    /// The wire code space size, `2^bits`.
+    pub fn num_codes(&self) -> usize {
+        1usize << self.dtype.bits
+    }
+
+    /// Decode lookup table over the wire code space: entry `c` is the
+    /// normalized value of code `c` under the hardware decoder semantics of
+    /// `ant-hw` (Fig. 9's boundary decoders):
+    ///
+    /// * `int` — two's complement (sign-extended when signed),
+    /// * `PoT` — sign bit above a magnitude code `m`, value `2^(m−1)`
+    ///   (`m = 0` is zero),
+    /// * `flint` — sign bit above an unsigned flint magnitude (Table III),
+    /// * `float` — sign bit above an index into the sorted magnitude
+    ///   lattice (a pure LUT decoder; indices past the lattice saturate to
+    ///   the maximum and are never produced by [`Codec::encode`]).
+    ///
+    /// The table has [`Codec::num_codes`] entries (16 for the paper's 4-bit
+    /// types), which is what makes bulk decoding a single indexed load per
+    /// element.
+    pub fn decode_lut(&self) -> Vec<f32> {
+        let bits = self.dtype.bits;
+        let mag_bits = self.dtype.magnitude_bits();
+        (0..self.num_codes() as u32)
+            .map(|code| {
+                if let SnapKind::IntRound { .. } = self.snap {
+                    return if self.dtype.signed {
+                        let shift = 32 - bits;
+                        (((code << shift) as i32) >> shift) as f32
+                    } else {
+                        code as f32
+                    };
+                }
+                let (neg, mag_code) = if self.dtype.signed {
+                    ((code >> mag_bits) & 1 == 1, code & ((1 << mag_bits) - 1))
+                } else {
+                    (false, code)
+                };
+                let mag = match &self.snap {
+                    SnapKind::IntRound { .. } => unreachable!("handled above"),
+                    SnapKind::FlintHw(flint) => flint.decode(mag_code) as f32,
+                    SnapKind::NearestMagnitude => {
+                        let idx = (mag_code as usize).min(self.magnitudes.len() - 1);
+                        self.magnitudes[idx]
+                    }
+                };
+                if neg {
+                    -mag
+                } else {
+                    mag
+                }
+            })
+            .collect()
+    }
+
+    /// Encodes a normalized value to its wire code: the inverse of
+    /// [`Codec::decode_lut`] composed with [`Codec::snap`], so that for
+    /// every `x`, `decode_lut()[encode(x) as usize] == snap(x)`. This is
+    /// the software side of the paper's fixed-length encoding: what
+    /// [`crate::pack::PackedTensor`] stores and what the `ant-hw` decoders
+    /// consume.
+    pub fn encode(&self, x: f32) -> u32 {
+        let mag_bits = self.dtype.magnitude_bits();
+        let sign_bit = 1u32 << mag_bits;
+        match &self.snap {
+            SnapKind::IntRound { lo, hi } => {
+                let v = x.round().clamp(*lo, *hi) as i32;
+                (v as u32) & ((1u32 << self.dtype.bits) - 1)
+            }
+            SnapKind::FlintHw(flint) => {
+                let mag = if self.dtype.signed {
+                    x.abs()
+                } else {
+                    x.max(0.0)
+                }
+                .round()
+                .min(flint.max_value() as f32) as u64;
+                let code = flint.encode_int(mag);
+                if self.dtype.signed && x < 0.0 && mag > 0 {
+                    code | sign_bit
+                } else {
+                    code
+                }
+            }
+            SnapKind::NearestMagnitude => {
+                let mag = if self.dtype.signed {
+                    x.abs()
+                } else {
+                    x.max(0.0)
+                };
+                let idx = nearest_index(&self.magnitudes, mag) as u32;
+                if self.dtype.signed && x < 0.0 && idx > 0 {
+                    idx | sign_bit
+                } else {
+                    idx
+                }
+            }
+        }
+    }
+
     /// Snaps a normalized value to the nearest representable lattice point,
     /// using the hardware-faithful path for each primitive: integer rounding
     /// for `int`, Algorithm 1 (with its double rounding) for `flint`, and
@@ -355,23 +455,25 @@ impl Codec {
     }
 }
 
-/// Nearest value in a sorted slice (ties go to the lower value).
-fn nearest(sorted: &[f32], x: f32) -> f32 {
+/// Index of the nearest value in a sorted slice (ties go to the lower
+/// value).
+fn nearest_index(sorted: &[f32], x: f32) -> usize {
     debug_assert!(!sorted.is_empty());
     let pos = sorted.partition_point(|&v| v < x);
     if pos == 0 {
-        sorted[0]
+        0
     } else if pos >= sorted.len() {
-        sorted[sorted.len() - 1]
+        sorted.len() - 1
+    } else if x - sorted[pos - 1] <= sorted[pos] - x {
+        pos - 1
     } else {
-        let lo = sorted[pos - 1];
-        let hi = sorted[pos];
-        if x - lo <= hi - x {
-            lo
-        } else {
-            hi
-        }
+        pos
     }
+}
+
+/// Nearest value in a sorted slice (ties go to the lower value).
+fn nearest(sorted: &[f32], x: f32) -> f32 {
+    sorted[nearest_index(sorted, x)]
 }
 
 #[cfg(test)]
@@ -517,6 +619,68 @@ mod tests {
                 assert!((q - x).abs() <= gap.max(1.0), "{dt}: snap({x}) = {q}");
                 x += 0.37;
             }
+        }
+    }
+
+    #[test]
+    fn encode_decode_lut_inverts_snap_for_all_types() {
+        for dt in [
+            DataType::int(4, true).unwrap(),
+            DataType::int(4, false).unwrap(),
+            DataType::int(8, true).unwrap(),
+            DataType::pot(4, true).unwrap(),
+            DataType::pot(4, false).unwrap(),
+            DataType::float(4, true).unwrap(),
+            DataType::float(5, false).unwrap(),
+            DataType::flint(4, true).unwrap(),
+            DataType::flint(4, false).unwrap(),
+            DataType::flint(6, true).unwrap(),
+        ] {
+            let c = Codec::new(dt).unwrap();
+            let lut = c.decode_lut();
+            assert_eq!(lut.len(), c.num_codes(), "{dt}");
+            let mut x = -(c.max_value() * 1.5);
+            let step = c.max_value() / 37.0;
+            while x <= c.max_value() * 1.5 {
+                let code = c.encode(x);
+                assert!(code < c.num_codes() as u32, "{dt}: code {code}");
+                let decoded = lut[code as usize];
+                let snapped = c.snap(x);
+                assert_eq!(decoded, snapped, "{dt}: x={x} code={code:b}");
+                x += step;
+            }
+        }
+    }
+
+    #[test]
+    fn decode_lut_int_is_twos_complement() {
+        let c = Codec::new(DataType::int(4, true).unwrap()).unwrap();
+        let lut = c.decode_lut();
+        assert_eq!(lut[0b0111], 7.0);
+        assert_eq!(lut[0b1000], -8.0); // hw range; never produced by encode
+        assert_eq!(lut[0b1111], -1.0);
+        assert_eq!(c.encode(-7.0), 0b1001);
+    }
+
+    #[test]
+    fn decode_lut_flint_matches_table_ii_order() {
+        let c = Codec::new(DataType::flint(4, false).unwrap()).unwrap();
+        let lut = c.decode_lut();
+        // Codes in Table III order: int region 0..7, then 64, 16, 24, 8,
+        // 10, 12, 14 per the first-one encoding.
+        assert_eq!(lut[0b1110], 12.0);
+        assert_eq!(lut[0b1000], 64.0);
+        assert_eq!(c.encode(11.0), 0b1110);
+    }
+
+    #[test]
+    fn encode_negative_zero_magnitude_has_no_sign_bit() {
+        for dt in [
+            DataType::flint(4, true).unwrap(),
+            DataType::pot(4, true).unwrap(),
+        ] {
+            let c = Codec::new(dt).unwrap();
+            assert_eq!(c.encode(-0.2), 0, "{dt}");
         }
     }
 

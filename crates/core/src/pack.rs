@@ -9,7 +9,7 @@
 //! variable-length scheme needs, including the index metadata that breaks
 //! alignment (Sec. III-B's argument against OLAccel/GOBO-style encodings).
 
-use crate::dtype::DataType;
+use crate::dtype::{Codec, DataType};
 use crate::QuantError;
 
 /// A quantized tensor in packed little-endian bit order: element `i`
@@ -102,23 +102,93 @@ impl PackedTensor {
     /// Panics if `i >= len`.
     pub fn code(&self, i: usize) -> u32 {
         assert!(i < self.len, "index {i} out of range");
-        let bits = self.dtype.bits() as usize;
-        let bit = i * bits;
-        let byte = bit / 8;
-        let off = bit % 8;
-        let mut v = self.bytes[byte] as u64 >> off;
-        if off + bits > 8 {
-            v |= (self.bytes[byte + 1] as u64) << (8 - off);
-        }
-        if off + bits > 16 {
-            v |= (self.bytes[byte + 2] as u64) << (16 - off);
-        }
-        (v & ((1 << bits) - 1)) as u32
+        self.code_at_bit(i * self.dtype.bits() as usize)
     }
 
-    /// Unpacks all codes.
+    /// Extracts the code starting at absolute bit position `bitpos`. Shared
+    /// by the random-access and streaming paths so the bit arithmetic lives
+    /// in one place.
+    #[inline]
+    fn code_at_bit(&self, bitpos: usize) -> u32 {
+        let bits = self.dtype.bits() as usize;
+        let byte = bitpos >> 3;
+        let off = bitpos & 7;
+        let mut v = (self.bytes[byte] as u64) >> off;
+        let mut have = 8 - off;
+        let mut next = byte + 1;
+        while have < bits {
+            v |= (self.bytes[next] as u64) << have;
+            have += 8;
+            next += 1;
+        }
+        (v & ((1u64 << bits) - 1)) as u32
+    }
+
+    /// Unpacks all codes in one streaming pass: a running bit cursor
+    /// advances by `bits` per element instead of re-deriving `i·bits`
+    /// byte/offset pairs per element the way per-element [`Self::code`]
+    /// calls would.
     pub fn codes(&self) -> Vec<u32> {
-        (0..self.len).map(|i| self.code(i)).collect()
+        let bits = self.dtype.bits() as usize;
+        let mut out = Vec::with_capacity(self.len);
+        let mut bitpos = 0usize;
+        for _ in 0..self.len {
+            out.push(self.code_at_bit(bitpos));
+            bitpos += bits;
+        }
+        out
+    }
+
+    /// Bulk-decodes the whole tensor to real values through the type's
+    /// decode LUT ([`Codec::decode_lut`]) — one table load and one multiply
+    /// per element, the software analogue of the accelerator's boundary
+    /// decoders feeding a scale multiplier.
+    ///
+    /// Scales map onto elements as contiguous leading-axis blocks: with `s`
+    /// scales over `n` elements, element `i` uses scale `i / (n / s)` —
+    /// per-tensor for `s = 1`, per-output-channel for a `[out, in]` weight
+    /// packed row-major with one scale per `out` row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ChannelMismatch`] when `len` is not divisible
+    /// by the number of scales, or width validation errors from
+    /// [`Codec::new`].
+    pub fn decode_all(&self) -> Result<Vec<f32>, QuantError> {
+        let lut = Codec::new(self.dtype)?.decode_lut();
+        self.decode_all_with_lut(&lut)
+    }
+
+    /// [`Self::decode_all`] with a caller-provided LUT, letting repeated
+    /// decodes of same-typed tensors share one table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ChannelMismatch`] when `len` is not divisible
+    /// by the number of scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lut` is smaller than the code space (`2^bits`).
+    pub fn decode_all_with_lut(&self, lut: &[f32]) -> Result<Vec<f32>, QuantError> {
+        let bits = self.dtype.bits() as usize;
+        assert!(lut.len() >= (1 << bits), "LUT smaller than code space");
+        if !self.len.is_multiple_of(self.scales.len()) {
+            return Err(QuantError::ChannelMismatch {
+                expected: self.scales.len(),
+                actual: self.len,
+            });
+        }
+        let per_channel = self.len / self.scales.len();
+        let mut out = Vec::with_capacity(self.len);
+        let mut bitpos = 0usize;
+        for &scale in &self.scales {
+            for _ in 0..per_channel {
+                out.push(lut[self.code_at_bit(bitpos) as usize] * scale);
+                bitpos += bits;
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -204,6 +274,61 @@ mod tests {
         // GOBO-style weight storage: 3-bit + fp32 outliers + index.
         let gobo = variable_length_size(3, 32, 16, 0.003);
         assert!(gobo > 3.0 && gobo < 3.3, "GOBO {gobo} bits/elem");
+    }
+
+    #[test]
+    fn decode_all_matches_lut_times_scale() {
+        let dt = DataType::flint(4, true).unwrap();
+        let codec = Codec::new(dt).unwrap();
+        let lut = codec.decode_lut();
+        let codes: Vec<u32> = (0..16).collect();
+        // Two channels of 8 elements with different scales.
+        let p = PackedTensor::pack(dt, &codes, vec![0.5, 2.0]).unwrap();
+        let decoded = p.decode_all().unwrap();
+        for (i, &v) in decoded.iter().enumerate() {
+            let scale = if i < 8 { 0.5 } else { 2.0 };
+            assert_eq!(v, lut[codes[i] as usize] * scale, "element {i}");
+        }
+        // Shared-LUT path agrees.
+        assert_eq!(p.decode_all_with_lut(&lut).unwrap(), decoded);
+    }
+
+    #[test]
+    fn decode_all_validates_channel_divisibility() {
+        let dt = DataType::int(4, false).unwrap();
+        let p = PackedTensor::pack(dt, &[1, 2, 3], vec![1.0, 2.0]).unwrap();
+        assert!(matches!(
+            p.decode_all(),
+            Err(QuantError::ChannelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_all_roundtrips_encoded_values() {
+        // encode → pack → decode_all reproduces the snapped values exactly.
+        let dt = DataType::flint(4, true).unwrap();
+        let codec = Codec::new(dt).unwrap();
+        let scale = 0.37f32;
+        let values = [-20.0f32, -3.2, -0.4, 0.0, 0.9, 4.8, 11.0, 70.0];
+        let codes: Vec<u32> = values.iter().map(|&v| codec.encode(v / scale)).collect();
+        let p = PackedTensor::pack(dt, &codes, vec![scale]).unwrap();
+        let decoded = p.decode_all().unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(decoded[i], codec.snap(v / scale) * scale, "element {i}");
+        }
+    }
+
+    #[test]
+    fn streaming_codes_match_random_access_wide_types() {
+        // 12-bit codes span up to 3 bytes; the streaming cursor and the
+        // per-element path must agree.
+        let dt = DataType::int(12, false).unwrap();
+        let codes: Vec<u32> = (0..41).map(|i| (i * 251) % 4096).collect();
+        let p = PackedTensor::pack(dt, &codes, vec![1.0]).unwrap();
+        assert_eq!(p.codes(), codes);
+        for &i in &[0usize, 7, 40] {
+            assert_eq!(p.code(i), codes[i]);
+        }
     }
 
     #[test]

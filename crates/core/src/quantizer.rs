@@ -246,9 +246,52 @@ impl TensorQuantizer {
         }
     }
 
+    /// Reconstructs a quantizer from previously calibrated scales without
+    /// refitting — the deserialization path used by plan compilers and
+    /// selection caches that persist `(dtype, granularity, scales)`
+    /// decisions.
+    ///
+    /// # Errors
+    ///
+    /// * [`QuantError::UnsupportedBitWidth`] for invalid types,
+    /// * [`QuantError::EmptyCalibration`] when `scales` is empty,
+    /// * [`QuantError::ChannelMismatch`] when a per-tensor granularity is
+    ///   given more than one scale,
+    /// * [`QuantError::NonFiniteData`] when any scale is non-positive or
+    ///   non-finite.
+    pub fn from_scales(
+        dtype: DataType,
+        granularity: Granularity,
+        scales: Vec<f32>,
+    ) -> Result<Self, QuantError> {
+        let codec = Codec::new(dtype)?;
+        if scales.is_empty() {
+            return Err(QuantError::EmptyCalibration);
+        }
+        if granularity == Granularity::PerTensor && scales.len() != 1 {
+            return Err(QuantError::ChannelMismatch {
+                expected: 1,
+                actual: scales.len(),
+            });
+        }
+        if scales.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+            return Err(QuantError::NonFiniteData);
+        }
+        Ok(TensorQuantizer {
+            codec,
+            granularity,
+            scales,
+        })
+    }
+
     /// The quantized data type.
     pub fn dtype(&self) -> DataType {
         self.codec.dtype()
+    }
+
+    /// The underlying codec.
+    pub fn codec(&self) -> &Codec {
+        &self.codec
     }
 
     /// The calibration granularity.
@@ -506,6 +549,43 @@ mod tests {
             TensorQuantizer::fit(dt, &t, Granularity::PerTensor, ClipSearch::default()).unwrap();
         let apply_mse = q.mse(&t).unwrap();
         assert!((fitted_mse - apply_mse).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_scales_roundtrips_fitted_quantizer() {
+        let t = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[4, 64],
+            41,
+        );
+        let dt = DataType::flint(4, true).unwrap();
+        let (q, _) =
+            TensorQuantizer::fit(dt, &t, Granularity::PerChannel, ClipSearch::default()).unwrap();
+        let q2 =
+            TensorQuantizer::from_scales(dt, Granularity::PerChannel, q.scales().to_vec()).unwrap();
+        assert_eq!(q.apply(&t).unwrap(), q2.apply(&t).unwrap());
+        assert_eq!(q2.granularity(), Granularity::PerChannel);
+        assert_eq!(q2.codec().dtype(), dt);
+    }
+
+    #[test]
+    fn from_scales_validates_inputs() {
+        let dt = DataType::int(4, true).unwrap();
+        assert!(matches!(
+            TensorQuantizer::from_scales(dt, Granularity::PerTensor, vec![]),
+            Err(QuantError::EmptyCalibration)
+        ));
+        assert!(matches!(
+            TensorQuantizer::from_scales(dt, Granularity::PerTensor, vec![1.0, 2.0]),
+            Err(QuantError::ChannelMismatch { .. })
+        ));
+        assert!(matches!(
+            TensorQuantizer::from_scales(dt, Granularity::PerChannel, vec![1.0, -2.0]),
+            Err(QuantError::NonFiniteData)
+        ));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Leading-zero detector (LZD), the one non-trivial gate in the flint
-//! decoders (paper Fig. 5/6, citing Oklobdzija's modular LZD design [65]).
+//! decoders (paper Fig. 5/6, citing Oklobdzija's modular LZD design \[65\]).
 //!
 //! [`lzd`] mirrors the hardware construction: a tree of 2-bit detectors
 //! combined pairwise, which is how the circuit achieves O(log n) depth.
@@ -39,7 +39,7 @@ pub fn lzd_reference(x: u32, width: u32) -> LzdResult {
 }
 
 /// Structural leading-zero detector: pairwise tree combination of 2-bit
-/// cells, the modular construction of the hardware unit [65].
+/// cells, the modular construction of the hardware unit \[65\].
 ///
 /// # Panics
 ///

@@ -141,6 +141,22 @@ impl Dense {
         &self.weight.value
     }
 
+    /// Immutable view of the bias `[out]` (export hook for inference
+    /// runtimes).
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
     /// The weight actually used in the forward pass (quantized when QAT is
     /// active).
     ///
@@ -370,6 +386,22 @@ impl Conv2d {
     /// Immutable view of the master weight.
     pub fn weight(&self) -> &Tensor {
         &self.weight.value
+    }
+
+    /// Immutable view of the bias `[co]` (export hook for inference
+    /// runtimes).
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+
+    /// Input geometry `(ci, h, w)`.
+    pub fn in_shape(&self) -> (usize, usize, usize) {
+        self.in_shape
+    }
+
+    /// Kernel/stride/padding geometry.
+    pub fn geometry(&self) -> Conv2dGeometry {
+        self.geo
     }
 
     fn effective_weight(&self) -> Result<Tensor, NnError> {

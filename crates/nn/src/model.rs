@@ -45,6 +45,17 @@ impl NetLayer {
         }
     }
 
+    /// Forward pass on this single layer (export hook: lets external
+    /// runtimes execute individual layers — e.g. `ant-runtime`'s fallback
+    /// path for layers it does not run in the packed domain).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the layer's [`Layer::forward`] error.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        self.as_layer_mut().forward(x)
+    }
+
     /// Layer name.
     pub fn name(&self) -> &str {
         match self {

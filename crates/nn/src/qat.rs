@@ -86,15 +86,7 @@ pub fn capture_layer_inputs(
         } else {
             None
         });
-        cur = match layer {
-            NetLayer::Dense(l) => crate::layer::Layer::forward(l, &cur)?,
-            NetLayer::Relu(l) => crate::layer::Layer::forward(l, &cur)?,
-            NetLayer::Conv(l) => crate::layer::Layer::forward(l, &cur)?,
-            NetLayer::Pool(l) => crate::layer::Layer::forward(l, &cur)?,
-            NetLayer::Norm(l) => crate::layer::Layer::forward(l, &cur)?,
-            NetLayer::Attn(l) => crate::layer::Layer::forward(l.as_mut(), &cur)?,
-            NetLayer::Gelu(l) => crate::layer::Layer::forward(l, &cur)?,
-        };
+        cur = layer.forward(&cur)?;
     }
     Ok(inputs)
 }

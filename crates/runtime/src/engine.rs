@@ -1,0 +1,427 @@
+//! Batched request scheduling over a compiled plan.
+//!
+//! Serving traffic arrives one request at a time, but the packed engine is
+//! most efficient on batches: one LUT decode + GEMM pass per layer
+//! amortizes per-call overhead across every queued request. [`Engine`]
+//! owns a worker thread that coalesces submissions into batches under a
+//! [`BatchPolicy`] (close a batch at `max_batch` requests, or after
+//! `max_wait` once the first request of a batch arrives) — the standard
+//! max-batch/max-latency serving trade-off.
+//!
+//! Because the packed layers compute in exact integer arithmetic, results
+//! are bit-identical no matter how requests are grouped; batching is
+//! invisible to callers except in latency.
+
+use crate::error::RuntimeError;
+use crate::plan::CompiledPlan;
+use ant_tensor::Tensor;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// When the scheduler closes a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum requests per batch.
+    pub max_batch: usize,
+    /// Maximum time the first request of a batch waits for company.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 32,
+            max_wait: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Handle to a submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestId(u64);
+
+/// Scheduler counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests accepted by [`Engine::submit`].
+    pub submitted: u64,
+    /// Requests completed (result available or delivered).
+    pub completed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Largest batch executed.
+    pub largest_batch: usize,
+}
+
+struct State {
+    queue: VecDeque<(u64, Vec<f32>)>,
+    results: HashMap<u64, Result<Vec<f32>, String>>,
+    /// Ids drained from the queue whose batch is currently executing.
+    executing: HashSet<u64>,
+    next_id: u64,
+    shutdown: bool,
+    stats: EngineStats,
+}
+
+impl State {
+    /// Whether `id` is still somewhere inside the engine (queued or in the
+    /// executing batch). Once false with no result present, the id is
+    /// either unknown or already delivered.
+    fn in_flight(&self, id: u64) -> bool {
+        self.executing.contains(&id) || self.queue.iter().any(|(q, _)| *q == id)
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// A batched inference engine over a [`CompiledPlan`].
+pub struct Engine {
+    shared: Arc<Shared>,
+    in_features: Option<usize>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts the engine: spawns the worker thread that owns `plan` and
+    /// serves batches under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.max_batch` is zero.
+    pub fn new(plan: CompiledPlan, policy: BatchPolicy) -> Self {
+        assert!(policy.max_batch > 0, "max_batch must be positive");
+        let in_features = plan.in_features();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                results: HashMap::new(),
+                executing: HashSet::new(),
+                next_id: 0,
+                shutdown: false,
+                stats: EngineStats::default(),
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::spawn(move || worker_loop(worker_shared, plan, policy));
+        Engine {
+            shared,
+            in_features,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueues one request (a single feature row). Returns immediately
+    /// with a handle to [`Self::poll`] or [`Self::wait`] on.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::ShapeMismatch`] when the feature count disagrees
+    ///   with the plan,
+    /// * [`RuntimeError::Engine`] after shutdown.
+    pub fn submit(&self, input: &[f32]) -> Result<RequestId, RuntimeError> {
+        if let Some(expected) = self.in_features {
+            if input.len() != expected {
+                return Err(RuntimeError::ShapeMismatch {
+                    expected,
+                    actual: input.len(),
+                });
+            }
+        }
+        let mut state = self.shared.state.lock().expect("engine lock");
+        if state.shutdown {
+            return Err(RuntimeError::Engine("engine is shut down".to_string()));
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.stats.submitted += 1;
+        state.queue.push_back((id, input.to_vec()));
+        drop(state);
+        self.shared.work_cv.notify_one();
+        Ok(RequestId(id))
+    }
+
+    /// Non-blocking result check: `None` while the request is in flight,
+    /// the result (taken out of the engine) once its batch completed.
+    pub fn poll(&self, id: RequestId) -> Option<Result<Vec<f32>, RuntimeError>> {
+        let mut state = self.shared.state.lock().expect("engine lock");
+        state
+            .results
+            .remove(&id.0)
+            .map(|r| r.map_err(RuntimeError::Engine))
+    }
+
+    /// Blocks until the request's batch completes and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Engine`] if the worker fails the request,
+    /// shuts down first, or `id` is unknown / already delivered (results
+    /// are taken out of the engine exactly once).
+    pub fn wait(&self, id: RequestId) -> Result<Vec<f32>, RuntimeError> {
+        let mut state = self.shared.state.lock().expect("engine lock");
+        loop {
+            if let Some(r) = state.results.remove(&id.0) {
+                return r.map_err(RuntimeError::Engine);
+            }
+            if !state.in_flight(id.0) {
+                return Err(RuntimeError::Engine(format!(
+                    "request {} is unknown or its result was already taken",
+                    id.0
+                )));
+            }
+            if state.shutdown {
+                return Err(RuntimeError::Engine("engine is shut down".to_string()));
+            }
+            state = self.shared.done_cv.wait(state).expect("engine lock");
+        }
+    }
+
+    /// Scheduler counters so far.
+    pub fn stats(&self) -> EngineStats {
+        self.shared.state.lock().expect("engine lock").stats
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("engine lock");
+            state.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        self.shared.done_cv.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The worker: wait for work, gather a batch under the policy, execute,
+/// publish results, repeat. Queued work is drained even during shutdown so
+/// submitted requests are never silently dropped.
+fn worker_loop(shared: Arc<Shared>, mut plan: CompiledPlan, policy: BatchPolicy) {
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().expect("engine lock");
+            while state.queue.is_empty() && !state.shutdown {
+                state = shared.work_cv.wait(state).expect("engine lock");
+            }
+            if state.queue.is_empty() && state.shutdown {
+                return;
+            }
+            // First request in hand: hold the batch open until it is full
+            // or the wait budget is spent.
+            let deadline = Instant::now() + policy.max_wait;
+            while state.queue.len() < policy.max_batch && !state.shutdown {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (s, timeout) = shared
+                    .work_cv
+                    .wait_timeout(state, deadline - now)
+                    .expect("engine lock");
+                state = s;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let take = policy.max_batch.min(state.queue.len());
+            let batch = state.queue.drain(..take).collect::<Vec<_>>();
+            for (id, _) in &batch {
+                state.executing.insert(*id);
+            }
+            batch
+        };
+        let outputs = run_batch(&mut plan, &batch);
+        let mut state = shared.state.lock().expect("engine lock");
+        state.stats.batches += 1;
+        state.stats.largest_batch = state.stats.largest_batch.max(batch.len());
+        state.stats.completed += batch.len() as u64;
+        for (id, result) in outputs {
+            state.executing.remove(&id);
+            state.results.insert(id, result);
+        }
+        drop(state);
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Stacks the batch into one `[b, features]` tensor, runs the plan, and
+/// splits the output back into per-request rows.
+fn run_batch(
+    plan: &mut CompiledPlan,
+    batch: &[(u64, Vec<f32>)],
+) -> Vec<(u64, Result<Vec<f32>, String>)> {
+    let features = batch[0].1.len();
+    if batch.iter().any(|(_, row)| row.len() != features) {
+        // Heterogeneous rows can only happen when the plan has no pinned
+        // input width; fail each request individually.
+        return batch
+            .iter()
+            .map(|(id, _)| (*id, Err("mixed feature counts in batch".to_string())))
+            .collect();
+    }
+    let mut data = Vec::with_capacity(batch.len() * features);
+    for (_, row) in batch {
+        data.extend_from_slice(row);
+    }
+    let input = match Tensor::from_vec(data, &[batch.len(), features]) {
+        Ok(t) => t,
+        Err(e) => {
+            return batch
+                .iter()
+                .map(|(id, _)| (*id, Err(e.to_string())))
+                .collect()
+        }
+    };
+    match plan.forward(&input) {
+        Ok(out) => {
+            let per = out.len() / batch.len();
+            batch
+                .iter()
+                .enumerate()
+                .map(|(i, (id, _))| (*id, Ok(out.as_slice()[i * per..(i + 1) * per].to_vec())))
+                .collect()
+        }
+        Err(e) => batch
+            .iter()
+            .map(|(id, _)| (*id, Err(e.to_string())))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ant_nn::model::mlp;
+    use ant_nn::qat::{quantize_model, QuantSpec};
+    use ant_tensor::dist::{sample_tensor, Distribution};
+
+    fn plan() -> (CompiledPlan, Tensor) {
+        let mut model = mlp(8, 4, 23);
+        let calib = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[64, 8],
+            7,
+        );
+        quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+        (CompiledPlan::from_quantized(&model).unwrap(), calib)
+    }
+
+    #[test]
+    fn batched_results_match_direct_forward() {
+        let (plan_for_engine, calib) = plan();
+        let mut reference_plan = plan_for_engine.clone();
+        let engine = Engine::new(
+            plan_for_engine,
+            BatchPolicy {
+                max_batch: 16,
+                max_wait: Duration::from_millis(5),
+            },
+        );
+        let f = calib.dims()[1];
+        let n = 40;
+        let ids: Vec<RequestId> = (0..n)
+            .map(|i| engine.submit(&calib.as_slice()[(i % 64) * f..((i % 64) + 1) * f]))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            let got = engine.wait(*id).unwrap();
+            let row = Tensor::from_vec(
+                calib.as_slice()[(i % 64) * f..((i % 64) + 1) * f].to_vec(),
+                &[1, f],
+            )
+            .unwrap();
+            let expect = reference_plan.forward(&row).unwrap();
+            assert_eq!(got, expect.as_slice(), "request {i}");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, n as u64);
+        assert_eq!(stats.completed, n as u64);
+        assert!(stats.batches >= 3, "expected ≥3 batches of ≤16: {stats:?}");
+        assert!(stats.largest_batch <= 16);
+    }
+
+    #[test]
+    fn poll_is_nonblocking_and_consumes() {
+        let (p, calib) = plan();
+        let engine = Engine::new(p, BatchPolicy::default());
+        let id = engine.submit(&calib.as_slice()[..8]).unwrap();
+        // Spin briefly until the batch closes (max_wait 1ms).
+        let mut got = None;
+        for _ in 0..500 {
+            if let Some(r) = engine.poll(id) {
+                got = Some(r);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(got.unwrap().is_ok());
+        // Result was taken out.
+        assert!(engine.poll(id).is_none());
+    }
+
+    #[test]
+    fn consumed_or_unknown_id_errors_instead_of_hanging() {
+        let (p, calib) = plan();
+        let engine = Engine::new(
+            p,
+            BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::from_millis(1),
+            },
+        );
+        let id = engine.submit(&calib.as_slice()[..8]).unwrap();
+        assert!(engine.wait(id).is_ok());
+        // Second take of the same result: error, not a deadlock.
+        assert!(matches!(engine.wait(id), Err(RuntimeError::Engine(_))));
+        // Never-issued id: same.
+        assert!(matches!(
+            engine.wait(RequestId(12345)),
+            Err(RuntimeError::Engine(_))
+        ));
+    }
+
+    #[test]
+    fn submit_validates_features() {
+        let (p, _) = plan();
+        let engine = Engine::new(p, BatchPolicy::default());
+        assert!(matches!(
+            engine.submit(&[1.0, 2.0]),
+            Err(RuntimeError::ShapeMismatch {
+                expected: 8,
+                actual: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn drop_drains_cleanly() {
+        let (p, calib) = plan();
+        let engine = Engine::new(
+            p,
+            BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+            },
+        );
+        for i in 0..8 {
+            engine
+                .submit(&calib.as_slice()[i * 8..(i + 1) * 8])
+                .unwrap();
+        }
+        drop(engine); // must not deadlock or panic
+    }
+}

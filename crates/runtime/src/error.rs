@@ -1,0 +1,114 @@
+use ant_core::{DataType, QuantError};
+use ant_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for plan compilation and packed-domain execution.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// An underlying quantization operation failed.
+    Quant(QuantError),
+    /// An underlying model operation failed.
+    Nn(NnError),
+    /// A layer selected a data type the integer-domain engine cannot
+    /// execute (the `float` primitive has no int-based wire decoder —
+    /// paper Sec. V-B ships the int-based PE precisely to avoid it).
+    UnsupportedType {
+        /// The offending layer's name.
+        layer: String,
+        /// The selected type.
+        dtype: DataType,
+    },
+    /// A layer reached the plan compiler without attached quantizers.
+    NotQuantized {
+        /// The offending layer's name.
+        layer: String,
+    },
+    /// An input's feature count does not match the plan.
+    ShapeMismatch {
+        /// Features the plan expects.
+        expected: usize,
+        /// Features supplied.
+        actual: usize,
+    },
+    /// The engine worker is shut down or a request was dropped.
+    Engine(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Quant(e) => write!(f, "quantization error: {e}"),
+            RuntimeError::Nn(e) => write!(f, "model error: {e}"),
+            RuntimeError::UnsupportedType { layer, dtype } => {
+                write!(
+                    f,
+                    "layer {layer}: type {dtype} has no integer-domain decoder"
+                )
+            }
+            RuntimeError::NotQuantized { layer } => {
+                write!(f, "layer {layer} has no quantizers attached")
+            }
+            RuntimeError::ShapeMismatch { expected, actual } => {
+                write!(f, "expected {expected} input features, got {actual}")
+            }
+            RuntimeError::Engine(msg) => write!(f, "engine error: {msg}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Quant(e) => Some(e),
+            RuntimeError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QuantError> for RuntimeError {
+    fn from(e: QuantError) -> Self {
+        RuntimeError::Quant(e)
+    }
+}
+
+impl From<NnError> for RuntimeError {
+    fn from(e: NnError) -> Self {
+        RuntimeError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_sources() {
+        let variants: Vec<RuntimeError> = vec![
+            RuntimeError::Quant(QuantError::EmptyCalibration),
+            RuntimeError::Nn(NnError::BadDataset("x".into())),
+            RuntimeError::UnsupportedType {
+                layer: "fc".into(),
+                dtype: DataType::float(4, true).unwrap(),
+            },
+            RuntimeError::NotQuantized { layer: "fc".into() },
+            RuntimeError::ShapeMismatch {
+                expected: 4,
+                actual: 2,
+            },
+            RuntimeError::Engine("down".into()),
+        ];
+        for v in &variants {
+            assert!(!v.to_string().is_empty());
+        }
+        assert!(variants[0].source().is_some());
+        assert!(variants[4].source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RuntimeError>();
+    }
+}

@@ -1,0 +1,145 @@
+//! Integer-domain GEMM over decoded operands.
+//!
+//! After the boundary LUT decode, every ANT operand is a small signed
+//! integer and a layer's matmul is an exact integer computation — the same
+//! arithmetic the TypeFusion PE array performs (`ant-hw`'s `multiply`/
+//! `Accumulator`, paper Fig. 7), here with a 64-bit accumulator so no dot
+//! product can wrap (the tensor-core-style wide-accumulator integration of
+//! Sec. VI-A). Exactness is what makes batched execution deterministic:
+//! results are bit-identical regardless of how requests are grouped.
+//!
+//! The weight operand is kept in the `[n, k]` weight-stationary layout
+//! (rows contiguous), so each output channel is a dot product of two
+//! contiguous slices; inputs are tiled in row blocks so a weight row
+//! streamed from memory is reused across the whole tile.
+
+/// Row-block tile height: weight rows stay cache-hot across this many
+/// input rows.
+const TILE_M: usize = 8;
+
+/// `out[m×n] = a[m×k] · bᵀ` where `b` is `[n, k]` row-major (the
+/// weight-stationary layout). Accumulation is exact in `i64`.
+///
+/// # Panics
+///
+/// Panics when slice lengths disagree with the given dimensions.
+pub fn int_gemm(a: &[i32], b: &[i32], m: usize, k: usize, n: usize, out: &mut [i64]) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), n * k, "rhs length");
+    assert_eq!(out.len(), m * n, "output length");
+    for i0 in (0..m).step_by(TILE_M) {
+        let rows = TILE_M.min(m - i0);
+        for o in 0..n {
+            let w_row = &b[o * k..(o + 1) * k];
+            for i in i0..i0 + rows {
+                let a_row = &a[i * k..(i + 1) * k];
+                let mut acc = 0i64;
+                for (&av, &wv) in a_row.iter().zip(w_row) {
+                    acc += av as i64 * wv as i64;
+                }
+                out[i * n + o] = acc;
+            }
+        }
+    }
+}
+
+/// Multi-threaded [`int_gemm`]: splits input rows across `threads` scoped
+/// threads. Integer arithmetic is exact, so the partitioning cannot change
+/// the result. Falls back to the single-threaded path for small problems
+/// where thread spawn would dominate.
+///
+/// # Panics
+///
+/// Panics when slice lengths disagree with the given dimensions.
+pub fn int_gemm_threaded(
+    a: &[i32],
+    b: &[i32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [i64],
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), n * k, "rhs length");
+    assert_eq!(out.len(), m * n, "output length");
+    let threads = threads.max(1).min(m.max(1));
+    // Threading only pays off when each worker gets real work.
+    if threads == 1 || m * k * n < 1 << 16 {
+        int_gemm(a, b, m, k, n, out);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut row = 0usize;
+        while row < m {
+            let rows = rows_per.min(m - row);
+            let (chunk, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let a_chunk = &a[row * k..(row + rows) * k];
+            scope.spawn(move || int_gemm(a_chunk, b, rows, k, n, chunk));
+            row += rows;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(a: &[i32], b: &[i32], m: usize, k: usize, n: usize) -> Vec<i64> {
+        let mut out = vec![0i64; m * n];
+        for i in 0..m {
+            for o in 0..n {
+                for p in 0..k {
+                    out[i * n + o] += a[i * k + p] as i64 * b[o * k + p] as i64;
+                }
+            }
+        }
+        out
+    }
+
+    fn lcg_ints(len: usize, seed: u32, range: i32) -> Vec<i32> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 16) as i32 % range) - range / 2
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_on_odd_shapes() {
+        for (m, k, n) in [(1, 1, 1), (3, 7, 5), (9, 16, 4), (17, 3, 11)] {
+            let a = lcg_ints(m * k, 1, 65);
+            let b = lcg_ints(n * k, 2, 65);
+            let mut out = vec![0i64; m * n];
+            int_gemm(&a, &b, m, k, n, &mut out);
+            assert_eq!(out, reference(&a, &b, m, k, n), "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn threaded_is_bit_identical() {
+        // Large enough to clear the small-problem fallback threshold.
+        let (m, k, n) = (64, 33, 40);
+        let a = lcg_ints(m * k, 3, 129);
+        let b = lcg_ints(n * k, 4, 129);
+        let mut single = vec![0i64; m * n];
+        int_gemm(&a, &b, m, k, n, &mut single);
+        for threads in [1, 2, 3, 8, 64] {
+            let mut multi = vec![0i64; m * n];
+            int_gemm_threaded(&a, &b, m, k, n, &mut multi, threads);
+            assert_eq!(multi, single, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn rejects_bad_output_length() {
+        let mut out = vec![0i64; 3];
+        int_gemm(&[1, 2], &[3, 4, 5, 6], 1, 2, 2, &mut out);
+    }
+}

@@ -1,0 +1,54 @@
+//! # ant-runtime: packed-domain quantized inference
+//!
+//! The rest of the workspace *chooses* ANT types ([`ant_core::select`]),
+//! *trains* against them ([`ant_nn::qat`]) and *models the hardware* that
+//! executes them (`ant-hw`). This crate closes the loop: it actually runs
+//! inference on the packed low-bit representation.
+//!
+//! * [`Planner`] / [`CompiledPlan`] — plan compilation: walk a trained
+//!   [`ant_nn::model::Sequential`], run (or replay from a memoizing cache)
+//!   Algorithm-2 type selection, and emit packed wire-code weights
+//!   ([`ant_core::pack::PackedTensor`]) plus per-layer scales and decode
+//!   LUTs,
+//! * [`crate::gemm`] — exact integer-domain tiled GEMM over LUT-decoded
+//!   operands, the software mirror of the TypeFusion decoder → int-PE
+//!   pipeline (paper Figs. 6–9), numerics validated code-for-code against
+//!   `ant-hw`,
+//! * [`Engine`] — a batch scheduler: [`Engine::submit`] single requests,
+//!   a worker coalesces them under a [`BatchPolicy`] (max-batch /
+//!   max-wait) into one batched pass per layer, [`Engine::poll`] or
+//!   [`Engine::wait`] for results. Integer execution is exact, so results
+//!   are independent of batch grouping.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ant_nn::model::mlp;
+//! use ant_nn::qat::QuantSpec;
+//! use ant_runtime::{BatchPolicy, Engine, Planner};
+//! use ant_tensor::dist::{sample_tensor, Distribution};
+//!
+//! let mut model = mlp(8, 4, 1);
+//! let calib = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[64, 8], 2);
+//! let mut planner = Planner::new();
+//! let plan = planner.compile(&mut model, &calib, QuantSpec::default())?;
+//! let engine = Engine::new(plan, BatchPolicy::default());
+//! let id = engine.submit(&[0.5; 8])?;
+//! let logits = engine.wait(id)?;
+//! assert_eq!(logits.len(), 4);
+//! # Ok::<(), ant_runtime::RuntimeError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+
+pub mod cache;
+pub mod engine;
+pub mod gemm;
+pub mod plan;
+
+pub use cache::{Planner, SelectionCache, TypeDecision};
+pub use engine::{BatchPolicy, Engine, EngineStats, RequestId};
+pub use error::RuntimeError;
+pub use plan::{CompiledPlan, PackedLinear, PlanLayer};

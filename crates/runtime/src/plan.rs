@@ -1,0 +1,506 @@
+//! Plan compilation: from a quantized [`Sequential`] to an executable
+//! packed-domain plan.
+//!
+//! A [`CompiledPlan`] is the inference-side artifact of ANT quantization:
+//! every dense layer's weights are stored as packed wire codes
+//! ([`PackedTensor`], the paper's fixed-length aligned representation,
+//! Table I) together with a per-layer decode LUT and scales. Execution
+//! decodes codes through the 16-entry LUT into small integers and runs the
+//! exact integer GEMM of [`crate::gemm`] — the software mirror of the
+//! TypeFusion array's boundary-decoder → int-PE pipeline (paper Fig. 9).
+//!
+//! Layers the packed path does not cover (convolutions, attention,
+//! normalisation, pooling) execute through their fake-quantized reference
+//! implementation, so a plan always computes exactly what the QAT model
+//! promised, layer for layer.
+
+use crate::error::RuntimeError;
+use crate::gemm::int_gemm_threaded;
+use ant_core::pack::PackedTensor;
+use ant_core::{DataType, PrimitiveType, Quantizer};
+use ant_nn::layer::{Dense, Layer as _};
+use ant_nn::model::{NetLayer, Sequential};
+use ant_tensor::Tensor;
+
+/// Specialized integer quantization of input activations. Every variant
+/// computes exactly `codec.snap(x / s)` — the fake-quantization semantics —
+/// but the common primitives avoid the generic snap dispatch per element:
+/// `int` is a round-and-clamp, and `flint` (whose snap rounds to an integer
+/// magnitude first, Algorithm 1) becomes a table lookup over the pre-imaged
+/// magnitudes.
+#[derive(Debug, Clone)]
+enum ActQuant {
+    /// `int`: round then clamp.
+    IntRound {
+        /// Lattice bounds in normalized units.
+        lo: f32,
+        /// Upper lattice bound.
+        hi: f32,
+    },
+    /// `flint`: LUT over rounded magnitudes, sign reapplied.
+    FlintLut {
+        /// `lut[m] = decode(encode_int(m))` for every integer magnitude.
+        lut: Vec<i32>,
+        /// Largest magnitude (`flint.max_value()`).
+        max: f32,
+        /// Whether negative inputs carry a sign (vs clamping to zero).
+        signed: bool,
+    },
+    /// Fallback: the codec's generic snap (e.g. `PoT`, whose snap is
+    /// nearest-value on the continuous input and cannot be pre-rounded).
+    Snap,
+}
+
+impl ActQuant {
+    fn for_quantizer(q: &Quantizer) -> ActQuant {
+        let codec = q.codec();
+        let dt = codec.dtype();
+        match dt.primitive() {
+            PrimitiveType::Int => {
+                let hi = codec.max_value();
+                let lo = if dt.is_signed() { -hi } else { 0.0 };
+                ActQuant::IntRound { lo, hi }
+            }
+            PrimitiveType::Flint => {
+                let max = codec.max_value();
+                let lut: Vec<i32> = (0..=max as usize)
+                    .map(|m| codec.snap(m as f32) as i32)
+                    .collect();
+                ActQuant::FlintLut {
+                    lut,
+                    max,
+                    signed: dt.is_signed(),
+                }
+            }
+            _ => ActQuant::Snap,
+        }
+    }
+
+    /// Quantizes one normalized value to its integer lattice point.
+    #[inline]
+    fn apply(&self, v: f32, codec: &ant_core::Codec) -> i32 {
+        match self {
+            ActQuant::IntRound { lo, hi } => v.round().clamp(*lo, *hi) as i32,
+            ActQuant::FlintLut { lut, max, signed } => {
+                if *signed {
+                    let q = lut[v.abs().round().min(*max) as usize];
+                    if v < 0.0 {
+                        -q
+                    } else {
+                        q
+                    }
+                } else {
+                    lut[v.round().max(0.0).min(*max) as usize]
+                }
+            }
+            ActQuant::Snap => codec.snap(v) as i32,
+        }
+    }
+}
+
+/// A dense layer compiled to the packed integer domain.
+#[derive(Debug, Clone)]
+pub struct PackedLinear {
+    name: String,
+    /// Packed wire codes of the `[out, in]` weight, one scale per output
+    /// channel (or one per tensor).
+    weights: PackedTensor,
+    /// LUT-decoded integer weights, cached at compile time (decode once,
+    /// execute many).
+    w_int: Vec<i32>,
+    /// Per-output-channel scales (broadcast when the quantizer was
+    /// per-tensor).
+    w_scales: Vec<f32>,
+    bias: Vec<f32>,
+    /// Input-activation quantizer (per-tensor).
+    act: Quantizer,
+    /// Specialized integer activation-quantization path.
+    act_quant: ActQuant,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl PackedLinear {
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The packed weight tensor.
+    pub fn weights(&self) -> &PackedTensor {
+        &self.weights
+    }
+
+    /// The weight data type.
+    pub fn dtype(&self) -> DataType {
+        self.weights.dtype()
+    }
+
+    /// The activation quantizer.
+    pub fn activation(&self) -> &Quantizer {
+        &self.act
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Executes `y = dequant(int_gemm(quant(x), W_codes)) + b` on a
+    /// `[batch, in]` input.
+    fn forward(&self, x: &Tensor, threads: usize) -> Result<Tensor, RuntimeError> {
+        if x.rank() != 2 || x.dims()[1] != self.in_features {
+            return Err(RuntimeError::ShapeMismatch {
+                expected: self.in_features,
+                actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
+            });
+        }
+        let batch = x.dims()[0];
+        let (k, n) = (self.in_features, self.out_features);
+        let s_a = self.act.scale();
+        let codec = self.act.codec();
+        // Quantize activations onto the integer lattice (snap yields
+        // integer-valued normalized points for int/PoT/flint).
+        let mut a_int = Vec::with_capacity(batch * k);
+        for &v in x.as_slice() {
+            a_int.push(self.act_quant.apply(v / s_a, codec));
+        }
+        let mut acc = vec![0i64; batch * n];
+        int_gemm_threaded(&a_int, &self.w_int, batch, k, n, &mut acc, threads);
+        let mut out = Tensor::zeros(&[batch, n]);
+        let ov = out.as_mut_slice();
+        for i in 0..batch {
+            for o in 0..n {
+                ov[i * n + o] = acc[i * n + o] as f32 * (s_a * self.w_scales[o]) + self.bias[o];
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One executable step of a compiled plan.
+#[derive(Debug, Clone)]
+pub enum PlanLayer {
+    /// Packed-domain dense layer (boxed: an order of magnitude larger
+    /// than the other variants).
+    Packed(Box<PackedLinear>),
+    /// ReLU (free in either domain).
+    Relu,
+    /// Reference (fake-quantized f32) execution for layer kinds the packed
+    /// path does not cover.
+    Fallback(Box<NetLayer>),
+}
+
+/// An executable quantized inference plan.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    layers: Vec<PlanLayer>,
+    in_features: Option<usize>,
+    threads: usize,
+}
+
+impl CompiledPlan {
+    /// Compiles a plan from a model whose quantizable layers already carry
+    /// quantizers (e.g. after [`ant_nn::qat::quantize_model`] or via
+    /// [`crate::Planner::compile`], which adds the memoizing cache).
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::NotQuantized`] when a dense layer has no
+    ///   weight/activation quantizers,
+    /// * [`RuntimeError::UnsupportedType`] when a dense layer selected the
+    ///   `float` primitive (no integer-domain wire decoder).
+    pub fn from_quantized(model: &Sequential) -> Result<Self, RuntimeError> {
+        let mut layers = Vec::with_capacity(model.layers().len());
+        for layer in model.layers() {
+            layers.push(match layer {
+                NetLayer::Dense(d) => PlanLayer::Packed(Box::new(pack_dense(d)?)),
+                NetLayer::Relu(_) => PlanLayer::Relu,
+                other => PlanLayer::Fallback(Box::new(other.clone())),
+            });
+        }
+        let in_features = model.layers().first().and_then(layer_in_features);
+        Ok(CompiledPlan {
+            layers,
+            in_features,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        })
+    }
+
+    /// Overrides the GEMM thread count (defaults to the machine's
+    /// available parallelism).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The plan's steps.
+    pub fn layers(&self) -> &[PlanLayer] {
+        &self.layers
+    }
+
+    /// Expected input feature count, when the first layer pins one.
+    pub fn in_features(&self) -> Option<usize> {
+        self.in_features
+    }
+
+    /// Number of layers running in the packed integer domain.
+    pub fn packed_layer_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l, PlanLayer::Packed(_)))
+            .count()
+    }
+
+    /// Bytes of packed weight storage (the aligned `⌈n·bits/8⌉` footprint),
+    /// versus the f32 bytes the same weights would occupy.
+    pub fn weight_bytes(&self) -> (usize, usize) {
+        let mut packed = 0usize;
+        let mut f32_bytes = 0usize;
+        for l in &self.layers {
+            if let PlanLayer::Packed(p) = l {
+                packed += p.weights.size_bytes();
+                f32_bytes += p.weights.len() * std::mem::size_of::<f32>();
+            }
+        }
+        (packed, f32_bytes)
+    }
+
+    /// Runs a `[batch, features]` tensor through the plan.
+    ///
+    /// Integer-domain layers are exact, so outputs are deterministic and
+    /// independent of how requests were grouped into the batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches and fallback-layer failures.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, RuntimeError> {
+        let threads = self.threads;
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = match layer {
+                PlanLayer::Packed(p) => p.forward(&cur, threads)?,
+                PlanLayer::Relu => cur.map(|v| v.max(0.0)),
+                PlanLayer::Fallback(l) => l.forward(&cur)?,
+            };
+        }
+        Ok(cur)
+    }
+}
+
+/// Input feature count implied by a layer's geometry, when it has one.
+fn layer_in_features(layer: &NetLayer) -> Option<usize> {
+    match layer {
+        NetLayer::Dense(d) => Some(d.in_features()),
+        NetLayer::Conv(c) => {
+            let (ci, h, w) = c.in_shape();
+            Some(ci * h * w)
+        }
+        _ => None,
+    }
+}
+
+/// Packs one quantized dense layer: encodes the fake-quantized weight onto
+/// wire codes, precomputes the LUT-decoded integer weights, and carries
+/// the activation quantizer.
+fn pack_dense(d: &Dense) -> Result<PackedLinear, RuntimeError> {
+    let name = d.name().to_string();
+    let wq = d
+        .quant
+        .weight
+        .as_ref()
+        .ok_or_else(|| RuntimeError::NotQuantized {
+            layer: name.clone(),
+        })?;
+    let aq = d
+        .quant
+        .activation
+        .as_ref()
+        .ok_or_else(|| RuntimeError::NotQuantized {
+            layer: name.clone(),
+        })?;
+    for dt in [wq.dtype(), aq.dtype()] {
+        if dt.primitive() == PrimitiveType::Float {
+            return Err(RuntimeError::UnsupportedType {
+                layer: name,
+                dtype: dt,
+            });
+        }
+    }
+    let (out, inp) = (d.out_features(), d.in_features());
+    let codec = wq.codec();
+    let scales = wq.scales();
+    // Broadcast a per-tensor scale across output channels.
+    let w_scales: Vec<f32> = if scales.len() == 1 {
+        vec![scales[0]; out]
+    } else {
+        scales.to_vec()
+    };
+    if w_scales.len() != out {
+        return Err(RuntimeError::Quant(ant_core::QuantError::ChannelMismatch {
+            expected: out,
+            actual: w_scales.len(),
+        }));
+    }
+    let w = d.weight().as_slice();
+    let mut codes = Vec::with_capacity(out * inp);
+    for o in 0..out {
+        let s = w_scales[o];
+        for i in 0..inp {
+            codes.push(codec.encode(w[o * inp + i] / s));
+        }
+    }
+    let packed = PackedTensor::pack(wq.dtype(), &codes, scales.to_vec())?;
+    let lut = codec.decode_lut();
+    let w_int: Vec<i32> = codes.iter().map(|&c| lut[c as usize] as i32).collect();
+    Ok(PackedLinear {
+        name,
+        weights: packed,
+        w_int,
+        w_scales,
+        bias: d.bias().as_slice().to_vec(),
+        act_quant: ActQuant::for_quantizer(aq),
+        act: aq.clone(),
+        in_features: inp,
+        out_features: out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ant_nn::model::mlp;
+    use ant_nn::qat::{quantize_model, QuantSpec};
+    use ant_tensor::dist::{sample_tensor, Distribution};
+
+    fn quantized_mlp() -> (Sequential, Tensor) {
+        let mut model = mlp(8, 4, 11);
+        let calib = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[64, 8],
+            3,
+        );
+        quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+        (model, calib)
+    }
+
+    #[test]
+    fn plan_matches_fake_quantized_forward() {
+        let (mut model, calib) = quantized_mlp();
+        let mut plan = CompiledPlan::from_quantized(&model).unwrap();
+        assert_eq!(plan.packed_layer_count(), 3);
+        assert_eq!(plan.in_features(), Some(8));
+        let x = calib;
+        let reference = model.forward(&x).unwrap();
+        let out = plan.forward(&x).unwrap();
+        assert_eq!(out.dims(), reference.dims());
+        for (a, b) in out.as_slice().iter().zip(reference.as_slice()) {
+            assert!(
+                (a - b).abs() <= 1e-4 * (1.0 + b.abs()),
+                "packed {a} vs reference {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_equals_single_row_execution() {
+        let (model, calib) = quantized_mlp();
+        let mut plan = CompiledPlan::from_quantized(&model).unwrap();
+        let batched = plan.forward(&calib).unwrap();
+        let f = calib.dims()[1];
+        for i in 0..calib.dims()[0] {
+            let row =
+                Tensor::from_vec(calib.as_slice()[i * f..(i + 1) * f].to_vec(), &[1, f]).unwrap();
+            let single = plan.forward(&row).unwrap();
+            assert_eq!(
+                single.as_slice(),
+                &batched.as_slice()[i * batched.dims()[1]..(i + 1) * batched.dims()[1]],
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_weights_decode_to_effective_weights() {
+        let (model, _) = quantized_mlp();
+        let plan = CompiledPlan::from_quantized(&model).unwrap();
+        for (layer, plan_layer) in model.layers().iter().zip(plan.layers()) {
+            if let (NetLayer::Dense(d), PlanLayer::Packed(p)) = (layer, plan_layer) {
+                let expected = d.effective_weight().unwrap();
+                let decoded = p.weights().decode_all().unwrap();
+                for (a, b) in decoded.iter().zip(expected.as_slice()) {
+                    assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn act_quant_specializations_match_codec_snap() {
+        use ant_core::DataType;
+        for dt in [
+            DataType::int(4, true).unwrap(),
+            DataType::int(4, false).unwrap(),
+            DataType::int(8, true).unwrap(),
+            DataType::flint(4, true).unwrap(),
+            DataType::flint(4, false).unwrap(),
+            DataType::flint(6, true).unwrap(),
+            DataType::pot(4, true).unwrap(),
+            DataType::pot(4, false).unwrap(),
+        ] {
+            let q = Quantizer::with_scale(dt, 1.0).unwrap();
+            let act = ActQuant::for_quantizer(&q);
+            let codec = q.codec();
+            let max = codec.max_value();
+            let mut v = -1.5 * max;
+            let step = max / 97.0;
+            while v <= 1.5 * max {
+                assert_eq!(act.apply(v, codec), codec.snap(v) as i32, "{dt}: v={v}");
+                v += step;
+            }
+        }
+    }
+
+    #[test]
+    fn unquantized_dense_is_rejected() {
+        let model = mlp(8, 4, 11);
+        assert!(matches!(
+            CompiledPlan::from_quantized(&model),
+            Err(RuntimeError::NotQuantized { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let (model, _) = quantized_mlp();
+        let mut plan = CompiledPlan::from_quantized(&model).unwrap();
+        assert!(matches!(
+            plan.forward(&Tensor::zeros(&[2, 5])),
+            Err(RuntimeError::ShapeMismatch {
+                expected: 8,
+                actual: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn weight_bytes_reports_compression() {
+        let (model, _) = quantized_mlp();
+        let plan = CompiledPlan::from_quantized(&model).unwrap();
+        let (packed, f32b) = plan.weight_bytes();
+        assert!(packed > 0);
+        // 4-bit codes: 8x smaller than f32 (up to rounding per layer).
+        assert!(packed * 7 <= f32b, "packed {packed} vs f32 {f32b}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Property suite for the packed runtime: for random small models the
+//! packed-domain forward must match the fake-quantized QAT forward, and
+//! the packed representation must match `ant-hw`'s decoder semantics
+//! code for code — the two promises that make the runtime a faithful
+//! stand-in for the TypeFusion accelerator.
+
+use ant_core::{Codec, PrimitiveType};
+use ant_hw::decode::{decode, WireType};
+use ant_hw::systolic::{reference_gemm, DecodedMatrix};
+use ant_nn::layer::{Dense, Relu};
+use ant_nn::model::{NetLayer, Sequential};
+use ant_nn::qat::{quantize_model, QuantSpec};
+use ant_runtime::gemm::int_gemm;
+use ant_runtime::{CompiledPlan, PlanLayer};
+use ant_tensor::dist::{sample_tensor, Distribution};
+use ant_tensor::Tensor;
+use proptest::prelude::*;
+
+fn gaussian(dims: &[usize], seed: u64) -> Tensor {
+    sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        dims,
+        seed,
+    )
+}
+
+/// A random small MLP: `depth` hidden Dense+ReLU blocks plus a head.
+fn random_mlp(input: usize, width: usize, depth: usize, classes: usize, seed: u64) -> Sequential {
+    let mut m = Sequential::new();
+    let mut inp = input;
+    for i in 0..depth {
+        m = m
+            .push(NetLayer::Dense(Dense::init(
+                format!("fc{i}"),
+                width,
+                inp,
+                seed.wrapping_add(i as u64),
+            )))
+            .push(NetLayer::Relu(Relu::new(format!("relu{i}"))));
+        inp = width;
+    }
+    m.push(NetLayer::Dense(Dense::init(
+        "head",
+        classes,
+        inp,
+        seed.wrapping_add(100),
+    )))
+}
+
+fn wire_type(dtype: ant_core::DataType) -> WireType {
+    let signed = dtype.is_signed();
+    match dtype.primitive() {
+        PrimitiveType::Int => WireType::Int { signed },
+        PrimitiveType::Pot => WireType::Pot { signed },
+        PrimitiveType::Flint => WireType::Flint { signed },
+        PrimitiveType::Float => panic!("float never reaches the packed path"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Packed-domain forward matches the fake-quantized reference forward
+    /// within 1e-4 relative tolerance on random small models.
+    #[test]
+    fn runtime_matches_qat_forward(
+        input in 2usize..8, width in 3usize..10, depth in 1usize..3,
+        classes in 2usize..5, batch in 1usize..5, seed in 0u64..500,
+    ) {
+        let mut model = random_mlp(input, width, depth, classes, seed);
+        let calib = gaussian(&[48, input], seed.wrapping_add(7));
+        quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+        let mut plan = CompiledPlan::from_quantized(&model).unwrap();
+        let x = gaussian(&[batch, input], seed.wrapping_add(13));
+        let reference = model.forward(&x).unwrap();
+        let packed = plan.forward(&x).unwrap();
+        prop_assert_eq!(packed.dims(), reference.dims());
+        for (i, (a, b)) in packed.as_slice().iter().zip(reference.as_slice()).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-4 * (1.0 + b.abs()),
+                "output {i}: packed {a} vs reference {b}"
+            );
+        }
+    }
+
+    /// Every packed layer's decode LUT agrees with the bit-level `ant-hw`
+    /// decoder on every code, and the packed codes decode to exactly the
+    /// fake-quantized weights.
+    #[test]
+    fn packed_codes_match_hw_decoder_semantics(
+        input in 2usize..8, width in 3usize..10, seed in 0u64..500,
+    ) {
+        let mut model = random_mlp(input, width, 1, 3, seed);
+        let calib = gaussian(&[48, input], seed.wrapping_add(3));
+        quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+        let plan = CompiledPlan::from_quantized(&model).unwrap();
+        for layer in plan.layers() {
+            let PlanLayer::Packed(p) = layer else { continue };
+            for q in [p.dtype(), p.activation().dtype()] {
+                let codec = Codec::new(q).unwrap();
+                let lut = codec.decode_lut();
+                let wt = wire_type(q);
+                for code in 0..codec.num_codes() as u32 {
+                    let hw = decode(code, q.bits(), wt).unwrap();
+                    prop_assert_eq!(
+                        lut[code as usize] as i64, hw.value(),
+                        "{}: code {:b}", q, code
+                    );
+                }
+            }
+        }
+        // decode_all equals the reference effective (fake-quantized) weight.
+        for (layer, plan_layer) in model.layers().iter().zip(plan.layers()) {
+            if let (NetLayer::Dense(d), PlanLayer::Packed(p)) = (layer, plan_layer) {
+                let expected = d.effective_weight().unwrap();
+                let decoded = p.weights().decode_all().unwrap();
+                for (a, b) in decoded.iter().zip(expected.as_slice()) {
+                    prop_assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()), "{} vs {}", a, b);
+                }
+            }
+        }
+    }
+
+    /// The runtime's integer GEMM equals the cycle-stepped hardware
+    /// reference over decoded operands (mac semantics, Fig. 7).
+    #[test]
+    fn int_gemm_matches_hw_reference(
+        m in 1usize..7, k in 1usize..9, n in 1usize..7, seed in 0u32..1000,
+    ) {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let mut codes = |len: usize| -> Vec<u32> {
+            (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (state >> 16) & 0xF
+                })
+                .collect()
+        };
+        let a_codes = codes(m * k);
+        let b_codes = codes(n * k);
+        let a = DecodedMatrix::from_codes(m, k, &a_codes, 4, WireType::Flint { signed: false })
+            .unwrap();
+        // b as [n, k]: the runtime's weight-stationary layout.
+        let b = DecodedMatrix::from_codes(n, k, &b_codes, 4, WireType::Flint { signed: true })
+            .unwrap();
+        let a_int: Vec<i32> = a.values().iter().map(|&v| v as i32).collect();
+        let b_int: Vec<i32> = b.values().iter().map(|&v| v as i32).collect();
+        let mut out = vec![0i64; m * n];
+        int_gemm(&a_int, &b_int, m, k, n, &mut out);
+        // Hardware reference computes a (m×k) × bᵀ (k×n): transpose b.
+        let mut bt = vec![ant_hw::decode::Decoded { base: 0, exp: 0 }; k * n];
+        for r in 0..n {
+            for c in 0..k {
+                bt[c * n + r] = b.get(r, c);
+            }
+        }
+        let bt = DecodedMatrix::new(k, n, bt);
+        prop_assert_eq!(out, reference_gemm(&a, &bt));
+    }
+}

@@ -37,7 +37,7 @@ pub enum Distribution {
         b: f32,
     },
     /// Gaussian bulk contaminated with a small fraction of wide-Gaussian
-    /// outliers — the shape OLAccel/GOBO (papers [66], [86]) target.
+    /// outliers — the shape OLAccel/GOBO (papers \[66\], \[86\]) target.
     OutlierGaussian {
         /// Standard deviation of the bulk.
         std: f32,

@@ -1,0 +1,137 @@
+//! Serving a quantized model end to end: train an MLP, compile it to a
+//! packed-domain plan (with the memoizing type-selection cache), start the
+//! batched engine, and push >1000 requests through `submit`/`poll`/`wait`,
+//! verifying every response against the fake-quantized reference forward.
+//!
+//! Run with: `cargo run --release --example serve_quantized`
+
+use ant::nn::data::blobs;
+use ant::nn::model::deep_mlp;
+use ant::nn::qat::QuantSpec;
+use ant::nn::train::{evaluate, train, TrainConfig};
+use ant::runtime::{BatchPolicy, Engine, Planner, RequestId};
+use std::time::{Duration, Instant};
+
+const REQUESTS: usize = 3200;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train the reference model on the blobs task. Deep and narrow: the
+    // serving regime where per-layer overhead dominates and batching pays.
+    let data = blobs(400, 16, 4, 0.4, 11);
+    let (train_set, test_set) = data.split(0.25);
+    let mut model = deep_mlp(16, 4, 8, 6, 5);
+    train(
+        &mut model,
+        &train_set,
+        TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            seed: 3,
+        },
+    )?;
+    println!(
+        "trained fp32 model: {:.1}% test accuracy",
+        evaluate(&mut model, &test_set)? * 100.0
+    );
+
+    // Compile to a packed plan; the second compilation replays the cached
+    // Algorithm-2 decisions instead of refitting.
+    let (calib, _) = train_set.batch(&(0..100).collect::<Vec<_>>());
+    let mut planner = Planner::new();
+    let t0 = Instant::now();
+    let _cold_plan = planner.compile(&mut model, &calib, QuantSpec::default())?;
+    let cold = t0.elapsed();
+    let t0 = Instant::now();
+    let plan = planner.compile(&mut model, &calib, QuantSpec::default())?;
+    let warm = t0.elapsed();
+    let (packed_bytes, f32_bytes) = plan.weight_bytes();
+    println!(
+        "plan: {} packed layers, {packed_bytes} B packed weights ({f32_bytes} B as f32)",
+        plan.packed_layer_count(),
+    );
+    println!(
+        "compile: {:.1} ms cold, {:.3} ms warm (cache hits/misses: {:?})",
+        cold.as_secs_f64() * 1e3,
+        warm.as_secs_f64() * 1e3,
+        planner.cache().stats(),
+    );
+
+    // Reference outputs from the fake-quantized model.
+    let inputs = test_set.inputs();
+    let f = test_set.features();
+    let n_test = test_set.len();
+    let reference = model.forward(inputs)?;
+    let classes = reference.dims()[1];
+
+    // Serve the same request stream twice: concurrent requests coalesced
+    // into batches of up to 32, versus unbatched serving (one request in
+    // flight at a time, submit → wait → next) — the configuration the
+    // batch scheduler exists to beat.
+    let mut throughputs = Vec::new();
+    for (label, max_batch, closed_loop) in
+        [("batched(32)", 32usize, false), ("unbatched  ", 1, true)]
+    {
+        let engine = Engine::new(
+            plan.clone(),
+            BatchPolicy {
+                max_batch,
+                max_wait: Duration::from_millis(1),
+            },
+        );
+        // Warm up the worker (first batches pay one-time page-in costs).
+        for i in 0..64 {
+            let row = (i * 7) % n_test;
+            let id = engine.submit(&inputs.as_slice()[row * f..(row + 1) * f])?;
+            let _ = engine.wait(id)?;
+        }
+        let warmup = engine.stats();
+        let check = |i: usize, got: &[f32]| -> usize {
+            let row = (i * 7) % n_test;
+            let expect = &reference.as_slice()[row * classes..(row + 1) * classes];
+            got.iter()
+                .zip(expect)
+                .filter(|(a, b)| (*a - *b).abs() > 1e-4 * (1.0 + b.abs()))
+                .count()
+        };
+        let t0 = Instant::now();
+        let mut wrong = 0usize;
+        if closed_loop {
+            for i in 0..REQUESTS {
+                let row = (i * 7) % n_test; // deterministic request mix
+                let id = engine.submit(&inputs.as_slice()[row * f..(row + 1) * f])?;
+                wrong += check(i, &engine.wait(id)?);
+            }
+        } else {
+            let ids: Vec<RequestId> = (0..REQUESTS)
+                .map(|i| {
+                    let row = (i * 7) % n_test;
+                    engine.submit(&inputs.as_slice()[row * f..(row + 1) * f])
+                })
+                .collect::<Result<_, _>>()?;
+            for (i, id) in ids.iter().enumerate() {
+                wrong += check(i, &engine.wait(*id)?);
+            }
+        }
+        let elapsed = t0.elapsed();
+        let stats = engine.stats();
+        let rps = REQUESTS as f64 / elapsed.as_secs_f64();
+        throughputs.push(rps);
+        println!(
+            "{label}: {REQUESTS} requests in {:>7.1} ms ({rps:>9.0} req/s, \
+             {} batches, largest {}, {} mismatches)",
+            elapsed.as_secs_f64() * 1e3,
+            stats.batches - warmup.batches,
+            stats.largest_batch,
+            wrong,
+        );
+        assert_eq!(stats.completed - warmup.completed, REQUESTS as u64);
+        assert_eq!(wrong, 0, "packed outputs diverged from the QAT reference");
+    }
+    println!(
+        "batched speedup over unbatched: {:.1}x",
+        throughputs[0] / throughputs[1]
+    );
+    Ok(())
+}

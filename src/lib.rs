@@ -8,12 +8,15 @@
 //! * [`tensor`] — the dense tensor substrate,
 //! * [`nn`] — the DNN training substrate with STE fake quantization,
 //! * [`hw`] — bit-accurate TypeFusion decoders, MACs and systolic arrays,
-//! * [`sim`] — the iso-area accelerator performance/energy simulator.
+//! * [`sim`] — the iso-area accelerator performance/energy simulator,
+//! * [`runtime`] — the packed-domain inference engine: plan compilation,
+//!   LUT decode, integer GEMM and batched serving.
 //!
 //! See `examples/quickstart.rs` for a tour and `DESIGN.md` for the
 //! paper-to-module map.
 pub use ant_core as core;
 pub use ant_hw as hw;
 pub use ant_nn as nn;
+pub use ant_runtime as runtime;
 pub use ant_sim as sim;
 pub use ant_tensor as tensor;

@@ -7,8 +7,11 @@ use ant::core::flint::Flint;
 use ant::core::{ClipSearch, DataType, Quantizer};
 use ant::hw::decode::{decode_flint, WireType};
 use ant::hw::systolic::{reference_gemm, DecodedMatrix, SystolicArray};
+use ant::nn::model::mlp;
+use ant::nn::qat::QuantSpec;
+use ant::runtime::{BatchPolicy, Engine, Planner};
 use ant::sim::design::compute_cycles;
-use ant::tensor::dist::{sample_vec, Distribution};
+use ant::tensor::dist::{sample_tensor, sample_vec, Distribution};
 
 #[test]
 fn core_and_hw_agree_on_every_flint_code() {
@@ -70,6 +73,76 @@ fn analytic_cycle_model_matches_cycle_stepped_array() {
             "m={m} k={k} n={n} array={array}"
         );
     }
+}
+
+#[test]
+fn select_compile_batch_execute_matches_reference_forward() {
+    // The full serving path across crates: Algorithm-2 selection on a real
+    // model (ant-core via ant-nn), plan compilation to packed wire codes
+    // (ant-runtime), batched execution through the scheduler, and
+    // comparison against the fake-quantized reference forward — one
+    // request at a time, out of submission order.
+    let mut model = mlp(8, 4, 77);
+    let calib = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[64, 8],
+        78,
+    );
+    let mut planner = Planner::new();
+    let plan = planner
+        .compile(&mut model, &calib, QuantSpec::default())
+        .expect("plan compiles");
+    assert_eq!(plan.packed_layer_count(), 3);
+
+    // Second compilation replays the cached type selection.
+    let _ = planner
+        .compile(&mut model, &calib, QuantSpec::default())
+        .expect("recompilation succeeds");
+    assert_eq!(planner.cache().stats(), (1, 1));
+
+    let engine = Engine::new(
+        plan,
+        BatchPolicy {
+            max_batch: 16,
+            max_wait: std::time::Duration::from_millis(2),
+        },
+    );
+    let queries = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[40, 8],
+        79,
+    );
+    let ids: Vec<_> = (0..40)
+        .map(|i| {
+            engine
+                .submit(&queries.as_slice()[i * 8..(i + 1) * 8])
+                .expect("submit succeeds")
+        })
+        .collect();
+    // Reference: fake-quantized forward on the quantized model.
+    let reference = model.forward(&queries).expect("reference forward");
+    for (i, id) in ids.iter().enumerate().rev() {
+        let got = engine.wait(*id).expect("request completes");
+        let expect = &reference.as_slice()[i * 4..(i + 1) * 4];
+        for (a, b) in got.iter().zip(expect) {
+            assert!(
+                (a - b).abs() <= 1e-4 * (1.0 + b.abs()),
+                "request {i}: packed {a} vs reference {b}"
+            );
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 40);
+    assert!(
+        stats.largest_batch > 1,
+        "batching never kicked in: {stats:?}"
+    );
 }
 
 #[test]

@@ -1,7 +1,9 @@
 //! Rot guards for targets that plain `cargo test` never compiles: the
-//! four examples and the six Criterion bench binaries. Without these,
+//! examples and the Criterion bench binaries. Without these,
 //! `cargo build --examples` / `cargo bench --no-run` can silently break
-//! while the test suite stays green.
+//! while the test suite stays green. The serving example is additionally
+//! *run*: it self-checks >1000 batched requests against the reference
+//! forward, so a silent numerics regression in the runtime fails here.
 //!
 //! Each test shells out to `cargo` against this workspace. A dedicated
 //! target directory avoids deadlocking on the build lock held by the
@@ -41,4 +43,11 @@ fn examples_still_build() {
 #[test]
 fn benches_still_build() {
     nested_cargo(&["bench", "--no-run", "-p", "ant-bench"]);
+}
+
+#[test]
+fn serve_quantized_smoke_runs() {
+    // The example asserts zero mismatches between the packed engine and
+    // the fake-quantized reference over its full request stream.
+    nested_cargo(&["run", "--example", "serve_quantized"]);
 }

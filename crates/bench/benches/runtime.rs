@@ -2,9 +2,11 @@
 //! fake-quantized forward vs packed integer forward, and batched vs
 //! unbatched serving through the engine — the perf trajectory of the
 //! serving path (all rates are per *request*, so higher elem/s directly
-//! means higher request throughput).
+//! means higher request throughput). Conv (im2row-lowered) and attention
+//! (integer Q/K/V) plans get their own groups so the packed coverage of
+//! the paper's CNN/Transformer workloads is tracked, not just MLPs.
 
-use ant_nn::model::deep_mlp;
+use ant_nn::model::{deep_mlp, small_cnn, transformer_block, Sequential};
 use ant_nn::qat::{quantize_model, QuantSpec};
 use ant_runtime::{BatchPolicy, CompiledPlan, Engine};
 use ant_tensor::dist::{sample_tensor, Distribution};
@@ -98,5 +100,76 @@ fn bench_runtime(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_runtime);
+/// One packed-vs-fake-quant forward pair for a model family, normalized
+/// per request.
+fn bench_packed_family(
+    c: &mut Criterion,
+    group_name: &str,
+    mut qat_model: Sequential,
+    features: usize,
+) {
+    let calib = gaussian(&[64, features], 3);
+    quantize_model(&mut qat_model, &calib, QuantSpec::default()).expect("quantize");
+    // Strict: these families must never silently fall back to f32.
+    let mut plan = CompiledPlan::from_quantized_strict(&qat_model).expect("compile");
+    assert!(
+        plan.coverage() == 1.0,
+        "{group_name}: fallback layer in plan"
+    );
+    let x = gaussian(&[BATCH, features], 9);
+    let mut group = c.benchmark_group(group_name);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("qat_forward/batch32", |b| {
+        b.iter(|| qat_model.forward(black_box(&x)).expect("forward"))
+    });
+    group.bench_function("packed_forward/batch32", |b| {
+        b.iter(|| plan.forward(black_box(&x)).expect("forward"))
+    });
+    // Engine serving: 32 concurrent requests coalesced into one batch.
+    let rows: Vec<&[f32]> = (0..BATCH)
+        .map(|i| &x.as_slice()[i * features..(i + 1) * features])
+        .collect();
+    let engine = Engine::new(
+        plan.clone(),
+        BatchPolicy {
+            max_batch: BATCH,
+            max_wait: Duration::from_millis(1),
+        },
+    );
+    for row in &rows {
+        let id = engine.submit(row).expect("submit");
+        let _ = engine.wait(id).expect("warmup");
+    }
+    group.bench_function("engine_batched/32_concurrent", |b| {
+        b.iter(|| {
+            let ids: Vec<_> = rows
+                .iter()
+                .map(|row| engine.submit(row).expect("submit"))
+                .collect();
+            for id in ids {
+                black_box(engine.wait(id).expect("result"));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// The CNN serving path: conv → pool → dense through the integer im2row
+/// GEMM pipeline.
+fn bench_runtime_conv(c: &mut Criterion) {
+    bench_packed_family(c, "runtime_conv", small_cnn(4, 7), 144);
+}
+
+/// The Transformer serving path: integer Q/K/V projections with the f32
+/// softmax decode boundary.
+fn bench_runtime_attn(c: &mut Criterion) {
+    bench_packed_family(c, "runtime_attn", transformer_block(6, 16, 4, 9), 96);
+}
+
+criterion_group!(
+    benches,
+    bench_runtime,
+    bench_runtime_conv,
+    bench_runtime_attn
+);
 criterion_main!(benches);

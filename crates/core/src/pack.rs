@@ -20,6 +20,8 @@ pub struct PackedTensor {
     len: usize,
     scales: Vec<f32>,
     bytes: Vec<u8>,
+    /// Logical shape of the packed elements (empty = flat/unspecified).
+    dims: Vec<usize>,
 }
 
 impl PackedTensor {
@@ -31,8 +33,43 @@ impl PackedTensor {
     /// type's width, or [`QuantError::EmptyCalibration`] when `scales` is
     /// empty.
     pub fn pack(dtype: DataType, codes: &[u32], scales: Vec<f32>) -> Result<Self, QuantError> {
+        Self::pack_with_dims(dtype, codes, scales, &[])
+    }
+
+    /// [`Self::pack`] with a logical n-D shape attached — e.g. `[out, in]`
+    /// for a dense weight or `[co, ci, kh, kw]` for a conv kernel, packed
+    /// row-major. The shape is metadata only (the byte stream is identical
+    /// to a flat pack), but it lets consumers recover per-axis views, and
+    /// [`Self::decode_channel`] decode one leading-axis slice at a time.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::pack`], plus [`QuantError::ChannelMismatch`] when the
+    /// shape's element count disagrees with `codes.len()`, or when the
+    /// scale count does not divide the leading axis.
+    pub fn pack_with_dims(
+        dtype: DataType,
+        codes: &[u32],
+        scales: Vec<f32>,
+        dims: &[usize],
+    ) -> Result<Self, QuantError> {
         if scales.is_empty() {
             return Err(QuantError::EmptyCalibration);
+        }
+        if !dims.is_empty() {
+            let n: usize = dims.iter().product();
+            if n != codes.len() {
+                return Err(QuantError::ChannelMismatch {
+                    expected: n,
+                    actual: codes.len(),
+                });
+            }
+            if scales.len() > 1 && !dims[0].is_multiple_of(scales.len()) {
+                return Err(QuantError::ChannelMismatch {
+                    expected: dims[0],
+                    actual: scales.len(),
+                });
+            }
         }
         let bits = dtype.bits();
         let mask = (1u64 << bits) - 1;
@@ -60,6 +97,7 @@ impl PackedTensor {
             len: codes.len(),
             scales,
             bytes,
+            dims: dims.to_vec(),
         })
     }
 
@@ -81,6 +119,11 @@ impl PackedTensor {
     /// The per-channel (or single per-tensor) scales.
     pub fn scales(&self) -> &[f32] {
         &self.scales
+    }
+
+    /// The logical n-D shape attached at pack time (empty for flat packs).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
     }
 
     /// The packed byte stream.
@@ -187,6 +230,37 @@ impl PackedTensor {
                 out.push(lut[self.code_at_bit(bitpos) as usize] * scale);
                 bitpos += bits;
             }
+        }
+        Ok(out)
+    }
+
+    /// Decodes one leading-axis slice of a shaped pack (e.g. one output
+    /// channel of a `[co, ci, kh, kw]` conv kernel) without touching the
+    /// rest of the tensor — the random-access payoff of fixed-length codes
+    /// at channel granularity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ChannelMismatch`] when the tensor has no
+    /// attached shape or `channel` is out of range, and propagates width
+    /// validation errors from [`Codec::new`].
+    pub fn decode_channel(&self, channel: usize) -> Result<Vec<f32>, QuantError> {
+        if self.dims.is_empty() || channel >= self.dims[0] {
+            return Err(QuantError::ChannelMismatch {
+                expected: self.dims.first().copied().unwrap_or(0),
+                actual: channel,
+            });
+        }
+        let per_channel = self.len / self.dims[0];
+        let channels_per_scale = self.dims[0] / self.scales.len();
+        let scale = self.scales[channel / channels_per_scale];
+        let lut = Codec::new(self.dtype)?.decode_lut();
+        let bits = self.dtype.bits() as usize;
+        let mut bitpos = channel * per_channel * bits;
+        let mut out = Vec::with_capacity(per_channel);
+        for _ in 0..per_channel {
+            out.push(lut[self.code_at_bit(bitpos) as usize] * scale);
+            bitpos += bits;
         }
         Ok(out)
     }
@@ -329,6 +403,50 @@ mod tests {
         for &i in &[0usize, 7, 40] {
             assert_eq!(p.code(i), codes[i]);
         }
+    }
+
+    #[test]
+    fn shaped_pack_carries_dims_and_decodes_channels() {
+        // A [2, 2, 3] "conv-like" pack with one scale per leading slice.
+        let dt = DataType::flint(4, true).unwrap();
+        let codec = Codec::new(dt).unwrap();
+        let lut = codec.decode_lut();
+        let codes: Vec<u32> = (0..12).collect();
+        let p = PackedTensor::pack_with_dims(dt, &codes, vec![0.5, 2.0], &[2, 2, 3]).unwrap();
+        assert_eq!(p.dims(), &[2, 2, 3]);
+        // Flat pack reports no dims.
+        let flat = PackedTensor::pack(dt, &codes, vec![1.0]).unwrap();
+        assert!(flat.dims().is_empty());
+        // Channel decode equals the matching slice of decode_all.
+        let all = p.decode_all().unwrap();
+        for c in 0..2 {
+            let ch = p.decode_channel(c).unwrap();
+            assert_eq!(ch, &all[c * 6..(c + 1) * 6], "channel {c}");
+            for (i, v) in ch.iter().enumerate() {
+                let scale = if c == 0 { 0.5 } else { 2.0 };
+                assert_eq!(*v, lut[codes[c * 6 + i] as usize] * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn shaped_pack_validates_shape_and_channel() {
+        let dt = DataType::int(4, false).unwrap();
+        // Shape/element-count disagreement.
+        assert!(matches!(
+            PackedTensor::pack_with_dims(dt, &[1, 2, 3], vec![1.0], &[2, 2]),
+            Err(QuantError::ChannelMismatch { .. })
+        ));
+        // Scales not dividing the leading axis.
+        assert!(matches!(
+            PackedTensor::pack_with_dims(dt, &[1, 2, 3], vec![1.0, 2.0], &[3, 1]),
+            Err(QuantError::ChannelMismatch { .. })
+        ));
+        // Channel decode on a flat pack or out-of-range channel.
+        let flat = PackedTensor::pack(dt, &[1, 2, 3], vec![1.0]).unwrap();
+        assert!(flat.decode_channel(0).is_err());
+        let shaped = PackedTensor::pack_with_dims(dt, &[1, 2, 3], vec![1.0], &[3, 1]).unwrap();
+        assert!(shaped.decode_channel(3).is_err());
     }
 
     #[test]

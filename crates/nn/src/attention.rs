@@ -57,6 +57,54 @@ impl LayerNorm {
             cache: None,
         }
     }
+
+    /// Feature-group size (export hook for inference runtimes).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Scale parameter γ `[dim]` (export hook for inference runtimes).
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma.value
+    }
+
+    /// Shift parameter β `[dim]` (export hook for inference runtimes).
+    pub fn beta(&self) -> &Tensor {
+        &self.beta.value
+    }
+
+    /// Variance epsilon (export hook for inference runtimes).
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+}
+
+/// Normalises one `dim`-sized feature group, applying the affine
+/// `γ·x̂ + β` into `out`, optionally recording x̂ (for backward caches),
+/// and returns the inverse standard deviation (export hook: inference
+/// runtimes that evaluate layer norm outside the layer abstraction must
+/// use the *same* mean/variance formulation, or their outputs drift from
+/// the QAT reference).
+pub fn layer_norm_group(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    mut xhat: Option<&mut [f32]>,
+    out: &mut [f32],
+) -> f32 {
+    let dim = x.len();
+    let mean = x.iter().sum::<f32>() / dim as f32;
+    let var = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / dim as f32;
+    let istd = 1.0 / (var + eps).sqrt();
+    for (k, &v) in x.iter().enumerate() {
+        let xh = (v - mean) * istd;
+        if let Some(buf) = xhat.as_deref_mut() {
+            buf[k] = xh;
+        }
+        out[k] = gamma[k] * xh + beta[k];
+    }
+    istd
 }
 
 impl Layer for LayerNorm {
@@ -80,16 +128,15 @@ impl Layer for LayerNorm {
         for gi in 0..groups {
             let lo = gi * self.dim;
             let hi = lo + self.dim;
-            let slice = &x.as_slice()[lo..hi];
-            let mean = slice.iter().sum::<f32>() / self.dim as f32;
-            let var = slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / self.dim as f32;
-            let istd = 1.0 / (var + self.eps).sqrt();
+            let istd = layer_norm_group(
+                &x.as_slice()[lo..hi],
+                g,
+                b,
+                self.eps,
+                Some(&mut xhat.as_mut_slice()[lo..hi]),
+                &mut out.as_mut_slice()[lo..hi],
+            );
             inv_std.push(istd);
-            for (k, &v) in slice.iter().enumerate() {
-                let xh = (v - mean) * istd;
-                xhat.as_mut_slice()[lo + k] = xh;
-                out.as_mut_slice()[lo + k] = g[k] * xh + b[k];
-            }
         }
         self.cache = Some(LnCache { xhat, inv_std });
         Ok(out)
@@ -185,6 +232,16 @@ impl Attention {
         }
     }
 
+    /// Sequence length (export hook for inference runtimes).
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+
+    /// Per-token feature count (export hook for inference runtimes).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// The four projection weights (q, k, v, o) for quantization analysis.
     pub fn projection_weights(&self) -> [&Tensor; 4] {
         [
@@ -209,11 +266,14 @@ impl Attention {
     }
 }
 
-fn softmax_rows(m: &Tensor) -> Tensor {
-    let (r, c) = (m.dims()[0], m.dims()[1]);
-    let mut out = m.clone();
-    for i in 0..r {
-        let row = &mut out.as_mut_slice()[i * c..(i + 1) * c];
+/// Row-wise max-subtracted softmax over a `[rows, cols]` slice (export
+/// hook: inference runtimes that evaluate attention scores outside the
+/// layer abstraction must use the *same* formulation, or their outputs
+/// drift from the QAT reference).
+pub fn softmax_rows_in_place(m: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(m.len(), rows * cols, "softmax shape");
+    for i in 0..rows {
+        let row = &mut m[i * cols..(i + 1) * cols];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
         for v in row.iter_mut() {
@@ -224,6 +284,11 @@ fn softmax_rows(m: &Tensor) -> Tensor {
             *v /= sum;
         }
     }
+}
+
+fn softmax_rows(m: &Tensor) -> Tensor {
+    let mut out = m.clone();
+    softmax_rows_in_place(out.as_mut_slice(), m.dims()[0], m.dims()[1]);
     out
 }
 

@@ -16,7 +16,10 @@ pub struct Gelu {
 
 const C: f32 = 0.797_884_6; // sqrt(2/pi)
 
-fn gelu(x: f32) -> f32 {
+/// Scalar GELU (export hook: inference runtimes that execute GELU outside
+/// the layer abstraction must use the *same* approximation, or their
+/// outputs drift from the QAT reference).
+pub fn gelu(x: f32) -> f32 {
     0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
 }
 

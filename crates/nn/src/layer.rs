@@ -572,6 +572,11 @@ impl MaxPool2 {
         }
     }
 
+    /// Input geometry `(c, h, w)` (export hook for inference runtimes).
+    pub fn in_shape(&self) -> (usize, usize, usize) {
+        self.in_shape
+    }
+
     /// Output `(c, h, w)`.
     pub fn out_shape(&self) -> (usize, usize, usize) {
         let (c, h, w) = self.in_shape;

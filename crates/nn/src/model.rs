@@ -265,6 +265,24 @@ pub fn tiny_transformer(seq: usize, dim: usize, classes: usize, seed: u64) -> Se
         )))
 }
 
+/// A single Transformer block head: attention → GELU → dense classifier.
+/// The minimal attention-bearing model (no LayerNorm, no FFN expansion),
+/// used by the packed-runtime conformance experiments where every layer
+/// kind must execute without fallback.
+pub fn transformer_block(seq: usize, dim: usize, classes: usize, seed: u64) -> Sequential {
+    Sequential::new()
+        .push(NetLayer::Attn(Box::new(Attention::init(
+            "attn", seq, dim, seed,
+        ))))
+        .push(NetLayer::Gelu(Gelu::new("gelu")))
+        .push(NetLayer::Dense(Dense::init(
+            "head",
+            classes,
+            seq * dim,
+            seed.wrapping_add(70),
+        )))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +330,14 @@ mod tests {
         let y = m.forward(&gaussian(&[3, 48], 6)).unwrap();
         assert_eq!(y.dims(), &[3, 4]);
         assert_eq!(m.quantizable_layers().len(), 3); // attn + 2 dense
+    }
+
+    #[test]
+    fn transformer_block_shapes() {
+        let mut m = transformer_block(5, 6, 3, 8);
+        let y = m.forward(&gaussian(&[2, 30], 9)).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        assert_eq!(m.quantizable_layers(), vec![0, 2]);
     }
 
     #[test]

@@ -63,12 +63,29 @@ impl SelectionCache {
 #[derive(Debug, Default)]
 pub struct Planner {
     cache: SelectionCache,
+    strict: bool,
 }
 
 impl Planner {
     /// Creates a planner with an empty selection cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Turns on strict compilation: a layer the packed path cannot execute
+    /// fails [`Self::compile`] with [`RuntimeError::UnsupportedLayer`]
+    /// instead of silently becoming a reference-path
+    /// [`crate::PlanLayer::Fallback`]. Serving stacks that promise
+    /// packed-domain latency should compile strict and alarm on the error.
+    #[must_use]
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Whether this planner compiles strictly.
+    pub fn is_strict(&self) -> bool {
+        self.strict
     }
 
     /// The selection cache (for stats/introspection).
@@ -82,7 +99,8 @@ impl Planner {
     /// # Errors
     ///
     /// Propagates quantization failures and the packing errors of
-    /// [`CompiledPlan::from_quantized`].
+    /// [`CompiledPlan::from_quantized`] (or, for a strict planner,
+    /// [`CompiledPlan::from_quantized_strict`]).
     pub fn compile(
         &mut self,
         model: &mut Sequential,
@@ -100,7 +118,11 @@ impl Planner {
             self.cache.entries.insert(key, decisions);
             self.cache.misses += 1;
         }
-        CompiledPlan::from_quantized(model)
+        if self.strict {
+            CompiledPlan::from_quantized_strict(model)
+        } else {
+            CompiledPlan::from_quantized(model)
+        }
     }
 }
 

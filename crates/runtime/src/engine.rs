@@ -42,6 +42,20 @@ impl Default for BatchPolicy {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RequestId(u64);
 
+impl RequestId {
+    /// Reconstructs a handle from its raw value (deserialization/test
+    /// hook). Waiting on an id the engine never issued errors — it does
+    /// not hang.
+    pub fn from_raw(raw: u64) -> RequestId {
+        RequestId(raw)
+    }
+
+    /// The raw id value.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Scheduler counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {

@@ -24,6 +24,15 @@ pub enum RuntimeError {
         /// The offending layer's name.
         layer: String,
     },
+    /// Strict compilation refused a layer the packed path cannot execute
+    /// (where lenient compilation would emit a reference-path
+    /// `PlanLayer::Fallback` instead).
+    UnsupportedLayer {
+        /// The offending layer's name.
+        layer: String,
+        /// Why the packed path cannot run it.
+        reason: String,
+    },
     /// An input's feature count does not match the plan.
     ShapeMismatch {
         /// Features the plan expects.
@@ -48,6 +57,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::NotQuantized { layer } => {
                 write!(f, "layer {layer} has no quantizers attached")
+            }
+            RuntimeError::UnsupportedLayer { layer, reason } => {
+                write!(f, "layer {layer} is not packed-executable: {reason}")
             }
             RuntimeError::ShapeMismatch { expected, actual } => {
                 write!(f, "expected {expected} input features, got {actual}")
@@ -93,6 +105,10 @@ mod tests {
                 dtype: DataType::float(4, true).unwrap(),
             },
             RuntimeError::NotQuantized { layer: "fc".into() },
+            RuntimeError::UnsupportedLayer {
+                layer: "conv".into(),
+                reason: "no packed lowering".into(),
+            },
             RuntimeError::ShapeMismatch {
                 expected: 4,
                 actual: 2,

@@ -43,10 +43,16 @@ pub fn int_gemm(a: &[i32], b: &[i32], m: usize, k: usize, n: usize, out: &mut [i
     }
 }
 
-/// Multi-threaded [`int_gemm`]: splits input rows across `threads` scoped
-/// threads. Integer arithmetic is exact, so the partitioning cannot change
-/// the result. Falls back to the single-threaded path for small problems
-/// where thread spawn would dominate.
+/// Minimum multiply-accumulates per worker before an extra thread pays
+/// for its spawn (~tens of microseconds ≈ a million MACs).
+const MIN_WORK_PER_THREAD: usize = 1 << 20;
+
+/// Multi-threaded [`int_gemm`]: splits input rows across scoped threads.
+/// Integer arithmetic is exact, so the partitioning cannot change the
+/// result. The worker count is scaled to the problem — at most one thread
+/// per `MIN_WORK_PER_THREAD` (2²⁰) MACs, capped at `threads` — so small GEMMs
+/// (where spawn overhead would dominate, e.g. a batched small-CNN conv)
+/// run single-threaded instead of paying a 2× thread-management tax.
 ///
 /// # Panics
 ///
@@ -63,9 +69,12 @@ pub fn int_gemm_threaded(
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), n * k, "rhs length");
     assert_eq!(out.len(), m * n, "output length");
-    let threads = threads.max(1).min(m.max(1));
-    // Threading only pays off when each worker gets real work.
-    if threads == 1 || m * k * n < 1 << 16 {
+    let work = m * k * n;
+    let threads = threads
+        .max(1)
+        .min(m.max(1))
+        .min((work / MIN_WORK_PER_THREAD).max(1));
+    if threads == 1 {
         int_gemm(a, b, m, k, n, out);
         return;
     }
@@ -84,9 +93,59 @@ pub fn int_gemm_threaded(
     });
 }
 
+/// Lowers one quantized `[c, h, w]` sample (as lattice integers) into the
+/// `[oh*ow, c*kh*kw]` im2row matrix: row `p` holds the receptive field of
+/// output pixel `p`, in the `(c, kh, kw)` order of a row-major flattened
+/// conv kernel, so a convolution becomes `im2row · Wᵀ` on the
+/// weight-stationary [`int_gemm`] directly. Padding positions stay `0` —
+/// the integer image of the reference path's structural f32 zeros.
+///
+/// # Panics
+///
+/// Panics when slice lengths disagree with the geometry, or when the
+/// kernel does not fit the padded input.
+pub fn im2row_i32(
+    sample: &[i32],
+    c: usize,
+    h: usize,
+    w: usize,
+    geo: ant_tensor::linalg::Conv2dGeometry,
+    out: &mut [i32],
+) {
+    assert_eq!(sample.len(), c * h * w, "sample length");
+    let oh = geo.out_extent(h, geo.kh).expect("kernel fits input height");
+    let ow = geo.out_extent(w, geo.kw).expect("kernel fits input width");
+    let k = c * geo.kh * geo.kw;
+    assert_eq!(out.len(), oh * ow * k, "output length");
+    out.fill(0);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = &mut out[(oy * ow + ox) * k..(oy * ow + ox + 1) * k];
+            for ci in 0..c {
+                for ki in 0..geo.kh {
+                    let iy = (oy * geo.stride + ki) as isize - geo.padding as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for kj in 0..geo.kw {
+                        let ix = (ox * geo.stride + kj) as isize - geo.padding as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        row[(ci * geo.kh + ki) * geo.kw + kj] =
+                            sample[(ci * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ant_tensor::linalg::{self, Conv2dGeometry};
+    use ant_tensor::Tensor;
 
     fn reference(a: &[i32], b: &[i32], m: usize, k: usize, n: usize) -> Vec<i64> {
         let mut out = vec![0i64; m * n];
@@ -123,12 +182,14 @@ mod tests {
 
     #[test]
     fn threaded_is_bit_identical() {
-        // Large enough to clear the small-problem fallback threshold.
-        let (m, k, n) = (64, 33, 40);
+        // Large enough that several workers clear MIN_WORK_PER_THREAD and
+        // the row partitioning genuinely runs multi-threaded.
+        let (m, k, n) = (256, 129, 256);
         let a = lcg_ints(m * k, 3, 129);
         let b = lcg_ints(n * k, 4, 129);
         let mut single = vec![0i64; m * n];
         int_gemm(&a, &b, m, k, n, &mut single);
+        assert!(m * k * n >= 8 * MIN_WORK_PER_THREAD, "test must thread");
         for threads in [1, 2, 3, 8, 64] {
             let mut multi = vec![0i64; m * n];
             int_gemm_threaded(&a, &b, m, k, n, &mut multi, threads);
@@ -141,5 +202,44 @@ mod tests {
     fn rejects_bad_output_length() {
         let mut out = vec![0i64; 3];
         int_gemm(&[1, 2], &[3, 4, 5, 6], 1, 2, 2, &mut out);
+    }
+
+    #[test]
+    fn im2row_is_the_transpose_of_im2col() {
+        // im2row over integers must be element-for-element the transpose of
+        // the f32 im2col the reference conv path uses, including the zero
+        // padding ring.
+        for (c, h, w, kernel, stride, padding) in [
+            (1usize, 5usize, 5usize, 3usize, 1usize, 1usize),
+            (2, 6, 4, 3, 2, 0),
+            (3, 4, 4, 2, 1, 1),
+        ] {
+            let geo = Conv2dGeometry::new(kernel, kernel, stride, padding).unwrap();
+            let ints = lcg_ints(c * h * w, 7, 15);
+            let sample =
+                Tensor::from_vec(ints.iter().map(|&v| v as f32).collect(), &[c, h, w]).unwrap();
+            let cols = linalg::im2col(&sample, geo).unwrap(); // [k, oh*ow]
+            let k = c * kernel * kernel;
+            let pixels = cols.dims()[1];
+            let mut rows = vec![0i32; pixels * k];
+            im2row_i32(&ints, c, h, w, geo, &mut rows);
+            for p in 0..pixels {
+                for r in 0..k {
+                    assert_eq!(
+                        rows[p * k + r] as f32,
+                        cols.as_slice()[r * pixels + p],
+                        "c={c} h={h} w={w} pixel={p} row={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sample length")]
+    fn im2row_rejects_bad_sample_length() {
+        let geo = Conv2dGeometry::new(3, 3, 1, 1).unwrap();
+        let mut out = vec![0i32; 9];
+        im2row_i32(&[1, 2, 3], 1, 3, 3, geo, &mut out);
     }
 }

@@ -9,11 +9,17 @@
 //!   [`ant_nn::model::Sequential`], run (or replay from a memoizing cache)
 //!   Algorithm-2 type selection, and emit packed wire-code weights
 //!   ([`ant_core::pack::PackedTensor`]) plus per-layer scales and decode
-//!   LUTs,
+//!   LUTs. Dense ([`PackedLinear`]), convolution ([`PackedConv`], via an
+//!   integer im2row) and attention ([`PackedAttn`], integer Q/K/V with f32
+//!   softmax at the decode boundary) all execute on wire codes;
+//!   shape-polymorphic layers (ReLU/GELU/pool/norm) ride along, so CNN and
+//!   Transformer pipelines compile with [`CompiledPlan::coverage`] of 1.0.
+//!   [`Planner::strict`] turns silent fallback into a hard
+//!   [`RuntimeError::UnsupportedLayer`],
 //! * [`crate::gemm`] — exact integer-domain tiled GEMM over LUT-decoded
 //!   operands, the software mirror of the TypeFusion decoder → int-PE
 //!   pipeline (paper Figs. 6–9), numerics validated code-for-code against
-//!   `ant-hw`,
+//!   `ant-hw`, plus the integer im2row conv lowering,
 //! * [`Engine`] — a batch scheduler: [`Engine::submit`] single requests,
 //!   a worker coalesces them under a [`BatchPolicy`] (max-batch /
 //!   max-wait) into one batched pass per layer, [`Engine::poll`] or
@@ -51,4 +57,4 @@ pub mod plan;
 pub use cache::{Planner, SelectionCache, TypeDecision};
 pub use engine::{BatchPolicy, Engine, EngineStats, RequestId};
 pub use error::RuntimeError;
-pub use plan::{CompiledPlan, PackedLinear, PlanLayer};
+pub use plan::{CompiledPlan, PackedAttn, PackedConv, PackedLinear, PlanLayer, PlanNorm};

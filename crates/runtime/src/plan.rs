@@ -2,24 +2,40 @@
 //! packed-domain plan.
 //!
 //! A [`CompiledPlan`] is the inference-side artifact of ANT quantization:
-//! every dense layer's weights are stored as packed wire codes
+//! every compute layer's weights are stored as packed wire codes
 //! ([`PackedTensor`], the paper's fixed-length aligned representation,
 //! Table I) together with a per-layer decode LUT and scales. Execution
 //! decodes codes through the 16-entry LUT into small integers and runs the
 //! exact integer GEMM of [`crate::gemm`] — the software mirror of the
 //! TypeFusion array's boundary-decoder → int-PE pipeline (paper Fig. 9).
 //!
-//! Layers the packed path does not cover (convolutions, attention,
-//! normalisation, pooling) execute through their fake-quantized reference
-//! implementation, so a plan always computes exactly what the QAT model
-//! promised, layer for layer.
+//! Three layer families run in the packed integer domain:
+//!
+//! * [`PackedLinear`] — dense layers, a direct integer GEMM,
+//! * [`PackedConv`] — convolutions, lowered through an integer im2row
+//!   ([`crate::gemm::im2row_i32`]) into the same weight-stationary GEMM,
+//! * [`PackedAttn`] — attention blocks: Q/K/V projections as integer
+//!   GEMMs, then scores → softmax → context in f32 (attention scores are
+//!   *activations* and "require high-precision numbers", Sec. IV-C /
+//!   Fig. 4), and the output projection as a mixed-domain GEMM over
+//!   LUT-decoded integer weights with the scale applied at the boundary.
+//!
+//! Shape-polymorphic layers (ReLU, GELU, max-pool, layer norm) carry no
+//! wire codes and execute the same arithmetic as their reference
+//! implementations, so CNN→head and Transformer pipelines compile without
+//! fallback. Only layers whose selected type has no integer decoder (the
+//! `float` primitive) fall back to the fake-quantized reference path —
+//! or fail compilation under [`CompiledPlan::from_quantized_strict`].
 
 use crate::error::RuntimeError;
-use crate::gemm::int_gemm_threaded;
+use crate::gemm::{im2row_i32, int_gemm_threaded};
 use ant_core::pack::PackedTensor;
-use ant_core::{DataType, PrimitiveType, Quantizer};
-use ant_nn::layer::{Dense, Layer as _};
+use ant_core::{DataType, PrimitiveType, Quantizer, TensorQuantizer};
+use ant_nn::attention::{layer_norm_group, softmax_rows_in_place, Attention, LayerNorm};
+use ant_nn::gelu::gelu;
+use ant_nn::layer::{Conv2d, Dense, Layer as _};
 use ant_nn::model::{NetLayer, Sequential};
+use ant_tensor::linalg::Conv2dGeometry;
 use ant_tensor::Tensor;
 
 /// Specialized integer quantization of input activations. Every variant
@@ -96,28 +112,135 @@ impl ActQuant {
             ActQuant::Snap => codec.snap(v) as i32,
         }
     }
+
+    /// Quantizes a whole slice of real activations to lattice integers.
+    fn apply_all(&self, x: &[f32], scale: f32, codec: &ant_core::Codec) -> Vec<i32> {
+        x.iter().map(|&v| self.apply(v / scale, codec)).collect()
+    }
+}
+
+/// One weight matrix compiled to the packed integer domain: wire codes,
+/// the LUT-decoded integer image (decode once, execute many) and one scale
+/// per output row.
+#[derive(Debug, Clone)]
+struct PackedMatrix {
+    /// Packed wire codes, shaped (`[out, in]` for dense/attention
+    /// projections, `[co, ci, kh, kw]` for conv kernels).
+    weights: PackedTensor,
+    /// LUT-decoded integer weights in the `[out, in]` weight-stationary
+    /// layout.
+    w_int: Vec<i32>,
+    /// Per-output-row scales (broadcast when the quantizer was
+    /// per-tensor).
+    w_scales: Vec<f32>,
+    out: usize,
+    inp: usize,
+}
+
+impl PackedMatrix {
+    /// Encodes a `[out, inp]`-flattened weight onto wire codes under `wq`,
+    /// attaching `dims` as the packed tensor's logical shape.
+    fn pack(
+        w: &[f32],
+        out: usize,
+        inp: usize,
+        wq: &TensorQuantizer,
+        dims: &[usize],
+    ) -> Result<Self, RuntimeError> {
+        let codec = wq.codec();
+        let scales = wq.scales();
+        // Broadcast a per-tensor scale across output rows.
+        let w_scales: Vec<f32> = if scales.len() == 1 {
+            vec![scales[0]; out]
+        } else {
+            scales.to_vec()
+        };
+        if w_scales.len() != out {
+            return Err(RuntimeError::Quant(ant_core::QuantError::ChannelMismatch {
+                expected: out,
+                actual: w_scales.len(),
+            }));
+        }
+        let mut codes = Vec::with_capacity(out * inp);
+        for o in 0..out {
+            let s = w_scales[o];
+            for i in 0..inp {
+                codes.push(codec.encode(w[o * inp + i] / s));
+            }
+        }
+        let weights = PackedTensor::pack_with_dims(wq.dtype(), &codes, scales.to_vec(), dims)?;
+        let lut = codec.decode_lut();
+        let w_int: Vec<i32> = codes.iter().map(|&c| lut[c as usize] as i32).collect();
+        Ok(PackedMatrix {
+            weights,
+            w_int,
+            w_scales,
+            out,
+            inp,
+        })
+    }
+
+    /// Integer GEMM `[m, inp] · selfᵀ` into the exact `i64` accumulator —
+    /// callers dequantize straight into their output layout, so no
+    /// intermediate f32 buffer or extra pass is needed.
+    fn int_accumulate(&self, a_int: &[i32], m: usize, threads: usize) -> Vec<i64> {
+        let mut acc = vec![0i64; m * self.out];
+        int_gemm_threaded(a_int, &self.w_int, m, self.inp, self.out, &mut acc, threads);
+        acc
+    }
+
+    /// [`Self::int_accumulate`] plus dequantization (and optional bias)
+    /// directly into `out`: `out[i, o] = acc[i, o] · (a_scale ·
+    /// w_scales[o]) + bias[o]`.
+    fn int_forward_into(
+        &self,
+        a_int: &[i32],
+        m: usize,
+        a_scale: f32,
+        bias: Option<&[f32]>,
+        threads: usize,
+        out: &mut [f32],
+    ) {
+        let n = self.out;
+        debug_assert_eq!(out.len(), m * n, "output length");
+        let acc = self.int_accumulate(a_int, m, threads);
+        for i in 0..m {
+            for o in 0..n {
+                let v = acc[i * n + o] as f32 * (a_scale * self.w_scales[o]);
+                out[i * n + o] = match bias {
+                    Some(b) => v + b[o],
+                    None => v,
+                };
+            }
+        }
+    }
+}
+
+/// Rejects types the integer-domain engine cannot execute (the `float`
+/// primitive has no int-based wire decoder — paper Sec. V-B ships the
+/// int-based PE precisely to avoid it).
+fn check_int_domain(layer: &str, dtypes: &[DataType]) -> Result<(), RuntimeError> {
+    for &dt in dtypes {
+        if dt.primitive() == PrimitiveType::Float {
+            return Err(RuntimeError::UnsupportedType {
+                layer: layer.to_string(),
+                dtype: dt,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// A dense layer compiled to the packed integer domain.
 #[derive(Debug, Clone)]
 pub struct PackedLinear {
     name: String,
-    /// Packed wire codes of the `[out, in]` weight, one scale per output
-    /// channel (or one per tensor).
-    weights: PackedTensor,
-    /// LUT-decoded integer weights, cached at compile time (decode once,
-    /// execute many).
-    w_int: Vec<i32>,
-    /// Per-output-channel scales (broadcast when the quantizer was
-    /// per-tensor).
-    w_scales: Vec<f32>,
+    mat: PackedMatrix,
     bias: Vec<f32>,
     /// Input-activation quantizer (per-tensor).
     act: Quantizer,
     /// Specialized integer activation-quantization path.
     act_quant: ActQuant,
-    in_features: usize,
-    out_features: usize,
 }
 
 impl PackedLinear {
@@ -126,14 +249,14 @@ impl PackedLinear {
         &self.name
     }
 
-    /// The packed weight tensor.
+    /// The packed weight tensor (`[out, in]`).
     pub fn weights(&self) -> &PackedTensor {
-        &self.weights
+        &self.mat.weights
     }
 
     /// The weight data type.
     pub fn dtype(&self) -> DataType {
-        self.weights.dtype()
+        self.mat.weights.dtype()
     }
 
     /// The activation quantizer.
@@ -143,44 +266,387 @@ impl PackedLinear {
 
     /// Input feature count.
     pub fn in_features(&self) -> usize {
-        self.in_features
+        self.mat.inp
     }
 
     /// Output feature count.
     pub fn out_features(&self) -> usize {
-        self.out_features
+        self.mat.out
     }
 
     /// Executes `y = dequant(int_gemm(quant(x), W_codes)) + b` on a
     /// `[batch, in]` input.
     fn forward(&self, x: &Tensor, threads: usize) -> Result<Tensor, RuntimeError> {
-        if x.rank() != 2 || x.dims()[1] != self.in_features {
+        if x.rank() != 2 || x.dims()[1] != self.mat.inp {
             return Err(RuntimeError::ShapeMismatch {
-                expected: self.in_features,
+                expected: self.mat.inp,
                 actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
             });
         }
         let batch = x.dims()[0];
-        let (k, n) = (self.in_features, self.out_features);
+        let n = self.mat.out;
         let s_a = self.act.scale();
-        let codec = self.act.codec();
         // Quantize activations onto the integer lattice (snap yields
         // integer-valued normalized points for int/PoT/flint).
-        let mut a_int = Vec::with_capacity(batch * k);
-        for &v in x.as_slice() {
-            a_int.push(self.act_quant.apply(v / s_a, codec));
-        }
-        let mut acc = vec![0i64; batch * n];
-        int_gemm_threaded(&a_int, &self.w_int, batch, k, n, &mut acc, threads);
+        let a_int = self
+            .act_quant
+            .apply_all(x.as_slice(), s_a, self.act.codec());
         let mut out = Tensor::zeros(&[batch, n]);
+        self.mat.int_forward_into(
+            &a_int,
+            batch,
+            s_a,
+            Some(&self.bias),
+            threads,
+            out.as_mut_slice(),
+        );
+        Ok(out)
+    }
+}
+
+/// A 2-D convolution compiled to the packed integer domain: the quantized
+/// input is lowered by an *integer* im2row and the kernel runs through the
+/// same weight-stationary GEMM as dense layers, with one scale per output
+/// channel (paper Sec. V: CONV and FC share the PE array after lowering).
+#[derive(Debug, Clone)]
+pub struct PackedConv {
+    name: String,
+    /// Kernel as `[co, ci·kh·kw]` with packed shape `[co, ci, kh, kw]`.
+    mat: PackedMatrix,
+    bias: Vec<f32>,
+    act: Quantizer,
+    act_quant: ActQuant,
+    in_shape: (usize, usize, usize),
+    geo: Conv2dGeometry,
+    out_shape: (usize, usize, usize),
+}
+
+impl PackedConv {
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The packed kernel (`[co, ci, kh, kw]`).
+    pub fn weights(&self) -> &PackedTensor {
+        &self.mat.weights
+    }
+
+    /// The kernel data type.
+    pub fn dtype(&self) -> DataType {
+        self.mat.weights.dtype()
+    }
+
+    /// The activation quantizer.
+    pub fn activation(&self) -> &Quantizer {
+        &self.act
+    }
+
+    /// Input geometry `(ci, h, w)`.
+    pub fn in_shape(&self) -> (usize, usize, usize) {
+        self.in_shape
+    }
+
+    /// Output geometry `(co, oh, ow)`.
+    pub fn out_shape(&self) -> (usize, usize, usize) {
+        self.out_shape
+    }
+
+    /// Kernel/stride/padding geometry.
+    pub fn geometry(&self) -> Conv2dGeometry {
+        self.geo
+    }
+
+    /// Flattened input feature count.
+    pub fn in_features(&self) -> usize {
+        let (c, h, w) = self.in_shape;
+        c * h * w
+    }
+
+    /// Flattened output feature count.
+    pub fn out_features(&self) -> usize {
+        let (c, h, w) = self.out_shape;
+        c * h * w
+    }
+
+    /// Executes the convolution on a `[batch, ci·h·w]` input entirely in
+    /// the integer domain: quantize → im2row → integer GEMM → dequantize.
+    fn forward(&self, x: &Tensor, threads: usize) -> Result<Tensor, RuntimeError> {
+        let feat = self.in_features();
+        if x.rank() != 2 || x.dims()[1] != feat {
+            return Err(RuntimeError::ShapeMismatch {
+                expected: feat,
+                actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
+            });
+        }
+        let batch = x.dims()[0];
+        let (ci, h, w) = self.in_shape;
+        let (co, oh, ow) = self.out_shape;
+        let (k, pixels) = (self.mat.inp, oh * ow);
+        let s_a = self.act.scale();
+        let a_int = self
+            .act_quant
+            .apply_all(x.as_slice(), s_a, self.act.codec());
+        // One big GEMM over every output pixel of every sample: rows are
+        // receptive fields, so weight rows stream once per row tile.
+        let mut rows = vec![0i32; batch * pixels * k];
+        for s in 0..batch {
+            im2row_i32(
+                &a_int[s * feat..(s + 1) * feat],
+                ci,
+                h,
+                w,
+                self.geo,
+                &mut rows[s * pixels * k..(s + 1) * pixels * k],
+            );
+        }
+        let acc = self.mat.int_accumulate(&rows, batch * pixels, threads);
+        // Dequantize + bias, scattering [batch·pixels, co] straight into
+        // the [batch, co·oh·ow] layout in one pass.
+        let mut out = Tensor::zeros(&[batch, co * pixels]);
         let ov = out.as_mut_slice();
-        for i in 0..batch {
-            for o in 0..n {
-                ov[i * n + o] = acc[i * n + o] as f32 * (s_a * self.w_scales[o]) + self.bias[o];
+        for s in 0..batch {
+            for p in 0..pixels {
+                let row = &acc[(s * pixels + p) * co..(s * pixels + p + 1) * co];
+                for c in 0..co {
+                    ov[s * co * pixels + c * pixels + p] =
+                        row[c] as f32 * (s_a * self.mat.w_scales[c]) + self.bias[c];
+                }
             }
         }
         Ok(out)
     }
+}
+
+/// A self-attention block compiled to the packed integer domain. Q/K/V
+/// projections consume the quantized input as integer GEMMs; scores,
+/// softmax and the context product stay f32 (softmax outputs are
+/// activations that "require high-precision numbers", Sec. IV-C); the
+/// output projection runs as a mixed-domain GEMM — f32 context against
+/// LUT-decoded integer weights, scale applied per output channel at the
+/// boundary — so all four projection weights live as packed wire codes.
+#[derive(Debug, Clone)]
+pub struct PackedAttn {
+    name: String,
+    seq: usize,
+    dim: usize,
+    /// Packed q, k, v, o projections, each `[dim, dim]`.
+    projs: [PackedMatrix; 4],
+    act: Quantizer,
+    act_quant: ActQuant,
+}
+
+impl PackedAttn {
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sequence length.
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+
+    /// Per-token feature count.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The four packed projection weights (q, k, v, o).
+    pub fn projections(&self) -> [&PackedTensor; 4] {
+        [
+            &self.projs[0].weights,
+            &self.projs[1].weights,
+            &self.projs[2].weights,
+            &self.projs[3].weights,
+        ]
+    }
+
+    /// The activation quantizer.
+    pub fn activation(&self) -> &Quantizer {
+        &self.act
+    }
+
+    /// Flattened input (and output) feature count.
+    pub fn in_features(&self) -> usize {
+        self.seq * self.dim
+    }
+
+    /// Executes `Y = X̂ + softmax(QKᵀ/√d) V Woᵀ` on a `[batch, seq·dim]`
+    /// input, where `X̂` is the quantized input and Q/K/V come from integer
+    /// GEMMs over its lattice codes.
+    fn forward(&self, x: &Tensor, threads: usize) -> Result<Tensor, RuntimeError> {
+        let feat = self.in_features();
+        if x.rank() != 2 || x.dims()[1] != feat {
+            return Err(RuntimeError::ShapeMismatch {
+                expected: feat,
+                actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
+            });
+        }
+        let batch = x.dims()[0];
+        let (seq, dim) = (self.seq, self.dim);
+        let s_a = self.act.scale();
+        let a_int = self
+            .act_quant
+            .apply_all(x.as_slice(), s_a, self.act.codec());
+        let inv_sqrt_d = 1.0 / (dim as f32).sqrt();
+        // Q/K/V are purely row-wise, so the whole batch projects through
+        // three batch-wide integer GEMMs ([batch·seq, dim] each) — the
+        // coalescing the engine batches requests for — instead of 3·batch
+        // per-sample ones.
+        let rows = batch * seq;
+        let mut q = vec![0f32; rows * dim];
+        let mut k = vec![0f32; rows * dim];
+        let mut v = vec![0f32; rows * dim];
+        self.projs[0].int_forward_into(&a_int, rows, s_a, None, threads, &mut q);
+        self.projs[1].int_forward_into(&a_int, rows, s_a, None, threads, &mut k);
+        self.projs[2].int_forward_into(&a_int, rows, s_a, None, threads, &mut v);
+        // Scores, softmax and context in f32 — the decode boundary.
+        // Attention mixes tokens only within a sample, so this stays
+        // per-sample; `ctx` accumulates batch-wide for the projection
+        // below.
+        let mut ctx = vec![0f32; rows * dim];
+        let mut a = vec![0f32; seq * seq];
+        for s in 0..batch {
+            let qs = &q[s * feat..(s + 1) * feat];
+            let ks = &k[s * feat..(s + 1) * feat];
+            for i in 0..seq {
+                for j in 0..seq {
+                    let mut dot = 0f32;
+                    for d in 0..dim {
+                        dot += qs[i * dim + d] * ks[j * dim + d];
+                    }
+                    a[i * seq + j] = dot * inv_sqrt_d;
+                }
+            }
+            softmax_rows_in_place(&mut a, seq, seq);
+            let vs = &v[s * feat..(s + 1) * feat];
+            let cs = &mut ctx[s * feat..(s + 1) * feat];
+            for i in 0..seq {
+                for j in 0..seq {
+                    let aij = a[i * seq + j];
+                    for d in 0..dim {
+                        cs[i * dim + d] += aij * vs[j * dim + d];
+                    }
+                }
+            }
+        }
+        // Output projection, batch-wide: mixed-domain GEMM against integer
+        // wire weights, scale at the boundary, plus the residual on the
+        // quantized input.
+        let mut out = Tensor::zeros(&[batch, feat]);
+        let ov = out.as_mut_slice();
+        let wo = &self.projs[3];
+        for r in 0..rows {
+            for o in 0..dim {
+                let w_row = &wo.w_int[o * dim..(o + 1) * dim];
+                let mut acc = 0f32;
+                for d in 0..dim {
+                    acc += ctx[r * dim + d] * w_row[d] as f32;
+                }
+                ov[r * dim + o] = a_int[r * dim + o] as f32 * s_a + acc * wo.w_scales[o];
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Layer normalisation state copied into a plan (γ, β and ε are the only
+/// things the stateless forward needs).
+#[derive(Debug, Clone)]
+pub struct PlanNorm {
+    name: String,
+    dim: usize,
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    eps: f32,
+}
+
+impl PlanNorm {
+    fn from_layer(n: &LayerNorm) -> PlanNorm {
+        PlanNorm {
+            name: n.name().to_string(),
+            dim: n.dim(),
+            gamma: n.gamma().as_slice().to_vec(),
+            beta: n.beta().as_slice().to_vec(),
+            eps: n.eps(),
+        }
+    }
+
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Feature-group size.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Normalises `dim`-sized feature groups through the shared
+    /// [`layer_norm_group`] kernel — the *same* arithmetic as the
+    /// reference [`LayerNorm`] forward, by construction.
+    fn forward(&self, x: &Tensor) -> Result<Tensor, RuntimeError> {
+        if x.rank() != 2 || !x.dims()[1].is_multiple_of(self.dim) {
+            return Err(RuntimeError::ShapeMismatch {
+                expected: self.dim,
+                actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
+            });
+        }
+        let groups = x.len() / self.dim;
+        let mut out = x.clone();
+        for gi in 0..groups {
+            let lo = gi * self.dim;
+            layer_norm_group(
+                &x.as_slice()[lo..lo + self.dim],
+                &self.gamma,
+                &self.beta,
+                self.eps,
+                None,
+                &mut out.as_mut_slice()[lo..lo + self.dim],
+            );
+        }
+        Ok(out)
+    }
+}
+
+/// 2×2/stride-2 max pooling over a `[batch, c·h·w]` tensor — arithmetic
+/// identical to the reference `MaxPool2` forward (pooling commutes with
+/// the monotone dequantization, so it is free in either domain).
+fn maxpool2(x: &Tensor, in_shape: (usize, usize, usize)) -> Result<Tensor, RuntimeError> {
+    let (c, h, w) = in_shape;
+    if x.rank() != 2 || x.dims()[1] != c * h * w {
+        return Err(RuntimeError::ShapeMismatch {
+            expected: c * h * w,
+            actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
+        });
+    }
+    let batch = x.dims()[0];
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = Tensor::zeros(&[batch, c * oh * ow]);
+    let xv = x.as_slice();
+    let ov = out.as_mut_slice();
+    for s in 0..batch {
+        let xin = &xv[s * c * h * w..(s + 1) * c * h * w];
+        let xout = &mut ov[s * c * oh * ow..(s + 1) * c * oh * ow];
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let idx = (ci * h + oy * 2 + dy) * w + ox * 2 + dx;
+                            if xin[idx] > best {
+                                best = xin[idx];
+                            }
+                        }
+                    }
+                    xout[(ci * oh + oy) * ow + ox] = best;
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// One executable step of a compiled plan.
@@ -189,10 +655,23 @@ pub enum PlanLayer {
     /// Packed-domain dense layer (boxed: an order of magnitude larger
     /// than the other variants).
     Packed(Box<PackedLinear>),
+    /// Packed-domain convolution (integer im2row + GEMM).
+    PackedConv(Box<PackedConv>),
+    /// Packed-domain attention block (integer Q/K/V, f32 softmax).
+    PackedAttn(Box<PackedAttn>),
     /// ReLU (free in either domain).
     Relu,
-    /// Reference (fake-quantized f32) execution for layer kinds the packed
-    /// path does not cover.
+    /// GELU (decode-boundary activation, f32 — paper Fig. 4).
+    Gelu,
+    /// 2×2 max pooling (monotone, so free in either domain).
+    Pool {
+        /// Input geometry `(c, h, w)`.
+        in_shape: (usize, usize, usize),
+    },
+    /// Layer normalisation (decode-boundary, f32).
+    Norm(Box<PlanNorm>),
+    /// Reference (fake-quantized f32) execution for layers the packed
+    /// path cannot cover (a `float`-typed selection).
     Fallback(Box<NetLayer>),
 }
 
@@ -209,20 +688,60 @@ impl CompiledPlan {
     /// quantizers (e.g. after [`ant_nn::qat::quantize_model`] or via
     /// [`crate::Planner::compile`], which adds the memoizing cache).
     ///
+    /// Layers whose selected type has no integer-domain decoder (the
+    /// `float` primitive) compile to [`PlanLayer::Fallback`] and execute
+    /// through their fake-quantized reference implementation; use
+    /// [`Self::from_quantized_strict`] to refuse them instead, and
+    /// [`Self::coverage`] to observe how much of a plan is packed.
+    ///
     /// # Errors
     ///
-    /// * [`RuntimeError::NotQuantized`] when a dense layer has no
-    ///   weight/activation quantizers,
-    /// * [`RuntimeError::UnsupportedType`] when a dense layer selected the
-    ///   `float` primitive (no integer-domain wire decoder).
+    /// * [`RuntimeError::NotQuantized`] when a quantizable layer has no
+    ///   weight/activation quantizers (either mode — serving an
+    ///   unquantized model is never silently acceptable).
     pub fn from_quantized(model: &Sequential) -> Result<Self, RuntimeError> {
+        Self::compile(model, false)
+    }
+
+    /// Strict [`Self::from_quantized`]: every layer must lower to the
+    /// packed domain.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::from_quantized`], plus
+    /// [`RuntimeError::UnsupportedLayer`] wherever the lenient mode would
+    /// have emitted a [`PlanLayer::Fallback`].
+    pub fn from_quantized_strict(model: &Sequential) -> Result<Self, RuntimeError> {
+        Self::compile(model, true)
+    }
+
+    fn compile(model: &Sequential, strict: bool) -> Result<Self, RuntimeError> {
         let mut layers = Vec::with_capacity(model.layers().len());
         for layer in model.layers() {
-            layers.push(match layer {
-                NetLayer::Dense(d) => PlanLayer::Packed(Box::new(pack_dense(d)?)),
-                NetLayer::Relu(_) => PlanLayer::Relu,
-                other => PlanLayer::Fallback(Box::new(other.clone())),
-            });
+            let lowered = match layer {
+                NetLayer::Dense(d) => pack_dense(d).map(|p| PlanLayer::Packed(Box::new(p))),
+                NetLayer::Conv(c) => pack_conv(c).map(|p| PlanLayer::PackedConv(Box::new(p))),
+                NetLayer::Attn(a) => pack_attn(a).map(|p| PlanLayer::PackedAttn(Box::new(p))),
+                NetLayer::Relu(_) => Ok(PlanLayer::Relu),
+                NetLayer::Gelu(_) => Ok(PlanLayer::Gelu),
+                NetLayer::Pool(p) => Ok(PlanLayer::Pool {
+                    in_shape: p.in_shape(),
+                }),
+                NetLayer::Norm(n) => Ok(PlanLayer::Norm(Box::new(PlanNorm::from_layer(n)))),
+            };
+            match lowered {
+                Ok(l) => layers.push(l),
+                Err(RuntimeError::UnsupportedType { layer: name, dtype }) => {
+                    if strict {
+                        return Err(RuntimeError::UnsupportedLayer {
+                            layer: name,
+                            reason: format!("selected type {dtype} has no integer-domain decoder"),
+                        });
+                    }
+                    layers.push(PlanLayer::Fallback(Box::new(layer.clone())));
+                }
+                Err(e) => return Err(e),
+            }
         }
         let in_features = model.layers().first().and_then(layer_in_features);
         Ok(CompiledPlan {
@@ -252,12 +771,34 @@ impl CompiledPlan {
         self.in_features
     }
 
-    /// Number of layers running in the packed integer domain.
+    /// Number of layers carrying packed wire codes (dense, conv,
+    /// attention).
     pub fn packed_layer_count(&self) -> usize {
         self.layers
             .iter()
-            .filter(|l| matches!(l, PlanLayer::Packed(_)))
+            .filter(|l| {
+                matches!(
+                    l,
+                    PlanLayer::Packed(_) | PlanLayer::PackedConv(_) | PlanLayer::PackedAttn(_)
+                )
+            })
             .count()
+    }
+
+    /// Fraction of layers executing outside the fallback path — `1.0`
+    /// means the whole plan runs in the packed pipeline (compute layers on
+    /// wire codes, shape-polymorphic layers at the decode boundary) and
+    /// `0.0` means everything fell back to the reference implementation.
+    pub fn coverage(&self) -> f64 {
+        if self.layers.is_empty() {
+            return 1.0;
+        }
+        let fallback = self
+            .layers
+            .iter()
+            .filter(|l| matches!(l, PlanLayer::Fallback(_)))
+            .count();
+        1.0 - fallback as f64 / self.layers.len() as f64
     }
 
     /// Bytes of packed weight storage (the aligned `⌈n·bits/8⌉` footprint),
@@ -265,10 +806,16 @@ impl CompiledPlan {
     pub fn weight_bytes(&self) -> (usize, usize) {
         let mut packed = 0usize;
         let mut f32_bytes = 0usize;
+        let mut add = |t: &PackedTensor| {
+            packed += t.size_bytes();
+            f32_bytes += t.len() * std::mem::size_of::<f32>();
+        };
         for l in &self.layers {
-            if let PlanLayer::Packed(p) = l {
-                packed += p.weights.size_bytes();
-                f32_bytes += p.weights.len() * std::mem::size_of::<f32>();
+            match l {
+                PlanLayer::Packed(p) => add(p.weights()),
+                PlanLayer::PackedConv(p) => add(p.weights()),
+                PlanLayer::PackedAttn(p) => p.projections().into_iter().for_each(&mut add),
+                _ => {}
             }
         }
         (packed, f32_bytes)
@@ -288,7 +835,12 @@ impl CompiledPlan {
         for layer in &mut self.layers {
             cur = match layer {
                 PlanLayer::Packed(p) => p.forward(&cur, threads)?,
+                PlanLayer::PackedConv(p) => p.forward(&cur, threads)?,
+                PlanLayer::PackedAttn(p) => p.forward(&cur, threads)?,
                 PlanLayer::Relu => cur.map(|v| v.max(0.0)),
+                PlanLayer::Gelu => cur.map(gelu),
+                PlanLayer::Pool { in_shape } => maxpool2(&cur, *in_shape)?,
+                PlanLayer::Norm(n) => n.forward(&cur)?,
                 PlanLayer::Fallback(l) => l.forward(&cur)?,
             };
         }
@@ -304,6 +856,11 @@ fn layer_in_features(layer: &NetLayer) -> Option<usize> {
             let (ci, h, w) = c.in_shape();
             Some(ci * h * w)
         }
+        NetLayer::Pool(p) => {
+            let (c, h, w) = p.in_shape();
+            Some(c * h * w)
+        }
+        NetLayer::Attn(a) => Some(a.seq() * a.dim()),
         _ => None,
     }
 }
@@ -313,86 +870,133 @@ fn layer_in_features(layer: &NetLayer) -> Option<usize> {
 /// the activation quantizer.
 fn pack_dense(d: &Dense) -> Result<PackedLinear, RuntimeError> {
     let name = d.name().to_string();
-    let wq = d
-        .quant
-        .weight
-        .as_ref()
-        .ok_or_else(|| RuntimeError::NotQuantized {
-            layer: name.clone(),
-        })?;
-    let aq = d
+    let (wq, aq) = require_quantizers(&name, &d.quant.weight, &d.quant.activation)?;
+    check_int_domain(&name, &[wq.dtype(), aq.dtype()])?;
+    let (out, inp) = (d.out_features(), d.in_features());
+    let mat = PackedMatrix::pack(d.weight().as_slice(), out, inp, wq, &[out, inp])?;
+    Ok(PackedLinear {
+        name,
+        mat,
+        bias: d.bias().as_slice().to_vec(),
+        act_quant: ActQuant::for_quantizer(aq),
+        act: aq.clone(),
+    })
+}
+
+/// Packs one quantized convolution: kernel codes shaped `[co, ci, kh, kw]`
+/// with per-output-channel scales, geometry captured for the im2row
+/// lowering.
+fn pack_conv(c: &Conv2d) -> Result<PackedConv, RuntimeError> {
+    let name = c.name().to_string();
+    let (wq, aq) = require_quantizers(&name, &c.quant.weight, &c.quant.activation)?;
+    check_int_domain(&name, &[wq.dtype(), aq.dtype()])?;
+    let dims = c.weight().dims().to_vec();
+    let (co, kin) = (dims[0], dims[1] * dims[2] * dims[3]);
+    let mat = PackedMatrix::pack(c.weight().as_slice(), co, kin, wq, &dims)?;
+    Ok(PackedConv {
+        name,
+        mat,
+        bias: c.bias().as_slice().to_vec(),
+        act_quant: ActQuant::for_quantizer(aq),
+        act: aq.clone(),
+        in_shape: c.in_shape(),
+        geo: c.geometry(),
+        out_shape: c.out_shape(),
+    })
+}
+
+/// Packs one quantized attention block: all four projection weights onto
+/// wire codes plus the shared input-activation quantizer.
+fn pack_attn(a: &Attention) -> Result<PackedAttn, RuntimeError> {
+    let name = a.name().to_string();
+    let aq = a
         .quant
         .activation
         .as_ref()
         .ok_or_else(|| RuntimeError::NotQuantized {
             layer: name.clone(),
         })?;
-    for dt in [wq.dtype(), aq.dtype()] {
-        if dt.primitive() == PrimitiveType::Float {
-            return Err(RuntimeError::UnsupportedType {
-                layer: name,
-                dtype: dt,
-            });
+    let mut dtypes = vec![aq.dtype()];
+    for wq in &a.quant.weights {
+        match wq {
+            Some(q) => dtypes.push(q.dtype()),
+            None => {
+                return Err(RuntimeError::NotQuantized {
+                    layer: name.clone(),
+                })
+            }
         }
     }
-    let (out, inp) = (d.out_features(), d.in_features());
-    let codec = wq.codec();
-    let scales = wq.scales();
-    // Broadcast a per-tensor scale across output channels.
-    let w_scales: Vec<f32> = if scales.len() == 1 {
-        vec![scales[0]; out]
-    } else {
-        scales.to_vec()
-    };
-    if w_scales.len() != out {
-        return Err(RuntimeError::Quant(ant_core::QuantError::ChannelMismatch {
-            expected: out,
-            actual: w_scales.len(),
-        }));
+    check_int_domain(&name, &dtypes)?;
+    let dim = a.dim();
+    let weights = a.projection_weights();
+    let mut projs = Vec::with_capacity(4);
+    for (w, wq) in weights.iter().zip(&a.quant.weights) {
+        let wq = wq.as_ref().expect("checked above");
+        projs.push(PackedMatrix::pack(w.as_slice(), dim, dim, wq, &[dim, dim])?);
     }
-    let w = d.weight().as_slice();
-    let mut codes = Vec::with_capacity(out * inp);
-    for o in 0..out {
-        let s = w_scales[o];
-        for i in 0..inp {
-            codes.push(codec.encode(w[o * inp + i] / s));
-        }
-    }
-    let packed = PackedTensor::pack(wq.dtype(), &codes, scales.to_vec())?;
-    let lut = codec.decode_lut();
-    let w_int: Vec<i32> = codes.iter().map(|&c| lut[c as usize] as i32).collect();
-    Ok(PackedLinear {
+    let projs: [PackedMatrix; 4] = projs.try_into().expect("exactly four projections");
+    Ok(PackedAttn {
         name,
-        weights: packed,
-        w_int,
-        w_scales,
-        bias: d.bias().as_slice().to_vec(),
+        seq: a.seq(),
+        dim,
+        projs,
         act_quant: ActQuant::for_quantizer(aq),
         act: aq.clone(),
-        in_features: inp,
-        out_features: out,
     })
+}
+
+/// Unwraps a layer's weight/activation quantizer pair or reports it as
+/// unquantized.
+fn require_quantizers<'a>(
+    name: &str,
+    weight: &'a Option<TensorQuantizer>,
+    activation: &'a Option<Quantizer>,
+) -> Result<(&'a TensorQuantizer, &'a Quantizer), RuntimeError> {
+    match (weight, activation) {
+        (Some(w), Some(a)) => Ok((w, a)),
+        _ => Err(RuntimeError::NotQuantized {
+            layer: name.to_string(),
+        }),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ant_nn::model::mlp;
+    use ant_core::{ClipSearch, Granularity};
+    use ant_nn::model::{mlp, small_cnn, tiny_transformer, transformer_block};
     use ant_nn::qat::{quantize_model, QuantSpec};
     use ant_tensor::dist::{sample_tensor, Distribution};
 
-    fn quantized_mlp() -> (Sequential, Tensor) {
-        let mut model = mlp(8, 4, 11);
-        let calib = sample_tensor(
+    fn gaussian(dims: &[usize], seed: u64) -> Tensor {
+        sample_tensor(
             Distribution::Gaussian {
                 mean: 0.0,
                 std: 1.0,
             },
-            &[64, 8],
-            3,
-        );
+            dims,
+            seed,
+        )
+    }
+
+    fn quantized_mlp() -> (Sequential, Tensor) {
+        let mut model = mlp(8, 4, 11);
+        let calib = gaussian(&[64, 8], 3);
         quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
         (model, calib)
+    }
+
+    fn assert_close(plan: &mut CompiledPlan, model: &mut Sequential, x: &Tensor) {
+        let reference = model.forward(x).unwrap();
+        let out = plan.forward(x).unwrap();
+        assert_eq!(out.dims(), reference.dims());
+        for (a, b) in out.as_slice().iter().zip(reference.as_slice()) {
+            assert!(
+                (a - b).abs() <= 1e-4 * (1.0 + b.abs()),
+                "packed {a} vs reference {b}"
+            );
+        }
     }
 
     #[test]
@@ -401,15 +1005,75 @@ mod tests {
         let mut plan = CompiledPlan::from_quantized(&model).unwrap();
         assert_eq!(plan.packed_layer_count(), 3);
         assert_eq!(plan.in_features(), Some(8));
+        assert_eq!(plan.coverage(), 1.0);
         let x = calib;
-        let reference = model.forward(&x).unwrap();
-        let out = plan.forward(&x).unwrap();
-        assert_eq!(out.dims(), reference.dims());
-        for (a, b) in out.as_slice().iter().zip(reference.as_slice()) {
-            assert!(
-                (a - b).abs() <= 1e-4 * (1.0 + b.abs()),
-                "packed {a} vs reference {b}"
-            );
+        assert_close(&mut plan, &mut model, &x);
+    }
+
+    #[test]
+    fn cnn_plan_runs_packed_end_to_end() {
+        let mut model = small_cnn(4, 7);
+        let calib = gaussian(&[24, 144], 9);
+        quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+        let mut plan = CompiledPlan::from_quantized_strict(&model).unwrap();
+        assert_eq!(plan.coverage(), 1.0);
+        assert_eq!(plan.packed_layer_count(), 3); // conv1, conv2, head
+        assert_eq!(plan.in_features(), Some(144));
+        assert!(plan
+            .layers()
+            .iter()
+            .any(|l| matches!(l, PlanLayer::PackedConv(_))));
+        let x = gaussian(&[5, 144], 13);
+        assert_close(&mut plan, &mut model, &x);
+    }
+
+    #[test]
+    fn transformer_plan_runs_packed_end_to_end() {
+        for (mut model, feat) in [
+            (transformer_block(4, 8, 3, 21), 32usize),
+            (tiny_transformer(4, 8, 3, 23), 32),
+        ] {
+            let calib = gaussian(&[24, feat], 11);
+            quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+            let mut plan = CompiledPlan::from_quantized_strict(&model).unwrap();
+            assert_eq!(plan.coverage(), 1.0);
+            assert!(plan
+                .layers()
+                .iter()
+                .any(|l| matches!(l, PlanLayer::PackedAttn(_))));
+            let x = gaussian(&[3, feat], 17);
+            assert_close(&mut plan, &mut model, &x);
+        }
+    }
+
+    #[test]
+    fn float_typed_layer_falls_back_leniently_and_fails_strict() {
+        let (mut model, calib) = quantized_mlp();
+        // Force a float-typed weight on the middle dense layer.
+        let fdt = DataType::float(4, true).unwrap();
+        if let NetLayer::Dense(d) = &mut model.layers_mut()[2] {
+            let (q, _) = TensorQuantizer::fit(
+                fdt,
+                &d.weight().clone(),
+                Granularity::PerChannel,
+                ClipSearch::default(),
+            )
+            .unwrap();
+            d.quant.weight = Some(q);
+        }
+        let mut plan = CompiledPlan::from_quantized(&model).unwrap();
+        assert!(plan.coverage() < 1.0);
+        assert_eq!(plan.packed_layer_count(), 2);
+        assert!(plan
+            .layers()
+            .iter()
+            .any(|l| matches!(l, PlanLayer::Fallback(_))));
+        // Fallback still computes exactly what the reference computes.
+        assert_close(&mut plan, &mut model, &calib.clone());
+        // Strict mode refuses the same model.
+        match CompiledPlan::from_quantized_strict(&model) {
+            Err(RuntimeError::UnsupportedLayer { layer, .. }) => assert_eq!(layer, "fc2"),
+            other => panic!("expected UnsupportedLayer, got {other:?}"),
         }
     }
 
@@ -439,6 +1103,7 @@ mod tests {
             if let (NetLayer::Dense(d), PlanLayer::Packed(p)) = (layer, plan_layer) {
                 let expected = d.effective_weight().unwrap();
                 let decoded = p.weights().decode_all().unwrap();
+                assert_eq!(p.weights().dims(), d.weight().dims());
                 for (a, b) in decoded.iter().zip(expected.as_slice()) {
                     assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()), "{a} vs {b}");
                 }
@@ -502,5 +1167,18 @@ mod tests {
         assert!(packed > 0);
         // 4-bit codes: 8x smaller than f32 (up to rounding per layer).
         assert!(packed * 7 <= f32b, "packed {packed} vs f32 {f32b}");
+    }
+
+    #[test]
+    fn conv_and_attn_weights_count_toward_weight_bytes() {
+        let mut model = small_cnn(4, 3);
+        let calib = gaussian(&[16, 144], 5);
+        quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+        let plan = CompiledPlan::from_quantized(&model).unwrap();
+        let (packed, f32b) = plan.weight_bytes();
+        // conv1 (8·1·3·3) + conv2 (16·8·3·3) + head weights all counted.
+        let total_weights = 8 * 9 + 16 * 8 * 9 + 4 * 144;
+        assert_eq!(f32b, total_weights * 4);
+        assert!(packed > 0 && packed * 7 <= f32b);
     }
 }

@@ -1,30 +1,38 @@
-//! Serving a quantized model end to end: train an MLP, compile it to a
+//! Serving quantized models end to end: train a model, compile it to a
 //! packed-domain plan (with the memoizing type-selection cache), start the
-//! batched engine, and push >1000 requests through `submit`/`poll`/`wait`,
-//! verifying every response against the fake-quantized reference forward.
+//! batched engine, and push thousands of requests through
+//! `submit`/`poll`/`wait`, verifying every response against the
+//! fake-quantized reference forward.
+//!
+//! Two workloads exercise both packed compute families:
+//!
+//! * a deep MLP on the blobs task — the dense serving regime where
+//!   per-layer overhead dominates and batching pays,
+//! * a CNN on the 12×12 shapes task — conv → pool → dense, compiled
+//!   **strictly** (any layer falling back to the f32 reference path is a
+//!   hard error) with full packed coverage.
 //!
 //! Run with: `cargo run --release --example serve_quantized`
 
-use ant::nn::data::blobs;
-use ant::nn::model::deep_mlp;
+use ant::nn::data::{blobs, shapes, Dataset};
+use ant::nn::model::{deep_mlp, small_cnn, Sequential};
 use ant::nn::qat::QuantSpec;
 use ant::nn::train::{evaluate, train, TrainConfig};
-use ant::runtime::{BatchPolicy, Engine, Planner, RequestId};
+use ant::runtime::{BatchPolicy, CompiledPlan, Engine, Planner, RequestId};
 use std::time::{Duration, Instant};
 
-const REQUESTS: usize = 3200;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Train the reference model on the blobs task. Deep and narrow: the
-    // serving regime where per-layer overhead dominates and batching pays.
-    let data = blobs(400, 16, 4, 0.4, 11);
-    let (train_set, test_set) = data.split(0.25);
-    let mut model = deep_mlp(16, 4, 8, 6, 5);
+fn train_model(
+    model: &mut Sequential,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    epochs: usize,
+    label: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
     train(
-        &mut model,
-        &train_set,
+        model,
+        train_set,
         TrainConfig {
-            epochs: 8,
+            epochs,
             batch_size: 32,
             lr: 0.05,
             momentum: 0.9,
@@ -32,43 +40,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
     println!(
-        "trained fp32 model: {:.1}% test accuracy",
-        evaluate(&mut model, &test_set)? * 100.0
+        "{label}: trained fp32 model, {:.1}% test accuracy",
+        evaluate(model, test_set)? * 100.0
     );
+    Ok(())
+}
 
-    // Compile to a packed plan; the second compilation replays the cached
-    // Algorithm-2 decisions instead of refitting.
-    let (calib, _) = train_set.batch(&(0..100).collect::<Vec<_>>());
-    let mut planner = Planner::new();
-    let t0 = Instant::now();
-    let _cold_plan = planner.compile(&mut model, &calib, QuantSpec::default())?;
-    let cold = t0.elapsed();
-    let t0 = Instant::now();
-    let plan = planner.compile(&mut model, &calib, QuantSpec::default())?;
-    let warm = t0.elapsed();
-    let (packed_bytes, f32_bytes) = plan.weight_bytes();
-    println!(
-        "plan: {} packed layers, {packed_bytes} B packed weights ({f32_bytes} B as f32)",
-        plan.packed_layer_count(),
-    );
-    println!(
-        "compile: {:.1} ms cold, {:.3} ms warm (cache hits/misses: {:?})",
-        cold.as_secs_f64() * 1e3,
-        warm.as_secs_f64() * 1e3,
-        planner.cache().stats(),
-    );
-
-    // Reference outputs from the fake-quantized model.
-    let inputs = test_set.inputs();
-    let f = test_set.features();
-    let n_test = test_set.len();
-    let reference = model.forward(inputs)?;
+/// Serves `requests` deterministic rows twice — batched (concurrent
+/// submissions coalesced) and unbatched (one in flight at a time) —
+/// checking every response against the reference outputs, and returns the
+/// batched-over-unbatched speedup.
+fn serve_and_verify(
+    plan: &CompiledPlan,
+    inputs: &ant::tensor::Tensor,
+    reference: &ant::tensor::Tensor,
+    requests: usize,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let n_test = inputs.dims()[0];
+    let f = inputs.dims()[1];
     let classes = reference.dims()[1];
-
-    // Serve the same request stream twice: concurrent requests coalesced
-    // into batches of up to 32, versus unbatched serving (one request in
-    // flight at a time, submit → wait → next) — the configuration the
-    // batch scheduler exists to beat.
     let mut throughputs = Vec::new();
     for (label, max_batch, closed_loop) in
         [("batched(32)", 32usize, false), ("unbatched  ", 1, true)]
@@ -98,13 +88,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t0 = Instant::now();
         let mut wrong = 0usize;
         if closed_loop {
-            for i in 0..REQUESTS {
+            for i in 0..requests {
                 let row = (i * 7) % n_test; // deterministic request mix
                 let id = engine.submit(&inputs.as_slice()[row * f..(row + 1) * f])?;
                 wrong += check(i, &engine.wait(id)?);
             }
         } else {
-            let ids: Vec<RequestId> = (0..REQUESTS)
+            let ids: Vec<RequestId> = (0..requests)
                 .map(|i| {
                     let row = (i * 7) % n_test;
                     engine.submit(&inputs.as_slice()[row * f..(row + 1) * f])
@@ -116,22 +106,80 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let elapsed = t0.elapsed();
         let stats = engine.stats();
-        let rps = REQUESTS as f64 / elapsed.as_secs_f64();
+        let rps = requests as f64 / elapsed.as_secs_f64();
         throughputs.push(rps);
         println!(
-            "{label}: {REQUESTS} requests in {:>7.1} ms ({rps:>9.0} req/s, \
+            "  {label}: {requests} requests in {:>7.1} ms ({rps:>9.0} req/s, \
              {} batches, largest {}, {} mismatches)",
             elapsed.as_secs_f64() * 1e3,
             stats.batches - warmup.batches,
             stats.largest_batch,
             wrong,
         );
-        assert_eq!(stats.completed - warmup.completed, REQUESTS as u64);
+        assert_eq!(stats.completed - warmup.completed, requests as u64);
         assert_eq!(wrong, 0, "packed outputs diverged from the QAT reference");
     }
+    Ok(throughputs[0] / throughputs[1])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Deep MLP on blobs: the dense serving path -----------------------
+    let data = blobs(400, 16, 4, 0.4, 11);
+    let (train_set, test_set) = data.split(0.25);
+    let mut model = deep_mlp(16, 4, 8, 6, 5);
+    train_model(&mut model, &train_set, &test_set, 8, "mlp")?;
+
+    // Compile to a packed plan; the second compilation replays the cached
+    // Algorithm-2 decisions instead of refitting. Strict mode: a layer
+    // falling back to the f32 reference path is a compile error, so the
+    // served plan is guaranteed fully packed.
+    let (calib, _) = train_set.batch(&(0..100).collect::<Vec<_>>());
+    let mut planner = Planner::new().strict();
+    let t0 = Instant::now();
+    let _cold_plan = planner.compile(&mut model, &calib, QuantSpec::default())?;
+    let cold = t0.elapsed();
+    let t0 = Instant::now();
+    let plan = planner.compile(&mut model, &calib, QuantSpec::default())?;
+    let warm = t0.elapsed();
+    let (packed_bytes, f32_bytes) = plan.weight_bytes();
+    assert_eq!(plan.coverage(), 1.0, "strict plan must have zero fallback");
     println!(
-        "batched speedup over unbatched: {:.1}x",
-        throughputs[0] / throughputs[1]
+        "mlp plan: {} packed layers, coverage {:.0}%, {packed_bytes} B packed weights \
+         ({f32_bytes} B as f32)",
+        plan.packed_layer_count(),
+        plan.coverage() * 100.0,
     );
+    println!(
+        "mlp compile: {:.1} ms cold, {:.3} ms warm (cache hits/misses: {:?})",
+        cold.as_secs_f64() * 1e3,
+        warm.as_secs_f64() * 1e3,
+        planner.cache().stats(),
+    );
+    let reference = model.forward(test_set.inputs())?;
+    let speedup = serve_and_verify(&plan, test_set.inputs(), &reference, 3200)?;
+    println!("mlp batched speedup over unbatched: {speedup:.1}x");
+
+    // ---- CNN on shapes: conv → pool → dense in the packed domain ---------
+    let data = shapes(320, 0.15, 21);
+    let (train_set, test_set) = data.split(0.25);
+    let mut cnn = small_cnn(data.num_classes(), 13);
+    train_model(&mut cnn, &train_set, &test_set, 3, "cnn")?;
+    let (calib, _) = train_set.batch(&(0..64).collect::<Vec<_>>());
+    let cnn_plan = planner.compile(&mut cnn, &calib, QuantSpec::default())?;
+    let (packed_bytes, f32_bytes) = cnn_plan.weight_bytes();
+    assert_eq!(
+        cnn_plan.coverage(),
+        1.0,
+        "CNN plan must compile without fallback layers"
+    );
+    println!(
+        "cnn plan: {} packed layers (2 conv + head), coverage {:.0}%, {packed_bytes} B packed \
+         weights ({f32_bytes} B as f32)",
+        cnn_plan.packed_layer_count(),
+        cnn_plan.coverage() * 100.0,
+    );
+    let reference = cnn.forward(test_set.inputs())?;
+    let speedup = serve_and_verify(&cnn_plan, test_set.inputs(), &reference, 768)?;
+    println!("cnn batched speedup over unbatched: {speedup:.1}x");
     Ok(())
 }

@@ -1,0 +1,518 @@
+//! The `antc` command-line tool: train/calibrate → select → save a
+//! `.antm` artifact (`quantize`), dump its contents (`inspect`), and
+//! smoke-serve it through the batched engine (`serve`).
+//!
+//! The subcommand logic lives here (not in the binary) so the round-trip
+//! behaviour is unit-testable; `src/bin/antc.rs` is a thin argv adapter.
+
+use crate::render_table;
+use ant_core::select::PrimitiveCombo;
+use ant_nn::data::{blobs, motifs, shapes, Dataset};
+use ant_nn::model::{mlp, small_cnn, tiny_transformer, Sequential};
+use ant_nn::qat::QuantSpec;
+use ant_nn::train::{evaluate, train, TrainConfig};
+use ant_nn::NnError;
+use ant_runtime::{
+    probe, ArtifactError, BatchPolicy, Engine, ModelArtifact, Planner, RuntimeError,
+};
+use ant_tensor::dist::{sample_tensor, Distribution};
+use ant_tensor::Tensor;
+use std::fmt;
+use std::path::Path;
+
+/// Structured failure of an `antc` subcommand.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line (message includes usage guidance).
+    Usage(String),
+    /// Artifact (de)serialization failed.
+    Artifact(ArtifactError),
+    /// Training/quantization failed.
+    Nn(NnError),
+    /// Plan compilation or serving failed.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Artifact(e) => write!(f, "{e}"),
+            CliError::Nn(e) => write!(f, "{e}"),
+            CliError::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArtifactError> for CliError {
+    fn from(e: ArtifactError) -> Self {
+        CliError::Artifact(e)
+    }
+}
+
+impl From<NnError> for CliError {
+    fn from(e: NnError) -> Self {
+        CliError::Nn(e)
+    }
+}
+
+impl From<RuntimeError> for CliError {
+    fn from(e: RuntimeError) -> Self {
+        CliError::Runtime(e)
+    }
+}
+
+/// The reference model families `antc quantize` can build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Dense MLP on the blobs task (8 features, 4 classes).
+    Mlp,
+    /// Small CNN on the 12×12 shapes task.
+    Cnn,
+    /// Tiny Transformer on the motifs task.
+    Transformer,
+}
+
+impl ModelKind {
+    /// Parses the `--model` flag value.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] for unknown names.
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "mlp" => Ok(ModelKind::Mlp),
+            "cnn" => Ok(ModelKind::Cnn),
+            "transformer" => Ok(ModelKind::Transformer),
+            other => Err(CliError::Usage(format!(
+                "unknown model '{other}' (expected mlp, cnn or transformer)"
+            ))),
+        }
+    }
+}
+
+/// Parses the `--combo` flag value (the paper's combination labels).
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for unknown labels.
+pub fn parse_combo(s: &str) -> Result<PrimitiveCombo, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "int" => Ok(PrimitiveCombo::Int),
+        "ip" => Ok(PrimitiveCombo::IntPot),
+        "fip" => Ok(PrimitiveCombo::FloatIntPot),
+        "ipf" => Ok(PrimitiveCombo::IntPotFlint),
+        "fipf" => Ok(PrimitiveCombo::FloatIntPotFlint),
+        other => Err(CliError::Usage(format!(
+            "unknown combo '{other}' (expected int, ip, fip, ipf or fipf)"
+        ))),
+    }
+}
+
+/// `antc quantize` configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantizeConfig {
+    /// Which reference model family to build.
+    pub model: ModelKind,
+    /// Bit width handed to Algorithm 2.
+    pub bits: u32,
+    /// Candidate primitive combination.
+    pub combo: PrimitiveCombo,
+    /// Pre-quantization training epochs.
+    pub epochs: usize,
+    /// RNG seed for data, init and training.
+    pub seed: u64,
+}
+
+impl Default for QuantizeConfig {
+    fn default() -> Self {
+        QuantizeConfig {
+            model: ModelKind::Mlp,
+            bits: 4,
+            combo: PrimitiveCombo::IntPotFlint,
+            epochs: 6,
+            seed: 17,
+        }
+    }
+}
+
+fn build_task(kind: ModelKind, seed: u64) -> (Sequential, Dataset) {
+    match kind {
+        ModelKind::Mlp => (mlp(8, 4, seed), blobs(480, 8, 4, 0.5, seed.wrapping_add(1))),
+        ModelKind::Cnn => (small_cnn(4, seed), shapes(240, 0.4, seed.wrapping_add(1))),
+        ModelKind::Transformer => (
+            tiny_transformer(8, 8, 6, seed),
+            motifs(480, 8, 8, 6, seed.wrapping_add(1)),
+        ),
+    }
+}
+
+/// Runs the offline pipeline: train → calibrate → Algorithm-2 selection
+/// (through a [`Planner`], so the decisions land in the artifact's cache
+/// section) → serialize to `out`. Returns the human-readable report.
+///
+/// # Errors
+///
+/// Propagates training, quantization and serialization failures.
+pub fn run_quantize<P: AsRef<Path>>(cfg: QuantizeConfig, out: P) -> Result<String, CliError> {
+    let (mut model, data) = build_task(cfg.model, cfg.seed);
+    let (train_set, test_set) = data.split(0.25);
+    if cfg.epochs > 0 {
+        train(
+            &mut model,
+            &train_set,
+            TrainConfig {
+                epochs: cfg.epochs,
+                batch_size: 32,
+                lr: 0.05,
+                momentum: 0.9,
+                seed: cfg.seed,
+            },
+        )?;
+    }
+    let fp32_acc = evaluate(&mut model, &test_set)?;
+    let calib_indices: Vec<usize> = (0..64.min(train_set.len())).collect();
+    let (calib, _) = train_set.batch(&calib_indices);
+    let spec = QuantSpec {
+        combo: cfg.combo,
+        bits: cfg.bits,
+        ..QuantSpec::default()
+    };
+    let mut planner = Planner::new();
+    let plan = planner.compile(&mut model, &calib, spec)?;
+    let quant_acc = evaluate(&mut model, &test_set)?;
+    let artifact = ModelArtifact::from_model(&model)?.with_cache(planner.cache());
+    artifact.save_path(&out)?;
+
+    let (packed, f32_bytes) = plan.weight_bytes();
+    let mut report = String::new();
+    report.push_str(&format!(
+        "quantized {:?} model: combo {}, {} bits\n",
+        cfg.model,
+        cfg.combo.label(),
+        cfg.bits
+    ));
+    report.push_str(&format!(
+        "accuracy: fp32 {:.3} -> quantized {:.3}\n",
+        fp32_acc, quant_acc
+    ));
+    let covered = plan
+        .layers()
+        .iter()
+        .filter(|l| !matches!(l, ant_runtime::PlanLayer::Fallback(_)))
+        .count();
+    report.push_str(&format!(
+        "coverage: {:.2} ({covered}/{} layers outside fallback; {} carry packed wire codes)\n",
+        plan.coverage(),
+        plan.layers().len(),
+        plan.packed_layer_count()
+    ));
+    report.push_str(&format!(
+        "weights: {packed} packed bytes vs {f32_bytes} f32 bytes ({:.1}x smaller)\n",
+        f32_bytes as f64 / packed.max(1) as f64
+    ));
+    report.push_str(&format!(
+        "cache: {} memoized selection fingerprint(s)\n",
+        artifact.cache_entries().len()
+    ));
+    report.push_str(&format!(
+        "wrote {} ({} layers)\n",
+        out.as_ref().display(),
+        artifact.layer_count()
+    ));
+    Ok(report)
+}
+
+/// Renders the `antc inspect` report: header metadata, the per-layer
+/// dtype/bit-width table, and the coverage line.
+///
+/// Coverage is computed by lenient-compiling the artifact and reading
+/// [`ant_runtime::CompiledPlan::coverage`] — the same quantity with the
+/// same denominator (all plan layers, fallback included) as the
+/// documented API, so the two can never disagree.
+///
+/// # Errors
+///
+/// Propagates load and compile failures.
+pub fn run_inspect<P: AsRef<Path>>(path: P) -> Result<String, CliError> {
+    let bytes = std::fs::read(&path).map_err(|e| CliError::Artifact(ArtifactError::Io(e)))?;
+    let info = probe(&bytes[..])?;
+    let artifact = ModelArtifact::load(&bytes[..])?;
+    let mut plan = None;
+    let coverage_line = match artifact.compile() {
+        Ok(p) => {
+            // Same quantity, same denominator as CompiledPlan::coverage():
+            // every plan layer counts, fallback layers included.
+            let covered = p
+                .layers()
+                .iter()
+                .filter(|l| !matches!(l, ant_runtime::PlanLayer::Fallback(_)))
+                .count();
+            let line = format!(
+                "coverage: {:.2} ({covered} of {} plan layers packed-executable; \
+                 float-typed fallback layers count toward the denominator)",
+                p.coverage(),
+                p.layers().len()
+            );
+            plan = Some(p);
+            line
+        }
+        Err(e) => format!("coverage: plan does not compile ({e})"),
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{}: .antm version {}, {} bytes\n",
+        path.as_ref().display(),
+        info.version,
+        bytes.len()
+    ));
+    for s in &info.sections {
+        out.push_str(&format!(
+            "  section {}: {} bytes, crc32 {:#010x}\n",
+            s.id, s.len, s.crc32
+        ));
+    }
+    out.push('\n');
+    let mut rows = Vec::new();
+    for (i, l) in artifact.layer_summaries().iter().enumerate() {
+        let (dtype, bits, gran, elems, bytes) = if l.weights.is_empty() {
+            ("-".to_string(), "-".to_string(), "-", 0, 0)
+        } else {
+            let dts: Vec<String> = l.weights.iter().map(|w| w.dtype.to_string()).collect();
+            let bits: Vec<String> = l
+                .weights
+                .iter()
+                .map(|w| w.dtype.bits().to_string())
+                .collect();
+            let gran = match l.weights[0].granularity {
+                ant_core::Granularity::PerTensor => "tensor",
+                ant_core::Granularity::PerChannel => "channel",
+            };
+            (
+                dts.join(","),
+                bits.join(","),
+                gran,
+                l.weights.iter().map(|w| w.elements).sum::<usize>(),
+                l.weights.iter().map(|w| w.bytes).sum::<usize>(),
+            )
+        };
+        let act = match &l.activation {
+            Some((dt, scale)) => format!("{dt} @{scale:.3e}"),
+            None => "-".to_string(),
+        };
+        rows.push(vec![
+            i.to_string(),
+            l.name.clone(),
+            l.kind.to_string(),
+            dtype,
+            bits,
+            gran.to_string(),
+            elems.to_string(),
+            bytes.to_string(),
+            act,
+            if l.packed { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    out.push_str(&render_table(
+        &[
+            "#",
+            "name",
+            "kind",
+            "dtype",
+            "bits",
+            "gran",
+            "elems",
+            "bytes",
+            "activation",
+            "packed",
+        ],
+        &rows,
+    ));
+    out.push('\n');
+    out.push_str(&coverage_line);
+    out.push('\n');
+    if let Some(p) = &plan {
+        let (packed, f32b) = p.weight_bytes();
+        out.push_str(&format!(
+            "weights: {packed} packed bytes vs {f32b} f32 bytes\n"
+        ));
+    }
+    out.push_str(&format!(
+        "cache: {} memoized selection fingerprint(s)\n",
+        artifact.cache_entries().len()
+    ));
+    Ok(out)
+}
+
+/// Loads an artifact, strict-compiles it, and pushes `requests` seeded
+/// random rows through a batched [`Engine`], verifying every response
+/// against a direct plan execution. Returns the serving report.
+///
+/// # Errors
+///
+/// Propagates load/compile/engine failures; a response that disagrees
+/// with the direct execution is a [`CliError::Runtime`].
+pub fn run_serve<P: AsRef<Path>>(
+    path: P,
+    requests: usize,
+    max_batch: usize,
+) -> Result<String, CliError> {
+    let artifact = ModelArtifact::load_path(&path)?;
+    let plan = artifact.compile_strict()?;
+    let coverage = plan.coverage();
+    let features = plan.in_features().ok_or_else(|| {
+        CliError::Runtime(RuntimeError::Engine(
+            "plan does not pin an input width".to_string(),
+        ))
+    })?;
+    let mut reference = plan.clone();
+    let engine = Engine::new(
+        plan,
+        BatchPolicy {
+            max_batch: max_batch.max(1),
+            ..BatchPolicy::default()
+        },
+    );
+    let inputs = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[requests.max(1), features],
+        99,
+    );
+    let start = std::time::Instant::now();
+    let ids: Vec<_> = (0..requests.max(1))
+        .map(|i| engine.submit(inputs.channel(i).expect("row")))
+        .collect::<Result<_, _>>()?;
+    let mut verified = 0usize;
+    for (i, id) in ids.into_iter().enumerate() {
+        let got = engine.wait(id)?;
+        let row = Tensor::from_vec(inputs.channel(i).expect("row").to_vec(), &[1, features])
+            .expect("row tensor");
+        let want = reference.forward(&row)?;
+        if got != want.as_slice() {
+            return Err(CliError::Runtime(RuntimeError::Engine(format!(
+                "request {i}: batched response diverges from direct execution"
+            ))));
+        }
+        verified += 1;
+    }
+    let elapsed = start.elapsed();
+    let stats = engine.stats();
+    Ok(format!(
+        "served {verified} request(s), all verified against direct execution\n\
+         coverage: {coverage:.2}; {} batches, largest {}\n\
+         elapsed: {:.1} ms ({:.0} req/s)\n",
+        stats.batches,
+        stats.largest_batch,
+        elapsed.as_secs_f64() * 1e3,
+        verified as f64 / elapsed.as_secs_f64().max(1e-9)
+    ))
+}
+
+/// Usage text for the binary.
+pub const USAGE: &str = "antc — ANT quantized-model artifact tool
+
+USAGE:
+    antc quantize --out <file.antm> [--model mlp|cnn|transformer]
+                  [--bits N] [--combo int|ip|fip|ipf|fipf]
+                  [--epochs N] [--seed N]
+    antc inspect <file.antm>
+    antc serve <file.antm> [--requests N] [--batch N]
+
+The quantize subcommand trains a reference model, runs Algorithm-2 type
+selection through a memoizing Planner, and saves the packed result (wire
+codes + selection-cache fingerprints) as a versioned .antm artifact.
+inspect dumps the header, section table and per-layer selections.
+serve reloads the artifact, strict-compiles it straight from the wire
+codes and smoke-serves verified batched requests.";
+
+/// Parses argv (without the program name) and runs the selected
+/// subcommand, returning its report.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on bad arguments, otherwise the subcommand's
+/// failure.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let usage = |msg: &str| CliError::Usage(format!("{msg}\n\n{USAGE}"));
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| usage("missing subcommand"))?;
+    match cmd.as_str() {
+        "quantize" => {
+            let mut cfg = QuantizeConfig::default();
+            let mut out: Option<String> = None;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage(&format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--out" => out = Some(value("--out")?),
+                    "--model" => cfg.model = ModelKind::parse(&value("--model")?)?,
+                    "--bits" => {
+                        cfg.bits = value("--bits")?
+                            .parse()
+                            .map_err(|_| usage("--bits needs an integer"))?
+                    }
+                    "--combo" => cfg.combo = parse_combo(&value("--combo")?)?,
+                    "--epochs" => {
+                        cfg.epochs = value("--epochs")?
+                            .parse()
+                            .map_err(|_| usage("--epochs needs an integer"))?
+                    }
+                    "--seed" => {
+                        cfg.seed = value("--seed")?
+                            .parse()
+                            .map_err(|_| usage("--seed needs an integer"))?
+                    }
+                    other => return Err(usage(&format!("unknown flag '{other}'"))),
+                }
+            }
+            let out = out.ok_or_else(|| usage("quantize requires --out <file.antm>"))?;
+            run_quantize(cfg, out)
+        }
+        "inspect" => match rest {
+            [path] => run_inspect(path),
+            _ => Err(usage("inspect takes exactly one artifact path")),
+        },
+        "serve" => {
+            let (path, rest) = rest
+                .split_first()
+                .ok_or_else(|| usage("serve requires an artifact path"))?;
+            let mut requests = 256usize;
+            let mut batch = 32usize;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage(&format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--requests" => {
+                        requests = value("--requests")?
+                            .parse()
+                            .map_err(|_| usage("--requests needs an integer"))?
+                    }
+                    "--batch" => {
+                        batch = value("--batch")?
+                            .parse()
+                            .map_err(|_| usage("--batch needs an integer"))?
+                    }
+                    other => return Err(usage(&format!("unknown flag '{other}'"))),
+                }
+            }
+            run_serve(path, requests, batch)
+        }
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(usage(&format!("unknown subcommand '{other}'"))),
+    }
+}

@@ -1,0 +1,14 @@
+//! `antc` — quantize once, serve anywhere: build, inspect and smoke-serve
+//! versioned `.antm` model artifacts. All logic lives in
+//! [`ant_bench::antc`]; this binary only adapts argv and exit codes.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ant_bench::antc::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("antc: {e}");
+            std::process::exit(1);
+        }
+    }
+}

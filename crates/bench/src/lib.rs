@@ -6,6 +6,8 @@
 //! and the three trained reference models used by the accuracy
 //! experiments.
 
+pub mod antc;
+
 use ant_nn::data::{blobs, motifs, shapes, Dataset};
 use ant_nn::model::{deep_mlp, small_cnn, tiny_transformer, Sequential};
 use ant_nn::train::{train, TrainConfig};

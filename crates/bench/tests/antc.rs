@@ -1,0 +1,150 @@
+//! Round-trip tests for the `antc` subcommands: quantize → inspect →
+//! serve on a real temp-file artifact, plus argv validation. The binary
+//! in `src/bin/antc.rs` is a thin adapter over the same `run` entry
+//! point, so these cover the CLI's behaviour end to end.
+
+use ant_bench::antc::{parse_combo, run, CliError, ModelKind};
+use ant_core::select::PrimitiveCombo;
+use std::path::PathBuf;
+
+fn temp_artifact(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("antc-test-{}-{name}.antm", std::process::id()));
+    p
+}
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn quantize_inspect_serve_roundtrip() {
+    let path = temp_artifact("roundtrip");
+    let path_str = path.to_str().unwrap();
+
+    let report = run(&args(&[
+        "quantize", "--out", path_str, "--model", "mlp", "--epochs", "2", "--seed", "5",
+    ]))
+    .unwrap();
+    assert!(report.contains("combo IP-F, 4 bits"), "{report}");
+    assert!(report.contains("coverage: 1.00"), "{report}");
+    assert!(
+        report.contains("memoized selection fingerprint"),
+        "{report}"
+    );
+    assert!(path.exists());
+
+    let inspect = run(&args(&["inspect", path_str])).unwrap();
+    assert!(inspect.contains(".antm version 1"), "{inspect}");
+    assert!(inspect.contains("section MODL"), "{inspect}");
+    assert!(inspect.contains("section CACH"), "{inspect}");
+    assert!(inspect.contains("dense"), "{inspect}");
+    // The coverage line states the documented denominator semantics.
+    assert!(
+        inspect.contains("5 of 5 plan layers packed-executable"),
+        "{inspect}"
+    );
+    assert!(
+        inspect.contains("fallback layers count toward the denominator"),
+        "{inspect}"
+    );
+
+    let serve = run(&args(&[
+        "serve",
+        path_str,
+        "--requests",
+        "48",
+        "--batch",
+        "8",
+    ]))
+    .unwrap();
+    assert!(
+        serve.contains("served 48 request(s), all verified"),
+        "{serve}"
+    );
+    assert!(serve.contains("coverage: 1.00"), "{serve}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn quantize_supports_bits_and_combo_overrides() {
+    let path = temp_artifact("int8");
+    let path_str = path.to_str().unwrap();
+    let report = run(&args(&[
+        "quantize", "--out", path_str, "--model", "mlp", "--epochs", "1", "--bits", "8", "--combo",
+        "int",
+    ]))
+    .unwrap();
+    assert!(report.contains("combo Int, 8 bits"), "{report}");
+    let inspect = run(&args(&["inspect", path_str])).unwrap();
+    assert!(inspect.contains("int8s"), "{inspect}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn usage_errors_are_structured() {
+    assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+    assert!(matches!(
+        run(&args(&["quantize", "--model", "mlp"])),
+        Err(CliError::Usage(_)) // missing --out
+    ));
+    assert!(matches!(
+        run(&args(&[
+            "quantize",
+            "--out",
+            "/tmp/x.antm",
+            "--model",
+            "resnet"
+        ])),
+        Err(CliError::Usage(_))
+    ));
+    assert!(matches!(run(&args(&["inspect"])), Err(CliError::Usage(_))));
+    assert!(matches!(
+        run(&args(&["frobnicate"])),
+        Err(CliError::Usage(_))
+    ));
+    let help = run(&args(&["--help"])).unwrap();
+    assert!(help.contains("USAGE"));
+}
+
+#[test]
+fn inspect_and_serve_report_artifact_errors_not_panics() {
+    // Nonexistent file.
+    assert!(matches!(
+        run(&args(&["inspect", "/tmp/definitely-missing.antm"])),
+        Err(CliError::Artifact(_))
+    ));
+    // Not an artifact.
+    let path = temp_artifact("garbage");
+    std::fs::write(&path, b"not an artifact at all").unwrap();
+    assert!(matches!(
+        run(&args(&["inspect", path.to_str().unwrap()])),
+        Err(CliError::Artifact(_))
+    ));
+    assert!(matches!(
+        run(&args(&["serve", path.to_str().unwrap()])),
+        Err(CliError::Artifact(_))
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn model_and_combo_parsers_cover_all_labels() {
+    assert_eq!(ModelKind::parse("mlp").unwrap(), ModelKind::Mlp);
+    assert_eq!(ModelKind::parse("cnn").unwrap(), ModelKind::Cnn);
+    assert_eq!(
+        ModelKind::parse("transformer").unwrap(),
+        ModelKind::Transformer
+    );
+    assert!(ModelKind::parse("bert").is_err());
+    assert_eq!(parse_combo("int").unwrap(), PrimitiveCombo::Int);
+    assert_eq!(parse_combo("ip").unwrap(), PrimitiveCombo::IntPot);
+    assert_eq!(parse_combo("fip").unwrap(), PrimitiveCombo::FloatIntPot);
+    assert_eq!(parse_combo("IPF").unwrap(), PrimitiveCombo::IntPotFlint);
+    assert_eq!(
+        parse_combo("fipf").unwrap(),
+        PrimitiveCombo::FloatIntPotFlint
+    );
+    assert!(parse_combo("xyz").is_err());
+}

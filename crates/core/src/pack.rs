@@ -8,6 +8,26 @@
 //! [`variable_length_size`] computes the storage an outlier-aware
 //! variable-length scheme needs, including the index metadata that breaks
 //! alignment (Sec. III-B's argument against OLAccel/GOBO-style encodings).
+//!
+//! The byte stream is also the *serialization* format: model artifacts
+//! persist [`PackedTensor::bytes`]/[`PackedTensor::scales`]/
+//! [`PackedTensor::dims`] verbatim and reconstruct through
+//! [`PackedTensor::from_bytes`] without re-encoding any float, which is
+//! what makes a reloaded plan's wire codes bit-identical to the saved
+//! ones (see `docs/format.md` for the normative packing order and
+//! endianness rules).
+//!
+//! ```
+//! use ant_core::pack::PackedTensor;
+//! use ant_core::DataType;
+//!
+//! let dt = DataType::flint(4, true)?;
+//! let p = PackedTensor::pack_with_dims(dt, &(0..12).collect::<Vec<_>>(), vec![0.5, 2.0], &[2, 6])?;
+//! // Persist (dtype, len, scales, dims, bytes) — reload is bit-identical.
+//! let q = PackedTensor::from_bytes(dt, p.len(), p.scales().to_vec(), p.dims(), p.bytes().to_vec())?;
+//! assert_eq!(p, q);
+//! # Ok::<(), ant_core::QuantError>(())
+//! ```
 
 use crate::dtype::{Codec, DataType};
 use crate::QuantError;
@@ -95,6 +115,77 @@ impl PackedTensor {
         Ok(PackedTensor {
             dtype,
             len: codes.len(),
+            scales,
+            bytes,
+            dims: dims.to_vec(),
+        })
+    }
+
+    /// Reconstructs a packed tensor directly from its wire-code byte
+    /// stream — the deserialization path used by model artifacts. The
+    /// inverse of reading [`Self::bytes`]/[`Self::scales`]/[`Self::dims`]
+    /// off an existing pack: no floats are re-encoded, so the codes are
+    /// bit-identical to the ones that were saved.
+    ///
+    /// # Errors
+    ///
+    /// * [`QuantError::EmptyCalibration`] when `scales` is empty,
+    /// * [`QuantError::ChannelMismatch`] when `dims` disagrees with `len`
+    ///   or the scale count does not divide the leading axis (as in
+    ///   [`Self::pack_with_dims`]),
+    /// * [`QuantError::UnsupportedBitWidth`] when `bytes` is not exactly
+    ///   `⌈len·bits/8⌉` long, `len·bits` overflows, or the trailing
+    ///   padding bits of the last byte are not zero (all indicate a
+    ///   corrupt or mis-framed stream).
+    pub fn from_bytes(
+        dtype: DataType,
+        len: usize,
+        scales: Vec<f32>,
+        dims: &[usize],
+        bytes: Vec<u8>,
+    ) -> Result<Self, QuantError> {
+        if scales.is_empty() {
+            return Err(QuantError::EmptyCalibration);
+        }
+        let bits = dtype.bits() as usize;
+        if !dims.is_empty() {
+            // Checked product: `len` and `dims` may come from a hostile
+            // serialized stream, and an overflowed product can never
+            // describe real codes.
+            match dims.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d)) {
+                Some(n) if n == len => {}
+                n => {
+                    return Err(QuantError::ChannelMismatch {
+                        expected: n.unwrap_or(usize::MAX),
+                        actual: len,
+                    })
+                }
+            }
+            if scales.len() > 1 && !dims[0].is_multiple_of(scales.len()) {
+                return Err(QuantError::ChannelMismatch {
+                    expected: dims[0],
+                    actual: scales.len(),
+                });
+            }
+        }
+        let total_bits = len
+            .checked_mul(bits)
+            .ok_or(QuantError::UnsupportedBitWidth { bits: bits as u32 })?;
+        if bytes.len() != total_bits.div_ceil(8) {
+            return Err(QuantError::UnsupportedBitWidth { bits: bits as u32 });
+        }
+        // Trailing padding bits beyond the last element must be zero, so
+        // every byte stream has exactly one valid interpretation.
+        let used = total_bits % 8;
+        if used != 0 {
+            let last = *bytes.last().expect("non-empty when used > 0");
+            if last >> used != 0 {
+                return Err(QuantError::UnsupportedBitWidth { bits: bits as u32 });
+            }
+        }
+        Ok(PackedTensor {
+            dtype,
+            len,
             scales,
             bytes,
             dims: dims.to_vec(),
@@ -447,6 +538,86 @@ mod tests {
         assert!(flat.decode_channel(0).is_err());
         let shaped = PackedTensor::pack_with_dims(dt, &[1, 2, 3], vec![1.0], &[3, 1]).unwrap();
         assert!(shaped.decode_channel(3).is_err());
+    }
+
+    #[test]
+    fn from_bytes_roundtrips_wire_codes() {
+        for bits in [3u32, 4, 6, 8] {
+            let dt = DataType::int(bits, false).unwrap();
+            let codes: Vec<u32> = (0..37).map(|i| (i * 5) % (1 << bits)).collect();
+            let p = PackedTensor::pack(dt, &codes, vec![0.25]).unwrap();
+            let q = PackedTensor::from_bytes(
+                dt,
+                p.len(),
+                p.scales().to_vec(),
+                p.dims(),
+                p.bytes().to_vec(),
+            )
+            .unwrap();
+            assert_eq!(p, q, "bits={bits}");
+            assert_eq!(q.codes(), codes);
+        }
+        // Shaped pack with per-channel scales survives too.
+        let dt = DataType::flint(4, true).unwrap();
+        let codes: Vec<u32> = (0..12).collect();
+        let p = PackedTensor::pack_with_dims(dt, &codes, vec![0.5, 2.0], &[2, 2, 3]).unwrap();
+        let q = PackedTensor::from_bytes(
+            dt,
+            p.len(),
+            p.scales().to_vec(),
+            p.dims(),
+            p.bytes().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn from_bytes_validates_framing() {
+        let dt = DataType::int(4, false).unwrap();
+        // Wrong byte count.
+        assert!(matches!(
+            PackedTensor::from_bytes(dt, 3, vec![1.0], &[], vec![0u8; 3]),
+            Err(QuantError::UnsupportedBitWidth { .. })
+        ));
+        // Nonzero trailing padding (3 codes × 4 bits = 12 bits; the top
+        // nibble of byte 1 is padding).
+        assert!(matches!(
+            PackedTensor::from_bytes(dt, 3, vec![1.0], &[], vec![0xFF, 0xFF]),
+            Err(QuantError::UnsupportedBitWidth { .. })
+        ));
+        // Empty scales / dims disagreement, as in pack_with_dims.
+        assert!(matches!(
+            PackedTensor::from_bytes(dt, 2, vec![], &[], vec![0x21]),
+            Err(QuantError::EmptyCalibration)
+        ));
+        assert!(matches!(
+            PackedTensor::from_bytes(dt, 2, vec![1.0], &[3], vec![0x21]),
+            Err(QuantError::ChannelMismatch { .. })
+        ));
+        assert!(matches!(
+            PackedTensor::from_bytes(dt, 3, vec![1.0, 2.0], &[3, 1], vec![0x21, 0x03]),
+            Err(QuantError::ChannelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_bytes_rejects_overflowing_element_counts() {
+        // Hostile serialized streams can declare absurd sizes; the
+        // arithmetic must stay checked instead of wrapping (release) or
+        // panicking (debug).
+        let dt = DataType::int(8, false).unwrap();
+        assert!(matches!(
+            PackedTensor::from_bytes(dt, 1usize << 61, vec![1.0], &[], vec![]),
+            Err(QuantError::UnsupportedBitWidth { .. })
+        ));
+        // A dims product that wraps to exactly `len` must not pass the
+        // shape check either.
+        let huge = 1usize << 31;
+        assert!(matches!(
+            PackedTensor::from_bytes(dt, 0, vec![1.0], &[huge, huge, 4], vec![]),
+            Err(QuantError::ChannelMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,1549 @@
+//! The `.antm` model artifact: quantize once, serve anywhere.
+//!
+//! ANT's offline/online split (paper Sec. IV-C: Algorithm-2 selection and
+//! QAT happen once, serving runs on cheap packed wire codes) only pays off
+//! if the offline result can be *persisted*. A [`ModelArtifact`] captures
+//! everything the serving side needs — per-tensor [`DataType`] selections,
+//! per-channel scales, the packed wire-code streams with their logical
+//! shapes, biases and normalisation parameters — plus, in a second
+//! section, the [`Planner`]'s memoized selection-cache fingerprints so a
+//! restarted offline pipeline replays Algorithm 2 instead of re-running
+//! it.
+//!
+//! The on-disk format (normatively specified in `docs/format.md`) is a
+//! versioned, self-describing binary: a fixed header (magic, format
+//! version), a section table, and CRC-32-checked section payloads, all
+//! hand-rolled over [`std::io`]. Loading a truncated, corrupted or
+//! newer-versioned file yields a structured [`ArtifactError`], never a
+//! panic.
+//!
+//! Reloading offers two paths:
+//!
+//! * [`ModelArtifact::compile`] / [`ModelArtifact::compile_strict`] —
+//!   rebuild a [`CompiledPlan`] **directly from the saved wire codes**. No
+//!   float is ever re-encoded, so the reloaded plan's packed codes are
+//!   bit-identical to the plan that was saved, and reload cost is just
+//!   parsing plus one LUT decode per weight.
+//! * [`ModelArtifact::to_model`] — reconstruct a fake-quantized
+//!   [`Sequential`] (weights dequantized from the codes, quantizers
+//!   reattached from the saved scales) for inspection or further tuning.
+//!
+//! ```
+//! use ant_nn::model::mlp;
+//! use ant_nn::qat::{quantize_model, QuantSpec};
+//! use ant_runtime::ModelArtifact;
+//! use ant_tensor::dist::{sample_tensor, Distribution};
+//!
+//! let mut model = mlp(8, 4, 1);
+//! let calib = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[64, 8], 2);
+//! quantize_model(&mut model, &calib, QuantSpec::default())?;
+//!
+//! // Offline: quantize once, save.
+//! let artifact = ModelArtifact::from_model(&model)?;
+//! let mut bytes = Vec::new();
+//! artifact.save(&mut bytes)?;
+//!
+//! // Online: load anywhere, strict-compile straight from wire codes.
+//! let reloaded = ModelArtifact::load(&bytes[..])?;
+//! let mut plan = reloaded.compile_strict()?;
+//! assert_eq!(plan.coverage(), 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::cache::{Planner, SelectionCache, TypeDecision};
+use crate::error::RuntimeError;
+use crate::plan::{
+    pack_weight_tensor, CompiledPlan, PackedAttn, PackedConv, PackedLinear, PlanLayer, PlanNorm,
+};
+use ant_core::minifloat::FloatFormat;
+use ant_core::pack::PackedTensor;
+use ant_core::{DataType, Granularity, PrimitiveType, QuantError, Quantizer, TensorQuantizer};
+use ant_nn::attention::{Attention, LayerNorm};
+use ant_nn::gelu::Gelu;
+use ant_nn::layer::{Conv2d, Dense, MaxPool2, Relu};
+use ant_nn::model::{NetLayer, Sequential};
+use ant_nn::NnError;
+use ant_tensor::linalg::Conv2dGeometry;
+use ant_tensor::Tensor;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// The four magic bytes every `.antm` stream starts with.
+pub const MAGIC: [u8; 4] = *b"ANTM";
+
+/// The format version this build writes and the newest it can read.
+pub const FORMAT_VERSION: u16 = 1;
+
+const SECTION_MODEL: [u8; 4] = *b"MODL";
+const SECTION_CACHE: [u8; 4] = *b"CACH";
+
+/// Header size: magic + version + reserved + section count.
+const HEADER_LEN: usize = 4 + 2 + 2 + 4;
+/// Section-table entry size: id + offset + len + crc32.
+const ENTRY_LEN: usize = 4 + 8 + 8 + 4;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Structured error for `.antm` serialization and deserialization.
+///
+/// Every failure mode of a hostile byte stream — wrong magic, version
+/// skew, truncation, checksum mismatch, semantically inconsistent payloads
+/// — maps to a dedicated variant; loading never panics.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The stream does not start with [`MAGIC`].
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The stream's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version stored in the stream.
+        found: u16,
+        /// Newest version this build reads ([`FORMAT_VERSION`]).
+        supported: u16,
+    },
+    /// The stream ended before a declared structure was complete.
+    Truncated {
+        /// What was being read.
+        context: String,
+        /// Bytes the structure still needed.
+        needed: u64,
+        /// Bytes actually remaining.
+        got: u64,
+    },
+    /// A section's payload does not match its stored CRC-32.
+    ChecksumMismatch {
+        /// Section id (e.g. `MODL`).
+        section: String,
+        /// CRC stored in the section table.
+        stored: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+    /// A required section is absent from the section table.
+    MissingSection {
+        /// The missing section's id.
+        section: String,
+    },
+    /// A payload parsed but is semantically inconsistent (bad enum tag,
+    /// mismatched shapes, non-positive scale, …).
+    Malformed {
+        /// What was being read.
+        context: String,
+        /// Why it was rejected.
+        detail: String,
+    },
+    /// A quantization-level operation on the decoded state failed.
+    Quant(QuantError),
+    /// A model-level operation on the decoded state failed.
+    Nn(NnError),
+    /// A plan-compilation operation on the decoded state failed (e.g.
+    /// strict compilation of a float-typed layer).
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            ArtifactError::BadMagic { found } => {
+                write!(f, "not an .antm artifact: magic {found:02x?}")
+            }
+            ArtifactError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "artifact format version {found} is newer than supported version {supported}"
+            ),
+            ArtifactError::Truncated {
+                context,
+                needed,
+                got,
+            } => write!(
+                f,
+                "artifact truncated while reading {context}: needed {needed} bytes, {got} remain"
+            ),
+            ArtifactError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "section {section} checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            ArtifactError::MissingSection { section } => {
+                write!(f, "required section {section} is missing")
+            }
+            ArtifactError::Malformed { context, detail } => {
+                write!(f, "malformed artifact ({context}): {detail}")
+            }
+            ArtifactError::Quant(e) => write!(f, "artifact quantization error: {e}"),
+            ArtifactError::Nn(e) => write!(f, "artifact model error: {e}"),
+            ArtifactError::Runtime(e) => write!(f, "artifact plan error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            ArtifactError::Quant(e) => Some(e),
+            ArtifactError::Nn(e) => Some(e),
+            ArtifactError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<QuantError> for ArtifactError {
+    fn from(e: QuantError) -> Self {
+        ArtifactError::Quant(e)
+    }
+}
+
+impl From<NnError> for ArtifactError {
+    fn from(e: NnError) -> Self {
+        ArtifactError::Nn(e)
+    }
+}
+
+impl From<RuntimeError> for ArtifactError {
+    fn from(e: RuntimeError) -> Self {
+        ArtifactError::Runtime(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// One serialized weight tensor: packed wire codes plus the calibration
+/// granularity needed to rebuild its [`TensorQuantizer`].
+#[derive(Debug, Clone, PartialEq)]
+struct WeightRecord {
+    granularity: Granularity,
+    codes: PackedTensor,
+}
+
+impl WeightRecord {
+    fn quantizer(&self) -> Result<TensorQuantizer, ArtifactError> {
+        Ok(TensorQuantizer::from_scales(
+            self.codes.dtype(),
+            self.granularity,
+            self.codes.scales().to_vec(),
+        )?)
+    }
+
+    /// Dequantizes the wire codes back into an f32 tensor shaped by the
+    /// pack's logical dims.
+    fn decode(&self, context: &str) -> Result<Tensor, ArtifactError> {
+        let values = self.codes.decode_all()?;
+        Tensor::from_vec(values, self.codes.dims()).map_err(|e| ArtifactError::Malformed {
+            context: context.to_string(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+/// A serialized activation quantizer: data type plus per-tensor scale.
+#[derive(Debug, Clone, PartialEq)]
+struct ActRecord {
+    dtype: DataType,
+    scale: f32,
+}
+
+impl ActRecord {
+    fn quantizer(&self) -> Result<Quantizer, ArtifactError> {
+        if !self.scale.is_finite() || self.scale <= 0.0 {
+            return Err(ArtifactError::Malformed {
+                context: "activation quantizer".to_string(),
+                detail: format!("non-positive scale {}", self.scale),
+            });
+        }
+        Ok(Quantizer::with_scale(self.dtype, self.scale)?)
+    }
+}
+
+/// One serialized network layer.
+#[derive(Debug, Clone, PartialEq)]
+enum LayerRecord {
+    Dense {
+        name: String,
+        weight: WeightRecord,
+        bias: Vec<f32>,
+        act: ActRecord,
+    },
+    Relu {
+        name: String,
+    },
+    Conv {
+        name: String,
+        in_shape: (usize, usize, usize),
+        geo: Conv2dGeometry,
+        weight: WeightRecord,
+        bias: Vec<f32>,
+        act: ActRecord,
+    },
+    Pool {
+        name: String,
+        in_shape: (usize, usize, usize),
+    },
+    Norm {
+        name: String,
+        gamma: Vec<f32>,
+        beta: Vec<f32>,
+        eps: f32,
+    },
+    Attn {
+        name: String,
+        seq: usize,
+        dim: usize,
+        weights: Box<[WeightRecord; 4]>,
+        act: ActRecord,
+    },
+    Gelu {
+        name: String,
+    },
+}
+
+impl LayerRecord {
+    fn name(&self) -> &str {
+        match self {
+            LayerRecord::Dense { name, .. }
+            | LayerRecord::Relu { name }
+            | LayerRecord::Conv { name, .. }
+            | LayerRecord::Pool { name, .. }
+            | LayerRecord::Norm { name, .. }
+            | LayerRecord::Attn { name, .. }
+            | LayerRecord::Gelu { name } => name,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public inspection types
+// ---------------------------------------------------------------------------
+
+/// Parsed header metadata of an `.antm` stream (see [`probe`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactInfo {
+    /// Format version stored in the header.
+    pub version: u16,
+    /// Section-table entries in file order.
+    pub sections: Vec<SectionInfo>,
+}
+
+/// One section-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Four-character section id (`MODL`, `CACH`).
+    pub id: String,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Stored CRC-32 of the payload.
+    pub crc32: u32,
+}
+
+/// Per-weight metadata for one layer of an artifact (the `antc inspect`
+/// table row source).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightSummary {
+    /// Selected data type.
+    pub dtype: DataType,
+    /// Calibration granularity.
+    pub granularity: Granularity,
+    /// Logical shape of the packed codes.
+    pub dims: Vec<usize>,
+    /// Element count.
+    pub elements: usize,
+    /// Packed storage bytes (`⌈elements·bits/8⌉`).
+    pub bytes: usize,
+    /// Number of scales (1 for per-tensor).
+    pub scales: usize,
+}
+
+/// Per-layer metadata for one layer of an artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSummary {
+    /// Layer name.
+    pub name: String,
+    /// Layer kind (`dense`, `relu`, `conv`, `pool`, `norm`, `attn`,
+    /// `gelu`).
+    pub kind: &'static str,
+    /// Weight tensors (dense/conv carry one, attention four, others none).
+    pub weights: Vec<WeightSummary>,
+    /// Activation selection, for compute layers.
+    pub activation: Option<(DataType, f32)>,
+    /// Whether [`ModelArtifact::compile`] lowers this layer to the packed
+    /// integer domain (`false` only for float-typed compute layers, which
+    /// compile to reference-path fallback).
+    pub packed: bool,
+}
+
+// ---------------------------------------------------------------------------
+// ModelArtifact
+// ---------------------------------------------------------------------------
+
+/// A serializable snapshot of a quantized [`Sequential`] plus the
+/// selection-cache fingerprints that produced it.
+///
+/// See the [module docs](self) for the save/load flow and `docs/format.md`
+/// for the byte-level format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact {
+    layers: Vec<LayerRecord>,
+    cache: Vec<(u64, Vec<TypeDecision>)>,
+}
+
+impl ModelArtifact {
+    /// Captures a quantized model: every compute layer's weights are
+    /// encoded onto packed wire codes under its attached quantizers (the
+    /// exact code path plan compilation uses, so saved codes are
+    /// bit-identical to compiled ones).
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Runtime`] wrapping
+    /// [`RuntimeError::NotQuantized`] when a compute layer has no
+    /// quantizers, plus any packing failures.
+    pub fn from_model(model: &Sequential) -> Result<Self, ArtifactError> {
+        let mut layers = Vec::with_capacity(model.layers().len());
+        for layer in model.layers() {
+            layers.push(record_from_layer(layer)?);
+        }
+        Ok(ModelArtifact {
+            layers,
+            cache: Vec::new(),
+        })
+    }
+
+    /// Attaches a planner's memoized Algorithm-2 decisions, so a reloaded
+    /// pipeline can warm-start selection (see [`Self::planner`]).
+    #[must_use]
+    pub fn with_cache(mut self, cache: &SelectionCache) -> Self {
+        self.cache = cache.export();
+        self
+    }
+
+    /// Number of serialized layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The memoized selection decisions stored in the cache section.
+    pub fn cache_entries(&self) -> &[(u64, Vec<TypeDecision>)] {
+        &self.cache
+    }
+
+    /// A [`Planner`] pre-warmed with this artifact's cached decisions:
+    /// compiling the original `(model, calibration, spec)` triple replays
+    /// the saved selection instead of re-running the MSE grid search.
+    pub fn planner(&self) -> Planner {
+        Planner::with_cache(self.cache.clone())
+    }
+
+    /// Per-layer metadata (the source of `antc inspect`'s table).
+    pub fn layer_summaries(&self) -> Vec<LayerSummary> {
+        self.layers.iter().map(summarize).collect()
+    }
+
+    /// Total packed weight bytes across all layers.
+    pub fn packed_weight_bytes(&self) -> usize {
+        self.layer_summaries()
+            .iter()
+            .flat_map(|l| l.weights.iter().map(|w| w.bytes))
+            .sum()
+    }
+
+    /// Reconstructs a fake-quantized [`Sequential`]: layer weights are the
+    /// dequantized wire codes (exactly on the scaled lattice) and the
+    /// saved `(dtype, granularity, scales)` selections are reattached as
+    /// quantizers.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Malformed`] (or a wrapped quantization error) when
+    /// record shapes are inconsistent.
+    pub fn to_model(&self) -> Result<Sequential, ArtifactError> {
+        let mut model = Sequential::new();
+        for record in &self.layers {
+            model = model.push(record_to_netlayer(record)?);
+        }
+        Ok(model)
+    }
+
+    /// Compiles an executable plan **directly from the saved wire codes**
+    /// (bit-identical to the plan that produced the artifact). Float-typed
+    /// compute layers compile to reference-path fallback, exactly as
+    /// [`CompiledPlan::from_quantized`] would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reconstruction failures.
+    pub fn compile(&self) -> Result<CompiledPlan, ArtifactError> {
+        self.build_plan(false)
+    }
+
+    /// Strict [`Self::compile`]: a layer the packed path cannot execute
+    /// fails with [`RuntimeError::UnsupportedLayer`] (wrapped in
+    /// [`ArtifactError::Runtime`]) instead of falling back.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::compile`], plus the strict-mode refusal.
+    pub fn compile_strict(&self) -> Result<CompiledPlan, ArtifactError> {
+        self.build_plan(true)
+    }
+
+    fn build_plan(&self, strict: bool) -> Result<CompiledPlan, ArtifactError> {
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for record in &self.layers {
+            let lowered: Result<PlanLayer, RuntimeError> = match record {
+                LayerRecord::Dense {
+                    name,
+                    weight,
+                    bias,
+                    act,
+                } => act.quantizer().map(|aq| {
+                    PackedLinear::from_parts(name.clone(), weight.codes.clone(), bias.clone(), aq)
+                        .map(|p| PlanLayer::Packed(Box::new(p)))
+                })?,
+                LayerRecord::Conv {
+                    name,
+                    in_shape,
+                    geo,
+                    weight,
+                    bias,
+                    act,
+                } => act.quantizer().map(|aq| {
+                    PackedConv::from_parts(
+                        name.clone(),
+                        weight.codes.clone(),
+                        bias.clone(),
+                        aq,
+                        *in_shape,
+                        *geo,
+                    )
+                    .map(|p| PlanLayer::PackedConv(Box::new(p)))
+                })?,
+                LayerRecord::Attn {
+                    name,
+                    seq,
+                    dim,
+                    weights,
+                    act,
+                } => act.quantizer().map(|aq| {
+                    let projections = [
+                        weights[0].codes.clone(),
+                        weights[1].codes.clone(),
+                        weights[2].codes.clone(),
+                        weights[3].codes.clone(),
+                    ];
+                    PackedAttn::from_parts(name.clone(), *seq, *dim, projections, aq)
+                        .map(|p| PlanLayer::PackedAttn(Box::new(p)))
+                })?,
+                LayerRecord::Relu { .. } => Ok(PlanLayer::Relu),
+                LayerRecord::Gelu { .. } => Ok(PlanLayer::Gelu),
+                LayerRecord::Pool { in_shape, .. } => Ok(PlanLayer::Pool {
+                    in_shape: *in_shape,
+                }),
+                LayerRecord::Norm {
+                    name,
+                    gamma,
+                    beta,
+                    eps,
+                } => Ok(PlanLayer::Norm(Box::new(PlanNorm::from_parts(
+                    name.clone(),
+                    gamma.clone(),
+                    beta.clone(),
+                    *eps,
+                )))),
+            };
+            match lowered {
+                Ok(l) => layers.push(l),
+                Err(RuntimeError::UnsupportedType { layer, dtype }) => {
+                    if strict {
+                        return Err(ArtifactError::Runtime(RuntimeError::UnsupportedLayer {
+                            layer,
+                            reason: format!("selected type {dtype} has no integer-domain decoder"),
+                        }));
+                    }
+                    layers.push(PlanLayer::Fallback(Box::new(record_to_netlayer(record)?)));
+                }
+                Err(e) => return Err(ArtifactError::Runtime(e)),
+            }
+        }
+        Ok(CompiledPlan::from_plan_layers(layers))
+    }
+
+    // -- serialization ------------------------------------------------------
+
+    /// Serializes the artifact to a writer (see `docs/format.md` for the
+    /// byte layout).
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] on write failure.
+    pub fn save<W: Write>(&self, mut w: W) -> Result<(), ArtifactError> {
+        let model = self.model_payload();
+        let cache = self.cache_payload();
+        let sections: [([u8; 4], &[u8]); 2] = [(SECTION_MODEL, &model), (SECTION_CACHE, &cache)];
+
+        let mut header = Vec::with_capacity(HEADER_LEN + sections.len() * ENTRY_LEN);
+        header.extend_from_slice(&MAGIC);
+        put_u16(&mut header, FORMAT_VERSION);
+        put_u16(&mut header, 0); // reserved
+        put_u32(&mut header, sections.len() as u32);
+        let mut offset = (HEADER_LEN + sections.len() * ENTRY_LEN) as u64;
+        for (id, payload) in &sections {
+            header.extend_from_slice(id);
+            put_u64(&mut header, offset);
+            put_u64(&mut header, payload.len() as u64);
+            put_u32(&mut header, crc32(payload));
+            offset += payload.len() as u64;
+        }
+        w.write_all(&header)?;
+        for (_, payload) in &sections {
+            w.write_all(payload)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes to a file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::save`].
+    pub fn save_path<P: AsRef<Path>>(&self, path: P) -> Result<(), ArtifactError> {
+        self.save(std::fs::File::create(path)?)
+    }
+
+    /// Deserializes an artifact from a reader, verifying magic, version,
+    /// section framing and per-section checksums.
+    ///
+    /// # Errors
+    ///
+    /// Every hostile-input failure maps to a structured
+    /// [`ArtifactError`]; this never panics.
+    pub fn load<R: Read>(mut r: R) -> Result<Self, ArtifactError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Deserializes from a file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::load`].
+    pub fn load_path<P: AsRef<Path>>(path: P) -> Result<Self, ArtifactError> {
+        Self::load(std::fs::File::open(path)?)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let info = parse_header(bytes)?;
+        let mut model_payload: Option<&[u8]> = None;
+        let mut cache_payload: Option<&[u8]> = None;
+        for (i, section) in info.sections.iter().enumerate() {
+            let payload = section_payload(bytes, &info, i)?;
+            let computed = crc32(payload);
+            if computed != section.crc32 {
+                return Err(ArtifactError::ChecksumMismatch {
+                    section: section.id.clone(),
+                    stored: section.crc32,
+                    computed,
+                });
+            }
+            match section.id.as_bytes() {
+                b"MODL" => model_payload = Some(payload),
+                b"CACH" => cache_payload = Some(payload),
+                // Unknown sections are skipped (version-1 readers stay
+                // compatible with later same-version extensions).
+                _ => {}
+            }
+        }
+        let model_payload = model_payload.ok_or_else(|| ArtifactError::MissingSection {
+            section: "MODL".to_string(),
+        })?;
+        let layers = parse_model_section(model_payload)?;
+        let cache = match cache_payload {
+            Some(p) => parse_cache_section(p)?,
+            None => Vec::new(),
+        };
+        Ok(ModelArtifact { layers, cache })
+    }
+
+    // -- payload builders ---------------------------------------------------
+
+    fn model_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.layers.len() as u32);
+        for layer in &self.layers {
+            match layer {
+                LayerRecord::Dense {
+                    name,
+                    weight,
+                    bias,
+                    act,
+                } => {
+                    out.push(0);
+                    put_str(&mut out, name);
+                    put_weight(&mut out, weight);
+                    put_f32s(&mut out, bias);
+                    put_act(&mut out, act);
+                }
+                LayerRecord::Relu { name } => {
+                    out.push(1);
+                    put_str(&mut out, name);
+                }
+                LayerRecord::Conv {
+                    name,
+                    in_shape,
+                    geo,
+                    weight,
+                    bias,
+                    act,
+                } => {
+                    out.push(2);
+                    put_str(&mut out, name);
+                    put_shape3(&mut out, *in_shape);
+                    put_u32(&mut out, geo.kh as u32);
+                    put_u32(&mut out, geo.kw as u32);
+                    put_u32(&mut out, geo.stride as u32);
+                    put_u32(&mut out, geo.padding as u32);
+                    put_weight(&mut out, weight);
+                    put_f32s(&mut out, bias);
+                    put_act(&mut out, act);
+                }
+                LayerRecord::Pool { name, in_shape } => {
+                    out.push(3);
+                    put_str(&mut out, name);
+                    put_shape3(&mut out, *in_shape);
+                }
+                LayerRecord::Norm {
+                    name,
+                    gamma,
+                    beta,
+                    eps,
+                } => {
+                    out.push(4);
+                    put_str(&mut out, name);
+                    put_f32s(&mut out, gamma);
+                    put_f32s(&mut out, beta);
+                    put_f32(&mut out, *eps);
+                }
+                LayerRecord::Attn {
+                    name,
+                    seq,
+                    dim,
+                    weights,
+                    act,
+                } => {
+                    out.push(5);
+                    put_str(&mut out, name);
+                    put_u32(&mut out, *seq as u32);
+                    put_u32(&mut out, *dim as u32);
+                    for w in weights.iter() {
+                        put_weight(&mut out, w);
+                    }
+                    put_act(&mut out, act);
+                }
+                LayerRecord::Gelu { name } => {
+                    out.push(6);
+                    put_str(&mut out, name);
+                }
+            }
+        }
+        out
+    }
+
+    fn cache_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.cache.len() as u32);
+        for (key, decisions) in &self.cache {
+            put_u64(&mut out, *key);
+            put_u32(&mut out, decisions.len() as u32);
+            for d in decisions {
+                put_u32(&mut out, d.layer_index as u32);
+                put_u32(&mut out, d.weights.len() as u32);
+                for (dt, g, scales) in &d.weights {
+                    put_dtype(&mut out, *dt);
+                    out.push(granularity_tag(*g));
+                    put_f32s(&mut out, scales);
+                }
+                let (adt, ascale) = d.activation;
+                put_dtype(&mut out, adt);
+                put_f32(&mut out, ascale);
+            }
+        }
+        out
+    }
+}
+
+/// Parses only the header and section table of an `.antm` stream — the
+/// cheap metadata dump `antc inspect` prints before decoding payloads.
+///
+/// # Errors
+///
+/// Structured errors for bad magic, version skew and truncation; payload
+/// checksums are *not* verified here (use [`ModelArtifact::load`]).
+pub fn probe<R: Read>(mut r: R) -> Result<ArtifactInfo, ArtifactError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    parse_header(&bytes)
+}
+
+// ---------------------------------------------------------------------------
+// Record <-> layer conversions
+// ---------------------------------------------------------------------------
+
+fn record_from_layer(layer: &NetLayer) -> Result<LayerRecord, ArtifactError> {
+    let name = layer.name().to_string();
+    let not_quantized = || {
+        ArtifactError::Runtime(RuntimeError::NotQuantized {
+            layer: layer.name().to_string(),
+        })
+    };
+    match layer {
+        NetLayer::Dense(d) => {
+            let wq = d.quant.weight.as_ref().ok_or_else(not_quantized)?;
+            let aq = d.quant.activation.as_ref().ok_or_else(not_quantized)?;
+            let (out, inp) = (d.out_features(), d.in_features());
+            let codes = pack_weight_tensor(d.weight().as_slice(), out, inp, wq, &[out, inp])?;
+            Ok(LayerRecord::Dense {
+                name,
+                weight: WeightRecord {
+                    granularity: wq.granularity(),
+                    codes,
+                },
+                bias: d.bias().as_slice().to_vec(),
+                act: ActRecord {
+                    dtype: aq.dtype(),
+                    scale: aq.scale(),
+                },
+            })
+        }
+        NetLayer::Conv(c) => {
+            let wq = c.quant.weight.as_ref().ok_or_else(not_quantized)?;
+            let aq = c.quant.activation.as_ref().ok_or_else(not_quantized)?;
+            let dims = c.weight().dims().to_vec();
+            let (co, kin) = (dims[0], dims[1] * dims[2] * dims[3]);
+            let codes = pack_weight_tensor(c.weight().as_slice(), co, kin, wq, &dims)?;
+            Ok(LayerRecord::Conv {
+                name,
+                in_shape: c.in_shape(),
+                geo: c.geometry(),
+                weight: WeightRecord {
+                    granularity: wq.granularity(),
+                    codes,
+                },
+                bias: c.bias().as_slice().to_vec(),
+                act: ActRecord {
+                    dtype: aq.dtype(),
+                    scale: aq.scale(),
+                },
+            })
+        }
+        NetLayer::Attn(a) => {
+            let aq = a.quant.activation.as_ref().ok_or_else(not_quantized)?;
+            let dim = a.dim();
+            let mut weights = Vec::with_capacity(4);
+            for (w, wq) in a.projection_weights().iter().zip(&a.quant.weights) {
+                let wq = wq.as_ref().ok_or_else(not_quantized)?;
+                let codes = pack_weight_tensor(w.as_slice(), dim, dim, wq, &[dim, dim])?;
+                weights.push(WeightRecord {
+                    granularity: wq.granularity(),
+                    codes,
+                });
+            }
+            let weights: [WeightRecord; 4] = weights.try_into().expect("exactly four projections");
+            Ok(LayerRecord::Attn {
+                name,
+                seq: a.seq(),
+                dim,
+                weights: Box::new(weights),
+                act: ActRecord {
+                    dtype: aq.dtype(),
+                    scale: aq.scale(),
+                },
+            })
+        }
+        NetLayer::Relu(_) => Ok(LayerRecord::Relu { name }),
+        NetLayer::Gelu(_) => Ok(LayerRecord::Gelu { name }),
+        NetLayer::Pool(p) => Ok(LayerRecord::Pool {
+            name,
+            in_shape: p.in_shape(),
+        }),
+        NetLayer::Norm(n) => Ok(LayerRecord::Norm {
+            name,
+            gamma: n.gamma().as_slice().to_vec(),
+            beta: n.beta().as_slice().to_vec(),
+            eps: n.eps(),
+        }),
+    }
+}
+
+fn record_to_netlayer(record: &LayerRecord) -> Result<NetLayer, ArtifactError> {
+    match record {
+        LayerRecord::Dense {
+            name,
+            weight,
+            bias,
+            act,
+        } => {
+            let w = weight.decode(name)?;
+            if w.rank() != 2 || bias.len() != w.dims()[0] {
+                return Err(malformed(name, "dense weight/bias shapes disagree"));
+            }
+            let mut d = Dense::new(name.clone(), w, Tensor::from_slice(bias));
+            d.quant.weight = Some(weight.quantizer()?);
+            d.quant.activation = Some(act.quantizer()?);
+            Ok(NetLayer::Dense(d))
+        }
+        LayerRecord::Relu { name } => Ok(NetLayer::Relu(Relu::new(name.clone()))),
+        LayerRecord::Conv {
+            name,
+            in_shape,
+            geo,
+            weight,
+            bias,
+            act,
+        } => {
+            let w = weight.decode(name)?;
+            let dims = w.dims().to_vec();
+            if dims.len() != 4 || dims[1] != in_shape.0 || bias.len() != dims[0] {
+                return Err(malformed(name, "conv kernel/bias/input shapes disagree"));
+            }
+            if dims[2] != geo.kh || dims[3] != geo.kw {
+                return Err(malformed(name, "conv kernel shape disagrees with geometry"));
+            }
+            if geo.out_extent(in_shape.1, geo.kh).is_none()
+                || geo.out_extent(in_shape.2, geo.kw).is_none()
+            {
+                return Err(malformed(name, "conv kernel does not fit input"));
+            }
+            let mut c = Conv2d::new(name.clone(), w, Tensor::from_slice(bias), *in_shape, *geo);
+            c.quant.weight = Some(weight.quantizer()?);
+            c.quant.activation = Some(act.quantizer()?);
+            Ok(NetLayer::Conv(c))
+        }
+        LayerRecord::Pool { name, in_shape } => {
+            if !in_shape.1.is_multiple_of(2) || !in_shape.2.is_multiple_of(2) {
+                return Err(malformed(name, "pool extents must be even"));
+            }
+            Ok(NetLayer::Pool(MaxPool2::new(name.clone(), *in_shape)))
+        }
+        LayerRecord::Norm {
+            name,
+            gamma,
+            beta,
+            eps,
+        } => {
+            if gamma.len() != beta.len() || gamma.is_empty() {
+                return Err(malformed(name, "norm gamma/beta lengths disagree"));
+            }
+            Ok(NetLayer::Norm(LayerNorm::from_params(
+                name.clone(),
+                Tensor::from_slice(gamma),
+                Tensor::from_slice(beta),
+                *eps,
+            )))
+        }
+        LayerRecord::Attn {
+            name,
+            seq,
+            dim,
+            weights,
+            act,
+        } => {
+            let mut projections = Vec::with_capacity(4);
+            for w in weights.iter() {
+                let t = w.decode(name)?;
+                if t.dims() != [*dim, *dim] {
+                    return Err(malformed(name, "attention projection is not [dim, dim]"));
+                }
+                projections.push(t);
+            }
+            let projections: [Tensor; 4] = projections.try_into().expect("exactly four");
+            let mut a = Attention::from_weights(name.clone(), *seq, *dim, projections);
+            for (slot, w) in a.quant.weights.iter_mut().zip(weights.iter()) {
+                *slot = Some(w.quantizer()?);
+            }
+            a.quant.activation = Some(act.quantizer()?);
+            Ok(NetLayer::Attn(Box::new(a)))
+        }
+        LayerRecord::Gelu { name } => Ok(NetLayer::Gelu(Gelu::new(name.clone()))),
+    }
+}
+
+fn malformed(context: &str, detail: &str) -> ArtifactError {
+    ArtifactError::Malformed {
+        context: context.to_string(),
+        detail: detail.to_string(),
+    }
+}
+
+fn summarize(record: &LayerRecord) -> LayerSummary {
+    let weight_summary = |w: &WeightRecord| WeightSummary {
+        dtype: w.codes.dtype(),
+        granularity: w.granularity,
+        dims: w.codes.dims().to_vec(),
+        elements: w.codes.len(),
+        bytes: w.codes.size_bytes(),
+        scales: w.codes.scales().len(),
+    };
+    let int_domain = |dts: &[DataType]| dts.iter().all(|dt| dt.primitive() != PrimitiveType::Float);
+    match record {
+        LayerRecord::Dense { weight, act, .. } => LayerSummary {
+            name: record.name().to_string(),
+            kind: "dense",
+            weights: vec![weight_summary(weight)],
+            activation: Some((act.dtype, act.scale)),
+            packed: int_domain(&[weight.codes.dtype(), act.dtype]),
+        },
+        LayerRecord::Conv { weight, act, .. } => LayerSummary {
+            name: record.name().to_string(),
+            kind: "conv",
+            weights: vec![weight_summary(weight)],
+            activation: Some((act.dtype, act.scale)),
+            packed: int_domain(&[weight.codes.dtype(), act.dtype]),
+        },
+        LayerRecord::Attn { weights, act, .. } => {
+            let mut dts: Vec<DataType> = weights.iter().map(|w| w.codes.dtype()).collect();
+            dts.push(act.dtype);
+            LayerSummary {
+                name: record.name().to_string(),
+                kind: "attn",
+                weights: weights.iter().map(weight_summary).collect(),
+                activation: Some((act.dtype, act.scale)),
+                packed: int_domain(&dts),
+            }
+        }
+        LayerRecord::Relu { .. } => shape_summary(record, "relu"),
+        LayerRecord::Gelu { .. } => shape_summary(record, "gelu"),
+        LayerRecord::Pool { .. } => shape_summary(record, "pool"),
+        LayerRecord::Norm { .. } => shape_summary(record, "norm"),
+    }
+}
+
+fn shape_summary(record: &LayerRecord, kind: &'static str) -> LayerSummary {
+    LayerSummary {
+        name: record.name().to_string(),
+        kind,
+        weights: Vec::new(),
+        activation: None,
+        packed: true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary encoding helpers
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i32(out: &mut Vec<u8>, v: i32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_f32(out, v);
+    }
+}
+
+fn put_shape3(out: &mut Vec<u8>, (a, b, c): (usize, usize, usize)) {
+    put_u32(out, a as u32);
+    put_u32(out, b as u32);
+    put_u32(out, c as u32);
+}
+
+fn granularity_tag(g: Granularity) -> u8 {
+    match g {
+        Granularity::PerTensor => 0,
+        Granularity::PerChannel => 1,
+    }
+}
+
+fn put_dtype(out: &mut Vec<u8>, dt: DataType) {
+    let tag = match dt.primitive() {
+        PrimitiveType::Int => 0u8,
+        PrimitiveType::Pot => 1,
+        PrimitiveType::Float => 2,
+        PrimitiveType::Flint => 3,
+    };
+    out.push(tag);
+    out.push(dt.bits() as u8);
+    out.push(u8::from(dt.is_signed()));
+    if let Some(fmt) = dt.float_format() {
+        out.push(fmt.exp_bits() as u8);
+        out.push(fmt.man_bits() as u8);
+        put_i32(out, fmt.bias());
+    }
+}
+
+fn put_weight(out: &mut Vec<u8>, w: &WeightRecord) {
+    put_dtype(out, w.codes.dtype());
+    out.push(granularity_tag(w.granularity));
+    put_f32s(out, w.codes.scales());
+    let dims = w.codes.dims();
+    put_u32(out, dims.len() as u32);
+    for &d in dims {
+        put_u32(out, d as u32);
+    }
+    put_u64(out, w.codes.len() as u64);
+    put_u64(out, w.codes.bytes().len() as u64);
+    out.extend_from_slice(w.codes.bytes());
+}
+
+fn put_act(out: &mut Vec<u8>, act: &ActRecord) {
+    put_dtype(out, act.dtype);
+    put_f32(out, act.scale);
+}
+
+// ---------------------------------------------------------------------------
+// Binary decoding helpers
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over a byte slice. Every `take`
+/// failure reports what was being read and the exact shortfall.
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    context: &'static str,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8], context: &'static str) -> Self {
+        Rd {
+            buf,
+            pos: 0,
+            context,
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        if n > self.remaining() {
+            return Err(ArtifactError::Truncated {
+                context: self.context.to_string(),
+                needed: n as u64,
+                got: self.remaining() as u64,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ArtifactError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn i32(&mut self) -> Result<i32, ArtifactError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn f32(&mut self) -> Result<f32, ArtifactError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn usize32(&mut self) -> Result<usize, ArtifactError> {
+        Ok(self.u32()? as usize)
+    }
+
+    fn string(&mut self) -> Result<String, ArtifactError> {
+        let len = self.usize32()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| ArtifactError::Malformed {
+            context: self.context.to_string(),
+            detail: format!("invalid UTF-8 string: {e}"),
+        })
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, ArtifactError> {
+        let n = self.usize32()?;
+        let bytes = self.take(n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4"))))
+            .collect())
+    }
+
+    fn shape3(&mut self) -> Result<(usize, usize, usize), ArtifactError> {
+        Ok((self.usize32()?, self.usize32()?, self.usize32()?))
+    }
+
+    fn malformed(&self, detail: impl Into<String>) -> ArtifactError {
+        ArtifactError::Malformed {
+            context: self.context.to_string(),
+            detail: detail.into(),
+        }
+    }
+
+    fn dtype(&mut self) -> Result<DataType, ArtifactError> {
+        let tag = self.u8()?;
+        let bits = self.u8()? as u32;
+        let signed = self.u8()? != 0;
+        match tag {
+            0 => Ok(DataType::int(bits, signed)?),
+            1 => Ok(DataType::pot(bits, signed)?),
+            3 => Ok(DataType::flint(bits, signed)?),
+            2 => {
+                let exp = self.u8()? as u32;
+                let man = self.u8()? as u32;
+                let bias = self.i32()?;
+                let fmt = FloatFormat::with_bias(exp, man, signed, bias)?;
+                if fmt.total_bits() != bits {
+                    return Err(self.malformed(format!(
+                        "float format width {} disagrees with declared bits {bits}",
+                        fmt.total_bits()
+                    )));
+                }
+                Ok(DataType::float_with_format(fmt))
+            }
+            other => Err(self.malformed(format!("unknown primitive tag {other}"))),
+        }
+    }
+
+    fn granularity(&mut self) -> Result<Granularity, ArtifactError> {
+        match self.u8()? {
+            0 => Ok(Granularity::PerTensor),
+            1 => Ok(Granularity::PerChannel),
+            other => Err(self.malformed(format!("unknown granularity tag {other}"))),
+        }
+    }
+
+    fn weight(&mut self) -> Result<WeightRecord, ArtifactError> {
+        let dtype = self.dtype()?;
+        let granularity = self.granularity()?;
+        let scales = self.f32s()?;
+        let dim_count = self.usize32()?;
+        let mut dims = Vec::with_capacity(dim_count.min(16));
+        for _ in 0..dim_count {
+            dims.push(self.usize32()?);
+        }
+        let elements = self.u64()? as usize;
+        let byte_count = self.u64()? as usize;
+        let bytes = self.take(byte_count)?.to_vec();
+        let codes = PackedTensor::from_bytes(dtype, elements, scales, &dims, bytes)?;
+        Ok(WeightRecord { granularity, codes })
+    }
+
+    fn act(&mut self) -> Result<ActRecord, ArtifactError> {
+        let dtype = self.dtype()?;
+        let scale = self.f32()?;
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(self.malformed(format!("non-positive activation scale {scale}")));
+        }
+        Ok(ActRecord { dtype, scale })
+    }
+}
+
+fn parse_header(bytes: &[u8]) -> Result<ArtifactInfo, ArtifactError> {
+    let mut rd = Rd::new(bytes, "header");
+    let magic = rd.take(4)?;
+    if magic != MAGIC {
+        return Err(ArtifactError::BadMagic {
+            found: magic.try_into().expect("4"),
+        });
+    }
+    let version = rd.u16()?;
+    if version > FORMAT_VERSION {
+        return Err(ArtifactError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let _reserved = rd.u16()?;
+    let count = rd.usize32()?;
+    let mut rd = Rd {
+        context: "section table",
+        ..rd
+    };
+    let mut sections = Vec::with_capacity(count.min(64));
+    for _ in 0..count {
+        let id_bytes = rd.take(4)?;
+        let id = String::from_utf8_lossy(id_bytes).into_owned();
+        let offset = rd.u64()?;
+        let len = rd.u64()?;
+        let crc = rd.u32()?;
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| ArtifactError::Malformed {
+                context: "section table".to_string(),
+                detail: format!("section {id} extent overflows"),
+            })?;
+        if end > bytes.len() as u64 {
+            return Err(ArtifactError::Truncated {
+                context: format!("section {id} payload"),
+                needed: end - bytes.len() as u64,
+                got: 0,
+            });
+        }
+        sections.push(SectionInfo {
+            id,
+            len,
+            crc32: crc,
+        });
+    }
+    Ok(ArtifactInfo { version, sections })
+}
+
+/// Re-derives section payload slices (offsets are re-parsed from the table
+/// so `ArtifactInfo` itself stays offset-free and printable).
+fn section_payload<'a>(
+    bytes: &'a [u8],
+    info: &ArtifactInfo,
+    index: usize,
+) -> Result<&'a [u8], ArtifactError> {
+    // Offsets live in the table at a fixed position per entry.
+    let entry = HEADER_LEN + index * ENTRY_LEN;
+    let mut rd = Rd::new(&bytes[entry + 4..], "section table");
+    let offset = rd.u64()? as usize;
+    let len = info.sections[index].len as usize;
+    Ok(&bytes[offset..offset + len])
+}
+
+fn parse_model_section(payload: &[u8]) -> Result<Vec<LayerRecord>, ArtifactError> {
+    let mut rd = Rd::new(payload, "MODL section");
+    let count = rd.usize32()?;
+    let mut layers = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let kind = rd.u8()?;
+        let name = rd.string()?;
+        let record = match kind {
+            0 => LayerRecord::Dense {
+                name,
+                weight: rd.weight()?,
+                bias: rd.f32s()?,
+                act: rd.act()?,
+            },
+            1 => LayerRecord::Relu { name },
+            2 => {
+                let in_shape = rd.shape3()?;
+                let kh = rd.usize32()?;
+                let kw = rd.usize32()?;
+                let stride = rd.usize32()?;
+                let padding = rd.usize32()?;
+                let geo = Conv2dGeometry::new(kh, kw, stride, padding).map_err(|e| {
+                    ArtifactError::Malformed {
+                        context: "MODL section".to_string(),
+                        detail: e.to_string(),
+                    }
+                })?;
+                LayerRecord::Conv {
+                    name,
+                    in_shape,
+                    geo,
+                    weight: rd.weight()?,
+                    bias: rd.f32s()?,
+                    act: rd.act()?,
+                }
+            }
+            3 => LayerRecord::Pool {
+                name,
+                in_shape: rd.shape3()?,
+            },
+            4 => LayerRecord::Norm {
+                name,
+                gamma: rd.f32s()?,
+                beta: rd.f32s()?,
+                eps: rd.f32()?,
+            },
+            5 => {
+                let seq = rd.usize32()?;
+                let dim = rd.usize32()?;
+                let weights = [rd.weight()?, rd.weight()?, rd.weight()?, rd.weight()?];
+                LayerRecord::Attn {
+                    name,
+                    seq,
+                    dim,
+                    weights: Box::new(weights),
+                    act: rd.act()?,
+                }
+            }
+            6 => LayerRecord::Gelu { name },
+            other => return Err(rd.malformed(format!("unknown layer kind {other}"))),
+        };
+        layers.push(record);
+    }
+    if rd.remaining() != 0 {
+        return Err(rd.malformed(format!("{} trailing bytes", rd.remaining())));
+    }
+    Ok(layers)
+}
+
+fn parse_cache_section(payload: &[u8]) -> Result<Vec<(u64, Vec<TypeDecision>)>, ArtifactError> {
+    let mut rd = Rd::new(payload, "CACH section");
+    let count = rd.usize32()?;
+    let mut entries = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let key = rd.u64()?;
+        let decision_count = rd.usize32()?;
+        let mut decisions = Vec::with_capacity(decision_count.min(1024));
+        for _ in 0..decision_count {
+            let layer_index = rd.usize32()?;
+            let weight_count = rd.usize32()?;
+            let mut weights = Vec::with_capacity(weight_count.min(16));
+            for _ in 0..weight_count {
+                let dt = rd.dtype()?;
+                let g = rd.granularity()?;
+                let scales = rd.f32s()?;
+                weights.push((dt, g, scales));
+            }
+            let adt = rd.dtype()?;
+            let ascale = rd.f32()?;
+            decisions.push(TypeDecision {
+                layer_index,
+                weights,
+                activation: (adt, ascale),
+            });
+        }
+        entries.push((key, decisions));
+    }
+    if rd.remaining() != 0 {
+        return Err(rd.malformed(format!("{} trailing bytes", rd.remaining())));
+    }
+    Ok(entries)
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-section
+/// integrity check. Bitwise, table-free: artifact payloads are small
+/// enough that simplicity beats a 1 KiB table.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ant_nn::model::mlp;
+    use ant_nn::qat::{quantize_model, QuantSpec};
+    use ant_tensor::dist::{sample_tensor, Distribution};
+
+    fn quantized_mlp() -> Sequential {
+        let mut model = mlp(8, 4, 11);
+        let calib = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[64, 8],
+            3,
+        );
+        quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+        model
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn save_load_roundtrips_records_exactly() {
+        let artifact = ModelArtifact::from_model(&quantized_mlp()).unwrap();
+        let mut bytes = Vec::new();
+        artifact.save(&mut bytes).unwrap();
+        let reloaded = ModelArtifact::load(&bytes[..]).unwrap();
+        assert_eq!(artifact, reloaded);
+    }
+
+    #[test]
+    fn probe_reports_header_and_sections() {
+        let artifact = ModelArtifact::from_model(&quantized_mlp()).unwrap();
+        let mut bytes = Vec::new();
+        artifact.save(&mut bytes).unwrap();
+        let info = probe(&bytes[..]).unwrap();
+        assert_eq!(info.version, FORMAT_VERSION);
+        let ids: Vec<&str> = info.sections.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, ["MODL", "CACH"]);
+        assert!(info.sections[0].len > 0);
+    }
+
+    #[test]
+    fn unquantized_model_is_rejected() {
+        let model = mlp(8, 4, 11);
+        assert!(matches!(
+            ModelArtifact::from_model(&model),
+            Err(ArtifactError::Runtime(RuntimeError::NotQuantized { .. }))
+        ));
+    }
+
+    #[test]
+    fn summaries_cover_every_layer() {
+        let artifact = ModelArtifact::from_model(&quantized_mlp()).unwrap();
+        let summaries = artifact.layer_summaries();
+        assert_eq!(summaries.len(), 5);
+        assert_eq!(summaries[0].kind, "dense");
+        assert_eq!(summaries[1].kind, "relu");
+        assert!(summaries[0].packed);
+        assert_eq!(summaries[0].weights.len(), 1);
+        assert!(artifact.packed_weight_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_input_is_a_structured_error() {
+        assert!(matches!(
+            ModelArtifact::load(&[][..]),
+            Err(ArtifactError::Truncated { .. })
+        ));
+    }
+}

@@ -18,7 +18,7 @@ use ant_tensor::Tensor;
 use std::collections::HashMap;
 
 /// A memoized Algorithm-2 outcome for one quantizable layer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TypeDecision {
     /// Index into the model's layer list.
     pub layer_index: usize,
@@ -57,9 +57,43 @@ impl SelectionCache {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Deterministic snapshot of the memoized decisions, sorted by
+    /// fingerprint — the payload of a model artifact's cache section.
+    pub fn export(&self) -> Vec<(u64, Vec<TypeDecision>)> {
+        let mut entries: Vec<(u64, Vec<TypeDecision>)> =
+            self.entries.iter().map(|(k, v)| (*k, v.clone())).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        entries
+    }
+
+    /// Inserts one memoized decision set under its fingerprint (the
+    /// artifact warm-start path — see
+    /// [`Planner::with_cache`]). Replaces any existing entry for `key`.
+    pub fn insert(&mut self, key: u64, decisions: Vec<TypeDecision>) {
+        self.entries.insert(key, decisions);
+    }
 }
 
 /// Compiles models to [`CompiledPlan`]s, memoizing type selection.
+///
+/// # Example
+///
+/// ```
+/// use ant_nn::model::mlp;
+/// use ant_nn::qat::QuantSpec;
+/// use ant_runtime::Planner;
+/// use ant_tensor::dist::{sample_tensor, Distribution};
+///
+/// let mut model = mlp(8, 4, 1);
+/// let calib = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[64, 8], 2);
+/// let mut planner = Planner::new();
+/// let _plan = planner.compile(&mut model, &calib, QuantSpec::default())?;
+/// // Same inputs again: Algorithm 2 is replayed from the cache.
+/// let _plan = planner.compile(&mut model, &calib, QuantSpec::default())?;
+/// assert_eq!(planner.cache().stats(), (1, 1)); // one hit, one miss
+/// # Ok::<(), ant_runtime::RuntimeError>(())
+/// ```
 #[derive(Debug, Default)]
 pub struct Planner {
     cache: SelectionCache,
@@ -70,6 +104,18 @@ impl Planner {
     /// Creates a planner with an empty selection cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a planner pre-warmed with previously exported decisions
+    /// (e.g. [`crate::ModelArtifact::cache_entries`]): compiling the same
+    /// `(model, calibration, spec)` inputs that produced an entry replays
+    /// the saved selection instead of re-running the MSE grid search.
+    pub fn with_cache(entries: Vec<(u64, Vec<TypeDecision>)>) -> Self {
+        let mut planner = Self::new();
+        for (key, decisions) in entries {
+            planner.cache.insert(key, decisions);
+        }
+        planner
     }
 
     /// Turns on strict compilation: a layer the packed path cannot execute

@@ -140,6 +140,25 @@ impl Engine {
     /// * [`RuntimeError::ShapeMismatch`] when the feature count disagrees
     ///   with the plan,
     /// * [`RuntimeError::Engine`] after shutdown.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ant_nn::model::mlp;
+    /// use ant_nn::qat::{quantize_model, QuantSpec};
+    /// use ant_runtime::{BatchPolicy, CompiledPlan, Engine, RuntimeError};
+    /// use ant_tensor::dist::{sample_tensor, Distribution};
+    ///
+    /// let mut model = mlp(8, 4, 1);
+    /// let calib = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[64, 8], 2);
+    /// quantize_model(&mut model, &calib, QuantSpec::default())?;
+    /// let engine = Engine::new(CompiledPlan::from_quantized(&model)?, BatchPolicy::default());
+    /// let id = engine.submit(&[0.25; 8])?;            // returns immediately
+    /// assert_eq!(engine.wait(id)?.len(), 4);
+    /// // A mis-sized row is rejected up front, before it can poison a batch.
+    /// assert!(matches!(engine.submit(&[0.0; 3]), Err(RuntimeError::ShapeMismatch { .. })));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn submit(&self, input: &[f32]) -> Result<RequestId, RuntimeError> {
         if let Some(expected) = self.in_features {
             if input.len() != expected {
@@ -179,6 +198,28 @@ impl Engine {
     /// Returns [`RuntimeError::Engine`] if the worker fails the request,
     /// shuts down first, or `id` is unknown / already delivered (results
     /// are taken out of the engine exactly once).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ant_nn::model::mlp;
+    /// use ant_nn::qat::{quantize_model, QuantSpec};
+    /// use ant_runtime::{BatchPolicy, CompiledPlan, Engine, RequestId, RuntimeError};
+    /// use ant_tensor::dist::{sample_tensor, Distribution};
+    ///
+    /// let mut model = mlp(8, 4, 1);
+    /// let calib = sample_tensor(Distribution::Gaussian { mean: 0.0, std: 1.0 }, &[64, 8], 2);
+    /// quantize_model(&mut model, &calib, QuantSpec::default())?;
+    /// let engine = Engine::new(CompiledPlan::from_quantized(&model)?, BatchPolicy::default());
+    /// let id = engine.submit(&[0.5; 8])?;
+    /// let logits = engine.wait(id)?;                  // blocks until the batch ran
+    /// assert_eq!(logits.len(), 4);
+    /// // Results leave the engine exactly once; waiting again errors
+    /// // instead of hanging, as does a never-issued id.
+    /// assert!(matches!(engine.wait(id), Err(RuntimeError::Engine(_))));
+    /// assert!(matches!(engine.wait(RequestId::from_raw(9999)), Err(RuntimeError::Engine(_))));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn wait(&self, id: RequestId) -> Result<Vec<f32>, RuntimeError> {
         let mut state = self.shared.state.lock().expect("engine lock");
         loop {

@@ -24,7 +24,17 @@
 //!   a worker coalesces them under a [`BatchPolicy`] (max-batch /
 //!   max-wait) into one batched pass per layer, [`Engine::poll`] or
 //!   [`Engine::wait`] for results. Integer execution is exact, so results
-//!   are independent of batch grouping.
+//!   are independent of batch grouping,
+//! * [`ModelArtifact`] — the quantize-once/serve-anywhere boundary: a
+//!   versioned `.antm` binary artifact holding per-tensor type
+//!   selections, per-channel scales, packed wire codes, biases/norm
+//!   parameters and the planner's memoized selection fingerprints.
+//!   Reloading strict-compiles **directly from the wire codes**
+//!   (bit-identical to the saved plan); corrupted, truncated or
+//!   wrong-version files fail with a structured [`ArtifactError`]. The
+//!   byte-level format is specified in `docs/format.md`; the `antc` CLI
+//!   (`crates/bench/src/bin/antc.rs`) drives the `quantize → inspect →
+//!   serve` flow from the shell.
 //!
 //! # Quickstart
 //!
@@ -49,11 +59,16 @@
 
 mod error;
 
+pub mod artifact;
 pub mod cache;
 pub mod engine;
 pub mod gemm;
 pub mod plan;
 
+pub use artifact::{
+    probe, ArtifactError, ArtifactInfo, LayerSummary, ModelArtifact, SectionInfo, WeightSummary,
+    FORMAT_VERSION,
+};
 pub use cache::{Planner, SelectionCache, TypeDecision};
 pub use engine::{BatchPolicy, Engine, EngineStats, RequestId};
 pub use error::RuntimeError;

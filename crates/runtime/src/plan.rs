@@ -137,6 +137,46 @@ struct PackedMatrix {
     inp: usize,
 }
 
+/// Encodes a `[out, inp]`-flattened f32 weight onto packed wire codes
+/// under `wq`, attaching `dims` as the logical shape. Shared by plan
+/// compilation and artifact export so both produce bit-identical code
+/// streams for the same `(weight, quantizer)` pair.
+pub(crate) fn pack_weight_tensor(
+    w: &[f32],
+    out: usize,
+    inp: usize,
+    wq: &TensorQuantizer,
+    dims: &[usize],
+) -> Result<PackedTensor, RuntimeError> {
+    let codec = wq.codec();
+    let scales = wq.scales();
+    // Broadcast a per-tensor scale across output rows.
+    let w_scales: Vec<f32> = if scales.len() == 1 {
+        vec![scales[0]; out]
+    } else {
+        scales.to_vec()
+    };
+    if w_scales.len() != out {
+        return Err(RuntimeError::Quant(ant_core::QuantError::ChannelMismatch {
+            expected: out,
+            actual: w_scales.len(),
+        }));
+    }
+    let mut codes = Vec::with_capacity(out * inp);
+    for o in 0..out {
+        let s = w_scales[o];
+        for i in 0..inp {
+            codes.push(codec.encode(w[o * inp + i] / s));
+        }
+    }
+    Ok(PackedTensor::pack_with_dims(
+        wq.dtype(),
+        &codes,
+        scales.to_vec(),
+        dims,
+    )?)
+}
+
 impl PackedMatrix {
     /// Encodes a `[out, inp]`-flattened weight onto wire codes under `wq`,
     /// attaching `dims` as the packed tensor's logical shape.
@@ -147,9 +187,26 @@ impl PackedMatrix {
         wq: &TensorQuantizer,
         dims: &[usize],
     ) -> Result<Self, RuntimeError> {
-        let codec = wq.codec();
-        let scales = wq.scales();
-        // Broadcast a per-tensor scale across output rows.
+        let weights = pack_weight_tensor(w, out, inp, wq, dims)?;
+        Self::from_packed(weights)
+    }
+
+    /// Reconstructs the executable matrix straight from an existing packed
+    /// tensor — the construction-from-wire-codes path used when a plan is
+    /// rebuilt from a saved artifact. No floats are re-encoded: the wire
+    /// codes *are* the weights, so a reloaded plan is bit-identical to the
+    /// plan that was saved.
+    fn from_packed(weights: PackedTensor) -> Result<Self, RuntimeError> {
+        let dims = weights.dims();
+        if dims.len() < 2 {
+            return Err(RuntimeError::Quant(ant_core::QuantError::ChannelMismatch {
+                expected: 2,
+                actual: dims.len(),
+            }));
+        }
+        let out = dims[0];
+        let inp: usize = dims[1..].iter().product();
+        let scales = weights.scales();
         let w_scales: Vec<f32> = if scales.len() == 1 {
             vec![scales[0]; out]
         } else {
@@ -161,16 +218,12 @@ impl PackedMatrix {
                 actual: w_scales.len(),
             }));
         }
-        let mut codes = Vec::with_capacity(out * inp);
-        for o in 0..out {
-            let s = w_scales[o];
-            for i in 0..inp {
-                codes.push(codec.encode(w[o * inp + i] / s));
-            }
-        }
-        let weights = PackedTensor::pack_with_dims(wq.dtype(), &codes, scales.to_vec(), dims)?;
-        let lut = codec.decode_lut();
-        let w_int: Vec<i32> = codes.iter().map(|&c| lut[c as usize] as i32).collect();
+        let lut = ant_core::Codec::new(weights.dtype())?.decode_lut();
+        let w_int: Vec<i32> = weights
+            .codes()
+            .iter()
+            .map(|&c| lut[c as usize] as i32)
+            .collect();
         Ok(PackedMatrix {
             weights,
             w_int,
@@ -244,6 +297,32 @@ pub struct PackedLinear {
 }
 
 impl PackedLinear {
+    /// Builds the layer directly from saved wire codes (artifact reload
+    /// path): `weights` must be a `[out, in]`-shaped pack and `bias` a
+    /// length-`out` vector.
+    pub(crate) fn from_parts(
+        name: String,
+        weights: PackedTensor,
+        bias: Vec<f32>,
+        act: Quantizer,
+    ) -> Result<Self, RuntimeError> {
+        check_int_domain(&name, &[weights.dtype(), act.dtype()])?;
+        let mat = PackedMatrix::from_packed(weights)?;
+        if bias.len() != mat.out {
+            return Err(RuntimeError::ShapeMismatch {
+                expected: mat.out,
+                actual: bias.len(),
+            });
+        }
+        Ok(PackedLinear {
+            name,
+            mat,
+            bias,
+            act_quant: ActQuant::for_quantizer(&act),
+            act,
+        })
+    }
+
     /// Layer name.
     pub fn name(&self) -> &str {
         &self.name
@@ -322,6 +401,62 @@ pub struct PackedConv {
 }
 
 impl PackedConv {
+    /// Builds the convolution directly from saved wire codes (artifact
+    /// reload path): `weights` must be a `[co, ci, kh, kw]`-shaped pack
+    /// consistent with `in_shape` and `geo`.
+    pub(crate) fn from_parts(
+        name: String,
+        weights: PackedTensor,
+        bias: Vec<f32>,
+        act: Quantizer,
+        in_shape: (usize, usize, usize),
+        geo: Conv2dGeometry,
+    ) -> Result<Self, RuntimeError> {
+        check_int_domain(&name, &[weights.dtype(), act.dtype()])?;
+        let dims = weights.dims().to_vec();
+        if dims.len() != 4 || dims[1] != in_shape.0 || dims[2] != geo.kh || dims[3] != geo.kw {
+            return Err(RuntimeError::UnsupportedLayer {
+                layer: name,
+                reason: format!(
+                    "kernel shape {dims:?} inconsistent with input {in_shape:?} / geometry {geo:?}"
+                ),
+            });
+        }
+        let (oh, ow) = match (
+            geo.out_extent(in_shape.1, geo.kh),
+            geo.out_extent(in_shape.2, geo.kw),
+        ) {
+            (Some(oh), Some(ow)) => (oh, ow),
+            _ => {
+                return Err(RuntimeError::UnsupportedLayer {
+                    layer: name,
+                    reason: format!(
+                        "kernel {0}x{1} does not fit input {in_shape:?}",
+                        geo.kh, geo.kw
+                    ),
+                })
+            }
+        };
+        let mat = PackedMatrix::from_packed(weights)?;
+        if bias.len() != mat.out {
+            return Err(RuntimeError::ShapeMismatch {
+                expected: mat.out,
+                actual: bias.len(),
+            });
+        }
+        let out_shape = (dims[0], oh, ow);
+        Ok(PackedConv {
+            name,
+            mat,
+            bias,
+            act_quant: ActQuant::for_quantizer(&act),
+            act,
+            in_shape,
+            geo,
+            out_shape,
+        })
+    }
+
     /// Layer name.
     pub fn name(&self) -> &str {
         &self.name
@@ -437,6 +572,43 @@ pub struct PackedAttn {
 }
 
 impl PackedAttn {
+    /// Builds the attention block directly from saved wire codes (artifact
+    /// reload path): each projection must be a `[dim, dim]`-shaped pack.
+    pub(crate) fn from_parts(
+        name: String,
+        seq: usize,
+        dim: usize,
+        projections: [PackedTensor; 4],
+        act: Quantizer,
+    ) -> Result<Self, RuntimeError> {
+        let mut dtypes = vec![act.dtype()];
+        dtypes.extend(projections.iter().map(|p| p.dtype()));
+        check_int_domain(&name, &dtypes)?;
+        for p in &projections {
+            if p.dims() != [dim, dim] {
+                return Err(RuntimeError::UnsupportedLayer {
+                    layer: name,
+                    reason: format!("projection shape {:?}, expected [{dim}, {dim}]", p.dims()),
+                });
+            }
+        }
+        let [q, k, v, o] = projections;
+        let projs = [
+            PackedMatrix::from_packed(q)?,
+            PackedMatrix::from_packed(k)?,
+            PackedMatrix::from_packed(v)?,
+            PackedMatrix::from_packed(o)?,
+        ];
+        Ok(PackedAttn {
+            name,
+            seq,
+            dim,
+            projs,
+            act_quant: ActQuant::for_quantizer(&act),
+            act,
+        })
+    }
+
     /// Layer name.
     pub fn name(&self) -> &str {
         &self.name
@@ -563,6 +735,19 @@ pub struct PlanNorm {
 }
 
 impl PlanNorm {
+    /// Builds the norm step from explicit parameters (artifact reload
+    /// path).
+    pub(crate) fn from_parts(name: String, gamma: Vec<f32>, beta: Vec<f32>, eps: f32) -> PlanNorm {
+        let dim = gamma.len();
+        PlanNorm {
+            name,
+            dim,
+            gamma,
+            beta,
+            eps,
+        }
+    }
+
     fn from_layer(n: &LayerNorm) -> PlanNorm {
         PlanNorm {
             name: n.name().to_string(),
@@ -743,14 +928,20 @@ impl CompiledPlan {
                 Err(e) => return Err(e),
             }
         }
-        let in_features = model.layers().first().and_then(layer_in_features);
-        Ok(CompiledPlan {
+        Ok(Self::from_plan_layers(layers))
+    }
+
+    /// Assembles a plan from already-lowered steps (the artifact reload
+    /// path, where packed layers are rebuilt straight from wire codes).
+    pub(crate) fn from_plan_layers(layers: Vec<PlanLayer>) -> Self {
+        let in_features = layers.first().and_then(plan_layer_in_features);
+        CompiledPlan {
             layers,
             in_features,
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
-        })
+        }
     }
 
     /// Overrides the GEMM thread count (defaults to the machine's
@@ -785,10 +976,16 @@ impl CompiledPlan {
             .count()
     }
 
-    /// Fraction of layers executing outside the fallback path — `1.0`
-    /// means the whole plan runs in the packed pipeline (compute layers on
-    /// wire codes, shape-polymorphic layers at the decode boundary) and
-    /// `0.0` means everything fell back to the reference implementation.
+    /// Fraction of plan layers executing outside the fallback path.
+    ///
+    /// The denominator is **every** layer of the plan, fallback layers
+    /// included: `coverage() == 1 − fallback_count / layers().len()`.
+    /// Packed compute layers *and* shape-polymorphic decode-boundary
+    /// layers (ReLU/GELU/pool/norm) count as covered; float-typed
+    /// [`PlanLayer::Fallback`] layers count against coverage but still
+    /// count in the denominator — a 5-layer plan with one fallback reports
+    /// exactly `0.8`, never `4/4`. `antc inspect` and the serving examples
+    /// print this same quantity; an empty plan reports `1.0`.
     pub fn coverage(&self) -> f64 {
         if self.layers.is_empty() {
             return 1.0;
@@ -845,6 +1042,22 @@ impl CompiledPlan {
             };
         }
         Ok(cur)
+    }
+}
+
+/// Input feature count implied by a lowered plan step, when it has one
+/// (mirrors [`layer_in_features`] so artifact-reloaded plans pin the same
+/// input width as freshly compiled ones).
+fn plan_layer_in_features(layer: &PlanLayer) -> Option<usize> {
+    match layer {
+        PlanLayer::Packed(p) => Some(p.in_features()),
+        PlanLayer::PackedConv(p) => Some(p.in_features()),
+        PlanLayer::PackedAttn(p) => Some(p.in_features()),
+        PlanLayer::Pool {
+            in_shape: (c, h, w),
+        } => Some(c * h * w),
+        PlanLayer::Fallback(l) => layer_in_features(l),
+        _ => None,
     }
 }
 
@@ -1075,6 +1288,28 @@ mod tests {
             Err(RuntimeError::UnsupportedLayer { layer, .. }) => assert_eq!(layer, "fc2"),
             other => panic!("expected UnsupportedLayer, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn coverage_counts_fallback_layers_in_the_denominator() {
+        // The documented contract: coverage = 1 − fallback/total over ALL
+        // plan layers. The 5-layer MLP (dense, relu, dense, relu, dense)
+        // with one float-typed dense must report exactly 4/5, not 4/4.
+        let (mut model, _) = quantized_mlp();
+        let fdt = DataType::float(4, true).unwrap();
+        if let NetLayer::Dense(d) = &mut model.layers_mut()[2] {
+            let (q, _) = TensorQuantizer::fit(
+                fdt,
+                &d.weight().clone(),
+                Granularity::PerChannel,
+                ClipSearch::default(),
+            )
+            .unwrap();
+            d.quant.weight = Some(q);
+        }
+        let plan = CompiledPlan::from_quantized(&model).unwrap();
+        assert_eq!(plan.layers().len(), 5);
+        assert_eq!(plan.coverage(), 1.0 - 1.0 / 5.0);
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! A counting global allocator for allocation-budget measurements.
+//!
+//! The runtime's serving contract is *zero steady-state heap allocations
+//! per request* ([`ant_runtime::CompiledPlan::forward_rows`] +
+//! [`ant_runtime::Scratch`]). Counters in this module make that claim
+//! measurable from outside: install [`CountingAlloc`] as the binary's
+//! `#[global_allocator]` (the `antc` binary and the `alloc_steady`
+//! integration test do), snapshot [`alloc_count`] around a request burst,
+//! and divide.
+//!
+//! When the counting allocator is *not* installed (library consumers,
+//! other binaries), the counters simply stay at zero; [`is_counting`]
+//! distinguishes "zero allocations" from "nobody is counting" by probing
+//! with a real heap allocation.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts every allocation
+/// (`alloc`, `alloc_zeroed`, and growth via `realloc`).
+///
+/// # Example
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: ant_bench::alloc::CountingAlloc = ant_bench::alloc::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counters are side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total allocations observed so far (0 forever when [`CountingAlloc`]
+/// is not the global allocator).
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Whether allocation counting is live in this process, determined by
+/// performing a heap allocation and watching the counter.
+pub fn is_counting() -> bool {
+    let before = alloc_count();
+    let probe = vec![0u8; 64];
+    std::hint::black_box(&probe);
+    alloc_count() > before
+}

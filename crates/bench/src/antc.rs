@@ -13,7 +13,7 @@ use ant_nn::qat::QuantSpec;
 use ant_nn::train::{evaluate, train, TrainConfig};
 use ant_nn::NnError;
 use ant_runtime::{
-    probe, ArtifactError, BatchPolicy, Engine, ModelArtifact, Planner, RuntimeError,
+    probe, ArtifactError, BatchPolicy, CompiledPlan, Engine, ModelArtifact, Planner, RuntimeError,
 };
 use ant_tensor::dist::{sample_tensor, Distribution};
 use ant_tensor::Tensor;
@@ -414,6 +414,306 @@ pub fn run_serve<P: AsRef<Path>>(
     ))
 }
 
+/// `antc bench` configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Reduced request counts for CI smoke runs.
+    pub quick: bool,
+    /// Where the machine-readable results land.
+    pub out: std::path::PathBuf,
+    /// RNG seed for model init and request data.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            quick: false,
+            out: std::path::PathBuf::from("BENCH_runtime.json"),
+            seed: 17,
+        }
+    }
+}
+
+/// One serving workload's measurements.
+#[derive(Debug, Clone)]
+pub struct BenchWorkload {
+    /// Workload name (`mlp`/`cnn`/`attention`).
+    pub name: &'static str,
+    /// Input feature count.
+    pub features: usize,
+    /// Batched plan throughput, requests per second (batch 32 through
+    /// [`ant_runtime::CompiledPlan::forward_rows`]).
+    pub batched_ops_per_sec: f64,
+    /// Engine-serving throughput, requests per second (32 concurrent
+    /// submissions coalesced by a batched [`Engine`]).
+    pub engine_ops_per_sec: f64,
+    /// Single-request (batch-1) latency percentiles in microseconds.
+    pub p50_us: f64,
+    /// 99th percentile batch-1 latency in microseconds.
+    pub p99_us: f64,
+    /// Steady-state heap allocations per batch-1 request through the
+    /// scratch-arena path; `None` when the counting allocator is not
+    /// installed (e.g. library callers).
+    pub allocs_per_request: Option<f64>,
+}
+
+/// The full `antc bench` result set.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Per-workload serving measurements.
+    pub workloads: Vec<BenchWorkload>,
+    /// Raw dense-GEMM speedup of the `i8` microkernel over the scalar
+    /// `i32` reference on a fixed `(64, 256, 256)` shape, single thread.
+    pub gemm_speedup_i8_vs_i32: f64,
+    /// Whether any tracked property regressed (currently: nonzero
+    /// steady-state allocations while counting). CI greps for the
+    /// `REGRESSION` marker this sets in the rendered report.
+    pub regression: bool,
+}
+
+impl BenchReport {
+    /// Serializes the report as JSON (hand-rolled: the workspace is
+    /// dependency-free by construction).
+    pub fn to_json(&self, quick: bool) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"schema\": \"ant-bench/runtime-v1\",\n");
+        s.push_str(&format!("  \"quick\": {},\n", quick));
+        s.push_str(&format!(
+            "  \"gemm_speedup_i8_vs_i32\": {:.3},\n",
+            self.gemm_speedup_i8_vs_i32
+        ));
+        s.push_str(&format!("  \"regression\": {},\n", self.regression));
+        s.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!("\"name\": \"{}\", ", w.name));
+            s.push_str(&format!("\"features\": {}, ", w.features));
+            s.push_str(&format!(
+                "\"batched_ops_per_sec\": {:.1}, ",
+                w.batched_ops_per_sec
+            ));
+            s.push_str(&format!(
+                "\"engine_ops_per_sec\": {:.1}, ",
+                w.engine_ops_per_sec
+            ));
+            s.push_str(&format!("\"p50_us\": {:.2}, ", w.p50_us));
+            s.push_str(&format!("\"p99_us\": {:.2}, ", w.p99_us));
+            match w.allocs_per_request {
+                Some(a) => s.push_str(&format!("\"allocs_per_request\": {:.4}", a)),
+                None => s.push_str("\"allocs_per_request\": null"),
+            }
+            s.push('}');
+            s.push_str(if i + 1 < self.workloads.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Builds the three fixed serving workloads (quantized, strict-compiled).
+fn bench_plans(seed: u64) -> Result<Vec<(&'static str, CompiledPlan, usize)>, CliError> {
+    use ant_nn::model::{deep_mlp, small_cnn, transformer_block};
+    use ant_nn::qat::quantize_model;
+    let mut out = Vec::new();
+    for (name, mut model, features) in [
+        ("mlp", deep_mlp(16, 10, 24, 6, seed), 16usize),
+        ("cnn", small_cnn(4, seed), 144),
+        ("attention", transformer_block(6, 16, 4, seed), 96),
+    ] {
+        let calib = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[64, features],
+            seed.wrapping_add(3),
+        );
+        quantize_model(&mut model, &calib, QuantSpec::default())?;
+        let plan = CompiledPlan::from_quantized_strict(&model)?;
+        out.push((name, plan, features));
+    }
+    Ok(out)
+}
+
+/// Times `iters` runs of `f` and returns seconds per run.
+fn time_per_iter<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters.max(1) as f64
+}
+
+/// Runs the fixed MLP/CNN/attention serving workloads and measures
+/// throughput, latency percentiles, steady-state allocations per request
+/// and the raw microkernel speedup. Pure measurement — rendering and the
+/// JSON artifact happen in [`run_bench`].
+///
+/// # Errors
+///
+/// Propagates quantization/compilation/engine failures.
+pub fn measure_bench(cfg: &BenchConfig) -> Result<BenchReport, CliError> {
+    let (warmup, requests, batch_iters) = if cfg.quick {
+        (8, 64, 10)
+    } else {
+        (32, 512, 100)
+    };
+    const BATCH: usize = 32;
+    let counting = crate::alloc::is_counting();
+    let mut workloads = Vec::new();
+    for (name, mut plan, features) in bench_plans(cfg.seed)? {
+        let x = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[BATCH, features],
+            cfg.seed.wrapping_add(9),
+        );
+        let rows: Vec<&[f32]> = (0..BATCH)
+            .map(|i| &x.as_slice()[i * features..(i + 1) * features])
+            .collect();
+        let mut out = Vec::new();
+        // Warmup: drive every scratch buffer to its high-water mark for
+        // both batch shapes.
+        for _ in 0..warmup {
+            plan.forward_rows(x.as_slice(), BATCH, &mut out)?;
+            plan.forward_rows(rows[0], 1, &mut out)?;
+        }
+        // Steady-state allocation count over single-row requests.
+        let before = crate::alloc::alloc_count();
+        for i in 0..requests {
+            plan.forward_rows(rows[i % BATCH], 1, &mut out)?;
+        }
+        let allocs = crate::alloc::alloc_count() - before;
+        let allocs_per_request = counting.then(|| allocs as f64 / requests as f64);
+        // Batch-1 latency distribution.
+        let mut lat_us: Vec<f64> = (0..requests)
+            .map(|i| {
+                let t = std::time::Instant::now();
+                plan.forward_rows(rows[i % BATCH], 1, &mut out)
+                    .map(|()| t.elapsed().as_secs_f64() * 1e6)
+            })
+            .collect::<Result<_, _>>()?;
+        lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+        // Batched throughput.
+        let per_batch = time_per_iter(batch_iters, || {
+            plan.forward_rows(x.as_slice(), BATCH, &mut out)
+                .expect("benched forward");
+        });
+        // Engine serving throughput (32 concurrent, coalesced).
+        let engine = Engine::new(
+            plan,
+            BatchPolicy {
+                max_batch: BATCH,
+                max_wait: std::time::Duration::from_millis(1),
+            },
+        );
+        for row in &rows {
+            let id = engine.submit(row).map_err(CliError::Runtime)?;
+            engine.wait(id).map_err(CliError::Runtime)?;
+        }
+        let per_wave = time_per_iter(batch_iters.min(40), || {
+            let ids: Vec<_> = rows
+                .iter()
+                .map(|row| engine.submit(row).expect("submit"))
+                .collect();
+            for id in ids {
+                engine.wait(id).expect("result");
+            }
+        });
+        workloads.push(BenchWorkload {
+            name,
+            features,
+            batched_ops_per_sec: BATCH as f64 / per_batch,
+            engine_ops_per_sec: BATCH as f64 / per_wave,
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+            allocs_per_request,
+        });
+    }
+    // Raw kernel comparison: the acceptance-criteria dense-GEMM shape.
+    let gemm_speedup_i8_vs_i32 = {
+        use ant_runtime::gemm::{int_gemm, PanelGemm};
+        let (m, k, n) = (64usize, 256usize, 256usize);
+        let b32: Vec<i32> = (0..n * k).map(|i| (i % 129) as i32 - 64).collect();
+        let a32: Vec<i32> = (0..m * k).map(|i| (i % 127) as i32 - 63).collect();
+        let a8: Vec<i8> = a32.iter().map(|&v| v as i8).collect();
+        let b8: Vec<i8> = b32.iter().map(|&v| v as i8).collect();
+        let packed = PanelGemm::pack(&b8, n, k, 127);
+        let pool = ant_runtime::WorkerPool::global();
+        let mut acc = vec![0i64; m * n];
+        let iters = if cfg.quick { 20 } else { 200 };
+        int_gemm(&a32, &b32, m, k, n, &mut acc); // warm
+        let t_i32 = time_per_iter(iters, || int_gemm(&a32, &b32, m, k, n, &mut acc));
+        packed.matmul(&a8, m, &mut acc, pool, 1); // warm
+        let t_i8 = time_per_iter(iters, || packed.matmul(&a8, m, &mut acc, pool, 1));
+        t_i32 / t_i8
+    };
+    let regression = workloads
+        .iter()
+        .any(|w| w.allocs_per_request.is_some_and(|a| a > 0.0));
+    Ok(BenchReport {
+        workloads,
+        gemm_speedup_i8_vs_i32,
+        regression,
+    })
+}
+
+/// `antc bench`: measure, render the human table, and write the
+/// machine-readable `BENCH_runtime.json`.
+///
+/// # Errors
+///
+/// Propagates measurement and file-write failures.
+pub fn run_bench(cfg: BenchConfig) -> Result<String, CliError> {
+    let report = measure_bench(&cfg)?;
+    std::fs::write(&cfg.out, report.to_json(cfg.quick))
+        .map_err(|e| CliError::Artifact(ArtifactError::Io(e)))?;
+    let mut rows = Vec::new();
+    for w in &report.workloads {
+        rows.push(vec![
+            w.name.to_string(),
+            w.features.to_string(),
+            format!("{:.0}", w.batched_ops_per_sec),
+            format!("{:.0}", w.engine_ops_per_sec),
+            format!("{:.1}", w.p50_us),
+            format!("{:.1}", w.p99_us),
+            match w.allocs_per_request {
+                Some(a) => format!("{a:.2}"),
+                None => "n/a".to_string(),
+            },
+        ]);
+    }
+    let mut out = render_table(
+        &[
+            "workload",
+            "features",
+            "batched req/s",
+            "engine req/s",
+            "p50 µs",
+            "p99 µs",
+            "allocs/req",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\ndense GEMM (64x256x256): i8 microkernel {:.2}x vs scalar i32 reference\n",
+        report.gemm_speedup_i8_vs_i32
+    ));
+    if report.regression {
+        out.push_str("REGRESSION: nonzero steady-state allocations per request\n");
+    }
+    out.push_str(&format!("wrote {}\n", cfg.out.display()));
+    Ok(out)
+}
+
 /// Usage text for the binary.
 pub const USAGE: &str = "antc — ANT quantized-model artifact tool
 
@@ -423,13 +723,18 @@ USAGE:
                   [--epochs N] [--seed N]
     antc inspect <file.antm>
     antc serve <file.antm> [--requests N] [--batch N]
+    antc bench [--quick] [--out <file.json>] [--seed N]
 
 The quantize subcommand trains a reference model, runs Algorithm-2 type
 selection through a memoizing Planner, and saves the packed result (wire
 codes + selection-cache fingerprints) as a versioned .antm artifact.
 inspect dumps the header, section table and per-layer selections.
 serve reloads the artifact, strict-compiles it straight from the wire
-codes and smoke-serves verified batched requests.";
+codes and smoke-serves verified batched requests.
+bench runs fixed MLP/CNN/attention serving workloads through the packed
+runtime and writes BENCH_runtime.json (throughput, p50/p99 latency,
+steady-state allocations per request, microkernel speedup) so the perf
+trajectory is tracked across changes.";
 
 /// Parses argv (without the program name) and runs the selected
 /// subcommand, returning its report.
@@ -511,6 +816,28 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 }
             }
             run_serve(path, requests, batch)
+        }
+        "bench" => {
+            let mut cfg = BenchConfig::default();
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage(&format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--quick" => cfg.quick = true,
+                    "--out" => cfg.out = value("--out")?.into(),
+                    "--seed" => {
+                        cfg.seed = value("--seed")?
+                            .parse()
+                            .map_err(|_| usage("--seed needs an integer"))?
+                    }
+                    other => return Err(usage(&format!("unknown flag '{other}'"))),
+                }
+            }
+            run_bench(cfg)
         }
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(usage(&format!("unknown subcommand '{other}'"))),

@@ -2,6 +2,11 @@
 //! versioned `.antm` model artifacts. All logic lives in
 //! [`ant_bench::antc`]; this binary only adapts argv and exit codes.
 
+// The counting allocator makes `antc bench` report real
+// allocations-per-request numbers (library callers see `null`).
+#[global_allocator]
+static ALLOC: ant_bench::alloc::CountingAlloc = ant_bench::alloc::CountingAlloc;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match ant_bench::antc::run(&args) {

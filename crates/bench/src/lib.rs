@@ -6,6 +6,7 @@
 //! and the three trained reference models used by the accuracy
 //! experiments.
 
+pub mod alloc;
 pub mod antc;
 
 use ant_nn::data::{blobs, motifs, shapes, Dataset};

@@ -1,0 +1,106 @@
+//! Steady-state zero-allocation contract of the serving hot path.
+//!
+//! This integration test installs the counting global allocator
+//! ([`ant_bench::alloc::CountingAlloc`]) for its whole process and pins
+//! the runtime's strongest perf invariant: once a compiled plan's
+//! [`ant_runtime::Scratch`] arena has warmed up,
+//! [`ant_runtime::CompiledPlan::forward_rows`] serves requests with
+//! **zero** heap allocations — for dense, conv, and attention plans
+//! alike, at both batch-1 and batched shapes.
+
+#[global_allocator]
+static ALLOC: ant_bench::alloc::CountingAlloc = ant_bench::alloc::CountingAlloc;
+
+use ant_bench::alloc::{alloc_count, is_counting};
+use ant_nn::model::{deep_mlp, small_cnn, transformer_block};
+use ant_nn::qat::{quantize_model, QuantSpec};
+use ant_runtime::CompiledPlan;
+use ant_tensor::dist::{sample_tensor, Distribution};
+
+fn workloads() -> Vec<(&'static str, CompiledPlan, usize)> {
+    let mut plans = Vec::new();
+    for (name, mut model, features) in [
+        ("mlp", deep_mlp(16, 10, 24, 6, 5), 16usize),
+        ("cnn", small_cnn(4, 5), 144),
+        ("attention", transformer_block(6, 16, 4, 5), 96),
+    ] {
+        let calib = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[64, features],
+            7,
+        );
+        quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+        // threads=1 keeps the partitioning deterministic (and inline) so
+        // the allocation count is exact regardless of machine width.
+        let plan = CompiledPlan::from_quantized_strict(&model)
+            .unwrap()
+            .with_threads(1);
+        plans.push((name, plan, features));
+    }
+    plans
+}
+
+#[test]
+fn steady_state_forward_rows_allocates_nothing() {
+    assert!(is_counting(), "counting allocator must be installed");
+    const BATCH: usize = 8;
+    for (name, mut plan, features) in workloads() {
+        let x = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[BATCH, features],
+            11,
+        );
+        let mut out = Vec::new();
+        // Warmup: drive every scratch buffer (both batch shapes) to its
+        // high-water mark.
+        for _ in 0..3 {
+            plan.forward_rows(x.as_slice(), BATCH, &mut out).unwrap();
+            plan.forward_rows(&x.as_slice()[..features], 1, &mut out)
+                .unwrap();
+        }
+        plan.forward_rows(x.as_slice(), BATCH, &mut out).unwrap();
+        let warm = out.clone();
+        // Steady state: not one allocation across many requests.
+        let before = alloc_count();
+        for _ in 0..50 {
+            plan.forward_rows(&x.as_slice()[..features], 1, &mut out)
+                .unwrap();
+            plan.forward_rows(x.as_slice(), BATCH, &mut out).unwrap();
+        }
+        let allocs = alloc_count() - before;
+        assert_eq!(
+            allocs, 0,
+            "{name}: {allocs} steady-state allocations in 100 requests"
+        );
+        // And the answers did not go stale while we were busy not
+        // allocating.
+        assert_eq!(out, warm, "{name}: steady-state output drifted");
+    }
+}
+
+#[test]
+fn warmup_allocations_are_one_time() {
+    assert!(is_counting());
+    let (_, mut plan, features) = workloads().pop().unwrap();
+    let x = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[4, features],
+        13,
+    );
+    let mut out = Vec::new();
+    plan.forward_rows(x.as_slice(), 4, &mut out).unwrap();
+    let after_first = alloc_count();
+    plan.forward_rows(x.as_slice(), 4, &mut out).unwrap();
+    // The second identical call re-touches every buffer the first one
+    // grew; any allocation here would grow without bound under traffic.
+    assert_eq!(alloc_count(), after_first, "second call allocated");
+}

@@ -148,3 +148,45 @@ fn model_and_combo_parsers_cover_all_labels() {
     );
     assert!(parse_combo("xyz").is_err());
 }
+
+#[test]
+fn bench_quick_writes_valid_json_and_reports_no_regression() {
+    let out = temp_artifact("bench-json");
+    let report = run(&args(&[
+        "bench",
+        "--quick",
+        "--seed",
+        "3",
+        "--out",
+        out.to_str().unwrap(),
+    ]))
+    .unwrap();
+    // The human table names every fixed workload and the kernel ratio.
+    for needle in ["mlp", "cnn", "attention", "dense GEMM"] {
+        assert!(report.contains(needle), "report missing {needle}: {report}");
+    }
+    assert!(
+        !report.contains("REGRESSION"),
+        "regression marker in: {report}"
+    );
+    // The JSON artifact has the stable schema and all three workloads.
+    let json = std::fs::read_to_string(&out).unwrap();
+    assert!(json.contains("\"schema\": \"ant-bench/runtime-v1\""));
+    assert!(json.contains("\"quick\": true"));
+    assert!(json.contains("\"regression\": false"));
+    for name in ["\"mlp\"", "\"cnn\"", "\"attention\""] {
+        assert!(json.contains(name), "json missing {name}: {json}");
+    }
+    // Library test processes do not install the counting allocator, so
+    // allocation counts must be honestly reported as unknown, not 0.
+    assert!(json.contains("\"allocs_per_request\": null"));
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn bench_rejects_unknown_flags() {
+    assert!(matches!(
+        run(&args(&["bench", "--wat"])),
+        Err(CliError::Usage(_))
+    ));
+}

@@ -371,6 +371,41 @@ impl Codec {
             .collect()
     }
 
+    /// Integer decode LUT: [`Codec::decode_lut`] with every entry as the
+    /// exact lattice integer it is, or `None` when any entry is
+    /// non-integral (the `float` primitive's fractional mantissas) or
+    /// falls outside `i32`. This is the table the packed runtime's integer
+    /// GEMM consumes — after the boundary decode every ANT operand *is* a
+    /// small integer (paper Sec. VI-A), so the MAC array never needs the
+    /// f32 image at all.
+    pub fn decode_lut_int(&self) -> Option<Vec<i32>> {
+        self.decode_lut()
+            .into_iter()
+            .map(|v| {
+                if v.fract() != 0.0 {
+                    return None;
+                }
+                let wide = v as i64;
+                if wide < i32::MIN as i64 || wide > i32::MAX as i64 {
+                    return None;
+                }
+                Some(wide as i32)
+            })
+            .collect()
+    }
+
+    /// Narrow decode LUT: [`Codec::decode_lut_int`] when every lattice
+    /// value fits a single byte (`i8`), which is what qualifies a type for
+    /// the byte-wide microkernel GEMM path. All of the paper's 4-bit types
+    /// qualify (Table I magnitudes top out at 64); `int8` does too (±127);
+    /// wider flint/PoT magnitudes fall back to the `i16`/`i32` paths.
+    pub fn decode_lut_i8(&self) -> Option<Vec<i8>> {
+        self.decode_lut_int()?
+            .into_iter()
+            .map(|v| i8::try_from(v).ok())
+            .collect()
+    }
+
     /// Encodes a normalized value to its wire code: the inverse of
     /// [`Codec::decode_lut`] composed with [`Codec::snap`], so that for
     /// every `x`, `decode_lut()[encode(x) as usize] == snap(x)`. This is
@@ -650,6 +685,63 @@ mod tests {
                 x += step;
             }
         }
+    }
+
+    #[test]
+    fn decode_lut_int_matches_f32_lut_exactly() {
+        for dt in [
+            DataType::int(4, true).unwrap(),
+            DataType::int(8, true).unwrap(),
+            DataType::int(8, false).unwrap(),
+            DataType::pot(4, true).unwrap(),
+            DataType::pot(4, false).unwrap(),
+            DataType::flint(4, true).unwrap(),
+            DataType::flint(8, false).unwrap(),
+            DataType::flint(9, true).unwrap(),
+        ] {
+            let c = Codec::new(dt).unwrap();
+            let lut = c.decode_lut();
+            let int = c
+                .decode_lut_int()
+                .unwrap_or_else(|| panic!("{dt} is integral"));
+            assert_eq!(int.len(), c.num_codes(), "{dt}");
+            for (i, (&f, &v)) in lut.iter().zip(&int).enumerate() {
+                assert_eq!(f, v as f32, "{dt}: code {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_lut_int_rejects_fractional_lattices() {
+        // E2M2 floats have fractional lattice points (0.25 steps).
+        let c = Codec::new(DataType::float(5, true).unwrap()).unwrap();
+        assert!(c.decode_lut_int().is_none());
+        // pot6u magnitudes reach 2^62, far past i32.
+        let c = Codec::new(DataType::pot(6, false).unwrap()).unwrap();
+        assert!(c.decode_lut_int().is_none());
+    }
+
+    #[test]
+    fn decode_lut_i8_covers_exactly_the_byte_sized_types() {
+        // Every paper 4-bit type fits a byte, as does int8 (hw range −128).
+        for dt in [
+            DataType::int(4, true).unwrap(),
+            DataType::int(8, true).unwrap(),
+            DataType::pot(4, true).unwrap(),
+            DataType::flint(4, true).unwrap(),
+            DataType::flint(4, false).unwrap(),
+        ] {
+            let c = Codec::new(dt).unwrap();
+            let lut8 = c.decode_lut_i8().unwrap_or_else(|| panic!("{dt} fits i8"));
+            let lut = c.decode_lut_int().unwrap();
+            for (&narrow, &wide) in lut8.iter().zip(&lut) {
+                assert_eq!(narrow as i32, wide, "{dt}");
+            }
+        }
+        // flint8u reaches 16384: integral but not byte-sized.
+        let c = Codec::new(DataType::flint(8, false).unwrap()).unwrap();
+        assert!(c.decode_lut_int().is_some());
+        assert!(c.decode_lut_i8().is_none());
     }
 
     #[test]

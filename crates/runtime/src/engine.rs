@@ -14,7 +14,6 @@
 
 use crate::error::RuntimeError;
 use crate::plan::CompiledPlan;
-use ant_tensor::Tensor;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -262,7 +261,14 @@ impl Drop for Engine {
 /// The worker: wait for work, gather a batch under the policy, execute,
 /// publish results, repeat. Queued work is drained even during shutdown so
 /// submitted requests are never silently dropped.
+///
+/// The input-stacking and output buffers persist across batches and the
+/// plan executes through its scratch arena, so a steady-state batch costs
+/// one allocation per *request* (the result row handed to the caller),
+/// not one per intermediate.
 fn worker_loop(shared: Arc<Shared>, mut plan: CompiledPlan, policy: BatchPolicy) {
+    let mut stacked: Vec<f32> = Vec::new();
+    let mut outputs: Vec<f32> = Vec::new();
     loop {
         let batch = {
             let mut state = shared.state.lock().expect("engine lock");
@@ -296,7 +302,7 @@ fn worker_loop(shared: Arc<Shared>, mut plan: CompiledPlan, policy: BatchPolicy)
             }
             batch
         };
-        let outputs = run_batch(&mut plan, &batch);
+        let outputs = run_batch(&mut plan, &batch, &mut stacked, &mut outputs);
         let mut state = shared.state.lock().expect("engine lock");
         state.stats.batches += 1;
         state.stats.largest_batch = state.stats.largest_batch.max(batch.len());
@@ -310,11 +316,14 @@ fn worker_loop(shared: Arc<Shared>, mut plan: CompiledPlan, policy: BatchPolicy)
     }
 }
 
-/// Stacks the batch into one `[b, features]` tensor, runs the plan, and
+/// Stacks the batch into one `[b, features]` slice (reusing `stacked`),
+/// runs the plan through its scratch arena (reusing `outputs`), and
 /// splits the output back into per-request rows.
 fn run_batch(
     plan: &mut CompiledPlan,
     batch: &[(u64, Vec<f32>)],
+    stacked: &mut Vec<f32>,
+    outputs: &mut Vec<f32>,
 ) -> Vec<(u64, Result<Vec<f32>, String>)> {
     let features = batch[0].1.len();
     if batch.iter().any(|(_, row)| row.len() != features) {
@@ -325,26 +334,17 @@ fn run_batch(
             .map(|(id, _)| (*id, Err("mixed feature counts in batch".to_string())))
             .collect();
     }
-    let mut data = Vec::with_capacity(batch.len() * features);
+    stacked.clear();
     for (_, row) in batch {
-        data.extend_from_slice(row);
+        stacked.extend_from_slice(row);
     }
-    let input = match Tensor::from_vec(data, &[batch.len(), features]) {
-        Ok(t) => t,
-        Err(e) => {
-            return batch
-                .iter()
-                .map(|(id, _)| (*id, Err(e.to_string())))
-                .collect()
-        }
-    };
-    match plan.forward(&input) {
-        Ok(out) => {
-            let per = out.len() / batch.len();
+    match plan.forward_rows(stacked, batch.len(), outputs) {
+        Ok(()) => {
+            let per = outputs.len() / batch.len();
             batch
                 .iter()
                 .enumerate()
-                .map(|(i, (id, _))| (*id, Ok(out.as_slice()[i * per..(i + 1) * per].to_vec())))
+                .map(|(i, (id, _))| (*id, Ok(outputs[i * per..(i + 1) * per].to_vec())))
                 .collect()
         }
         Err(e) => batch
@@ -360,6 +360,7 @@ mod tests {
     use ant_nn::model::mlp;
     use ant_nn::qat::{quantize_model, QuantSpec};
     use ant_tensor::dist::{sample_tensor, Distribution};
+    use ant_tensor::Tensor;
 
     fn plan() -> (CompiledPlan, Tensor) {
         let mut model = mlp(8, 4, 23);

@@ -1,0 +1,64 @@
+//! AVX2 byte-operand tile kernel, selected by runtime feature detection.
+//!
+//! Mirrors the scalar [`super::kernel`] tile exactly — same `MR×NR`
+//! blocking, same widening cadence — so results are bit-identical (all
+//! arithmetic is exact integer math; only the instruction selection
+//! differs). One panel step is a single 8-byte load sign-extended to
+//! `i32×8` (`vpmovsxbd`), then one broadcast + multiply-add per row.
+
+#![cfg(target_arch = "x86_64")]
+
+use super::kernel::MR;
+use super::NR;
+use std::arch::x86_64::*;
+
+/// Whether the byte kernel may use AVX2 on this machine (detected once).
+pub(crate) fn available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// The `MR×NR` byte tile (see [`super::kernel`] for the layout and the
+/// overflow argument; the cadence bound is identical).
+///
+/// # Safety
+///
+/// Callers must have verified AVX2 support ([`available`]). Slice bounds
+/// are checked as in the scalar path.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn tile_i8(
+    a_rows: [&[i8]; MR],
+    panel: &[i8],
+    k: usize,
+    k_block: usize,
+) -> [[i64; NR]; MR] {
+    debug_assert!(panel.len() >= k * NR);
+    for r in a_rows {
+        debug_assert!(r.len() >= k);
+    }
+    let mut wide = [[0i64; NR]; MR];
+    let mut k0 = 0usize;
+    while k0 < k {
+        let kb = k_block.min(k - k0);
+        let mut acc = [_mm256_setzero_si256(); MR];
+        for p in k0..k0 + kb {
+            // 8 consecutive packed-panel bytes -> i32x8.
+            let bv =
+                _mm256_cvtepi8_epi32(_mm_loadl_epi64(panel.as_ptr().add(p * NR) as *const __m128i));
+            for r in 0..MR {
+                let av = _mm256_set1_epi32(*a_rows[r].get_unchecked(p) as i32);
+                acc[r] = _mm256_add_epi32(acc[r], _mm256_mullo_epi32(av, bv));
+            }
+        }
+        for r in 0..MR {
+            let mut lanes = [0i32; NR];
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc[r]);
+            for c in 0..NR {
+                wide[r][c] += lanes[c] as i64;
+            }
+        }
+        k0 += kb;
+    }
+    wide
+}

@@ -1,0 +1,250 @@
+//! The narrow-operand microkernel: register-blocked `MR×NR` tiles over
+//! panel-packed weights, with a provably safe `i32 → i64` widening
+//! cadence.
+//!
+//! # Why narrow operands
+//!
+//! After the boundary LUT decode every ANT lattice value is a small
+//! integer (paper Table I: the 4-bit types top out at ±64, `int8` at
+//! ±128), so carrying operands as `i32` wastes 4× the memory bandwidth
+//! and — because products must then accumulate in `i64` — half the SIMD
+//! lanes. The microkernel instead streams `i8` (or `i16`) operands and
+//! accumulates 32-bit, which is exactly the economics of the paper's
+//! low-bit MAC array (Sec. VI-A).
+//!
+//! # The widening cadence and its safety argument
+//!
+//! A dot product of `kb` terms with `|a| ≤ a_max` and `|b| ≤ b_max` is
+//! bounded by `kb · a_max · b_max`. The kernel therefore accumulates in
+//! `i32` for at most `k_block` terms at a time, then folds the block sum
+//! into an `i64` accumulator, where
+//!
+//! ```text
+//! k_block = min(K_BLOCK_MAX, i32::MAX / (a_max · b_max))   (≥ 1)
+//! ```
+//!
+//! so no intermediate can wrap. `a_max`/`b_max` come from the decode LUT
+//! of the layer's [`ant_core::Codec`] — a compile-time-style bound tied to
+//! the wire-code space ([`ant_core::Codec::num_codes`] entries), not to
+//! the data. For byte operands the bound is static: the const assertion
+//! below pins `K_BLOCK_MAX · 128 · 128 ≤ i32::MAX`, so the full-magnitude
+//! `±(128, 127)` worst case is safe at the maximum cadence. The `i64`
+//! outer accumulator is exact for any realistic `k` (it would take
+//! `k > 2^33` maximal byte products to wrap it).
+
+use super::NR;
+
+/// Row-tile height of the microkernel (output rows per register tile).
+pub(crate) const MR: usize = 4;
+
+/// Upper bound on the widening cadence: block sums fold into `i64` at
+/// least every `K_BLOCK_MAX` terms even when the operand magnitudes would
+/// allow more.
+pub(crate) const K_BLOCK_MAX: usize = 8192;
+
+// The static worst case for byte operands: the `int8` hw range is
+// [−128, 127], so |product| ≤ 128·128 and a full block stays in `i32`.
+const _: () = assert!((K_BLOCK_MAX as i64) * 128 * 128 <= i32::MAX as i64);
+
+mod private {
+    /// Seals [`super::KernelOperand`]: the microkernel is written (and
+    /// overflow-argued) for exactly these operand widths.
+    pub trait Sealed {}
+    impl Sealed for i8 {}
+    impl Sealed for i16 {}
+}
+
+/// An integer operand width the narrow microkernel accepts (`i8` or
+/// `i16`). Sealed: the widening-cadence safety argument is made per
+/// width, so the set is closed.
+pub trait KernelOperand: private::Sealed + Copy + Default + Send + Sync + 'static {
+    #[doc(hidden)]
+    fn widen(self) -> i32;
+    #[doc(hidden)]
+    fn from_i32(v: i32) -> Self;
+    /// Reinterpret a slice as bytes when this operand *is* the byte
+    /// width (the AVX2 fast path is byte-only).
+    #[doc(hidden)]
+    fn as_i8_slice(slice: &[Self]) -> Option<&[i8]> {
+        let _ = slice;
+        None
+    }
+}
+
+impl KernelOperand for i8 {
+    #[inline(always)]
+    fn widen(self) -> i32 {
+        self as i32
+    }
+    #[inline(always)]
+    fn from_i32(v: i32) -> i8 {
+        debug_assert!(
+            (i8::MIN as i32..=i8::MAX as i32).contains(&v),
+            "value {v} exceeds i8"
+        );
+        v as i8
+    }
+    #[inline(always)]
+    fn as_i8_slice(slice: &[i8]) -> Option<&[i8]> {
+        Some(slice)
+    }
+}
+
+impl KernelOperand for i16 {
+    #[inline(always)]
+    fn widen(self) -> i32 {
+        self as i32
+    }
+    #[inline(always)]
+    fn from_i32(v: i32) -> i16 {
+        debug_assert!(
+            (i16::MIN as i32..=i16::MAX as i32).contains(&v),
+            "value {v} exceeds i16"
+        );
+        v as i16
+    }
+}
+
+/// The widening cadence for operand magnitude bounds `a_max · b_max`
+/// (see the module docs): the longest `i32`-safe block, capped at
+/// [`K_BLOCK_MAX`] and floored at 1.
+pub(crate) fn k_block_for(a_max: i64, b_max: i64) -> usize {
+    let prod = a_max.max(1) * b_max.max(1);
+    ((i32::MAX as i64 / prod).max(1) as usize).min(K_BLOCK_MAX)
+}
+
+/// One `M×NR` register tile: `M` dot-product rows against one packed
+/// panel (`[k][NR]` interleaved), blocked by the widening cadence.
+/// Integer arithmetic is exact, so tiling/cadence never changes results.
+#[inline]
+fn tile<T: KernelOperand, const M: usize>(
+    a_rows: [&[T]; M],
+    panel: &[T],
+    k: usize,
+    k_block: usize,
+) -> [[i64; NR]; M] {
+    let mut wide = [[0i64; NR]; M];
+    let mut k0 = 0usize;
+    while k0 < k {
+        let kb = k_block.min(k - k0);
+        let mut acc = [[0i32; NR]; M];
+        for p in k0..k0 + kb {
+            let b = &panel[p * NR..p * NR + NR];
+            let mut bv = [0i32; NR];
+            for (dst, &src) in bv.iter_mut().zip(b) {
+                *dst = src.widen();
+            }
+            for r in 0..M {
+                let av = a_rows[r][p].widen();
+                for c in 0..NR {
+                    acc[r][c] += av * bv[c];
+                }
+            }
+        }
+        for r in 0..M {
+            for c in 0..NR {
+                wide[r][c] += acc[r][c] as i64;
+            }
+        }
+        k0 += kb;
+    }
+    wide
+}
+
+/// Computes output rows `rows` × panels `panels` of `a · bᵀ` against
+/// panel-packed weights, writing into `out` with row stride `ldc`.
+///
+/// `out` points at the *full* output matrix; this region writes only
+/// `out[i·ldc + j]` for `i ∈ rows`, `j` in the panel range's columns —
+/// the disjointness the threaded driver's partitioning guarantees.
+///
+/// # Safety
+///
+/// `out` must be valid for writes over the region's cells, and no other
+/// thread may concurrently touch those cells.
+#[allow(clippy::too_many_arguments)] // a GEMM region's shape is its signature
+pub(crate) unsafe fn run_region<T: KernelOperand>(
+    a: &[T],
+    panels: &[T],
+    k: usize,
+    n: usize,
+    k_block: usize,
+    rows: std::ops::Range<usize>,
+    panel_range: std::ops::Range<usize>,
+    out: *mut i64,
+    ldc: usize,
+    use_avx2: bool,
+) {
+    let mut i0 = rows.start;
+    while i0 < rows.end {
+        let mr = MR.min(rows.end - i0);
+        for pi in panel_range.clone() {
+            let panel = &panels[pi * k * NR..(pi + 1) * k * NR];
+            let nc = NR.min(n - pi * NR);
+            let wide = tile_dispatch(a, panel, i0, mr, k, k_block, use_avx2);
+            for (r, wide_row) in wide.iter().enumerate().take(mr) {
+                let row_out = out.add((i0 + r) * ldc + pi * NR);
+                for (c, &v) in wide_row.iter().take(nc).enumerate() {
+                    row_out.add(c).write(v);
+                }
+            }
+        }
+        i0 += mr;
+    }
+}
+
+/// Tail-aware tile dispatch: monomorphizes the row count and routes byte
+/// operands to the AVX2 kernel when the CPU supports it.
+#[inline]
+fn tile_dispatch<T: KernelOperand>(
+    a: &[T],
+    panel: &[T],
+    i0: usize,
+    mr: usize,
+    k: usize,
+    k_block: usize,
+    use_avx2: bool,
+) -> [[i64; NR]; MR] {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2 {
+        if let Some(a8) = T::as_i8_slice(a) {
+            let p8 = T::as_i8_slice(panel).expect("panel width matches operand width");
+            // Tail rows point at row i0 (valid memory); their results are
+            // discarded by the `mr`-bounded writeback.
+            let a_rows: [&[i8]; MR] =
+                std::array::from_fn(|r| row(a8, i0 + if r < mr { r } else { 0 }, k));
+            // SAFETY: gated on runtime AVX2 detection by the caller.
+            return unsafe { super::avx2::tile_i8(a_rows, p8, k, k_block) };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_avx2;
+    let mut wide = [[0i64; NR]; MR];
+    match mr {
+        1 => wide[..1].copy_from_slice(&tile::<T, 1>([row(a, i0, k)], panel, k, k_block)),
+        2 => wide[..2].copy_from_slice(&tile::<T, 2>(
+            std::array::from_fn(|r| row(a, i0 + r, k)),
+            panel,
+            k,
+            k_block,
+        )),
+        3 => wide[..3].copy_from_slice(&tile::<T, 3>(
+            std::array::from_fn(|r| row(a, i0 + r, k)),
+            panel,
+            k,
+            k_block,
+        )),
+        _ => wide.copy_from_slice(&tile::<T, MR>(
+            std::array::from_fn(|r| row(a, i0 + r, k)),
+            panel,
+            k,
+            k_block,
+        )),
+    }
+    wide
+}
+
+#[inline(always)]
+fn row<T>(a: &[T], i: usize, k: usize) -> &[T] {
+    &a[i * k..(i + 1) * k]
+}

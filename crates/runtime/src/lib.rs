@@ -16,10 +16,23 @@
 //!   Transformer pipelines compile with [`CompiledPlan::coverage`] of 1.0.
 //!   [`Planner::strict`] turns silent fallback into a hard
 //!   [`RuntimeError::UnsupportedLayer`],
-//! * [`crate::gemm`] — exact integer-domain tiled GEMM over LUT-decoded
+//! * [`crate::gemm`] — exact integer-domain GEMM over LUT-decoded
 //!   operands, the software mirror of the TypeFusion decoder → int-PE
 //!   pipeline (paper Figs. 6–9), numerics validated code-for-code against
-//!   `ant-hw`, plus the integer im2row conv lowering,
+//!   `ant-hw`, plus the integer im2row conv lowering. The hot path is the
+//!   narrow-operand microkernel ([`crate::gemm::PanelGemm`]): weights
+//!   decode once into `i8`/`i16` panel images, activations quantize to
+//!   the same width, and a register-blocked `4×8` tile accumulates in
+//!   `i32` with a provably safe widening cadence (AVX2 byte path behind
+//!   runtime detection) — low-bit operands at low-bit-integer speed, the
+//!   paper's Sec. VI-A economics in software,
+//! * [`WorkerPool`] — a persistent work-claiming thread pool shared
+//!   across layers, batches and engines (no per-GEMM thread spawning),
+//!   partitioning GEMMs over output rows *and* columns so batch-1
+//!   requests against wide layers still scale,
+//! * [`Scratch`] — the per-plan buffer arena behind
+//!   [`CompiledPlan::forward_rows`]: after warmup, steady-state serving
+//!   performs zero heap allocations per request inside the plan,
 //! * [`Engine`] — a batch scheduler: [`Engine::submit`] single requests,
 //!   a worker coalesces them under a [`BatchPolicy`] (max-batch /
 //!   max-wait) into one batched pass per layer, [`Engine::poll`] or
@@ -64,6 +77,8 @@ pub mod cache;
 pub mod engine;
 pub mod gemm;
 pub mod plan;
+pub mod pool;
+pub mod scratch;
 
 pub use artifact::{
     probe, ArtifactError, ArtifactInfo, LayerSummary, ModelArtifact, SectionInfo, WeightSummary,
@@ -73,3 +88,5 @@ pub use cache::{Planner, SelectionCache, TypeDecision};
 pub use engine::{BatchPolicy, Engine, EngineStats, RequestId};
 pub use error::RuntimeError;
 pub use plan::{CompiledPlan, PackedAttn, PackedConv, PackedLinear, PlanLayer, PlanNorm};
+pub use pool::WorkerPool;
+pub use scratch::Scratch;

@@ -4,21 +4,42 @@
 //! A [`CompiledPlan`] is the inference-side artifact of ANT quantization:
 //! every compute layer's weights are stored as packed wire codes
 //! ([`PackedTensor`], the paper's fixed-length aligned representation,
-//! Table I) together with a per-layer decode LUT and scales. Execution
-//! decodes codes through the 16-entry LUT into small integers and runs the
-//! exact integer GEMM of [`crate::gemm`] — the software mirror of the
-//! TypeFusion array's boundary-decoder → int-PE pipeline (paper Fig. 9).
+//! Table I) together with a per-layer decode LUT and scales. At compile
+//! time each weight matrix is decoded **once** through the integer LUT
+//! ([`ant_core::Codec::decode_lut_int`]) into the narrowest operand image
+//! that holds its lattice — `i8` for every ≤8-bit paper type, `i16` for
+//! wide flint magnitudes, plain `i32` rows as the general fallback — and
+//! pre-packed into the microkernel panel layout
+//! ([`crate::gemm::PanelGemm`]). Execution quantizes activations straight
+//! into the same narrow width and runs the register-blocked integer
+//! microkernel: the software mirror of the TypeFusion array's
+//! boundary-decoder → low-bit int-PE pipeline (paper Fig. 9, Sec. VI-A).
+//!
+//! The hot path is engineered for steady-state serving:
+//!
+//! * all intermediate buffers (quantized activations, im2row matrices,
+//!   accumulators, attention q/k/v/scores/context, the layer pipeline's
+//!   ping/pong activations) live in a per-plan [`Scratch`] arena — after
+//!   warmup a [`CompiledPlan::forward_rows`] call performs **zero heap
+//!   allocations**,
+//! * threaded GEMMs are scheduled on a persistent [`WorkerPool`] shared
+//!   across layers and batches (no per-call thread spawning), partitioned
+//!   over output rows *and* columns so batch-1 requests against wide
+//!   layers still parallelize,
+//! * integer arithmetic is exact, so none of this changes a single output
+//!   bit relative to the scalar reference kernel.
 //!
 //! Three layer families run in the packed integer domain:
 //!
 //! * [`PackedLinear`] — dense layers, a direct integer GEMM,
 //! * [`PackedConv`] — convolutions, lowered through an integer im2row
-//!   ([`crate::gemm::im2row_i32`]) into the same weight-stationary GEMM,
+//!   ([`crate::gemm::im2row`]) at the layer's operand width into the same
+//!   weight-stationary GEMM,
 //! * [`PackedAttn`] — attention blocks: Q/K/V projections as integer
 //!   GEMMs, then scores → softmax → context in f32 (attention scores are
 //!   *activations* and "require high-precision numbers", Sec. IV-C /
-//!   Fig. 4), and the output projection as a mixed-domain GEMM over
-//!   LUT-decoded integer weights with the scale applied at the boundary.
+//!   Fig. 4), and the output projection as a mixed-domain GEMM over the
+//!   LUT-decoded weights with the scale applied at the boundary.
 //!
 //! Shape-polymorphic layers (ReLU, GELU, max-pool, layer norm) carry no
 //! wire codes and execute the same arithmetic as their reference
@@ -28,7 +49,9 @@
 //! or fail compilation under [`CompiledPlan::from_quantized_strict`].
 
 use crate::error::RuntimeError;
-use crate::gemm::{im2row_i32, int_gemm_threaded};
+use crate::gemm::{im2row, int_gemm_pooled, PanelGemm};
+use crate::pool::WorkerPool;
+use crate::scratch::{grab, Scratch};
 use ant_core::pack::PackedTensor;
 use ant_core::{DataType, PrimitiveType, Quantizer, TensorQuantizer};
 use ant_nn::attention::{layer_norm_group, softmax_rows_in_place, Attention, LayerNorm};
@@ -37,6 +60,7 @@ use ant_nn::layer::{Conv2d, Dense, Layer as _};
 use ant_nn::model::{NetLayer, Sequential};
 use ant_tensor::linalg::Conv2dGeometry;
 use ant_tensor::Tensor;
+use std::sync::Arc;
 
 /// Specialized integer quantization of input activations. Every variant
 /// computes exactly `codec.snap(x / s)` — the fake-quantization semantics —
@@ -113,23 +137,132 @@ impl ActQuant {
         }
     }
 
-    /// Quantizes a whole slice of real activations to lattice integers.
-    fn apply_all(&self, x: &[f32], scale: f32, codec: &ant_core::Codec) -> Vec<i32> {
-        x.iter().map(|&v| self.apply(v / scale, codec)).collect()
+    /// Quantizes a whole slice of real activations onto the integer
+    /// lattice at operand width `T`, reusing `out`'s capacity (the
+    /// zero-allocation steady state). The variant dispatch is hoisted out
+    /// of the element loop so the common `int` path is a straight
+    /// divide/round/clamp stream the autovectorizer handles; every
+    /// element computes exactly what [`ActQuant::apply`] computes.
+    fn apply_all_into<T: ActInt>(
+        &self,
+        x: &[f32],
+        scale: f32,
+        codec: &ant_core::Codec,
+        out: &mut Vec<T>,
+    ) {
+        if out.len() != x.len() {
+            out.clear();
+            out.resize(x.len(), T::from_act(0));
+        }
+        match self {
+            ActQuant::IntRound { lo, hi } => {
+                let (lo, hi) = (*lo, *hi);
+                #[cfg(target_arch = "x86_64")]
+                if crate::gemm::avx2_available() {
+                    // SAFETY: gated on runtime AVX2 detection. Same Rust
+                    // code as below — IEEE divide/round/clamp semantics
+                    // are ISA-independent, so results are bit-identical;
+                    // compiling with AVX2 enabled just lets the
+                    // autovectorizer use 8-wide divides.
+                    unsafe { int_round_all_avx2(x, scale, lo, hi, out) };
+                    return;
+                }
+                for (dst, &v) in out.iter_mut().zip(x) {
+                    *dst = T::from_act((v / scale).round().clamp(lo, hi) as i32);
+                }
+            }
+            _ => {
+                for (dst, &v) in out.iter_mut().zip(x) {
+                    *dst = T::from_act(self.apply(v / scale, codec));
+                }
+            }
+        }
     }
 }
 
+/// The `int` activation-quantization loop compiled with AVX2 enabled
+/// (runtime-dispatched): element-for-element the same arithmetic as the
+/// scalar path in [`ActQuant::apply_all_into`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn int_round_all_avx2<T: ActInt>(x: &[f32], scale: f32, lo: f32, hi: f32, out: &mut [T]) {
+    for (dst, &v) in out.iter_mut().zip(x) {
+        *dst = T::from_act((v / scale).round().clamp(lo, hi) as i32);
+    }
+}
+
+/// Integer widths activation buffers come in (the microkernel operand
+/// widths plus the general `i32`).
+trait ActInt: Copy {
+    fn from_act(v: i32) -> Self;
+}
+
+impl ActInt for i8 {
+    #[inline(always)]
+    fn from_act(v: i32) -> i8 {
+        debug_assert!((i8::MIN as i32..=i8::MAX as i32).contains(&v));
+        v as i8
+    }
+}
+
+impl ActInt for i16 {
+    #[inline(always)]
+    fn from_act(v: i32) -> i16 {
+        debug_assert!((i16::MIN as i32..=i16::MAX as i32).contains(&v));
+        v as i16
+    }
+}
+
+impl ActInt for i32 {
+    #[inline(always)]
+    fn from_act(v: i32) -> i32 {
+        v
+    }
+}
+
+/// Narrow-copies an `i32` activation master buffer into operand width
+/// `T`, reusing capacity.
+fn narrow_acts<T: ActInt>(src: &[i32], out: &mut Vec<T>) {
+    out.clear();
+    out.extend(src.iter().map(|&v| T::from_act(v)));
+}
+
+/// A raw `*mut f32` crossing into pool tasks; tasks write disjoint
+/// regions, which is what makes the shared mutable access sound.
+#[derive(Clone, Copy)]
+struct ShareMut(*mut f32);
+unsafe impl Send for ShareMut {}
+unsafe impl Sync for ShareMut {}
+
+/// The decode-once integer image of a weight matrix, at the narrowest
+/// width its lattice (and the layer's activation lattice) permits.
+///
+/// `i8` covers every ≤8-bit paper type (Table I magnitudes top out at 64,
+/// `int8` at ±128); wide flint magnitudes (`flint8u` reaches 16384) take
+/// the `i16` panels; anything wider — or a non-integral lattice that
+/// slipped past strict mode — executes on plain `i32` rows. Panel images
+/// are pre-packed for the microkernel at compile time, so serving never
+/// re-lays weights out.
+#[derive(Debug, Clone)]
+enum WeightImage {
+    /// Byte panels for the microkernel (quarter traffic, double lanes).
+    I8(PanelGemm<i8>),
+    /// Halfword panels (wide flint magnitudes).
+    I16(PanelGemm<i16>),
+    /// Plain `[out, in]` rows for the general kernel.
+    I32(Vec<i32>),
+}
+
 /// One weight matrix compiled to the packed integer domain: wire codes,
-/// the LUT-decoded integer image (decode once, execute many) and one scale
-/// per output row.
+/// the LUT-decoded integer image in microkernel layout (decode once,
+/// execute many) and one scale per output row.
 #[derive(Debug, Clone)]
 struct PackedMatrix {
     /// Packed wire codes, shaped (`[out, in]` for dense/attention
     /// projections, `[co, ci, kh, kw]` for conv kernels).
     weights: PackedTensor,
-    /// LUT-decoded integer weights in the `[out, in]` weight-stationary
-    /// layout.
-    w_int: Vec<i32>,
+    /// LUT-decoded integer weights at the execution width.
+    image: WeightImage,
     /// Per-output-row scales (broadcast when the quantizer was
     /// per-tensor).
     w_scales: Vec<f32>,
@@ -177,6 +310,16 @@ pub(crate) fn pack_weight_tensor(
     )?)
 }
 
+/// The layer's bound on quantized-activation magnitudes, when the
+/// activation lattice is integral (it is for every int/PoT/flint type
+/// whose values fit `i32`): what fixes the microkernel's widening
+/// cadence and qualifies the narrow operand widths.
+fn act_bound(act: &Quantizer) -> Option<i64> {
+    let codec = act.codec();
+    codec.decode_lut_int()?;
+    Some(codec.max_value() as i64)
+}
+
 impl PackedMatrix {
     /// Encodes a `[out, inp]`-flattened weight onto wire codes under `wq`,
     /// attaching `dims` as the packed tensor's logical shape.
@@ -186,17 +329,19 @@ impl PackedMatrix {
         inp: usize,
         wq: &TensorQuantizer,
         dims: &[usize],
+        act_max: Option<i64>,
     ) -> Result<Self, RuntimeError> {
         let weights = pack_weight_tensor(w, out, inp, wq, dims)?;
-        Self::from_packed(weights)
+        Self::from_packed(weights, act_max)
     }
 
     /// Reconstructs the executable matrix straight from an existing packed
     /// tensor — the construction-from-wire-codes path used when a plan is
     /// rebuilt from a saved artifact. No floats are re-encoded: the wire
     /// codes *are* the weights, so a reloaded plan is bit-identical to the
-    /// plan that was saved.
-    fn from_packed(weights: PackedTensor) -> Result<Self, RuntimeError> {
+    /// plan that was saved. `act_max` is the activation-lattice magnitude
+    /// bound (see [`act_bound`]); `None` keeps the general `i32` image.
+    fn from_packed(weights: PackedTensor, act_max: Option<i64>) -> Result<Self, RuntimeError> {
         let dims = weights.dims();
         if dims.len() < 2 {
             return Err(RuntimeError::Quant(ant_core::QuantError::ChannelMismatch {
@@ -218,55 +363,230 @@ impl PackedMatrix {
                 actual: w_scales.len(),
             }));
         }
-        let lut = ant_core::Codec::new(weights.dtype())?.decode_lut();
-        let w_int: Vec<i32> = weights
-            .codes()
-            .iter()
-            .map(|&c| lut[c as usize] as i32)
-            .collect();
+        let codec = ant_core::Codec::new(weights.dtype())?;
+        // Decode once through the integer LUT when the lattice is
+        // integral (every packed-domain type); fall back to the f32 LUT
+        // cast otherwise — that path only executes behind a Fallback
+        // anyway.
+        let (w_int, integral): (Vec<i32>, bool) = match codec.decode_lut_int() {
+            Some(lut) => (
+                weights.codes().iter().map(|&c| lut[c as usize]).collect(),
+                true,
+            ),
+            None => {
+                let lut = codec.decode_lut();
+                (
+                    weights
+                        .codes()
+                        .iter()
+                        .map(|&c| lut[c as usize] as i32)
+                        .collect(),
+                    false,
+                )
+            }
+        };
+        let image = Self::build_image(w_int, out, inp, integral, act_max);
         Ok(PackedMatrix {
             weights,
-            w_int,
+            image,
             w_scales,
             out,
             inp,
         })
     }
 
-    /// Integer GEMM `[m, inp] · selfᵀ` into the exact `i64` accumulator —
-    /// callers dequantize straight into their output layout, so no
-    /// intermediate f32 buffer or extra pass is needed.
-    fn int_accumulate(&self, a_int: &[i32], m: usize, threads: usize) -> Vec<i64> {
-        let mut acc = vec![0i64; m * self.out];
-        int_gemm_threaded(a_int, &self.w_int, m, self.inp, self.out, &mut acc, threads);
-        acc
+    /// Selects the narrowest operand width the weight *and* activation
+    /// lattices allow and pre-packs microkernel panels for it.
+    fn build_image(
+        w_int: Vec<i32>,
+        out: usize,
+        inp: usize,
+        integral: bool,
+        act_max: Option<i64>,
+    ) -> WeightImage {
+        if integral {
+            if let Some(am) = act_max {
+                if am <= i8::MAX as i64 {
+                    if let Some(w8) = w_int
+                        .iter()
+                        .map(|&v| i8::try_from(v).ok())
+                        .collect::<Option<Vec<i8>>>()
+                    {
+                        return WeightImage::I8(PanelGemm::pack(&w8, out, inp, am));
+                    }
+                }
+                if am <= i16::MAX as i64 {
+                    if let Some(w16) = w_int
+                        .iter()
+                        .map(|&v| i16::try_from(v).ok())
+                        .collect::<Option<Vec<i16>>>()
+                    {
+                        let b_max = w16.iter().map(|&v| (v as i64).abs()).max().unwrap_or(0);
+                        // A cadence too short to amortize the widening
+                        // fold means the magnitudes are effectively wide:
+                        // take the general path instead.
+                        if crate::gemm::k_block_for(am, b_max) >= 16 {
+                            return WeightImage::I16(PanelGemm::pack(&w16, out, inp, am));
+                        }
+                    }
+                }
+            }
+        }
+        WeightImage::I32(w_int)
     }
 
-    /// [`Self::int_accumulate`] plus dequantization (and optional bias)
-    /// directly into `out`: `out[i, o] = acc[i, o] · (a_scale ·
-    /// w_scales[o]) + bias[o]`.
-    fn int_forward_into(
+    /// The decoded weight rows as f32 lattice values (`[out, inp]`,
+    /// unscaled) — the operand of attention's mixed-domain output
+    /// projection.
+    fn rows_f32(&self) -> Vec<f32> {
+        // Decode from the wire codes so the result is exact regardless of
+        // which image width execution uses.
+        let lut = ant_core::Codec::new(self.weights.dtype())
+            .expect("codec validated at construction")
+            .decode_lut();
+        self.weights
+            .codes()
+            .iter()
+            .map(|&c| lut[c as usize])
+            .collect()
+    }
+
+    /// Integer GEMM `[m, inp] · selfᵀ` into the exact `i64` accumulator in
+    /// `ws.acc`, quantizing the f32 input into the image's operand width
+    /// first. All buffers come from the scratch arena.
+    fn quantize_accumulate<'w>(
         &self,
-        a_int: &[i32],
+        x: &[f32],
         m: usize,
-        a_scale: f32,
-        bias: Option<&[f32]>,
-        threads: usize,
-        out: &mut [f32],
-    ) {
-        let n = self.out;
-        debug_assert_eq!(out.len(), m * n, "output length");
-        let acc = self.int_accumulate(a_int, m, threads);
-        for i in 0..m {
-            for o in 0..n {
-                let v = acc[i * n + o] as f32 * (a_scale * self.w_scales[o]);
-                out[i * n + o] = match bias {
-                    Some(b) => v + b[o],
-                    None => v,
-                };
+        act: &Quantizer,
+        act_quant: &ActQuant,
+        ws: &'w mut LayerScratch<'_>,
+    ) -> &'w mut [i64] {
+        let s_a = act.scale();
+        let codec = act.codec();
+        match &self.image {
+            WeightImage::I8(pg) => {
+                act_quant.apply_all_into(x, s_a, codec, ws.act_i8);
+                let acc = grab(ws.acc, m * self.out, 0);
+                pg.matmul(ws.act_i8, m, acc, ws.pool, ws.threads);
+                acc
+            }
+            WeightImage::I16(pg) => {
+                act_quant.apply_all_into(x, s_a, codec, ws.act_i16);
+                let acc = grab(ws.acc, m * self.out, 0);
+                pg.matmul(ws.act_i16, m, acc, ws.pool, ws.threads);
+                acc
+            }
+            WeightImage::I32(rows) => {
+                act_quant.apply_all_into(x, s_a, codec, ws.act_i32);
+                let acc = grab(ws.acc, m * self.out, 0);
+                int_gemm_pooled(
+                    ws.act_i32, rows, m, self.inp, self.out, acc, ws.pool, ws.threads,
+                );
+                acc
             }
         }
     }
+
+    /// Integer GEMM over an already-quantized activation master buffer
+    /// (attention's shared Q/K/V input). The caller pre-narrows the
+    /// `i32` master into whichever widths its projections need — once
+    /// per width, not once per projection — and this picks the matching
+    /// view. Scratch buffers arrive as explicit arguments so the caller
+    /// can keep the rest of the arena borrowed.
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_master<'w>(
+        &self,
+        a32: &[i32],
+        m: usize,
+        pool: &WorkerPool,
+        threads: usize,
+        act_i8: &[i8],
+        act_i16: &[i16],
+        acc: &'w mut Vec<i64>,
+    ) -> &'w mut [i64] {
+        let acc = grab(acc, m * self.out, 0);
+        match &self.image {
+            WeightImage::I8(pg) => pg.matmul(act_i8, m, acc, pool, threads),
+            WeightImage::I16(pg) => pg.matmul(act_i16, m, acc, pool, threads),
+            WeightImage::I32(rows) => {
+                int_gemm_pooled(a32, rows, m, self.inp, self.out, acc, pool, threads)
+            }
+        }
+        acc
+    }
+
+    /// The combined per-output dequantization scales for a fixed
+    /// activation scale: `deq[o] = a_scale · w_scales[o]`, precomputed
+    /// once at plan compile time so the per-request dequant loop is a
+    /// straight multiply-add stream.
+    fn deq_scales(&self, a_scale: f32) -> Vec<f32> {
+        self.w_scales.iter().map(|&w| a_scale * w).collect()
+    }
+}
+
+/// Transposes a square `[n, n]` row-major matrix.
+fn transpose(m: &[f32], n: usize) -> Vec<f32> {
+    let mut t = vec![0f32; n * n];
+    for r in 0..n {
+        for c in 0..n {
+            t[c * n + r] = m[r * n + c];
+        }
+    }
+    t
+}
+
+/// Dequantizes an accumulator (and optional bias) into `out`:
+/// `out[i, o] = acc[i, o] · deq[o] + bias[o]`, with the bias dispatch
+/// hoisted out of the element loops. Element-for-element the same float
+/// operations as computing `acc · (a_scale · w_scales[o])` inline — the
+/// scale product is just evaluated once per output channel instead of
+/// once per element.
+fn dequant_into(acc: &[i64], m: usize, deq: &[f32], bias: Option<&[f32]>, out: &mut [f32]) {
+    let n = deq.len();
+    debug_assert_eq!(out.len(), m * n, "output length");
+    debug_assert_eq!(acc.len(), m * n, "accumulator length");
+    match bias {
+        Some(b) => {
+            for i in 0..m {
+                let ar = &acc[i * n..(i + 1) * n];
+                let or = &mut out[i * n..(i + 1) * n];
+                for o in 0..n {
+                    or[o] = ar[o] as f32 * deq[o] + b[o];
+                }
+            }
+        }
+        None => {
+            for i in 0..m {
+                let ar = &acc[i * n..(i + 1) * n];
+                let or = &mut out[i * n..(i + 1) * n];
+                for o in 0..n {
+                    or[o] = ar[o] as f32 * deq[o];
+                }
+            }
+        }
+    }
+}
+
+/// The slice of the scratch arena (plus scheduling context) a packed
+/// layer borrows for one forward step. Pipeline buffers (`ping`/`pong`)
+/// stay with the caller; everything else is here, split-borrowed so a
+/// layer can hold several at once.
+struct LayerScratch<'a> {
+    pool: &'a WorkerPool,
+    threads: usize,
+    act_i8: &'a mut Vec<i8>,
+    act_i16: &'a mut Vec<i16>,
+    act_i32: &'a mut Vec<i32>,
+    rows_i8: &'a mut Vec<i8>,
+    rows_i16: &'a mut Vec<i16>,
+    rows_i32: &'a mut Vec<i32>,
+    acc: &'a mut Vec<i64>,
+    q: &'a mut Vec<f32>,
+    k: &'a mut Vec<f32>,
+    v: &'a mut Vec<f32>,
+    scores: &'a mut Vec<f32>,
+    ctx: &'a mut Vec<f32>,
 }
 
 /// Rejects types the integer-domain engine cannot execute (the `float`
@@ -284,12 +604,26 @@ fn check_int_domain(layer: &str, dtypes: &[DataType]) -> Result<(), RuntimeError
     Ok(())
 }
 
+/// Validates a `[batch, features]` slice against an expected feature
+/// count.
+fn check_features(x: &[f32], batch: usize, expected: usize) -> Result<(), RuntimeError> {
+    if batch == 0 || x.len() != batch * expected {
+        return Err(RuntimeError::ShapeMismatch {
+            expected,
+            actual: x.len().checked_div(batch).unwrap_or(0),
+        });
+    }
+    Ok(())
+}
+
 /// A dense layer compiled to the packed integer domain.
 #[derive(Debug, Clone)]
 pub struct PackedLinear {
     name: String,
     mat: PackedMatrix,
     bias: Vec<f32>,
+    /// Precomputed `act.scale() · w_scales[o]` dequant scales.
+    deq: Vec<f32>,
     /// Input-activation quantizer (per-tensor).
     act: Quantizer,
     /// Specialized integer activation-quantization path.
@@ -307,17 +641,19 @@ impl PackedLinear {
         act: Quantizer,
     ) -> Result<Self, RuntimeError> {
         check_int_domain(&name, &[weights.dtype(), act.dtype()])?;
-        let mat = PackedMatrix::from_packed(weights)?;
+        let mat = PackedMatrix::from_packed(weights, act_bound(&act))?;
         if bias.len() != mat.out {
             return Err(RuntimeError::ShapeMismatch {
                 expected: mat.out,
                 actual: bias.len(),
             });
         }
+        let deq = mat.deq_scales(act.scale());
         Ok(PackedLinear {
             name,
             mat,
             bias,
+            deq,
             act_quant: ActQuant::for_quantizer(&act),
             act,
         })
@@ -354,45 +690,38 @@ impl PackedLinear {
     }
 
     /// Executes `y = dequant(int_gemm(quant(x), W_codes)) + b` on a
-    /// `[batch, in]` input.
-    fn forward(&self, x: &Tensor, threads: usize) -> Result<Tensor, RuntimeError> {
-        if x.rank() != 2 || x.dims()[1] != self.mat.inp {
-            return Err(RuntimeError::ShapeMismatch {
-                expected: self.mat.inp,
-                actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
-            });
-        }
-        let batch = x.dims()[0];
-        let n = self.mat.out;
-        let s_a = self.act.scale();
-        // Quantize activations onto the integer lattice (snap yields
-        // integer-valued normalized points for int/PoT/flint).
-        let a_int = self
-            .act_quant
-            .apply_all(x.as_slice(), s_a, self.act.codec());
-        let mut out = Tensor::zeros(&[batch, n]);
-        self.mat.int_forward_into(
-            &a_int,
-            batch,
-            s_a,
-            Some(&self.bias),
-            threads,
-            out.as_mut_slice(),
-        );
-        Ok(out)
+    /// `[batch, in]` slice, writing a `[batch, out]` slice.
+    fn forward_rows(
+        &self,
+        x: &[f32],
+        batch: usize,
+        ws: &mut LayerScratch<'_>,
+        out: &mut Vec<f32>,
+    ) -> Result<(), RuntimeError> {
+        check_features(x, batch, self.mat.inp)?;
+        let acc = self
+            .mat
+            .quantize_accumulate(x, batch, &self.act, &self.act_quant, ws);
+        let acc = &*acc;
+        let out = grab(out, batch * self.mat.out, 0.0);
+        dequant_into(acc, batch, &self.deq, Some(&self.bias), out);
+        Ok(())
     }
 }
 
 /// A 2-D convolution compiled to the packed integer domain: the quantized
-/// input is lowered by an *integer* im2row and the kernel runs through the
-/// same weight-stationary GEMM as dense layers, with one scale per output
-/// channel (paper Sec. V: CONV and FC share the PE array after lowering).
+/// input is lowered by an *integer* im2row at the layer's operand width
+/// and the kernel runs through the same weight-stationary GEMM as dense
+/// layers, with one scale per output channel (paper Sec. V: CONV and FC
+/// share the PE array after lowering).
 #[derive(Debug, Clone)]
 pub struct PackedConv {
     name: String,
     /// Kernel as `[co, ci·kh·kw]` with packed shape `[co, ci, kh, kw]`.
     mat: PackedMatrix,
     bias: Vec<f32>,
+    /// Precomputed `act.scale() · w_scales[c]` dequant scales.
+    deq: Vec<f32>,
     act: Quantizer,
     act_quant: ActQuant,
     in_shape: (usize, usize, usize),
@@ -437,7 +766,7 @@ impl PackedConv {
                 })
             }
         };
-        let mat = PackedMatrix::from_packed(weights)?;
+        let mat = PackedMatrix::from_packed(weights, act_bound(&act))?;
         if bias.len() != mat.out {
             return Err(RuntimeError::ShapeMismatch {
                 expected: mat.out,
@@ -445,10 +774,12 @@ impl PackedConv {
             });
         }
         let out_shape = (dims[0], oh, ow);
+        let deq = mat.deq_scales(act.scale());
         Ok(PackedConv {
             name,
             mat,
             bias,
+            deq,
             act_quant: ActQuant::for_quantizer(&act),
             act,
             in_shape,
@@ -504,52 +835,98 @@ impl PackedConv {
         c * h * w
     }
 
-    /// Executes the convolution on a `[batch, ci·h·w]` input entirely in
-    /// the integer domain: quantize → im2row → integer GEMM → dequantize.
-    fn forward(&self, x: &Tensor, threads: usize) -> Result<Tensor, RuntimeError> {
+    /// Executes the convolution on a `[batch, ci·h·w]` slice entirely in
+    /// the integer domain: quantize → im2row → integer GEMM → dequantize,
+    /// all at the layer's operand width.
+    fn forward_rows(
+        &self,
+        x: &[f32],
+        batch: usize,
+        ws: &mut LayerScratch<'_>,
+        out: &mut Vec<f32>,
+    ) -> Result<(), RuntimeError> {
         let feat = self.in_features();
-        if x.rank() != 2 || x.dims()[1] != feat {
-            return Err(RuntimeError::ShapeMismatch {
-                expected: feat,
-                actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
-            });
-        }
-        let batch = x.dims()[0];
+        check_features(x, batch, feat)?;
         let (ci, h, w) = self.in_shape;
         let (co, oh, ow) = self.out_shape;
         let (k, pixels) = (self.mat.inp, oh * ow);
         let s_a = self.act.scale();
-        let a_int = self
-            .act_quant
-            .apply_all(x.as_slice(), s_a, self.act.codec());
+        let codec = self.act.codec();
         // One big GEMM over every output pixel of every sample: rows are
-        // receptive fields, so weight rows stream once per row tile.
-        let mut rows = vec![0i32; batch * pixels * k];
-        for s in 0..batch {
-            im2row_i32(
-                &a_int[s * feat..(s + 1) * feat],
-                ci,
-                h,
-                w,
-                self.geo,
-                &mut rows[s * pixels * k..(s + 1) * pixels * k],
-            );
-        }
-        let acc = self.mat.int_accumulate(&rows, batch * pixels, threads);
+        // receptive fields, so weight panels stream once per row tile.
+        // Quantization and the im2row lowering happen directly at the
+        // layer's operand width.
+        let m = batch * pixels;
+        let acc = match &self.mat.image {
+            WeightImage::I8(pg) => {
+                self.act_quant.apply_all_into(x, s_a, codec, ws.act_i8);
+                let rows = grab(ws.rows_i8, m * k, 0);
+                for s in 0..batch {
+                    im2row(
+                        &ws.act_i8[s * feat..(s + 1) * feat],
+                        ci,
+                        h,
+                        w,
+                        self.geo,
+                        &mut rows[s * pixels * k..(s + 1) * pixels * k],
+                    );
+                }
+                let acc = grab(ws.acc, m * co, 0);
+                pg.matmul(rows, m, acc, ws.pool, ws.threads);
+                acc
+            }
+            WeightImage::I16(pg) => {
+                self.act_quant.apply_all_into(x, s_a, codec, ws.act_i16);
+                let rows = grab(ws.rows_i16, m * k, 0);
+                for s in 0..batch {
+                    im2row(
+                        &ws.act_i16[s * feat..(s + 1) * feat],
+                        ci,
+                        h,
+                        w,
+                        self.geo,
+                        &mut rows[s * pixels * k..(s + 1) * pixels * k],
+                    );
+                }
+                let acc = grab(ws.acc, m * co, 0);
+                pg.matmul(rows, m, acc, ws.pool, ws.threads);
+                acc
+            }
+            WeightImage::I32(w_rows) => {
+                self.act_quant.apply_all_into(x, s_a, codec, ws.act_i32);
+                let rows = grab(ws.rows_i32, m * k, 0);
+                for s in 0..batch {
+                    im2row(
+                        &ws.act_i32[s * feat..(s + 1) * feat],
+                        ci,
+                        h,
+                        w,
+                        self.geo,
+                        &mut rows[s * pixels * k..(s + 1) * pixels * k],
+                    );
+                }
+                let acc = grab(ws.acc, m * co, 0);
+                int_gemm_pooled(rows, w_rows, m, k, co, acc, ws.pool, ws.threads);
+                acc
+            }
+        };
+        let acc = &*acc;
         // Dequantize + bias, scattering [batch·pixels, co] straight into
-        // the [batch, co·oh·ow] layout in one pass.
-        let mut out = Tensor::zeros(&[batch, co * pixels]);
-        let ov = out.as_mut_slice();
+        // the [batch, co·oh·ow] layout: channel-outer so writes are
+        // contiguous and the scale/bias pair is hoisted per channel.
+        let ov = grab(out, batch * co * pixels, 0.0);
         for s in 0..batch {
-            for p in 0..pixels {
-                let row = &acc[(s * pixels + p) * co..(s * pixels + p + 1) * co];
-                for c in 0..co {
-                    ov[s * co * pixels + c * pixels + p] =
-                        row[c] as f32 * (s_a * self.mat.w_scales[c]) + self.bias[c];
+            let acc_s = &acc[s * pixels * co..(s + 1) * pixels * co];
+            let out_s = &mut ov[s * co * pixels..(s + 1) * co * pixels];
+            for c in 0..co {
+                let (sc, bc) = (self.deq[c], self.bias[c]);
+                let dst = &mut out_s[c * pixels..(c + 1) * pixels];
+                for (p, d) in dst.iter_mut().enumerate() {
+                    *d = acc_s[p * co + c] as f32 * sc + bc;
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -558,7 +935,7 @@ impl PackedConv {
 /// softmax and the context product stay f32 (softmax outputs are
 /// activations that "require high-precision numbers", Sec. IV-C); the
 /// output projection runs as a mixed-domain GEMM — f32 context against
-/// LUT-decoded integer weights, scale applied per output channel at the
+/// the LUT-decoded weights, scale applied per output channel at the
 /// boundary — so all four projection weights live as packed wire codes.
 #[derive(Debug, Clone)]
 pub struct PackedAttn {
@@ -567,6 +944,15 @@ pub struct PackedAttn {
     dim: usize,
     /// Packed q, k, v, o projections, each `[dim, dim]`.
     projs: [PackedMatrix; 4],
+    /// Precomputed `act.scale() · w_scales` for the q/k/v dequants.
+    deq_qkv: [Vec<f32>; 3],
+    /// The o-projection's decoded lattice values as f32, **transposed**
+    /// (`[in, out]`): its GEMM operand is the f32 context, so the decode
+    /// happens once at compile time, and the transposed layout lets the
+    /// mixed-domain product run output-major — the per-output reduction
+    /// keeps its ascending-`d` addition order (bit-identical to the
+    /// row-major loop) while the inner loop vectorizes over outputs.
+    wo_t_f32: Vec<f32>,
     act: Quantizer,
     act_quant: ActQuant,
 }
@@ -592,18 +978,23 @@ impl PackedAttn {
                 });
             }
         }
+        let bound = act_bound(&act);
         let [q, k, v, o] = projections;
         let projs = [
-            PackedMatrix::from_packed(q)?,
-            PackedMatrix::from_packed(k)?,
-            PackedMatrix::from_packed(v)?,
-            PackedMatrix::from_packed(o)?,
+            PackedMatrix::from_packed(q, bound)?,
+            PackedMatrix::from_packed(k, bound)?,
+            PackedMatrix::from_packed(v, bound)?,
+            PackedMatrix::from_packed(o, bound)?,
         ];
+        let wo_t_f32 = transpose(&projs[3].rows_f32(), dim);
+        let deq_qkv = std::array::from_fn(|i| projs[i].deq_scales(act.scale()));
         Ok(PackedAttn {
             name,
             seq,
             dim,
             projs,
+            deq_qkv,
+            wo_t_f32,
             act_quant: ActQuant::for_quantizer(&act),
             act,
         })
@@ -645,81 +1036,149 @@ impl PackedAttn {
     }
 
     /// Executes `Y = X̂ + softmax(QKᵀ/√d) V Woᵀ` on a `[batch, seq·dim]`
-    /// input, where `X̂` is the quantized input and Q/K/V come from integer
+    /// slice, where `X̂` is the quantized input and Q/K/V come from integer
     /// GEMMs over its lattice codes.
-    fn forward(&self, x: &Tensor, threads: usize) -> Result<Tensor, RuntimeError> {
+    fn forward_rows(
+        &self,
+        x: &[f32],
+        batch: usize,
+        ws: &mut LayerScratch<'_>,
+        out: &mut Vec<f32>,
+    ) -> Result<(), RuntimeError> {
         let feat = self.in_features();
-        if x.rank() != 2 || x.dims()[1] != feat {
-            return Err(RuntimeError::ShapeMismatch {
-                expected: feat,
-                actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
-            });
-        }
-        let batch = x.dims()[0];
+        check_features(x, batch, feat)?;
         let (seq, dim) = (self.seq, self.dim);
         let s_a = self.act.scale();
-        let a_int = self
-            .act_quant
-            .apply_all(x.as_slice(), s_a, self.act.codec());
+        // One i32 master quantization serves all projections (which may
+        // sit at different operand widths) and the residual below. It is
+        // taken out of the arena for the duration of the call so the
+        // remaining scratch stays independently borrowable; the swap is
+        // pointer-sized, not a copy.
+        self.act_quant
+            .apply_all_into(x, s_a, self.act.codec(), ws.act_i32);
+        let master = std::mem::take(ws.act_i32);
         let inv_sqrt_d = 1.0 / (dim as f32).sqrt();
         // Q/K/V are purely row-wise, so the whole batch projects through
         // three batch-wide integer GEMMs ([batch·seq, dim] each) — the
         // coalescing the engine batches requests for — instead of 3·batch
         // per-sample ones.
         let rows = batch * seq;
-        let mut q = vec![0f32; rows * dim];
-        let mut k = vec![0f32; rows * dim];
-        let mut v = vec![0f32; rows * dim];
-        self.projs[0].int_forward_into(&a_int, rows, s_a, None, threads, &mut q);
-        self.projs[1].int_forward_into(&a_int, rows, s_a, None, threads, &mut k);
-        self.projs[2].int_forward_into(&a_int, rows, s_a, None, threads, &mut v);
+        // Narrow the master once per operand width any projection needs
+        // (in the common case all three share one width: one pass).
+        if self.projs[..3]
+            .iter()
+            .any(|p| matches!(p.image, WeightImage::I8(_)))
+        {
+            narrow_acts(&master, ws.act_i8);
+        }
+        if self.projs[..3]
+            .iter()
+            .any(|p| matches!(p.image, WeightImage::I16(_)))
+        {
+            narrow_acts(&master, ws.act_i16);
+        }
+        for which in 0..3 {
+            let proj = &self.projs[which];
+            let acc = proj.accumulate_master(
+                &master, rows, ws.pool, ws.threads, ws.act_i8, ws.act_i16, ws.acc,
+            );
+            let acc = &*acc;
+            let dst = match which {
+                0 => &mut *ws.q,
+                1 => &mut *ws.k,
+                _ => &mut *ws.v,
+            };
+            let dst = grab(dst, rows * dim, 0.0);
+            dequant_into(acc, rows, &self.deq_qkv[which], None, dst);
+        }
         // Scores, softmax and context in f32 — the decode boundary.
-        // Attention mixes tokens only within a sample, so this stays
-        // per-sample; `ctx` accumulates batch-wide for the projection
-        // below.
-        let mut ctx = vec![0f32; rows * dim];
-        let mut a = vec![0f32; seq * seq];
-        for s in 0..batch {
-            let qs = &q[s * feat..(s + 1) * feat];
-            let ks = &k[s * feat..(s + 1) * feat];
-            for i in 0..seq {
-                for j in 0..seq {
-                    let mut dot = 0f32;
-                    for d in 0..dim {
-                        dot += qs[i * dim + d] * ks[j * dim + d];
+        // Attention mixes tokens only within a sample, so this
+        // parallelizes over samples: each chunk of samples owns one
+        // scores slice and writes disjoint context rows.
+        let ctx_len = rows * dim;
+        let chunks = ws.threads.min(ws.pool.width()).min(batch).max(1);
+        let samples_per = batch.div_ceil(chunks);
+        grab(ws.ctx, ctx_len, 0.0);
+        grab(ws.scores, chunks * seq * seq, 0.0);
+        let (q, k, v) = (&*ws.q, &*ws.k, &*ws.v);
+        let ctx_ptr = ShareMut(ws.ctx.as_mut_ptr());
+        let scores_ptr = ShareMut(ws.scores.as_mut_ptr());
+        ws.pool.run(chunks, &|chunk| {
+            let (ctx_dst, scores_dst) = (ctx_ptr, scores_ptr);
+            // SAFETY: each chunk touches its own scores slice and the
+            // context rows of its own samples — disjoint regions.
+            let a = unsafe {
+                std::slice::from_raw_parts_mut(scores_dst.0.add(chunk * seq * seq), seq * seq)
+            };
+            let lo = chunk * samples_per;
+            let hi = ((chunk + 1) * samples_per).min(batch);
+            for s in lo..hi {
+                let qs = &q[s * feat..(s + 1) * feat];
+                let ks = &k[s * feat..(s + 1) * feat];
+                for i in 0..seq {
+                    for j in 0..seq {
+                        let mut dot = 0f32;
+                        for d in 0..dim {
+                            dot += qs[i * dim + d] * ks[j * dim + d];
+                        }
+                        a[i * seq + j] = dot * inv_sqrt_d;
                     }
-                    a[i * seq + j] = dot * inv_sqrt_d;
+                }
+                softmax_rows_in_place(a, seq, seq);
+                let vs = &v[s * feat..(s + 1) * feat];
+                let cs = unsafe { std::slice::from_raw_parts_mut(ctx_dst.0.add(s * feat), feat) };
+                cs.fill(0.0);
+                for i in 0..seq {
+                    for j in 0..seq {
+                        let aij = a[i * seq + j];
+                        for d in 0..dim {
+                            cs[i * dim + d] += aij * vs[j * dim + d];
+                        }
+                    }
                 }
             }
-            softmax_rows_in_place(&mut a, seq, seq);
-            let vs = &v[s * feat..(s + 1) * feat];
-            let cs = &mut ctx[s * feat..(s + 1) * feat];
-            for i in 0..seq {
-                for j in 0..seq {
-                    let aij = a[i * seq + j];
-                    for d in 0..dim {
-                        cs[i * dim + d] += aij * vs[j * dim + d];
-                    }
-                }
-            }
-        }
-        // Output projection, batch-wide: mixed-domain GEMM against integer
-        // wire weights, scale at the boundary, plus the residual on the
-        // quantized input.
-        let mut out = Tensor::zeros(&[batch, feat]);
-        let ov = out.as_mut_slice();
-        let wo = &self.projs[3];
-        for r in 0..rows {
-            for o in 0..dim {
-                let w_row = &wo.w_int[o * dim..(o + 1) * dim];
-                let mut acc = 0f32;
+        });
+        // Output projection, batch-wide: mixed-domain GEMM of the f32
+        // context against the decoded lattice weights, scale at the
+        // boundary, plus the residual on the quantized input —
+        // parallelized over output rows. Output-major against the
+        // transposed weights: each output's reduction still sums in
+        // ascending `d` (bit-identical to the row-major dot), but the
+        // inner loop is a broadcast-multiply-add stream over outputs the
+        // autovectorizer handles.
+        let ov = grab(out, batch * feat, 0.0);
+        let (ctx, a32, wo_t) = (&*ws.ctx, &master[..], &self.wo_t_f32);
+        let w_scales = &self.projs[3].w_scales;
+        let out_ptr = ShareMut(ov.as_mut_ptr());
+        let row_tasks = if rows * dim * dim >= 1 << 18 {
+            ws.threads.min(ws.pool.width()).min(rows).max(1)
+        } else {
+            1
+        };
+        let rows_per = rows.div_ceil(row_tasks);
+        ws.pool.run(row_tasks, &|t| {
+            let dst = out_ptr;
+            let lo = t * rows_per;
+            let hi = ((t + 1) * rows_per).min(rows);
+            for r in lo..hi {
+                // SAFETY: tasks own disjoint output rows.
+                let row_out = unsafe { std::slice::from_raw_parts_mut(dst.0.add(r * dim), dim) };
+                row_out.fill(0.0);
                 for d in 0..dim {
-                    acc += ctx[r * dim + d] * w_row[d] as f32;
+                    let c = ctx[r * dim + d];
+                    let w_row = &wo_t[d * dim..(d + 1) * dim];
+                    for (o, out_val) in row_out.iter_mut().enumerate() {
+                        *out_val += c * w_row[o];
+                    }
                 }
-                ov[r * dim + o] = a_int[r * dim + o] as f32 * s_a + acc * wo.w_scales[o];
+                for (o, out_val) in row_out.iter_mut().enumerate() {
+                    *out_val = a32[r * dim + o] as f32 * s_a + *out_val * w_scales[o];
+                }
             }
-        }
-        Ok(out)
+        });
+        // Hand the master buffer (and its capacity) back to the arena.
+        *ws.act_i32 = master;
+        Ok(())
     }
 }
 
@@ -771,48 +1230,54 @@ impl PlanNorm {
     /// Normalises `dim`-sized feature groups through the shared
     /// [`layer_norm_group`] kernel — the *same* arithmetic as the
     /// reference [`LayerNorm`] forward, by construction.
-    fn forward(&self, x: &Tensor) -> Result<Tensor, RuntimeError> {
-        if x.rank() != 2 || !x.dims()[1].is_multiple_of(self.dim) {
+    fn forward_rows(
+        &self,
+        x: &[f32],
+        batch: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), RuntimeError> {
+        // Per-row validation: every sample's feature count must be a
+        // whole number of norm groups, or groups would silently straddle
+        // sample boundaries (total length alone cannot catch that).
+        let features = x.len() / batch.max(1);
+        if batch == 0 || !x.len().is_multiple_of(batch) || !features.is_multiple_of(self.dim) {
             return Err(RuntimeError::ShapeMismatch {
                 expected: self.dim,
-                actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
+                actual: features,
             });
         }
         let groups = x.len() / self.dim;
-        let mut out = x.clone();
+        let ov = grab(out, x.len(), 0.0);
         for gi in 0..groups {
             let lo = gi * self.dim;
             layer_norm_group(
-                &x.as_slice()[lo..lo + self.dim],
+                &x[lo..lo + self.dim],
                 &self.gamma,
                 &self.beta,
                 self.eps,
                 None,
-                &mut out.as_mut_slice()[lo..lo + self.dim],
+                &mut ov[lo..lo + self.dim],
             );
         }
-        Ok(out)
+        Ok(())
     }
 }
 
-/// 2×2/stride-2 max pooling over a `[batch, c·h·w]` tensor — arithmetic
+/// 2×2/stride-2 max pooling over a `[batch, c·h·w]` slice — arithmetic
 /// identical to the reference `MaxPool2` forward (pooling commutes with
 /// the monotone dequantization, so it is free in either domain).
-fn maxpool2(x: &Tensor, in_shape: (usize, usize, usize)) -> Result<Tensor, RuntimeError> {
+fn maxpool2_rows(
+    x: &[f32],
+    batch: usize,
+    in_shape: (usize, usize, usize),
+    out: &mut Vec<f32>,
+) -> Result<(), RuntimeError> {
     let (c, h, w) = in_shape;
-    if x.rank() != 2 || x.dims()[1] != c * h * w {
-        return Err(RuntimeError::ShapeMismatch {
-            expected: c * h * w,
-            actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
-        });
-    }
-    let batch = x.dims()[0];
+    check_features(x, batch, c * h * w)?;
     let (oh, ow) = (h / 2, w / 2);
-    let mut out = Tensor::zeros(&[batch, c * oh * ow]);
-    let xv = x.as_slice();
-    let ov = out.as_mut_slice();
+    let ov = grab(out, batch * c * oh * ow, 0.0);
     for s in 0..batch {
-        let xin = &xv[s * c * h * w..(s + 1) * c * h * w];
+        let xin = &x[s * c * h * w..(s + 1) * c * h * w];
         let xout = &mut ov[s * c * oh * ow..(s + 1) * c * oh * ow];
         for ci in 0..c {
             for oy in 0..oh {
@@ -831,7 +1296,7 @@ fn maxpool2(x: &Tensor, in_shape: (usize, usize, usize)) -> Result<Tensor, Runti
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// One executable step of a compiled plan.
@@ -856,7 +1321,8 @@ pub enum PlanLayer {
     /// Layer normalisation (decode-boundary, f32).
     Norm(Box<PlanNorm>),
     /// Reference (fake-quantized f32) execution for layers the packed
-    /// path cannot cover (a `float`-typed selection).
+    /// path cannot cover (a `float`-typed selection). This path is off
+    /// the zero-allocation hot path: it round-trips through [`Tensor`].
     Fallback(Box<NetLayer>),
 }
 
@@ -866,6 +1332,8 @@ pub struct CompiledPlan {
     layers: Vec<PlanLayer>,
     in_features: Option<usize>,
     threads: usize,
+    pool: Arc<WorkerPool>,
+    scratch: Scratch,
 }
 
 impl CompiledPlan {
@@ -935,20 +1403,31 @@ impl CompiledPlan {
     /// path, where packed layers are rebuilt straight from wire codes).
     pub(crate) fn from_plan_layers(layers: Vec<PlanLayer>) -> Self {
         let in_features = layers.first().and_then(plan_layer_in_features);
+        let pool = Arc::clone(WorkerPool::global());
+        let threads = pool.width();
         CompiledPlan {
             layers,
             in_features,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads,
+            pool,
+            scratch: Scratch::default(),
         }
     }
 
-    /// Overrides the GEMM thread count (defaults to the machine's
-    /// available parallelism).
+    /// Overrides the GEMM parallelism cap (defaults to the pool's width).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Executes this plan on a dedicated [`WorkerPool`] instead of the
+    /// process-wide one (e.g. to isolate a latency-critical engine from
+    /// other tenants).
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.threads = self.threads.min(pool.width()).max(1);
+        self.pool = pool;
         self
     }
 
@@ -1023,25 +1502,142 @@ impl CompiledPlan {
     /// Integer-domain layers are exact, so outputs are deterministic and
     /// independent of how requests were grouped into the batch.
     ///
+    /// This is the [`Tensor`] convenience wrapper over
+    /// [`Self::forward_rows`]; it allocates the output tensor. Steady-state
+    /// serving paths that care about allocation should call
+    /// [`Self::forward_rows`] with a reused output buffer instead.
+    ///
     /// # Errors
     ///
     /// Propagates shape mismatches and fallback-layer failures.
     pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, RuntimeError> {
-        let threads = self.threads;
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = match layer {
-                PlanLayer::Packed(p) => p.forward(&cur, threads)?,
-                PlanLayer::PackedConv(p) => p.forward(&cur, threads)?,
-                PlanLayer::PackedAttn(p) => p.forward(&cur, threads)?,
-                PlanLayer::Relu => cur.map(|v| v.max(0.0)),
-                PlanLayer::Gelu => cur.map(gelu),
-                PlanLayer::Pool { in_shape } => maxpool2(&cur, *in_shape)?,
-                PlanLayer::Norm(n) => n.forward(&cur)?,
-                PlanLayer::Fallback(l) => l.forward(&cur)?,
-            };
+        if self.layers.is_empty() {
+            return Ok(x.clone());
         }
-        Ok(cur)
+        if x.rank() != 2 {
+            return Err(RuntimeError::ShapeMismatch {
+                expected: self.in_features.unwrap_or(0),
+                actual: x.len(),
+            });
+        }
+        let batch = x.dims()[0];
+        let mut out = Vec::new();
+        self.forward_rows(x.as_slice(), batch, &mut out)?;
+        let features = out.len() / batch;
+        Ok(Tensor::from_vec(out, &[batch, features]).expect("output length is batch × features"))
+    }
+
+    /// Runs `batch` rows (a `[batch, features]` slice) through the plan
+    /// into `out` — the allocation-free serving entry point: every
+    /// intermediate lives in the plan's [`Scratch`] arena and `out` is
+    /// `clear`ed and refilled in place, so once buffers have reached
+    /// their high-water marks a call performs **zero heap allocations**
+    /// (fallback layers excepted — they round-trip through [`Tensor`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ShapeMismatch`] when `batch` is zero, `x` is not a
+    /// whole number of rows, or a layer's expected feature count
+    /// disagrees; plus fallback-layer failures.
+    pub fn forward_rows(
+        &mut self,
+        x: &[f32],
+        batch: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), RuntimeError> {
+        if batch == 0 || !x.len().is_multiple_of(batch) {
+            return Err(RuntimeError::ShapeMismatch {
+                expected: self.in_features.unwrap_or(0),
+                actual: x.len(),
+            });
+        }
+        let threads = self.threads;
+        let pool = &*self.pool;
+        let Scratch {
+            act_i8,
+            act_i16,
+            act_i32,
+            rows_i8,
+            rows_i16,
+            rows_i32,
+            acc,
+            q,
+            k,
+            v,
+            scores,
+            ctx,
+            ping,
+            pong,
+        } = &mut self.scratch;
+        grab(ping, x.len(), 0.0).copy_from_slice(x);
+        let mut cur_is_ping = true;
+        for layer in self.layers.iter_mut() {
+            let (cur, next) = if cur_is_ping {
+                (&mut *ping, &mut *pong)
+            } else {
+                (&mut *pong, &mut *ping)
+            };
+            let mut ws = LayerScratch {
+                pool,
+                threads,
+                act_i8,
+                act_i16,
+                act_i32,
+                rows_i8,
+                rows_i16,
+                rows_i32,
+                acc,
+                q,
+                k,
+                v,
+                scores,
+                ctx,
+            };
+            match layer {
+                PlanLayer::Packed(p) => {
+                    p.forward_rows(cur, batch, &mut ws, next)?;
+                    cur_is_ping = !cur_is_ping;
+                }
+                PlanLayer::PackedConv(p) => {
+                    p.forward_rows(cur, batch, &mut ws, next)?;
+                    cur_is_ping = !cur_is_ping;
+                }
+                PlanLayer::PackedAttn(p) => {
+                    p.forward_rows(cur, batch, &mut ws, next)?;
+                    cur_is_ping = !cur_is_ping;
+                }
+                PlanLayer::Relu => {
+                    for v in cur.iter_mut() {
+                        *v = v.max(0.0);
+                    }
+                }
+                PlanLayer::Gelu => {
+                    for v in cur.iter_mut() {
+                        *v = gelu(*v);
+                    }
+                }
+                PlanLayer::Pool { in_shape } => {
+                    maxpool2_rows(cur, batch, *in_shape, next)?;
+                    cur_is_ping = !cur_is_ping;
+                }
+                PlanLayer::Norm(n) => {
+                    n.forward_rows(cur, batch, next)?;
+                    cur_is_ping = !cur_is_ping;
+                }
+                PlanLayer::Fallback(l) => {
+                    let features = cur.len() / batch;
+                    let t = Tensor::from_vec(cur.clone(), &[batch, features])
+                        .expect("pipeline buffer is batch × features");
+                    let y = l.forward(&t)?;
+                    grab(next, y.len(), 0.0).copy_from_slice(y.as_slice());
+                    cur_is_ping = !cur_is_ping;
+                }
+            }
+        }
+        let cur = if cur_is_ping { &*ping } else { &*pong };
+        out.clear();
+        out.extend_from_slice(cur);
+        Ok(())
     }
 }
 
@@ -1079,18 +1675,27 @@ fn layer_in_features(layer: &NetLayer) -> Option<usize> {
 }
 
 /// Packs one quantized dense layer: encodes the fake-quantized weight onto
-/// wire codes, precomputes the LUT-decoded integer weights, and carries
-/// the activation quantizer.
+/// wire codes, precomputes the LUT-decoded narrow weight image, and
+/// carries the activation quantizer.
 fn pack_dense(d: &Dense) -> Result<PackedLinear, RuntimeError> {
     let name = d.name().to_string();
     let (wq, aq) = require_quantizers(&name, &d.quant.weight, &d.quant.activation)?;
     check_int_domain(&name, &[wq.dtype(), aq.dtype()])?;
     let (out, inp) = (d.out_features(), d.in_features());
-    let mat = PackedMatrix::pack(d.weight().as_slice(), out, inp, wq, &[out, inp])?;
+    let mat = PackedMatrix::pack(
+        d.weight().as_slice(),
+        out,
+        inp,
+        wq,
+        &[out, inp],
+        act_bound(aq),
+    )?;
+    let deq = mat.deq_scales(aq.scale());
     Ok(PackedLinear {
         name,
         mat,
         bias: d.bias().as_slice().to_vec(),
+        deq,
         act_quant: ActQuant::for_quantizer(aq),
         act: aq.clone(),
     })
@@ -1105,11 +1710,13 @@ fn pack_conv(c: &Conv2d) -> Result<PackedConv, RuntimeError> {
     check_int_domain(&name, &[wq.dtype(), aq.dtype()])?;
     let dims = c.weight().dims().to_vec();
     let (co, kin) = (dims[0], dims[1] * dims[2] * dims[3]);
-    let mat = PackedMatrix::pack(c.weight().as_slice(), co, kin, wq, &dims)?;
+    let mat = PackedMatrix::pack(c.weight().as_slice(), co, kin, wq, &dims, act_bound(aq))?;
+    let deq = mat.deq_scales(aq.scale());
     Ok(PackedConv {
         name,
         mat,
         bias: c.bias().as_slice().to_vec(),
+        deq,
         act_quant: ActQuant::for_quantizer(aq),
         act: aq.clone(),
         in_shape: c.in_shape(),
@@ -1142,18 +1749,30 @@ fn pack_attn(a: &Attention) -> Result<PackedAttn, RuntimeError> {
     }
     check_int_domain(&name, &dtypes)?;
     let dim = a.dim();
+    let bound = act_bound(aq);
     let weights = a.projection_weights();
     let mut projs = Vec::with_capacity(4);
     for (w, wq) in weights.iter().zip(&a.quant.weights) {
         let wq = wq.as_ref().expect("checked above");
-        projs.push(PackedMatrix::pack(w.as_slice(), dim, dim, wq, &[dim, dim])?);
+        projs.push(PackedMatrix::pack(
+            w.as_slice(),
+            dim,
+            dim,
+            wq,
+            &[dim, dim],
+            bound,
+        )?);
     }
     let projs: [PackedMatrix; 4] = projs.try_into().expect("exactly four projections");
+    let wo_t_f32 = transpose(&projs[3].rows_f32(), dim);
+    let deq_qkv = std::array::from_fn(|i| projs[i].deq_scales(aq.scale()));
     Ok(PackedAttn {
         name,
         seq: a.seq(),
         dim,
         projs,
+        deq_qkv,
+        wo_t_f32,
         act_quant: ActQuant::for_quantizer(aq),
         act: aq.clone(),
     })
@@ -1221,6 +1840,23 @@ mod tests {
         assert_eq!(plan.coverage(), 1.0);
         let x = calib;
         assert_close(&mut plan, &mut model, &x);
+    }
+
+    #[test]
+    fn default_plans_pack_byte_images() {
+        // The paper's 4-bit selections must land on the i8 microkernel
+        // path — that is the whole economics of the narrow kernel.
+        let (model, _) = quantized_mlp();
+        let plan = CompiledPlan::from_quantized(&model).unwrap();
+        for l in plan.layers() {
+            if let PlanLayer::Packed(p) = l {
+                assert!(
+                    matches!(p.mat.image, WeightImage::I8(_)),
+                    "{}: expected byte image",
+                    p.name()
+                );
+            }
+        }
     }
 
     #[test]
@@ -1331,6 +1967,40 @@ mod tests {
     }
 
     #[test]
+    fn forward_rows_matches_forward_without_allocating_results_anew() {
+        let (model, calib) = quantized_mlp();
+        let mut plan = CompiledPlan::from_quantized(&model).unwrap();
+        let via_tensor = plan.forward(&calib).unwrap();
+        let mut out = Vec::new();
+        plan.forward_rows(calib.as_slice(), calib.dims()[0], &mut out)
+            .unwrap();
+        assert_eq!(out, via_tensor.as_slice());
+        // Second call reuses the buffer.
+        let cap = out.capacity();
+        plan.forward_rows(calib.as_slice(), calib.dims()[0], &mut out)
+            .unwrap();
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(out, via_tensor.as_slice());
+    }
+
+    #[test]
+    fn dedicated_pool_and_thread_caps_are_bit_identical() {
+        let mut model = small_cnn(4, 7);
+        let calib = gaussian(&[24, 144], 9);
+        quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+        let base = CompiledPlan::from_quantized_strict(&model).unwrap();
+        let x = gaussian(&[6, 144], 29);
+        let want = base.clone().with_threads(1).forward(&x).unwrap();
+        for threads in [2, 4, 7] {
+            let got = base.clone().with_threads(threads).forward(&x).unwrap();
+            assert_eq!(got.as_slice(), want.as_slice(), "threads={threads}");
+        }
+        let pool = Arc::new(WorkerPool::new(3));
+        let got = base.clone().with_pool(pool).forward(&x).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice(), "dedicated pool");
+    }
+
+    #[test]
     fn packed_weights_decode_to_effective_weights() {
         let (model, _) = quantized_mlp();
         let plan = CompiledPlan::from_quantized(&model).unwrap();
@@ -1370,6 +2040,24 @@ mod tests {
                 v += step;
             }
         }
+    }
+
+    #[test]
+    fn norm_validates_per_row_not_per_buffer() {
+        // dim=2 over [batch=2, features=3]: the total length (6) is a
+        // multiple of dim but each row is not — groups would straddle
+        // sample boundaries. Must error, not silently normalize.
+        let norm = PlanNorm::from_parts("ln".into(), vec![1.0, 1.0], vec![0.0, 0.0], 1e-5);
+        let mut plan = CompiledPlan::from_plan_layers(vec![PlanLayer::Norm(Box::new(norm))]);
+        assert!(matches!(
+            plan.forward(&Tensor::zeros(&[2, 3])),
+            Err(RuntimeError::ShapeMismatch {
+                expected: 2,
+                actual: 3
+            })
+        ));
+        // Valid per-row shape still works.
+        assert!(plan.forward(&Tensor::zeros(&[2, 4])).is_ok());
     }
 
     #[test]

@@ -13,7 +13,8 @@ use ant_nn::qat::QuantSpec;
 use ant_nn::train::{evaluate, train, TrainConfig};
 use ant_nn::NnError;
 use ant_runtime::{
-    probe, ArtifactError, BatchPolicy, CompiledPlan, Engine, ModelArtifact, Planner, RuntimeError,
+    load_copies, probe, ArtifactError, BatchPolicy, CompiledPlan, Engine, MappedArtifact,
+    ModelArtifact, Planner, RuntimeError, FORMAT_VERSION,
 };
 use ant_tensor::dist::{sample_tensor, Distribution};
 use ant_tensor::Tensor;
@@ -239,9 +240,12 @@ pub fn run_quantize<P: AsRef<Path>>(cfg: QuantizeConfig, out: P) -> Result<Strin
 pub fn run_inspect<P: AsRef<Path>>(path: P) -> Result<String, CliError> {
     let bytes = std::fs::read(&path).map_err(|e| CliError::Artifact(ArtifactError::Io(e)))?;
     let info = probe(&bytes[..])?;
-    let artifact = ModelArtifact::load(&bytes[..])?;
+    let copies_before = load_copies();
+    let mapped = MappedArtifact::open(&path)?;
+    let copies = load_copies() - copies_before;
+    let artifact = mapped.artifact();
     let mut plan = None;
-    let coverage_line = match artifact.compile() {
+    let coverage_line = match mapped.compile() {
         Ok(p) => {
             // Same quantity, same denominator as CompiledPlan::coverage():
             // every plan layer counts, fallback layers included.
@@ -270,11 +274,25 @@ pub fn run_inspect<P: AsRef<Path>>(path: P) -> Result<String, CliError> {
         bytes.len()
     ));
     for s in &info.sections {
+        let align = if s.offset % 64 == 0 {
+            "64-byte aligned"
+        } else {
+            "unaligned"
+        };
         out.push_str(&format!(
-            "  section {}: {} bytes, crc32 {:#010x}\n",
-            s.id, s.len, s.crc32
+            "  section {}: offset {} ({align}), {} bytes, crc32 {:#010x}\n",
+            s.id, s.offset, s.len, s.crc32
         ));
     }
+    let storage = if mapped.is_zero_copy() {
+        "mmap zero-copy (wire codes and panel images borrowed from the file mapping)"
+    } else if info.version >= 2 {
+        "mmap with owned fallback (some ranges copied)"
+    } else {
+        "owned (v1: eager CRC, decode-and-copy load)"
+    };
+    out.push_str(&format!("storage: {storage}\n"));
+    out.push_str(&format!("on-load weight-byte copies: {copies}\n"));
     out.push('\n');
     let mut rows = Vec::new();
     for (i, l) in artifact.layer_summaries().iter().enumerate() {
@@ -360,8 +378,13 @@ pub fn run_serve<P: AsRef<Path>>(
     requests: usize,
     max_batch: usize,
 ) -> Result<String, CliError> {
-    let artifact = ModelArtifact::load_path(&path)?;
-    let plan = artifact.compile_strict()?;
+    let mapped = MappedArtifact::open(&path)?;
+    let plan = mapped.compile_strict()?;
+    let storage = if mapped.is_zero_copy() {
+        "mmap zero-copy"
+    } else {
+        "owned"
+    };
     let coverage = plan.coverage();
     let features = plan.in_features().ok_or_else(|| {
         CliError::Runtime(RuntimeError::Engine(
@@ -405,12 +428,73 @@ pub fn run_serve<P: AsRef<Path>>(
     let stats = engine.stats();
     Ok(format!(
         "served {verified} request(s), all verified against direct execution\n\
-         coverage: {coverage:.2}; {} batches, largest {}\n\
+         coverage: {coverage:.2}; {} batches, largest {}; weights {storage}\n\
          elapsed: {:.1} ms ({:.0} req/s)\n",
         stats.batches,
         stats.largest_batch,
         elapsed.as_secs_f64() * 1e3,
         verified as f64 / elapsed.as_secs_f64().max(1e-9)
+    ))
+}
+
+/// `antc verify`: the integrity gate the lazy v2 load path defers to.
+/// Checks every section CRC, re-parses the records, and recomputes the
+/// `PANL` execution images from the wire codes, comparing bit-for-bit.
+///
+/// # Errors
+///
+/// Structured [`ArtifactError`]s for any corruption, truncation or
+/// panel/wire-code disagreement.
+pub fn run_verify<P: AsRef<Path>>(path: P) -> Result<String, CliError> {
+    let info = ModelArtifact::verify_path(&path)?;
+    let mut out = format!(
+        "{}: OK (.antm version {})\n",
+        path.as_ref().display(),
+        info.version
+    );
+    for s in &info.sections {
+        out.push_str(&format!(
+            "  section {}: {} bytes, crc32 {:#010x} verified\n",
+            s.id, s.len, s.crc32
+        ));
+    }
+    if info.version >= 2 {
+        out.push_str("  PANL images match a wire-code recompute bit-for-bit\n");
+    }
+    Ok(out)
+}
+
+/// `antc migrate`: rewrites the artifact at `path` in the current format
+/// version, in place. The stream is fully verified first (corruption
+/// must not be laundered under a fresh CRC), rewritten to a tempfile in
+/// the same directory, then atomically renamed over the original.
+///
+/// # Errors
+///
+/// Verification, serialization and I/O failures; on failure the original
+/// file is left untouched.
+pub fn run_migrate<P: AsRef<Path>>(path: P) -> Result<String, CliError> {
+    let path = path.as_ref();
+    let io = |e: std::io::Error| CliError::Artifact(ArtifactError::Io(e));
+    let bytes = std::fs::read(path).map_err(io)?;
+    let from_version = ModelArtifact::verify_bytes(&bytes)?.version;
+    let artifact = ModelArtifact::load(&bytes[..])?;
+    let mut out = Vec::new();
+    artifact.save(&mut out)?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".migrate-{}.tmp", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, &out).map_err(io)?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(io(e));
+    }
+    Ok(format!(
+        "migrated {}: v{from_version} -> v{} ({} -> {} bytes)\n",
+        path.display(),
+        FORMAT_VERSION,
+        bytes.len(),
+        out.len()
     ))
 }
 
@@ -456,6 +540,20 @@ pub struct BenchWorkload {
     /// scratch-arena path; `None` when the counting allocator is not
     /// installed (e.g. library callers).
     pub allocs_per_request: Option<f64>,
+    /// Time-to-serving-ready (load + strict compile) from a v1 artifact,
+    /// microseconds: eager CRC, owned copy, LUT decode, panel re-pack.
+    pub load_us_v1: f64,
+    /// Time-to-serving-ready from a mapped v2 artifact, microseconds:
+    /// parse in place, borrow wire codes and pre-packed panel images.
+    pub load_us_v2: f64,
+    /// Whether the v2 handle achieved the full zero-copy contract
+    /// (per-handle check, immune to cross-thread counter noise).
+    pub mapped_zero_copy: bool,
+    /// `Private_Dirty` kB of the v2 mapping after a full strict compile
+    /// (`/proc/self/smaps`): this process's private-RSS share of the
+    /// weight pages — 0 means every page stays shared across processes
+    /// serving the same artifact. `None` off linux.
+    pub mapped_private_dirty_kb: Option<u64>,
 }
 
 /// The full `antc bench` result set.
@@ -500,8 +598,19 @@ impl BenchReport {
             s.push_str(&format!("\"p50_us\": {:.2}, ", w.p50_us));
             s.push_str(&format!("\"p99_us\": {:.2}, ", w.p99_us));
             match w.allocs_per_request {
-                Some(a) => s.push_str(&format!("\"allocs_per_request\": {:.4}", a)),
-                None => s.push_str("\"allocs_per_request\": null"),
+                Some(a) => s.push_str(&format!("\"allocs_per_request\": {:.4}, ", a)),
+                None => s.push_str("\"allocs_per_request\": null, "),
+            }
+            s.push_str(&format!("\"load_us_v1\": {:.1}, ", w.load_us_v1));
+            s.push_str(&format!("\"load_us_v2\": {:.1}, ", w.load_us_v2));
+            s.push_str(&format!(
+                "\"load_speedup_v2\": {:.2}, ",
+                w.load_us_v1 / w.load_us_v2.max(1e-9)
+            ));
+            s.push_str(&format!("\"mapped_zero_copy\": {}, ", w.mapped_zero_copy));
+            match w.mapped_private_dirty_kb {
+                Some(kb) => s.push_str(&format!("\"mapped_private_dirty_kb\": {kb}")),
+                None => s.push_str("\"mapped_private_dirty_kb\": null"),
             }
             s.push('}');
             s.push_str(if i + 1 < self.workloads.len() {
@@ -515,9 +624,9 @@ impl BenchReport {
     }
 }
 
-/// Builds the three fixed serving workloads (quantized, strict-compiled).
+/// Builds the three fixed serving workloads as strict-compiled plans.
 fn bench_plans(seed: u64) -> Result<Vec<(&'static str, CompiledPlan, usize)>, CliError> {
-    use ant_nn::model::{deep_mlp, small_cnn, transformer_block};
+    use ant_nn::model::{deep_mlp, transformer_block};
     use ant_nn::qat::quantize_model;
     let mut out = Vec::new();
     for (name, mut model, features) in [
@@ -538,6 +647,139 @@ fn bench_plans(seed: u64) -> Result<Vec<(&'static str, CompiledPlan, usize)>, Cl
         out.push((name, plan, features));
     }
     Ok(out)
+}
+
+/// Builds the quantized load-measurement model for one workload name.
+///
+/// These are scaled-up variants of the serving archetypes, not the
+/// serving workloads themselves: the fixed serving models are
+/// deliberately tiny (they exist to pin latency percentiles), so
+/// constant per-file overhead would mask the per-weight-byte work —
+/// eager CRC, wire-code decode, panel re-pack — that the mapped v2 path
+/// eliminates. Load times are only meaningful at a realistic weight
+/// volume, so each archetype here carries 0.4–1.6M wire codes (scaled
+/// down about 10x under `--quick`, which exists for CI smoke and debug
+/// test runs).
+fn load_scale_model(name: &str, seed: u64, quick: bool) -> Result<Sequential, CliError> {
+    use ant_nn::layer::{Conv2d, Dense, MaxPool2, Relu};
+    use ant_nn::model::{deep_mlp, transformer_block, NetLayer};
+    use ant_nn::qat::quantize_model;
+    let (width, ch, dim) = if quick {
+        (160, 24, 128)
+    } else {
+        (512, 64, 384)
+    };
+    let (mut model, features) = match name {
+        "mlp" => (deep_mlp(256, 32, width, 6, seed), 256usize),
+        "cnn" => {
+            let conv1 = Conv2d::init("conv1", ch, (16, 24, 24), 3, 1, 1, seed);
+            let pool1 = MaxPool2::new("pool1", conv1.out_shape());
+            let conv2 = Conv2d::init("conv2", 2 * ch, pool1.out_shape(), 3, 1, 1, seed);
+            let pool2 = MaxPool2::new("pool2", conv2.out_shape());
+            let (c, h, w) = pool2.out_shape();
+            let model = Sequential::new()
+                .push(NetLayer::Conv(conv1))
+                .push(NetLayer::Relu(Relu::new("relu1")))
+                .push(NetLayer::Pool(pool1))
+                .push(NetLayer::Conv(conv2))
+                .push(NetLayer::Relu(Relu::new("relu2")))
+                .push(NetLayer::Pool(pool2))
+                .push(NetLayer::Dense(Dense::init(
+                    "fc",
+                    64,
+                    c * h * w,
+                    seed.wrapping_add(1),
+                )));
+            (model, 16 * 24 * 24)
+        }
+        _ => (transformer_block(8, dim, 16, seed), 8 * dim),
+    };
+    let calib = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[16, features],
+        seed.wrapping_add(5),
+    );
+    quantize_model(&mut model, &calib, QuantSpec::default())?;
+    Ok(model)
+}
+
+/// Reads the `Private_Dirty` (in kB) of the `/proc/self/smaps` entry
+/// containing `addr`: the per-process RSS cost of a mapping whose pages
+/// are otherwise shared with every other process serving the same file.
+/// `None` off linux (no smaps to read).
+fn mapping_private_dirty_kb(addr: usize) -> Option<u64> {
+    let smaps = std::fs::read_to_string("/proc/self/smaps").ok()?;
+    let mut in_target = false;
+    for line in smaps.lines() {
+        if let Some((range, _)) = line.split_once(' ') {
+            if let Some((lo, hi)) = range.split_once('-') {
+                if let (Ok(lo), Ok(hi)) =
+                    (usize::from_str_radix(lo, 16), usize::from_str_radix(hi, 16))
+                {
+                    in_target = lo <= addr && addr < hi;
+                }
+            }
+        }
+        if in_target {
+            if let Some(rest) = line.strip_prefix("Private_Dirty:") {
+                return rest.trim().trim_end_matches(" kB").trim().parse().ok();
+            }
+        }
+    }
+    None
+}
+
+/// Measures time-to-serving-ready for one workload archetype (at
+/// [`load_scale_model`] size): the legacy owned v1 path (eager CRC +
+/// copy + decode + re-pack) against the mapped v2 path (parse in place,
+/// adopt pre-packed images). Returns
+/// `(v1_us, v2_us, zero_copy, private_dirty_kb)`.
+fn measure_load_path(
+    name: &str,
+    seed: u64,
+    iters: usize,
+    quick: bool,
+) -> Result<(f64, f64, bool, Option<u64>), CliError> {
+    let artifact = ModelArtifact::from_model(&load_scale_model(name, seed, quick)?)?;
+    let dir = std::env::temp_dir();
+    let v1_path = dir.join(format!("antc-bench-{}-{name}-v1.antm", std::process::id()));
+    let v2_path = dir.join(format!("antc-bench-{}-{name}-v2.antm", std::process::id()));
+    artifact.save_v1_path(&v1_path)?;
+    artifact.save_path(&v2_path)?;
+    // Force writeback: a freshly-written file's page-cache pages are
+    // dirty until flushed, which smaps would report as Private_Dirty of
+    // the mapping — noise, not a copy-on-write by this process.
+    std::fs::File::open(&v2_path)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| CliError::Artifact(ArtifactError::Io(e)))?;
+    // Warm the page cache and the selection paths once each.
+    ModelArtifact::load_path(&v1_path)?.compile_strict()?;
+    let mapped = MappedArtifact::open(&v2_path)?;
+    mapped.compile_strict()?;
+    let zero_copy = mapped.is_zero_copy();
+    // Shared-RSS metric: after a full strict compile, how much of the
+    // mapping this process dirtied (0 kB = every weight page stays
+    // shared, the multi-process serving story).
+    let private_dirty_kb = mapping_private_dirty_kb(mapped.mapped_bytes().as_ptr() as usize);
+    drop(mapped);
+    let t_v1 = time_per_iter(iters, || {
+        let plan = ModelArtifact::load_path(&v1_path)
+            .expect("v1 load")
+            .compile_strict()
+            .expect("v1 compile");
+        std::hint::black_box(&plan);
+    });
+    let t_v2 = time_per_iter(iters, || {
+        let mapped = MappedArtifact::open(&v2_path).expect("v2 open");
+        let plan = mapped.compile_strict().expect("v2 compile");
+        std::hint::black_box(&plan);
+    });
+    std::fs::remove_file(&v1_path).ok();
+    std::fs::remove_file(&v2_path).ok();
+    Ok((t_v1 * 1e6, t_v2 * 1e6, zero_copy, private_dirty_kb))
 }
 
 /// Times `iters` runs of `f` and returns seconds per run.
@@ -565,8 +807,11 @@ pub fn measure_bench(cfg: &BenchConfig) -> Result<BenchReport, CliError> {
     };
     const BATCH: usize = 32;
     let counting = crate::alloc::is_counting();
+    let load_iters = if cfg.quick { 5 } else { 25 };
     let mut workloads = Vec::new();
     for (name, mut plan, features) in bench_plans(cfg.seed)? {
+        let (load_us_v1, load_us_v2, mapped_zero_copy, mapped_private_dirty_kb) =
+            measure_load_path(name, cfg.seed, load_iters, cfg.quick)?;
         let x = sample_tensor(
             Distribution::Gaussian {
                 mean: 0.0,
@@ -636,6 +881,10 @@ pub fn measure_bench(cfg: &BenchConfig) -> Result<BenchReport, CliError> {
             p50_us: pct(0.50),
             p99_us: pct(0.99),
             allocs_per_request,
+            load_us_v1,
+            load_us_v2,
+            mapped_zero_copy,
+            mapped_private_dirty_kb,
         });
     }
     // Raw kernel comparison: the acceptance-criteria dense-GEMM shape.
@@ -656,9 +905,14 @@ pub fn measure_bench(cfg: &BenchConfig) -> Result<BenchReport, CliError> {
         let t_i8 = time_per_iter(iters, || packed.matmul(&a8, m, &mut acc, pool, 1));
         t_i32 / t_i8
     };
+    // Zero-copy is only promised where the borrow gate can hold (unix
+    // mmap, little-endian hosts); elsewhere the owned fallback is
+    // correct, not a regression.
+    let expect_zero_copy = cfg!(all(unix, target_endian = "little"));
     let regression = workloads
         .iter()
-        .any(|w| w.allocs_per_request.is_some_and(|a| a > 0.0));
+        .any(|w| w.allocs_per_request.is_some_and(|a| a > 0.0))
+        || (expect_zero_copy && workloads.iter().any(|w| !w.mapped_zero_copy));
     Ok(BenchReport {
         workloads,
         gemm_speedup_i8_vs_i32,
@@ -707,8 +961,30 @@ pub fn run_bench(cfg: BenchConfig) -> Result<String, CliError> {
         "\ndense GEMM (64x256x256): i8 microkernel {:.2}x vs scalar i32 reference\n",
         report.gemm_speedup_i8_vs_i32
     ));
+    out.push_str(
+        "\nartifact load (time-to-serving-ready, load + strict compile,\nload-scale archetype models of ~0.4-1.6M wire codes):\n",
+    );
+    for w in &report.workloads {
+        out.push_str(&format!(
+            "  {}: v1 owned {:.0} us -> v2 mapped {:.0} us ({:.1}x faster{})\n",
+            w.name,
+            w.load_us_v1,
+            w.load_us_v2,
+            w.load_us_v1 / w.load_us_v2.max(1e-9),
+            if w.mapped_zero_copy {
+                ", zero-copy"
+            } else {
+                ", owned fallback"
+            }
+        ));
+        if let Some(kb) = w.mapped_private_dirty_kb {
+            out.push_str(&format!(
+                "    mapping private-dirty after compile: {kb} kB (weight pages stay process-shared)\n"
+            ));
+        }
+    }
     if report.regression {
-        out.push_str("REGRESSION: nonzero steady-state allocations per request\n");
+        out.push_str("REGRESSION: nonzero steady-state allocations per request, or a mapped v2 load that is not zero-copy\n");
     }
     out.push_str(&format!("wrote {}\n", cfg.out.display()));
     Ok(out)
@@ -722,19 +998,25 @@ USAGE:
                   [--bits N] [--combo int|ip|fip|ipf|fipf]
                   [--epochs N] [--seed N]
     antc inspect <file.antm>
+    antc verify <file.antm>
+    antc migrate <file.antm>
     antc serve <file.antm> [--requests N] [--batch N]
     antc bench [--quick] [--out <file.json>] [--seed N]
 
 The quantize subcommand trains a reference model, runs Algorithm-2 type
 selection through a memoizing Planner, and saves the packed result (wire
-codes + selection-cache fingerprints) as a versioned .antm artifact.
-inspect dumps the header, section table and per-layer selections.
-serve reloads the artifact, strict-compiles it straight from the wire
-codes and smoke-serves verified batched requests.
-bench runs fixed MLP/CNN/attention serving workloads through the packed
-runtime and writes BENCH_runtime.json (throughput, p50/p99 latency,
-steady-state allocations per request, microkernel speedup) so the perf
-trajectory is tracked across changes.";
+codes + pre-packed panel images + selection-cache fingerprints) as a
+versioned .antm artifact (format v2: mmap-ready, 64-byte-aligned).
+inspect dumps the header, section table, storage mode and per-layer
+selections. verify runs the full integrity gate the lazy v2 load defers:
+section CRCs plus a bit-for-bit recompute of the PANL execution images.
+migrate rewrites an artifact (v1 or v2) in the current format version,
+atomically in place. serve memory-maps the artifact, strict-compiles it
+borrowing weights straight from the file pages, and smoke-serves
+verified batched requests. bench runs fixed MLP/CNN/attention serving
+workloads and writes BENCH_runtime.json (throughput, p50/p99 latency,
+steady-state allocations per request, microkernel speedup, v1-vs-v2
+time-to-serving-ready) so the perf trajectory is tracked across changes.";
 
 /// Parses argv (without the program name) and runs the selected
 /// subcommand, returning its report.
@@ -787,6 +1069,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "inspect" => match rest {
             [path] => run_inspect(path),
             _ => Err(usage("inspect takes exactly one artifact path")),
+        },
+        "verify" => match rest {
+            [path] => run_verify(path),
+            _ => Err(usage("verify takes exactly one artifact path")),
+        },
+        "migrate" => match rest {
+            [path] => run_migrate(path),
+            _ => Err(usage("migrate takes exactly one artifact path")),
         },
         "serve" => {
             let (path, rest) = rest

@@ -12,13 +12,13 @@
 static ALLOC: ant_bench::alloc::CountingAlloc = ant_bench::alloc::CountingAlloc;
 
 use ant_bench::alloc::{alloc_count, is_counting};
-use ant_nn::model::{deep_mlp, small_cnn, transformer_block};
+use ant_nn::model::{deep_mlp, small_cnn, transformer_block, Sequential};
 use ant_nn::qat::{quantize_model, QuantSpec};
 use ant_runtime::CompiledPlan;
 use ant_tensor::dist::{sample_tensor, Distribution};
 
-fn workloads() -> Vec<(&'static str, CompiledPlan, usize)> {
-    let mut plans = Vec::new();
+fn models() -> Vec<(&'static str, Sequential, usize)> {
+    let mut out = Vec::new();
     for (name, mut model, features) in [
         ("mlp", deep_mlp(16, 10, 24, 6, 5), 16usize),
         ("cnn", small_cnn(4, 5), 144),
@@ -33,14 +33,24 @@ fn workloads() -> Vec<(&'static str, CompiledPlan, usize)> {
             7,
         );
         quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
-        // threads=1 keeps the partitioning deterministic (and inline) so
-        // the allocation count is exact regardless of machine width.
-        let plan = CompiledPlan::from_quantized_strict(&model)
-            .unwrap()
-            .with_threads(1);
-        plans.push((name, plan, features));
+        out.push((name, model, features));
     }
-    plans
+    out
+}
+
+fn workloads() -> Vec<(&'static str, CompiledPlan, usize)> {
+    models()
+        .into_iter()
+        .map(|(name, model, features)| {
+            // threads=1 keeps the partitioning deterministic (and inline)
+            // so the allocation count is exact regardless of machine
+            // width.
+            let plan = CompiledPlan::from_quantized_strict(&model)
+                .unwrap()
+                .with_threads(1);
+            (name, plan, features)
+        })
+        .collect()
 }
 
 #[test]
@@ -81,6 +91,62 @@ fn steady_state_forward_rows_allocates_nothing() {
         // And the answers did not go stale while we were busy not
         // allocating.
         assert_eq!(out, warm, "{name}: steady-state output drifted");
+    }
+}
+
+#[test]
+fn steady_state_holds_with_mmap_borrowed_panels() {
+    // Same contract as above, but the plan's weight images are borrowed
+    // straight from a mapped v2 artifact instead of owned buffers: the
+    // storage refactor must not smuggle allocations (or copies) into the
+    // hot path.
+    assert!(is_counting(), "counting allocator must be installed");
+    use ant_runtime::{MappedArtifact, ModelArtifact};
+    const BATCH: usize = 8;
+    for (name, model, features) in models() {
+        let path = std::env::temp_dir().join(format!(
+            "ant-alloc-steady-{}-{name}.antm",
+            std::process::id()
+        ));
+        ModelArtifact::from_model(&model)
+            .unwrap()
+            .save_path(&path)
+            .unwrap();
+        let mapped = MappedArtifact::open(&path).unwrap();
+        if cfg!(all(unix, target_endian = "little")) {
+            assert!(mapped.is_zero_copy(), "{name}: mapped load copied");
+        }
+        let mut plan = mapped.compile_strict().unwrap().with_threads(1);
+        assert!(
+            plan.borrowed_layer_count() > 0,
+            "{name}: no borrowed weight images"
+        );
+        let x = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[BATCH, features],
+            11,
+        );
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            plan.forward_rows(x.as_slice(), BATCH, &mut out).unwrap();
+            plan.forward_rows(&x.as_slice()[..features], 1, &mut out)
+                .unwrap();
+        }
+        let before = alloc_count();
+        for _ in 0..50 {
+            plan.forward_rows(&x.as_slice()[..features], 1, &mut out)
+                .unwrap();
+            plan.forward_rows(x.as_slice(), BATCH, &mut out).unwrap();
+        }
+        let allocs = alloc_count() - before;
+        assert_eq!(
+            allocs, 0,
+            "{name}: {allocs} steady-state allocations with borrowed panels"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }
 

@@ -5,6 +5,7 @@
 
 use ant_bench::antc::{parse_combo, run, CliError, ModelKind};
 use ant_core::select::PrimitiveCombo;
+use ant_runtime::{probe, ModelArtifact};
 use std::path::PathBuf;
 
 fn temp_artifact(name: &str) -> PathBuf {
@@ -35,9 +36,16 @@ fn quantize_inspect_serve_roundtrip() {
     assert!(path.exists());
 
     let inspect = run(&args(&["inspect", path_str])).unwrap();
-    assert!(inspect.contains(".antm version 1"), "{inspect}");
+    assert!(inspect.contains(".antm version 2"), "{inspect}");
     assert!(inspect.contains("section MODL"), "{inspect}");
+    assert!(inspect.contains("section PANL"), "{inspect}");
     assert!(inspect.contains("section CACH"), "{inspect}");
+    assert!(inspect.contains("64-byte aligned"), "{inspect}");
+    assert!(inspect.contains("storage:"), "{inspect}");
+    assert!(inspect.contains("on-load weight-byte copies:"), "{inspect}");
+    if cfg!(all(unix, target_endian = "little")) {
+        assert!(inspect.contains("mmap zero-copy"), "{inspect}");
+    }
     assert!(inspect.contains("dense"), "{inspect}");
     // The coverage line states the documented denominator semantics.
     assert!(
@@ -180,7 +188,94 @@ fn bench_quick_writes_valid_json_and_reports_no_regression() {
     // Library test processes do not install the counting allocator, so
     // allocation counts must be honestly reported as unknown, not 0.
     assert!(json.contains("\"allocs_per_request\": null"));
+    // v1-vs-v2 load-path metrics ride along per workload.
+    assert!(json.contains("\"load_us_v1\""), "{json}");
+    assert!(json.contains("\"load_us_v2\""), "{json}");
+    assert!(json.contains("\"load_speedup_v2\""), "{json}");
+    if cfg!(all(unix, target_endian = "little")) {
+        assert!(json.contains("\"mapped_zero_copy\": true"), "{json}");
+    }
+    // Shared-RSS metric: on linux the mapping must stay clean (0 kB of
+    // private-dirty weight pages); elsewhere it is honestly null.
+    if cfg!(target_os = "linux") {
+        assert!(json.contains("\"mapped_private_dirty_kb\": 0"), "{json}");
+    } else {
+        assert!(json.contains("\"mapped_private_dirty_kb\": null"), "{json}");
+    }
     std::fs::remove_file(&out).ok();
+}
+
+fn quantized_artifact(seed: u64) -> ModelArtifact {
+    use ant_nn::model::mlp;
+    use ant_nn::qat::{quantize_model, QuantSpec};
+    use ant_tensor::dist::{sample_tensor, Distribution};
+    let mut model = mlp(8, 4, seed);
+    let calib = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[64, 8],
+        seed.wrapping_add(1),
+    );
+    quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+    ModelArtifact::from_model(&model).unwrap()
+}
+
+#[test]
+fn migrate_upgrades_v1_in_place_bit_identically() {
+    let path = temp_artifact("migrate");
+    let path_str = path.to_str().unwrap();
+    let artifact = quantized_artifact(23);
+    artifact.save_v1_path(&path).unwrap();
+    assert_eq!(
+        probe(&std::fs::read(&path).unwrap()[..]).unwrap().version,
+        1
+    );
+
+    let report = run(&args(&["migrate", path_str])).unwrap();
+    assert!(report.contains("v1 -> v2"), "{report}");
+
+    // The migrated file is exactly what a direct v2 save would produce,
+    // and round-trips to an identical artifact.
+    let migrated = std::fs::read(&path).unwrap();
+    assert_eq!(probe(&migrated[..]).unwrap().version, 2);
+    let mut direct = Vec::new();
+    artifact.save(&mut direct).unwrap();
+    assert_eq!(
+        migrated, direct,
+        "migrated bytes differ from a direct v2 save"
+    );
+    assert_eq!(ModelArtifact::load(&migrated[..]).unwrap(), artifact);
+
+    // Migrating an already-current artifact is byte-idempotent.
+    let report = run(&args(&["migrate", path_str])).unwrap();
+    assert!(report.contains("v2 -> v2"), "{report}");
+    assert_eq!(std::fs::read(&path).unwrap(), migrated);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn verify_reports_ok_and_catches_what_lazy_load_skips() {
+    let path = temp_artifact("verify");
+    let path_str = path.to_str().unwrap();
+    quantized_artifact(29).save_path(&path).unwrap();
+
+    let report = run(&args(&["verify", path_str])).unwrap();
+    assert!(report.contains("OK"), "{report}");
+    assert!(report.contains("PANL images match"), "{report}");
+
+    // Corrupt the tail of the file (PANL/CACH payload territory): the
+    // lazy v2 load may not notice, verify must.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        run(&args(&["verify", path_str])),
+        Err(CliError::Artifact(_))
+    ));
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

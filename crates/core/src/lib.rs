@@ -17,6 +17,9 @@
 //!   quantization schemes ANT is evaluated against,
 //! * [`pack`] — fixed-length bit packing (the aligned-memory property of
 //!   Table I),
+//! * [`store`] — owned-or-borrowed 64-byte-aligned element storage, the
+//!   ownership substrate that lets a serving runtime execute packed
+//!   weights directly out of a memory-mapped artifact,
 //! * [`posit`] — a `posit<n, es>` codec for the Sec. VIII comparison
 //!   against variable-length tapered formats.
 //!
@@ -56,6 +59,7 @@ pub mod mixed;
 pub mod pack;
 pub mod posit;
 pub mod select;
+pub mod store;
 
 pub use dtype::{Codec, DataType, PrimitiveType};
 pub use error::QuantError;

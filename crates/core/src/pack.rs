@@ -30,16 +30,22 @@
 //! ```
 
 use crate::dtype::{Codec, DataType};
+use crate::store::TensorBytes;
 use crate::QuantError;
 
 /// A quantized tensor in packed little-endian bit order: element `i`
 /// occupies bits `[i·b, (i+1)·b)` of the byte stream.
+///
+/// The byte stream lives in a [`TensorBytes`] store: owned when packed
+/// in-process, or borrowed straight out of a memory-mapped artifact
+/// (see [`Self::from_store`]) — equality and round-trip semantics are
+/// identical either way.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PackedTensor {
     dtype: DataType,
     len: usize,
     scales: Vec<f32>,
-    bytes: Vec<u8>,
+    bytes: TensorBytes,
     /// Logical shape of the packed elements (empty = flat/unspecified).
     dims: Vec<usize>,
 }
@@ -116,7 +122,7 @@ impl PackedTensor {
             dtype,
             len: codes.len(),
             scales,
-            bytes,
+            bytes: TensorBytes::from_vec(bytes),
             dims: dims.to_vec(),
         })
     }
@@ -143,6 +149,24 @@ impl PackedTensor {
         scales: Vec<f32>,
         dims: &[usize],
         bytes: Vec<u8>,
+    ) -> Result<Self, QuantError> {
+        Self::from_store(dtype, len, scales, dims, TensorBytes::from_vec(bytes))
+    }
+
+    /// [`Self::from_bytes`] over an owned-or-borrowed byte store: the
+    /// zero-copy deserialization path, where `bytes` borrows pages of a
+    /// memory-mapped artifact instead of owning a fresh allocation. Same
+    /// validation and errors as [`Self::from_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::from_bytes`].
+    pub fn from_store(
+        dtype: DataType,
+        len: usize,
+        scales: Vec<f32>,
+        dims: &[usize],
+        bytes: TensorBytes,
     ) -> Result<Self, QuantError> {
         if scales.is_empty() {
             return Err(QuantError::EmptyCalibration);
@@ -220,6 +244,12 @@ impl PackedTensor {
     /// The packed byte stream.
     pub fn bytes(&self) -> &[u8] {
         &self.bytes
+    }
+
+    /// Whether the byte stream is borrowed from an external owner (a
+    /// mapped artifact) rather than owned by this tensor.
+    pub fn is_borrowed(&self) -> bool {
+        self.bytes.is_borrowed()
     }
 
     /// Storage size in bytes: exactly `⌈len·bits/8⌉` — the aligned,

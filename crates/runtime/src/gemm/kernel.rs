@@ -56,8 +56,12 @@ mod private {
 
 /// An integer operand width the narrow microkernel accepts (`i8` or
 /// `i16`). Sealed: the widening-cadence safety argument is made per
-/// width, so the set is closed.
-pub trait KernelOperand: private::Sealed + Copy + Default + Send + Sync + 'static {
+/// width, so the set is closed. The [`ant_core::store::StorePod`]
+/// supertrait lets panel images live in owned-or-borrowed
+/// [`ant_core::store::PackedStore`] storage.
+pub trait KernelOperand:
+    private::Sealed + ant_core::store::StorePod + Copy + Default + Send + Sync + 'static
+{
     #[doc(hidden)]
     fn widen(self) -> i32;
     #[doc(hidden)]

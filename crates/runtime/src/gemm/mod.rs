@@ -34,6 +34,7 @@ pub(crate) mod avx2;
 pub(crate) mod kernel;
 
 use crate::pool::WorkerPool;
+use ant_core::store::{PackedStore, StorePod};
 pub(crate) use kernel::k_block_for;
 pub use kernel::KernelOperand;
 
@@ -241,12 +242,13 @@ pub fn int_gemm_pooled(
 /// assert_eq!(fast, reference);
 /// ```
 #[derive(Debug, Clone)]
-pub struct PanelGemm<T> {
-    panels: Vec<T>,
+pub struct PanelGemm<T: StorePod> {
+    panels: PackedStore<T>,
     n: usize,
     k: usize,
     k_block: usize,
     a_max: i64,
+    b_max: i64,
 }
 
 impl<T: KernelOperand> PanelGemm<T> {
@@ -278,13 +280,40 @@ impl<T: KernelOperand> PanelGemm<T> {
                 }
             }
         }
-        PanelGemm {
+        Self::from_store(PackedStore::from_vec(panels), n, k, a_max, b_max)
+            .expect("freshly packed panels are exactly sized")
+    }
+
+    /// Rebuilds a panel image from already-interleaved storage — the
+    /// zero-repack deserialization path, where `panels` borrows the
+    /// panel section of a memory-mapped artifact verbatim. The widening
+    /// cadence is re-derived from the recorded magnitude bounds
+    /// (`a_max`, `b_max`), never trusted from the file. Returns `None`
+    /// when the storage is not exactly `⌈n/NR⌉·k·NR` elements.
+    ///
+    /// Overstated magnitude bounds cost cadence (smaller `k_block`);
+    /// *understated* bounds can silently wrap block sums in release
+    /// mode, exactly as a violated `a_max` contract on
+    /// [`PanelGemm::pack`] would — `antc verify` recomputes panels and
+    /// bounds from the wire codes to detect a lying artifact.
+    pub fn from_store(
+        panels: PackedStore<T>,
+        n: usize,
+        k: usize,
+        a_max: i64,
+        b_max: i64,
+    ) -> Option<PanelGemm<T>> {
+        if panels.len() != n.div_ceil(NR) * k * NR {
+            return None;
+        }
+        Some(PanelGemm {
             panels,
             n,
             k,
             k_block: k_block_for(a_max, b_max),
             a_max,
-        }
+            b_max,
+        })
     }
 
     /// Output channel count (`n`).
@@ -301,6 +330,28 @@ impl<T: KernelOperand> PanelGemm<T> {
     /// overflow bound).
     pub fn k_block(&self) -> usize {
         self.k_block
+    }
+
+    /// The activation-magnitude bound the cadence was derived under.
+    pub fn a_max(&self) -> i64 {
+        self.a_max
+    }
+
+    /// The packed data's recorded maximum operand magnitude.
+    pub fn b_max(&self) -> i64 {
+        self.b_max
+    }
+
+    /// The raw `NR`-interleaved panel storage (`⌈n/NR⌉` panels of
+    /// `[k][NR]`), as serialized into `.antm` panel sections.
+    pub fn panels(&self) -> &[T] {
+        &self.panels
+    }
+
+    /// Whether the panels are borrowed from a mapped artifact rather
+    /// than owned.
+    pub fn is_borrowed(&self) -> bool {
+        self.panels.is_borrowed()
     }
 
     /// `out[m×n] = a[m×k] · bᵀ` through the microkernel, partitioned over

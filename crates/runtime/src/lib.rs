@@ -44,10 +44,20 @@
 //!   parameters and the planner's memoized selection fingerprints.
 //!   Reloading strict-compiles **directly from the wire codes**
 //!   (bit-identical to the saved plan); corrupted, truncated or
-//!   wrong-version files fail with a structured [`ArtifactError`]. The
-//!   byte-level format is specified in `docs/format.md`; the `antc` CLI
+//!   wrong-version files fail with a structured [`ArtifactError`],
+//! * [`MappedArtifact`] — the zero-copy load path for v2 artifacts:
+//!   memory-map the file ([`Mmap`], no crates, raw `mmap`/`munmap`) and
+//!   borrow the 64-byte-aligned wire codes *and* pre-packed panel
+//!   images straight out of the page cache into the compiled plan
+//!   (owned-or-borrowed [`ant_core::store::PackedStore`]). A mapped
+//!   load copies zero weight bytes, decodes nothing and re-packs
+//!   nothing; the mapping outlives the handle for as long as any plan
+//!   borrows it, and N processes serving one file share its pages. The
+//!   CRC sweep moves to [`ModelArtifact::verify_bytes`] / `antc
+//!   verify` (v1 files keep eager load-time CRCs). The byte-level
+//!   format is specified in `docs/format.md`; the `antc` CLI
 //!   (`crates/bench/src/bin/antc.rs`) drives the `quantize → inspect →
-//!   serve` flow from the shell.
+//!   verify → serve → migrate` flow from the shell.
 //!
 //! # Quickstart
 //!
@@ -76,17 +86,19 @@ pub mod artifact;
 pub mod cache;
 pub mod engine;
 pub mod gemm;
+pub mod mmap;
 pub mod plan;
 pub mod pool;
 pub mod scratch;
 
 pub use artifact::{
-    probe, ArtifactError, ArtifactInfo, LayerSummary, ModelArtifact, SectionInfo, WeightSummary,
-    FORMAT_VERSION,
+    load_copies, probe, ArtifactError, ArtifactInfo, LayerSummary, MappedArtifact, ModelArtifact,
+    SectionInfo, WeightSummary, FORMAT_VERSION,
 };
 pub use cache::{Planner, SelectionCache, TypeDecision};
 pub use engine::{BatchPolicy, Engine, EngineStats, RequestId};
 pub use error::RuntimeError;
+pub use mmap::Mmap;
 pub use plan::{CompiledPlan, PackedAttn, PackedConv, PackedLinear, PlanLayer, PlanNorm};
 pub use pool::WorkerPool;
 pub use scratch::Scratch;

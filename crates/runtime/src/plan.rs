@@ -53,6 +53,7 @@ use crate::gemm::{im2row, int_gemm_pooled, PanelGemm};
 use crate::pool::WorkerPool;
 use crate::scratch::{grab, Scratch};
 use ant_core::pack::PackedTensor;
+use ant_core::store::PackedStore;
 use ant_core::{DataType, PrimitiveType, Quantizer, TensorQuantizer};
 use ant_nn::attention::{layer_norm_group, softmax_rows_in_place, Attention, LayerNorm};
 use ant_nn::gelu::gelu;
@@ -241,16 +242,29 @@ unsafe impl Sync for ShareMut {}
 /// `int8` at ±128); wide flint magnitudes (`flint8u` reaches 16384) take
 /// the `i16` panels; anything wider — or a non-integral lattice that
 /// slipped past strict mode — executes on plain `i32` rows. Panel images
-/// are pre-packed for the microkernel at compile time, so serving never
+/// are pre-packed for the microkernel at compile time (or borrowed
+/// verbatim from a mapped v2 artifact's panel section), so serving never
 /// re-lays weights out.
 #[derive(Debug, Clone)]
-enum WeightImage {
+pub(crate) enum WeightImage {
     /// Byte panels for the microkernel (quarter traffic, double lanes).
     I8(PanelGemm<i8>),
     /// Halfword panels (wide flint magnitudes).
     I16(PanelGemm<i16>),
     /// Plain `[out, in]` rows for the general kernel.
-    I32(Vec<i32>),
+    I32(PackedStore<i32>),
+}
+
+impl WeightImage {
+    /// Whether the image data is borrowed from a mapped artifact rather
+    /// than owned by this plan.
+    pub(crate) fn is_borrowed(&self) -> bool {
+        match self {
+            WeightImage::I8(pg) => pg.is_borrowed(),
+            WeightImage::I16(pg) => pg.is_borrowed(),
+            WeightImage::I32(rows) => rows.is_borrowed(),
+        }
+    }
 }
 
 /// One weight matrix compiled to the packed integer domain: wire codes,
@@ -314,7 +328,7 @@ pub(crate) fn pack_weight_tensor(
 /// activation lattice is integral (it is for every int/PoT/flint type
 /// whose values fit `i32`): what fixes the microkernel's widening
 /// cadence and qualifies the narrow operand widths.
-fn act_bound(act: &Quantizer) -> Option<i64> {
+pub(crate) fn act_bound(act: &Quantizer) -> Option<i64> {
     let codec = act.codec();
     codec.decode_lut_int()?;
     Some(codec.max_value() as i64)
@@ -342,6 +356,60 @@ impl PackedMatrix {
     /// plan that was saved. `act_max` is the activation-lattice magnitude
     /// bound (see [`act_bound`]); `None` keeps the general `i32` image.
     fn from_packed(weights: PackedTensor, act_max: Option<i64>) -> Result<Self, RuntimeError> {
+        let (out, inp, w_scales) = Self::validate_shape(&weights)?;
+        let image = decode_image(&weights, act_max)?;
+        Ok(PackedMatrix {
+            weights,
+            image,
+            w_scales,
+            out,
+            inp,
+        })
+    }
+
+    /// Reconstructs the executable matrix from wire codes *and* an
+    /// already-built integer image — the zero-copy path used by
+    /// [`crate::artifact::MappedArtifact`], where the image bytes are
+    /// borrowed straight from a mapped v2 panel section. The image's
+    /// shape is validated against the wire codes' dims; its *contents*
+    /// are trusted here (lying panel bytes produce wrong results, not
+    /// UB) and cross-checked against a fresh decode by `antc verify`.
+    pub(crate) fn from_packed_with_image(
+        weights: PackedTensor,
+        act_max: Option<i64>,
+        image: WeightImage,
+    ) -> Result<Self, RuntimeError> {
+        let (out, inp, w_scales) = Self::validate_shape(&weights)?;
+        let shape_ok = match &image {
+            WeightImage::I8(pg) => {
+                (pg.n(), pg.k()) == (out, inp)
+                    && Some(pg.a_max()) == act_max.filter(|&am| am <= i8::MAX as i64)
+            }
+            WeightImage::I16(pg) => (pg.n(), pg.k()) == (out, inp) && Some(pg.a_max()) == act_max,
+            WeightImage::I32(rows) => rows.len() == out * inp,
+        };
+        if !shape_ok {
+            return Err(RuntimeError::Quant(ant_core::QuantError::ChannelMismatch {
+                expected: out * inp,
+                actual: match &image {
+                    WeightImage::I8(pg) => pg.n() * pg.k(),
+                    WeightImage::I16(pg) => pg.n() * pg.k(),
+                    WeightImage::I32(rows) => rows.len(),
+                },
+            }));
+        }
+        Ok(PackedMatrix {
+            weights,
+            image,
+            w_scales,
+            out,
+            inp,
+        })
+    }
+
+    /// Validates the packed tensor's dims/scales for matrix execution and
+    /// returns `(out, inp, broadcast w_scales)`.
+    fn validate_shape(weights: &PackedTensor) -> Result<(usize, usize, Vec<f32>), RuntimeError> {
         let dims = weights.dims();
         if dims.len() < 2 {
             return Err(RuntimeError::Quant(ant_core::QuantError::ChannelMismatch {
@@ -363,92 +431,14 @@ impl PackedMatrix {
                 actual: w_scales.len(),
             }));
         }
-        let codec = ant_core::Codec::new(weights.dtype())?;
-        // Decode once through the integer LUT when the lattice is
-        // integral (every packed-domain type); fall back to the f32 LUT
-        // cast otherwise — that path only executes behind a Fallback
-        // anyway.
-        let (w_int, integral): (Vec<i32>, bool) = match codec.decode_lut_int() {
-            Some(lut) => (
-                weights.codes().iter().map(|&c| lut[c as usize]).collect(),
-                true,
-            ),
-            None => {
-                let lut = codec.decode_lut();
-                (
-                    weights
-                        .codes()
-                        .iter()
-                        .map(|&c| lut[c as usize] as i32)
-                        .collect(),
-                    false,
-                )
-            }
-        };
-        let image = Self::build_image(w_int, out, inp, integral, act_max);
-        Ok(PackedMatrix {
-            weights,
-            image,
-            w_scales,
-            out,
-            inp,
-        })
-    }
-
-    /// Selects the narrowest operand width the weight *and* activation
-    /// lattices allow and pre-packs microkernel panels for it.
-    fn build_image(
-        w_int: Vec<i32>,
-        out: usize,
-        inp: usize,
-        integral: bool,
-        act_max: Option<i64>,
-    ) -> WeightImage {
-        if integral {
-            if let Some(am) = act_max {
-                if am <= i8::MAX as i64 {
-                    if let Some(w8) = w_int
-                        .iter()
-                        .map(|&v| i8::try_from(v).ok())
-                        .collect::<Option<Vec<i8>>>()
-                    {
-                        return WeightImage::I8(PanelGemm::pack(&w8, out, inp, am));
-                    }
-                }
-                if am <= i16::MAX as i64 {
-                    if let Some(w16) = w_int
-                        .iter()
-                        .map(|&v| i16::try_from(v).ok())
-                        .collect::<Option<Vec<i16>>>()
-                    {
-                        let b_max = w16.iter().map(|&v| (v as i64).abs()).max().unwrap_or(0);
-                        // A cadence too short to amortize the widening
-                        // fold means the magnitudes are effectively wide:
-                        // take the general path instead.
-                        if crate::gemm::k_block_for(am, b_max) >= 16 {
-                            return WeightImage::I16(PanelGemm::pack(&w16, out, inp, am));
-                        }
-                    }
-                }
-            }
-        }
-        WeightImage::I32(w_int)
+        Ok((out, inp, w_scales))
     }
 
     /// The decoded weight rows as f32 lattice values (`[out, inp]`,
     /// unscaled) — the operand of attention's mixed-domain output
     /// projection.
     fn rows_f32(&self) -> Vec<f32> {
-        // Decode from the wire codes so the result is exact regardless of
-        // which image width execution uses.
-        let lut = ant_core::Codec::new(self.weights.dtype())
-            .expect("codec validated at construction")
-            .decode_lut();
-        self.weights
-            .codes()
-            .iter()
-            .map(|&c| lut[c as usize])
-            .collect()
+        decode_rows_f32(&self.weights)
     }
 
     /// Integer GEMM `[m, inp] · selfᵀ` into the exact `i64` accumulator in
@@ -525,8 +515,84 @@ impl PackedMatrix {
     }
 }
 
+/// Decodes a packed tensor's wire codes into the plan-domain integer
+/// image at the narrowest operand width the weight *and* activation
+/// lattices allow, pre-packing microkernel panels for it. Shared by
+/// plan compilation and the v2 artifact writer so the panel bytes the
+/// writer serializes are bit-identical to the ones a fresh compile
+/// would build.
+pub(crate) fn decode_image(
+    weights: &PackedTensor,
+    act_max: Option<i64>,
+) -> Result<WeightImage, RuntimeError> {
+    let dims = weights.dims();
+    let out = dims[0];
+    let inp: usize = dims[1..].iter().product();
+    let codec = ant_core::Codec::new(weights.dtype())?;
+    // Decode once through the integer LUT when the lattice is
+    // integral (every packed-domain type); fall back to the f32 LUT
+    // cast otherwise — that path only executes behind a Fallback
+    // anyway.
+    let (w_int, integral): (Vec<i32>, bool) = match codec.decode_lut_int() {
+        Some(lut) => (
+            weights.codes().iter().map(|&c| lut[c as usize]).collect(),
+            true,
+        ),
+        None => {
+            let lut = codec.decode_lut();
+            (
+                weights
+                    .codes()
+                    .iter()
+                    .map(|&c| lut[c as usize] as i32)
+                    .collect(),
+                false,
+            )
+        }
+    };
+    if integral {
+        if let Some(am) = act_max {
+            if am <= i8::MAX as i64 {
+                if let Some(w8) = w_int
+                    .iter()
+                    .map(|&v| i8::try_from(v).ok())
+                    .collect::<Option<Vec<i8>>>()
+                {
+                    return Ok(WeightImage::I8(PanelGemm::pack(&w8, out, inp, am)));
+                }
+            }
+            if am <= i16::MAX as i64 {
+                if let Some(w16) = w_int
+                    .iter()
+                    .map(|&v| i16::try_from(v).ok())
+                    .collect::<Option<Vec<i16>>>()
+                {
+                    let b_max = w16.iter().map(|&v| (v as i64).abs()).max().unwrap_or(0);
+                    // A cadence too short to amortize the widening
+                    // fold means the magnitudes are effectively wide:
+                    // take the general path instead.
+                    if crate::gemm::k_block_for(am, b_max) >= 16 {
+                        return Ok(WeightImage::I16(PanelGemm::pack(&w16, out, inp, am)));
+                    }
+                }
+            }
+        }
+    }
+    Ok(WeightImage::I32(PackedStore::from_vec(w_int)))
+}
+
+/// Decodes a packed tensor's wire codes to f32 lattice values (exact,
+/// independent of the execution image width). Shared by attention's
+/// output projection and the v2 artifact writer.
+pub(crate) fn decode_rows_f32(weights: &PackedTensor) -> Vec<f32> {
+    let lut = ant_core::Codec::new(weights.dtype())
+        .expect("codec validated at construction")
+        .decode_lut();
+    weights.codes().iter().map(|&c| lut[c as usize]).collect()
+}
+
 /// Transposes a square `[n, n]` row-major matrix.
-fn transpose(m: &[f32], n: usize) -> Vec<f32> {
+pub(crate) fn transpose(m: &[f32], n: usize) -> Vec<f32> {
     let mut t = vec![0f32; n * n];
     for r in 0..n {
         for c in 0..n {
@@ -640,8 +706,34 @@ impl PackedLinear {
         bias: Vec<f32>,
         act: Quantizer,
     ) -> Result<Self, RuntimeError> {
+        Self::build(name, weights, bias, act, None)
+    }
+
+    /// Like [`Self::from_parts`], but with a pre-built weight image
+    /// (borrowed from a mapped v2 artifact) instead of decoding one.
+    pub(crate) fn from_parts_with_image(
+        name: String,
+        weights: PackedTensor,
+        bias: Vec<f32>,
+        act: Quantizer,
+        image: WeightImage,
+    ) -> Result<Self, RuntimeError> {
+        Self::build(name, weights, bias, act, Some(image))
+    }
+
+    fn build(
+        name: String,
+        weights: PackedTensor,
+        bias: Vec<f32>,
+        act: Quantizer,
+        image: Option<WeightImage>,
+    ) -> Result<Self, RuntimeError> {
         check_int_domain(&name, &[weights.dtype(), act.dtype()])?;
-        let mat = PackedMatrix::from_packed(weights, act_bound(&act))?;
+        let bound = act_bound(&act);
+        let mat = match image {
+            Some(img) => PackedMatrix::from_packed_with_image(weights, bound, img)?,
+            None => PackedMatrix::from_packed(weights, bound)?,
+        };
         if bias.len() != mat.out {
             return Err(RuntimeError::ShapeMismatch {
                 expected: mat.out,
@@ -667,6 +759,12 @@ impl PackedLinear {
     /// The packed weight tensor (`[out, in]`).
     pub fn weights(&self) -> &PackedTensor {
         &self.mat.weights
+    }
+
+    /// Whether the wire codes and the integer image are both borrowed
+    /// from a mapped artifact (the v2 zero-copy load path).
+    pub fn weights_borrowed(&self) -> bool {
+        self.mat.weights.is_borrowed() && self.mat.image.is_borrowed()
     }
 
     /// The weight data type.
@@ -741,6 +839,32 @@ impl PackedConv {
         in_shape: (usize, usize, usize),
         geo: Conv2dGeometry,
     ) -> Result<Self, RuntimeError> {
+        Self::build(name, weights, bias, act, in_shape, geo, None)
+    }
+
+    /// Like [`Self::from_parts`], but with a pre-built weight image
+    /// (borrowed from a mapped v2 artifact) instead of decoding one.
+    pub(crate) fn from_parts_with_image(
+        name: String,
+        weights: PackedTensor,
+        bias: Vec<f32>,
+        act: Quantizer,
+        in_shape: (usize, usize, usize),
+        geo: Conv2dGeometry,
+        image: WeightImage,
+    ) -> Result<Self, RuntimeError> {
+        Self::build(name, weights, bias, act, in_shape, geo, Some(image))
+    }
+
+    fn build(
+        name: String,
+        weights: PackedTensor,
+        bias: Vec<f32>,
+        act: Quantizer,
+        in_shape: (usize, usize, usize),
+        geo: Conv2dGeometry,
+        image: Option<WeightImage>,
+    ) -> Result<Self, RuntimeError> {
         check_int_domain(&name, &[weights.dtype(), act.dtype()])?;
         let dims = weights.dims().to_vec();
         if dims.len() != 4 || dims[1] != in_shape.0 || dims[2] != geo.kh || dims[3] != geo.kw {
@@ -766,7 +890,11 @@ impl PackedConv {
                 })
             }
         };
-        let mat = PackedMatrix::from_packed(weights, act_bound(&act))?;
+        let bound = act_bound(&act);
+        let mat = match image {
+            Some(img) => PackedMatrix::from_packed_with_image(weights, bound, img)?,
+            None => PackedMatrix::from_packed(weights, bound)?,
+        };
         if bias.len() != mat.out {
             return Err(RuntimeError::ShapeMismatch {
                 expected: mat.out,
@@ -796,6 +924,12 @@ impl PackedConv {
     /// The packed kernel (`[co, ci, kh, kw]`).
     pub fn weights(&self) -> &PackedTensor {
         &self.mat.weights
+    }
+
+    /// Whether the wire codes and the integer image are both borrowed
+    /// from a mapped artifact (the v2 zero-copy load path).
+    pub fn weights_borrowed(&self) -> bool {
+        self.mat.weights.is_borrowed() && self.mat.image.is_borrowed()
     }
 
     /// The kernel data type.
@@ -952,7 +1086,9 @@ pub struct PackedAttn {
     /// mixed-domain product run output-major — the per-output reduction
     /// keeps its ascending-`d` addition order (bit-identical to the
     /// row-major loop) while the inner loop vectorizes over outputs.
-    wo_t_f32: Vec<f32>,
+    /// Owned on compile; borrowed from the panel section of a mapped
+    /// v2 artifact on the zero-copy reload path.
+    wo_t_f32: PackedStore<f32>,
     act: Quantizer,
     act_quant: ActQuant,
 }
@@ -967,6 +1103,32 @@ impl PackedAttn {
         projections: [PackedTensor; 4],
         act: Quantizer,
     ) -> Result<Self, RuntimeError> {
+        Self::build(name, seq, dim, projections, act, None)
+    }
+
+    /// Like [`Self::from_parts`], but with pre-built q/k/v/o weight
+    /// images and the transposed f32 o-projection operand (all borrowed
+    /// from a mapped v2 artifact) instead of decoding them.
+    pub(crate) fn from_parts_with_images(
+        name: String,
+        seq: usize,
+        dim: usize,
+        projections: [PackedTensor; 4],
+        act: Quantizer,
+        images: [WeightImage; 4],
+        wo_t: PackedStore<f32>,
+    ) -> Result<Self, RuntimeError> {
+        Self::build(name, seq, dim, projections, act, Some((images, wo_t)))
+    }
+
+    fn build(
+        name: String,
+        seq: usize,
+        dim: usize,
+        projections: [PackedTensor; 4],
+        act: Quantizer,
+        prebuilt: Option<([WeightImage; 4], PackedStore<f32>)>,
+    ) -> Result<Self, RuntimeError> {
         let mut dtypes = vec![act.dtype()];
         dtypes.extend(projections.iter().map(|p| p.dtype()));
         check_int_domain(&name, &dtypes)?;
@@ -980,13 +1142,35 @@ impl PackedAttn {
         }
         let bound = act_bound(&act);
         let [q, k, v, o] = projections;
-        let projs = [
-            PackedMatrix::from_packed(q, bound)?,
-            PackedMatrix::from_packed(k, bound)?,
-            PackedMatrix::from_packed(v, bound)?,
-            PackedMatrix::from_packed(o, bound)?,
-        ];
-        let wo_t_f32 = transpose(&projs[3].rows_f32(), dim);
+        let (projs, wo_t_f32) = match prebuilt {
+            Some(([qi, ki, vi, oi], wo_t)) => {
+                if wo_t.len() != dim * dim {
+                    return Err(RuntimeError::ShapeMismatch {
+                        expected: dim * dim,
+                        actual: wo_t.len(),
+                    });
+                }
+                (
+                    [
+                        PackedMatrix::from_packed_with_image(q, bound, qi)?,
+                        PackedMatrix::from_packed_with_image(k, bound, ki)?,
+                        PackedMatrix::from_packed_with_image(v, bound, vi)?,
+                        PackedMatrix::from_packed_with_image(o, bound, oi)?,
+                    ],
+                    wo_t,
+                )
+            }
+            None => {
+                let projs = [
+                    PackedMatrix::from_packed(q, bound)?,
+                    PackedMatrix::from_packed(k, bound)?,
+                    PackedMatrix::from_packed(v, bound)?,
+                    PackedMatrix::from_packed(o, bound)?,
+                ];
+                let wo_t = PackedStore::from_vec(transpose(&projs[3].rows_f32(), dim));
+                (projs, wo_t)
+            }
+        };
         let deq_qkv = std::array::from_fn(|i| projs[i].deq_scales(act.scale()));
         Ok(PackedAttn {
             name,
@@ -1023,6 +1207,16 @@ impl PackedAttn {
             &self.projs[2].weights,
             &self.projs[3].weights,
         ]
+    }
+
+    /// Whether every projection's wire codes and integer image — plus
+    /// the transposed f32 o-operand — are borrowed from a mapped
+    /// artifact (the v2 zero-copy load path).
+    pub fn weights_borrowed(&self) -> bool {
+        self.projs
+            .iter()
+            .all(|p| p.weights.is_borrowed() && p.image.is_borrowed())
+            && self.wo_t_f32.is_borrowed()
     }
 
     /// The activation quantizer.
@@ -1455,6 +1649,22 @@ impl CompiledPlan {
             .count()
     }
 
+    /// Number of packed compute layers whose wire codes *and* integer
+    /// weight images are all borrowed from a mapped artifact rather than
+    /// owned by the plan — `packed_layer_count()` for a v2 zero-copy
+    /// load, `0` for a compiled or v1-loaded plan.
+    pub fn borrowed_layer_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| match l {
+                PlanLayer::Packed(p) => p.weights_borrowed(),
+                PlanLayer::PackedConv(p) => p.weights_borrowed(),
+                PlanLayer::PackedAttn(p) => p.weights_borrowed(),
+                _ => false,
+            })
+            .count()
+    }
+
     /// Fraction of plan layers executing outside the fallback path.
     ///
     /// The denominator is **every** layer of the plan, fallback layers
@@ -1764,7 +1974,7 @@ fn pack_attn(a: &Attention) -> Result<PackedAttn, RuntimeError> {
         )?);
     }
     let projs: [PackedMatrix; 4] = projs.try_into().expect("exactly four projections");
-    let wo_t_f32 = transpose(&projs[3].rows_f32(), dim);
+    let wo_t_f32 = PackedStore::from_vec(transpose(&projs[3].rows_f32(), dim));
     let deq_qkv = std::array::from_fn(|i| projs[i].deq_scales(aq.scale()));
     Ok(PackedAttn {
         name,

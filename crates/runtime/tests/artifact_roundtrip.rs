@@ -310,16 +310,18 @@ fn newer_version_is_rejected_with_both_versions_reported() {
 }
 
 #[test]
-fn payload_corruption_is_a_checksum_mismatch() {
+fn payload_corruption_is_a_checksum_mismatch_under_verify() {
     let bytes = sample_bytes();
     let info = probe(&bytes[..]).unwrap();
     assert_eq!(info.sections[0].id, "MODL");
-    // Flip one byte in the middle of the MODL payload (which starts right
-    // after the header + table).
-    let payload_start = 12 + info.sections.len() * 24;
+    // Flip one byte in the middle of the MODL payload. v2 load is lazy
+    // (no CRC sweep), so detection is `verify`'s job; load itself must
+    // still fail structurally or succeed, never panic.
+    let payload_start = info.sections[0].offset as usize;
     let mut corrupt = bytes.clone();
     corrupt[payload_start + info.sections[0].len as usize / 2] ^= 0x40;
-    match ModelArtifact::load(&corrupt[..]) {
+    let _ = ModelArtifact::load(&corrupt[..]);
+    match ModelArtifact::verify_bytes(&corrupt) {
         Err(ArtifactError::ChecksumMismatch {
             section,
             stored,
@@ -328,6 +330,27 @@ fn payload_corruption_is_a_checksum_mismatch() {
             assert_eq!(section, "MODL");
             assert_ne!(stored, computed);
         }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+    // The uncorrupted stream verifies clean.
+    ModelArtifact::verify_bytes(&bytes).unwrap();
+}
+
+#[test]
+fn v1_payload_corruption_is_still_caught_eagerly_at_load() {
+    let mut model = mlp(8, 4, 11);
+    let calib = gaussian(&[64, 8], 3);
+    quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+    let artifact = ModelArtifact::from_model(&model).unwrap();
+    let mut bytes = Vec::new();
+    artifact.save_v1(&mut bytes).unwrap();
+    let info = probe(&bytes[..]).unwrap();
+    assert_eq!(info.version, 1);
+    let payload_start = info.sections[0].offset as usize;
+    let mut corrupt = bytes.clone();
+    corrupt[payload_start + info.sections[0].len as usize / 2] ^= 0x40;
+    match ModelArtifact::load(&corrupt[..]) {
+        Err(ArtifactError::ChecksumMismatch { section, .. }) => assert_eq!(section, "MODL"),
         other => panic!("expected ChecksumMismatch, got {other:?}"),
     }
 }
@@ -381,12 +404,15 @@ fn cache_section_corruption_is_detected_independently() {
     let mut bytes = Vec::new();
     artifact.save(&mut bytes).unwrap();
     let info = probe(&bytes[..]).unwrap();
-    assert_eq!(info.sections[1].id, "CACH");
-    assert!(info.sections[1].len > 0);
-    let cach_start = 12 + info.sections.len() * 24 + info.sections[0].len as usize;
+    let cach = info
+        .sections
+        .iter()
+        .find(|s| s.id == "CACH")
+        .expect("CACH section present");
+    assert!(cach.len > 0);
     let mut corrupt = bytes.clone();
-    corrupt[cach_start + 4] ^= 0x01;
-    match ModelArtifact::load(&corrupt[..]) {
+    corrupt[cach.offset as usize + 4] ^= 0x01;
+    match ModelArtifact::verify_bytes(&corrupt) {
         Err(ArtifactError::ChecksumMismatch { section, .. }) => assert_eq!(section, "CACH"),
         other => panic!("expected CACH ChecksumMismatch, got {other:?}"),
     }

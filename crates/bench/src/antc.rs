@@ -5,6 +5,7 @@
 //! The subcommand logic lives here (not in the binary) so the round-trip
 //! behaviour is unit-testable; `src/bin/antc.rs` is a thin argv adapter.
 
+use crate::json::Json;
 use crate::render_table;
 use ant_core::select::PrimitiveCombo;
 use ant_nn::data::{blobs, motifs, shapes, Dataset};
@@ -12,6 +13,8 @@ use ant_nn::model::{mlp, small_cnn, tiny_transformer, Sequential};
 use ant_nn::qat::QuantSpec;
 use ant_nn::train::{evaluate, train, TrainConfig};
 use ant_nn::NnError;
+use ant_obs::export::{chrome_trace, prometheus_text};
+use ant_obs::{Snapshot, Value};
 use ant_runtime::{
     load_copies, probe, ArtifactError, BatchPolicy, CompiledPlan, Engine, MappedArtifact,
     ModelArtifact, Planner, RuntimeError, FORMAT_VERSION,
@@ -362,12 +365,35 @@ pub fn run_inspect<P: AsRef<Path>>(path: P) -> Result<String, CliError> {
         "cache: {} memoized selection fingerprint(s)\n",
         artifact.cache_entries().len()
     ));
+    let snap = ant_obs::global().snapshot();
+    let counter = |fam: &str| {
+        snap.get(fam, None).and_then(|s| match &s.value {
+            Value::Counter(v) => Some(*v),
+            _ => None,
+        })
+    };
+    match (
+        counter("ant_selection_cache_hits_total"),
+        counter("ant_selection_cache_misses_total"),
+    ) {
+        (Some(hits), Some(misses)) => out.push_str(&format!(
+            "selection cache this process: {hits} hit(s), {misses} miss(es) (telemetry registry)\n"
+        )),
+        _ => out.push_str(
+            "selection cache this process: counters unavailable (runtime built without the obs feature)\n",
+        ),
+    }
     Ok(out)
 }
 
 /// Loads an artifact, strict-compiles it, and pushes `requests` seeded
 /// random rows through a batched [`Engine`], verifying every response
 /// against a direct plan execution. Returns the serving report.
+///
+/// With `metrics_dump`, the process-wide telemetry registry is rendered
+/// in the Prometheus text exposition format to that file after the run
+/// (queue depth, batch-size distribution, submit→dispatch wait,
+/// dispatch→done service time, per-layer-kind timings, …).
 ///
 /// # Errors
 ///
@@ -377,6 +403,7 @@ pub fn run_serve<P: AsRef<Path>>(
     path: P,
     requests: usize,
     max_batch: usize,
+    metrics_dump: Option<&Path>,
 ) -> Result<String, CliError> {
     let mapped = MappedArtifact::open(&path)?;
     let plan = mapped.compile_strict()?;
@@ -426,7 +453,7 @@ pub fn run_serve<P: AsRef<Path>>(
     }
     let elapsed = start.elapsed();
     let stats = engine.stats();
-    Ok(format!(
+    let mut report = format!(
         "served {verified} request(s), all verified against direct execution\n\
          coverage: {coverage:.2}; {} batches, largest {}; weights {storage}\n\
          elapsed: {:.1} ms ({:.0} req/s)\n",
@@ -434,7 +461,17 @@ pub fn run_serve<P: AsRef<Path>>(
         stats.largest_batch,
         elapsed.as_secs_f64() * 1e3,
         verified as f64 / elapsed.as_secs_f64().max(1e-9)
-    ))
+    );
+    if let Some(dump) = metrics_dump {
+        let text = prometheus_text(&ant_obs::global().snapshot());
+        std::fs::write(dump, &text).map_err(|e| CliError::Artifact(ArtifactError::Io(e)))?;
+        report.push_str(&format!(
+            "metrics: wrote {} ({} series line(s), Prometheus text format)\n",
+            dump.display(),
+            text.lines().filter(|l| !l.starts_with('#')).count()
+        ));
+    }
+    Ok(report)
 }
 
 /// `antc verify`: the integrity gate the lazy v2 load path defers to.
@@ -507,6 +544,14 @@ pub struct BenchConfig {
     pub out: std::path::PathBuf,
     /// RNG seed for model init and request data.
     pub seed: u64,
+    /// A previous `BENCH_runtime.json` to guard against: any workload
+    /// whose batched throughput drops more than `tolerance` below its
+    /// baseline sets the `REGRESSION` marker.
+    pub baseline: Option<std::path::PathBuf>,
+    /// Allowed fractional throughput drop vs the baseline (e.g. `0.08`
+    /// = 8%; the instrumentation overhead budget is 2%, the rest is
+    /// machine noise allowance for CI).
+    pub tolerance: f64,
 }
 
 impl Default for BenchConfig {
@@ -515,6 +560,8 @@ impl Default for BenchConfig {
             quick: false,
             out: std::path::PathBuf::from("BENCH_runtime.json"),
             seed: 17,
+            baseline: None,
+            tolerance: 0.08,
         }
     }
 }
@@ -532,10 +579,16 @@ pub struct BenchWorkload {
     /// Engine-serving throughput, requests per second (32 concurrent
     /// submissions coalesced by a batched [`Engine`]).
     pub engine_ops_per_sec: f64,
-    /// Single-request (batch-1) latency percentiles in microseconds.
+    /// Single-request (batch-1) latency percentiles in microseconds,
+    /// derived from a log2-bucketed [`ant_obs::Histogram`] of per-request
+    /// nanosecond timings (±12.5% sub-octave resolution).
     pub p50_us: f64,
+    /// 90th percentile batch-1 latency in microseconds.
+    pub p90_us: f64,
     /// 99th percentile batch-1 latency in microseconds.
     pub p99_us: f64,
+    /// 99.9th percentile batch-1 latency in microseconds.
+    pub p999_us: f64,
     /// Steady-state heap allocations per batch-1 request through the
     /// scratch-arena path; `None` when the counting allocator is not
     /// installed (e.g. library callers).
@@ -552,8 +605,143 @@ pub struct BenchWorkload {
     /// `Private_Dirty` kB of the v2 mapping after a full strict compile
     /// (`/proc/self/smaps`): this process's private-RSS share of the
     /// weight pages — 0 means every page stays shared across processes
-    /// serving the same artifact. `None` off linux.
+    /// serving the same artifact. `None` when the measurement is
+    /// unavailable (off linux) — which the regression marker treats as
+    /// "unknown", never as a clean zero.
     pub mapped_private_dirty_kb: Option<u64>,
+    /// Per-stage breakdown read back from the telemetry registry delta
+    /// over this workload's measurement windows; `None` when the runtime
+    /// was built without its `obs` feature (no hooks, nothing recorded).
+    pub stages: Option<WorkloadStages>,
+}
+
+/// One plan-layer kind's share of a measurement window, read from the
+/// registry delta (`ant_layer_time_ns`/`_macs_total`/`_bytes_total`).
+#[derive(Debug, Clone)]
+pub struct LayerStage {
+    /// Layer-kind label (`packed_linear`, `relu`, …).
+    pub kind: String,
+    /// Layer executions in the window.
+    pub calls: u64,
+    /// Summed wall time, microseconds.
+    pub total_us: f64,
+    /// Fraction of the summed per-layer time across all kinds.
+    pub share: f64,
+    /// Median per-call wall time, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-call wall time, microseconds.
+    pub p99_us: f64,
+    /// Derived arithmetic rate, giga-ops/s (2 ops per MAC); 0 for
+    /// non-GEMM kinds.
+    pub gops: f64,
+    /// Derived effective bandwidth, GB/s (bytes touched / wall time).
+    pub gbps: f64,
+}
+
+/// Engine-stage latency split over a measurement window
+/// (`ant_engine_submit_wait_ns` / `ant_engine_service_ns`).
+#[derive(Debug, Clone)]
+pub struct EngineStages {
+    /// Median submit→dispatch wait, microseconds.
+    pub submit_wait_p50_us: f64,
+    /// p99 submit→dispatch wait, microseconds.
+    pub submit_wait_p99_us: f64,
+    /// Median dispatch→done batch service time, microseconds.
+    pub service_p50_us: f64,
+    /// p99 dispatch→done batch service time, microseconds.
+    pub service_p99_us: f64,
+    /// Mean requests coalesced per executed batch.
+    pub mean_batch: f64,
+}
+
+/// The full stage breakdown attached to a [`BenchWorkload`].
+#[derive(Debug, Clone)]
+pub struct WorkloadStages {
+    /// Per-layer-kind breakdown of the batch-1 latency window, heaviest
+    /// first.
+    pub layers: Vec<LayerStage>,
+    /// Summed per-layer time as a fraction of the end-to-end
+    /// `forward_rows` time over the same window (the self-consistency
+    /// check: layer-granularity timing must account for ~all of the
+    /// request, budgeted at ±10%).
+    pub coverage_of_forward: f64,
+    /// Engine submit/service split over the engine-throughput window.
+    pub engine: Option<EngineStages>,
+}
+
+fn delta_hist<'a>(
+    delta: &'a Snapshot,
+    fam: &str,
+    label: Option<&str>,
+) -> Option<&'a ant_obs::HistogramSnapshot> {
+    match &delta.get(fam, label)?.value {
+        Value::Histogram(h) => Some(h),
+        _ => None,
+    }
+}
+
+fn delta_counter(delta: &Snapshot, fam: &str, label: Option<&str>) -> u64 {
+    match delta.get(fam, label).map(|s| &s.value) {
+        Some(Value::Counter(v)) => *v,
+        _ => 0,
+    }
+}
+
+/// Extracts the per-layer-kind breakdown and forward-time coverage from
+/// a registry delta; `None` when the runtime recorded nothing (obs
+/// feature off, or no forward ran in the window).
+fn layer_stages(delta: &Snapshot) -> Option<(Vec<LayerStage>, f64)> {
+    let forward = delta_hist(delta, "ant_forward_time_ns", None)?;
+    if forward.count() == 0 {
+        return None;
+    }
+    let mut layers = Vec::new();
+    let mut layer_ns_sum = 0u64;
+    for kind in ant_runtime::obs::LAYER_KINDS {
+        let kind = kind.as_str();
+        let Some(time) = delta_hist(delta, "ant_layer_time_ns", Some(kind)) else {
+            continue;
+        };
+        if time.count() == 0 {
+            continue;
+        }
+        let ns = time.sum();
+        layer_ns_sum += ns;
+        let macs = delta_counter(delta, "ant_layer_macs_total", Some(kind));
+        let bytes = delta_counter(delta, "ant_layer_bytes_total", Some(kind));
+        layers.push(LayerStage {
+            kind: kind.to_string(),
+            calls: time.count(),
+            total_us: ns as f64 / 1e3,
+            share: 0.0, // filled below once the sum is known
+            p50_us: time.quantile(0.50) / 1e3,
+            p99_us: time.quantile(0.99) / 1e3,
+            gops: 2.0 * macs as f64 / ns.max(1) as f64,
+            gbps: bytes as f64 / ns.max(1) as f64,
+        });
+    }
+    for l in &mut layers {
+        l.share = l.total_us / (layer_ns_sum as f64 / 1e3).max(1e-9);
+    }
+    layers.sort_by(|a, b| b.total_us.partial_cmp(&a.total_us).expect("finite totals"));
+    Some((layers, layer_ns_sum as f64 / forward.sum().max(1) as f64))
+}
+
+/// Extracts the engine submit/service split from a registry delta.
+fn engine_stages(delta: &Snapshot) -> Option<EngineStages> {
+    let wait = delta_hist(delta, "ant_engine_submit_wait_ns", None)?;
+    let service = delta_hist(delta, "ant_engine_service_ns", None)?;
+    let batch = delta_hist(delta, "ant_engine_batch_size", None)?;
+    if service.count() == 0 {
+        return None;
+    }
+    Some(EngineStages {
+        submit_wait_p50_us: wait.quantile(0.50) / 1e3,
+        submit_wait_p99_us: wait.quantile(0.99) / 1e3,
+        service_p50_us: service.quantile(0.50) / 1e3,
+        service_p99_us: service.quantile(0.99) / 1e3,
+        mean_batch: batch.mean(),
+    })
 }
 
 /// The full `antc bench` result set.
@@ -572,10 +760,13 @@ pub struct BenchReport {
 
 impl BenchReport {
     /// Serializes the report as JSON (hand-rolled: the workspace is
-    /// dependency-free by construction).
+    /// dependency-free by construction). Schema `ant-bench/runtime-v2`:
+    /// v1 plus `p90_us`/`p999_us` and a per-workload `stages` object
+    /// (per-layer-kind and engine-stage breakdowns from the telemetry
+    /// registry; `null` when the runtime has no hooks compiled in).
     pub fn to_json(&self, quick: bool) -> String {
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"ant-bench/runtime-v1\",\n");
+        s.push_str("  \"schema\": \"ant-bench/runtime-v2\",\n");
         s.push_str(&format!("  \"quick\": {},\n", quick));
         s.push_str(&format!(
             "  \"gemm_speedup_i8_vs_i32\": {:.3},\n",
@@ -596,7 +787,9 @@ impl BenchReport {
                 w.engine_ops_per_sec
             ));
             s.push_str(&format!("\"p50_us\": {:.2}, ", w.p50_us));
+            s.push_str(&format!("\"p90_us\": {:.2}, ", w.p90_us));
             s.push_str(&format!("\"p99_us\": {:.2}, ", w.p99_us));
+            s.push_str(&format!("\"p999_us\": {:.2}, ", w.p999_us));
             match w.allocs_per_request {
                 Some(a) => s.push_str(&format!("\"allocs_per_request\": {:.4}, ", a)),
                 None => s.push_str("\"allocs_per_request\": null, "),
@@ -609,8 +802,50 @@ impl BenchReport {
             ));
             s.push_str(&format!("\"mapped_zero_copy\": {}, ", w.mapped_zero_copy));
             match w.mapped_private_dirty_kb {
-                Some(kb) => s.push_str(&format!("\"mapped_private_dirty_kb\": {kb}")),
-                None => s.push_str("\"mapped_private_dirty_kb\": null"),
+                Some(kb) => s.push_str(&format!("\"mapped_private_dirty_kb\": {kb}, ")),
+                None => s.push_str("\"mapped_private_dirty_kb\": null, "),
+            }
+            match &w.stages {
+                None => s.push_str("\"stages\": null"),
+                Some(st) => {
+                    s.push_str("\"stages\": {\n");
+                    s.push_str(&format!(
+                        "      \"coverage_of_forward\": {:.4},\n",
+                        st.coverage_of_forward
+                    ));
+                    s.push_str("      \"layers\": [\n");
+                    for (j, l) in st.layers.iter().enumerate() {
+                        s.push_str(&format!(
+                            "        {{\"kind\": \"{}\", \"calls\": {}, \"total_us\": {:.2}, \
+                             \"share\": {:.4}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+                             \"gops\": {:.3}, \"gbps\": {:.3}}}{}\n",
+                            l.kind,
+                            l.calls,
+                            l.total_us,
+                            l.share,
+                            l.p50_us,
+                            l.p99_us,
+                            l.gops,
+                            l.gbps,
+                            if j + 1 < st.layers.len() { "," } else { "" }
+                        ));
+                    }
+                    s.push_str("      ],\n");
+                    match &st.engine {
+                        None => s.push_str("      \"engine\": null\n"),
+                        Some(e) => s.push_str(&format!(
+                            "      \"engine\": {{\"submit_wait_p50_us\": {:.3}, \
+                             \"submit_wait_p99_us\": {:.3}, \"service_p50_us\": {:.3}, \
+                             \"service_p99_us\": {:.3}, \"mean_batch\": {:.2}}}\n",
+                            e.submit_wait_p50_us,
+                            e.submit_wait_p99_us,
+                            e.service_p50_us,
+                            e.service_p99_us,
+                            e.mean_batch
+                        )),
+                    }
+                    s.push_str("    }");
+                }
             }
             s.push('}');
             s.push_str(if i + 1 < self.workloads.len() {
@@ -837,16 +1072,20 @@ pub fn measure_bench(cfg: &BenchConfig) -> Result<BenchReport, CliError> {
         }
         let allocs = crate::alloc::alloc_count() - before;
         let allocs_per_request = counting.then(|| allocs as f64 / requests as f64);
-        // Batch-1 latency distribution.
-        let mut lat_us: Vec<f64> = (0..requests)
-            .map(|i| {
-                let t = std::time::Instant::now();
-                plan.forward_rows(rows[i % BATCH], 1, &mut out)
-                    .map(|()| t.elapsed().as_secs_f64() * 1e6)
-            })
-            .collect::<Result<_, _>>()?;
-        lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+        // Batch-1 latency distribution, recorded into a log2-bucketed
+        // histogram (the same primitive the runtime's telemetry uses),
+        // bracketed by registry snapshots so the per-layer stage
+        // breakdown covers exactly this window.
+        let lat = ant_obs::Histogram::new();
+        let batch1_before = ant_obs::global().snapshot();
+        for i in 0..requests {
+            let t = std::time::Instant::now();
+            plan.forward_rows(rows[i % BATCH], 1, &mut out)?;
+            lat.record(t.elapsed().as_nanos() as u64);
+        }
+        let batch1_delta = ant_obs::global().snapshot().delta_since(&batch1_before);
+        let lat = lat.snapshot();
+        let pct = |p: f64| lat.quantile(p) / 1e3;
         // Batched throughput.
         let per_batch = time_per_iter(batch_iters, || {
             plan.forward_rows(x.as_slice(), BATCH, &mut out)
@@ -864,6 +1103,7 @@ pub fn measure_bench(cfg: &BenchConfig) -> Result<BenchReport, CliError> {
             let id = engine.submit(row).map_err(CliError::Runtime)?;
             engine.wait(id).map_err(CliError::Runtime)?;
         }
+        let engine_before = ant_obs::global().snapshot();
         let per_wave = time_per_iter(batch_iters.min(40), || {
             let ids: Vec<_> = rows
                 .iter()
@@ -873,18 +1113,28 @@ pub fn measure_bench(cfg: &BenchConfig) -> Result<BenchReport, CliError> {
                 engine.wait(id).expect("result");
             }
         });
+        let engine_delta = ant_obs::global().snapshot().delta_since(&engine_before);
+        let stages =
+            layer_stages(&batch1_delta).map(|(layers, coverage_of_forward)| WorkloadStages {
+                layers,
+                coverage_of_forward,
+                engine: engine_stages(&engine_delta),
+            });
         workloads.push(BenchWorkload {
             name,
             features,
             batched_ops_per_sec: BATCH as f64 / per_batch,
             engine_ops_per_sec: BATCH as f64 / per_wave,
             p50_us: pct(0.50),
+            p90_us: pct(0.90),
             p99_us: pct(0.99),
+            p999_us: pct(0.999),
             allocs_per_request,
             load_us_v1,
             load_us_v2,
             mapped_zero_copy,
             mapped_private_dirty_kb,
+            stages,
         });
     }
     // Raw kernel comparison: the acceptance-criteria dense-GEMM shape.
@@ -907,12 +1157,19 @@ pub fn measure_bench(cfg: &BenchConfig) -> Result<BenchReport, CliError> {
     };
     // Zero-copy is only promised where the borrow gate can hold (unix
     // mmap, little-endian hosts); elsewhere the owned fallback is
-    // correct, not a regression.
+    // correct, not a regression. The private-dirty budget only applies
+    // where the measurement exists: `None` means "unavailable" (no
+    // smaps), which must never pass as a clean zero — it is simply not
+    // judged, unlike `Some(kb)` past the budget, which fails.
     let expect_zero_copy = cfg!(all(unix, target_endian = "little"));
     let regression = workloads
         .iter()
         .any(|w| w.allocs_per_request.is_some_and(|a| a > 0.0))
-        || (expect_zero_copy && workloads.iter().any(|w| !w.mapped_zero_copy));
+        || (expect_zero_copy && workloads.iter().any(|w| !w.mapped_zero_copy))
+        || (expect_zero_copy
+            && workloads
+                .iter()
+                .any(|w| w.mapped_private_dirty_kb.is_some_and(|kb| kb > 64)));
     Ok(BenchReport {
         workloads,
         gemm_speedup_i8_vs_i32,
@@ -920,14 +1177,71 @@ pub fn measure_bench(cfg: &BenchConfig) -> Result<BenchReport, CliError> {
     })
 }
 
-/// `antc bench`: measure, render the human table, and write the
-/// machine-readable `BENCH_runtime.json`.
+/// Compares a fresh report against a stored baseline JSON (any schema
+/// carrying per-workload `batched_ops_per_sec`): a workload more than
+/// `tolerance` slower than its baseline sets the regression flag.
+/// Returns the rendered comparison lines.
+fn compare_baseline(
+    report: &mut BenchReport,
+    baseline: &Path,
+    tolerance: f64,
+) -> Result<String, CliError> {
+    let text =
+        std::fs::read_to_string(baseline).map_err(|e| CliError::Artifact(ArtifactError::Io(e)))?;
+    let doc = Json::parse(&text)
+        .map_err(|e| CliError::Usage(format!("--baseline {}: {e}", baseline.display())))?;
+    let base_workloads = doc.get("workloads").and_then(Json::as_arr).ok_or_else(|| {
+        CliError::Usage(format!(
+            "--baseline {}: no \"workloads\" array",
+            baseline.display()
+        ))
+    })?;
+    let mut out = format!(
+        "\nperf guard vs {} (allowed drop {:.0}%):\n",
+        baseline.display(),
+        tolerance * 100.0
+    );
+    for w in &report.workloads {
+        let base_ops = base_workloads
+            .iter()
+            .find(|b| b.get("name").and_then(Json::as_str) == Some(w.name))
+            .and_then(|b| b.get("batched_ops_per_sec"))
+            .and_then(Json::as_f64);
+        match base_ops {
+            Some(base) if base > 0.0 => {
+                let change = w.batched_ops_per_sec / base - 1.0;
+                let ok = change >= -tolerance;
+                if !ok {
+                    report.regression = true;
+                }
+                out.push_str(&format!(
+                    "  {}: {:.0} req/s vs baseline {:.0} ({:+.1}%) {}\n",
+                    w.name,
+                    w.batched_ops_per_sec,
+                    base,
+                    change * 100.0,
+                    if ok { "ok" } else { "REGRESSED" }
+                ));
+            }
+            _ => out.push_str(&format!("  {}: no baseline entry, skipped\n", w.name)),
+        }
+    }
+    Ok(out)
+}
+
+/// `antc bench`: measure, apply the optional baseline perf guard,
+/// render the human table, and write the machine-readable
+/// `BENCH_runtime.json` (schema `ant-bench/runtime-v2`).
 ///
 /// # Errors
 ///
-/// Propagates measurement and file-write failures.
+/// Propagates measurement, baseline-parse and file-write failures.
 pub fn run_bench(cfg: BenchConfig) -> Result<String, CliError> {
-    let report = measure_bench(&cfg)?;
+    let mut report = measure_bench(&cfg)?;
+    let baseline_lines = match &cfg.baseline {
+        Some(b) => Some(compare_baseline(&mut report, b, cfg.tolerance)?),
+        None => None,
+    };
     std::fs::write(&cfg.out, report.to_json(cfg.quick))
         .map_err(|e| CliError::Artifact(ArtifactError::Io(e)))?;
     let mut rows = Vec::new();
@@ -938,7 +1252,9 @@ pub fn run_bench(cfg: BenchConfig) -> Result<String, CliError> {
             format!("{:.0}", w.batched_ops_per_sec),
             format!("{:.0}", w.engine_ops_per_sec),
             format!("{:.1}", w.p50_us),
+            format!("{:.1}", w.p90_us),
             format!("{:.1}", w.p99_us),
+            format!("{:.1}", w.p999_us),
             match w.allocs_per_request {
                 Some(a) => format!("{a:.2}"),
                 None => "n/a".to_string(),
@@ -952,7 +1268,9 @@ pub fn run_bench(cfg: BenchConfig) -> Result<String, CliError> {
             "batched req/s",
             "engine req/s",
             "p50 µs",
+            "p90 µs",
             "p99 µs",
+            "p999 µs",
             "allocs/req",
         ],
         &rows,
@@ -961,6 +1279,36 @@ pub fn run_bench(cfg: BenchConfig) -> Result<String, CliError> {
         "\ndense GEMM (64x256x256): i8 microkernel {:.2}x vs scalar i32 reference\n",
         report.gemm_speedup_i8_vs_i32
     ));
+    let mut any_stages = false;
+    for w in &report.workloads {
+        if let Some(st) = &w.stages {
+            if !any_stages {
+                out.push_str("\nper-stage breakdown (telemetry registry, batch-1 window):\n");
+                any_stages = true;
+            }
+            let top: Vec<String> = st
+                .layers
+                .iter()
+                .take(3)
+                .map(|l| format!("{} {:.0}%", l.kind, l.share * 100.0))
+                .collect();
+            out.push_str(&format!(
+                "  {}: layer timing covers {:.0}% of forward; top: {}\n",
+                w.name,
+                st.coverage_of_forward * 100.0,
+                top.join(", ")
+            ));
+            if let Some(e) = &st.engine {
+                out.push_str(&format!(
+                    "    engine: submit-wait p50 {:.1} µs / p99 {:.1} µs, service p50 {:.1} µs, mean batch {:.1}\n",
+                    e.submit_wait_p50_us, e.submit_wait_p99_us, e.service_p50_us, e.mean_batch
+                ));
+            }
+        }
+    }
+    if !any_stages {
+        out.push_str("\nper-stage breakdown unavailable (runtime built without the obs feature)\n");
+    }
     out.push_str(
         "\nartifact load (time-to-serving-ready, load + strict compile,\nload-scale archetype models of ~0.4-1.6M wire codes):\n",
     );
@@ -983,10 +1331,162 @@ pub fn run_bench(cfg: BenchConfig) -> Result<String, CliError> {
             ));
         }
     }
+    if let Some(lines) = baseline_lines {
+        out.push_str(&lines);
+    }
     if report.regression {
-        out.push_str("REGRESSION: nonzero steady-state allocations per request, or a mapped v2 load that is not zero-copy\n");
+        out.push_str(
+            "REGRESSION: steady-state allocations, a non-zero-copy mapped load, \
+             dirtied weight pages, or throughput below the baseline budget\n",
+        );
     }
     out.push_str(&format!("wrote {}\n", cfg.out.display()));
+    Ok(out)
+}
+
+/// `antc stats` configuration.
+#[derive(Debug, Clone)]
+pub struct StatsConfig {
+    /// Total request rows to drive through the plan.
+    pub requests: usize,
+    /// Rows per `forward_rows` call.
+    pub batch: usize,
+    /// Write the full registry in Prometheus text format here.
+    pub prom: Option<std::path::PathBuf>,
+    /// Write the span rings as a chrome://tracing JSON trace here.
+    pub trace: Option<std::path::PathBuf>,
+}
+
+impl Default for StatsConfig {
+    fn default() -> Self {
+        StatsConfig {
+            requests: 256,
+            batch: 8,
+            prom: None,
+            trace: None,
+        }
+    }
+}
+
+/// `antc stats`: drives seeded requests through a strict-compiled
+/// artifact and reports the per-layer-kind timing/work breakdown read
+/// back from the telemetry registry — calls, total time, share, per-call
+/// p50/p99, derived GOPS and effective GB/s — plus the coverage check
+/// (summed per-layer time vs end-to-end forward time, budgeted ±10%).
+/// Optionally exports the registry (Prometheus text) and the span rings
+/// (chrome://tracing JSON).
+///
+/// # Errors
+///
+/// Propagates load/compile/forward and export-write failures.
+pub fn run_stats<P: AsRef<Path>>(path: P, cfg: StatsConfig) -> Result<String, CliError> {
+    let io = |e: std::io::Error| CliError::Artifact(ArtifactError::Io(e));
+    let mapped = MappedArtifact::open(&path)?;
+    let mut plan = mapped.compile_strict()?;
+    let features = plan.in_features().ok_or_else(|| {
+        CliError::Runtime(RuntimeError::Engine(
+            "plan does not pin an input width".to_string(),
+        ))
+    })?;
+    let batch = cfg.batch.max(1);
+    let iters = cfg.requests.max(1).div_ceil(batch);
+    let x = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[batch, features],
+        42,
+    );
+    let mut out_buf = Vec::new();
+    // Warmup drives scratch buffers to their high-water mark and runs
+    // the cold telemetry-registration edge outside the measured window.
+    for _ in 0..3 {
+        plan.forward_rows(x.as_slice(), batch, &mut out_buf)?;
+    }
+    let before = ant_obs::global().snapshot();
+    let wall = std::time::Instant::now();
+    for _ in 0..iters {
+        plan.forward_rows(x.as_slice(), batch, &mut out_buf)?;
+    }
+    let wall = wall.elapsed();
+    let delta = ant_obs::global().snapshot().delta_since(&before);
+
+    let mut out = format!(
+        "{}: drove {} request row(s) in {iters} forward call(s) of batch {batch} ({:.2} ms wall)\n",
+        path.as_ref().display(),
+        iters * batch,
+        wall.as_secs_f64() * 1e3,
+    );
+    match layer_stages(&delta) {
+        None => out.push_str(
+            "\nno telemetry recorded: the runtime was built without its `obs` feature\n\
+             (rebuild with default features to get the per-layer breakdown)\n",
+        ),
+        Some((layers, coverage)) => {
+            let mut rows = Vec::new();
+            for l in &layers {
+                rows.push(vec![
+                    l.kind.clone(),
+                    l.calls.to_string(),
+                    format!("{:.2}", l.total_us / 1e3),
+                    format!("{:.1}%", l.share * 100.0),
+                    format!("{:.1}", l.p50_us),
+                    format!("{:.1}", l.p99_us),
+                    if l.gops > 0.0 {
+                        format!("{:.2}", l.gops)
+                    } else {
+                        "-".to_string()
+                    },
+                    format!("{:.2}", l.gbps),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&render_table(
+                &[
+                    "layer kind",
+                    "calls",
+                    "total ms",
+                    "share",
+                    "p50 µs",
+                    "p99 µs",
+                    "GOPS",
+                    "GB/s",
+                ],
+                &rows,
+            ));
+            if let Some(fwd) = delta_hist(&delta, "ant_forward_time_ns", None) {
+                out.push_str(&format!(
+                    "\nforward: {} call(s), total {:.2} ms, per-call p50 {:.1} µs / p99 {:.1} µs\n",
+                    fwd.count(),
+                    fwd.sum() as f64 / 1e6,
+                    fwd.quantile(0.50) / 1e3,
+                    fwd.quantile(0.99) / 1e3,
+                ));
+            }
+            out.push_str(&format!(
+                "per-layer timing covers {:.1}% of end-to-end forward time (budget: within 10%)\n",
+                coverage * 100.0
+            ));
+        }
+    }
+    if let Some(prom) = &cfg.prom {
+        let text = prometheus_text(&ant_obs::global().snapshot());
+        std::fs::write(prom, &text).map_err(io)?;
+        out.push_str(&format!(
+            "wrote {} (Prometheus text exposition)\n",
+            prom.display()
+        ));
+    }
+    if let Some(trace) = &cfg.trace {
+        let events = ant_obs::snapshot_spans();
+        std::fs::write(trace, chrome_trace(&events)).map_err(io)?;
+        out.push_str(&format!(
+            "wrote {} ({} span event(s), chrome://tracing JSON)\n",
+            trace.display(),
+            events.len()
+        ));
+    }
     Ok(out)
 }
 
@@ -1001,22 +1501,34 @@ USAGE:
     antc verify <file.antm>
     antc migrate <file.antm>
     antc serve <file.antm> [--requests N] [--batch N]
+               [--metrics-dump <file.prom>]
+    antc stats <file.antm> [--requests N] [--batch N]
+               [--prom <file.prom>] [--trace <file.json>]
     antc bench [--quick] [--out <file.json>] [--seed N]
+               [--baseline <file.json>] [--tolerance F]
 
 The quantize subcommand trains a reference model, runs Algorithm-2 type
 selection through a memoizing Planner, and saves the packed result (wire
 codes + pre-packed panel images + selection-cache fingerprints) as a
 versioned .antm artifact (format v2: mmap-ready, 64-byte-aligned).
-inspect dumps the header, section table, storage mode and per-layer
-selections. verify runs the full integrity gate the lazy v2 load defers:
-section CRCs plus a bit-for-bit recompute of the PANL execution images.
-migrate rewrites an artifact (v1 or v2) in the current format version,
-atomically in place. serve memory-maps the artifact, strict-compiles it
-borrowing weights straight from the file pages, and smoke-serves
-verified batched requests. bench runs fixed MLP/CNN/attention serving
-workloads and writes BENCH_runtime.json (throughput, p50/p99 latency,
-steady-state allocations per request, microkernel speedup, v1-vs-v2
-time-to-serving-ready) so the perf trajectory is tracked across changes.";
+inspect dumps the header, section table, storage mode, per-layer
+selections and the selection-cache fingerprint/hit/miss stats. verify
+runs the full integrity gate the lazy v2 load defers: section CRCs plus
+a bit-for-bit recompute of the PANL execution images. migrate rewrites
+an artifact (v1 or v2) in the current format version, atomically in
+place. serve memory-maps the artifact, strict-compiles it borrowing
+weights straight from the file pages, and smoke-serves verified batched
+requests; --metrics-dump writes the telemetry registry in Prometheus
+text format afterwards. stats drives seeded requests through the plan
+and prints the per-layer-kind breakdown (calls, time share, p50/p99,
+derived GOPS and GB/s) read back from the telemetry registry, with
+optional Prometheus and chrome://tracing exports. bench runs fixed
+MLP/CNN/attention serving workloads and writes BENCH_runtime.json
+(schema ant-bench/runtime-v2: throughput, p50/p90/p99/p999 latency,
+steady-state allocations per request, per-stage breakdowns, microkernel
+speedup, v1-vs-v2 time-to-serving-ready); --baseline compares batched
+throughput against a stored report and flags drops beyond --tolerance
+(default 0.08) with the REGRESSION marker.";
 
 /// Parses argv (without the program name) and runs the selected
 /// subcommand, returning its report.
@@ -1084,6 +1596,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .ok_or_else(|| usage("serve requires an artifact path"))?;
             let mut requests = 256usize;
             let mut batch = 32usize;
+            let mut metrics_dump: Option<std::path::PathBuf> = None;
             let mut it = rest.iter();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
@@ -1102,10 +1615,41 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             .parse()
                             .map_err(|_| usage("--batch needs an integer"))?
                     }
+                    "--metrics-dump" => metrics_dump = Some(value("--metrics-dump")?.into()),
                     other => return Err(usage(&format!("unknown flag '{other}'"))),
                 }
             }
-            run_serve(path, requests, batch)
+            run_serve(path, requests, batch, metrics_dump.as_deref())
+        }
+        "stats" => {
+            let (path, rest) = rest
+                .split_first()
+                .ok_or_else(|| usage("stats requires an artifact path"))?;
+            let mut cfg = StatsConfig::default();
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage(&format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--requests" => {
+                        cfg.requests = value("--requests")?
+                            .parse()
+                            .map_err(|_| usage("--requests needs an integer"))?
+                    }
+                    "--batch" => {
+                        cfg.batch = value("--batch")?
+                            .parse()
+                            .map_err(|_| usage("--batch needs an integer"))?
+                    }
+                    "--prom" => cfg.prom = Some(value("--prom")?.into()),
+                    "--trace" => cfg.trace = Some(value("--trace")?.into()),
+                    other => return Err(usage(&format!("unknown flag '{other}'"))),
+                }
+            }
+            run_stats(path, cfg)
         }
         "bench" => {
             let mut cfg = BenchConfig::default();
@@ -1123,6 +1667,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         cfg.seed = value("--seed")?
                             .parse()
                             .map_err(|_| usage("--seed needs an integer"))?
+                    }
+                    "--baseline" => cfg.baseline = Some(value("--baseline")?.into()),
+                    "--tolerance" => {
+                        cfg.tolerance = value("--tolerance")?
+                            .parse()
+                            .map_err(|_| usage("--tolerance needs a number"))?
                     }
                     other => return Err(usage(&format!("unknown flag '{other}'"))),
                 }

@@ -8,6 +8,7 @@
 
 pub mod alloc;
 pub mod antc;
+pub mod json;
 
 use ant_nn::data::{blobs, motifs, shapes, Dataset};
 use ant_nn::model::{deep_mlp, small_cnn, tiny_transformer, Sequential};

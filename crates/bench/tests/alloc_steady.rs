@@ -7,6 +7,11 @@
 //! [`ant_runtime::CompiledPlan::forward_rows`] serves requests with
 //! **zero** heap allocations — for dense, conv, and attention plans
 //! alike, at both batch-1 and batched shapes.
+//!
+//! With the (default) `obs` feature the same windows also prove the
+//! telemetry tentpole: per-layer metrics and span records are being
+//! written *during* the zero-allocation window — recording really is
+//! allocation-free, not merely disabled.
 
 #[global_allocator]
 static ALLOC: ant_bench::alloc::CountingAlloc = ant_bench::alloc::CountingAlloc;
@@ -76,6 +81,10 @@ fn steady_state_forward_rows_allocates_nothing() {
         }
         plan.forward_rows(x.as_slice(), BATCH, &mut out).unwrap();
         let warm = out.clone();
+        // Telemetry snapshot taken *outside* the counted window (the
+        // snapshot itself allocates; recording must not).
+        #[cfg(feature = "obs")]
+        let obs_before = ant_obs::global().snapshot();
         // Steady state: not one allocation across many requests.
         let before = alloc_count();
         for _ in 0..50 {
@@ -91,6 +100,52 @@ fn steady_state_forward_rows_allocates_nothing() {
         // And the answers did not go stale while we were busy not
         // allocating.
         assert_eq!(out, warm, "{name}: steady-state output drifted");
+        // The zero-allocation window above ran with metrics and spans
+        // live: every forward call and every layer execution must have
+        // landed in the registry, or the tentpole claim ("recording
+        // never allocates") was vacuously tested against a dead path.
+        #[cfg(feature = "obs")]
+        {
+            let delta = ant_obs::global().snapshot().delta_since(&obs_before);
+            let hist_count = |family: &str| -> u64 {
+                match delta.get(family, None) {
+                    Some(series) => match &series.value {
+                        ant_obs::Value::Histogram(h) => h.count(),
+                        _ => panic!("{family} is not a histogram"),
+                    },
+                    None => panic!("{name}: no {family} series recorded in the window"),
+                }
+            };
+            assert_eq!(
+                hist_count("ant_forward_time_ns"),
+                100,
+                "{name}: every forward call in the zero-alloc window must be timed"
+            );
+            let layer_calls: u64 = ant_runtime::obs::LAYER_KINDS
+                .iter()
+                .filter_map(|kind| delta.get("ant_layer_time_ns", Some(kind.as_str())))
+                .map(|series| match &series.value {
+                    ant_obs::Value::Histogram(h) => h.count(),
+                    _ => panic!("ant_layer_time_ns is not a histogram"),
+                })
+                .sum();
+            assert!(
+                layer_calls >= 100,
+                "{name}: per-layer timings missing from the zero-alloc window ({layer_calls})"
+            );
+            // Spans too: the fixed-capacity rings were being written
+            // during the window (span readback allocates, recording
+            // does not — which is exactly what the window proved).
+            let spans = ant_obs::snapshot_spans();
+            assert!(
+                spans.iter().any(|s| s.name == "forward"),
+                "{name}: no forward spans retained"
+            );
+            assert!(
+                spans.iter().any(|s| s.name.starts_with("layer.")),
+                "{name}: no per-layer spans retained"
+            );
+        }
     }
 }
 

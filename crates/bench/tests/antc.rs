@@ -4,6 +4,7 @@
 //! point, so these cover the CLI's behaviour end to end.
 
 use ant_bench::antc::{parse_combo, run, CliError, ModelKind};
+use ant_bench::json::Json;
 use ant_core::select::PrimitiveCombo;
 use ant_runtime::{probe, ModelArtifact};
 use std::path::PathBuf;
@@ -57,6 +58,7 @@ fn quantize_inspect_serve_roundtrip() {
         "{inspect}"
     );
 
+    let dump = temp_artifact("roundtrip-metrics");
     let serve = run(&args(&[
         "serve",
         path_str,
@@ -64,6 +66,8 @@ fn quantize_inspect_serve_roundtrip() {
         "48",
         "--batch",
         "8",
+        "--metrics-dump",
+        dump.to_str().unwrap(),
     ]))
     .unwrap();
     assert!(
@@ -71,7 +75,23 @@ fn quantize_inspect_serve_roundtrip() {
         "{serve}"
     );
     assert!(serve.contains("coverage: 1.00"), "{serve}");
+    assert!(serve.contains("metrics: wrote"), "{serve}");
+    let prom = std::fs::read_to_string(&dump).unwrap();
+    #[cfg(feature = "obs")]
+    {
+        // The serve loop drives the engine, so its counters must be in
+        // the dump (the registry is process-wide; other tests may add
+        // more series, never fewer).
+        assert!(
+            prom.contains("# TYPE ant_engine_requests_total counter"),
+            "{prom}"
+        );
+        assert!(prom.contains("ant_forward_time_ns_bucket"), "{prom}");
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = prom;
 
+    std::fs::remove_file(&dump).ok();
     std::fs::remove_file(&path).ok();
 }
 
@@ -177,32 +197,206 @@ fn bench_quick_writes_valid_json_and_reports_no_regression() {
         !report.contains("REGRESSION"),
         "regression marker in: {report}"
     );
-    // The JSON artifact has the stable schema and all three workloads.
-    let json = std::fs::read_to_string(&out).unwrap();
-    assert!(json.contains("\"schema\": \"ant-bench/runtime-v1\""));
-    assert!(json.contains("\"quick\": true"));
-    assert!(json.contains("\"regression\": false"));
-    for name in ["\"mlp\"", "\"cnn\"", "\"attention\""] {
-        assert!(json.contains(name), "json missing {name}: {json}");
-    }
-    // Library test processes do not install the counting allocator, so
-    // allocation counts must be honestly reported as unknown, not 0.
-    assert!(json.contains("\"allocs_per_request\": null"));
-    // v1-vs-v2 load-path metrics ride along per workload.
-    assert!(json.contains("\"load_us_v1\""), "{json}");
-    assert!(json.contains("\"load_us_v2\""), "{json}");
-    assert!(json.contains("\"load_speedup_v2\""), "{json}");
-    if cfg!(all(unix, target_endian = "little")) {
-        assert!(json.contains("\"mapped_zero_copy\": true"), "{json}");
-    }
-    // Shared-RSS metric: on linux the mapping must stay clean (0 kB of
-    // private-dirty weight pages); elsewhere it is honestly null.
-    if cfg!(target_os = "linux") {
-        assert!(json.contains("\"mapped_private_dirty_kb\": 0"), "{json}");
-    } else {
-        assert!(json.contains("\"mapped_private_dirty_kb\": null"), "{json}");
+    // The JSON artifact round-trips through the in-tree parser and has
+    // the stable v2 schema: exact key set per workload, not substrings.
+    let doc = Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("ant-bench/runtime-v2")
+    );
+    assert_eq!(doc.get("quick").and_then(Json::as_bool), Some(true));
+    assert_eq!(doc.get("regression").and_then(Json::as_bool), Some(false));
+    assert!(doc.get("gemm_speedup_i8_vs_i32").unwrap().as_f64().unwrap() > 0.0);
+    let workloads = doc.get("workloads").and_then(Json::as_arr).unwrap();
+    let names: Vec<_> = workloads
+        .iter()
+        .map(|w| w.get("name").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(names, ["mlp", "cnn", "attention"]);
+    for w in workloads {
+        assert_eq!(
+            w.keys(),
+            vec![
+                "name",
+                "features",
+                "batched_ops_per_sec",
+                "engine_ops_per_sec",
+                "p50_us",
+                "p90_us",
+                "p99_us",
+                "p999_us",
+                "allocs_per_request",
+                "load_us_v1",
+                "load_us_v2",
+                "load_speedup_v2",
+                "mapped_zero_copy",
+                "mapped_private_dirty_kb",
+                "stages",
+            ],
+            "workload key set drifted from the runtime-v2 schema"
+        );
+        // Quantile ordering is free validation of the histogram path.
+        let q = |k: &str| w.get(k).and_then(Json::as_f64).unwrap();
+        assert!(q("p50_us") <= q("p90_us") && q("p90_us") <= q("p99_us"));
+        assert!(q("p99_us") <= q("p999_us"), "p999 below p99");
+        // Library test processes do not install the counting allocator,
+        // so allocation counts must be honestly reported as unknown.
+        assert!(w.get("allocs_per_request").unwrap().is_null());
+        if cfg!(all(unix, target_endian = "little")) {
+            assert_eq!(
+                w.get("mapped_zero_copy").and_then(Json::as_bool),
+                Some(true)
+            );
+        }
+        // Shared-RSS metric: measured (a number) on linux, honestly
+        // null — not a fake 0 — where smaps_rollup does not exist.
+        let dirty = w.get("mapped_private_dirty_kb").unwrap();
+        if cfg!(target_os = "linux") {
+            assert!(
+                dirty.as_f64().is_some(),
+                "dirty-kB should be measured: {dirty:?}"
+            );
+        } else {
+            assert!(
+                dirty.is_null(),
+                "dirty-kB must be null off-linux: {dirty:?}"
+            );
+        }
+        let stages = w.get("stages").unwrap();
+        #[cfg(feature = "obs")]
+        {
+            let layers = stages.get("layers").and_then(Json::as_arr).unwrap();
+            assert!(!layers.is_empty(), "obs build must report layer stages");
+            for l in layers {
+                assert_eq!(
+                    l.keys(),
+                    vec!["kind", "calls", "total_us", "share", "p50_us", "p99_us", "gops", "gbps"]
+                );
+            }
+            let coverage = stages
+                .get("coverage_of_forward")
+                .and_then(Json::as_f64)
+                .unwrap();
+            assert!(
+                coverage > 0.5 && coverage < 1.2,
+                "layer-stage coverage implausible: {coverage}"
+            );
+            assert!(
+                !stages.get("engine").unwrap().is_null(),
+                "engine wave ran, stage latencies must be present"
+            );
+        }
+        #[cfg(not(feature = "obs"))]
+        assert!(
+            stages.is_null(),
+            "no hooks compiled in, stages must be null"
+        );
     }
     std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn bench_baseline_guard_flags_regressions_and_skips_missing() {
+    let base = temp_artifact("bench-baseline");
+    let out = temp_artifact("bench-baseline-out");
+    // A hand-crafted baseline: "mlp" with absurdly high throughput (any
+    // real run regresses against it), "cnn" with near-zero (any real
+    // run clears it), and no "attention" entry at all.
+    std::fs::write(
+        &base,
+        "{\n  \"schema\": \"ant-bench/runtime-v2\",\n  \"workloads\": [\n    \
+         {\"name\": \"mlp\", \"batched_ops_per_sec\": 1e15},\n    \
+         {\"name\": \"cnn\", \"batched_ops_per_sec\": 0.001}\n  ]\n}\n",
+    )
+    .unwrap();
+    let report = run(&args(&[
+        "bench",
+        "--quick",
+        "--seed",
+        "3",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]))
+    .unwrap();
+    assert!(report.contains("perf guard vs"), "{report}");
+    assert!(
+        report.contains("mlp") && report.contains("REGRESSED"),
+        "{report}"
+    );
+    assert!(report.contains("cnn") && report.contains("ok"), "{report}");
+    assert!(
+        report.contains("attention: no baseline entry, skipped"),
+        "{report}"
+    );
+    // The guard verdict lands in both the human report and the JSON.
+    assert!(report.contains("REGRESSION"), "{report}");
+    let doc = Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(doc.get("regression").and_then(Json::as_bool), Some(true));
+    std::fs::remove_file(&base).ok();
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn stats_reports_per_layer_breakdown_and_exports() {
+    let path = temp_artifact("stats");
+    let path_str = path.to_str().unwrap();
+    run(&args(&[
+        "quantize", "--out", path_str, "--model", "mlp", "--epochs", "1", "--seed", "9",
+    ]))
+    .unwrap();
+    let prom = temp_artifact("stats-prom");
+    let trace = temp_artifact("stats-trace");
+    let report = run(&args(&[
+        "stats",
+        path_str,
+        "--requests",
+        "64",
+        "--batch",
+        "8",
+        "--prom",
+        prom.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]))
+    .unwrap();
+    // Both exporters write regardless of feature state (a hook-less
+    // runtime just exports an empty registry / span set).
+    assert!(report.contains("Prometheus text exposition"), "{report}");
+    assert!(report.contains("chrome://tracing JSON"), "{report}");
+    let trace_doc = Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let events = trace_doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    #[cfg(feature = "obs")]
+    {
+        // The acceptance budget: per-layer-kind timing sums to within
+        // 10% of the end-to-end forward time.
+        assert!(report.contains("layer kind"), "{report}");
+        let tail = report
+            .split("per-layer timing covers ")
+            .nth(1)
+            .unwrap_or_else(|| panic!("no coverage line in: {report}"));
+        let pct: f64 = tail.split('%').next().unwrap().trim().parse().unwrap();
+        assert!(
+            (90.0..=110.0).contains(&pct),
+            "stage timing covers {pct}% of forward; budget is within 10%"
+        );
+        assert!(
+            std::fs::read_to_string(&prom)
+                .unwrap()
+                .contains("ant_layer_time_ns_bucket"),
+            "stats prom export lacks layer histograms"
+        );
+        assert!(!events.is_empty(), "obs build must retain span events");
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        assert!(report.contains("no telemetry recorded"), "{report}");
+        let _ = events;
+    }
+    std::fs::remove_file(&prom).ok();
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&path).ok();
 }
 
 fn quantized_artifact(seed: u64) -> ModelArtifact {

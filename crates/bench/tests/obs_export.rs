@@ -1,0 +1,339 @@
+//! Exporter format contracts: the Prometheus text exposition and the
+//! chrome://tracing JSON are parsed structurally, not substring-matched.
+//!
+//! A deterministic registry is rendered and compared byte-for-byte
+//! against a checked-in golden file (`golden/metrics.prom`), then both
+//! that exposition and — in obs builds — the *live* process registry
+//! after real forward traffic are run through a small Prometheus
+//! parser: `# HELP`/`# TYPE` exactly once per family and before its
+//! first sample, no duplicate series, cumulative histogram buckets that
+//! end at `_count`. The chrome trace is parsed with the in-tree JSON
+//! parser and checked event by event.
+
+use ant_bench::json::Json;
+use ant_obs::export::{chrome_trace, prometheus_text};
+use ant_obs::{Registry, SpanEvent};
+use std::collections::HashMap;
+
+/// A fixed registry: every value type, labeled and unlabeled series,
+/// and a label value that needs escaping.
+fn sample_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("ant_requests_total", "Requests served").add(1234);
+    r.gauge("ant_queue_depth", "Queued requests").set(-3);
+    let h = r.histogram("ant_latency_ns", "Request latency");
+    for v in [1, 5, 100, 3_000, 100_000, 100_000] {
+        h.record(v);
+    }
+    for (kind, n) in [("packed_linear", 21), ("relu", 7), ("quo\"ted", 1)] {
+        r.counter_with("ant_layer_calls_total", "kind", kind, "Per-kind calls")
+            .add(n);
+    }
+    let hl = r.histogram_with(
+        "ant_layer_time_ns",
+        "kind",
+        "packed_linear",
+        "Per-kind time",
+    );
+    hl.record(50);
+    hl.record(900);
+    r
+}
+
+/// One parsed sample line: series identity (name + raw label block,
+/// `le` included) and its numeric value.
+struct Sample {
+    name: String,
+    labels: String,
+    value: f64,
+}
+
+/// Parses a text exposition, panicking on any structural violation;
+/// returns the samples in document order.
+fn validate_prometheus(text: &str) -> Vec<Sample> {
+    // family -> (help_seen, type_seen, kind)
+    let mut families: HashMap<String, (bool, bool, String)> = HashMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut seen_series: Vec<String> = Vec::new();
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "blank line in exposition");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (fam, help) = rest.split_once(' ').expect("HELP without text");
+            assert!(!help.is_empty());
+            let e = families
+                .entry(fam.to_string())
+                .or_insert((false, false, String::new()));
+            assert!(!e.0, "duplicate # HELP for {fam}");
+            e.0 = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (fam, kind) = rest.split_once(' ').expect("TYPE without kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown TYPE {kind} for {fam}"
+            );
+            let e = families
+                .entry(fam.to_string())
+                .or_insert((false, false, String::new()));
+            assert!(!e.1, "duplicate # TYPE for {fam}");
+            assert!(e.0, "# TYPE for {fam} precedes its # HELP");
+            e.1 = true;
+            e.2 = kind.to_string();
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment line: {line}");
+        // Sample: name[{labels}] value
+        let brace = line.find('{');
+        let (name, rest) = match brace {
+            Some(b) => {
+                // The label block may contain escaped quotes; scan for
+                // the closing brace outside a string.
+                let bytes = line.as_bytes();
+                let (mut i, mut in_str, mut esc, mut end) = (b + 1, false, false, 0usize);
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if esc {
+                        esc = false;
+                    } else if in_str && c == b'\\' {
+                        esc = true;
+                    } else if c == b'"' {
+                        in_str = !in_str;
+                    } else if !in_str && c == b'}' {
+                        end = i;
+                        break;
+                    }
+                    i += 1;
+                }
+                assert!(end > b, "unterminated label block: {line}");
+                (&line[..b], (&line[b..=end], &line[end + 1..]))
+            }
+            None => {
+                let sp = line.find(' ').unwrap_or_else(|| panic!("no value: {line}"));
+                (&line[..sp], ("", &line[sp..]))
+            }
+        };
+        let (labels, value_part) = rest;
+        let value: f64 = value_part.trim().parse().unwrap_or_else(|_| {
+            panic!("sample value does not parse as a number: {line}");
+        });
+        // Resolve which declared family this sample belongs to:
+        // histograms own their _bucket/_sum/_count suffixed series.
+        let fam = families
+            .keys()
+            .filter(|f| {
+                name == f.as_str()
+                    || (families[*f].2 == "histogram"
+                        && [
+                            format!("{f}_bucket"),
+                            format!("{f}_sum"),
+                            format!("{f}_count"),
+                        ]
+                        .iter()
+                        .any(|s| s == name))
+            })
+            .max_by_key(|f| f.len())
+            .unwrap_or_else(|| panic!("sample {name} has no declared family"))
+            .clone();
+        let (help, ty, _) = &families[&fam];
+        assert!(*help && *ty, "sample for {fam} before its HELP/TYPE pair");
+        let series = format!("{name}{labels}");
+        assert!(
+            !seen_series.contains(&series),
+            "duplicate series line: {series}"
+        );
+        seen_series.push(series);
+        samples.push(Sample {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            value,
+        });
+    }
+    // Histogram integrity: buckets are cumulative and end at _count.
+    for (fam, (_, _, kind)) in &families {
+        if kind != "histogram" {
+            continue;
+        }
+        // Group buckets by their label block minus `le`.
+        let mut groups: HashMap<String, Vec<f64>> = HashMap::new();
+        for s in &samples {
+            if s.name == format!("{fam}_bucket") {
+                let base: String = s
+                    .labels
+                    .trim_matches(['{', '}'])
+                    .split(',')
+                    .filter(|kv| !kv.starts_with("le="))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                groups.entry(base).or_default().push(s.value);
+            }
+        }
+        assert!(!groups.is_empty(), "histogram {fam} exported no buckets");
+        for (base, cum) in groups {
+            assert!(
+                cum.windows(2).all(|w| w[0] <= w[1]),
+                "{fam}{{{base}}} buckets not cumulative: {cum:?}"
+            );
+            let count = samples
+                .iter()
+                .find(|s| {
+                    s.name == format!("{fam}_count") && s.labels.trim_matches(['{', '}']) == base
+                })
+                .unwrap_or_else(|| panic!("{fam} has buckets but no _count"))
+                .value;
+            assert_eq!(
+                *cum.last().unwrap(),
+                count,
+                "{fam} +Inf bucket disagrees with _count"
+            );
+            assert!(
+                samples
+                    .iter()
+                    .any(|s| s.name == format!("{fam}_sum")
+                        && s.labels.trim_matches(['{', '}']) == base),
+                "{fam} missing _sum"
+            );
+        }
+    }
+    samples
+}
+
+#[test]
+fn golden_prometheus_exposition_is_stable() {
+    let text = prometheus_text(&sample_registry().snapshot());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom"),
+            &text,
+        )
+        .unwrap();
+        return;
+    }
+    assert_eq!(
+        text,
+        include_str!("golden/metrics.prom"),
+        "exporter output drifted from the checked-in golden file; \
+         update tests/golden/metrics.prom only on a deliberate format change"
+    );
+}
+
+#[test]
+fn prometheus_exposition_parses_cleanly() {
+    let samples = validate_prometheus(&prometheus_text(&sample_registry().snapshot()));
+    let get = |name: &str, labels: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.labels == labels)
+            .unwrap_or_else(|| panic!("missing series {name}{labels}"))
+            .value
+    };
+    assert_eq!(get("ant_requests_total", ""), 1234.0);
+    assert_eq!(get("ant_queue_depth", ""), -3.0);
+    assert_eq!(get("ant_latency_ns_count", ""), 6.0);
+    assert_eq!(get("ant_latency_ns_sum", ""), 203106.0);
+    assert_eq!(get("ant_layer_calls_total", "{kind=\"relu\"}"), 7.0);
+    assert_eq!(get("ant_layer_calls_total", "{kind=\"quo\\\"ted\"}"), 1.0);
+    assert_eq!(
+        get("ant_layer_time_ns_count", "{kind=\"packed_linear\"}"),
+        2.0
+    );
+}
+
+/// In instrumented builds the *live* process registry — after real
+/// forward traffic — must also render a clean exposition: real family
+/// names, labeled per-kind series, no duplicates.
+#[test]
+#[cfg(feature = "obs")]
+fn live_registry_exposition_parses_cleanly() {
+    use ant_nn::model::deep_mlp;
+    use ant_nn::qat::{quantize_model, QuantSpec};
+    use ant_tensor::dist::{sample_tensor, Distribution};
+
+    let mut model = deep_mlp(16, 10, 24, 6, 5);
+    let calib = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[64, 16],
+        7,
+    );
+    quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+    let mut plan = ant_runtime::CompiledPlan::from_quantized_strict(&model)
+        .unwrap()
+        .with_threads(1);
+    let x = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[4, 16],
+        11,
+    );
+    let mut out = Vec::new();
+    for _ in 0..8 {
+        plan.forward_rows(x.as_slice(), 4, &mut out).unwrap();
+    }
+    let samples = validate_prometheus(&prometheus_text(&ant_obs::global().snapshot()));
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "ant_forward_time_ns_count" && s.value >= 8.0),
+        "forward histogram missing from the live exposition"
+    );
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "ant_layer_time_ns_count" && s.labels == "{kind=\"packed_linear\"}"),
+        "per-kind layer series missing from the live exposition"
+    );
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_complete_events() {
+    let events = vec![
+        SpanEvent {
+            name: "forward",
+            tid: 0,
+            start_ns: 1_000,
+            dur_ns: 4_000,
+        },
+        SpanEvent {
+            name: "layer.packed_linear",
+            tid: 0,
+            start_ns: 1_250,
+            dur_ns: 2_500,
+        },
+        SpanEvent {
+            name: "engine.batch",
+            tid: 3,
+            start_ns: 9_000,
+            dur_ns: 700,
+        },
+    ];
+    let doc = Json::parse(&chrome_trace(&events)).unwrap();
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ns")
+    );
+    let rendered = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    assert_eq!(rendered.len(), events.len());
+    for (e, r) in events.iter().zip(rendered) {
+        assert_eq!(r.get("name").and_then(Json::as_str), Some(e.name));
+        assert_eq!(r.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(r.get("cat").and_then(Json::as_str), Some("ant"));
+        assert_eq!(r.get("pid").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(r.get("tid").and_then(Json::as_f64), Some(e.tid as f64));
+        // Timestamps are µs with ns precision kept in the decimals.
+        let ts = r.get("ts").and_then(Json::as_f64).unwrap();
+        let dur = r.get("dur").and_then(Json::as_f64).unwrap();
+        assert!((ts - e.start_ns as f64 / 1e3).abs() < 1e-9);
+        assert!((dur - e.dur_ns as f64 / 1e3).abs() < 1e-9);
+    }
+    // The empty trace is still a complete, loadable document.
+    let empty = Json::parse(&chrome_trace(&[])).unwrap();
+    assert_eq!(
+        empty.get("traceEvents").and_then(Json::as_arr),
+        Some(&[][..])
+    );
+}

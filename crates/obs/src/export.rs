@@ -1,0 +1,164 @@
+//! Exporters: Prometheus text exposition and chrome://tracing JSON.
+//!
+//! Both render a *snapshot*, never live metric storage, so they can be
+//! as allocation-happy as any formatter — the zero-alloc discipline
+//! applies to recording, not export.
+
+use crate::registry::{Snapshot, Value};
+use crate::span::SpanEvent;
+use std::fmt::Write;
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4): one `# HELP` / `# TYPE` pair per family, one sample
+/// line per series, histograms as cumulative `_bucket{le=…}` series
+/// plus `_sum` and `_count`.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut seen_families: Vec<&str> = Vec::new();
+    for series in &snap.series {
+        let fam = series.family.as_str();
+        if !seen_families.contains(&fam) {
+            seen_families.push(fam);
+            let kind = match &series.value {
+                Value::Counter(_) => "counter",
+                Value::Gauge(_) => "gauge",
+                Value::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {fam} {}", series.help);
+            let _ = writeln!(out, "# TYPE {fam} {kind}");
+        }
+        let label = series
+            .label
+            .as_ref()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)));
+        match &series.value {
+            Value::Counter(v) => {
+                let braces = label.map(|l| format!("{{{l}}}")).unwrap_or_default();
+                let _ = writeln!(out, "{fam}{braces} {v}");
+            }
+            Value::Gauge(v) => {
+                let braces = label.map(|l| format!("{{{l}}}")).unwrap_or_default();
+                let _ = writeln!(out, "{fam}{braces} {v}");
+            }
+            Value::Histogram(h) => {
+                let mut cum = 0u64;
+                for (_, upper, count) in h.buckets() {
+                    cum += count;
+                    let le = match &label {
+                        Some(l) => format!("{{{l},le=\"{upper}\"}}"),
+                        None => format!("{{le=\"{upper}\"}}"),
+                    };
+                    let _ = writeln!(out, "{fam}_bucket{le} {cum}");
+                }
+                let inf = match &label {
+                    Some(l) => format!("{{{l},le=\"+Inf\"}}"),
+                    None => "{le=\"+Inf\"}".to_string(),
+                };
+                let braces = label.map(|l| format!("{{{l}}}")).unwrap_or_default();
+                let _ = writeln!(out, "{fam}_bucket{inf} {}", h.count());
+                let _ = writeln!(out, "{fam}_sum{braces} {}", h.sum());
+                let _ = writeln!(out, "{fam}_count{braces} {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+/// Renders span events as a chrome://tracing / Perfetto JSON trace:
+/// an object with a `traceEvents` array of complete (`"ph": "X"`)
+/// events, timestamps in microseconds on the process timeline.
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"ant\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+            escape_label(e.name),
+            e.tid,
+            e.start_ns as f64 / 1000.0,
+            e.dur_ns as f64 / 1000.0,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("ant_requests_total", "Requests served").add(7);
+        r.gauge("ant_queue_depth", "Queued requests").set(3);
+        let h = r.histogram("ant_latency_ns", "Request latency");
+        h.record(100);
+        h.record(100_000);
+        r.counter_with("ant_layer_total", "kind", "relu", "Per-kind calls")
+            .add(2);
+        r.counter_with("ant_layer_total", "kind", "gelu", "Per-kind calls")
+            .add(4);
+        r
+    }
+
+    #[test]
+    fn prometheus_shape_is_well_formed() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        assert!(text.contains("# HELP ant_requests_total Requests served"));
+        assert!(text.contains("# TYPE ant_requests_total counter"));
+        assert!(text.contains("ant_requests_total 7"));
+        assert!(text.contains("# TYPE ant_queue_depth gauge"));
+        assert!(text.contains("ant_queue_depth 3"));
+        assert!(text.contains("# TYPE ant_latency_ns histogram"));
+        assert!(text.contains("ant_latency_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("ant_latency_ns_count 2"));
+        assert!(text.contains("ant_latency_ns_sum 100100"));
+        assert!(text.contains("ant_layer_total{kind=\"relu\"} 2"));
+        assert!(text.contains("ant_layer_total{kind=\"gelu\"} 4"));
+        // One HELP/TYPE pair per family, not per series.
+        assert_eq!(text.matches("# TYPE ant_layer_total").count(), 1);
+        // Cumulative buckets end at the total count.
+        let last_bucket = text
+            .lines()
+            .rfind(|l| l.starts_with("ant_latency_ns_bucket"))
+            .unwrap();
+        assert!(last_bucket.ends_with(" 2"));
+    }
+
+    #[test]
+    fn chrome_trace_renders_events() {
+        let events = vec![
+            SpanEvent {
+                name: "layer.relu",
+                tid: 0,
+                start_ns: 1500,
+                dur_ns: 250,
+            },
+            SpanEvent {
+                name: "forward",
+                tid: 1,
+                start_ns: 1000,
+                dur_ns: 4000,
+            },
+        ];
+        let json = chrome_trace(&events);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"layer.relu\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":4.000"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert_eq!(
+            chrome_trace(&[]),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Zero-allocation telemetry spine for the ANT serving runtime.
+//!
+//! The runtime already enforces a hard discipline for the serving hot
+//! path: after warmup, a request performs **zero heap allocations**
+//! (`crates/bench/tests/alloc_steady.rs`). This crate extends the same
+//! discipline to telemetry — *recording* a metric or a span never
+//! allocates, never takes a lock, and costs a few nanoseconds:
+//!
+//! * [`Counter`] / [`Gauge`] — single relaxed atomic read-modify-writes.
+//! * [`Histogram`] — fixed-size log2-bucketed distribution (64 octaves,
+//!   4 linear sub-buckets each); one shift + two relaxed `fetch_add`s
+//!   per record, percentiles (p50/p90/p99/p999) derived at *read* time.
+//! * [`span`](mod@span) — fixed-capacity per-thread ring buffers of span
+//!   records, written with plain relaxed atomic stores.
+//!
+//! Allocation and locking are confined to the cold edges: registering a
+//! metric in the [`Registry`] (done once at startup / plan compile),
+//! taking a [`Registry::snapshot`], and rendering an export
+//! ([`export::prometheus_text`], [`export::chrome_trace`]). The hot
+//! side is what the `alloc_steady` allocation test pins with telemetry
+//! enabled.
+//!
+//! Timing uses a process-wide monotonic epoch ([`now_ns`]) so span
+//! timestamps from different threads land on one timeline.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod export;
+mod metrics;
+mod registry;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{global, Registry, Series, Snapshot, Value};
+pub use span::{record_span, register_span, snapshot_spans, SpanEvent, SpanId};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Nanoseconds since the process-wide telemetry epoch (the first call).
+///
+/// Monotonic and shared across threads, so span start/end stamps from
+/// different threads are directly comparable. The epoch cell is inline
+/// storage (`OnceLock<Instant>`): initialization does not allocate, so
+/// the first timed event on the hot path stays allocation-free.
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,334 @@
+//! The three metric primitives: counter, gauge, histogram.
+//!
+//! All recording operations are single (or a fixed handful of) relaxed
+//! atomic read-modify-writes on preallocated storage — no locks, no
+//! allocation, no syscalls. Relaxed ordering is deliberate: telemetry
+//! only needs eventually-consistent totals, never synchronization, and
+//! relaxed `fetch_add` compiles to one uncontended `lock xadd`.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            v: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Relaxed);
+    }
+
+    /// Current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Relaxed)
+    }
+}
+
+/// A point-in-time signed value (queue depth, a 0/1 flag, …).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            v: AtomicI64::new(0),
+        }
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.v.store(v, Relaxed);
+    }
+
+    /// Adjusts the value by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.v.fetch_add(delta, Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.v.load(Relaxed)
+    }
+}
+
+/// Bucket count of the fixed histogram layout: values 0–3 get exact
+/// buckets, every power-of-two octave above that is split into 4 linear
+/// sub-buckets (top two mantissa bits), covering the full `u64` range.
+pub const HIST_BUCKETS: usize = 4 + 62 * 4;
+
+/// Bucket index for a value — a handful of ALU ops, no branches beyond
+/// the small-value guard.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize; // >= 2
+    let sub = ((v >> (octave - 2)) & 3) as usize;
+    4 + (octave - 2) * 4 + sub
+}
+
+/// Inclusive `[lower, upper]` value range of a bucket index.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < 4 {
+        return (idx as u64, idx as u64);
+    }
+    let octave = (idx - 4) / 4 + 2;
+    let sub = ((idx - 4) % 4) as u64;
+    let step = 1u64 << (octave - 2);
+    let lower = (1u64 << octave) + sub * step;
+    (lower, lower.wrapping_add(step - 1))
+}
+
+/// A fixed-size log2-bucketed distribution.
+///
+/// Recording is two relaxed `fetch_add`s (bucket + running sum) on
+/// preallocated slots; quantiles are derived at snapshot time by
+/// cumulative walk with linear interpolation inside the landing bucket,
+/// so p50/p90/p99/p999 carry sub-octave (±12.5%) resolution without the
+/// hot path ever sorting or allocating.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+    }
+
+    /// Total observations (sums the bucket array; read-path only).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy for export and quantile
+    /// math (buckets are read relaxed; concurrent records may straddle
+    /// the read, which telemetry tolerates).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        HistogramSnapshot {
+            counts,
+            sum: self.sum.load(Relaxed),
+        }
+    }
+}
+
+/// Point-in-time histogram contents; all derived statistics live here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observed value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), linearly interpolated inside
+    /// the landing bucket. Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = bucket_bounds(idx);
+                let into = (rank - seen) as f64 / c as f64;
+                return lo as f64 + (hi - lo) as f64 * into;
+            }
+            seen += c;
+        }
+        let (_, hi) = bucket_bounds(HIST_BUCKETS - 1);
+        hi as f64
+    }
+
+    /// Non-empty buckets as `(lower, upper_inclusive, count)` triples in
+    /// ascending value order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+
+    /// Per-bucket difference `self - earlier` (both must come from the
+    /// same histogram; counts and sum saturate at zero for safety).
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts = self
+            .counts
+            .iter()
+            .zip(earlier.counts.iter().chain(std::iter::repeat(&0)))
+            .map(|(&a, &b)| a.saturating_sub(b))
+            .collect();
+        HistogramSnapshot {
+            counts,
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-10);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic_and_bounds_tile_u64() {
+        let mut prev_idx = 0;
+        let mut probe: Vec<u64> = (0..130).collect();
+        for o in 7..64 {
+            probe.push((1u64 << o) - 1);
+            probe.push(1u64 << o);
+            probe.push((1u64 << o) + (1u64 << (o - 2)));
+        }
+        probe.push(u64::MAX);
+        probe.sort_unstable();
+        for &v in &probe {
+            let idx = bucket_index(v);
+            assert!(idx >= prev_idx, "index not monotonic at {v}");
+            prev_idx = idx;
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "v={v} outside [{lo}, {hi}] (idx {idx})");
+        }
+        // Buckets tile without gaps or overlap.
+        for idx in 0..HIST_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(idx);
+            let (lo_next, _) = bucket_bounds(idx + 1);
+            assert_eq!(hi.wrapping_add(1), lo_next, "gap after bucket {idx}");
+        }
+        assert_eq!(bucket_bounds(HIST_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_octave_resolution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum(), 500500);
+        // True p50 = 500, p99 = 990, p999 = 1000; sub-buckets bound the
+        // estimate to ±12.5% of the landing octave.
+        assert!(
+            (s.quantile(0.5) - 500.0).abs() < 75.0,
+            "{}",
+            s.quantile(0.5)
+        );
+        assert!((s.quantile(0.99) - 990.0).abs() < 130.0);
+        assert!(s.quantile(0.999) <= 1023.0);
+        assert!(s.quantile(0.0) >= 1.0);
+        // Quantiles are monotone in q.
+        assert!(s.quantile(0.5) <= s.quantile(0.9));
+        assert!(s.quantile(0.9) <= s.quantile(0.99));
+        assert!(s.quantile(0.99) <= s.quantile(0.999));
+    }
+
+    #[test]
+    fn exact_buckets_give_exact_small_quantiles() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(2);
+        }
+        assert_eq!(h.snapshot().quantile(0.5), 2.0);
+        assert_eq!(h.snapshot().mean(), 2.0);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts() {
+        let h = Histogram::new();
+        h.record(10);
+        let before = h.snapshot();
+        h.record(100);
+        h.record(100);
+        let d = h.snapshot().delta_since(&before);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 200);
+        assert_eq!(d.buckets().count(), 1);
+    }
+}

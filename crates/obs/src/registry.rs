@@ -1,0 +1,304 @@
+//! The metric registry: named handles and point-in-time snapshots.
+//!
+//! Registration is the cold edge — it takes a mutex and may allocate,
+//! and is meant to run once per metric at startup (plan compile, engine
+//! construction). The returned `Arc` handles are then recorded through
+//! directly, without ever touching the registry again, which is what
+//! keeps the hot path lock- and allocation-free.
+//!
+//! Series are named `family` + one optional `key="value"` label (the
+//! slice of Prometheus's data model the runtime needs: per-layer-kind
+//! and per-worker breakdowns). Registering the same (family, label)
+//! twice returns the same handle, so independent subsystems can share a
+//! series without coordination.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::sync::{Arc, Mutex};
+
+/// A live metric handle held by a registry entry.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    family: String,
+    label: Option<(&'static str, String)>,
+    help: String,
+    metric: Metric,
+}
+
+/// A set of named metrics that can be snapshotted together.
+///
+/// The process-wide instance is [`global()`]; isolated instances are
+/// cheap to create for tests that need deterministic totals.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Registry {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        family: &str,
+        label: Option<(&'static str, &str)>,
+        help: &str,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| {
+            e.family == family && e.label.as_ref().map(|(k, v)| (*k, v.as_str())) == label
+        }) {
+            return e.metric.clone();
+        }
+        let metric = make();
+        entries.push(Entry {
+            family: family.to_string(),
+            label: label.map(|(k, v)| (k, v.to_string())),
+            help: help.to_string(),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    pub fn counter(&self, family: &str, help: &str) -> Arc<Counter> {
+        match self.get_or_insert(family, None, help, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {family} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or retrieves) a counter series with one label.
+    pub fn counter_with(
+        &self,
+        family: &str,
+        key: &'static str,
+        value: &str,
+        help: &str,
+    ) -> Arc<Counter> {
+        match self.get_or_insert(family, Some((key, value)), help, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {family} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled gauge.
+    pub fn gauge(&self, family: &str, help: &str) -> Arc<Gauge> {
+        match self.get_or_insert(family, None, help, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {family} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled histogram.
+    pub fn histogram(&self, family: &str, help: &str) -> Arc<Histogram> {
+        match self.get_or_insert(family, None, help, || {
+            Metric::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {family} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram series with one label.
+    pub fn histogram_with(
+        &self,
+        family: &str,
+        key: &'static str,
+        value: &str,
+        help: &str,
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(family, Some((key, value)), help, || {
+            Metric::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {family} already registered with a different type"),
+        }
+    }
+
+    /// A point-in-time copy of every registered series, in registration
+    /// order (families stay contiguous for exporters as long as their
+    /// series were registered together).
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries.lock().unwrap();
+        Snapshot {
+            series: entries
+                .iter()
+                .map(|e| Series {
+                    family: e.family.clone(),
+                    label: e.label.as_ref().map(|(k, v)| (k.to_string(), v.clone())),
+                    help: e.help.clone(),
+                    value: match &e.metric {
+                        Metric::Counter(c) => Value::Counter(c.get()),
+                        Metric::Gauge(g) => Value::Gauge(g.get()),
+                        Metric::Histogram(h) => Value::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry the runtime's instrumentation records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}
+
+/// One exported series: family name, optional label, help text, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Metric family name (a valid Prometheus identifier).
+    pub family: String,
+    /// Optional single `key="value"` label distinguishing this series
+    /// inside its family.
+    pub label: Option<(String, String)>,
+    /// Human-readable help text (one line).
+    pub help: String,
+    /// The snapshotted value.
+    pub value: Value,
+}
+
+impl Series {
+    /// The full series name, `family` or `family{key="value"}`.
+    pub fn name(&self) -> String {
+        match &self.label {
+            None => self.family.clone(),
+            Some((k, v)) => format!("{}{{{k}=\"{v}\"}}", self.family),
+        }
+    }
+}
+
+/// A snapshotted metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Monotonic total.
+    Counter(u64),
+    /// Point-in-time value.
+    Gauge(i64),
+    /// Distribution contents.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Every series, in registration order.
+    pub series: Vec<Series>,
+}
+
+impl Snapshot {
+    /// Looks up a series by family and optional label value.
+    pub fn get(&self, family: &str, label_value: Option<&str>) -> Option<&Series> {
+        self.series.iter().find(|s| {
+            s.family == family && s.label.as_ref().map(|(_, v)| v.as_str()) == label_value
+        })
+    }
+
+    /// The difference `self - earlier` for counters and histograms
+    /// (matched by series name); gauges keep their current value.
+    /// Series absent from `earlier` pass through unchanged.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            series: self
+                .series
+                .iter()
+                .map(|s| {
+                    let prev = earlier
+                        .series
+                        .iter()
+                        .find(|p| p.family == s.family && p.label == s.label);
+                    let value = match (&s.value, prev.map(|p| &p.value)) {
+                        (Value::Counter(a), Some(Value::Counter(b))) => {
+                            Value::Counter(a.saturating_sub(*b))
+                        }
+                        (Value::Histogram(a), Some(Value::Histogram(b))) => {
+                            Value::Histogram(a.delta_since(b))
+                        }
+                        (v, _) => v.clone(),
+                    };
+                    Series {
+                        family: s.family.clone(),
+                        label: s.label.clone(),
+                        help: s.help.clone(),
+                        value,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_insert() {
+        let r = Registry::new();
+        let a = r.counter("requests_total", "requests");
+        let b = r.counter("requests_total", "requests");
+        assert!(Arc::ptr_eq(&a, &b));
+        let la = r.counter_with("layer_total", "kind", "relu", "per-kind");
+        let lb = r.counter_with("layer_total", "kind", "gelu", "per-kind");
+        let lc = r.counter_with("layer_total", "kind", "relu", "per-kind");
+        assert!(Arc::ptr_eq(&la, &lc));
+        assert!(!Arc::ptr_eq(&la, &lb));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_confusion_panics() {
+        let r = Registry::new();
+        r.counter("x_total", "x");
+        r.gauge("x_total", "x");
+    }
+
+    #[test]
+    fn snapshot_reflects_and_deltas() {
+        let r = Registry::new();
+        let c = r.counter("a_total", "a");
+        let g = r.gauge("depth", "d");
+        let h = r.histogram("lat_ns", "l");
+        c.add(5);
+        g.set(3);
+        h.record(100);
+        let s0 = r.snapshot();
+        c.add(2);
+        h.record(200);
+        g.set(9);
+        let d = r.snapshot().delta_since(&s0);
+        assert_eq!(d.get("a_total", None).unwrap().value, Value::Counter(2));
+        assert_eq!(d.get("depth", None).unwrap().value, Value::Gauge(9));
+        match &d.get("lat_ns", None).unwrap().value {
+            Value::Histogram(hs) => {
+                assert_eq!(hs.count(), 1);
+                assert_eq!(hs.sum(), 200);
+            }
+            v => panic!("wrong value {v:?}"),
+        }
+    }
+
+    #[test]
+    fn series_name_renders_label() {
+        let r = Registry::new();
+        r.counter_with("layer_total", "kind", "packed_linear", "h");
+        let s = r.snapshot();
+        assert_eq!(s.series[0].name(), "layer_total{kind=\"packed_linear\"}");
+    }
+}

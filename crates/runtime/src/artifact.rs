@@ -812,9 +812,18 @@ impl ModelArtifact {
     /// Every hostile-input failure maps to a structured
     /// [`ArtifactError`]; this never panics.
     pub fn load<R: Read>(mut r: R) -> Result<Self, ArtifactError> {
+        let start = crate::obs::now();
+        let copies_before = load_copies();
         let mut bytes = Vec::new();
         r.read_to_end(&mut bytes)?;
-        Self::from_bytes(&bytes)
+        let loaded = Self::from_bytes(&bytes)?;
+        crate::obs::metrics().artifact_load(
+            start,
+            crate::obs::now().saturating_sub(start),
+            load_copies().saturating_sub(copies_before),
+            false,
+        );
+        Ok(loaded)
     }
 
     /// Deserializes from a file at `path`.
@@ -847,6 +856,13 @@ impl ModelArtifact {
     /// [`ArtifactError::MissingSection`] for a v2 stream without `PANL`,
     /// …).
     pub fn verify_bytes(bytes: &[u8]) -> Result<ArtifactInfo, ArtifactError> {
+        let start = crate::obs::now();
+        let info = Self::verify_bytes_inner(bytes)?;
+        crate::obs::metrics().artifact_verify(start, crate::obs::now().saturating_sub(start));
+        Ok(info)
+    }
+
+    fn verify_bytes_inner(bytes: &[u8]) -> Result<ArtifactInfo, ArtifactError> {
         let info = parse_header(bytes)?;
         for (i, section) in info.sections.iter().enumerate() {
             let payload = section_payload(bytes, &info, i)?;
@@ -1566,6 +1582,8 @@ impl MappedArtifact {
     /// I/O / `mmap` failures, plus every structured parse failure
     /// [`ModelArtifact::load`] can report.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, ArtifactError> {
+        let start = crate::obs::now();
+        let copies_before = load_copies();
         let map = Arc::new(Mmap::open(path.as_ref())?);
         let owner: ArcOwner = map.clone();
         let (artifact, info) = parse_artifact(map.as_slice(), Some(&owner))?;
@@ -1586,12 +1604,19 @@ impl MappedArtifact {
         } else {
             None
         };
-        Ok(MappedArtifact {
+        let mapped = MappedArtifact {
             map,
             artifact,
             images,
             info,
-        })
+        };
+        crate::obs::metrics().artifact_load(
+            start,
+            crate::obs::now().saturating_sub(start),
+            load_copies().saturating_sub(copies_before),
+            mapped.is_zero_copy(),
+        );
+        Ok(mapped)
     }
 
     /// The parsed artifact (its records borrow the mapping in v2

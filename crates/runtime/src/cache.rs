@@ -158,11 +158,13 @@ impl Planner {
             let decisions = decisions.clone();
             apply_decisions(model, &decisions)?;
             self.cache.hits += 1;
+            crate::obs::metrics().cache_hit();
         } else {
             quantize_model(model, calib, spec)?;
             let decisions = extract_decisions(model);
             self.cache.entries.insert(key, decisions);
             self.cache.misses += 1;
+            crate::obs::metrics().cache_miss();
         }
         if self.strict {
             CompiledPlan::from_quantized_strict(model)

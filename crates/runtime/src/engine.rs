@@ -13,6 +13,7 @@
 //! invisible to callers except in latency.
 
 use crate::error::RuntimeError;
+use crate::obs;
 use crate::plan::CompiledPlan;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -68,8 +69,11 @@ pub struct EngineStats {
     pub largest_batch: usize,
 }
 
+/// One queued request: id, input row, submit timestamp (telemetry).
+type Queued = (u64, Vec<f32>, u64);
+
 struct State {
-    queue: VecDeque<(u64, Vec<f32>)>,
+    queue: VecDeque<Queued>,
     results: HashMap<u64, Result<Vec<f32>, String>>,
     /// Ids drained from the queue whose batch is currently executing.
     executing: HashSet<u64>,
@@ -83,7 +87,7 @@ impl State {
     /// executing batch). Once false with no result present, the id is
     /// either unknown or already delivered.
     fn in_flight(&self, id: u64) -> bool {
-        self.executing.contains(&id) || self.queue.iter().any(|(q, _)| *q == id)
+        self.executing.contains(&id) || self.queue.iter().any(|(q, _, _)| *q == id)
     }
 }
 
@@ -174,7 +178,10 @@ impl Engine {
         let id = state.next_id;
         state.next_id += 1;
         state.stats.submitted += 1;
-        state.queue.push_back((id, input.to_vec()));
+        state.queue.push_back((id, input.to_vec(), obs::now()));
+        let m = obs::metrics();
+        m.engine_submit();
+        m.engine_queue_depth(state.queue.len());
         drop(state);
         self.shared.work_cv.notify_one();
         Ok(RequestId(id))
@@ -297,12 +304,19 @@ fn worker_loop(shared: Arc<Shared>, mut plan: CompiledPlan, policy: BatchPolicy)
             }
             let take = policy.max_batch.min(state.queue.len());
             let batch = state.queue.drain(..take).collect::<Vec<_>>();
-            for (id, _) in &batch {
+            for (id, _, _) in &batch {
                 state.executing.insert(*id);
             }
+            obs::metrics().engine_queue_depth(state.queue.len());
             batch
         };
+        let m = obs::metrics();
+        let dispatch = obs::now();
+        for (_, _, submitted) in &batch {
+            m.engine_request_wait(dispatch.saturating_sub(*submitted));
+        }
         let outputs = run_batch(&mut plan, &batch, &mut stacked, &mut outputs);
+        m.engine_batch_done(dispatch, obs::now().saturating_sub(dispatch), batch.len());
         let mut state = shared.state.lock().expect("engine lock");
         state.stats.batches += 1;
         state.stats.largest_batch = state.stats.largest_batch.max(batch.len());
@@ -321,21 +335,21 @@ fn worker_loop(shared: Arc<Shared>, mut plan: CompiledPlan, policy: BatchPolicy)
 /// splits the output back into per-request rows.
 fn run_batch(
     plan: &mut CompiledPlan,
-    batch: &[(u64, Vec<f32>)],
+    batch: &[Queued],
     stacked: &mut Vec<f32>,
     outputs: &mut Vec<f32>,
 ) -> Vec<(u64, Result<Vec<f32>, String>)> {
     let features = batch[0].1.len();
-    if batch.iter().any(|(_, row)| row.len() != features) {
+    if batch.iter().any(|(_, row, _)| row.len() != features) {
         // Heterogeneous rows can only happen when the plan has no pinned
         // input width; fail each request individually.
         return batch
             .iter()
-            .map(|(id, _)| (*id, Err("mixed feature counts in batch".to_string())))
+            .map(|(id, _, _)| (*id, Err("mixed feature counts in batch".to_string())))
             .collect();
     }
     stacked.clear();
-    for (_, row) in batch {
+    for (_, row, _) in batch {
         stacked.extend_from_slice(row);
     }
     match plan.forward_rows(stacked, batch.len(), outputs) {
@@ -344,12 +358,12 @@ fn run_batch(
             batch
                 .iter()
                 .enumerate()
-                .map(|(i, (id, _))| (*id, Ok(outputs[i * per..(i + 1) * per].to_vec())))
+                .map(|(i, (id, _, _))| (*id, Ok(outputs[i * per..(i + 1) * per].to_vec())))
                 .collect()
         }
         Err(e) => batch
             .iter()
-            .map(|(id, _)| (*id, Err(e.to_string())))
+            .map(|(id, _, _)| (*id, Err(e.to_string())))
             .collect(),
     }
 }

@@ -33,6 +33,13 @@
 //! * [`Scratch`] — the per-plan buffer arena behind
 //!   [`CompiledPlan::forward_rows`]: after warmup, steady-state serving
 //!   performs zero heap allocations per request inside the plan,
+//! * [`obs`] — the runtime's hooks over the `ant-obs` telemetry spine
+//!   (default-on `obs` feature): per-layer-kind timing/work counters,
+//!   engine queue/batch/latency metrics, pool and artifact telemetry,
+//!   request spans. Recording is relaxed atomic adds on preallocated
+//!   storage, so the zero-allocation steady state survives with
+//!   telemetry enabled; `--no-default-features` compiles every hook to
+//!   a no-op,
 //! * [`Engine`] — a batch scheduler: [`Engine::submit`] single requests,
 //!   a worker coalesces them under a [`BatchPolicy`] (max-batch /
 //!   max-wait) into one batched pass per layer, [`Engine::poll`] or
@@ -87,6 +94,7 @@ pub mod cache;
 pub mod engine;
 pub mod gemm;
 pub mod mmap;
+pub mod obs;
 pub mod plan;
 pub mod pool;
 pub mod scratch;

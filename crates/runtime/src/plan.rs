@@ -50,6 +50,7 @@
 
 use crate::error::RuntimeError;
 use crate::gemm::{im2row, int_gemm_pooled, PanelGemm};
+use crate::obs::{self, LayerKind};
 use crate::pool::WorkerPool;
 use crate::scratch::{grab, Scratch};
 use ant_core::pack::PackedTensor;
@@ -263,6 +264,16 @@ impl WeightImage {
             WeightImage::I8(pg) => pg.is_borrowed(),
             WeightImage::I16(pg) => pg.is_borrowed(),
             WeightImage::I32(rows) => rows.is_borrowed(),
+        }
+    }
+
+    /// Bytes per decoded weight element at this image's execution width
+    /// (telemetry: sizes the streamed-weight traffic of a GEMM pass).
+    pub(crate) fn elem_bytes(&self) -> usize {
+        match self {
+            WeightImage::I8(_) => 1,
+            WeightImage::I16(_) => 2,
+            WeightImage::I32(_) => 4,
         }
     }
 }
@@ -1596,7 +1607,11 @@ impl CompiledPlan {
     /// Assembles a plan from already-lowered steps (the artifact reload
     /// path, where packed layers are rebuilt straight from wire codes).
     pub(crate) fn from_plan_layers(layers: Vec<PlanLayer>) -> Self {
-        let in_features = layers.first().and_then(plan_layer_in_features);
+        // Shape-polymorphic prefix layers (relu/gelu/norm) preserve
+        // width, so the first layer that pins a width pins the plan's
+        // input — a transformer opening with layer norm still reports
+        // the attention block's width.
+        let in_features = layers.iter().find_map(plan_layer_in_features);
         let pool = Arc::clone(WorkerPool::global());
         let threads = pool.width();
         CompiledPlan {
@@ -1630,7 +1645,8 @@ impl CompiledPlan {
         &self.layers
     }
 
-    /// Expected input feature count, when the first layer pins one.
+    /// Expected input feature count, when some layer pins one (width
+    /// propagates backwards through any shape-polymorphic prefix).
     pub fn in_features(&self) -> Option<usize> {
         self.in_features
     }
@@ -1781,12 +1797,19 @@ impl CompiledPlan {
         } = &mut self.scratch;
         grab(ping, x.len(), 0.0).copy_from_slice(x);
         let mut cur_is_ping = true;
+        // Timing is chained — one clock read per layer boundary (layer
+        // i's end stamp is layer i+1's start), never inside GEMM tiles.
+        let fwd = obs::metrics();
+        let t0 = obs::now();
+        let mut t_prev = t0;
         for layer in self.layers.iter_mut() {
             let (cur, next) = if cur_is_ping {
                 (&mut *ping, &mut *pong)
             } else {
                 (&mut *pong, &mut *ping)
             };
+            let was_ping = cur_is_ping;
+            let in_len = cur.len();
             let mut ws = LayerScratch {
                 pool,
                 threads,
@@ -1843,11 +1866,80 @@ impl CompiledPlan {
                     cur_is_ping = !cur_is_ping;
                 }
             }
+            let t_now = obs::now();
+            let out_len = if cur_is_ping != was_ping {
+                next.len()
+            } else {
+                in_len
+            };
+            let (kind, macs, bytes) = layer_obs_info(layer, batch, in_len, out_len);
+            fwd.record_layer(kind, t_prev, t_now - t_prev, batch as u64, macs, bytes);
+            t_prev = t_now;
         }
+        fwd.record_forward(t0, t_prev.saturating_sub(t0), batch as u64);
         let cur = if cur_is_ping { &*ping } else { &*pong };
         out.clear();
         out.extend_from_slice(cur);
         Ok(())
+    }
+}
+
+/// Work accounting for one executed plan layer: `(kind, MACs, bytes
+/// touched)` for `batch` rows with `in_len`/`out_len` f32 activations.
+/// MACs count GEMM multiply-accumulates (zero for non-GEMM layers);
+/// bytes count the f32 activations read and written plus one streamed
+/// pass over the integer weight image (and the im2row lowering for
+/// convolutions) — the quantities `antc stats` turns into GOPS and
+/// effective-bandwidth figures. All of it is a handful of integer
+/// multiplies against already-resident struct fields; with telemetry
+/// compiled out the no-op consumer lets the whole call fold away.
+fn layer_obs_info(
+    layer: &PlanLayer,
+    batch: usize,
+    in_len: usize,
+    out_len: usize,
+) -> (LayerKind, u64, u64) {
+    let b = batch as u64;
+    let act_bytes = ((in_len + out_len) * std::mem::size_of::<f32>()) as u64;
+    match layer {
+        PlanLayer::Packed(p) => {
+            let (o, i) = (p.mat.out as u64, p.mat.inp as u64);
+            let w = (p.mat.out * p.mat.inp * p.mat.image.elem_bytes()) as u64;
+            (LayerKind::PackedLinear, b * o * i, act_bytes + w)
+        }
+        PlanLayer::PackedConv(p) => {
+            let (co, oh, ow) = p.out_shape;
+            let k = p.mat.inp as u64;
+            let pixels = (oh * ow) as u64;
+            let elem = p.mat.image.elem_bytes() as u64;
+            let w = (p.mat.out * p.mat.inp) as u64 * elem;
+            // The im2row matrix is written and then streamed by the GEMM
+            // at the operand width.
+            let rows_bytes = 2 * b * pixels * k * elem;
+            (
+                LayerKind::PackedConv,
+                b * pixels * k * co as u64,
+                act_bytes + w + rows_bytes,
+            )
+        }
+        PlanLayer::PackedAttn(p) => {
+            let (s, d) = (p.seq as u64, p.dim as u64);
+            // Four [d, d] projections over s tokens, plus the s×s score
+            // and context GEMMs.
+            let macs = b * (4 * s * d * d + 2 * s * s * d);
+            let w: u64 = p
+                .projs
+                .iter()
+                .map(|m| (m.out * m.inp * m.image.elem_bytes()) as u64)
+                .sum::<u64>()
+                + (p.wo_t_f32.len() * std::mem::size_of::<f32>()) as u64;
+            (LayerKind::PackedAttn, macs, act_bytes + w)
+        }
+        PlanLayer::Relu => (LayerKind::Relu, 0, act_bytes),
+        PlanLayer::Gelu => (LayerKind::Gelu, 0, act_bytes),
+        PlanLayer::Pool { .. } => (LayerKind::Pool, 0, act_bytes),
+        PlanLayer::Norm(_) => (LayerKind::Norm, 0, act_bytes),
+        PlanLayer::Fallback(_) => (LayerKind::Fallback, 0, act_bytes),
     }
 }
 

@@ -73,6 +73,9 @@ struct PoolShared {
     work_cv: Condvar,
     /// `run` callers park here waiting for their job's completion.
     done_cv: Condvar,
+    /// Preallocated telemetry (per-slot task/park counters + global
+    /// mirrors); every hook is a relaxed counter add, no clock reads.
+    obs: crate::obs::PoolObs,
 }
 
 /// A fixed-width pool of persistent worker threads executing
@@ -109,6 +112,7 @@ impl WorkerPool {
     /// so `threads − 1` worker threads are spawned; width-1 pools spawn
     /// none and execute jobs inline).
     pub fn new(threads: usize) -> WorkerPool {
+        let width = threads.max(1);
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
                 jobs: VecDeque::new(),
@@ -116,11 +120,14 @@ impl WorkerPool {
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            obs: crate::obs::PoolObs::new(width),
         });
-        let workers = (0..threads.max(1) - 1)
-            .map(|_| {
+        let workers = (0..width - 1)
+            .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                // Telemetry slot 0 is the participating caller; workers
+                // take slots 1..width.
+                std::thread::spawn(move || worker_loop(&shared, i + 1))
             })
             .collect();
         WorkerPool { shared, workers }
@@ -147,6 +154,27 @@ impl WorkerPool {
         self.workers.len() + 1
     }
 
+    /// Pool-local executed-task count per telemetry slot (index 0 =
+    /// `run` callers, 1.. = worker threads). Exact for this pool, unlike
+    /// the global `ant_pool_*` families shared by every pool.
+    #[cfg(feature = "obs")]
+    pub fn slot_task_counts(&self) -> Vec<u64> {
+        self.shared.obs.slot_task_counts()
+    }
+
+    /// Pool-local park-transition (idle) count per worker slot.
+    #[cfg(feature = "obs")]
+    pub fn slot_park_counts(&self) -> Vec<u64> {
+        self.shared.obs.slot_park_counts()
+    }
+
+    /// Total tasks this pool has executed (always equals the sum of
+    /// [`Self::slot_task_counts`]).
+    #[cfg(feature = "obs")]
+    pub fn executed_tasks(&self) -> u64 {
+        self.shared.obs.total_tasks()
+    }
+
     /// Executes `body(0..tasks)` across the pool and the calling thread,
     /// returning once every task has run. Tasks may execute in any order
     /// and concurrently; bodies must make disjoint writes.
@@ -160,11 +188,13 @@ impl WorkerPool {
             return;
         }
         if tasks == 1 || self.workers.is_empty() {
+            self.shared.obs.record_inline(tasks as u64);
             for t in 0..tasks {
                 body(t);
             }
             return;
         }
+        self.shared.obs.record_job(tasks);
         let ctl = JobCtl {
             remaining: AtomicUsize::new(tasks),
             panicked: AtomicBool::new(false),
@@ -203,7 +233,7 @@ impl WorkerPool {
                 state.jobs.retain(|j| !std::ptr::eq(j.ctl, &ctl));
             }
             drop(state);
-            execute(body, &ctl, task, &self.shared);
+            execute(body, &ctl, task, &self.shared, 0);
         }
         // Wait for tasks claimed by workers to finish.
         let mut state = self.shared.state.lock().expect("pool lock");
@@ -217,8 +247,16 @@ impl WorkerPool {
     }
 }
 
-/// Runs one claimed task and performs the completion countdown.
-fn execute(body: &(dyn Fn(usize) + Sync), ctl: &JobCtl, task: usize, shared: &PoolShared) {
+/// Runs one claimed task and performs the completion countdown. `slot`
+/// is the telemetry slot of the executing thread (0 = the `run` caller).
+fn execute(
+    body: &(dyn Fn(usize) + Sync),
+    ctl: &JobCtl,
+    task: usize,
+    shared: &PoolShared,
+    slot: usize,
+) {
+    shared.obs.record_task(slot);
     if catch_unwind(AssertUnwindSafe(|| body(task))).is_err() {
         ctl.panicked.store(true, Ordering::Release);
     }
@@ -230,7 +268,7 @@ fn execute(body: &(dyn Fn(usize) + Sync), ctl: &JobCtl, task: usize, shared: &Po
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &PoolShared, slot: usize) {
     loop {
         let (body, ctl, task) = {
             let mut state = shared.state.lock().expect("pool lock");
@@ -248,13 +286,14 @@ fn worker_loop(shared: &PoolShared) {
                     }
                     break (body, ctl, task);
                 }
+                shared.obs.record_park(slot);
                 state = shared.work_cv.wait(state).expect("pool lock");
             }
         };
         // SAFETY: the job's `run` frame is still blocked on `remaining`,
         // which we have not yet decremented.
         let (body, ctl) = unsafe { (&*body, &*ctl) };
-        execute(body, ctl, task, shared);
+        execute(body, ctl, task, shared, slot);
     }
 }
 

@@ -533,3 +533,16 @@ fn fingerprint_invalidation_covers_conv_attention_and_bias() {
         "attention projection change must miss"
     );
 }
+
+#[test]
+fn polymorphic_prefix_still_pins_plan_input_width() {
+    // tiny_transformer opens with layer norm, which is
+    // shape-polymorphic; the attention layer behind it must still pin
+    // the plan's input width (width propagates backwards through the
+    // polymorphic prefix), or Engine-based serving rejects the model.
+    let mut model = tiny_transformer(4, 8, 3, 17);
+    let calib = gaussian(&[16, 32], 18);
+    quantize_model(&mut model, &calib, QuantSpec::default()).expect("quantize");
+    let plan = CompiledPlan::from_quantized_strict(&model).expect("compile");
+    assert_eq!(plan.in_features(), Some(32));
+}

@@ -9,6 +9,8 @@
 //! * [`nn`] — the DNN training substrate with STE fake quantization,
 //! * [`hw`] — bit-accurate TypeFusion decoders, MACs and systolic arrays,
 //! * [`sim`] — the iso-area accelerator performance/energy simulator,
+//! * [`obs`] — the zero-allocation telemetry spine: counters, gauges,
+//!   log2-bucketed histograms, span rings and live exporters,
 //! * [`runtime`] — the packed-domain inference engine: plan compilation,
 //!   LUT decode, integer GEMM and batched serving.
 //!
@@ -17,6 +19,7 @@
 pub use ant_core as core;
 pub use ant_hw as hw;
 pub use ant_nn as nn;
+pub use ant_obs as obs;
 pub use ant_runtime as runtime;
 pub use ant_sim as sim;
 pub use ant_tensor as tensor;

@@ -68,6 +68,7 @@ fn bench_runtime(c: &mut Criterion) {
     let policy = |max_batch| BatchPolicy {
         max_batch,
         max_wait: Duration::from_millis(1),
+        ..BatchPolicy::default()
     };
     let batched = Engine::new(plan.clone(), policy(BATCH));
     for row in &rows {
@@ -135,6 +136,7 @@ fn bench_packed_family(
         BatchPolicy {
             max_batch: BATCH,
             max_wait: Duration::from_millis(1),
+            ..BatchPolicy::default()
         },
     );
     for row in &rows {

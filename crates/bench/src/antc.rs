@@ -35,6 +35,8 @@ pub enum CliError {
     Nn(NnError),
     /// Plan compilation or serving failed.
     Runtime(RuntimeError),
+    /// `antc loadgen` could not reach or drive the daemon.
+    Loadgen(String),
 }
 
 impl fmt::Display for CliError {
@@ -44,6 +46,7 @@ impl fmt::Display for CliError {
             CliError::Artifact(e) => write!(f, "{e}"),
             CliError::Nn(e) => write!(f, "{e}"),
             CliError::Runtime(e) => write!(f, "{e}"),
+            CliError::Loadgen(msg) => write!(f, "loadgen: {msg}"),
         }
     }
 }
@@ -423,6 +426,10 @@ pub fn run_serve<P: AsRef<Path>>(
         plan,
         BatchPolicy {
             max_batch: max_batch.max(1),
+            // Every request is submitted before the first wait below;
+            // size the admission valve for that open-loop burst so a
+            // large --requests run is not shed with `Overloaded`.
+            max_queue: requests.max(BatchPolicy::default().max_queue),
             ..BatchPolicy::default()
         },
     );
@@ -1097,6 +1104,7 @@ pub fn measure_bench(cfg: &BenchConfig) -> Result<BenchReport, CliError> {
             BatchPolicy {
                 max_batch: BATCH,
                 max_wait: std::time::Duration::from_millis(1),
+                ..BatchPolicy::default()
             },
         );
         for row in &rows {
@@ -1491,6 +1499,285 @@ pub fn run_stats<P: AsRef<Path>>(path: P, cfg: StatsConfig) -> Result<String, Cl
 }
 
 /// Usage text for the binary.
+/// Configuration for `antc loadgen` — drive a running `antd` daemon.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address, e.g. `127.0.0.1:7171`.
+    pub addr: String,
+    /// Model name to infer against (must be served by the daemon).
+    pub model: String,
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// How long to drive load.
+    pub duration: std::time::Duration,
+    /// Merge the results into this `BENCH_runtime.json` under a
+    /// top-level `loadgen` key (created if the file does not exist).
+    pub out: Option<std::path::PathBuf>,
+    /// Scrape `/metrics` afterwards and validate it structurally.
+    pub check_metrics: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            model: String::new(),
+            concurrency: 4,
+            duration: std::time::Duration::from_secs(5),
+            out: None,
+            check_metrics: false,
+        }
+    }
+}
+
+/// One HTTP exchange on a fresh connection (control-plane calls).
+fn http_once(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<(&str, &[u8])>,
+) -> Result<crate::http::ClientResponse, CliError> {
+    use std::io::BufReader;
+    let lg = CliError::Loadgen;
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| lg(format!("connect {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| lg(e.to_string()))?);
+    let mut writer = stream;
+    crate::http::write_request(&mut writer, method, path, body)
+        .map_err(|e| lg(format!("send {path}: {e}")))?;
+    crate::http::read_response(&mut reader).map_err(|e| lg(format!("read {path}: {e}")))
+}
+
+/// Per-worker tallies, merged after the run.
+#[derive(Default)]
+struct LoadgenWorker {
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    /// Round-trip latency of each 200, in ns.
+    latencies_ns: Vec<u64>,
+}
+
+/// `antc loadgen`: drives a running daemon with concurrent keep-alive
+/// connections for a fixed duration and reports achieved req/s and
+/// round-trip latency percentiles. 429 responses count as shed load
+/// (the client backs off briefly), not errors.
+///
+/// # Errors
+///
+/// [`CliError::Loadgen`] when the daemon is unreachable, does not serve
+/// `model`, or (`check_metrics`) its exposition fails validation;
+/// [`CliError::Artifact`] on `--out` file errors.
+pub fn run_loadgen(cfg: LoadgenConfig) -> Result<String, CliError> {
+    use std::io::BufReader;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let lg = CliError::Loadgen;
+    // Discover the model's input width from the daemon itself.
+    let resp = http_once(&cfg.addr, "GET", "/v1/models", None)?;
+    if resp.status != 200 {
+        return Err(lg(format!("GET /v1/models returned {}", resp.status)));
+    }
+    let doc = Json::parse(&resp.body_str()).map_err(|e| lg(format!("bad /v1/models body: {e}")))?;
+    let models = doc
+        .get("models")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| lg("missing models array in /v1/models".into()))?;
+    let entry = models
+        .iter()
+        .find(|m| m.get("name").and_then(Json::as_str) == Some(cfg.model.as_str()))
+        .ok_or_else(|| {
+            let served: Vec<&str> = models
+                .iter()
+                .filter_map(|m| m.get("name").and_then(Json::as_str))
+                .collect();
+            lg(format!(
+                "daemon does not serve {:?} (serves {served:?})",
+                cfg.model
+            ))
+        })?;
+    let in_features = entry
+        .get("in_features")
+        .and_then(Json::as_f64)
+        .map_or(8, |f| f as usize)
+        .max(1);
+
+    let infer_path = format!("/v1/models/{}/infer", cfg.model);
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let workers: Vec<std::thread::JoinHandle<LoadgenWorker>> = (0..cfg.concurrency.max(1))
+        .map(|worker_id| {
+            let addr = cfg.addr.clone();
+            let infer_path = infer_path.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut w = LoadgenWorker::default();
+                let mut conn: Option<(BufReader<std::net::TcpStream>, std::net::TcpStream)> = None;
+                let mut iteration = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if conn.is_none() {
+                        match std::net::TcpStream::connect(&addr) {
+                            Ok(s) => {
+                                s.set_read_timeout(Some(Duration::from_secs(30))).ok();
+                                s.set_nodelay(true).ok();
+                                match s.try_clone() {
+                                    Ok(c) => conn = Some((BufReader::new(c), s)),
+                                    Err(_) => {
+                                        w.errors += 1;
+                                        continue;
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                w.errors += 1;
+                                std::thread::sleep(Duration::from_millis(5));
+                                continue;
+                            }
+                        }
+                    }
+                    let (reader, writer) = conn.as_mut().expect("connected above");
+                    // A deterministic, slowly varying input row.
+                    iteration += 1;
+                    let row: Vec<String> = (0..in_features)
+                        .map(|i| {
+                            let v = (worker_id as u64 * 31 + iteration * 7 + i as u64) % 13;
+                            format!("{:.1}", (v as f64) * 0.1 - 0.6)
+                        })
+                        .collect();
+                    let body = format!("{{\"input\": [{}]}}", row.join(", "));
+                    let sent = Instant::now();
+                    let outcome = crate::http::write_request(
+                        writer,
+                        "POST",
+                        &infer_path,
+                        Some(("application/json", body.as_bytes())),
+                    )
+                    .map_err(crate::http::HttpError::Io)
+                    .and_then(|()| crate::http::read_response(reader));
+                    match outcome {
+                        Ok(resp) => match resp.status {
+                            200 => {
+                                w.ok += 1;
+                                w.latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                            }
+                            429 => {
+                                w.shed += 1;
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            _ => w.errors += 1,
+                        },
+                        Err(_) => {
+                            w.errors += 1;
+                            conn = None; // reconnect
+                        }
+                    }
+                }
+                w
+            })
+        })
+        .collect();
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut merged = LoadgenWorker::default();
+    for handle in workers {
+        let w = handle.join().map_err(|_| lg("a worker panicked".into()))?;
+        merged.ok += w.ok;
+        merged.shed += w.shed;
+        merged.errors += w.errors;
+        merged.latencies_ns.extend(w.latencies_ns);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    if merged.ok == 0 {
+        return Err(lg(format!(
+            "no successful requests in {elapsed:.1}s ({} shed, {} errors)",
+            merged.shed, merged.errors
+        )));
+    }
+    merged.latencies_ns.sort_unstable();
+    let pct = |q: f64| {
+        let idx = ((merged.latencies_ns.len() - 1) as f64 * q).round() as usize;
+        merged.latencies_ns[idx] as f64 / 1_000.0 // µs
+    };
+    let req_per_s = merged.ok as f64 / elapsed;
+    let (p50, p90, p99) = (pct(0.50), pct(0.90), pct(0.99));
+
+    let mut out = format!(
+        "loadgen http://{}{} — {} conns, {:.1}s\n",
+        cfg.addr,
+        infer_path,
+        cfg.concurrency.max(1),
+        elapsed
+    );
+    out.push_str(&format!(
+        "requests: {} ok, {} shed (429), {} errors\n",
+        merged.ok, merged.shed, merged.errors
+    ));
+    out.push_str(&format!("throughput: {req_per_s:.1} req/s\n"));
+    out.push_str(&format!(
+        "round-trip latency: p50 {p50:.1} µs, p90 {p90:.1} µs, p99 {p99:.1} µs\n"
+    ));
+
+    if cfg.check_metrics {
+        let resp = http_once(&cfg.addr, "GET", "/metrics", None)?;
+        if resp.status != 200 {
+            return Err(lg(format!("GET /metrics returned {}", resp.status)));
+        }
+        let samples = crate::promcheck::validate(&resp.body_str())
+            .map_err(|e| lg(format!("/metrics failed structural validation: {e}")))?;
+        if !samples
+            .iter()
+            .any(|s| s.name == "antd_http_responses_total")
+        {
+            return Err(lg("/metrics lacks antd_http_responses_total".into()));
+        }
+        out.push_str(&format!(
+            "metrics: /metrics parses cleanly ({} samples)\n",
+            samples.len()
+        ));
+    }
+
+    if let Some(path) = &cfg.out {
+        let io = |e: std::io::Error| CliError::Artifact(ArtifactError::Io(e));
+        let mut doc = match std::fs::read_to_string(path) {
+            Ok(text) => {
+                Json::parse(&text).map_err(|e| lg(format!("--out {}: {e}", path.display())))?
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Json::Obj(Vec::new()),
+            Err(e) => return Err(io(e)),
+        };
+        let section = Json::Obj(vec![
+            ("model".into(), Json::Str(cfg.model.clone())),
+            (
+                "concurrency".into(),
+                Json::Num(cfg.concurrency.max(1) as f64),
+            ),
+            ("duration_s".into(), Json::Num(elapsed)),
+            ("requests_ok".into(), Json::Num(merged.ok as f64)),
+            ("shed_429".into(), Json::Num(merged.shed as f64)),
+            ("errors".into(), Json::Num(merged.errors as f64)),
+            ("req_per_s".into(), Json::Num(req_per_s)),
+            ("p50_us".into(), Json::Num(p50)),
+            ("p90_us".into(), Json::Num(p90)),
+            ("p99_us".into(), Json::Num(p99)),
+        ]);
+        match &mut doc {
+            Json::Obj(fields) => {
+                fields.retain(|(k, _)| k != "loadgen");
+                fields.push(("loadgen".to_string(), section));
+            }
+            _ => return Err(lg(format!("--out {}: not a JSON object", path.display()))),
+        }
+        std::fs::write(path, doc.render()).map_err(io)?;
+        out.push_str(&format!("merged loadgen row into {}\n", path.display()));
+    }
+    Ok(out)
+}
+
 pub const USAGE: &str = "antc — ANT quantized-model artifact tool
 
 USAGE:
@@ -1506,6 +1793,8 @@ USAGE:
                [--prom <file.prom>] [--trace <file.json>]
     antc bench [--quick] [--out <file.json>] [--seed N]
                [--baseline <file.json>] [--tolerance F]
+    antc loadgen --model NAME [--addr HOST:PORT] [--concurrency N]
+                 [--duration-secs N] [--out <file.json>] [--check-metrics]
 
 The quantize subcommand trains a reference model, runs Algorithm-2 type
 selection through a memoizing Planner, and saves the packed result (wire
@@ -1528,7 +1817,12 @@ MLP/CNN/attention serving workloads and writes BENCH_runtime.json
 steady-state allocations per request, per-stage breakdowns, microkernel
 speedup, v1-vs-v2 time-to-serving-ready); --baseline compares batched
 throughput against a stored report and flags drops beyond --tolerance
-(default 0.08) with the REGRESSION marker.";
+(default 0.08) with the REGRESSION marker. loadgen drives a running
+antd daemon with concurrent keep-alive connections for a fixed duration
+and reports achieved req/s and round-trip latency percentiles; 429
+responses count as shed load (the client backs off), --check-metrics
+scrapes and structurally validates /metrics afterwards, and --out
+merges the results into BENCH_runtime.json under a `loadgen` key.";
 
 /// Parses argv (without the program name) and runs the selected
 /// subcommand, returning its report.
@@ -1678,6 +1972,40 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 }
             }
             run_bench(cfg)
+        }
+        "loadgen" => {
+            let mut cfg = LoadgenConfig::default();
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage(&format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--addr" => cfg.addr = value("--addr")?,
+                    "--model" => cfg.model = value("--model")?,
+                    "--concurrency" => {
+                        cfg.concurrency = value("--concurrency")?
+                            .parse()
+                            .map_err(|_| usage("--concurrency needs an integer"))?
+                    }
+                    "--duration-secs" => {
+                        cfg.duration = std::time::Duration::from_secs(
+                            value("--duration-secs")?
+                                .parse()
+                                .map_err(|_| usage("--duration-secs needs an integer"))?,
+                        )
+                    }
+                    "--out" => cfg.out = Some(value("--out")?.into()),
+                    "--check-metrics" => cfg.check_metrics = true,
+                    other => return Err(usage(&format!("unknown flag '{other}'"))),
+                }
+            }
+            if cfg.model.is_empty() {
+                return Err(usage("loadgen requires --model NAME"));
+            }
+            run_loadgen(cfg)
         }
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(usage(&format!("unknown subcommand '{other}'"))),

@@ -1,0 +1,723 @@
+//! `antd`: the ANT serving daemon.
+//!
+//! Everything below PR 8 served a single process through the in-crate
+//! [`Engine`] API; this module is the network front end that the
+//! ROADMAP's "millions of users" require. The shape is deliberately
+//! boring: a blocking accept loop over `std::net` (crates.io is
+//! unavailable, so HTTP is the hand-rolled [`crate::http`] module), one
+//! OS thread per connection, and every inference request funneled into
+//! a per-model [`Engine`] — so *continuous batching happens across
+//! connections*: concurrent users land in the same gather window and
+//! share one LUT-decode + GEMM pass per layer.
+//!
+//! Serving policies the daemon adds on top of the engine:
+//!
+//! * **Admission control.** The engine's submit queue is bounded
+//!   ([`BatchPolicy::max_queue`]); [`RuntimeError::Overloaded`] maps to
+//!   HTTP 429 with a `Retry-After` header instead of unbounded memory
+//!   growth.
+//! * **Deadlines.** Waits go through [`Engine::wait_timeout`]; an
+//!   expired deadline cancels the request ([`Engine::cancel`]) and
+//!   returns 504 rather than trusting worker liveness.
+//! * **Hot reload.** `POST /v1/models/{name}/reload` re-maps the
+//!   artifact and swaps the model's engine behind an
+//!   `RwLock<Arc<ModelState>>`; in-flight requests keep the old engine
+//!   (and, through the plan's owner tokens, the old mmap) alive until
+//!   they finish.
+//! * **Graceful drain.** `shutdown()` / SIGTERM stops accepting, lets
+//!   each connection finish its in-flight exchange (responses carry
+//!   `Connection: close`), and joins every worker before `join`
+//!   returns.
+//!
+//! Endpoints: `GET /healthz`, `GET /metrics` (Prometheus text via
+//! `ant-obs`), `GET /v1/models`, `POST /v1/models/{name}/infer`,
+//! `POST /v1/models/{name}/reload`, `POST /shutdown`. See
+//! `docs/serving.md` for the wire contract.
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::json::Json;
+use ant_obs::export::prometheus_text;
+use ant_obs::{global, Counter, Gauge, Histogram};
+use ant_runtime::{ArtifactError, BatchPolicy, Engine, MappedArtifact, RuntimeError};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How a daemon failed to start or run.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// Socket setup or accept-loop failure.
+    Io(io::Error),
+    /// An artifact failed to load or compile.
+    Artifact(ArtifactError),
+    /// Invalid configuration (duplicate model names, no models, ...).
+    Config(String),
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Io(e) => write!(f, "i/o error: {e}"),
+            DaemonError::Artifact(e) => write!(f, "artifact error: {e}"),
+            DaemonError::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<io::Error> for DaemonError {
+    fn from(e: io::Error) -> Self {
+        DaemonError::Io(e)
+    }
+}
+
+impl From<ArtifactError> for DaemonError {
+    fn from(e: ArtifactError) -> Self {
+        DaemonError::Artifact(e)
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Listen address, e.g. `127.0.0.1:7171` (`:0` for an ephemeral
+    /// port — `Daemon::local_addr` reports what was bound).
+    pub addr: String,
+    /// Served models: display name → `.antm` artifact path.
+    pub models: Vec<(String, PathBuf)>,
+    /// Batching/admission policy for every model's engine.
+    pub policy: BatchPolicy,
+    /// Per-request deadline: a wait past this cancels the request and
+    /// answers 504.
+    pub request_timeout: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            models: Vec::new(),
+            policy: BatchPolicy::default(),
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One model's serving state. Immutable once built — reload builds a
+/// fresh `ModelState` and swaps the `Arc`, so in-flight requests keep
+/// batching through the generation they started on.
+struct ModelState {
+    engine: Engine,
+    in_features: Option<usize>,
+    /// Bumped on every successful reload (starts at 1).
+    generation: u64,
+}
+
+/// A served model: its name, artifact path, and swappable state.
+struct ModelSlot {
+    name: String,
+    path: PathBuf,
+    state: RwLock<Arc<ModelState>>,
+    /// Serializes reloads (the compile happens outside the state lock).
+    reload_lock: Mutex<()>,
+}
+
+impl ModelSlot {
+    /// The current generation's state (cheap: one `Arc` clone).
+    fn current(&self) -> Arc<ModelState> {
+        Arc::clone(&self.state.read().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// Daemon-level metrics, registered once in the process-global `ant-obs`
+/// registry so `/metrics` exposes them alongside the runtime's engine
+/// and layer series.
+struct DaemonMetrics {
+    /// Responses by status code.
+    by_code: HashMap<u16, Arc<Counter>>,
+    /// Fallback for codes outside the precreated set.
+    other: Arc<Counter>,
+    connections_open: Arc<Gauge>,
+    reloads: Arc<Counter>,
+    request_time_ns: Arc<Histogram>,
+}
+
+impl DaemonMetrics {
+    fn new() -> DaemonMetrics {
+        let r = global();
+        let help = "antd responses by HTTP status code";
+        let by_code = [200u16, 400, 404, 405, 408, 413, 429, 500, 503, 504]
+            .into_iter()
+            .map(|code| {
+                let c =
+                    r.counter_with("antd_http_responses_total", "code", &code.to_string(), help);
+                (code, c)
+            })
+            .collect();
+        DaemonMetrics {
+            by_code,
+            other: global().counter_with("antd_http_responses_total", "code", "other", help),
+            connections_open: r.gauge("antd_connections_open", "Open client connections"),
+            reloads: r.counter("antd_reloads_total", "Successful hot artifact reloads"),
+            request_time_ns: r.histogram(
+                "antd_request_time_ns",
+                "Wall time from parsed request to written response",
+            ),
+        }
+    }
+
+    fn count(&self, status: u16) {
+        self.by_code.get(&status).unwrap_or(&self.other).add(1);
+    }
+}
+
+/// State shared by the accept loop and every connection worker.
+struct Inner {
+    models: Vec<ModelSlot>,
+    policy: BatchPolicy,
+    request_timeout: Duration,
+    /// Drain flag: set once, never cleared.
+    draining: AtomicBool,
+    metrics: DaemonMetrics,
+}
+
+impl Inner {
+    fn model(&self, name: &str) -> Option<&ModelSlot> {
+        self.models.iter().find(|m| m.name == name)
+    }
+}
+
+/// A running serving daemon. Dropping it without [`Daemon::join`]
+/// initiates shutdown and detaches the worker threads.
+pub struct Daemon {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// Loads and strict-compiles one artifact into a fresh engine.
+fn build_state(
+    path: &PathBuf,
+    policy: BatchPolicy,
+    generation: u64,
+) -> Result<ModelState, DaemonError> {
+    let mapped = MappedArtifact::open(path)?;
+    let plan = mapped.compile_strict()?;
+    let in_features = plan.in_features();
+    Ok(ModelState {
+        engine: Engine::new(plan, policy),
+        in_features,
+        generation,
+    })
+}
+
+impl Daemon {
+    /// Binds the listen socket, loads every configured artifact, and
+    /// starts the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError`] when the config is empty or duplicated, an
+    /// artifact fails to load/compile, or the socket cannot bind.
+    pub fn start(config: DaemonConfig) -> Result<Daemon, DaemonError> {
+        if config.models.is_empty() {
+            return Err(DaemonError::Config("no models configured".into()));
+        }
+        let mut models = Vec::new();
+        for (name, path) in &config.models {
+            if models.iter().any(|m: &ModelSlot| m.name == *name) {
+                return Err(DaemonError::Config(format!(
+                    "duplicate model name {name:?}"
+                )));
+            }
+            let state = build_state(path, config.policy, 1)?;
+            models.push(ModelSlot {
+                name: name.clone(),
+                path: path.clone(),
+                state: RwLock::new(Arc::new(state)),
+                reload_lock: Mutex::new(()),
+            });
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        // Nonblocking accept so the loop can poll the drain flag; 10ms
+        // granularity is far below any human-visible shutdown latency.
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(Inner {
+            models,
+            policy: config.policy,
+            request_timeout: config.request_timeout,
+            draining: AtomicBool::new(false),
+            metrics: DaemonMetrics::new(),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::spawn(move || accept_loop(&listener, &accept_inner));
+        Ok(Daemon {
+            inner,
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound listen address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Initiates a graceful drain: stop accepting, finish in-flight
+    /// exchanges, close every connection. Idempotent; returns
+    /// immediately — use [`Daemon::join`] to wait for completion.
+    pub fn shutdown(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been initiated (by [`Daemon::shutdown`] or
+    /// `POST /shutdown`).
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the accept loop and every connection worker to finish.
+    /// Call after [`Daemon::shutdown`] (or after `POST /shutdown`
+    /// arrived) for a clean exit; the engines drain on drop afterwards.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Accept connections until drain, then join the connection workers.
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !inner.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_inner = Arc::clone(inner);
+                workers.push(std::thread::spawn(move || {
+                    conn_inner.metrics.connections_open.add(1);
+                    let _ = handle_connection(&conn_inner, stream);
+                    conn_inner.metrics.connections_open.add(-1);
+                }));
+                // Opportunistically reap finished workers so a
+                // long-lived daemon does not accumulate handles.
+                workers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
+/// Serves one connection: HTTP/1.1 keep-alive, one exchange at a time.
+///
+/// Reads poll at 100ms so the worker notices a drain between requests;
+/// an idle timeout mid-exchange only drops clients that stall longer
+/// than that *inside* a request, which local serving tolerates.
+fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        // Idle wait: sleep on the socket until bytes arrive, EOF, or a
+        // drain begins. `fill_buf` does not consume, so a request that
+        // arrives in pieces is intact when `read_request` takes over.
+        loop {
+            match reader.fill_buf() {
+                Ok([]) => return Ok(()), // clean EOF between requests
+                Ok(_) => break,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if inner.draining.load(Ordering::SeqCst) {
+                        return Ok(()); // idle at drain: just close
+                    }
+                }
+                Err(_) => return Ok(()),
+            }
+        }
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()),
+            Err(HttpError::Io(_) | HttpError::UnexpectedEof) => return Ok(()),
+            Err(HttpError::TooLarge(m)) => {
+                let resp = Response::new(413).text(format!("{m}\n"));
+                inner.metrics.count(resp.status);
+                let _ = resp.write_to(&mut writer, true);
+                return Ok(());
+            }
+            Err(HttpError::Malformed(m)) => {
+                let resp = Response::new(400).text(format!("{m}\n"));
+                inner.metrics.count(resp.status);
+                let _ = resp.write_to(&mut writer, true);
+                return Ok(());
+            }
+        };
+        let started = ant_obs::now_ns();
+        let close = req.wants_close() || inner.draining.load(Ordering::SeqCst);
+        let resp = route(inner, &req);
+        inner.metrics.count(resp.status);
+        inner
+            .metrics
+            .request_time_ns
+            .record(ant_obs::now_ns().saturating_sub(started));
+        resp.write_to(&mut writer, close)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+/// Dispatches one request to its endpoint handler.
+fn route(inner: &Arc<Inner>, req: &Request) -> Response {
+    let path = req.path.as_str();
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            if inner.draining.load(Ordering::SeqCst) {
+                Response::new(503).text("draining\n")
+            } else {
+                Response::new(200).text("ok\n")
+            }
+        }
+        ("GET", "/metrics") => Response::new(200).body(
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus_text(&global().snapshot()),
+        ),
+        ("GET", "/v1/models") => list_models(inner),
+        ("POST", "/shutdown") => {
+            inner.draining.store(true, Ordering::SeqCst);
+            Response::new(200).text("draining\n")
+        }
+        _ => {
+            if let Some(rest) = path.strip_prefix("/v1/models/") {
+                if let Some(name) = rest.strip_suffix("/infer") {
+                    return if req.method == "POST" {
+                        infer(inner, name, &req.body)
+                    } else {
+                        Response::new(405).text("use POST\n")
+                    };
+                }
+                if let Some(name) = rest.strip_suffix("/reload") {
+                    return if req.method == "POST" {
+                        reload(inner, name)
+                    } else {
+                        Response::new(405).text("use POST\n")
+                    };
+                }
+            }
+            Response::new(404).text("no such endpoint\n")
+        }
+    }
+}
+
+/// `GET /v1/models`: the served models and their current generations.
+fn list_models(inner: &Inner) -> Response {
+    let models = inner
+        .models
+        .iter()
+        .map(|m| {
+            let state = m.current();
+            Json::Obj(vec![
+                ("name".into(), Json::Str(m.name.clone())),
+                (
+                    "in_features".into(),
+                    state
+                        .in_features
+                        .map_or(Json::Null, |f| Json::Num(f as f64)),
+                ),
+                ("generation".into(), Json::Num(state.generation as f64)),
+                ("max_queue".into(), Json::Num(inner.policy.max_queue as f64)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![("models".into(), Json::Arr(models))]);
+    Response::new(200).json(doc.render())
+}
+
+/// Extracts the input row from an infer body: `{"input": [..]}` or a
+/// bare array of numbers.
+fn parse_input(body: &[u8]) -> Result<Vec<f32>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let arr = match doc.get("input") {
+        Some(v) => v,
+        None => &doc,
+    };
+    let items = arr
+        .as_arr()
+        .ok_or_else(|| "expected {\"input\": [numbers]} or a bare array".to_string())?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .map(|n| n as f32)
+                .ok_or_else(|| "input array must hold numbers".to_string())
+        })
+        .collect()
+}
+
+/// `POST /v1/models/{name}/infer`: submit through the model's engine,
+/// wait under the request deadline, map engine errors to HTTP.
+fn infer(inner: &Inner, name: &str, body: &[u8]) -> Response {
+    let Some(slot) = inner.model(name) else {
+        return Response::new(404).text(format!("no model {name:?}\n"));
+    };
+    let input = match parse_input(body) {
+        Ok(v) => v,
+        Err(m) => return Response::new(400).text(format!("{m}\n")),
+    };
+    // Pin this request to the current generation: a concurrent reload
+    // swaps the slot, but this Arc keeps the old engine (and its mmap)
+    // alive until the response is out.
+    let state = slot.current();
+    let id = match state.engine.submit(&input) {
+        Ok(id) => id,
+        Err(RuntimeError::Overloaded { queued, max_queue }) => {
+            return Response::new(429)
+                .header("Retry-After", "1")
+                .text(format!("overloaded: queue {queued}/{max_queue}\n"));
+        }
+        Err(e @ RuntimeError::ShapeMismatch { .. }) => {
+            return Response::new(400).text(format!("{e}\n"));
+        }
+        Err(e) => return Response::new(500).text(format!("{e}\n")),
+    };
+    match state.engine.wait_timeout(id, inner.request_timeout) {
+        Ok(Some(output)) => {
+            let doc = Json::Obj(vec![
+                (
+                    "output".into(),
+                    Json::Arr(output.iter().map(|v| Json::Num(f64::from(*v))).collect()),
+                ),
+                ("generation".into(), Json::Num(state.generation as f64)),
+            ]);
+            Response::new(200).json(doc.render())
+        }
+        Ok(None) => {
+            // Deadline expired: drop the eventual result so it does not
+            // park in the engine forever.
+            state.engine.cancel(id);
+            Response::new(504).text("request deadline exceeded\n")
+        }
+        Err(e) => Response::new(500).text(format!("{e}\n")),
+    }
+}
+
+/// `POST /v1/models/{name}/reload`: re-map the artifact, strict-compile,
+/// swap the engine. The old generation keeps serving until the swap.
+fn reload(inner: &Inner, name: &str) -> Response {
+    let Some(slot) = inner.model(name) else {
+        return Response::new(404).text(format!("no model {name:?}\n"));
+    };
+    // One reload at a time per model; the expensive compile runs outside
+    // the state lock so serving never blocks on it.
+    let _serialized = slot.reload_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let generation = slot.current().generation + 1;
+    let fresh = match build_state(&slot.path, inner.policy, generation) {
+        Ok(s) => s,
+        Err(e) => return Response::new(500).text(format!("reload failed: {e}\n")),
+    };
+    *slot.state.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(fresh);
+    inner.metrics.reloads.add(1);
+    let doc = Json::Obj(vec![
+        ("model".into(), Json::Str(name.to_string())),
+        ("generation".into(), Json::Num(generation as f64)),
+    ]);
+    Response::new(200).json(doc.render())
+}
+
+/// SIGTERM/SIGINT wiring for the `antd` binary: installs handlers that
+/// set a process-wide flag the serve loop polls. Declared here (not in
+/// the binary) so the e2e test can exercise the same code path.
+pub mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    mod sys {
+        //! The libc surface this module needs, declared directly: std
+        //! links libc on unix, so these resolve without any external
+        //! crate (same pattern as `ant_runtime`'s mmap shim).
+        #![allow(non_camel_case_types)]
+
+        pub type c_int = i32;
+        pub type sighandler_t = usize;
+
+        pub const SIGINT: c_int = 2;
+        pub const SIGTERM: c_int = 15;
+
+        extern "C" {
+            pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+        }
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: anything more is not async-signal-safe.
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs SIGTERM/SIGINT handlers that record the request.
+    pub fn install() {
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            sys::signal(sys::SIGTERM, handler);
+            sys::signal(sys::SIGINT, handler);
+        }
+    }
+
+    /// Whether a termination signal has arrived since [`install`].
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+
+    /// Test hook: simulate a signal delivery.
+    pub fn request() {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Runs a daemon until shutdown: blocks the calling thread, polling the
+/// signal flag, and drains cleanly on SIGTERM/SIGINT or `POST
+/// /shutdown`. This is the whole `antd` binary behind argument parsing.
+pub fn serve_until_shutdown(daemon: Daemon) {
+    while !signal::requested() && !daemon.is_draining() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    daemon.shutdown();
+    daemon.join();
+}
+
+/// Parses `antd` binary arguments into a config.
+///
+/// Usage: `antd --model NAME=PATH [--model ...] [--addr HOST:PORT]
+/// [--max-batch N] [--max-wait-ms N] [--max-queue N] [--timeout-ms N]`
+///
+/// # Errors
+///
+/// A usage string when the arguments do not parse.
+pub fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
+    let mut config = DaemonConfig {
+        addr: "127.0.0.1:7171".to_string(),
+        ..DaemonConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} expects {what}"))
+        };
+        match arg.as_str() {
+            "--model" => {
+                let spec = value("NAME=PATH")?;
+                let (name, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--model expects NAME=PATH, got {spec:?}"))?;
+                config.models.push((name.to_string(), PathBuf::from(path)));
+            }
+            "--addr" => config.addr = value("HOST:PORT")?,
+            "--max-batch" => {
+                config.policy.max_batch = parse_num(&value("N")?)?;
+            }
+            "--max-wait-ms" => {
+                config.policy.max_wait = Duration::from_millis(parse_num(&value("N")?)? as u64);
+            }
+            "--max-queue" => {
+                config.policy.max_queue = parse_num(&value("N")?)?;
+            }
+            "--timeout-ms" => {
+                config.request_timeout = Duration::from_millis(parse_num(&value("N")?)? as u64);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if config.models.is_empty() {
+        return Err("at least one --model NAME=PATH is required".to_string());
+    }
+    Ok(config)
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("not a number: {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_into_a_config() {
+        let args: Vec<String> = [
+            "--model",
+            "mlp=/tmp/m.antm",
+            "--addr",
+            "127.0.0.1:0",
+            "--max-queue",
+            "8",
+            "--max-batch",
+            "16",
+            "--max-wait-ms",
+            "2",
+            "--timeout-ms",
+            "5000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let c = parse_args(&args).unwrap();
+        assert_eq!(c.models.len(), 1);
+        assert_eq!(c.models[0].0, "mlp");
+        assert_eq!(c.addr, "127.0.0.1:0");
+        assert_eq!(c.policy.max_queue, 8);
+        assert_eq!(c.policy.max_batch, 16);
+        assert_eq!(c.policy.max_wait, Duration::from_millis(2));
+        assert_eq!(c.request_timeout, Duration::from_millis(5000));
+    }
+
+    #[test]
+    fn args_reject_missing_models_and_bad_specs() {
+        assert!(parse_args(&[]).is_err());
+        let bad: Vec<String> = ["--model", "no-equals"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&bad).is_err());
+        let unknown: Vec<String> = ["--frob"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_args(&unknown).is_err());
+    }
+
+    #[test]
+    fn infer_body_parses_both_shapes() {
+        assert_eq!(
+            parse_input(b"{\"input\": [1, 2.5, -3]}").unwrap(),
+            vec![1.0, 2.5, -3.0]
+        );
+        assert_eq!(parse_input(b"[0.5, 0.5]").unwrap(), vec![0.5, 0.5]);
+        assert!(parse_input(b"{\"input\": \"nope\"}").is_err());
+        assert!(parse_input(b"not json").is_err());
+        assert!(parse_input(b"{\"input\": [1, null]}").is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! `antd` — the ANT serving daemon: loads `.antm` artifacts and serves
+//! inference over HTTP/1.1 with continuous batching across connections.
+//! All logic lives in [`ant_bench::antd`]; this binary only adapts argv,
+//! installs signal handlers, and blocks until drain.
+
+use ant_bench::antd::{parse_args, serve_until_shutdown, signal, Daemon};
+
+// Match the antc binary: the counting allocator keeps the daemon honest
+// about steady-state allocations when profiled.
+#[global_allocator]
+static ALLOC: ant_bench::alloc::CountingAlloc = ant_bench::alloc::CountingAlloc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("antd: {msg}");
+            eprintln!(
+                "usage: antd --model NAME=PATH [--model ...] [--addr HOST:PORT] \
+                 [--max-batch N] [--max-wait-ms N] [--max-queue N] [--timeout-ms N]"
+            );
+            std::process::exit(2);
+        }
+    };
+    signal::install();
+    let daemon = match Daemon::start(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("antd: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("antd: serving on http://{}", daemon.local_addr());
+    serve_until_shutdown(daemon);
+    println!("antd: drained, exiting");
+}

@@ -115,6 +115,85 @@ impl Json {
     pub fn is_null(&self) -> bool {
         matches!(self, Json::Null)
     }
+
+    /// Renders the value as pretty-printed JSON (2-space indent, a
+    /// trailing newline at top level) — the inverse of [`Json::parse`]
+    /// for everything this module represents. `antc loadgen --out` uses
+    /// it to merge a new section into an existing `BENCH_runtime.json`
+    /// without re-deriving the rest of the document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_value(self, 0, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+fn render_value(v: &Json, indent: usize, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => {
+            // `{}` on f64 round-trips through the parser (shortest
+            // representation that parses back to the same value).
+            out.push_str(&n.to_string());
+        }
+        Json::Str(s) => render_string(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent + 1));
+                render_value(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent + 1));
+                render_string(k, out);
+                out.push_str(": ");
+                render_value(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 fn err(at: usize, msg: &str) -> JsonError {
@@ -312,6 +391,20 @@ mod tests {
         assert!(Json::parse("\"abc").is_err());
         let e = Json::parse("[1, nul]").unwrap_err();
         assert!(e.at >= 4, "{e}");
+    }
+
+    #[test]
+    fn render_parse_roundtrip_is_identity() {
+        let doc =
+            r#"{"a": 1.5, "b": [true, null, "x\n\"y\""], "c": {"d": -300, "e": [], "f": {}}}"#;
+        let v = Json::parse(doc).unwrap();
+        let rendered = v.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), v, "{rendered}");
+        // Rendering is stable: render(parse(render(v))) == render(v).
+        assert_eq!(Json::parse(&rendered).unwrap().render(), rendered);
+        // Control characters escape; integers print without a fraction.
+        assert_eq!(Json::Str("a\u{1}b".into()).render(), "\"a\\u0001b\"\n");
+        assert_eq!(Json::Num(42.0).render(), "42\n");
     }
 
     #[test]

@@ -8,7 +8,10 @@
 
 pub mod alloc;
 pub mod antc;
+pub mod antd;
+pub mod http;
 pub mod json;
+pub mod promcheck;
 
 use ant_nn::data::{blobs, motifs, shapes, Dataset};
 use ant_nn::model::{deep_mlp, small_cnn, tiny_transformer, Sequential};

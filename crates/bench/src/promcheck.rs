@@ -1,0 +1,233 @@
+//! Structural validation of Prometheus text expositions.
+//!
+//! Originally an assertion helper inside the exporter tests, promoted
+//! to a library so `antc loadgen --check-metrics`, the `antd`
+//! end-to-end tests, and the CI `antd-smoke` job all validate `/metrics`
+//! with the *same* parser instead of substring checks. The rules:
+//! `# HELP`/`# TYPE` exactly once per family and before its first
+//! sample, known types only, no duplicate series, and histogram
+//! integrity (cumulative buckets whose `+Inf` count equals `_count`,
+//! with a `_sum` present).
+
+use std::collections::HashMap;
+
+/// One parsed sample line: series identity (name + raw label block,
+/// `le` included) and its numeric value.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Metric name as written (`family`, `family_bucket`, ...).
+    pub name: String,
+    /// Raw label block including braces, `""` when unlabeled.
+    pub labels: String,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parses a text exposition, returning the samples in document order.
+///
+/// # Errors
+///
+/// A description of the first structural violation found.
+pub fn validate(text: &str) -> Result<Vec<Sample>, String> {
+    // family -> (help_seen, type_seen, kind)
+    let mut families: HashMap<String, (bool, bool, String)> = HashMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut seen_series: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            return Err("blank line in exposition".into());
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (fam, help) = rest.split_once(' ').ok_or("HELP without text")?;
+            if help.is_empty() {
+                return Err(format!("empty HELP for {fam}"));
+            }
+            let e = families
+                .entry(fam.to_string())
+                .or_insert((false, false, String::new()));
+            if e.0 {
+                return Err(format!("duplicate # HELP for {fam}"));
+            }
+            e.0 = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (fam, kind) = rest.split_once(' ').ok_or("TYPE without kind")?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("unknown TYPE {kind} for {fam}"));
+            }
+            let e = families
+                .entry(fam.to_string())
+                .or_insert((false, false, String::new()));
+            if e.1 {
+                return Err(format!("duplicate # TYPE for {fam}"));
+            }
+            if !e.0 {
+                return Err(format!("# TYPE for {fam} precedes its # HELP"));
+            }
+            e.1 = true;
+            e.2 = kind.to_string();
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("unknown comment line: {line}"));
+        }
+        // Sample: name[{labels}] value
+        let (name, labels, value_part) = match line.find('{') {
+            Some(b) => {
+                // The label block may contain escaped quotes; scan for
+                // the closing brace outside a string.
+                let bytes = line.as_bytes();
+                let (mut i, mut in_str, mut esc, mut end) = (b + 1, false, false, 0usize);
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if esc {
+                        esc = false;
+                    } else if in_str && c == b'\\' {
+                        esc = true;
+                    } else if c == b'"' {
+                        in_str = !in_str;
+                    } else if !in_str && c == b'}' {
+                        end = i;
+                        break;
+                    }
+                    i += 1;
+                }
+                if end <= b {
+                    return Err(format!("unterminated label block: {line}"));
+                }
+                (&line[..b], &line[b..=end], &line[end + 1..])
+            }
+            None => {
+                let sp = line.find(' ').ok_or_else(|| format!("no value: {line}"))?;
+                (&line[..sp], "", &line[sp..])
+            }
+        };
+        let value: f64 = value_part
+            .trim()
+            .parse()
+            .map_err(|_| format!("sample value does not parse as a number: {line}"))?;
+        // Resolve which declared family this sample belongs to:
+        // histograms own their _bucket/_sum/_count suffixed series.
+        let fam = families
+            .keys()
+            .filter(|f| {
+                name == f.as_str()
+                    || (families[*f].2 == "histogram"
+                        && [
+                            format!("{f}_bucket"),
+                            format!("{f}_sum"),
+                            format!("{f}_count"),
+                        ]
+                        .iter()
+                        .any(|s| s == name))
+            })
+            .max_by_key(|f| f.len())
+            .ok_or_else(|| format!("sample {name} has no declared family"))?
+            .clone();
+        let (help, ty, _) = &families[&fam];
+        if !(*help && *ty) {
+            return Err(format!("sample for {fam} before its HELP/TYPE pair"));
+        }
+        let series = format!("{name}{labels}");
+        if seen_series.contains(&series) {
+            return Err(format!("duplicate series line: {series}"));
+        }
+        seen_series.push(series);
+        samples.push(Sample {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            value,
+        });
+    }
+    // Histogram integrity: buckets are cumulative and end at _count.
+    for (fam, (_, _, kind)) in &families {
+        if kind != "histogram" {
+            continue;
+        }
+        // Group buckets by their label block minus `le`.
+        let mut groups: HashMap<String, Vec<f64>> = HashMap::new();
+        for s in &samples {
+            if s.name == format!("{fam}_bucket") {
+                let base: String = s
+                    .labels
+                    .trim_matches(['{', '}'])
+                    .split(',')
+                    .filter(|kv| !kv.starts_with("le="))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                groups.entry(base).or_default().push(s.value);
+            }
+        }
+        if groups.is_empty() {
+            return Err(format!("histogram {fam} exported no buckets"));
+        }
+        for (base, cum) in groups {
+            if !cum.windows(2).all(|w| w[0] <= w[1]) {
+                return Err(format!("{fam}{{{base}}} buckets not cumulative: {cum:?}"));
+            }
+            let count = samples
+                .iter()
+                .find(|s| {
+                    s.name == format!("{fam}_count") && s.labels.trim_matches(['{', '}']) == base
+                })
+                .ok_or_else(|| format!("{fam} has buckets but no _count"))?
+                .value;
+            if *cum.last().unwrap() != count {
+                return Err(format!("{fam} +Inf bucket disagrees with _count"));
+            }
+            if !samples.iter().any(|s| {
+                s.name == format!("{fam}_sum") && s.labels.trim_matches(['{', '}']) == base
+            }) {
+                return Err(format!("{fam} missing _sum"));
+            }
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_exposition() {
+        let text = "\
+# HELP ant_requests_total Requests served
+# TYPE ant_requests_total counter
+ant_requests_total 12
+# HELP ant_latency_ns Latency
+# TYPE ant_latency_ns histogram
+ant_latency_ns_bucket{le=\"10\"} 1
+ant_latency_ns_bucket{le=\"+Inf\"} 2
+ant_latency_ns_sum 15
+ant_latency_ns_count 2
+";
+        let samples = validate(text).unwrap();
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples[0].name, "ant_requests_total");
+        assert_eq!(samples[0].value, 12.0);
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        for (text, why) in [
+            ("ant_x 1\n", "sample without family"),
+            (
+                "# HELP ant_x X\n# TYPE ant_x counter\nant_x 1\nant_x 1\n",
+                "duplicate series",
+            ),
+            (
+                "# TYPE ant_x counter\n# HELP ant_x X\nant_x 1\n",
+                "TYPE before HELP",
+            ),
+            (
+                "# HELP ant_h H\n# TYPE ant_h histogram\nant_h_bucket{le=\"1\"} 5\n\
+                 ant_h_bucket{le=\"+Inf\"} 4\nant_h_sum 1\nant_h_count 4\n",
+                "non-cumulative buckets",
+            ),
+        ] {
+            assert!(validate(text).is_err(), "accepted {why}");
+        }
+    }
+}

@@ -11,9 +11,9 @@
 //! parser and checked event by event.
 
 use ant_bench::json::Json;
+use ant_bench::promcheck::{validate, Sample};
 use ant_obs::export::{chrome_trace, prometheus_text};
 use ant_obs::{Registry, SpanEvent};
-use std::collections::HashMap;
 
 /// A fixed registry: every value type, labeled and unlabeled series,
 /// and a label value that needs escaping.
@@ -40,162 +40,11 @@ fn sample_registry() -> Registry {
     r
 }
 
-/// One parsed sample line: series identity (name + raw label block,
-/// `le` included) and its numeric value.
-struct Sample {
-    name: String,
-    labels: String,
-    value: f64,
-}
-
-/// Parses a text exposition, panicking on any structural violation;
-/// returns the samples in document order.
+/// Panicking wrapper over the shared structural validator
+/// (`ant_bench::promcheck`) — the same parser `antc loadgen
+/// --check-metrics` and the antd smoke job run against a live daemon.
 fn validate_prometheus(text: &str) -> Vec<Sample> {
-    // family -> (help_seen, type_seen, kind)
-    let mut families: HashMap<String, (bool, bool, String)> = HashMap::new();
-    let mut samples: Vec<Sample> = Vec::new();
-    let mut seen_series: Vec<String> = Vec::new();
-    for line in text.lines() {
-        assert!(!line.trim().is_empty(), "blank line in exposition");
-        if let Some(rest) = line.strip_prefix("# HELP ") {
-            let (fam, help) = rest.split_once(' ').expect("HELP without text");
-            assert!(!help.is_empty());
-            let e = families
-                .entry(fam.to_string())
-                .or_insert((false, false, String::new()));
-            assert!(!e.0, "duplicate # HELP for {fam}");
-            e.0 = true;
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("# TYPE ") {
-            let (fam, kind) = rest.split_once(' ').expect("TYPE without kind");
-            assert!(
-                matches!(kind, "counter" | "gauge" | "histogram"),
-                "unknown TYPE {kind} for {fam}"
-            );
-            let e = families
-                .entry(fam.to_string())
-                .or_insert((false, false, String::new()));
-            assert!(!e.1, "duplicate # TYPE for {fam}");
-            assert!(e.0, "# TYPE for {fam} precedes its # HELP");
-            e.1 = true;
-            e.2 = kind.to_string();
-            continue;
-        }
-        assert!(!line.starts_with('#'), "unknown comment line: {line}");
-        // Sample: name[{labels}] value
-        let brace = line.find('{');
-        let (name, rest) = match brace {
-            Some(b) => {
-                // The label block may contain escaped quotes; scan for
-                // the closing brace outside a string.
-                let bytes = line.as_bytes();
-                let (mut i, mut in_str, mut esc, mut end) = (b + 1, false, false, 0usize);
-                while i < bytes.len() {
-                    let c = bytes[i];
-                    if esc {
-                        esc = false;
-                    } else if in_str && c == b'\\' {
-                        esc = true;
-                    } else if c == b'"' {
-                        in_str = !in_str;
-                    } else if !in_str && c == b'}' {
-                        end = i;
-                        break;
-                    }
-                    i += 1;
-                }
-                assert!(end > b, "unterminated label block: {line}");
-                (&line[..b], (&line[b..=end], &line[end + 1..]))
-            }
-            None => {
-                let sp = line.find(' ').unwrap_or_else(|| panic!("no value: {line}"));
-                (&line[..sp], ("", &line[sp..]))
-            }
-        };
-        let (labels, value_part) = rest;
-        let value: f64 = value_part.trim().parse().unwrap_or_else(|_| {
-            panic!("sample value does not parse as a number: {line}");
-        });
-        // Resolve which declared family this sample belongs to:
-        // histograms own their _bucket/_sum/_count suffixed series.
-        let fam = families
-            .keys()
-            .filter(|f| {
-                name == f.as_str()
-                    || (families[*f].2 == "histogram"
-                        && [
-                            format!("{f}_bucket"),
-                            format!("{f}_sum"),
-                            format!("{f}_count"),
-                        ]
-                        .iter()
-                        .any(|s| s == name))
-            })
-            .max_by_key(|f| f.len())
-            .unwrap_or_else(|| panic!("sample {name} has no declared family"))
-            .clone();
-        let (help, ty, _) = &families[&fam];
-        assert!(*help && *ty, "sample for {fam} before its HELP/TYPE pair");
-        let series = format!("{name}{labels}");
-        assert!(
-            !seen_series.contains(&series),
-            "duplicate series line: {series}"
-        );
-        seen_series.push(series);
-        samples.push(Sample {
-            name: name.to_string(),
-            labels: labels.to_string(),
-            value,
-        });
-    }
-    // Histogram integrity: buckets are cumulative and end at _count.
-    for (fam, (_, _, kind)) in &families {
-        if kind != "histogram" {
-            continue;
-        }
-        // Group buckets by their label block minus `le`.
-        let mut groups: HashMap<String, Vec<f64>> = HashMap::new();
-        for s in &samples {
-            if s.name == format!("{fam}_bucket") {
-                let base: String = s
-                    .labels
-                    .trim_matches(['{', '}'])
-                    .split(',')
-                    .filter(|kv| !kv.starts_with("le="))
-                    .collect::<Vec<_>>()
-                    .join(",");
-                groups.entry(base).or_default().push(s.value);
-            }
-        }
-        assert!(!groups.is_empty(), "histogram {fam} exported no buckets");
-        for (base, cum) in groups {
-            assert!(
-                cum.windows(2).all(|w| w[0] <= w[1]),
-                "{fam}{{{base}}} buckets not cumulative: {cum:?}"
-            );
-            let count = samples
-                .iter()
-                .find(|s| {
-                    s.name == format!("{fam}_count") && s.labels.trim_matches(['{', '}']) == base
-                })
-                .unwrap_or_else(|| panic!("{fam} has buckets but no _count"))
-                .value;
-            assert_eq!(
-                *cum.last().unwrap(),
-                count,
-                "{fam} +Inf bucket disagrees with _count"
-            );
-            assert!(
-                samples
-                    .iter()
-                    .any(|s| s.name == format!("{fam}_sum")
-                        && s.labels.trim_matches(['{', '}']) == base),
-                "{fam} missing _sum"
-            );
-        }
-    }
-    samples
+    validate(text).expect("structural violation in exposition")
 }
 
 #[test]

@@ -16,17 +16,25 @@ use crate::error::RuntimeError;
 use crate::obs;
 use crate::plan::CompiledPlan;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// When the scheduler closes a batch.
+/// When the scheduler closes a batch, and how much work it will hold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchPolicy {
     /// Maximum requests per batch.
     pub max_batch: usize,
     /// Maximum time the first request of a batch waits for company.
     pub max_wait: Duration,
+    /// Maximum requests the submit queue will hold before
+    /// [`Engine::submit`] rejects with [`RuntimeError::Overloaded`].
+    /// This is the engine's admission-control valve: under sustained
+    /// overload the queue stops growing and callers (a serving front
+    /// end, say) shed load instead of the process eating memory without
+    /// limit. The default is generous — overload should mean *overload*,
+    /// not a batch worth of burst.
+    pub max_queue: usize,
 }
 
 impl Default for BatchPolicy {
@@ -34,6 +42,7 @@ impl Default for BatchPolicy {
         BatchPolicy {
             max_batch: 32,
             max_wait: Duration::from_millis(1),
+            max_queue: 1024,
         }
     }
 }
@@ -77,8 +86,16 @@ struct State {
     results: HashMap<u64, Result<Vec<f32>, String>>,
     /// Ids drained from the queue whose batch is currently executing.
     executing: HashSet<u64>,
+    /// Executing ids whose caller gave up ([`Engine::cancel`]): their
+    /// results are dropped on publish instead of parking in `results`
+    /// forever.
+    abandoned: HashSet<u64>,
     next_id: u64,
     shutdown: bool,
+    /// Set when the worker thread died by panic (a strictly stronger
+    /// condition than `shutdown`): every result is already failed and no
+    /// future request can complete.
+    worker_panicked: bool,
     stats: EngineStats,
 }
 
@@ -97,10 +114,27 @@ struct Shared {
     done_cv: Condvar,
 }
 
+impl Shared {
+    /// Locks the state, recovering from poison: a panicking worker must
+    /// leave the engine *observable* (so [`Engine::wait`] can report the
+    /// death), not wedge every caller behind a poisoned mutex.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The batch-execution seam: production engines forward through the
+/// plan's scratch arena; tests inject blocking or panicking executors to
+/// pin the overload and worker-death contracts deterministically.
+pub(crate) type BatchExec = Box<
+    dyn FnMut(&mut CompiledPlan, &[f32], usize, &mut Vec<f32>) -> Result<(), RuntimeError> + Send,
+>;
+
 /// A batched inference engine over a [`CompiledPlan`].
 pub struct Engine {
     shared: Arc<Shared>,
     in_features: Option<usize>,
+    policy: BatchPolicy,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -110,29 +144,59 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if `policy.max_batch` is zero.
+    /// Panics if `policy.max_batch` or `policy.max_queue` is zero.
     pub fn new(plan: CompiledPlan, policy: BatchPolicy) -> Self {
+        Self::with_exec(
+            plan,
+            policy,
+            Box::new(|plan, x, batch, out| plan.forward_rows(x, batch, out)),
+        )
+    }
+
+    pub(crate) fn with_exec(plan: CompiledPlan, policy: BatchPolicy, exec: BatchExec) -> Self {
         assert!(policy.max_batch > 0, "max_batch must be positive");
+        assert!(policy.max_queue > 0, "max_queue must be positive");
         let in_features = plan.in_features();
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 results: HashMap::new(),
                 executing: HashSet::new(),
+                abandoned: HashSet::new(),
                 next_id: 0,
                 shutdown: false,
+                worker_panicked: false,
                 stats: EngineStats::default(),
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
         let worker_shared = Arc::clone(&shared);
-        let worker = std::thread::spawn(move || worker_loop(worker_shared, plan, policy));
+        let worker = std::thread::spawn(move || {
+            // The worker loop only unwinds if batch execution panics
+            // (a plan bug, a poisoned pool, an injected test executor).
+            // Swallowing the unwind silently would leave every waiter
+            // blocked on `done_cv` forever; instead the engine is marked
+            // dead, every in-flight request is failed, and all waiters
+            // are woken so `wait` returns an error promptly.
+            let unwind = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                worker_loop(&worker_shared, plan, policy, exec)
+            }));
+            if let Err(payload) = unwind {
+                fail_after_worker_panic(&worker_shared, &panic_message(&payload));
+            }
+        });
         Engine {
             shared,
             in_features,
+            policy,
             worker: Some(worker),
         }
+    }
+
+    /// The policy this engine was started with.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
     }
 
     /// Enqueues one request (a single feature row). Returns immediately
@@ -142,7 +206,12 @@ impl Engine {
     ///
     /// * [`RuntimeError::ShapeMismatch`] when the feature count disagrees
     ///   with the plan,
-    /// * [`RuntimeError::Engine`] after shutdown.
+    /// * [`RuntimeError::Overloaded`] when the submit queue already holds
+    ///   [`BatchPolicy::max_queue`] requests — the queue is **bounded**,
+    ///   so sustained overload sheds load here instead of growing memory
+    ///   without limit; retry after a short backoff (serving front ends
+    ///   map this to HTTP 429 + `Retry-After`),
+    /// * [`RuntimeError::Engine`] after shutdown or a worker death.
     ///
     /// # Example
     ///
@@ -171,9 +240,15 @@ impl Engine {
                 });
             }
         }
-        let mut state = self.shared.state.lock().expect("engine lock");
+        let mut state = self.shared.lock();
         if state.shutdown {
-            return Err(RuntimeError::Engine("engine is shut down".to_string()));
+            return Err(RuntimeError::Engine(shutdown_message(&state)));
+        }
+        if state.queue.len() >= self.policy.max_queue {
+            return Err(RuntimeError::Overloaded {
+                queued: state.queue.len(),
+                max_queue: self.policy.max_queue,
+            });
         }
         let id = state.next_id;
         state.next_id += 1;
@@ -190,7 +265,7 @@ impl Engine {
     /// Non-blocking result check: `None` while the request is in flight,
     /// the result (taken out of the engine) once its batch completed.
     pub fn poll(&self, id: RequestId) -> Option<Result<Vec<f32>, RuntimeError>> {
-        let mut state = self.shared.state.lock().expect("engine lock");
+        let mut state = self.shared.lock();
         state
             .results
             .remove(&id.0)
@@ -199,11 +274,19 @@ impl Engine {
 
     /// Blocks until the request's batch completes and returns its result.
     ///
+    /// Equivalent to [`Self::wait_timeout`] with an infinite deadline:
+    /// the same in-flight / delivered / shut-down state machine, minus
+    /// the `Ok(None)` expiry arm. `wait` never blocks on a dead worker —
+    /// if the worker thread panics, every in-flight request is failed
+    /// and all waiters wake with an error; callers that need a bounded
+    /// wall-clock bound regardless (a serving deadline, say) should use
+    /// [`Self::wait_timeout`] instead of trusting liveness.
+    ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Engine`] if the worker fails the request,
-    /// shuts down first, or `id` is unknown / already delivered (results
-    /// are taken out of the engine exactly once).
+    /// shuts down or panics first, or `id` is unknown / already
+    /// delivered (results are taken out of the engine exactly once).
     ///
     /// # Example
     ///
@@ -227,10 +310,50 @@ impl Engine {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn wait(&self, id: RequestId) -> Result<Vec<f32>, RuntimeError> {
-        let mut state = self.shared.state.lock().expect("engine lock");
+        match self.wait_deadline(id, None) {
+            Ok(Some(r)) => Ok(r),
+            Ok(None) => unreachable!("deadline-free wait cannot expire"),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Bounded [`Self::wait`]: blocks at most `timeout` for the request's
+    /// batch to complete.
+    ///
+    /// Returns `Ok(Some(result))` when the batch completed in time and
+    /// `Ok(None)` when the deadline expired with the request still in
+    /// flight — the request keeps executing; the caller can keep waiting,
+    /// or [`Self::cancel`] it so the eventual result is dropped instead
+    /// of parking in the engine forever. Serving front ends use this to
+    /// enforce per-request deadlines instead of trusting worker
+    /// liveness.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`Self::wait`]: the worker failed the request,
+    /// the engine shut down or its worker panicked, or `id` is unknown /
+    /// already delivered.
+    pub fn wait_timeout(
+        &self,
+        id: RequestId,
+        timeout: Duration,
+    ) -> Result<Option<Vec<f32>>, RuntimeError> {
+        self.wait_deadline(id, Some(Instant::now() + timeout))
+    }
+
+    /// The condvar loop behind [`Self::wait`] (no deadline) and
+    /// [`Self::wait_timeout`] (deadline): take the result if present,
+    /// error on unknown/taken ids and dead engines, otherwise sleep on
+    /// `done_cv` until woken or past the deadline.
+    fn wait_deadline(
+        &self,
+        id: RequestId,
+        deadline: Option<Instant>,
+    ) -> Result<Option<Vec<f32>>, RuntimeError> {
+        let mut state = self.shared.lock();
         loop {
             if let Some(r) = state.results.remove(&id.0) {
-                return r.map_err(RuntimeError::Engine);
+                return r.map(Some).map_err(RuntimeError::Engine);
             }
             if !state.in_flight(id.0) {
                 return Err(RuntimeError::Engine(format!(
@@ -239,22 +362,119 @@ impl Engine {
                 )));
             }
             if state.shutdown {
-                return Err(RuntimeError::Engine("engine is shut down".to_string()));
+                return Err(RuntimeError::Engine(shutdown_message(&state)));
             }
-            state = self.shared.done_cv.wait(state).expect("engine lock");
+            match deadline {
+                None => {
+                    state = self
+                        .shared
+                        .done_cv
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Ok(None);
+                    }
+                    state = self
+                        .shared
+                        .done_cv
+                        .wait_timeout(state, d - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
         }
+    }
+
+    /// Abandons a request: a queued request is dropped before execution,
+    /// an executing one has its eventual result discarded on publish, a
+    /// completed one has its result taken and dropped. Returns `false`
+    /// when the id is unknown (or its result already left the engine) —
+    /// cancel is idempotent, never an error.
+    ///
+    /// This is the cleanup half of a [`Self::wait_timeout`] deadline:
+    /// without it, results of timed-out requests would accumulate in the
+    /// engine for the life of the process.
+    pub fn cancel(&self, id: RequestId) -> bool {
+        let mut state = self.shared.lock();
+        if state.results.remove(&id.0).is_some() {
+            return true;
+        }
+        if let Some(pos) = state.queue.iter().position(|(q, _, _)| *q == id.0) {
+            state.queue.remove(pos);
+            obs::metrics().engine_queue_depth(state.queue.len());
+            return true;
+        }
+        if state.executing.contains(&id.0) {
+            state.abandoned.insert(id.0);
+            return true;
+        }
+        false
+    }
+
+    /// Requests currently queued (excluding the executing batch). The
+    /// admission headroom is `policy().max_queue - queue_depth()`.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock().queue.len()
     }
 
     /// Scheduler counters so far.
     pub fn stats(&self) -> EngineStats {
-        self.shared.state.lock().expect("engine lock").stats
+        self.shared.lock().stats
     }
+}
+
+/// The `Engine`/`wait` error text for a dead engine, distinguishing a
+/// panicked worker from an orderly shutdown.
+fn shutdown_message(state: &State) -> String {
+    if state.worker_panicked {
+        "engine worker panicked; engine is dead".to_string()
+    } else {
+        "engine is shut down".to_string()
+    }
+}
+
+/// Renders a panic payload the way `std` would print it.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The worker died by panic: mark the engine dead, fail every request
+/// still inside it (queued or mid-batch), and wake all waiters so
+/// [`Engine::wait`] returns an error instead of blocking forever on a
+/// worker that will never publish again.
+fn fail_after_worker_panic(shared: &Shared, msg: &str) {
+    let mut state = shared.lock();
+    state.shutdown = true;
+    state.worker_panicked = true;
+    let queued: Vec<u64> = state.queue.drain(..).map(|(id, _, _)| id).collect();
+    let executing: Vec<u64> = state.executing.drain().collect();
+    for id in queued.into_iter().chain(executing) {
+        if state.abandoned.remove(&id) {
+            continue;
+        }
+        state
+            .results
+            .insert(id, Err(format!("engine worker panicked: {msg}")));
+    }
+    obs::metrics().engine_queue_depth(state.queue.len());
+    drop(state);
+    shared.work_cv.notify_all();
+    shared.done_cv.notify_all();
 }
 
 impl Drop for Engine {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("engine lock");
+            let mut state = self.shared.lock();
             state.shutdown = true;
         }
         self.shared.work_cv.notify_all();
@@ -273,14 +493,17 @@ impl Drop for Engine {
 /// plan executes through its scratch arena, so a steady-state batch costs
 /// one allocation per *request* (the result row handed to the caller),
 /// not one per intermediate.
-fn worker_loop(shared: Arc<Shared>, mut plan: CompiledPlan, policy: BatchPolicy) {
+fn worker_loop(shared: &Shared, mut plan: CompiledPlan, policy: BatchPolicy, mut exec: BatchExec) {
     let mut stacked: Vec<f32> = Vec::new();
     let mut outputs: Vec<f32> = Vec::new();
     loop {
         let batch = {
-            let mut state = shared.state.lock().expect("engine lock");
+            let mut state = shared.lock();
             while state.queue.is_empty() && !state.shutdown {
-                state = shared.work_cv.wait(state).expect("engine lock");
+                state = shared
+                    .work_cv
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             if state.queue.is_empty() && state.shutdown {
                 return;
@@ -296,13 +519,18 @@ fn worker_loop(shared: Arc<Shared>, mut plan: CompiledPlan, policy: BatchPolicy)
                 let (s, timeout) = shared
                     .work_cv
                     .wait_timeout(state, deadline - now)
-                    .expect("engine lock");
+                    .unwrap_or_else(PoisonError::into_inner);
                 state = s;
                 if timeout.timed_out() {
                     break;
                 }
             }
             let take = policy.max_batch.min(state.queue.len());
+            if take == 0 {
+                // Every gathered request was cancelled out of the queue
+                // while the batch window was open; nothing to run.
+                continue;
+            }
             let batch = state.queue.drain(..take).collect::<Vec<_>>();
             for (id, _, _) in &batch {
                 state.executing.insert(*id);
@@ -315,14 +543,17 @@ fn worker_loop(shared: Arc<Shared>, mut plan: CompiledPlan, policy: BatchPolicy)
         for (_, _, submitted) in &batch {
             m.engine_request_wait(dispatch.saturating_sub(*submitted));
         }
-        let outputs = run_batch(&mut plan, &batch, &mut stacked, &mut outputs);
+        let outputs = run_batch(&mut plan, &mut exec, &batch, &mut stacked, &mut outputs);
         m.engine_batch_done(dispatch, obs::now().saturating_sub(dispatch), batch.len());
-        let mut state = shared.state.lock().expect("engine lock");
+        let mut state = shared.lock();
         state.stats.batches += 1;
         state.stats.largest_batch = state.stats.largest_batch.max(batch.len());
         state.stats.completed += batch.len() as u64;
         for (id, result) in outputs {
             state.executing.remove(&id);
+            if state.abandoned.remove(&id) {
+                continue; // caller timed out and cancelled; drop the result
+            }
             state.results.insert(id, result);
         }
         drop(state);
@@ -335,6 +566,7 @@ fn worker_loop(shared: Arc<Shared>, mut plan: CompiledPlan, policy: BatchPolicy)
 /// splits the output back into per-request rows.
 fn run_batch(
     plan: &mut CompiledPlan,
+    exec: &mut BatchExec,
     batch: &[Queued],
     stacked: &mut Vec<f32>,
     outputs: &mut Vec<f32>,
@@ -352,7 +584,7 @@ fn run_batch(
     for (_, row, _) in batch {
         stacked.extend_from_slice(row);
     }
-    match plan.forward_rows(stacked, batch.len(), outputs) {
+    match exec(plan, stacked, batch.len(), outputs) {
         Ok(()) => {
             let per = outputs.len() / batch.len();
             batch
@@ -399,6 +631,7 @@ mod tests {
             BatchPolicy {
                 max_batch: 16,
                 max_wait: Duration::from_millis(5),
+                ..BatchPolicy::default()
             },
         );
         let f = calib.dims()[1];
@@ -451,6 +684,7 @@ mod tests {
             BatchPolicy {
                 max_batch: 1,
                 max_wait: Duration::from_millis(1),
+                ..BatchPolicy::default()
             },
         );
         let id = engine.submit(&calib.as_slice()[..8]).unwrap();
@@ -485,6 +719,7 @@ mod tests {
             BatchPolicy {
                 max_batch: 4,
                 max_wait: Duration::from_millis(1),
+                ..BatchPolicy::default()
             },
         );
         for i in 0..8 {
@@ -493,5 +728,190 @@ mod tests {
                 .unwrap();
         }
         drop(engine); // must not deadlock or panic
+    }
+
+    /// An executor that parks every batch on a channel until the test
+    /// releases it (or drops the sender), then emits one dummy output
+    /// per request. Lets tests hold the worker mid-batch deterministically.
+    fn gated_exec(gate: std::sync::mpsc::Receiver<()>) -> BatchExec {
+        Box::new(move |_plan, _x, batch, out| {
+            let _ = gate.recv(); // sender dropped => proceed (drain on Drop)
+            out.clear();
+            out.resize(batch, 0.0);
+            Ok(())
+        })
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded_and_recovers() {
+        let (p, calib) = plan();
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel();
+        let engine = Engine::with_exec(
+            p,
+            BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::from_millis(1),
+                max_queue: 2,
+            },
+            gated_exec(gate_rx),
+        );
+        let row = &calib.as_slice()[..8];
+        // First request is taken by the worker immediately (max_batch 1)
+        // and parks on the gate; wait until it has left the queue.
+        let a = engine.submit(row).unwrap();
+        for _ in 0..5000 {
+            if engine.queue_depth() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(engine.queue_depth(), 0, "worker never picked up request");
+        // Fill the bounded queue behind the stuck batch...
+        let b = engine.submit(row).unwrap();
+        let c = engine.submit(row).unwrap();
+        // ...and the next submit is shed, not enqueued.
+        assert!(matches!(
+            engine.submit(row),
+            Err(RuntimeError::Overloaded {
+                queued: 2,
+                max_queue: 2
+            })
+        ));
+        // Release the worker: everything queued completes...
+        drop(gate_tx);
+        assert_eq!(engine.wait(a).unwrap(), vec![0.0]);
+        assert!(engine.wait(b).is_ok());
+        assert!(engine.wait(c).is_ok());
+        // ...and admission recovers once the queue drained.
+        let d = engine.submit(row).unwrap();
+        assert!(engine.wait(d).is_ok());
+    }
+
+    #[test]
+    fn worker_panic_fails_wait_promptly_and_kills_engine() {
+        let (p, calib) = plan();
+        let engine = Engine::with_exec(
+            p,
+            BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+                max_queue: 16,
+            },
+            Box::new(|_, _, _, _| panic!("injected batch failure")),
+        );
+        let row = &calib.as_slice()[..8];
+        let id = engine.submit(row).unwrap();
+        // Before the fix, `wait` hung forever here: the worker died with
+        // `shutdown` unset and nobody signalled `done_cv`.
+        let start = Instant::now();
+        let err = engine.wait(id).unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "wait did not return promptly after worker death"
+        );
+        assert!(
+            err.to_string().contains("panicked"),
+            "error does not name the panic: {err}"
+        );
+        // The engine is dead: later submits fail fast with the cause.
+        let err = engine.submit(row).unwrap_err();
+        assert!(matches!(err, RuntimeError::Engine(_)));
+        assert!(err.to_string().contains("panicked"), "{err}");
+        drop(engine); // join of the panicked worker must not deadlock
+    }
+
+    #[test]
+    fn wait_timeout_expires_then_delivers() {
+        let (p, calib) = plan();
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel();
+        let engine = Engine::with_exec(
+            p,
+            BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::from_millis(1),
+                max_queue: 16,
+            },
+            gated_exec(gate_rx),
+        );
+        let row = &calib.as_slice()[..8];
+        let id = engine.submit(row).unwrap();
+        // Worker is parked on the gate: a short deadline expires with the
+        // request still in flight.
+        assert!(matches!(
+            engine.wait_timeout(id, Duration::from_millis(20)),
+            Ok(None)
+        ));
+        // Released, the same id delivers through the bounded wait.
+        gate_tx.send(()).unwrap();
+        let got = engine.wait_timeout(id, Duration::from_secs(60)).unwrap();
+        assert_eq!(got, Some(vec![0.0]));
+    }
+
+    #[test]
+    fn cancel_covers_queued_executing_and_completed() {
+        let (p, calib) = plan();
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel();
+        let engine = Engine::with_exec(
+            p,
+            BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::from_millis(1),
+                max_queue: 16,
+            },
+            gated_exec(gate_rx),
+        );
+        let row = &calib.as_slice()[..8];
+        let executing = engine.submit(row).unwrap();
+        for _ in 0..5000 {
+            if engine.queue_depth() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let queued = engine.submit(row).unwrap();
+        // Queued: removed before execution; cancel is idempotent.
+        assert!(engine.cancel(queued));
+        assert!(!engine.cancel(queued));
+        assert_eq!(engine.queue_depth(), 0);
+        // Executing: the eventual result is dropped on publish.
+        assert!(engine.cancel(executing));
+        drop(gate_tx);
+        for _ in 0..5000 {
+            if engine.stats().completed >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(matches!(
+            engine.wait(executing),
+            Err(RuntimeError::Engine(_))
+        ));
+        // Completed: cancel takes and drops the parked result.
+        let done = engine.submit(row).unwrap();
+        let mut seen = false;
+        for _ in 0..5000 {
+            if engine.cancel(done) {
+                seen = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(seen, "completed result never became cancellable");
+        assert!(engine.poll(done).is_none());
+        // Unknown ids are a no-op.
+        assert!(!engine.cancel(RequestId(9_999_999)));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_queue must be positive")]
+    fn zero_max_queue_is_rejected() {
+        let (p, _) = plan();
+        let _ = Engine::new(
+            p,
+            BatchPolicy {
+                max_queue: 0,
+                ..BatchPolicy::default()
+            },
+        );
     }
 }

@@ -42,6 +42,16 @@ pub enum RuntimeError {
     },
     /// The engine worker is shut down or a request was dropped.
     Engine(String),
+    /// The engine's bounded submit queue is full: admission control
+    /// rejected the request instead of growing memory without limit.
+    /// Transient by design — retry after a short backoff (serving front
+    /// ends map this to HTTP 429 + `Retry-After`).
+    Overloaded {
+        /// Requests queued at rejection time.
+        queued: usize,
+        /// The queue bound ([`crate::BatchPolicy::max_queue`]).
+        max_queue: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -65,6 +75,12 @@ impl fmt::Display for RuntimeError {
                 write!(f, "expected {expected} input features, got {actual}")
             }
             RuntimeError::Engine(msg) => write!(f, "engine error: {msg}"),
+            RuntimeError::Overloaded { queued, max_queue } => {
+                write!(
+                    f,
+                    "engine overloaded: submit queue full ({queued}/{max_queue}); retry later"
+                )
+            }
         }
     }
 }
@@ -114,6 +130,10 @@ mod tests {
                 actual: 2,
             },
             RuntimeError::Engine("down".into()),
+            RuntimeError::Overloaded {
+                queued: 1024,
+                max_queue: 1024,
+            },
         ];
         for v in &variants {
             assert!(!v.to_string().is_empty());

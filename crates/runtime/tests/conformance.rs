@@ -371,6 +371,7 @@ fn transformer_serves_batched_through_engine() {
         BatchPolicy {
             max_batch: 4,
             max_wait: Duration::from_millis(2),
+            ..BatchPolicy::default()
         },
     );
     let ids: Vec<_> = (0..12)
@@ -416,6 +417,7 @@ fn engine_stress_threaded_submits_are_grouping_independent() {
         BatchPolicy {
             max_batch: 5,
             max_wait: Duration::from_millis(2),
+            ..BatchPolicy::default()
         },
     );
     const THREADS: usize = 4;

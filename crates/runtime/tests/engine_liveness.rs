@@ -1,0 +1,117 @@
+//! Liveness and backpressure contracts of the public `Engine` API.
+//!
+//! These pin the two serving-critical behaviors from the outside, with
+//! no test hooks: a full submit queue sheds load with
+//! [`RuntimeError::Overloaded`] (and recovers once drained), and
+//! deadline-bounded waits expire instead of trusting worker liveness.
+//!
+//! Determinism on one core: the worker's gather loop holds the first
+//! batch open for `max_wait` *without draining the queue* (the drain
+//! happens when the batch closes), so with a large `max_batch` and a
+//! generous `max_wait`, quick submits pile into the bounded queue and
+//! the `max_queue + 1`-th is rejected — no sleeps, no racing.
+
+use ant_nn::model::mlp;
+use ant_nn::qat::{quantize_model, QuantSpec};
+use ant_runtime::{BatchPolicy, CompiledPlan, Engine, RuntimeError};
+use ant_tensor::dist::{sample_tensor, Distribution};
+use std::time::{Duration, Instant};
+
+fn plan() -> CompiledPlan {
+    let mut model = mlp(8, 4, 17);
+    let calib = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[64, 8],
+        3,
+    );
+    quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+    CompiledPlan::from_quantized(&model).unwrap()
+}
+
+#[test]
+fn bounded_queue_sheds_load_and_recovers() {
+    // max_batch is unreachable, so the worker holds its gather window
+    // open for the full max_wait while our submits land in the queue.
+    let engine = Engine::new(
+        plan(),
+        BatchPolicy {
+            max_batch: 64,
+            max_wait: Duration::from_millis(500),
+            max_queue: 4,
+        },
+    );
+    let row = [0.5_f32; 8];
+    let ids: Vec<_> = (0..4).map(|_| engine.submit(&row).unwrap()).collect();
+    let err = engine.submit(&row).unwrap_err();
+    match err {
+        RuntimeError::Overloaded { queued, max_queue } => {
+            assert_eq!(queued, 4);
+            assert_eq!(max_queue, 4);
+        }
+        other => panic!("expected Overloaded, got: {other}"),
+    }
+    // Everything admitted completes; nothing admitted was lost.
+    for id in ids {
+        assert_eq!(engine.wait(id).unwrap().len(), 4);
+    }
+    // The queue drained with the batch: admission is open again.
+    assert_eq!(engine.queue_depth(), 0);
+    let id = engine.submit(&row).unwrap();
+    assert_eq!(engine.wait(id).unwrap().len(), 4);
+    let stats = engine.stats();
+    assert_eq!(stats.submitted, 5, "the shed request must not be counted");
+    assert_eq!(stats.completed, 5);
+}
+
+#[test]
+fn wait_timeout_expires_while_batch_is_held_open() {
+    let engine = Engine::new(
+        plan(),
+        BatchPolicy {
+            max_batch: 64,
+            max_wait: Duration::from_millis(500),
+            max_queue: 64,
+        },
+    );
+    let id = engine.submit(&[0.5; 8]).unwrap();
+    // The batch is held open for ~500ms; a 20ms deadline expires first.
+    let start = Instant::now();
+    let got = engine.wait_timeout(id, Duration::from_millis(20)).unwrap();
+    assert!(got.is_none(), "deadline cannot have been met");
+    assert!(
+        start.elapsed() < Duration::from_millis(450),
+        "expiry returned only after the batch closed"
+    );
+    // The request was not lost: an unbounded wait still delivers it.
+    assert_eq!(engine.wait(id).unwrap().len(), 4);
+}
+
+#[test]
+fn cancel_after_timeout_drops_the_result() {
+    let engine = Engine::new(
+        plan(),
+        BatchPolicy {
+            max_batch: 64,
+            max_wait: Duration::from_millis(200),
+            max_queue: 64,
+        },
+    );
+    let id = engine.submit(&[0.5; 8]).unwrap();
+    assert!(engine
+        .wait_timeout(id, Duration::from_millis(10))
+        .unwrap()
+        .is_none());
+    // Deadline handling à la antd: give up and cancel so the eventual
+    // result is dropped instead of parking in the engine forever. The
+    // request was still queued, so cancel removes it outright.
+    assert!(engine.cancel(id));
+    assert_eq!(engine.queue_depth(), 0);
+    // The worker survives its now-empty batch window: a fresh request
+    // still completes, and the cancelled id is gone, not parked.
+    let fresh = engine.submit(&[0.25; 8]).unwrap();
+    assert_eq!(engine.wait(fresh).unwrap().len(), 4);
+    assert!(matches!(engine.wait(id), Err(RuntimeError::Engine(_))));
+}

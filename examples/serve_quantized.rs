@@ -68,6 +68,11 @@ fn serve_and_verify(
             BatchPolicy {
                 max_batch,
                 max_wait: Duration::from_millis(1),
+                // The open-loop pass submits every request before its
+                // first wait; size the admission valve for that burst
+                // (at the default 1024 the engine would shed with
+                // `Overloaded`, which is backpressure, not a bug).
+                max_queue: requests.max(64),
             },
         );
         // Warm up the worker (first batches pay one-time page-in costs).

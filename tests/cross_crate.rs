@@ -108,6 +108,7 @@ fn select_compile_batch_execute_matches_reference_forward() {
         BatchPolicy {
             max_batch: 16,
             max_wait: std::time::Duration::from_millis(2),
+            ..BatchPolicy::default()
         },
     );
     let queries = sample_tensor(

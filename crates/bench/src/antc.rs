@@ -9,7 +9,7 @@ use crate::json::Json;
 use crate::render_table;
 use ant_core::select::PrimitiveCombo;
 use ant_nn::data::{blobs, motifs, shapes, Dataset};
-use ant_nn::model::{mlp, small_cnn, tiny_transformer, Sequential};
+use ant_nn::model::{decoder_block, mlp, small_cnn, tiny_transformer, Sequential};
 use ant_nn::qat::QuantSpec;
 use ant_nn::train::{evaluate, train, TrainConfig};
 use ant_nn::NnError;
@@ -37,6 +37,8 @@ pub enum CliError {
     Runtime(RuntimeError),
     /// `antc loadgen` could not reach or drive the daemon.
     Loadgen(String),
+    /// `antc generate` could not stream tokens from the daemon.
+    Generate(String),
 }
 
 impl fmt::Display for CliError {
@@ -47,6 +49,7 @@ impl fmt::Display for CliError {
             CliError::Nn(e) => write!(f, "{e}"),
             CliError::Runtime(e) => write!(f, "{e}"),
             CliError::Loadgen(msg) => write!(f, "loadgen: {msg}"),
+            CliError::Generate(msg) => write!(f, "generate: {msg}"),
         }
     }
 }
@@ -80,6 +83,9 @@ pub enum ModelKind {
     Cnn,
     /// Tiny Transformer on the motifs task.
     Transformer,
+    /// Causal decoder (untrained generative reference): the model kind
+    /// `antd`'s `/generate` endpoint and the decode bench serve.
+    Decoder,
 }
 
 impl ModelKind {
@@ -93,8 +99,9 @@ impl ModelKind {
             "mlp" => Ok(ModelKind::Mlp),
             "cnn" => Ok(ModelKind::Cnn),
             "transformer" => Ok(ModelKind::Transformer),
+            "decoder" => Ok(ModelKind::Decoder),
             other => Err(CliError::Usage(format!(
-                "unknown model '{other}' (expected mlp, cnn or transformer)"
+                "unknown model '{other}' (expected mlp, cnn, transformer or decoder)"
             ))),
         }
     }
@@ -153,6 +160,9 @@ fn build_task(kind: ModelKind, seed: u64) -> (Sequential, Dataset) {
             tiny_transformer(8, 8, 6, seed),
             motifs(480, 8, 8, 6, seed.wrapping_add(1)),
         ),
+        // No labeled task exists for the decoder: run_quantize branches
+        // into quantize_decoder before ever building one.
+        ModelKind::Decoder => unreachable!("decoder quantize path never builds a labeled task"),
     }
 }
 
@@ -164,6 +174,9 @@ fn build_task(kind: ModelKind, seed: u64) -> (Sequential, Dataset) {
 ///
 /// Propagates training, quantization and serialization failures.
 pub fn run_quantize<P: AsRef<Path>>(cfg: QuantizeConfig, out: P) -> Result<String, CliError> {
+    if cfg.model == ModelKind::Decoder {
+        return quantize_decoder(cfg, out);
+    }
     let (mut model, data) = build_task(cfg.model, cfg.seed);
     let (train_set, test_set) = data.split(0.25);
     if cfg.epochs > 0 {
@@ -223,6 +236,76 @@ pub fn run_quantize<P: AsRef<Path>>(cfg: QuantizeConfig, out: P) -> Result<Strin
     report.push_str(&format!(
         "cache: {} memoized selection fingerprint(s)\n",
         artifact.cache_entries().len()
+    ));
+    report.push_str(&format!(
+        "wrote {} ({} layers)\n",
+        out.as_ref().display(),
+        artifact.layer_count()
+    ));
+    Ok(report)
+}
+
+/// Sequence length the reference decoder artifact is built at. The
+/// runtime derives the token count from the input at every call, so
+/// sessions may hold more tokens than this — it only sizes calibration.
+const DECODER_SEQ: usize = 32;
+/// Embedding width of the reference decoder; `antd` exposes it as the
+/// synthetic vocabulary for `/generate`.
+const DECODER_DIM: usize = 16;
+/// Causal attention depth of the reference decoder.
+const DECODER_DEPTH: usize = 2;
+
+/// The decoder branch of `antc quantize`: there is no classifier head
+/// (the model emits one row per token), so the labeled-dataset
+/// train/evaluate steps are meaningless — calibration runs on Gaussian
+/// token rows and the report describes the decode surface (token dim,
+/// causal layers, KV bytes per token) instead of accuracy.
+fn quantize_decoder<P: AsRef<Path>>(cfg: QuantizeConfig, out: P) -> Result<String, CliError> {
+    let mut model = decoder_block(DECODER_SEQ, DECODER_DIM, DECODER_DEPTH, cfg.seed);
+    let calib = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[24, DECODER_SEQ * DECODER_DIM],
+        cfg.seed.wrapping_add(1),
+    );
+    let spec = QuantSpec {
+        combo: cfg.combo,
+        bits: cfg.bits,
+        ..QuantSpec::default()
+    };
+    let mut planner = Planner::new();
+    let plan = planner.compile(&mut model, &calib, spec)?;
+    let artifact = ModelArtifact::from_model(&model)?.with_cache(planner.cache());
+    artifact.save_path(&out)?;
+
+    let causal = plan
+        .layers()
+        .iter()
+        .filter(|l| matches!(l, ant_runtime::PlanLayer::PackedCausalAttn(_)))
+        .count();
+    let kv_per_token = {
+        let session = plan.open_session(DECODER_SEQ)?;
+        session.kv_bytes() / DECODER_SEQ
+    };
+    let (packed, f32_bytes) = plan.weight_bytes();
+    let mut report = String::new();
+    report.push_str(&format!(
+        "quantized Decoder model: combo {}, {} bits (untrained generative reference; \
+         accuracy not applicable)\n",
+        cfg.combo.label(),
+        cfg.bits
+    ));
+    report.push_str(&format!(
+        "decode: token dim {} (synthetic vocabulary), {causal} causal attention layer(s), \
+         {kv_per_token} KV bytes/token\n",
+        plan.token_dim()
+            .expect("decoder_block always compiles causal"),
+    ));
+    report.push_str(&format!(
+        "weights: {packed} packed bytes vs {f32_bytes} f32 bytes ({:.1}x smaller)\n",
+        f32_bytes as f64 / packed.max(1) as f64
     ));
     report.push_str(&format!(
         "wrote {} ({} layers)\n",
@@ -751,11 +834,33 @@ fn engine_stages(delta: &Snapshot) -> Option<EngineStages> {
     })
 }
 
+/// The decode workload's measurements: a causal decoder serving several
+/// sessions of one-token steps through the packed M-ANT KV cache.
+#[derive(Debug, Clone)]
+pub struct DecodeBench {
+    /// Aggregate generation rate across all coalesced sessions
+    /// (sessions × steps / wall time).
+    pub tokens_per_sec: f64,
+    /// Median coalesced decode-step latency, microseconds (one step
+    /// advances every session by one token).
+    pub step_p50_us: f64,
+    /// 99th-percentile coalesced decode-step latency, microseconds.
+    pub step_p99_us: f64,
+    /// Packed KV cache footprint per token of capacity, bytes — fixed at
+    /// `open_session`, never grown by appends.
+    pub kv_bytes_per_token: usize,
+    /// Sessions coalesced per decode step.
+    pub sessions: usize,
+}
+
 /// The full `antc bench` result set.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     /// Per-workload serving measurements.
     pub workloads: Vec<BenchWorkload>,
+    /// Autoregressive decode measurements (tokens/s, per-step latency,
+    /// KV bytes/token).
+    pub decode: DecodeBench,
     /// Raw dense-GEMM speedup of the `i8` microkernel over the scalar
     /// `i32` reference on a fixed `(64, 256, 256)` shape, single thread.
     pub gemm_speedup_i8_vs_i32: f64,
@@ -768,9 +873,11 @@ pub struct BenchReport {
 impl BenchReport {
     /// Serializes the report as JSON (hand-rolled: the workspace is
     /// dependency-free by construction). Schema `ant-bench/runtime-v2`:
-    /// v1 plus `p90_us`/`p999_us` and a per-workload `stages` object
+    /// v1 plus `p90_us`/`p999_us`, a per-workload `stages` object
     /// (per-layer-kind and engine-stage breakdowns from the telemetry
-    /// registry; `null` when the runtime has no hooks compiled in).
+    /// registry; `null` when the runtime has no hooks compiled in), and
+    /// a top-level `decode` object (autoregressive tokens/s, per-step
+    /// latency percentiles, KV bytes/token).
     pub fn to_json(&self, quick: bool) -> String {
         let mut s = String::from("{\n");
         s.push_str("  \"schema\": \"ant-bench/runtime-v2\",\n");
@@ -778,6 +885,15 @@ impl BenchReport {
         s.push_str(&format!(
             "  \"gemm_speedup_i8_vs_i32\": {:.3},\n",
             self.gemm_speedup_i8_vs_i32
+        ));
+        s.push_str(&format!(
+            "  \"decode\": {{\"tokens_per_sec\": {:.1}, \"step_p50_us\": {:.2}, \
+             \"step_p99_us\": {:.2}, \"kv_bytes_per_token\": {}, \"sessions\": {}}},\n",
+            self.decode.tokens_per_sec,
+            self.decode.step_p50_us,
+            self.decode.step_p99_us,
+            self.decode.kv_bytes_per_token,
+            self.decode.sessions
         ));
         s.push_str(&format!("  \"regression\": {},\n", self.regression));
         s.push_str("  \"workloads\": [\n");
@@ -1024,6 +1140,75 @@ fn measure_load_path(
     Ok((t_v1 * 1e6, t_v2 * 1e6, zero_copy, private_dirty_kb))
 }
 
+/// Measures the autoregressive decode workload: a 2-layer causal
+/// decoder, several sessions prefillled then advanced one token per
+/// step through [`ant_runtime::CompiledPlan::decode_steps`] (the
+/// coalesced path the engine's decode phase uses), every step against
+/// the packed M-ANT KV cache. Driven through the plan directly — not
+/// the engine — so the step latency histogram measures the quantize +
+/// attend + project work itself, without batching-policy wait noise.
+fn measure_decode(cfg: &BenchConfig) -> Result<DecodeBench, CliError> {
+    use ant_nn::model::decoder_block;
+    use ant_nn::qat::quantize_model;
+    const SESSIONS: usize = 4;
+    const WARMUP: usize = 8;
+    let (seq, dim) = (8usize, 32usize);
+    let steps = if cfg.quick { 64 } else { 256 };
+    let mut model = decoder_block(seq, dim, 2, cfg.seed);
+    let calib = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[24, seq * dim],
+        cfg.seed.wrapping_add(3),
+    );
+    quantize_model(&mut model, &calib, QuantSpec::default())?;
+    let mut plan = CompiledPlan::from_quantized_strict(&model)?;
+    // One prefill token plus every decode step must fit: capacity is
+    // fixed at open and appends never grow it.
+    let capacity = 1 + WARMUP + steps;
+    let mut sessions = Vec::new();
+    for _ in 0..SESSIONS {
+        sessions.push(plan.open_session(capacity)?);
+    }
+    let toks = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[SESSIONS, dim],
+        cfg.seed.wrapping_add(7),
+    );
+    let mut out = Vec::new();
+    for s in &mut sessions {
+        plan.prefill(s, &toks.as_slice()[..dim], &mut out)?;
+    }
+    let step = |plan: &mut CompiledPlan, sessions: &mut Vec<_>, out: &mut Vec<f32>| {
+        let mut refs: Vec<&mut _> = sessions.iter_mut().collect();
+        plan.decode_steps(&mut refs, toks.as_slice(), out)
+    };
+    for _ in 0..WARMUP {
+        step(&mut plan, &mut sessions, &mut out)?;
+    }
+    let lat = ant_obs::Histogram::new();
+    let start = std::time::Instant::now();
+    for _ in 0..steps {
+        let t = std::time::Instant::now();
+        step(&mut plan, &mut sessions, &mut out)?;
+        lat.record(t.elapsed().as_nanos() as u64);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let lat = lat.snapshot();
+    Ok(DecodeBench {
+        tokens_per_sec: (steps * SESSIONS) as f64 / elapsed.max(1e-9),
+        step_p50_us: lat.quantile(0.50) / 1e3,
+        step_p99_us: lat.quantile(0.99) / 1e3,
+        kv_bytes_per_token: sessions[0].kv_bytes() / capacity,
+        sessions: SESSIONS,
+    })
+}
+
 /// Times `iters` runs of `f` and returns seconds per run.
 fn time_per_iter<F: FnMut()>(iters: usize, mut f: F) -> f64 {
     let start = std::time::Instant::now();
@@ -1163,6 +1348,7 @@ pub fn measure_bench(cfg: &BenchConfig) -> Result<BenchReport, CliError> {
         let t_i8 = time_per_iter(iters, || packed.matmul(&a8, m, &mut acc, pool, 1));
         t_i32 / t_i8
     };
+    let decode = measure_decode(cfg)?;
     // Zero-copy is only promised where the borrow gate can hold (unix
     // mmap, little-endian hosts); elsewhere the owned fallback is
     // correct, not a regression. The private-dirty budget only applies
@@ -1180,6 +1366,7 @@ pub fn measure_bench(cfg: &BenchConfig) -> Result<BenchReport, CliError> {
                 .any(|w| w.mapped_private_dirty_kb.is_some_and(|kb| kb > 64)));
     Ok(BenchReport {
         workloads,
+        decode,
         gemm_speedup_i8_vs_i32,
         regression,
     })
@@ -1286,6 +1473,15 @@ pub fn run_bench(cfg: BenchConfig) -> Result<String, CliError> {
     out.push_str(&format!(
         "\ndense GEMM (64x256x256): i8 microkernel {:.2}x vs scalar i32 reference\n",
         report.gemm_speedup_i8_vs_i32
+    ));
+    out.push_str(&format!(
+        "decode ({} sessions coalesced, packed KV): {:.0} tokens/s, \
+         per-step p50 {:.1} µs / p99 {:.1} µs, {} KV bytes/token\n",
+        report.decode.sessions,
+        report.decode.tokens_per_sec,
+        report.decode.step_p50_us,
+        report.decode.step_p99_us,
+        report.decode.kv_bytes_per_token
     ));
     let mut any_stages = false;
     for w in &report.workloads {
@@ -1778,10 +1974,146 @@ pub fn run_loadgen(cfg: LoadgenConfig) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `antc generate` configuration.
+#[derive(Debug, Clone)]
+pub struct GenerateConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Model name as registered with the daemon.
+    pub model: String,
+    /// Prompt token ids (each below the model's synthetic vocabulary,
+    /// its token dim).
+    pub prompt: Vec<u32>,
+    /// Number of tokens to generate.
+    pub max_tokens: usize,
+}
+
+impl Default for GenerateConfig {
+    fn default() -> Self {
+        GenerateConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            model: String::new(),
+            prompt: vec![0],
+            max_tokens: 16,
+        }
+    }
+}
+
+/// `antc generate`: stream tokens from a running antd daemon's
+/// `POST /v1/models/{name}/generate` endpoint. The chunked JSON-line
+/// stream is consumed incrementally — each token line is parsed as it
+/// arrives — and the final `done` line must account for every streamed
+/// token, so this doubles as the decode-smoke conformance client.
+///
+/// # Errors
+///
+/// [`CliError::Generate`] on connection failures, non-200 responses,
+/// malformed stream lines, a trailing error line, or a token-count
+/// mismatch between the stream and its `done` line.
+pub fn run_generate(cfg: GenerateConfig) -> Result<String, CliError> {
+    use crate::http::{read_chunk, read_response_head, write_request};
+    use std::io::{BufReader, Read};
+    let err = CliError::Generate;
+    let body = format!(
+        "{{\"prompt\":[{}],\"max_tokens\":{}}}",
+        cfg.prompt
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        cfg.max_tokens
+    );
+    let path = format!("/v1/models/{}/generate", cfg.model);
+    let stream = std::net::TcpStream::connect(&cfg.addr)
+        .map_err(|e| err(format!("connect {}: {e}", cfg.addr)))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| err(e.to_string()))?);
+    let mut writer = stream;
+    write_request(
+        &mut writer,
+        "POST",
+        &path,
+        Some(("application/json", body.as_bytes())),
+    )
+    .map_err(|e| err(format!("send {path}: {e}")))?;
+    let head = read_response_head(&mut reader).map_err(|e| err(format!("read {path}: {e}")))?;
+    if head.status != 200 {
+        // Error responses are plain Content-Length bodies.
+        let len: usize = head
+            .header("content-length")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let mut buf = vec![0u8; len.min(64 * 1024)];
+        reader.read_exact(&mut buf).ok();
+        return Err(err(format!(
+            "HTTP {}: {}",
+            head.status,
+            String::from_utf8_lossy(&buf).trim()
+        )));
+    }
+    if !head.is_chunked() {
+        return Err(err("expected a chunked token stream".to_string()));
+    }
+    let mut out = String::new();
+    let mut line_buf: Vec<u8> = Vec::new();
+    let mut streamed: Vec<u32> = Vec::new();
+    let mut tail: Option<(bool, usize, Option<String>)> = None;
+    while let Some(chunk) = read_chunk(&mut reader).map_err(|e| err(format!("stream: {e}")))? {
+        line_buf.extend_from_slice(&chunk);
+        while let Some(pos) = line_buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = line_buf.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let doc = Json::parse(text).map_err(|e| err(format!("bad stream line: {e}")))?;
+            if let Some(done) = doc.get("done").and_then(Json::as_bool) {
+                let count = doc.get("tokens").and_then(Json::as_f64).unwrap_or(-1.0) as usize;
+                let error = doc
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .map(ToString::to_string);
+                tail = Some((done, count, error));
+            } else if let Some(tok) = doc.get("token").and_then(Json::as_f64) {
+                streamed.push(tok as u32);
+                out.push_str(&format!("token[{}] = {}\n", streamed.len() - 1, tok as u32));
+            } else {
+                return Err(err(format!("unrecognized stream line: {text}")));
+            }
+        }
+    }
+    match tail {
+        Some((true, count, _)) if count == streamed.len() => {
+            out.push_str(&format!(
+                "generated {} token(s) from {} prompt token(s); stream complete\n",
+                streamed.len(),
+                cfg.prompt.len()
+            ));
+            Ok(out)
+        }
+        Some((true, count, _)) => Err(err(format!(
+            "done line reports {count} token(s) but {} were streamed",
+            streamed.len()
+        ))),
+        Some((false, _, error)) => Err(err(format!(
+            "stream ended early after {} token(s): {}",
+            streamed.len(),
+            error.unwrap_or_else(|| "unknown error".to_string())
+        ))),
+        None => Err(err(format!(
+            "stream closed without a done line ({} token(s) received)",
+            streamed.len()
+        ))),
+    }
+}
+
 pub const USAGE: &str = "antc — ANT quantized-model artifact tool
 
 USAGE:
-    antc quantize --out <file.antm> [--model mlp|cnn|transformer]
+    antc quantize --out <file.antm> [--model mlp|cnn|transformer|decoder]
                   [--bits N] [--combo int|ip|fip|ipf|fipf]
                   [--epochs N] [--seed N]
     antc inspect <file.antm>
@@ -1795,6 +2127,8 @@ USAGE:
                [--baseline <file.json>] [--tolerance F]
     antc loadgen --model NAME [--addr HOST:PORT] [--concurrency N]
                  [--duration-secs N] [--out <file.json>] [--check-metrics]
+    antc generate --model NAME [--addr HOST:PORT] [--prompt 1,2,3]
+                  [--max-tokens N]
 
 The quantize subcommand trains a reference model, runs Algorithm-2 type
 selection through a memoizing Planner, and saves the packed result (wire
@@ -1822,7 +2156,13 @@ antd daemon with concurrent keep-alive connections for a fixed duration
 and reports achieved req/s and round-trip latency percentiles; 429
 responses count as shed load (the client backs off), --check-metrics
 scrapes and structurally validates /metrics afterwards, and --out
-merges the results into BENCH_runtime.json under a `loadgen` key.";
+merges the results into BENCH_runtime.json under a `loadgen` key.
+generate streams tokens from a running daemon's autoregressive
+/v1/models/NAME/generate endpoint (the model must be a causal decoder,
+e.g. quantize --model decoder): the chunked JSON-line stream is parsed
+incrementally and the final done line must account for every streamed
+token, making the command a conformance check as well as a demo
+client.";
 
 /// Parses argv (without the program name) and runs the selected
 /// subcommand, returning its report.
@@ -2006,6 +2346,40 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 return Err(usage("loadgen requires --model NAME"));
             }
             run_loadgen(cfg)
+        }
+        "generate" => {
+            let mut cfg = GenerateConfig::default();
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage(&format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--addr" => cfg.addr = value("--addr")?,
+                    "--model" => cfg.model = value("--model")?,
+                    "--prompt" => {
+                        cfg.prompt = value("--prompt")?
+                            .split(',')
+                            .map(|t| t.trim().parse::<u32>())
+                            .collect::<Result<_, _>>()
+                            .map_err(|_| {
+                                usage("--prompt needs comma-separated token ids (e.g. 1,2,3)")
+                            })?
+                    }
+                    "--max-tokens" => {
+                        cfg.max_tokens = value("--max-tokens")?
+                            .parse()
+                            .map_err(|_| usage("--max-tokens needs an integer"))?
+                    }
+                    other => return Err(usage(&format!("unknown flag '{other}'"))),
+                }
+            }
+            if cfg.model.is_empty() {
+                return Err(usage("generate requires --model NAME"));
+            }
+            run_generate(cfg)
         }
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(usage(&format!("unknown subcommand '{other}'"))),

@@ -29,19 +29,29 @@
 //!   `Connection: close`), and joins every worker before `join`
 //!   returns.
 //!
+//! * **Token streaming.** `POST /v1/models/{name}/generate` drives a
+//!   causal model's decode loop through the engine's prefill/decode
+//!   phases and streams one JSON line per generated token over chunked
+//!   transfer coding — the client sees tokens as they decode, not a
+//!   buffered blob after the fact. The per-session packed KV cache is
+//!   opened before the first chunk and closed on *every* exit path
+//!   (drop guard), so an abandoned stream cannot pin cache bytes.
+//!
 //! Endpoints: `GET /healthz`, `GET /metrics` (Prometheus text via
 //! `ant-obs`), `GET /v1/models`, `POST /v1/models/{name}/infer`,
-//! `POST /v1/models/{name}/reload`, `POST /shutdown`. See
-//! `docs/serving.md` for the wire contract.
+//! `POST /v1/models/{name}/generate`, `POST /v1/models/{name}/reload`,
+//! `POST /shutdown`. See `docs/serving.md` for the wire contract.
 
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::http::{
+    finish_chunked, read_request, write_chunk, write_chunked_head, HttpError, Request, Response,
+};
 use crate::json::Json;
 use ant_obs::export::prometheus_text;
 use ant_obs::{global, Counter, Gauge, Histogram};
 use ant_runtime::{ArtifactError, BatchPolicy, Engine, MappedArtifact, RuntimeError};
 use std::collections::HashMap;
 use std::fmt;
-use std::io::{self, BufRead, BufReader};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -116,6 +126,9 @@ impl Default for DaemonConfig {
 struct ModelState {
     engine: Engine,
     in_features: Option<usize>,
+    /// `Some(dim)` when the model is a causal decoder that can serve
+    /// `/generate`; the dim doubles as the synthetic vocabulary size.
+    token_dim: Option<usize>,
     /// Bumped on every successful reload (starts at 1).
     generation: u64,
 }
@@ -211,9 +224,11 @@ fn build_state(
     let mapped = MappedArtifact::open(path)?;
     let plan = mapped.compile_strict()?;
     let in_features = plan.in_features();
+    let token_dim = plan.token_dim();
     Ok(ModelState {
         engine: Engine::new(plan, policy),
         in_features,
+        token_dim,
         generation,
     })
 }
@@ -378,13 +393,30 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) -> io::Result<()> {
         };
         let started = ant_obs::now_ns();
         let close = req.wants_close() || inner.draining.load(Ordering::SeqCst);
-        let resp = route(inner, &req);
-        inner.metrics.count(resp.status);
+        // `/generate` streams its body chunk by chunk, so it writes the
+        // socket itself instead of returning a buffered `Response`.
+        let status = match generate_target(&req) {
+            Some(name) if req.method == "POST" => {
+                generate(inner, &name, &req.body, &mut writer, close)?
+            }
+            Some(_) => {
+                Response::new(405)
+                    .text("use POST\n")
+                    .write_to(&mut writer, close)?;
+                405
+            }
+            None => {
+                let resp = route(inner, &req);
+                let status = resp.status;
+                resp.write_to(&mut writer, close)?;
+                status
+            }
+        };
+        inner.metrics.count(status);
         inner
             .metrics
             .request_time_ns
             .record(ant_obs::now_ns().saturating_sub(started));
-        resp.write_to(&mut writer, close)?;
         if close {
             return Ok(());
         }
@@ -447,6 +479,10 @@ fn list_models(inner: &Inner) -> Response {
                     state
                         .in_features
                         .map_or(Json::Null, |f| Json::Num(f as f64)),
+                ),
+                (
+                    "token_dim".into(),
+                    state.token_dim.map_or(Json::Null, |d| Json::Num(d as f64)),
                 ),
                 ("generation".into(), Json::Num(state.generation as f64)),
                 ("max_queue".into(), Json::Num(inner.policy.max_queue as f64)),
@@ -523,6 +559,239 @@ fn infer(inner: &Inner, name: &str, body: &[u8]) -> Response {
             Response::new(504).text("request deadline exceeded\n")
         }
         Err(e) => Response::new(500).text(format!("{e}\n")),
+    }
+}
+
+/// `/v1/models/{name}/generate` path match (any method; the caller
+/// enforces POST).
+fn generate_target(req: &Request) -> Option<String> {
+    req.path
+        .strip_prefix("/v1/models/")
+        .and_then(|rest| rest.strip_suffix("/generate"))
+        .map(str::to_string)
+}
+
+/// Longest accepted prompt, in tokens.
+const MAX_PROMPT_TOKENS: usize = 1024;
+/// Largest accepted `max_tokens` (bounds the per-request KV arena).
+const MAX_GENERATE_TOKENS: usize = 1024;
+
+/// Parsed `/generate` body: `{"prompt": [ids], "max_tokens": N}`.
+struct GenerateParams {
+    prompt: Vec<u32>,
+    max_tokens: usize,
+}
+
+fn parse_generate(body: &[u8]) -> Result<GenerateParams, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let items = doc
+        .get("prompt")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "expected {\"prompt\": [token ids], \"max_tokens\": N}".to_string())?;
+    let prompt: Vec<u32> = items
+        .iter()
+        .map(|v| match v.as_f64() {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= f64::from(u32::MAX) => Ok(n as u32),
+            _ => Err("prompt must hold non-negative integer token ids".to_string()),
+        })
+        .collect::<Result<_, _>>()?;
+    if prompt.is_empty() {
+        return Err("prompt must hold at least one token".to_string());
+    }
+    if prompt.len() > MAX_PROMPT_TOKENS {
+        return Err(format!("prompt beyond {MAX_PROMPT_TOKENS} tokens"));
+    }
+    let max_tokens = match doc.get("max_tokens") {
+        None => 16,
+        Some(v) => match v.as_f64() {
+            Some(n) if n >= 1.0 && n.fract() == 0.0 && n <= MAX_GENERATE_TOKENS as f64 => {
+                n as usize
+            }
+            _ => {
+                return Err(format!(
+                    "max_tokens must be an integer in 1..={MAX_GENERATE_TOKENS}"
+                ))
+            }
+        },
+    };
+    Ok(GenerateParams { prompt, max_tokens })
+}
+
+/// SplitMix64: the deterministic token embedding's bit mixer.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic hash embedding: token id → `dim` floats in [-1, 1).
+/// The daemon serves synthetic decoders with no trained embedding
+/// table, so the mapping only has to be fixed and well-spread — the
+/// conformance suite proves the *decode math*, this proves the wiring.
+fn embed_token(id: u32, dim: usize, out: &mut Vec<f32>) {
+    for j in 0..dim {
+        let z = splitmix((u64::from(id) << 32) | j as u64);
+        // Top 24 bits → [0, 1) → [-1, 1).
+        out.push(((z >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0);
+    }
+}
+
+/// Greedy sampling: the model's last output row is read as logits over
+/// the synthetic vocabulary (one entry per token dim).
+fn argmax(row: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (i, v) in row.iter().enumerate() {
+        if *v > row[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+/// Closes the session on every exit path out of [`generate`] — an
+/// abandoned or failed stream must not pin KV cache bytes.
+struct SessionGuard<'a> {
+    engine: &'a Engine,
+    sid: ant_runtime::SessionId,
+}
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.engine.close_session(self.sid);
+    }
+}
+
+/// `POST /v1/models/{name}/generate`: prefill the prompt, then stream
+/// one greedy-sampled token per decode step as a JSON line over chunked
+/// transfer coding, ending with a `{"done": true, ...}` line. Errors
+/// before the first chunk are ordinary buffered responses; errors
+/// mid-stream become a final `{"error": ...}` line (the HTTP status is
+/// already on the wire). Returns the status for metrics.
+fn generate(
+    inner: &Inner,
+    name: &str,
+    body: &[u8],
+    w: &mut impl Write,
+    close: bool,
+) -> io::Result<u16> {
+    fn buffered(w: &mut impl Write, resp: Response, close: bool) -> io::Result<u16> {
+        let status = resp.status;
+        resp.write_to(w, close)?;
+        Ok(status)
+    }
+    let Some(slot) = inner.model(name) else {
+        return buffered(
+            w,
+            Response::new(404).text(format!("no model {name:?}\n")),
+            close,
+        );
+    };
+    let params = match parse_generate(body) {
+        Ok(p) => p,
+        Err(m) => return buffered(w, Response::new(400).text(format!("{m}\n")), close),
+    };
+    let state = slot.current();
+    let Some(dim) = state.token_dim else {
+        return buffered(
+            w,
+            Response::new(400).text(format!("model {name:?} is not a causal decoder\n")),
+            close,
+        );
+    };
+    // One KV slot per prompt token plus one per generated token; the
+    // last generated token is sampled without being fed back, so this
+    // bound is never hit mid-stream.
+    let capacity = params.prompt.len() + params.max_tokens;
+    let sid = match state.engine.open_session(capacity) {
+        Ok(sid) => sid,
+        Err(e) => return buffered(w, Response::new(500).text(format!("{e}\n")), close),
+    };
+    let guard = SessionGuard {
+        engine: &state.engine,
+        sid,
+    };
+    let mut rows = Vec::with_capacity(capacity * dim);
+    for id in &params.prompt {
+        embed_token(*id, dim, &mut rows);
+    }
+    // Prefill before committing to a 200: its errors (overload, a
+    // mid-flight reload closing the session) still map to clean HTTP.
+    let mut last = match submit_and_wait(inner, &state.engine, sid, &rows, true) {
+        Ok(row) => row,
+        Err(resp) => return buffered(w, resp, close),
+    };
+    drop(rows);
+    write_chunked_head(w, 200, "application/json", close)?;
+    let mut produced = 0usize;
+    let mut error = None;
+    let mut step = Vec::with_capacity(dim);
+    while produced < params.max_tokens {
+        let token = argmax(&last);
+        write_chunk(w, format!("{{\"token\":{token}}}\n").as_bytes())?;
+        produced += 1;
+        if produced == params.max_tokens {
+            break;
+        }
+        step.clear();
+        embed_token(token, dim, &mut step);
+        match submit_and_wait(inner, &state.engine, sid, &step, false) {
+            Ok(row) => last = row,
+            Err(resp) => {
+                // Already streaming: the failure rides the body.
+                error = Some(String::from_utf8_lossy(&resp.body).trim().to_string());
+                break;
+            }
+        }
+    }
+    let tail = match &error {
+        None => format!("{{\"done\":true,\"tokens\":{produced}}}\n"),
+        Some(m) => format!(
+            "{{\"done\":false,\"tokens\":{produced},\"error\":{}}}\n",
+            Json::Str(m.clone()).render()
+        ),
+    };
+    write_chunk(w, tail.as_bytes())?;
+    finish_chunked(w)?;
+    drop(guard);
+    Ok(200)
+}
+
+/// One engine round-trip of the generate loop (prefill or single decode
+/// step) under the request deadline, with engine errors mapped to the
+/// HTTP response the caller would have sent.
+fn submit_and_wait(
+    inner: &Inner,
+    engine: &Engine,
+    sid: ant_runtime::SessionId,
+    rows: &[f32],
+    prefill: bool,
+) -> Result<Vec<f32>, Response> {
+    let submit = if prefill {
+        engine.submit_prefill(sid, rows)
+    } else {
+        engine.submit_decode(sid, rows)
+    };
+    let id = match submit {
+        Ok(id) => id,
+        Err(RuntimeError::Overloaded { queued, max_queue }) => {
+            return Err(Response::new(429)
+                .header("Retry-After", "1")
+                .text(format!("overloaded: queue {queued}/{max_queue}\n")));
+        }
+        Err(e @ RuntimeError::ShapeMismatch { .. }) => {
+            return Err(Response::new(400).text(format!("{e}\n")));
+        }
+        Err(e) => return Err(Response::new(500).text(format!("{e}\n"))),
+    };
+    match engine.wait_timeout(id, inner.request_timeout) {
+        Ok(Some(row)) => Ok(row),
+        Ok(None) => {
+            engine.cancel(id);
+            Err(Response::new(504).text("request deadline exceeded\n"))
+        }
+        Err(e) => Err(Response::new(500).text(format!("{e}\n"))),
     }
 }
 
@@ -707,6 +976,41 @@ mod tests {
         assert!(parse_args(&bad).is_err());
         let unknown: Vec<String> = ["--frob"].iter().map(|s| s.to_string()).collect();
         assert!(parse_args(&unknown).is_err());
+    }
+
+    #[test]
+    fn generate_body_parses_and_validates() {
+        let p = parse_generate(b"{\"prompt\": [3, 0, 7], \"max_tokens\": 4}").unwrap();
+        assert_eq!(p.prompt, vec![3, 0, 7]);
+        assert_eq!(p.max_tokens, 4);
+        // max_tokens defaults when omitted.
+        assert_eq!(parse_generate(b"{\"prompt\": [1]}").unwrap().max_tokens, 16);
+        assert!(parse_generate(b"{\"prompt\": []}").is_err());
+        assert!(parse_generate(b"{\"prompt\": [1.5]}").is_err());
+        assert!(parse_generate(b"{\"prompt\": [-1]}").is_err());
+        assert!(parse_generate(b"{\"prompt\": [1], \"max_tokens\": 0}").is_err());
+        assert!(parse_generate(b"{\"prompt\": [1], \"max_tokens\": 1000000}").is_err());
+        assert!(parse_generate(b"{\"max_tokens\": 4}").is_err());
+        assert!(parse_generate(b"not json").is_err());
+    }
+
+    #[test]
+    fn token_embedding_is_deterministic_and_spread() {
+        let (mut a, mut b, mut c) = (Vec::new(), Vec::new(), Vec::new());
+        embed_token(42, 16, &mut a);
+        embed_token(42, 16, &mut b);
+        embed_token(43, 16, &mut c);
+        assert_eq!(a, b, "same token must embed identically");
+        assert_ne!(a, c, "distinct tokens must embed differently");
+        assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+        // Not degenerate: the row is not a constant.
+        assert!(a.iter().any(|v| (v - a[0]).abs() > 1e-3));
+    }
+
+    #[test]
+    fn greedy_argmax_picks_first_maximum() {
+        assert_eq!(argmax(&[0.1, 3.0, -2.0, 3.0]), 1);
+        assert_eq!(argmax(&[-1.0]), 0);
     }
 
     #[test]

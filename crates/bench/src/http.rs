@@ -2,13 +2,17 @@
 //!
 //! crates.io is unavailable to this workspace, so `antd` speaks HTTP
 //! through this hand-rolled module instead of hyper/axum: blocking
-//! reads via [`BufRead`], explicit `Content-Length` framing (no chunked
-//! transfer), keep-alive by default as HTTP/1.1 specifies, and hard
-//! limits on header and body sizes so a malicious or confused client
-//! cannot balloon server memory. Both sides live here — [`read_request`]
-//! / [`Response`] for the daemon, [`read_response`] for `antc loadgen`
-//! and the end-to-end tests — so the framing rules can only drift
-//! together.
+//! reads via [`BufRead`], explicit `Content-Length` framing for
+//! buffered messages, chunked transfer coding for the one place the
+//! body length is genuinely unknown up front (the daemon streaming
+//! generated tokens), keep-alive by default as HTTP/1.1 specifies, and
+//! hard limits on header and body sizes so a malicious or confused
+//! client cannot balloon server memory. Both sides live here —
+//! [`read_request`] / [`Response`] / [`write_chunked_head`] for the
+//! daemon, [`read_response`] / [`read_chunk`] for `antc` and the
+//! end-to-end tests — so the framing rules can only drift together.
+//! Chunked *requests* stay rejected: nothing in this workspace sends
+//! them, so accepting them would be untested attack surface.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -284,6 +288,57 @@ impl Response {
     }
 }
 
+/// Starts a chunked response: status line, `Content-Type`, and
+/// `Transfer-Encoding: chunked` — no `Content-Length`, because the
+/// caller does not know the body length yet. Follow with any number of
+/// [`write_chunk`] calls and exactly one [`finish_chunked`].
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_chunked_head(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    close: bool,
+) -> io::Result<()> {
+    write!(w, "HTTP/1.1 {} {}\r\n", status, reason(status))?;
+    write!(w, "Content-Type: {content_type}\r\n")?;
+    write!(w, "Transfer-Encoding: chunked\r\n")?;
+    if close {
+        write!(w, "Connection: close\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Writes one chunk of a chunked body and flushes it to the peer.
+/// Empty payloads are skipped — a zero-length chunk is the terminator,
+/// which only [`finish_chunked`] may write.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_chunk(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", payload.len())?;
+    w.write_all(payload)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Terminates a chunked body (zero-length chunk, no trailers).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn finish_chunked(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
 /// Writes one client request (client side: `antc loadgen`, tests).
 /// `body` is `(content_type, bytes)`; omit for body-less methods.
 ///
@@ -338,14 +393,45 @@ impl ClientResponse {
     }
 }
 
-/// Reads one response from a connection (client side: `antc loadgen`,
-/// tests).
+/// Status line and headers of a response, before any body bytes.
+///
+/// Returned by [`read_response_head`] so streaming consumers (`antc
+/// generate`) can inspect the status and then pull the body chunk by
+/// chunk with [`read_chunk`] instead of buffering it whole.
+#[derive(Debug)]
+pub struct ResponseHead {
+    /// Status code.
+    pub status: u16,
+    /// Header fields, names lowercased.
+    pub headers: Vec<(String, String)>,
+}
+
+impl ResponseHead {
+    /// First value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the body uses chunked transfer coding.
+    pub fn is_chunked(&self) -> bool {
+        self.header("transfer-encoding")
+            .is_some_and(|v| v.eq_ignore_ascii_case("chunked"))
+    }
+}
+
+/// Reads a response's status line and headers, leaving the body on the
+/// wire for the caller to frame ([`read_chunk`] when
+/// [`ResponseHead::is_chunked`], `Content-Length` otherwise).
 ///
 /// # Errors
 ///
-/// [`HttpError`] on socket failure, non-HTTP bytes, oversized messages,
-/// or EOF before a complete response arrived.
-pub fn read_response(r: &mut impl BufRead) -> Result<ClientResponse, HttpError> {
+/// [`HttpError`] on socket failure, non-HTTP bytes, an oversized header
+/// block, or EOF before the blank separator line.
+pub fn read_response_head(r: &mut impl BufRead) -> Result<ResponseHead, HttpError> {
     let mut budget = MAX_HEADER_BYTES;
     let line = read_line(r, &mut budget, "status line")?.ok_or(HttpError::UnexpectedEof)?;
     let mut parts = line.split_whitespace();
@@ -360,10 +446,84 @@ pub fn read_response(r: &mut impl BufRead) -> Result<ClientResponse, HttpError> 
         .parse()
         .map_err(|_| HttpError::Malformed(format!("bad status code in {line:?}")))?;
     let headers = read_headers(r, &mut budget)?;
-    let body = read_body(r, &headers)?;
+    Ok(ResponseHead { status, headers })
+}
+
+/// Reads one chunk of a chunked body. Returns `Ok(None)` at the
+/// terminating zero-length chunk (after consuming any trailer lines),
+/// `Ok(Some(payload))` otherwise.
+///
+/// # Errors
+///
+/// [`HttpError`] on socket failure, a malformed size line or chunk
+/// delimiter, a chunk above [`MAX_BODY_BYTES`], or EOF mid-chunk.
+pub fn read_chunk(r: &mut impl BufRead) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let line = read_line(r, &mut budget, "chunk size")?.ok_or(HttpError::UnexpectedEof)?;
+    // Chunk extensions (";name=value") are tolerated and ignored.
+    let size_str = line.split(';').next().unwrap_or("").trim();
+    let size = usize::from_str_radix(size_str, 16)
+        .map_err(|_| HttpError::Malformed(format!("bad chunk size: {line:?}")))?;
+    if size > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!("chunk of {size} bytes")));
+    }
+    if size == 0 {
+        // Trailer section: header lines up to the blank terminator.
+        loop {
+            let l = read_line(r, &mut budget, "chunk trailer")?.ok_or(HttpError::UnexpectedEof)?;
+            if l.is_empty() {
+                return Ok(None);
+            }
+        }
+    }
+    let mut payload = vec![0u8; size];
+    r.read_exact(&mut payload).map_err(eof_as_truncation)?;
+    let mut crlf = [0u8; 2];
+    r.read_exact(&mut crlf).map_err(eof_as_truncation)?;
+    if &crlf != b"\r\n" {
+        return Err(HttpError::Malformed(
+            "chunk payload not CRLF-terminated".into(),
+        ));
+    }
+    Ok(Some(payload))
+}
+
+fn eof_as_truncation(e: io::Error) -> HttpError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        HttpError::UnexpectedEof
+    } else {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one response from a connection (client side: `antc loadgen`,
+/// tests). Chunked bodies are reassembled into one buffer; streaming
+/// consumers should use [`read_response_head`] + [`read_chunk`] instead.
+///
+/// # Errors
+///
+/// [`HttpError`] on socket failure, non-HTTP bytes, oversized messages,
+/// or EOF before a complete response arrived.
+pub fn read_response(r: &mut impl BufRead) -> Result<ClientResponse, HttpError> {
+    let head = read_response_head(r)?;
+    let body = if head.is_chunked() {
+        let mut body = Vec::new();
+        while let Some(chunk) = read_chunk(r)? {
+            if body.len() + chunk.len() > MAX_BODY_BYTES {
+                return Err(HttpError::TooLarge(format!(
+                    "chunked body beyond {} bytes",
+                    MAX_BODY_BYTES
+                )));
+            }
+            body.extend_from_slice(&chunk);
+        }
+        body
+    } else {
+        read_body(r, &head.headers)?
+    };
     Ok(ClientResponse {
-        status,
-        headers,
+        status: head.status,
+        headers: head.headers,
         body,
     })
 }
@@ -404,6 +564,50 @@ mod tests {
             Err(HttpError::UnexpectedEof)
         ));
 
+        let chunked = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        let mut r = BufReader::new(&chunked[..]);
+        assert!(matches!(read_request(&mut r), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn chunked_response_streams_and_reassembles() {
+        let mut wire = Vec::new();
+        write_chunked_head(&mut wire, 200, "application/json", false).unwrap();
+        write_chunk(&mut wire, b"{\"token\":1}\n").unwrap();
+        write_chunk(&mut wire, b"").unwrap(); // skipped, not a terminator
+        write_chunk(&mut wire, b"{\"token\":2}\n").unwrap();
+        finish_chunked(&mut wire).unwrap();
+
+        // Streaming path: head, then chunk by chunk.
+        let mut r = BufReader::new(&wire[..]);
+        let head = read_response_head(&mut r).unwrap();
+        assert_eq!(head.status, 200);
+        assert!(head.is_chunked());
+        assert_eq!(read_chunk(&mut r).unwrap().unwrap(), b"{\"token\":1}\n");
+        assert_eq!(read_chunk(&mut r).unwrap().unwrap(), b"{\"token\":2}\n");
+        assert!(read_chunk(&mut r).unwrap().is_none(), "terminator");
+
+        // Buffered path: read_response reassembles the same bytes.
+        let mut r = BufReader::new(&wire[..]);
+        let resp = read_response(&mut r).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_str(), "{\"token\":1}\n{\"token\":2}\n");
+    }
+
+    #[test]
+    fn malformed_chunks_are_rejected() {
+        let mut r = BufReader::new(&b"zz\r\n"[..]);
+        assert!(matches!(read_chunk(&mut r), Err(HttpError::Malformed(_))));
+
+        // Payload not CRLF-terminated.
+        let mut r = BufReader::new(&b"3\r\nabcXX"[..]);
+        assert!(matches!(read_chunk(&mut r), Err(HttpError::Malformed(_))));
+
+        // Truncated mid-payload.
+        let mut r = BufReader::new(&b"10\r\nshort"[..]);
+        assert!(matches!(read_chunk(&mut r), Err(HttpError::UnexpectedEof)));
+
+        // Chunked *requests* are still refused outright.
         let chunked = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
         let mut r = BufReader::new(&chunked[..]);
         assert!(matches!(read_request(&mut r), Err(HttpError::Malformed(_))));

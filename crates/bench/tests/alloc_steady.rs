@@ -150,6 +150,112 @@ fn steady_state_forward_rows_allocates_nothing() {
 }
 
 #[test]
+fn steady_state_decode_steps_allocate_nothing() {
+    // The decode-phase twin of the contract above: once a session's
+    // packed KV cache is open (all bytes preallocated) and the scratch
+    // arena is warm, every further decode step — quantize the new K/V
+    // row into the cache, attend over the packed history, project —
+    // runs without touching the allocator, with telemetry live.
+    assert!(is_counting(), "counting allocator must be installed");
+    let (seq, dim) = (8usize, 16usize);
+    let mut model = ant_nn::model::decoder_block(seq, dim, 2, 27);
+    let calib = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[24, seq * dim],
+        7,
+    );
+    quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+    let mut plan = CompiledPlan::from_quantized_strict(&model)
+        .unwrap()
+        .with_threads(1);
+    const STEPS: usize = 50;
+    let capacity = 8 + STEPS;
+    let mut a = plan.open_session(capacity).unwrap();
+    let mut b = plan.open_session(capacity).unwrap();
+    let tokens = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[2 * capacity, dim],
+        17,
+    );
+    let tokens = tokens.as_slice();
+    let mut out = Vec::new();
+    // Warmup: prefill both sessions, then a few steps at both batch
+    // shapes (coalesced pair and single session) to reach every scratch
+    // high-water mark.
+    plan.prefill(&mut a, &tokens[..2 * dim], &mut out).unwrap();
+    plan.prefill(&mut b, &tokens[..3 * dim], &mut out).unwrap();
+    for t in 3..6 {
+        plan.decode_steps(
+            &mut [&mut a, &mut b],
+            &tokens[t * 2 * dim..(t * 2 + 2) * dim],
+            &mut out,
+        )
+        .unwrap();
+        plan.decode_steps(&mut [&mut a], &tokens[t * dim..(t + 1) * dim], &mut out)
+            .unwrap();
+    }
+    let kv_before = a.kv_bytes();
+    #[cfg(feature = "obs")]
+    let obs_before = ant_obs::global().snapshot();
+    // Steady state: not one allocation per decode step, either shape.
+    let before = alloc_count();
+    for i in 0..STEPS / 2 {
+        let t = 8 + i;
+        plan.decode_steps(
+            &mut [&mut a, &mut b],
+            &tokens[t * 2 * dim..(t * 2 + 2) * dim],
+            &mut out,
+        )
+        .unwrap();
+        plan.decode_steps(&mut [&mut b], &tokens[t * dim..(t + 1) * dim], &mut out)
+            .unwrap();
+    }
+    let allocs = alloc_count() - before;
+    assert_eq!(
+        allocs, 0,
+        "decode: {allocs} steady-state allocations in {STEPS} steps"
+    );
+    // The cache footprint is fixed at open — appending tokens must not
+    // have grown it.
+    assert_eq!(a.kv_bytes(), kv_before, "decode: KV cache grew per step");
+    // Telemetry was live through the window: every decode step is a
+    // timed forward with per-layer records.
+    #[cfg(feature = "obs")]
+    {
+        let delta = ant_obs::global().snapshot().delta_since(&obs_before);
+        let forwards = match &delta
+            .get("ant_forward_time_ns", None)
+            .expect("decode steps must be timed")
+            .value
+        {
+            ant_obs::Value::Histogram(h) => h.count(),
+            _ => panic!("ant_forward_time_ns is not a histogram"),
+        };
+        assert_eq!(
+            forwards as usize, STEPS,
+            "every decode step in the zero-alloc window must be timed"
+        );
+        let attn_layers = delta
+            .get("ant_layer_time_ns", Some("packed_attn"))
+            .map(|series| match &series.value {
+                ant_obs::Value::Histogram(h) => h.count(),
+                _ => panic!("ant_layer_time_ns is not a histogram"),
+            })
+            .unwrap_or(0);
+        assert!(
+            attn_layers >= STEPS as u64,
+            "causal attention layer timings missing from the window ({attn_layers})"
+        );
+    }
+}
+
+#[test]
 fn steady_state_holds_with_mmap_borrowed_panels() {
     // Same contract as above, but the plan's weight images are borrowed
     // straight from a mapped v2 artifact instead of owned buffers: the

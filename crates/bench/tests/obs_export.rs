@@ -138,6 +138,98 @@ fn live_registry_exposition_parses_cleanly() {
     );
 }
 
+/// The decode-phase series: drive real engine prefill/decode traffic
+/// and require the structural checker to find the batch-size and
+/// per-step histograms plus the KV byte gauge — live, labeled, and
+/// rendered without duplicates.
+#[test]
+#[cfg(feature = "obs")]
+fn live_decode_series_parse_cleanly() {
+    use ant_nn::model::decoder_block;
+    use ant_nn::qat::{quantize_model, QuantSpec};
+    use ant_runtime::{BatchPolicy, Engine};
+    use ant_tensor::dist::{sample_tensor, Distribution};
+    use std::time::Duration;
+
+    let (seq, dim) = (6usize, 16usize);
+    let mut model = decoder_block(seq, dim, 1, 23);
+    let calib = sample_tensor(
+        Distribution::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        },
+        &[24, seq * dim],
+        3,
+    );
+    quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+    let plan = ant_runtime::CompiledPlan::from_quantized_strict(&model)
+        .unwrap()
+        .with_threads(1);
+    let engine = Engine::new(
+        plan,
+        BatchPolicy {
+            max_batch: 64,
+            max_wait: Duration::from_millis(50),
+            max_queue: 64,
+        },
+    );
+    let token = |seed: u64| {
+        sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[1, dim],
+            seed,
+        )
+        .as_slice()
+        .to_vec()
+    };
+    let sids: Vec<_> = (0..3).map(|_| engine.open_session(seq).unwrap()).collect();
+    for (i, sid) in sids.iter().enumerate() {
+        let p = engine.submit_prefill(*sid, &token(i as u64)).unwrap();
+        engine.wait(p).unwrap();
+    }
+    // With sessions still open, the gauge must expose their bytes.
+    let samples = validate_prometheus(&prometheus_text(&ant_obs::global().snapshot()));
+    let kv_now = samples
+        .iter()
+        .find(|s| s.name == "ant_kv_cache_bytes")
+        .expect("KV byte gauge missing from the live exposition")
+        .value;
+    assert_eq!(kv_now, engine.kv_bytes() as f64);
+    assert!(kv_now > 0.0);
+    // Decode a few steps from every session, close, and re-validate.
+    let ids: Vec<_> = sids
+        .iter()
+        .enumerate()
+        .map(|(i, sid)| engine.submit_decode(*sid, &token(10 + i as u64)).unwrap())
+        .collect();
+    for id in ids {
+        engine.wait(id).unwrap();
+    }
+    for sid in sids {
+        assert!(engine.close_session(sid));
+    }
+    let samples = validate_prometheus(&prometheus_text(&ant_obs::global().snapshot()));
+    let get = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing series {name}"))
+            .value
+    };
+    assert!(get("ant_engine_decode_batch_size_count") >= 1.0);
+    assert!(get("ant_engine_decode_step_ns_count") >= 1.0);
+    assert!(get("ant_engine_decode_tokens_total") >= 3.0);
+    assert_eq!(
+        get("ant_kv_cache_bytes"),
+        0.0,
+        "closed sessions must zero the gauge"
+    );
+    assert_eq!(get("ant_kv_sessions"), 0.0);
+}
+
 #[test]
 fn chrome_trace_is_valid_json_with_complete_events() {
     let events = vec![

@@ -200,11 +200,17 @@ impl Layer for LayerNorm {
 
 /// Single-head self-attention with a residual connection:
 /// `Y = X + softmax(QKᵀ/√d) V Woᵀ` over `[batch, seq*dim]` inputs.
+///
+/// With [`Attention::with_causal`] the score matrix is masked so token
+/// `i` attends only to tokens `j ≤ i` — the decoder variant used by
+/// autoregressive models, where it makes token-by-token incremental
+/// decode mathematically equivalent to the full-sequence forward.
 #[derive(Debug, Clone)]
 pub struct Attention {
     name: String,
     seq: usize,
     dim: usize,
+    causal: bool,
     wq: Param,
     wk: Param,
     wv: Param,
@@ -243,6 +249,7 @@ impl Attention {
             name: name.into(),
             seq,
             dim,
+            causal: false,
             wq: Param::new(mk(seed)),
             wk: Param::new(mk(seed.wrapping_add(1))),
             wv: Param::new(mk(seed.wrapping_add(2))),
@@ -250,6 +257,23 @@ impl Attention {
             quant: AttnQuantState::default(),
             cache: None,
         }
+    }
+
+    /// Turns causal (autoregressive) masking on or off: token `i`'s
+    /// scores over `j > i` are set to `-∞` before the softmax, so its
+    /// output depends only on the prefix `0..=i`. Backward needs no
+    /// masking of its own — masked positions have `a == 0`, so the
+    /// softmax Jacobian zeroes their gradient automatically.
+    #[must_use]
+    pub fn with_causal(mut self, causal: bool) -> Self {
+        self.causal = causal;
+        self
+    }
+
+    /// Whether this block applies the causal mask (export hook for
+    /// inference runtimes).
+    pub fn causal(&self) -> bool {
+        self.causal
     }
 
     /// Reconstructs an attention block from explicit projection weights
@@ -274,6 +298,7 @@ impl Attention {
             name: name.into(),
             seq,
             dim,
+            causal: false,
             wq: Param::new(wq),
             wk: Param::new(wk),
             wv: Param::new(wv),
@@ -380,7 +405,15 @@ impl Layer for Attention {
             let q = linalg::matmul(&xs, &wq.transpose()?)?;
             let k = linalg::matmul(&xs, &wk.transpose()?)?;
             let v = linalg::matmul(&xs, &wv.transpose()?)?;
-            let scores = linalg::matmul(&q, &k.transpose()?)?.scale(scale);
+            let mut scores = linalg::matmul(&q, &k.transpose()?)?.scale(scale);
+            if self.causal {
+                let m = scores.as_mut_slice();
+                for i in 0..self.seq {
+                    for j in (i + 1)..self.seq {
+                        m[i * self.seq + j] = f32::NEG_INFINITY;
+                    }
+                }
+            }
             let a = softmax_rows(&scores);
             let o = linalg::matmul(&a, &v)?;
             let y = linalg::matmul(&o, &wo.transpose()?)?;
@@ -604,6 +637,67 @@ mod tests {
             LayerNorm::from_params("ln", ln.gamma().clone(), ln.beta().clone(), ln.eps());
         assert_eq!(rebuilt.forward(&xl).unwrap(), yl);
         assert_eq!(rebuilt.dim(), 6);
+    }
+
+    #[test]
+    fn causal_mask_hides_future_tokens() {
+        // Perturbing token t must not change any output row before t —
+        // the defining property of the decoder variant.
+        let (seq, dim) = (5, 4);
+        let mut at = Attention::init("attn", seq, dim, 61).with_causal(true);
+        assert!(at.causal());
+        let x = gaussian(&[1, seq * dim], 63);
+        let y = at.forward(&x).unwrap();
+        for t in 1..seq {
+            let mut xp = x.clone();
+            for d in 0..dim {
+                xp.as_mut_slice()[t * dim + d] += 0.7;
+            }
+            let yp = at.forward(&xp).unwrap();
+            assert_eq!(
+                &y.as_slice()[..t * dim],
+                &yp.as_slice()[..t * dim],
+                "token {t} leaked into its prefix"
+            );
+            assert_ne!(
+                &y.as_slice()[t * dim..(t + 1) * dim],
+                &yp.as_slice()[t * dim..(t + 1) * dim],
+                "token {t} should still see itself"
+            );
+        }
+        // Non-causal blocks do leak (sanity check that the test bites).
+        let mut enc = Attention::init("attn", seq, dim, 61);
+        let y = enc.forward(&x).unwrap();
+        let mut xp = x.clone();
+        xp.as_mut_slice()[(seq - 1) * dim] += 0.7;
+        let yp = enc.forward(&xp).unwrap();
+        assert_ne!(&y.as_slice()[..dim], &yp.as_slice()[..dim]);
+    }
+
+    #[test]
+    fn causal_gradient_check() {
+        // The softmax Jacobian zeroes masked positions, so backward
+        // needs no mask of its own; verify against central differences.
+        let mut at = Attention::init("attn", 3, 4, 67).with_causal(true);
+        let x = gaussian(&[2, 12], 71).scale(0.5);
+        let y = at.forward(&x).unwrap();
+        let g = Tensor::ones(y.dims());
+        let dx = at.backward(&g).unwrap();
+        let eps = 1e-2;
+        for i in 0..12 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fp = at.forward(&xp).unwrap().sum();
+            let fm = at.forward(&xm).unwrap().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = dx.as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < 3e-2 * (1.0 + numeric.abs()),
+                "grad[{i}]: {numeric} vs {analytic}"
+            );
+        }
     }
 
     #[test]

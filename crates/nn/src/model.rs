@@ -283,6 +283,33 @@ pub fn transformer_block(seq: usize, dim: usize, classes: usize, seed: u64) -> S
         )))
 }
 
+/// A causal decoder stack for autoregressive generation: `depth` blocks
+/// of LayerNorm → causal attention → GELU over `[batch, seq*dim]`
+/// inputs. Every layer is token-local or causal, so the stack is
+/// sequence-length polymorphic at inference time — exactly the property
+/// incremental KV-cache decode requires. The output keeps the input
+/// width (`dim` features per token); serving treats the final token row
+/// as next-token logits over a `dim`-entry vocabulary (tied-embedding
+/// style), so no classifier head pins a fixed sequence length.
+pub fn decoder_block(seq: usize, dim: usize, depth: usize, seed: u64) -> Sequential {
+    let mut m = Sequential::new();
+    for i in 0..depth.max(1) {
+        m = m
+            .push(NetLayer::Norm(LayerNorm::new(format!("ln{i}"), dim)))
+            .push(NetLayer::Attn(Box::new(
+                Attention::init(
+                    format!("attn{i}"),
+                    seq,
+                    dim,
+                    seed.wrapping_add(10 * i as u64),
+                )
+                .with_causal(true),
+            )))
+            .push(NetLayer::Gelu(Gelu::new(format!("gelu{i}"))));
+    }
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +365,25 @@ mod tests {
         let y = m.forward(&gaussian(&[2, 30], 9)).unwrap();
         assert_eq!(y.dims(), &[2, 3]);
         assert_eq!(m.quantizable_layers(), vec![0, 2]);
+    }
+
+    #[test]
+    fn decoder_block_shapes_and_causality() {
+        let (seq, dim) = (6, 8);
+        let mut m = decoder_block(seq, dim, 2, 11);
+        let x = gaussian(&[2, seq * dim], 13);
+        let y = m.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, seq * dim]);
+        assert_eq!(m.quantizable_layers().len(), 2);
+        // Causality must survive stacking: perturb the last token, the
+        // prefix outputs of sample 0 stay bit-identical.
+        let mut xp = x.clone();
+        xp.as_mut_slice()[(seq - 1) * dim] += 1.0;
+        let yp = m.forward(&xp).unwrap();
+        assert_eq!(
+            &y.as_slice()[..(seq - 1) * dim],
+            &yp.as_slice()[..(seq - 1) * dim]
+        );
     }
 
     #[test]

@@ -78,6 +78,7 @@
 use crate::cache::{Planner, SelectionCache, TypeDecision};
 use crate::error::RuntimeError;
 use crate::gemm::{KernelOperand, PanelGemm, NR};
+use crate::kv::KvQuantSpec;
 use crate::mmap::Mmap;
 use crate::plan::{
     act_bound, decode_image, decode_rows_f32, pack_weight_tensor, transpose, CompiledPlan,
@@ -377,6 +378,7 @@ enum LayerRecord {
         dim: usize,
         weights: Box<[WeightRecord; 4]>,
         act: ActRecord,
+        causal: bool,
     },
     Gelu {
         name: String,
@@ -687,6 +689,7 @@ impl ModelArtifact {
                     dim,
                     weights,
                     act,
+                    causal,
                 } => act.quantizer().map(|aq| {
                     let projections = [
                         weights[0].codes.clone(),
@@ -708,7 +711,14 @@ impl ModelArtifact {
                         }
                         _ => PackedAttn::from_parts(name.clone(), *seq, *dim, projections, aq),
                     }
-                    .map(|p| PlanLayer::PackedAttn(Box::new(p)))
+                    .and_then(|p| {
+                        if *causal {
+                            p.into_causal(KvQuantSpec::default())
+                                .map(|p| PlanLayer::PackedCausalAttn(Box::new(p)))
+                        } else {
+                            Ok(PlanLayer::PackedAttn(Box::new(p)))
+                        }
+                    })
                 })?,
                 LayerRecord::Relu { .. } => Ok(PlanLayer::Relu),
                 LayerRecord::Gelu { .. } => Ok(PlanLayer::Gelu),
@@ -980,8 +990,12 @@ impl ModelArtifact {
                     dim,
                     weights,
                     act,
+                    causal,
                 } => {
-                    out.push(5);
+                    // Tag 7 is a causal attention block; its payload is
+                    // byte-identical to tag 5, so old readers reject it
+                    // cleanly as an unknown tag rather than mis-parsing.
+                    out.push(if *causal { 7 } else { 5 });
                     put_str(&mut out, name);
                     put_u32(&mut out, *seq as u32);
                     put_u32(&mut out, *dim as u32);
@@ -1764,6 +1778,7 @@ fn record_from_layer(layer: &NetLayer) -> Result<LayerRecord, ArtifactError> {
                     dtype: aq.dtype(),
                     scale: aq.scale(),
                 },
+                causal: a.causal(),
             })
         }
         NetLayer::Relu(_) => Ok(LayerRecord::Relu { name }),
@@ -1853,6 +1868,7 @@ fn record_to_netlayer(record: &LayerRecord) -> Result<NetLayer, ArtifactError> {
             dim,
             weights,
             act,
+            causal,
         } => {
             let mut projections = Vec::with_capacity(4);
             for w in weights.iter() {
@@ -1863,7 +1879,8 @@ fn record_to_netlayer(record: &LayerRecord) -> Result<NetLayer, ArtifactError> {
                 projections.push(t);
             }
             let projections: [Tensor; 4] = projections.try_into().expect("exactly four");
-            let mut a = Attention::from_weights(name.clone(), *seq, *dim, projections);
+            let mut a =
+                Attention::from_weights(name.clone(), *seq, *dim, projections).with_causal(*causal);
             for (slot, w) in a.quant.weights.iter_mut().zip(weights.iter()) {
                 *slot = Some(w.quantizer()?);
             }
@@ -1906,12 +1923,17 @@ fn summarize(record: &LayerRecord) -> LayerSummary {
             activation: Some((act.dtype, act.scale)),
             packed: int_domain(&[weight.codes.dtype(), act.dtype]),
         },
-        LayerRecord::Attn { weights, act, .. } => {
+        LayerRecord::Attn {
+            weights,
+            act,
+            causal,
+            ..
+        } => {
             let mut dts: Vec<DataType> = weights.iter().map(|w| w.codes.dtype()).collect();
             dts.push(act.dtype);
             LayerSummary {
                 name: record.name().to_string(),
-                kind: "attn",
+                kind: if *causal { "causal-attn" } else { "attn" },
                 weights: weights.iter().map(weight_summary).collect(),
                 activation: Some((act.dtype, act.scale)),
                 packed: int_domain(&dts),
@@ -2337,7 +2359,7 @@ fn parse_model_section(
                 beta: rd.f32s()?,
                 eps: rd.f32()?,
             },
-            5 => {
+            kind @ (5 | 7) => {
                 let seq = rd.usize32()?;
                 let dim = rd.usize32()?;
                 let weights = [rd.weight()?, rd.weight()?, rd.weight()?, rd.weight()?];
@@ -2347,6 +2369,7 @@ fn parse_model_section(
                     dim,
                     weights: Box::new(weights),
                     act: rd.act()?,
+                    causal: kind == 7,
                 }
             }
             6 => LayerRecord::Gelu { name },

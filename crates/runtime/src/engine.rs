@@ -11,10 +11,31 @@
 //! Because the packed layers compute in exact integer arithmetic, results
 //! are bit-identical no matter how requests are grouped; batching is
 //! invisible to callers except in latency.
+//!
+//! # Prefill and decode phases
+//!
+//! Causal plans add a second traffic class. A caller opens a
+//! [`SessionId`]-handled decode session ([`Engine::open_session`]) whose
+//! packed KV caches live with the worker's plan, prefills its prompt
+//! ([`Engine::submit_prefill`] — runs alone, full-sequence), then streams
+//! tokens ([`Engine::submit_decode`]). The scheduler stays FIFO but
+//! gathers *same-kind runs*: consecutive decode steps from distinct
+//! sessions coalesce into one batched [`CompiledPlan::decode_steps`] call
+//! (the continuous-batching shape — one step, many sequences), while a
+//! prefill executes as its own batch. The same `max_wait` bound applies
+//! to every gather window, so a decode step never waits longer than
+//! `max_wait` for company once it reaches the queue head.
+//!
+//! Sessions are freed *eagerly*: [`Engine::close_session`] releases the
+//! KV cache immediately when the session is idle, and at the executing
+//! batch's completion (the earliest safe point) when the worker holds
+//! it — a timed-out caller that cancels its request and closes its
+//! session never leaves cache bytes pinned behind a long batch.
 
 use crate::error::RuntimeError;
+use crate::kv::DecodeSession;
 use crate::obs;
-use crate::plan::CompiledPlan;
+use crate::plan::{CompiledPlan, SessionFactory};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -65,25 +86,89 @@ impl RequestId {
     }
 }
 
+/// Handle to an open decode session (its packed KV caches live inside
+/// the engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw id value (for logging / serving-layer bookkeeping).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Scheduler counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Requests accepted by [`Engine::submit`].
+    /// Requests accepted by [`Engine::submit`] (plus prefill/decode
+    /// submissions).
     pub submitted: u64,
     /// Requests completed (result available or delivered).
     pub completed: u64,
-    /// Batches executed.
+    /// Batches executed (all kinds).
     pub batches: u64,
     /// Largest batch executed.
     pub largest_batch: usize,
+    /// Prefill batches executed.
+    pub prefills: u64,
+    /// Decode step batches executed.
+    pub decode_batches: u64,
+    /// Tokens produced by decode steps (sum of decode batch sizes).
+    pub decode_tokens: u64,
+    /// Largest decode step batch (sessions advanced in one call).
+    pub largest_decode_batch: usize,
 }
 
-/// One queued request: id, input row, submit timestamp (telemetry).
-type Queued = (u64, Vec<f32>, u64);
+/// What a queued request asks the worker to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Work {
+    /// A stateless single-row forward (the original engine traffic).
+    Infer,
+    /// Full-prompt prefill into session `sid` (executes alone).
+    Prefill { sid: u64 },
+    /// One decode step advancing session `sid` by one token.
+    Decode { sid: u64 },
+}
+
+impl Work {
+    /// The session this work touches, if any.
+    fn sid(&self) -> Option<u64> {
+        match self {
+            Work::Infer => None,
+            Work::Prefill { sid } | Work::Decode { sid } => Some(*sid),
+        }
+    }
+}
+
+/// One queued request.
+struct Queued {
+    id: u64,
+    work: Work,
+    input: Vec<f32>,
+    /// Submit timestamp (telemetry).
+    submitted: u64,
+}
+
+/// One open decode session as the scheduler tracks it.
+struct SessionSlot {
+    /// The session itself; `None` while the worker holds it for an
+    /// executing batch.
+    session: Option<DecodeSession>,
+    /// Cache bytes this session pins (fixed at open).
+    bytes: usize,
+    /// Close was requested while the worker held the session: the
+    /// worker drops it at the batch boundary instead of returning it.
+    closed: bool,
+}
 
 struct State {
     queue: VecDeque<Queued>,
     results: HashMap<u64, Result<Vec<f32>, String>>,
+    sessions: HashMap<u64, SessionSlot>,
+    /// Sum of `bytes` over `sessions` (the `ant_kv_cache_bytes` gauge).
+    kv_bytes: usize,
+    next_sid: u64,
     /// Ids drained from the queue whose batch is currently executing.
     executing: HashSet<u64>,
     /// Executing ids whose caller gave up ([`Engine::cancel`]): their
@@ -104,7 +189,17 @@ impl State {
     /// executing batch). Once false with no result present, the id is
     /// either unknown or already delivered.
     fn in_flight(&self, id: u64) -> bool {
-        self.executing.contains(&id) || self.queue.iter().any(|(q, _, _)| *q == id)
+        self.executing.contains(&id) || self.queue.iter().any(|q| q.id == id)
+    }
+
+    /// Removes session `sid`'s slot and returns its cache to the
+    /// allocator, maintaining the byte gauge. The slot must hold its
+    /// session (callers handle the worker-held case separately).
+    fn free_session(&mut self, sid: u64) {
+        if let Some(slot) = self.sessions.remove(&sid) {
+            self.kv_bytes -= slot.bytes;
+        }
+        obs::metrics().kv_cache_usage(self.kv_bytes, self.sessions.len());
     }
 }
 
@@ -130,10 +225,17 @@ pub(crate) type BatchExec = Box<
     dyn FnMut(&mut CompiledPlan, &[f32], usize, &mut Vec<f32>) -> Result<(), RuntimeError> + Send,
 >;
 
+/// A test-only gate invoked at the start of every prefill/decode batch
+/// execution (after the sessions were taken from their slots), so tests
+/// can hold the worker mid-batch deterministically.
+pub(crate) type StepGate = Box<dyn FnMut() + Send>;
+
 /// A batched inference engine over a [`CompiledPlan`].
 pub struct Engine {
     shared: Arc<Shared>,
     in_features: Option<usize>,
+    token_dim: Option<usize>,
+    session_factory: Option<SessionFactory>,
     policy: BatchPolicy,
     worker: Option<JoinHandle<()>>,
 }
@@ -154,13 +256,27 @@ impl Engine {
     }
 
     pub(crate) fn with_exec(plan: CompiledPlan, policy: BatchPolicy, exec: BatchExec) -> Self {
+        Self::with_hooks(plan, policy, exec, None)
+    }
+
+    pub(crate) fn with_hooks(
+        plan: CompiledPlan,
+        policy: BatchPolicy,
+        exec: BatchExec,
+        step_gate: Option<StepGate>,
+    ) -> Self {
         assert!(policy.max_batch > 0, "max_batch must be positive");
         assert!(policy.max_queue > 0, "max_queue must be positive");
         let in_features = plan.in_features();
+        let token_dim = plan.token_dim();
+        let session_factory = plan.session_factory().ok();
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 results: HashMap::new(),
+                sessions: HashMap::new(),
+                kv_bytes: 0,
+                next_sid: 0,
                 executing: HashSet::new(),
                 abandoned: HashSet::new(),
                 next_id: 0,
@@ -180,7 +296,7 @@ impl Engine {
             // dead, every in-flight request is failed, and all waiters
             // are woken so `wait` returns an error promptly.
             let unwind = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                worker_loop(&worker_shared, plan, policy, exec)
+                worker_loop(&worker_shared, plan, policy, exec, step_gate)
             }));
             if let Err(payload) = unwind {
                 fail_after_worker_panic(&worker_shared, &panic_message(&payload));
@@ -189,6 +305,8 @@ impl Engine {
         Engine {
             shared,
             in_features,
+            token_dim,
+            session_factory,
             policy,
             worker: Some(worker),
         }
@@ -240,7 +358,7 @@ impl Engine {
                 });
             }
         }
-        let mut state = self.shared.lock();
+        let state = self.shared.lock();
         if state.shutdown {
             return Err(RuntimeError::Engine(shutdown_message(&state)));
         }
@@ -250,16 +368,218 @@ impl Engine {
                 max_queue: self.policy.max_queue,
             });
         }
+        self.enqueue(state, Work::Infer, input)
+    }
+
+    /// Pushes validated work onto the bounded queue and wakes the
+    /// worker. Admission control was already checked by the caller.
+    fn enqueue(
+        &self,
+        mut state: MutexGuard<'_, State>,
+        work: Work,
+        input: &[f32],
+    ) -> Result<RequestId, RuntimeError> {
         let id = state.next_id;
         state.next_id += 1;
         state.stats.submitted += 1;
-        state.queue.push_back((id, input.to_vec(), obs::now()));
+        state.queue.push_back(Queued {
+            id,
+            work,
+            input: input.to_vec(),
+            submitted: obs::now(),
+        });
         let m = obs::metrics();
         m.engine_submit();
         m.engine_queue_depth(state.queue.len());
         drop(state);
         self.shared.work_cv.notify_one();
         Ok(RequestId(id))
+    }
+
+    /// Admission checks shared by the session-bound submission paths:
+    /// engine alive, queue not full, session open (and not pending
+    /// close).
+    fn admit_session_work<'a>(
+        &'a self,
+        sid: SessionId,
+    ) -> Result<MutexGuard<'a, State>, RuntimeError> {
+        let state = self.shared.lock();
+        if state.shutdown {
+            return Err(RuntimeError::Engine(shutdown_message(&state)));
+        }
+        if state.queue.len() >= self.policy.max_queue {
+            return Err(RuntimeError::Overloaded {
+                queued: state.queue.len(),
+                max_queue: self.policy.max_queue,
+            });
+        }
+        match state.sessions.get(&sid.0) {
+            Some(slot) if !slot.closed => Ok(state),
+            _ => Err(RuntimeError::Engine(format!(
+                "session {} is not open",
+                sid.0
+            ))),
+        }
+    }
+
+    /// Opens a decode session against the worker's plan: every byte of
+    /// its packed KV cache is allocated here, and stays pinned (counted
+    /// by [`Self::kv_bytes`]) until [`Self::close_session`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnsupportedLayer`] when the plan is not causal or
+    /// `max_tokens` is zero, [`RuntimeError::Engine`] after shutdown.
+    pub fn open_session(&self, max_tokens: usize) -> Result<SessionId, RuntimeError> {
+        let factory =
+            self.session_factory
+                .as_ref()
+                .ok_or_else(|| RuntimeError::UnsupportedLayer {
+                    layer: "decode".to_string(),
+                    reason: "plan has no causal attention layer".to_string(),
+                })?;
+        let session = factory.open(max_tokens)?;
+        let bytes = session.kv_bytes();
+        let mut state = self.shared.lock();
+        if state.shutdown {
+            return Err(RuntimeError::Engine(shutdown_message(&state)));
+        }
+        let sid = state.next_sid;
+        state.next_sid += 1;
+        state.sessions.insert(
+            sid,
+            SessionSlot {
+                session: Some(session),
+                bytes,
+                closed: false,
+            },
+        );
+        state.kv_bytes += bytes;
+        obs::metrics().kv_cache_usage(state.kv_bytes, state.sessions.len());
+        Ok(SessionId(sid))
+    }
+
+    /// Closes a decode session, releasing its KV cache **eagerly**: an
+    /// idle session is freed before this returns; one held by the
+    /// worker's executing batch is dropped at that batch's completion —
+    /// the earliest safe point — instead of being returned to its slot.
+    /// Queued prefill/decode requests against the session are failed
+    /// immediately (their waiters wake with an error).
+    ///
+    /// Idempotent: returns `false` when the id is unknown or already
+    /// closed.
+    pub fn close_session(&self, sid: SessionId) -> bool {
+        let mut state = self.shared.lock();
+        let Some(slot) = state.sessions.get_mut(&sid.0) else {
+            return false;
+        };
+        if slot.closed {
+            return false;
+        }
+        if slot.session.is_some() {
+            state.free_session(sid.0);
+        } else {
+            slot.closed = true;
+        }
+        // Fail queued work targeting the closed session so callers
+        // don't wait on steps that will never run.
+        let orphaned: Vec<u64> = {
+            let mut ids = Vec::new();
+            state.queue.retain(|q| {
+                if q.work.sid() == Some(sid.0) {
+                    ids.push(q.id);
+                    false
+                } else {
+                    true
+                }
+            });
+            ids
+        };
+        let woke = !orphaned.is_empty();
+        for id in orphaned {
+            state
+                .results
+                .insert(id, Err(format!("session {} was closed", sid.0)));
+        }
+        obs::metrics().engine_queue_depth(state.queue.len());
+        drop(state);
+        if woke {
+            self.shared.done_cv.notify_all();
+        }
+        true
+    }
+
+    /// Enqueues a full-prompt prefill (`n·token_dim` features) into
+    /// `sid`'s KV cache. The result row delivered through
+    /// [`Self::wait`] / [`Self::poll`] is the **last** token's output —
+    /// the next-token state a sampler consumes.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ShapeMismatch`] for a prompt that is not a whole
+    /// positive number of token rows, [`RuntimeError::Overloaded`] /
+    /// [`RuntimeError::Engine`] per [`Self::submit`], and an
+    /// [`RuntimeError::Engine`] for an unknown or closed session.
+    pub fn submit_prefill(
+        &self,
+        sid: SessionId,
+        prompt: &[f32],
+    ) -> Result<RequestId, RuntimeError> {
+        let dim = self
+            .token_dim
+            .ok_or_else(|| RuntimeError::UnsupportedLayer {
+                layer: "decode".to_string(),
+                reason: "plan has no causal attention layer".to_string(),
+            })?;
+        if prompt.is_empty() || !prompt.len().is_multiple_of(dim) {
+            return Err(RuntimeError::ShapeMismatch {
+                expected: dim,
+                actual: prompt.len(),
+            });
+        }
+        let state = self.admit_session_work(sid)?;
+        self.enqueue(state, Work::Prefill { sid: sid.0 }, prompt)
+    }
+
+    /// Enqueues one decode step: a single `token_dim`-feature token row
+    /// appended to `sid`'s KV cache. Consecutive decode steps from
+    /// distinct sessions at the queue head coalesce into one batched
+    /// step.
+    ///
+    /// # Errors
+    ///
+    /// The same classes as [`Self::submit_prefill`].
+    pub fn submit_decode(&self, sid: SessionId, token: &[f32]) -> Result<RequestId, RuntimeError> {
+        let dim = self
+            .token_dim
+            .ok_or_else(|| RuntimeError::UnsupportedLayer {
+                layer: "decode".to_string(),
+                reason: "plan has no causal attention layer".to_string(),
+            })?;
+        if token.len() != dim {
+            return Err(RuntimeError::ShapeMismatch {
+                expected: dim,
+                actual: token.len(),
+            });
+        }
+        let state = self.admit_session_work(sid)?;
+        self.enqueue(state, Work::Decode { sid: sid.0 }, token)
+    }
+
+    /// Decode sessions currently open (including any the worker holds).
+    pub fn session_count(&self) -> usize {
+        self.shared.lock().sessions.len()
+    }
+
+    /// Bytes pinned by open sessions' packed KV caches.
+    pub fn kv_bytes(&self) -> usize {
+        self.shared.lock().kv_bytes
+    }
+
+    /// The decode pipeline's per-token feature width; `None` for
+    /// non-causal plans.
+    pub fn token_dim(&self) -> Option<usize> {
+        self.token_dim
     }
 
     /// Non-blocking result check: `None` while the request is in flight,
@@ -402,7 +722,7 @@ impl Engine {
         if state.results.remove(&id.0).is_some() {
             return true;
         }
-        if let Some(pos) = state.queue.iter().position(|(q, _, _)| *q == id.0) {
+        if let Some(pos) = state.queue.iter().position(|q| q.id == id.0) {
             state.queue.remove(pos);
             obs::metrics().engine_queue_depth(state.queue.len());
             return true;
@@ -455,7 +775,7 @@ fn fail_after_worker_panic(shared: &Shared, msg: &str) {
     let mut state = shared.lock();
     state.shutdown = true;
     state.worker_panicked = true;
-    let queued: Vec<u64> = state.queue.drain(..).map(|(id, _, _)| id).collect();
+    let queued: Vec<u64> = state.queue.drain(..).map(|q| q.id).collect();
     let executing: Vec<u64> = state.executing.drain().collect();
     for id in queued.into_iter().chain(executing) {
         if state.abandoned.remove(&id) {
@@ -465,7 +785,14 @@ fn fail_after_worker_panic(shared: &Shared, msg: &str) {
             .results
             .insert(id, Err(format!("engine worker panicked: {msg}")));
     }
-    obs::metrics().engine_queue_depth(state.queue.len());
+    // Sessions the dead worker held are gone with its stack; the rest
+    // can never be served again. Drop them all so the byte gauge stays
+    // truthful.
+    state.sessions.clear();
+    state.kv_bytes = 0;
+    let m = obs::metrics();
+    m.kv_cache_usage(0, 0);
+    m.engine_queue_depth(state.queue.len());
     drop(state);
     shared.work_cv.notify_all();
     shared.done_cv.notify_all();
@@ -485,15 +812,50 @@ impl Drop for Engine {
     }
 }
 
-/// The worker: wait for work, gather a batch under the policy, execute,
-/// publish results, repeat. Queued work is drained even during shutdown so
-/// submitted requests are never silently dropped.
+/// The executable same-kind run at the queue head: infer requests batch
+/// with infer requests, decode steps batch with decode steps **from
+/// distinct sessions** (a session advances at most one token per batch —
+/// steps are sequentially dependent), and a prefill always runs alone.
+fn gatherable(queue: &VecDeque<Queued>, max_batch: usize) -> usize {
+    let Some(front) = queue.front() else {
+        return 0;
+    };
+    match front.work {
+        Work::Prefill { .. } => 1,
+        Work::Infer => queue
+            .iter()
+            .take(max_batch)
+            .take_while(|q| q.work == Work::Infer)
+            .count(),
+        Work::Decode { .. } => {
+            let mut sids = HashSet::new();
+            queue
+                .iter()
+                .take(max_batch)
+                .take_while(|q| match q.work {
+                    Work::Decode { sid } => sids.insert(sid),
+                    _ => false,
+                })
+                .count()
+        }
+    }
+}
+
+/// The worker: wait for work, gather a same-kind batch under the policy,
+/// execute, publish results, repeat. Queued work is drained even during
+/// shutdown so submitted requests are never silently dropped.
 ///
 /// The input-stacking and output buffers persist across batches and the
 /// plan executes through its scratch arena, so a steady-state batch costs
 /// one allocation per *request* (the result row handed to the caller),
 /// not one per intermediate.
-fn worker_loop(shared: &Shared, mut plan: CompiledPlan, policy: BatchPolicy, mut exec: BatchExec) {
+fn worker_loop(
+    shared: &Shared,
+    mut plan: CompiledPlan,
+    policy: BatchPolicy,
+    mut exec: BatchExec,
+    mut step_gate: Option<StepGate>,
+) {
     let mut stacked: Vec<f32> = Vec::new();
     let mut outputs: Vec<f32> = Vec::new();
     loop {
@@ -508,10 +870,19 @@ fn worker_loop(shared: &Shared, mut plan: CompiledPlan, policy: BatchPolicy, mut
             if state.queue.is_empty() && state.shutdown {
                 return;
             }
-            // First request in hand: hold the batch open until it is full
-            // or the wait budget is spent.
+            // First request in hand: hold the batch open until the
+            // same-kind run at the queue head is full or the wait budget
+            // is spent. A prefill run is full by definition, so it (and
+            // anything queued behind it) is never delayed by the window.
             let deadline = Instant::now() + policy.max_wait;
-            while state.queue.len() < policy.max_batch && !state.shutdown {
+            while gatherable(&state.queue, policy.max_batch) < policy.max_batch && !state.shutdown {
+                if state
+                    .queue
+                    .front()
+                    .is_some_and(|q| matches!(q.work, Work::Prefill { .. }))
+                {
+                    break;
+                }
                 let now = Instant::now();
                 if now >= deadline {
                     break;
@@ -525,30 +896,52 @@ fn worker_loop(shared: &Shared, mut plan: CompiledPlan, policy: BatchPolicy, mut
                     break;
                 }
             }
-            let take = policy.max_batch.min(state.queue.len());
+            let take = gatherable(&state.queue, policy.max_batch);
             if take == 0 {
                 // Every gathered request was cancelled out of the queue
                 // while the batch window was open; nothing to run.
                 continue;
             }
             let batch = state.queue.drain(..take).collect::<Vec<_>>();
-            for (id, _, _) in &batch {
-                state.executing.insert(*id);
+            for q in &batch {
+                state.executing.insert(q.id);
             }
             obs::metrics().engine_queue_depth(state.queue.len());
             batch
         };
         let m = obs::metrics();
         let dispatch = obs::now();
-        for (_, _, submitted) in &batch {
-            m.engine_request_wait(dispatch.saturating_sub(*submitted));
+        for q in &batch {
+            m.engine_request_wait(dispatch.saturating_sub(q.submitted));
         }
-        let outputs = run_batch(&mut plan, &mut exec, &batch, &mut stacked, &mut outputs);
-        m.engine_batch_done(dispatch, obs::now().saturating_sub(dispatch), batch.len());
+        let is_step = !matches!(batch[0].work, Work::Infer);
+        let (outputs, step_count) = if is_step {
+            run_step_batch(shared, &mut plan, &batch, &mut outputs, &mut step_gate)
+        } else {
+            (
+                run_batch(&mut plan, &mut exec, &batch, &mut stacked, &mut outputs),
+                0,
+            )
+        };
+        let dur = obs::now().saturating_sub(dispatch);
+        if step_count > 0 && matches!(batch[0].work, Work::Decode { .. }) {
+            m.engine_decode_batch(dispatch, dur, step_count);
+        } else {
+            m.engine_batch_done(dispatch, dur, batch.len());
+        }
         let mut state = shared.lock();
         state.stats.batches += 1;
         state.stats.largest_batch = state.stats.largest_batch.max(batch.len());
         state.stats.completed += batch.len() as u64;
+        match batch[0].work {
+            Work::Prefill { .. } => state.stats.prefills += 1,
+            Work::Decode { .. } if step_count > 0 => {
+                state.stats.decode_batches += 1;
+                state.stats.decode_tokens += step_count as u64;
+                state.stats.largest_decode_batch = state.stats.largest_decode_batch.max(step_count);
+            }
+            _ => {}
+        }
         for (id, result) in outputs {
             state.executing.remove(&id);
             if state.abandoned.remove(&id) {
@@ -571,18 +964,18 @@ fn run_batch(
     stacked: &mut Vec<f32>,
     outputs: &mut Vec<f32>,
 ) -> Vec<(u64, Result<Vec<f32>, String>)> {
-    let features = batch[0].1.len();
-    if batch.iter().any(|(_, row, _)| row.len() != features) {
+    let features = batch[0].input.len();
+    if batch.iter().any(|q| q.input.len() != features) {
         // Heterogeneous rows can only happen when the plan has no pinned
         // input width; fail each request individually.
         return batch
             .iter()
-            .map(|(id, _, _)| (*id, Err("mixed feature counts in batch".to_string())))
+            .map(|q| (q.id, Err("mixed feature counts in batch".to_string())))
             .collect();
     }
     stacked.clear();
-    for (_, row, _) in batch {
-        stacked.extend_from_slice(row);
+    for q in batch {
+        stacked.extend_from_slice(&q.input);
     }
     match exec(plan, stacked, batch.len(), outputs) {
         Ok(()) => {
@@ -590,13 +983,116 @@ fn run_batch(
             batch
                 .iter()
                 .enumerate()
-                .map(|(i, (id, _, _))| (*id, Ok(outputs[i * per..(i + 1) * per].to_vec())))
+                .map(|(i, q)| (q.id, Ok(outputs[i * per..(i + 1) * per].to_vec())))
                 .collect()
         }
-        Err(e) => batch
-            .iter()
-            .map(|(id, _, _)| (*id, Err(e.to_string())))
-            .collect(),
+        Err(e) => batch.iter().map(|q| (q.id, Err(e.to_string()))).collect(),
+    }
+}
+
+/// Per-request `(id, outcome)` pairs one step batch yields.
+type StepResults = Vec<(u64, Result<Vec<f32>, String>)>;
+
+/// Executes a prefill (always alone) or a coalesced decode step batch:
+/// takes each request's session out of its slot, runs the phase against
+/// the plan, and returns sessions to their slots — or drops them right
+/// here when the caller closed the session mid-batch (the eager-release
+/// half of [`Engine::close_session`]). Returns the per-request results
+/// plus how many sessions actually advanced (the decode batch size).
+fn run_step_batch(
+    shared: &Shared,
+    plan: &mut CompiledPlan,
+    batch: &[Queued],
+    outputs: &mut Vec<f32>,
+    step_gate: &mut Option<StepGate>,
+) -> (StepResults, usize) {
+    let mut results: StepResults = Vec::with_capacity(batch.len());
+    // Claim sessions. A missing/closed slot fails that request alone.
+    let mut claimed: Vec<(&Queued, u64, DecodeSession)> = Vec::with_capacity(batch.len());
+    {
+        let mut state = shared.lock();
+        for q in batch {
+            let sid = q.work.sid().expect("step batches carry session work");
+            match state.sessions.get_mut(&sid).and_then(|s| s.session.take()) {
+                Some(sess) => claimed.push((q, sid, sess)),
+                None => results.push((q.id, Err(format!("session {sid} is not open")))),
+            }
+        }
+    }
+    if let Some(gate) = step_gate.as_mut() {
+        gate();
+    }
+    // Capacity pre-check so one exhausted session fails its own request
+    // instead of the whole coalesced step.
+    let mut ready: Vec<(&Queued, u64, DecodeSession)> = Vec::with_capacity(claimed.len());
+    for (q, sid, sess) in claimed {
+        if sess.tokens() + q.input.len() / plan.token_dim().unwrap_or(1).max(1) > sess.max_tokens()
+        {
+            results.push((
+                q.id,
+                Err(RuntimeError::KvCacheFull {
+                    capacity: sess.max_tokens(),
+                }
+                .to_string()),
+            ));
+            return_session(shared, sid, sess);
+        } else {
+            ready.push((q, sid, sess));
+        }
+    }
+    let step_count = ready.len();
+    if ready.is_empty() {
+        return (results, 0);
+    }
+    if let Work::Prefill { .. } = batch[0].work {
+        let (q, sid, mut sess) = ready.pop().expect("prefill runs alone");
+        let r = plan.prefill(&mut sess, &q.input, outputs).map(|()| {
+            // The serving result is the last token's row — the
+            // next-token state a sampler consumes.
+            let dim = outputs.len() / sess.tokens().max(1);
+            outputs[outputs.len() - dim..].to_vec()
+        });
+        results.push((q.id, r.map_err(|e| e.to_string())));
+        return_session(shared, sid, sess);
+    } else {
+        let mut stacked: Vec<f32> = Vec::with_capacity(ready.len() * ready[0].0.input.len());
+        for (q, _, _) in &ready {
+            stacked.extend_from_slice(&q.input);
+        }
+        let outcome = {
+            let mut refs: Vec<&mut DecodeSession> = ready.iter_mut().map(|(_, _, s)| s).collect();
+            plan.decode_steps(&mut refs, &stacked, outputs)
+        };
+        match outcome {
+            Ok(()) => {
+                let per = outputs.len() / ready.len();
+                for (i, (q, _, _)) in ready.iter().enumerate() {
+                    results.push((q.id, Ok(outputs[i * per..(i + 1) * per].to_vec())));
+                }
+            }
+            Err(e) => {
+                for (q, _, _) in &ready {
+                    results.push((q.id, Err(e.to_string())));
+                }
+            }
+        }
+        for (_, sid, sess) in ready {
+            return_session(shared, sid, sess);
+        }
+    }
+    (results, step_count)
+}
+
+/// Returns a claimed session to its slot — unless the caller closed it
+/// while the batch ran, in which case the cache is freed right now.
+fn return_session(shared: &Shared, sid: u64, sess: DecodeSession) {
+    let mut state = shared.lock();
+    match state.sessions.get_mut(&sid) {
+        Some(slot) if !slot.closed => slot.session = Some(sess),
+        _ => {
+            drop(sess);
+            state.free_session(sid);
+        }
     }
 }
 
@@ -900,6 +1396,264 @@ mod tests {
         assert!(engine.poll(done).is_none());
         // Unknown ids are a no-op.
         assert!(!engine.cancel(RequestId(9_999_999)));
+    }
+
+    fn decoder_plan(seq: usize, dim: usize) -> CompiledPlan {
+        let mut model = ant_nn::model::decoder_block(seq, dim, 1, 41);
+        let calib = sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[24, seq * dim],
+            9,
+        );
+        quantize_model(&mut model, &calib, QuantSpec::default()).unwrap();
+        CompiledPlan::from_quantized_strict(&model)
+            .unwrap()
+            .with_threads(1)
+    }
+
+    fn token(dim: usize, seed: u64) -> Vec<f32> {
+        sample_tensor(
+            Distribution::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+            &[1, dim],
+            seed,
+        )
+        .as_slice()
+        .to_vec()
+    }
+
+    #[test]
+    fn prefill_then_decode_matches_direct_plan_execution() {
+        let (seq, dim) = (8, 16);
+        let plan = decoder_plan(seq, dim);
+        let mut direct = plan.clone();
+        let engine = Engine::new(plan, BatchPolicy::default());
+        assert_eq!(engine.token_dim(), Some(dim));
+
+        let x: Vec<f32> = (0..seq).flat_map(|t| token(dim, 100 + t as u64)).collect();
+        let prompt = 3;
+
+        // Reference: direct prefill + steps against a twin plan.
+        let mut sess = direct.open_session(seq).unwrap();
+        let mut full = Vec::new();
+        direct
+            .prefill(&mut sess, &x[..prompt * dim], &mut full)
+            .unwrap();
+        let want_prefill = full[(prompt - 1) * dim..prompt * dim].to_vec();
+        let mut want_steps = Vec::new();
+        for t in prompt..seq {
+            let mut out = Vec::new();
+            direct
+                .decode_steps(&mut [&mut sess], &x[t * dim..(t + 1) * dim], &mut out)
+                .unwrap();
+            want_steps.push(out);
+        }
+
+        // Engine: same tokens through the phased scheduler.
+        let sid = engine.open_session(seq).unwrap();
+        let pid = engine.submit_prefill(sid, &x[..prompt * dim]).unwrap();
+        assert_eq!(engine.wait(pid).unwrap(), want_prefill);
+        for (i, t) in (prompt..seq).enumerate() {
+            let id = engine
+                .submit_decode(sid, &x[t * dim..(t + 1) * dim])
+                .unwrap();
+            assert_eq!(engine.wait(id).unwrap(), want_steps[i], "step {t}");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.prefills, 1);
+        assert_eq!(stats.decode_tokens, (seq - prompt) as u64);
+        assert!(engine.close_session(sid));
+        assert!(!engine.close_session(sid), "close is idempotent");
+        assert_eq!(engine.kv_bytes(), 0);
+        assert_eq!(engine.session_count(), 0);
+    }
+
+    #[test]
+    fn decode_steps_from_many_sessions_coalesce() {
+        let (seq, dim) = (6, 16);
+        let engine = Engine::new(
+            decoder_plan(seq, dim),
+            BatchPolicy {
+                max_batch: 64,
+                max_wait: Duration::from_millis(300),
+                ..BatchPolicy::default()
+            },
+        );
+        // Gather-window trick: the first submission opens a generous
+        // window, so every step below lands in one coalesced batch.
+        let n = 5;
+        let sids: Vec<SessionId> = (0..n).map(|_| engine.open_session(seq).unwrap()).collect();
+        let ids: Vec<RequestId> = sids
+            .iter()
+            .enumerate()
+            .map(|(i, sid)| engine.submit_decode(*sid, &token(dim, i as u64)).unwrap())
+            .collect();
+        for id in ids {
+            assert_eq!(engine.wait(id).unwrap().len(), dim);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.decode_tokens, n as u64);
+        assert_eq!(
+            stats.largest_decode_batch, n,
+            "steps from distinct sessions must coalesce: {stats:?}"
+        );
+        assert_eq!(stats.decode_batches, 1);
+    }
+
+    #[test]
+    fn same_session_steps_never_share_a_batch() {
+        let (seq, dim) = (6, 16);
+        let engine = Engine::new(
+            decoder_plan(seq, dim),
+            BatchPolicy {
+                max_batch: 64,
+                max_wait: Duration::from_millis(200),
+                ..BatchPolicy::default()
+            },
+        );
+        let sid = engine.open_session(seq).unwrap();
+        let a = engine.submit_decode(sid, &token(dim, 1)).unwrap();
+        let b = engine.submit_decode(sid, &token(dim, 2)).unwrap();
+        assert!(engine.wait(a).is_ok());
+        assert!(engine.wait(b).is_ok());
+        let stats = engine.stats();
+        assert_eq!(stats.decode_batches, 2, "sequential steps: {stats:?}");
+        assert_eq!(stats.largest_decode_batch, 1);
+    }
+
+    #[test]
+    fn session_errors_are_structured() {
+        let (seq, dim) = (4, 16);
+        let engine = Engine::new(decoder_plan(seq, dim), BatchPolicy::default());
+        // Ragged token row.
+        let sid = engine.open_session(seq).unwrap();
+        assert!(matches!(
+            engine.submit_decode(sid, &token(dim + 1, 0)),
+            Err(RuntimeError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            engine.submit_prefill(sid, &[]),
+            Err(RuntimeError::ShapeMismatch { .. })
+        ));
+        // Unknown/closed sessions.
+        assert!(engine.close_session(sid));
+        assert!(matches!(
+            engine.submit_decode(sid, &token(dim, 0)),
+            Err(RuntimeError::Engine(_))
+        ));
+        // Capacity: prefill + steps past max_tokens fail that request.
+        let sid = engine.open_session(2).unwrap();
+        let p = engine.submit_prefill(sid, &token(2 * dim, 3)).unwrap();
+        assert!(engine.wait(p).is_ok());
+        let d = engine.submit_decode(sid, &token(dim, 4)).unwrap();
+        let err = engine.wait(d).unwrap_err();
+        assert!(err.to_string().contains("full"), "{err}");
+        // Sessions on a non-causal plan.
+        let (p, _) = plan();
+        let engine = Engine::new(p, BatchPolicy::default());
+        assert_eq!(engine.token_dim(), None);
+        assert!(engine.open_session(4).is_err());
+    }
+
+    #[test]
+    fn close_session_mid_batch_releases_kv_eagerly() {
+        // Regression: a request whose batch is mid-execution used to pin
+        // its session's KV cache until the caller reaped the result.
+        // Now cancel + close free the cache at the batch boundary with
+        // no further caller involvement.
+        let (seq, dim) = (6, 16);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel();
+        let mut opened = false;
+        let engine = Engine::with_hooks(
+            decoder_plan(seq, dim),
+            BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+                max_queue: 16,
+            },
+            Box::new(|plan, x, batch, out| plan.forward_rows(x, batch, out)),
+            Some(Box::new(move || {
+                if !std::mem::replace(&mut opened, true) {
+                    let _ = gate_rx.recv();
+                }
+            })),
+        );
+        let sid = engine.open_session(seq).unwrap();
+        let bytes = engine.kv_bytes();
+        assert!(bytes > 0);
+        let id = engine.submit_decode(sid, &token(dim, 7)).unwrap();
+        // The worker picks up the step and parks inside the gate with
+        // the session claimed.
+        for _ in 0..5000 {
+            if engine.queue_depth() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Caller gives up: deadline expires, cancel + close.
+        assert!(matches!(
+            engine.wait_timeout(id, Duration::from_millis(10)),
+            Ok(None)
+        ));
+        assert!(engine.cancel(id));
+        assert!(engine.close_session(sid));
+        // The cache is still claimed by the executing batch...
+        assert_eq!(engine.session_count(), 1);
+        // ...and is freed the moment the batch completes, with the
+        // abandoned result dropped rather than parked.
+        gate_tx.send(()).unwrap();
+        let mut freed = false;
+        for _ in 0..5000 {
+            if engine.kv_bytes() == 0 && engine.session_count() == 0 {
+                freed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(freed, "mid-batch close must free the cache at batch end");
+        assert!(engine.poll(id).is_none());
+    }
+
+    #[test]
+    fn close_session_fails_queued_work_for_that_session() {
+        let (seq, dim) = (6, 16);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let engine = Engine::with_hooks(
+            decoder_plan(seq, dim),
+            BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::from_millis(1),
+                max_queue: 16,
+            },
+            Box::new(|plan, x, batch, out| plan.forward_rows(x, batch, out)),
+            Some(Box::new(move || {
+                let _ = gate_rx.recv();
+            })),
+        );
+        let a = engine.open_session(seq).unwrap();
+        let b = engine.open_session(seq).unwrap();
+        // First step occupies the worker (parked in the gate)...
+        let running = engine.submit_decode(a, &token(dim, 1)).unwrap();
+        for _ in 0..5000 {
+            if engine.queue_depth() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // ...so b's step is still queued when b closes.
+        let queued = engine.submit_decode(b, &token(dim, 2)).unwrap();
+        assert!(engine.close_session(b));
+        let err = engine.wait(queued).unwrap_err();
+        assert!(err.to_string().contains("closed"), "{err}");
+        drop(gate_tx);
+        assert!(engine.wait(running).is_ok());
+        assert!(engine.close_session(a));
+        assert_eq!(engine.kv_bytes(), 0);
     }
 
     #[test]

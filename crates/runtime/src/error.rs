@@ -52,6 +52,15 @@ pub enum RuntimeError {
         /// The queue bound ([`crate::BatchPolicy::max_queue`]).
         max_queue: usize,
     },
+    /// A decode session's KV cache reached the token capacity it was
+    /// opened with — the per-session arena is sized once at
+    /// [`crate::CompiledPlan::open_session`] time so the decode hot path
+    /// never reallocates; appending past it is a caller error, not a
+    /// growth trigger.
+    KvCacheFull {
+        /// The session's token capacity (`max_tokens` at open time).
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -80,6 +89,9 @@ impl fmt::Display for RuntimeError {
                     f,
                     "engine overloaded: submit queue full ({queued}/{max_queue}); retry later"
                 )
+            }
+            RuntimeError::KvCacheFull { capacity } => {
+                write!(f, "KV cache full: session holds {capacity} tokens")
             }
         }
     }
@@ -134,6 +146,7 @@ mod tests {
                 queued: 1024,
                 max_queue: 1024,
             },
+            RuntimeError::KvCacheFull { capacity: 128 },
         ];
         for v in &variants {
             assert!(!v.to_string().is_empty());

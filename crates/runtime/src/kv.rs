@@ -1,0 +1,663 @@
+//! Packed M-ANT KV cache: group-wise quantized key/value storage for
+//! autoregressive decode.
+//!
+//! Encoder-style execution materialises K/V for a whole sequence inside
+//! [`crate::Scratch`] and throws them away after the forward. Decode
+//! inverts that: each step produces exactly one new K and V row per
+//! attention layer, and every *previous* row must stay resident for the
+//! lifetime of the session. Keeping them in f32 would make the cache the
+//! dominant memory consumer at serving scale, so — following M-ANT's
+//! extension of the paper's adaptive-type idea to per-group LLM
+//! quantization — rows are stored in the packed low-bit domain:
+//!
+//! * the row is split into fixed-size **groups** ([`KvQuantSpec::group`]
+//!   elements each);
+//! * each group gets its own amax scale **and its own data type**, chosen
+//!   per group from the combo's int/PoT/flint members by the same
+//!   min-error rule Algorithm 2 applies per tensor (the `float` member of
+//!   FIP-style combos is skipped — the KV path stays in the int-decodable
+//!   family, like the rest of the runtime);
+//! * wire codes are nibble-packed when [`KvQuantSpec::bits`] ≤ 4, one
+//!   byte per code otherwise, appended token-row-at-a-time into a
+//!   64-byte-aligned arena sized once at session-open time.
+//!
+//! Quantize-and-store and decode-and-stream share one per-group encode
+//! path (`KvQuant::quant_group`), so a row read back out of the cache
+//! is **bit-identical** to the quantize-dequantize a full-sequence causal
+//! forward applies in place. That identity is what lets
+//! `decode_conformance.rs` hold incremental decode to full-sequence
+//! execution at ≤1e-4 (in practice: exactly).
+//!
+//! Nothing here allocates on the decode hot path: the arena and the
+//! scale/tag side arrays are sized at `KvCache::new` time and appends
+//! only write into reserved capacity (pinned by `alloc_steady.rs`).
+
+use crate::error::RuntimeError;
+use crate::scratch::grab;
+use ant_core::select::PrimitiveCombo;
+use ant_core::{Codec, DataType, PrimitiveType};
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+
+/// Configuration for M-ANT group-wise KV-cache quantization.
+///
+/// The default — 8-bit codes, groups of 64, the paper's final `IP-F`
+/// combo — mirrors M-ANT's serving configuration. Validation happens in
+/// [`crate::CompiledPlan::with_kv_quant`]; members of the combo whose
+/// constructors reject the bit width (e.g. PoT stops at 6 bits) are
+/// simply left out of the per-group candidate set rather than failing
+/// the whole spec, exactly like Algorithm 2's promotion handling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvQuantSpec {
+    /// Wire-code width in bits (2..=8). Widths ≤ 4 nibble-pack two codes
+    /// per byte.
+    pub bits: u32,
+    /// Elements per quantization group (each group carries its own scale
+    /// and type tag).
+    pub group: usize,
+    /// The primitive combination groups select their type from.
+    pub combo: PrimitiveCombo,
+}
+
+impl Default for KvQuantSpec {
+    fn default() -> Self {
+        KvQuantSpec {
+            bits: 8,
+            group: 64,
+            combo: PrimitiveCombo::IntPotFlint,
+        }
+    }
+}
+
+/// One per-group type candidate: a constructed codec plus its decode LUT
+/// and max representable magnitude, cached so group selection never
+/// re-derives them.
+#[derive(Debug, Clone)]
+struct Candidate {
+    codec: Codec,
+    lut: Vec<f32>,
+    max: f32,
+}
+
+/// The group codec shared by every causal-attention layer of a plan:
+/// candidate types for [`KvQuantSpec::combo`] at [`KvQuantSpec::bits`],
+/// with per-group min-MSE selection.
+#[derive(Debug, Clone)]
+pub(crate) struct KvQuant {
+    spec: KvQuantSpec,
+    cands: Vec<Candidate>,
+}
+
+impl KvQuant {
+    /// Builds the candidate set for `spec`. Combo members whose
+    /// constructors reject `bits` are skipped (PoT tops out at 6 bits,
+    /// flint needs ≥ 4); only an *empty* candidate set is an error.
+    pub(crate) fn new(spec: KvQuantSpec) -> Result<KvQuant, RuntimeError> {
+        let unsupported = |reason: String| RuntimeError::UnsupportedLayer {
+            layer: "kv-cache".to_string(),
+            reason,
+        };
+        if !(2..=8).contains(&spec.bits) {
+            return Err(unsupported(format!(
+                "KV wire-code width {} outside 2..=8",
+                spec.bits
+            )));
+        }
+        if spec.group == 0 {
+            return Err(unsupported("KV group size must be >= 1".to_string()));
+        }
+        let mut cands = Vec::new();
+        let mut push = |dt: Result<DataType, ant_core::QuantError>| {
+            if let Ok(dt) = dt {
+                // The float primitive has no int-based decoder anywhere in
+                // the runtime; the KV path keeps that invariant.
+                if dt.primitive() != PrimitiveType::Float {
+                    if let Ok(codec) = Codec::new(dt) {
+                        let lut = codec.decode_lut();
+                        let max = codec.max_value();
+                        cands.push(Candidate { codec, lut, max });
+                    }
+                }
+            }
+        };
+        push(DataType::int(spec.bits, true));
+        if !matches!(spec.combo, PrimitiveCombo::Int) {
+            push(DataType::pot(spec.bits, true));
+        }
+        if matches!(
+            spec.combo,
+            PrimitiveCombo::IntPotFlint | PrimitiveCombo::FloatIntPotFlint
+        ) {
+            push(DataType::flint(spec.bits, true));
+        }
+        if cands.is_empty() {
+            return Err(unsupported(format!(
+                "no combo member of {} supports {}-bit codes",
+                spec.combo.label(),
+                spec.bits
+            )));
+        }
+        Ok(KvQuant { spec, cands })
+    }
+
+    /// The spec this codec was built for.
+    pub(crate) fn spec(&self) -> KvQuantSpec {
+        self.spec
+    }
+
+    /// Number of candidate types a group chooses between.
+    #[cfg(test)]
+    pub(crate) fn candidate_count(&self) -> usize {
+        self.cands.len()
+    }
+
+    /// Quantization groups per `dim`-element token row.
+    pub(crate) fn groups_for(&self, dim: usize) -> usize {
+        dim.div_ceil(self.spec.group)
+    }
+
+    /// Packed bytes one `dim`-element token row occupies in the arena.
+    pub(crate) fn token_bytes(&self, dim: usize) -> usize {
+        if self.spec.bits <= 4 {
+            dim.div_ceil(2)
+        } else {
+            dim
+        }
+    }
+
+    /// Quantizes one group: evaluates every candidate at the group's
+    /// amax scale, keeps the one with least squared reconstruction
+    /// error, writes its wire codes into `codes[..g.len()]` (one byte
+    /// per element, unpacked) and returns `(type tag, scale)`.
+    fn quant_group(&self, g: &[f32], codes: &mut [u8]) -> (u8, f32) {
+        let mut amax = 0f32;
+        for &x in g {
+            amax = amax.max(x.abs());
+        }
+        let mut best = 0usize;
+        let mut best_scale = 1.0f32;
+        let mut best_err = f32::INFINITY;
+        for (ci, c) in self.cands.iter().enumerate() {
+            let scale = if amax > 0.0 { amax / c.max } else { 1.0 };
+            let mut err = 0f32;
+            for &x in g {
+                let code = c.codec.encode(x / scale);
+                let d = scale * c.lut[code as usize] - x;
+                err += d * d;
+            }
+            if err < best_err {
+                best_err = err;
+                best = ci;
+                best_scale = scale;
+            }
+        }
+        let c = &self.cands[best];
+        for (slot, &x) in codes.iter_mut().zip(g.iter()) {
+            *slot = c.codec.encode(x / best_scale) as u8;
+        }
+        (best as u8, best_scale)
+    }
+
+    /// Quantize-dequantizes `row` in place — the full-sequence causal
+    /// forward's view of the cache when no session is attached. `codes`
+    /// is reusable scratch (grown once to `row.len()`).
+    pub(crate) fn quant_dequant_row(&self, row: &mut [f32], codes: &mut Vec<u8>) {
+        let scratch = grab(codes, row.len(), 0);
+        for (chunk, cbuf) in row
+            .chunks_mut(self.spec.group)
+            .zip(scratch.chunks_mut(self.spec.group))
+        {
+            let cbuf = &mut cbuf[..chunk.len()];
+            let (tag, scale) = self.quant_group(chunk, cbuf);
+            let lut = &self.cands[tag as usize].lut;
+            for (x, &code) in chunk.iter_mut().zip(cbuf.iter()) {
+                *x = scale * lut[code as usize];
+            }
+        }
+    }
+
+    /// Packs unpacked per-element codes into the arena layout.
+    fn pack_row(&self, codes: &[u8], dst: &mut [u8]) {
+        if self.spec.bits <= 4 {
+            for (i, b) in dst.iter_mut().enumerate() {
+                let lo = codes[2 * i];
+                let hi = codes.get(2 * i + 1).copied().unwrap_or(0);
+                *b = lo | (hi << 4);
+            }
+        } else {
+            dst.copy_from_slice(codes);
+        }
+    }
+
+    /// Reads element `d`'s wire code back out of a packed row.
+    #[inline]
+    fn unpack_code(&self, packed: &[u8], d: usize) -> u8 {
+        if self.spec.bits <= 4 {
+            (packed[d / 2] >> ((d % 2) * 4)) & 0x0F
+        } else {
+            packed[d]
+        }
+    }
+}
+
+/// Which half of a [`KvCache`] a row operation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum KvHalf {
+    /// Key rows.
+    K,
+    /// Value rows.
+    V,
+}
+
+/// A 64-byte-aligned, fixed-capacity byte arena. Sized once; never
+/// grows (the decode hot path must not touch the allocator).
+#[derive(Debug)]
+struct AlignedArena {
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+// SAFETY: the arena is plain owned bytes behind a unique pointer; all
+// access goes through &self/&mut self, so the usual borrow rules apply.
+unsafe impl Send for AlignedArena {}
+unsafe impl Sync for AlignedArena {}
+
+impl AlignedArena {
+    fn new(len: usize) -> AlignedArena {
+        let layout = Layout::from_size_align(len.max(1), 64).expect("kv arena layout");
+        // Zeroed so freshly opened sessions never expose stale bytes.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw) else {
+            handle_alloc_error(layout);
+        };
+        AlignedArena { ptr, len }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr is valid for len bytes for the arena's lifetime.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: as above, plus &mut self guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedArena {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.len.max(1), 64).expect("kv arena layout");
+        // SAFETY: allocated in `new` with exactly this layout.
+        unsafe { dealloc(self.ptr.as_ptr(), layout) };
+    }
+}
+
+/// One causal-attention layer's packed K/V storage for one decode
+/// session.
+///
+/// Layout: `[max_tokens` packed K rows `][max_tokens` packed V rows `]`
+/// in one 64-byte-aligned arena, with per-token per-group scales and
+/// type tags in side arrays whose capacity is reserved up front —
+/// [`KvCache::append`] therefore performs **zero allocations**.
+#[derive(Debug)]
+pub(crate) struct KvCache {
+    arena: AlignedArena,
+    dim: usize,
+    n_groups: usize,
+    token_bytes: usize,
+    max_tokens: usize,
+    tokens: usize,
+    scales_k: Vec<f32>,
+    scales_v: Vec<f32>,
+    tags_k: Vec<u8>,
+    tags_v: Vec<u8>,
+}
+
+impl KvCache {
+    /// Allocates storage for up to `max_tokens` rows of `dim` elements
+    /// each (both halves), quantized per `kv`.
+    pub(crate) fn new(dim: usize, max_tokens: usize, kv: &KvQuant) -> KvCache {
+        let token_bytes = kv.token_bytes(dim);
+        let n_groups = kv.groups_for(dim);
+        KvCache {
+            arena: AlignedArena::new(2 * max_tokens * token_bytes),
+            dim,
+            n_groups,
+            token_bytes,
+            max_tokens,
+            tokens: 0,
+            scales_k: Vec::with_capacity(max_tokens * n_groups),
+            scales_v: Vec::with_capacity(max_tokens * n_groups),
+            tags_k: Vec::with_capacity(max_tokens * n_groups),
+            tags_v: Vec::with_capacity(max_tokens * n_groups),
+        }
+    }
+
+    /// Tokens currently held.
+    pub(crate) fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Bytes this cache holds resident (arena plus scale/tag side
+    /// arrays, at their reserved capacity).
+    pub(crate) fn kv_bytes(&self) -> usize {
+        self.arena.len
+            + (self.scales_k.capacity() + self.scales_v.capacity()) * std::mem::size_of::<f32>()
+            + self.tags_k.capacity()
+            + self.tags_v.capacity()
+    }
+
+    fn row_range(&self, half: KvHalf, t: usize) -> std::ops::Range<usize> {
+        let base = match half {
+            KvHalf::K => 0,
+            KvHalf::V => self.max_tokens * self.token_bytes,
+        };
+        base + t * self.token_bytes..base + (t + 1) * self.token_bytes
+    }
+
+    /// Quantizes and appends one K row and one V row (the next token's),
+    /// returning the token's index. `codes` is reusable unpacked-code
+    /// scratch (grown once to `dim`). Fails with
+    /// [`RuntimeError::KvCacheFull`] at capacity.
+    pub(crate) fn append(
+        &mut self,
+        kv: &KvQuant,
+        k_row: &[f32],
+        v_row: &[f32],
+        codes: &mut Vec<u8>,
+    ) -> Result<usize, RuntimeError> {
+        debug_assert_eq!(k_row.len(), self.dim);
+        debug_assert_eq!(v_row.len(), self.dim);
+        if self.tokens == self.max_tokens {
+            return Err(RuntimeError::KvCacheFull {
+                capacity: self.max_tokens,
+            });
+        }
+        let t = self.tokens;
+        let scratch = grab(codes, self.dim, 0);
+        let group = kv.spec.group;
+        for (half, row) in [(KvHalf::K, k_row), (KvHalf::V, v_row)] {
+            let (scales, tags) = match half {
+                KvHalf::K => (&mut self.scales_k, &mut self.tags_k),
+                KvHalf::V => (&mut self.scales_v, &mut self.tags_v),
+            };
+            for (chunk, cbuf) in row.chunks(group).zip(scratch.chunks_mut(group)) {
+                let (tag, scale) = kv.quant_group(chunk, &mut cbuf[..chunk.len()]);
+                scales.push(scale);
+                tags.push(tag);
+            }
+            let range = self.row_range(half, t);
+            kv.pack_row(scratch, &mut self.arena.as_mut_slice()[range]);
+        }
+        self.tokens = t + 1;
+        Ok(t)
+    }
+
+    /// Decodes token `t`'s row from packed codes into `out` — exactly
+    /// the values [`KvQuant::quant_dequant_row`] would have produced for
+    /// the original row (shared encode path, lossless packing).
+    pub(crate) fn decode_row(&self, kv: &KvQuant, half: KvHalf, t: usize, out: &mut [f32]) {
+        debug_assert!(t < self.tokens, "decode of unwritten token row");
+        debug_assert_eq!(out.len(), self.dim);
+        let packed = &self.arena.as_slice()[self.row_range(half, t)];
+        let (scales, tags) = match half {
+            KvHalf::K => (&self.scales_k, &self.tags_k),
+            KvHalf::V => (&self.scales_v, &self.tags_v),
+        };
+        let meta = t * self.n_groups..(t + 1) * self.n_groups;
+        let (scales, tags) = (&scales[meta.clone()], &tags[meta]);
+        let group = kv.spec.group;
+        for (g, chunk) in out.chunks_mut(group).enumerate() {
+            let scale = scales[g];
+            let lut = &kv.cands[tags[g] as usize].lut;
+            let base = g * group;
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = scale * lut[kv.unpack_code(packed, base + i) as usize];
+            }
+        }
+    }
+}
+
+/// A decode session: per-layer packed KV caches plus the token cursor,
+/// pinned for the lifetime of one generation stream.
+///
+/// Opened by [`crate::CompiledPlan::open_session`] (or, at the serving
+/// layer, [`crate::Engine::open_session`]); one
+/// [`crate::CompiledPlan::prefill`] primes it with the prompt, then
+/// [`crate::CompiledPlan::decode_steps`] appends one token per call.
+/// All storage is sized at open time — steady-state decode performs zero
+/// heap allocations (enforced by `alloc_steady.rs`).
+#[derive(Debug)]
+pub struct DecodeSession {
+    pub(crate) caches: Vec<KvCache>,
+    pub(crate) max_tokens: usize,
+}
+
+impl DecodeSession {
+    pub(crate) fn new(caches: Vec<KvCache>, max_tokens: usize) -> DecodeSession {
+        DecodeSession { caches, max_tokens }
+    }
+
+    /// Tokens appended so far (prompt + generated).
+    pub fn tokens(&self) -> usize {
+        self.caches.first().map_or(0, |c| c.tokens())
+    }
+
+    /// The token capacity this session was opened with.
+    pub fn max_tokens(&self) -> usize {
+        self.max_tokens
+    }
+
+    /// Resident bytes across every layer's packed cache.
+    pub fn kv_bytes(&self) -> usize {
+        self.caches.iter().map(|c| c.kv_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec(bits: u32, group: usize, combo: PrimitiveCombo) -> KvQuantSpec {
+        KvQuantSpec { bits, group, combo }
+    }
+
+    #[test]
+    fn spec_validation() {
+        for bad_bits in [0, 1, 9, 16] {
+            assert!(KvQuant::new(spec(bad_bits, 64, PrimitiveCombo::IntPotFlint)).is_err());
+        }
+        assert!(KvQuant::new(spec(8, 0, PrimitiveCombo::IntPotFlint)).is_err());
+        assert!(KvQuant::new(KvQuantSpec::default()).is_ok());
+    }
+
+    #[test]
+    fn candidate_sets_follow_member_bit_support() {
+        // 4-bit IP-F: int4 + pot4 + flint4 all construct.
+        let q = KvQuant::new(spec(4, 16, PrimitiveCombo::IntPotFlint)).unwrap();
+        assert_eq!(q.candidate_count(), 3);
+        // 8-bit IP-F: PoT stops at 6 bits, so int8 + flint8 only.
+        let q = KvQuant::new(spec(8, 16, PrimitiveCombo::IntPotFlint)).unwrap();
+        assert_eq!(q.candidate_count(), 2);
+        // Int-only combos always have exactly one candidate.
+        let q = KvQuant::new(spec(8, 16, PrimitiveCombo::Int)).unwrap();
+        assert_eq!(q.candidate_count(), 1);
+        // 3-bit: flint needs >= 4 signed bits, leaving int3 + pot3.
+        let q = KvQuant::new(spec(3, 16, PrimitiveCombo::IntPotFlint)).unwrap();
+        assert_eq!(q.candidate_count(), 2);
+    }
+
+    #[test]
+    fn arena_is_64_byte_aligned_and_zeroed() {
+        let kv = KvQuant::new(KvQuantSpec::default()).unwrap();
+        let cache = KvCache::new(96, 17, &kv);
+        assert_eq!(cache.arena.ptr.as_ptr() as usize % 64, 0);
+        assert!(cache.arena.as_slice().iter().all(|&b| b == 0));
+    }
+
+    fn row(dim: usize, seed: u64) -> Vec<f32> {
+        // Deterministic splitmix-style values in roughly [-2, 2].
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        (0..dim)
+            .map(|_| {
+                s ^= s >> 30;
+                s = s.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                s ^= s >> 27;
+                ((s >> 40) as f32 / (1u64 << 23) as f32) - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_then_decode_matches_in_place_quant_dequant_bitwise() {
+        for combo in [
+            PrimitiveCombo::Int,
+            PrimitiveCombo::IntPot,
+            PrimitiveCombo::IntPotFlint,
+        ] {
+            for bits in [4, 8] {
+                for group in [16, 64, 128] {
+                    let kv = KvQuant::new(spec(bits, group, combo)).unwrap();
+                    let dim = 72; // not a multiple of 16/64/128: exercises the tail group
+                    let mut cache = KvCache::new(dim, 5, &kv);
+                    let mut codes = Vec::new();
+                    let mut rows = Vec::new();
+                    for t in 0..5u64 {
+                        let k = row(dim, 2 * t + 1);
+                        let v = row(dim, 2 * t + 2);
+                        cache.append(&kv, &k, &v, &mut codes).unwrap();
+                        rows.push((k, v));
+                    }
+                    let mut got = vec![0f32; dim];
+                    for (t, (k, v)) in rows.iter().enumerate() {
+                        for (half, src) in [(KvHalf::K, k), (KvHalf::V, v)] {
+                            let mut reference = src.clone();
+                            kv.quant_dequant_row(&mut reference, &mut codes);
+                            cache.decode_row(&kv, half, t, &mut got);
+                            assert_eq!(
+                                got, reference,
+                                "combo {combo:?} bits {bits} group {group} token {t} {half:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quant_error_is_small_at_8_bits() {
+        let kv = KvQuant::new(KvQuantSpec::default()).unwrap();
+        let orig = row(256, 9);
+        let mut deq = orig.clone();
+        let mut codes = Vec::new();
+        kv.quant_dequant_row(&mut deq, &mut codes);
+        let amax = orig.iter().fold(0f32, |m, x| m.max(x.abs()));
+        for (o, d) in orig.iter().zip(deq.iter()) {
+            assert!((o - d).abs() <= amax / 100.0, "{o} vs {d}");
+        }
+    }
+
+    #[test]
+    fn zero_group_round_trips_exactly() {
+        let kv = KvQuant::new(KvQuantSpec::default()).unwrap();
+        let mut cache = KvCache::new(64, 2, &kv);
+        let mut codes = Vec::new();
+        let zeros = vec![0f32; 64];
+        cache.append(&kv, &zeros, &zeros, &mut codes).unwrap();
+        let mut got = vec![1f32; 64];
+        cache.decode_row(&kv, KvHalf::K, 0, &mut got);
+        assert_eq!(got, zeros);
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_append_does_not_allocate_sides() {
+        let kv = KvQuant::new(KvQuantSpec::default()).unwrap();
+        let mut cache = KvCache::new(32, 3, &kv);
+        let mut codes = vec![0u8; 32];
+        let (k, v) = (row(32, 1), row(32, 2));
+        let cap = cache.scales_k.capacity();
+        let ptr = cache.scales_k.as_ptr();
+        for t in 0..3 {
+            assert_eq!(cache.append(&kv, &k, &v, &mut codes).unwrap(), t);
+        }
+        assert_eq!(cache.scales_k.capacity(), cap, "side array reallocated");
+        assert_eq!(cache.scales_k.as_ptr(), ptr, "side array moved");
+        match cache.append(&kv, &k, &v, &mut codes) {
+            Err(RuntimeError::KvCacheFull { capacity: 3 }) => {}
+            other => panic!("expected KvCacheFull, got {other:?}"),
+        }
+        assert_eq!(cache.tokens(), 3);
+    }
+
+    #[test]
+    fn session_accounting() {
+        let kv = KvQuant::new(KvQuantSpec::default()).unwrap();
+        let caches = vec![KvCache::new(64, 8, &kv), KvCache::new(64, 8, &kv)];
+        let sess = DecodeSession::new(caches, 8);
+        assert_eq!(sess.tokens(), 0);
+        assert_eq!(sess.max_tokens(), 8);
+        // Arena: 2 layers × 2 halves × 8 tokens × 64 bytes, plus sides.
+        assert!(sess.kv_bytes() >= 2 * 2 * 8 * 64);
+        fn assert_send<T: Send>() {}
+        assert_send::<DecodeSession>();
+    }
+
+    /// Straight-line float reference for one group: amax scaling,
+    /// per-candidate MSE, winner re-encode — written independently of
+    /// the production path's buffering and packing.
+    fn reference_group(kv: &KvQuant, g: &[f32]) -> Vec<f32> {
+        let amax = g.iter().fold(0f32, |m, x| m.max(x.abs()));
+        let mut best: Option<(f32, Vec<f32>)> = None;
+        for c in &kv.cands {
+            let scale = if amax > 0.0 { amax / c.max } else { 1.0 };
+            let deq: Vec<f32> = g
+                .iter()
+                .map(|&x| scale * c.lut[c.codec.encode(x / scale) as usize])
+                .collect();
+            let err: f32 = deq.iter().zip(g).map(|(d, x)| (d - x) * (d - x)).sum();
+            if best.as_ref().map(|(e, _)| err < *e).unwrap_or(true) {
+                best = Some((err, deq));
+            }
+        }
+        best.unwrap().1
+    }
+
+    proptest! {
+        /// Group-quantized appends round-trip against the float
+        /// reference: decoding a cached row reproduces, bit for bit,
+        /// what the independent reference computes per group.
+        #[test]
+        fn prop_cached_rows_match_float_reference(
+            seed in 0u64..1u64 << 48,
+            dim in 1usize..80,
+            group in 1usize..40,
+            bits_ix in 0usize..5,
+            tokens in 1usize..6,
+        ) {
+            let bits = [2u32, 3, 4, 5, 8][bits_ix];
+            let kv = KvQuant::new(spec(bits, group, PrimitiveCombo::IntPotFlint)).unwrap();
+            let mut cache = KvCache::new(dim, tokens, &kv);
+            let mut codes = Vec::new();
+            let mut originals = Vec::new();
+            for t in 0..tokens as u64 {
+                let k = row(dim, seed ^ (2 * t));
+                let v = row(dim, seed ^ (2 * t + 1));
+                cache.append(&kv, &k, &v, &mut codes).unwrap();
+                originals.push((k, v));
+            }
+            let mut got = vec![0f32; dim];
+            for (t, (k, v)) in originals.iter().enumerate() {
+                for (half, src) in [(KvHalf::K, k), (KvHalf::V, v)] {
+                    let want: Vec<f32> = src
+                        .chunks(group)
+                        .flat_map(|g| reference_group(&kv, g))
+                        .collect();
+                    cache.decode_row(&kv, half, t, &mut got);
+                    prop_assert_eq!(&got, &want);
+                }
+            }
+        }
+    }
+}

@@ -93,6 +93,7 @@ pub mod artifact;
 pub mod cache;
 pub mod engine;
 pub mod gemm;
+pub mod kv;
 pub mod mmap;
 pub mod obs;
 pub mod plan;
@@ -104,8 +105,9 @@ pub use artifact::{
     SectionInfo, WeightSummary, FORMAT_VERSION,
 };
 pub use cache::{Planner, SelectionCache, TypeDecision};
-pub use engine::{BatchPolicy, Engine, EngineStats, RequestId};
+pub use engine::{BatchPolicy, Engine, EngineStats, RequestId, SessionId};
 pub use error::RuntimeError;
+pub use kv::{DecodeSession, KvQuantSpec};
 pub use mmap::Mmap;
 pub use plan::{CompiledPlan, PackedAttn, PackedConv, PackedLinear, PlanLayer, PlanNorm};
 pub use pool::WorkerPool;

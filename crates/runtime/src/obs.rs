@@ -118,6 +118,11 @@ mod imp {
         engine_service: Arc<Histogram>,
         engine_requests: Arc<Counter>,
         engine_batches: Arc<Counter>,
+        engine_decode_batch: Arc<Histogram>,
+        engine_decode_step: Arc<Histogram>,
+        engine_decode_tokens: Arc<Counter>,
+        kv_cache_bytes: Arc<Gauge>,
+        kv_sessions: Arc<Gauge>,
         artifact_load: Arc<Histogram>,
         artifact_loads: Arc<Counter>,
         artifact_load_copies: Arc<Counter>,
@@ -190,6 +195,23 @@ mod imp {
                     "Requests accepted by Engine::submit",
                 ),
                 engine_batches: r.counter("ant_engine_batches_total", "Batches executed"),
+                engine_decode_batch: r.histogram(
+                    "ant_engine_decode_batch_size",
+                    "Sessions coalesced per executed decode step batch",
+                ),
+                engine_decode_step: r.histogram(
+                    "ant_engine_decode_step_ns",
+                    "Per-batch decode step wall time (one token per session)",
+                ),
+                engine_decode_tokens: r.counter(
+                    "ant_engine_decode_tokens_total",
+                    "Tokens produced by decode steps (sum of decode batch sizes)",
+                ),
+                kv_cache_bytes: r.gauge(
+                    "ant_kv_cache_bytes",
+                    "Bytes held by live packed KV caches across open sessions",
+                ),
+                kv_sessions: r.gauge("ant_kv_sessions", "Decode sessions currently open"),
                 artifact_load: r.histogram("ant_artifact_load_ns", "Artifact load/open wall time"),
                 artifact_loads: r.counter("ant_artifact_loads_total", "Artifact loads/opens"),
                 artifact_load_copies: r.counter(
@@ -271,6 +293,24 @@ mod imp {
             self.engine_batch_size.record(batch as u64);
             self.engine_service.record(dur_ns);
             ant_obs::record_span(self.span_batch, start_ns, dur_ns);
+        }
+
+        /// Records one executed decode step batch: `batch` sessions each
+        /// advanced one token in `dur_ns`.
+        #[inline]
+        pub fn engine_decode_batch(&self, start_ns: u64, dur_ns: u64, batch: usize) {
+            self.engine_decode_batch.record(batch as u64);
+            self.engine_decode_step.record(dur_ns);
+            self.engine_decode_tokens.add(batch as u64);
+            ant_obs::record_span(self.span_batch, start_ns, dur_ns);
+        }
+
+        /// Publishes the bytes currently pinned by open sessions' packed
+        /// KV caches, and how many sessions hold them.
+        #[inline]
+        pub fn kv_cache_usage(&self, bytes: usize, sessions: usize) {
+            self.kv_cache_bytes.set(bytes as i64);
+            self.kv_sessions.set(sessions as i64);
         }
 
         /// Records one artifact load/open.
@@ -444,6 +484,10 @@ mod imp {
         pub fn engine_request_wait(&self, _: u64) {}
         #[inline(always)]
         pub fn engine_batch_done(&self, _: u64, _: u64, _: usize) {}
+        #[inline(always)]
+        pub fn engine_decode_batch(&self, _: u64, _: u64, _: usize) {}
+        #[inline(always)]
+        pub fn kv_cache_usage(&self, _: usize, _: usize) {}
         #[inline(always)]
         pub fn artifact_load(&self, _: u64, _: u64, _: u64, _: bool) {}
         #[inline(always)]

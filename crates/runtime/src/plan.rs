@@ -50,6 +50,7 @@
 
 use crate::error::RuntimeError;
 use crate::gemm::{im2row, int_gemm_pooled, PanelGemm};
+use crate::kv::{DecodeSession, KvCache, KvHalf, KvQuant, KvQuantSpec};
 use crate::obs::{self, LayerKind};
 use crate::pool::WorkerPool;
 use crate::scratch::{grab, Scratch};
@@ -664,6 +665,8 @@ struct LayerScratch<'a> {
     v: &'a mut Vec<f32>,
     scores: &'a mut Vec<f32>,
     ctx: &'a mut Vec<f32>,
+    kv_row: &'a mut Vec<f32>,
+    kv_codes: &'a mut Vec<u8>,
 }
 
 /// Rejects types the integer-domain engine cannot execute (the `float`
@@ -1102,6 +1105,11 @@ pub struct PackedAttn {
     wo_t_f32: PackedStore<f32>,
     act: Quantizer,
     act_quant: ActQuant,
+    /// The KV-cache group codec — `Some` iff this is a causal
+    /// (decoder-style) block, which masks future tokens in the
+    /// full-sequence forward and supports incremental decode against a
+    /// packed [`KvCache`]. Encoder blocks never touch it.
+    kv: Option<KvQuant>,
 }
 
 impl PackedAttn {
@@ -1192,7 +1200,34 @@ impl PackedAttn {
             wo_t_f32,
             act_quant: ActQuant::for_quantizer(&act),
             act,
+            kv: None,
         })
+    }
+
+    /// Converts this block into its causal (decoder) form, attaching the
+    /// KV-cache group codec for `spec`.
+    pub(crate) fn into_causal(mut self, spec: KvQuantSpec) -> Result<Self, RuntimeError> {
+        self.kv = Some(KvQuant::new(spec)?);
+        Ok(self)
+    }
+
+    /// Whether this block masks future tokens (decoder-style).
+    pub fn causal(&self) -> bool {
+        self.kv.is_some()
+    }
+
+    /// The KV-cache quantization spec, on causal blocks.
+    pub fn kv_spec(&self) -> Option<KvQuantSpec> {
+        self.kv.as_ref().map(|k| k.spec())
+    }
+
+    fn kv_codec(&self) -> Result<&KvQuant, RuntimeError> {
+        self.kv
+            .as_ref()
+            .ok_or_else(|| RuntimeError::UnsupportedLayer {
+                layer: self.name.clone(),
+                reason: "causal execution of a block with no KV codec".to_string(),
+            })
     }
 
     /// Layer name.
@@ -1385,6 +1420,307 @@ impl PackedAttn {
         *ws.act_i32 = master;
         Ok(())
     }
+
+    /// Full-sequence **causal** forward: like [`Self::forward_rows`] but
+    /// sequence-length-polymorphic (`seq` derives from the input, so one
+    /// plan serves any prompt length), masking `j > i` in the scores, and
+    /// quantize-dequantizing every K/V token row through the M-ANT group
+    /// codec — exactly the values an incremental decode later streams
+    /// back out of its [`KvCache`]. When `sink` is supplied (the prefill
+    /// path; `batch` must be 1), the quantized rows are also appended to
+    /// the cache and the attention consumes them as decoded *from the
+    /// cache*, keeping prefill bit-identical to the cache-less reference
+    /// forward by construction.
+    fn forward_rows_causal(
+        &self,
+        x: &[f32],
+        batch: usize,
+        ws: &mut LayerScratch<'_>,
+        out: &mut Vec<f32>,
+        sink: Option<&mut KvCache>,
+    ) -> Result<(), RuntimeError> {
+        let dim = self.dim;
+        let features = x.len() / batch.max(1);
+        if batch == 0
+            || !x.len().is_multiple_of(batch)
+            || features == 0
+            || !features.is_multiple_of(dim)
+        {
+            return Err(RuntimeError::ShapeMismatch {
+                expected: dim,
+                actual: features,
+            });
+        }
+        let seq = features / dim;
+        let feat = features;
+        debug_assert!(
+            sink.is_none() || batch == 1,
+            "prefill sinks are per-session"
+        );
+        let kvq = self.kv_codec()?;
+        let s_a = self.act.scale();
+        self.act_quant
+            .apply_all_into(x, s_a, self.act.codec(), ws.act_i32);
+        let master = std::mem::take(ws.act_i32);
+        let inv_sqrt_d = 1.0 / (dim as f32).sqrt();
+        let rows = batch * seq;
+        if self.projs[..3]
+            .iter()
+            .any(|p| matches!(p.image, WeightImage::I8(_)))
+        {
+            narrow_acts(&master, ws.act_i8);
+        }
+        if self.projs[..3]
+            .iter()
+            .any(|p| matches!(p.image, WeightImage::I16(_)))
+        {
+            narrow_acts(&master, ws.act_i16);
+        }
+        for which in 0..3 {
+            let proj = &self.projs[which];
+            let acc = proj.accumulate_master(
+                &master, rows, ws.pool, ws.threads, ws.act_i8, ws.act_i16, ws.acc,
+            );
+            let acc = &*acc;
+            let dst = match which {
+                0 => &mut *ws.q,
+                1 => &mut *ws.k,
+                _ => &mut *ws.v,
+            };
+            let dst = grab(dst, rows * dim, 0.0);
+            dequant_into(acc, rows, &self.deq_qkv[which], None, dst);
+        }
+        // Move K and V into the quantized KV domain row by row — in
+        // place when free-running, through the cache when prefilling
+        // (bitwise identical: one shared group-encode path).
+        match sink {
+            Some(cache) => {
+                let base = cache.tokens();
+                for r in 0..rows {
+                    let kr = &ws.k[r * dim..(r + 1) * dim];
+                    let vr = &ws.v[r * dim..(r + 1) * dim];
+                    cache.append(kvq, kr, vr, ws.kv_codes)?;
+                }
+                for r in 0..rows {
+                    cache.decode_row(kvq, KvHalf::K, base + r, &mut ws.k[r * dim..(r + 1) * dim]);
+                    cache.decode_row(kvq, KvHalf::V, base + r, &mut ws.v[r * dim..(r + 1) * dim]);
+                }
+            }
+            None => {
+                for r in 0..rows {
+                    kvq.quant_dequant_row(&mut ws.k[r * dim..(r + 1) * dim], ws.kv_codes);
+                    kvq.quant_dequant_row(&mut ws.v[r * dim..(r + 1) * dim], ws.kv_codes);
+                }
+            }
+        }
+        // Masked scores, softmax and context — the structure of the
+        // encoder path with future positions pinned to -inf (their
+        // softmax weight is exactly 0.0, so the context reduction is
+        // bitwise the prefix-only reduction decode performs).
+        let ctx_len = rows * dim;
+        let chunks = ws.threads.min(ws.pool.width()).min(batch).max(1);
+        let samples_per = batch.div_ceil(chunks);
+        grab(ws.ctx, ctx_len, 0.0);
+        grab(ws.scores, chunks * seq * seq, 0.0);
+        let (q, k, v) = (&*ws.q, &*ws.k, &*ws.v);
+        let ctx_ptr = ShareMut(ws.ctx.as_mut_ptr());
+        let scores_ptr = ShareMut(ws.scores.as_mut_ptr());
+        ws.pool.run(chunks, &|chunk| {
+            let (ctx_dst, scores_dst) = (ctx_ptr, scores_ptr);
+            // SAFETY: each chunk touches its own scores slice and the
+            // context rows of its own samples — disjoint regions.
+            let a = unsafe {
+                std::slice::from_raw_parts_mut(scores_dst.0.add(chunk * seq * seq), seq * seq)
+            };
+            let lo = chunk * samples_per;
+            let hi = ((chunk + 1) * samples_per).min(batch);
+            for s in lo..hi {
+                let qs = &q[s * feat..(s + 1) * feat];
+                let ks = &k[s * feat..(s + 1) * feat];
+                for i in 0..seq {
+                    for j in 0..=i {
+                        let mut dot = 0f32;
+                        for d in 0..dim {
+                            dot += qs[i * dim + d] * ks[j * dim + d];
+                        }
+                        a[i * seq + j] = dot * inv_sqrt_d;
+                    }
+                    for j in (i + 1)..seq {
+                        a[i * seq + j] = f32::NEG_INFINITY;
+                    }
+                }
+                softmax_rows_in_place(a, seq, seq);
+                let vs = &v[s * feat..(s + 1) * feat];
+                let cs = unsafe { std::slice::from_raw_parts_mut(ctx_dst.0.add(s * feat), feat) };
+                cs.fill(0.0);
+                for i in 0..seq {
+                    for j in 0..seq {
+                        let aij = a[i * seq + j];
+                        for d in 0..dim {
+                            cs[i * dim + d] += aij * vs[j * dim + d];
+                        }
+                    }
+                }
+            }
+        });
+        // Output projection + residual, identical to the encoder path.
+        let ov = grab(out, batch * feat, 0.0);
+        let (ctx, a32, wo_t) = (&*ws.ctx, &master[..], &self.wo_t_f32);
+        let w_scales = &self.projs[3].w_scales;
+        let out_ptr = ShareMut(ov.as_mut_ptr());
+        let row_tasks = if rows * dim * dim >= 1 << 18 {
+            ws.threads.min(ws.pool.width()).min(rows).max(1)
+        } else {
+            1
+        };
+        let rows_per = rows.div_ceil(row_tasks);
+        ws.pool.run(row_tasks, &|t| {
+            let dst = out_ptr;
+            let lo = t * rows_per;
+            let hi = ((t + 1) * rows_per).min(rows);
+            for r in lo..hi {
+                // SAFETY: tasks own disjoint output rows.
+                let row_out = unsafe { std::slice::from_raw_parts_mut(dst.0.add(r * dim), dim) };
+                row_out.fill(0.0);
+                for d in 0..dim {
+                    let c = ctx[r * dim + d];
+                    let w_row = &wo_t[d * dim..(d + 1) * dim];
+                    for (o, out_val) in row_out.iter_mut().enumerate() {
+                        *out_val += c * w_row[o];
+                    }
+                }
+                for (o, out_val) in row_out.iter_mut().enumerate() {
+                    *out_val = a32[r * dim + o] as f32 * s_a + *out_val * w_scales[o];
+                }
+            }
+        });
+        *ws.act_i32 = master;
+        Ok(())
+    }
+
+    /// One incremental decode step for `n` sessions at once: batches the
+    /// Q/K/V projections over all `n` new token rows (the coalescing the
+    /// engine's decode batching buys), appends each session's K/V row to
+    /// its cache for this layer, then runs causal attention for the new
+    /// token against the cached prefix, streaming rows straight out of
+    /// the packed codes.
+    ///
+    /// Numerically this reproduces the last token row of the
+    /// full-sequence causal forward **exactly**: the cache hands back the
+    /// same quantized values (shared group-encode path), the reductions
+    /// keep the same ascending-`d`/ascending-`j` orders, and the prefix
+    /// softmax is bitwise the masked full-row softmax.
+    fn decode_rows(
+        &self,
+        x: &[f32],
+        sessions: &mut [&mut DecodeSession],
+        cache_ix: usize,
+        ws: &mut LayerScratch<'_>,
+        out: &mut Vec<f32>,
+    ) -> Result<(), RuntimeError> {
+        let dim = self.dim;
+        let rows = sessions.len();
+        check_features(x, rows, dim)?;
+        let kvq = self.kv_codec()?;
+        let s_a = self.act.scale();
+        self.act_quant
+            .apply_all_into(x, s_a, self.act.codec(), ws.act_i32);
+        let master = std::mem::take(ws.act_i32);
+        let inv_sqrt_d = 1.0 / (dim as f32).sqrt();
+        if self.projs[..3]
+            .iter()
+            .any(|p| matches!(p.image, WeightImage::I8(_)))
+        {
+            narrow_acts(&master, ws.act_i8);
+        }
+        if self.projs[..3]
+            .iter()
+            .any(|p| matches!(p.image, WeightImage::I16(_)))
+        {
+            narrow_acts(&master, ws.act_i16);
+        }
+        for which in 0..3 {
+            let proj = &self.projs[which];
+            let acc = proj.accumulate_master(
+                &master, rows, ws.pool, ws.threads, ws.act_i8, ws.act_i16, ws.acc,
+            );
+            let acc = &*acc;
+            let dst = match which {
+                0 => &mut *ws.q,
+                1 => &mut *ws.k,
+                _ => &mut *ws.v,
+            };
+            let dst = grab(dst, rows * dim, 0.0);
+            dequant_into(acc, rows, &self.deq_qkv[which], None, dst);
+        }
+        // Fixed-stride score scratch — the largest capacity any session
+        // in the batch can reach — so steady-state grabs never resize.
+        let stride = sessions
+            .iter()
+            .map(|s| s.max_tokens())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        grab(ws.ctx, rows * dim, 0.0);
+        grab(ws.scores, stride, 0.0);
+        grab(ws.kv_row, dim, 0.0);
+        for (si, sess) in sessions.iter_mut().enumerate() {
+            let cache =
+                sess.caches
+                    .get_mut(cache_ix)
+                    .ok_or_else(|| RuntimeError::UnsupportedLayer {
+                        layer: self.name.clone(),
+                        reason: "decode session does not match this plan's causal layers"
+                            .to_string(),
+                    })?;
+            let kr = &ws.k[si * dim..(si + 1) * dim];
+            let vr = &ws.v[si * dim..(si + 1) * dim];
+            cache.append(kvq, kr, vr, ws.kv_codes)?;
+            let t = cache.tokens();
+            let qs = &ws.q[si * dim..(si + 1) * dim];
+            let a = &mut ws.scores[..t];
+            let row = &mut ws.kv_row[..dim];
+            for (j, aj) in a.iter_mut().enumerate() {
+                cache.decode_row(kvq, KvHalf::K, j, row);
+                let mut dot = 0f32;
+                for d in 0..dim {
+                    dot += qs[d] * row[d];
+                }
+                *aj = dot * inv_sqrt_d;
+            }
+            softmax_rows_in_place(a, 1, t);
+            let cs = &mut ws.ctx[si * dim..(si + 1) * dim];
+            cs.fill(0.0);
+            for (j, &aij) in a.iter().enumerate() {
+                cache.decode_row(kvq, KvHalf::V, j, row);
+                for d in 0..dim {
+                    cs[d] += aij * row[d];
+                }
+            }
+        }
+        // Output projection + residual — the same output-major,
+        // ascending-`d` loop as the full forward, serial (decode rows
+        // are few and small).
+        let ov = grab(out, rows * dim, 0.0);
+        let (ctx, a32, wo_t) = (&*ws.ctx, &master[..], &self.wo_t_f32);
+        let w_scales = &self.projs[3].w_scales;
+        for r in 0..rows {
+            let row_out = &mut ov[r * dim..(r + 1) * dim];
+            row_out.fill(0.0);
+            for d in 0..dim {
+                let c = ctx[r * dim + d];
+                let w_row = &wo_t[d * dim..(d + 1) * dim];
+                for (o, out_val) in row_out.iter_mut().enumerate() {
+                    *out_val += c * w_row[o];
+                }
+            }
+            for (o, out_val) in row_out.iter_mut().enumerate() {
+                *out_val = a32[r * dim + o] as f32 * s_a + *out_val * w_scales[o];
+            }
+        }
+        *ws.act_i32 = master;
+        Ok(())
+    }
 }
 
 /// Layer normalisation state copied into a plan (γ, β and ε are the only
@@ -1514,6 +1850,12 @@ pub enum PlanLayer {
     PackedConv(Box<PackedConv>),
     /// Packed-domain attention block (integer Q/K/V, f32 softmax).
     PackedAttn(Box<PackedAttn>),
+    /// Packed-domain **causal** attention block (decoder-style): masks
+    /// future tokens in the full-sequence forward, is
+    /// sequence-length-polymorphic, and supports incremental decode
+    /// against a per-session packed `KvCache`
+    /// (see [`CompiledPlan::open_session`]).
+    PackedCausalAttn(Box<PackedAttn>),
     /// ReLU (free in either domain).
     Relu,
     /// GELU (decode-boundary activation, f32 — paper Fig. 4).
@@ -1579,7 +1921,17 @@ impl CompiledPlan {
             let lowered = match layer {
                 NetLayer::Dense(d) => pack_dense(d).map(|p| PlanLayer::Packed(Box::new(p))),
                 NetLayer::Conv(c) => pack_conv(c).map(|p| PlanLayer::PackedConv(Box::new(p))),
-                NetLayer::Attn(a) => pack_attn(a).map(|p| PlanLayer::PackedAttn(Box::new(p))),
+                NetLayer::Attn(a) => pack_attn(a).and_then(|p| {
+                    if a.causal() {
+                        // Causal blocks carry the default M-ANT KV group
+                        // codec; override per plan with
+                        // [`CompiledPlan::with_kv_quant`].
+                        p.into_causal(KvQuantSpec::default())
+                            .map(|p| PlanLayer::PackedCausalAttn(Box::new(p)))
+                    } else {
+                        Ok(PlanLayer::PackedAttn(Box::new(p)))
+                    }
+                }),
                 NetLayer::Relu(_) => Ok(PlanLayer::Relu),
                 NetLayer::Gelu(_) => Ok(PlanLayer::Gelu),
                 NetLayer::Pool(p) => Ok(PlanLayer::Pool {
@@ -1659,7 +2011,10 @@ impl CompiledPlan {
             .filter(|l| {
                 matches!(
                     l,
-                    PlanLayer::Packed(_) | PlanLayer::PackedConv(_) | PlanLayer::PackedAttn(_)
+                    PlanLayer::Packed(_)
+                        | PlanLayer::PackedConv(_)
+                        | PlanLayer::PackedAttn(_)
+                        | PlanLayer::PackedCausalAttn(_)
                 )
             })
             .count()
@@ -1675,7 +2030,7 @@ impl CompiledPlan {
             .filter(|l| match l {
                 PlanLayer::Packed(p) => p.weights_borrowed(),
                 PlanLayer::PackedConv(p) => p.weights_borrowed(),
-                PlanLayer::PackedAttn(p) => p.weights_borrowed(),
+                PlanLayer::PackedAttn(p) | PlanLayer::PackedCausalAttn(p) => p.weights_borrowed(),
                 _ => false,
             })
             .count()
@@ -1716,7 +2071,9 @@ impl CompiledPlan {
             match l {
                 PlanLayer::Packed(p) => add(p.weights()),
                 PlanLayer::PackedConv(p) => add(p.weights()),
-                PlanLayer::PackedAttn(p) => p.projections().into_iter().for_each(&mut add),
+                PlanLayer::PackedAttn(p) | PlanLayer::PackedCausalAttn(p) => {
+                    p.projections().into_iter().for_each(&mut add)
+                }
                 _ => {}
             }
         }
@@ -1771,6 +2128,19 @@ impl CompiledPlan {
         batch: usize,
         out: &mut Vec<f32>,
     ) -> Result<(), RuntimeError> {
+        self.run_rows(x, batch, out, None)
+    }
+
+    /// The shared pipeline runner behind [`Self::forward_rows`] (no
+    /// session) and [`Self::prefill`] (a session whose caches absorb
+    /// every causal layer's K/V rows).
+    fn run_rows(
+        &mut self,
+        x: &[f32],
+        batch: usize,
+        out: &mut Vec<f32>,
+        mut session: Option<&mut DecodeSession>,
+    ) -> Result<(), RuntimeError> {
         if batch == 0 || !x.len().is_multiple_of(batch) {
             return Err(RuntimeError::ShapeMismatch {
                 expected: self.in_features.unwrap_or(0),
@@ -1792,11 +2162,14 @@ impl CompiledPlan {
             v,
             scores,
             ctx,
+            kv_row,
+            kv_codes,
             ping,
             pong,
         } = &mut self.scratch;
         grab(ping, x.len(), 0.0).copy_from_slice(x);
         let mut cur_is_ping = true;
+        let mut causal_ix = 0usize;
         // Timing is chained — one clock read per layer boundary (layer
         // i's end stamp is layer i+1's start), never inside GEMM tiles.
         let fwd = obs::metrics();
@@ -1825,6 +2198,8 @@ impl CompiledPlan {
                 v,
                 scores,
                 ctx,
+                kv_row,
+                kv_codes,
             };
             match layer {
                 PlanLayer::Packed(p) => {
@@ -1837,6 +2212,21 @@ impl CompiledPlan {
                 }
                 PlanLayer::PackedAttn(p) => {
                     p.forward_rows(cur, batch, &mut ws, next)?;
+                    cur_is_ping = !cur_is_ping;
+                }
+                PlanLayer::PackedCausalAttn(p) => {
+                    let sink = match session.as_deref_mut() {
+                        Some(s) => Some(s.caches.get_mut(causal_ix).ok_or_else(|| {
+                            RuntimeError::UnsupportedLayer {
+                                layer: p.name().to_string(),
+                                reason: "decode session does not match this plan's causal layers"
+                                    .to_string(),
+                            }
+                        })?),
+                        None => None,
+                    };
+                    p.forward_rows_causal(cur, batch, &mut ws, next, sink)?;
+                    causal_ix += 1;
                     cur_is_ping = !cur_is_ping;
                 }
                 PlanLayer::Relu => {
@@ -1882,6 +2272,340 @@ impl CompiledPlan {
         out.extend_from_slice(cur);
         Ok(())
     }
+
+    /// Whether this plan contains a causal attention layer — and so
+    /// supports [`Self::open_session`] / [`Self::prefill`] /
+    /// [`Self::decode_steps`].
+    pub fn is_causal(&self) -> bool {
+        self.layers
+            .iter()
+            .any(|l| matches!(l, PlanLayer::PackedCausalAttn(_)))
+    }
+
+    /// The per-token feature width of the decode pipeline (the first
+    /// width-pinning decode step's input); `None` for non-causal plans.
+    pub fn token_dim(&self) -> Option<usize> {
+        if !self.is_causal() {
+            return None;
+        }
+        self.layers.iter().find_map(|l| match l {
+            PlanLayer::Packed(p) => Some(p.in_features()),
+            PlanLayer::PackedCausalAttn(p) => Some(p.dim()),
+            _ => None,
+        })
+    }
+
+    /// Replaces the KV-cache quantization spec on every causal layer
+    /// (validating it once — combo members that don't support
+    /// `spec.bits` are skipped, an empty candidate set is an error).
+    ///
+    /// Sessions store data laid out for the codec that wrote them: open
+    /// sessions *after* configuring the plan, never across a spec
+    /// change.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnsupportedLayer`] for an invalid spec or a plan
+    /// with no causal attention layer.
+    pub fn with_kv_quant(mut self, spec: KvQuantSpec) -> Result<Self, RuntimeError> {
+        let kvq = KvQuant::new(spec)?;
+        let mut hit = false;
+        for l in &mut self.layers {
+            if let PlanLayer::PackedCausalAttn(p) = l {
+                p.kv = Some(kvq.clone());
+                hit = true;
+            }
+        }
+        if !hit {
+            return Err(no_causal_err());
+        }
+        Ok(self)
+    }
+
+    /// Opens a decode session: one fixed-capacity packed KV cache per
+    /// causal layer, every byte allocated *here* so the per-step hot
+    /// path never touches the allocator. Also validates that every plan
+    /// step can execute in the decode phase (token-local or causal).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnsupportedLayer`] when `max_tokens` is zero, the
+    /// plan has no causal layer, or a step is not decodable
+    /// (convolution/pooling/encoder attention/fallback).
+    pub fn open_session(&self, max_tokens: usize) -> Result<DecodeSession, RuntimeError> {
+        self.session_factory()?.open(max_tokens)
+    }
+
+    /// A pre-validated session-opening recipe, detachable from the plan:
+    /// [`crate::Engine`] hands its plan to the worker thread but still
+    /// opens sessions on the caller side through one of these. Captures
+    /// each causal layer's width and KV codec, so a factory must not
+    /// outlive a [`Self::with_kv_quant`] reconfiguration of its plan.
+    ///
+    /// # Errors
+    ///
+    /// The same plan-composition errors as [`Self::open_session`].
+    pub(crate) fn session_factory(&self) -> Result<SessionFactory, RuntimeError> {
+        let mut layers = Vec::new();
+        for l in &self.layers {
+            match l {
+                PlanLayer::PackedCausalAttn(p) => {
+                    layers.push((p.dim(), p.kv_codec()?.clone()));
+                }
+                PlanLayer::Packed(_) | PlanLayer::Relu | PlanLayer::Gelu | PlanLayer::Norm(_) => {}
+                PlanLayer::PackedAttn(p) => {
+                    return Err(decode_err(format!(
+                        "layer {} is encoder-style attention; decode needs causal blocks",
+                        p.name()
+                    )));
+                }
+                PlanLayer::PackedConv(p) => {
+                    return Err(decode_err(format!(
+                        "layer {} (convolution) is not token-local",
+                        p.name()
+                    )));
+                }
+                PlanLayer::Pool { .. } => {
+                    return Err(decode_err("pooling is not token-local".to_string()));
+                }
+                PlanLayer::Fallback(_) => {
+                    return Err(decode_err(
+                        "fallback layers do not execute in the decode phase".to_string(),
+                    ));
+                }
+            }
+        }
+        if layers.is_empty() {
+            return Err(no_causal_err());
+        }
+        Ok(SessionFactory { layers })
+    }
+
+    /// Prefill: runs the whole prompt (a `[1, n·token_dim]` slice)
+    /// through the full-sequence causal pipeline, filling `session`'s KV
+    /// caches along the way, and returns every token's output row in
+    /// `out` (the last row is the next-token state). `session` must be
+    /// freshly opened.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ShapeMismatch`] for a prompt that is not a whole
+    /// number of token rows, [`RuntimeError::KvCacheFull`] for one
+    /// longer than the session capacity, and
+    /// [`RuntimeError::UnsupportedLayer`] for a non-causal plan or a
+    /// session that already holds tokens.
+    pub fn prefill(
+        &mut self,
+        session: &mut DecodeSession,
+        x: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<(), RuntimeError> {
+        let dim = self.token_dim().ok_or_else(no_causal_err)?;
+        if session.tokens() != 0 {
+            return Err(decode_err(format!(
+                "prefill needs a fresh session (this one already holds {} tokens)",
+                session.tokens()
+            )));
+        }
+        if x.is_empty() || !x.len().is_multiple_of(dim) {
+            return Err(RuntimeError::ShapeMismatch {
+                expected: dim,
+                actual: x.len(),
+            });
+        }
+        if x.len() / dim > session.max_tokens() {
+            return Err(RuntimeError::KvCacheFull {
+                capacity: session.max_tokens(),
+            });
+        }
+        self.run_rows(x, 1, out, Some(session))
+    }
+
+    /// One batched decode step: each of the `n` sessions contributes the
+    /// new token row at the same index of `x` (`[n, token_dim]`), and
+    /// `out` receives the `n` output rows. Causal layers append to and
+    /// stream from each session's packed KV cache; token-local layers
+    /// (dense/ReLU/GELU/norm) run batched over the `n` rows — this is
+    /// the coalescing [`crate::Engine`]'s decode batching exploits.
+    /// After warmup a step performs **zero heap allocations**
+    /// (allocator-enforced by `alloc_steady.rs`).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ShapeMismatch`] for a malformed `x`,
+    /// [`RuntimeError::KvCacheFull`] when any session is at capacity,
+    /// and [`RuntimeError::UnsupportedLayer`] for non-decodable plans.
+    pub fn decode_steps(
+        &mut self,
+        sessions: &mut [&mut DecodeSession],
+        x: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<(), RuntimeError> {
+        let dim = self.token_dim().ok_or_else(no_causal_err)?;
+        let n = sessions.len();
+        if n == 0 || x.len() != n * dim {
+            return Err(RuntimeError::ShapeMismatch {
+                expected: dim,
+                actual: x.len().checked_div(n.max(1)).unwrap_or(0),
+            });
+        }
+        for s in sessions.iter() {
+            if s.tokens() >= s.max_tokens() {
+                return Err(RuntimeError::KvCacheFull {
+                    capacity: s.max_tokens(),
+                });
+            }
+        }
+        let threads = self.threads;
+        let pool = &*self.pool;
+        let Scratch {
+            act_i8,
+            act_i16,
+            act_i32,
+            rows_i8,
+            rows_i16,
+            rows_i32,
+            acc,
+            q,
+            k,
+            v,
+            scores,
+            ctx,
+            kv_row,
+            kv_codes,
+            ping,
+            pong,
+        } = &mut self.scratch;
+        grab(ping, x.len(), 0.0).copy_from_slice(x);
+        let mut cur_is_ping = true;
+        let mut causal_ix = 0usize;
+        let fwd = obs::metrics();
+        let t0 = obs::now();
+        let mut t_prev = t0;
+        for layer in self.layers.iter_mut() {
+            let (cur, next) = if cur_is_ping {
+                (&mut *ping, &mut *pong)
+            } else {
+                (&mut *pong, &mut *ping)
+            };
+            let was_ping = cur_is_ping;
+            let in_len = cur.len();
+            let mut ws = LayerScratch {
+                pool,
+                threads,
+                act_i8,
+                act_i16,
+                act_i32,
+                rows_i8,
+                rows_i16,
+                rows_i32,
+                acc,
+                q,
+                k,
+                v,
+                scores,
+                ctx,
+                kv_row,
+                kv_codes,
+            };
+            match layer {
+                PlanLayer::Packed(p) => {
+                    p.forward_rows(cur, n, &mut ws, next)?;
+                    cur_is_ping = !cur_is_ping;
+                }
+                PlanLayer::PackedCausalAttn(p) => {
+                    p.decode_rows(cur, sessions, causal_ix, &mut ws, next)?;
+                    causal_ix += 1;
+                    cur_is_ping = !cur_is_ping;
+                }
+                PlanLayer::Relu => {
+                    for v in cur.iter_mut() {
+                        *v = v.max(0.0);
+                    }
+                }
+                PlanLayer::Gelu => {
+                    for v in cur.iter_mut() {
+                        *v = gelu(*v);
+                    }
+                }
+                PlanLayer::Norm(nl) => {
+                    nl.forward_rows(cur, n, next)?;
+                    cur_is_ping = !cur_is_ping;
+                }
+                // Unreachable when the session came from `open_session`
+                // (it validates the whole plan); kept as a structured
+                // error for hand-built sessions.
+                PlanLayer::PackedAttn(_)
+                | PlanLayer::PackedConv(_)
+                | PlanLayer::Pool { .. }
+                | PlanLayer::Fallback(_) => {
+                    return Err(decode_err(
+                        "a non-token-local layer cannot execute in the decode phase".to_string(),
+                    ));
+                }
+            }
+            let t_now = obs::now();
+            let out_len = if cur_is_ping != was_ping {
+                next.len()
+            } else {
+                in_len
+            };
+            let (kind, macs, bytes) = layer_obs_info(layer, n, in_len, out_len);
+            fwd.record_layer(kind, t_prev, t_now - t_prev, n as u64, macs, bytes);
+            t_prev = t_now;
+        }
+        fwd.record_forward(t0, t_prev.saturating_sub(t0), n as u64);
+        let cur = if cur_is_ping { &*ping } else { &*pong };
+        out.clear();
+        out.extend_from_slice(cur);
+        Ok(())
+    }
+}
+
+/// A plan's session-opening recipe, detached from the plan itself: the
+/// per-causal-layer token width and KV codec, pre-validated by
+/// [`CompiledPlan::session_factory`]. Lets [`crate::Engine`] open
+/// sessions after its plan moved into the worker thread.
+#[derive(Debug, Clone)]
+pub(crate) struct SessionFactory {
+    /// `(dim, codec)` for each causal layer, in plan order.
+    layers: Vec<(usize, KvQuant)>,
+}
+
+impl SessionFactory {
+    /// Opens a session with room for `max_tokens` tokens per layer —
+    /// every byte of cache storage is allocated here, none on the
+    /// decode hot path.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnsupportedLayer`] when `max_tokens` is zero.
+    pub(crate) fn open(&self, max_tokens: usize) -> Result<DecodeSession, RuntimeError> {
+        if max_tokens == 0 {
+            return Err(decode_err(
+                "session capacity must be at least one token".to_string(),
+            ));
+        }
+        let caches = self
+            .layers
+            .iter()
+            .map(|(dim, kv)| KvCache::new(*dim, max_tokens, kv))
+            .collect();
+        Ok(DecodeSession::new(caches, max_tokens))
+    }
+}
+
+/// Structured "this isn't decodable" error.
+fn decode_err(reason: String) -> RuntimeError {
+    RuntimeError::UnsupportedLayer {
+        layer: "decode".to_string(),
+        reason,
+    }
+}
+
+/// The error every decode entry point returns on a non-causal plan.
+fn no_causal_err() -> RuntimeError {
+    decode_err("plan has no causal attention layer".to_string())
 }
 
 /// Work accounting for one executed plan layer: `(kind, MACs, bytes
@@ -1926,6 +2650,21 @@ fn layer_obs_info(
             let (s, d) = (p.seq as u64, p.dim as u64);
             // Four [d, d] projections over s tokens, plus the s×s score
             // and context GEMMs.
+            let macs = b * (4 * s * d * d + 2 * s * s * d);
+            let w: u64 = p
+                .projs
+                .iter()
+                .map(|m| (m.out * m.inp * m.image.elem_bytes()) as u64)
+                .sum::<u64>()
+                + (p.wo_t_f32.len() * std::mem::size_of::<f32>()) as u64;
+            (LayerKind::PackedAttn, macs, act_bytes + w)
+        }
+        PlanLayer::PackedCausalAttn(p) => {
+            // Sequence length is input-derived here (seq-polymorphic):
+            // `in_len / (batch·dim)` is the prompt length during
+            // prefill/full forward and exactly 1 during a decode step.
+            let d = p.dim as u64;
+            let s = ((in_len as u64) / b.max(1) / d.max(1)).max(1);
             let macs = b * (4 * s * d * d + 2 * s * s * d);
             let w: u64 = p
                 .projs
@@ -2077,6 +2816,7 @@ fn pack_attn(a: &Attention) -> Result<PackedAttn, RuntimeError> {
         wo_t_f32,
         act_quant: ActQuant::for_quantizer(aq),
         act: aq.clone(),
+        kv: None,
     })
 }
 

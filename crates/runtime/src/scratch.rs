@@ -55,6 +55,11 @@ pub struct Scratch {
     pub(crate) scores: Vec<f32>,
     /// Attention context (softmax · V).
     pub(crate) ctx: Vec<f32>,
+    /// Decode-path staging row: one cached K or V row dequantized for
+    /// the running attention accumulation.
+    pub(crate) kv_row: Vec<f32>,
+    /// Unpacked per-element KV wire codes (staging for nibble packing).
+    pub(crate) kv_codes: Vec<u8>,
     /// Layer-pipeline ping buffer (current activations).
     pub(crate) ping: Vec<f32>,
     /// Layer-pipeline pong buffer (next activations).

@@ -1751,16 +1751,30 @@ fn http_once(
 #[derive(Default)]
 struct LoadgenWorker {
     ok: u64,
-    shed: u64,
+    /// 429 answers: the daemon's admission queue was full.
+    shed_429: u64,
+    /// 503 answers: the daemon was recovering (circuit breaker open or
+    /// half-open) or draining.
+    shed_503: u64,
+    /// Re-sends of a shed request after client-side backoff.
+    retries: u64,
     errors: u64,
     /// Round-trip latency of each 200, in ns.
     latencies_ns: Vec<u64>,
 }
 
+/// Retry budget per logical request: a shed (429/503) answer is retried
+/// after exponential backoff this many times before the client moves
+/// on. Keeps a recovering daemon from reading as a wall of hard errors
+/// while still bounding how long one request can stall a worker.
+const LOADGEN_MAX_ATTEMPTS: u32 = 8;
+
 /// `antc loadgen`: drives a running daemon with concurrent keep-alive
 /// connections for a fixed duration and reports achieved req/s and
-/// round-trip latency percentiles. 429 responses count as shed load
-/// (the client backs off briefly), not errors.
+/// round-trip latency percentiles. 429 (overload) and 503 (recovering
+/// or draining) responses count as shed load, not errors: the client
+/// backs off exponentially and retries under a bounded budget, and the
+/// retry rate is reported alongside throughput.
 ///
 /// # Errors
 ///
@@ -1815,28 +1829,7 @@ pub fn run_loadgen(cfg: LoadgenConfig) -> Result<String, CliError> {
                 let mut w = LoadgenWorker::default();
                 let mut conn: Option<(BufReader<std::net::TcpStream>, std::net::TcpStream)> = None;
                 let mut iteration = 0u64;
-                while !stop.load(Ordering::Relaxed) {
-                    if conn.is_none() {
-                        match std::net::TcpStream::connect(&addr) {
-                            Ok(s) => {
-                                s.set_read_timeout(Some(Duration::from_secs(30))).ok();
-                                s.set_nodelay(true).ok();
-                                match s.try_clone() {
-                                    Ok(c) => conn = Some((BufReader::new(c), s)),
-                                    Err(_) => {
-                                        w.errors += 1;
-                                        continue;
-                                    }
-                                }
-                            }
-                            Err(_) => {
-                                w.errors += 1;
-                                std::thread::sleep(Duration::from_millis(5));
-                                continue;
-                            }
-                        }
-                    }
-                    let (reader, writer) = conn.as_mut().expect("connected above");
+                'requests: while !stop.load(Ordering::Relaxed) {
                     // A deterministic, slowly varying input row.
                     iteration += 1;
                     let row: Vec<String> = (0..in_features)
@@ -1846,31 +1839,71 @@ pub fn run_loadgen(cfg: LoadgenConfig) -> Result<String, CliError> {
                         })
                         .collect();
                     let body = format!("{{\"input\": [{}]}}", row.join(", "));
-                    let sent = Instant::now();
-                    let outcome = crate::http::write_request(
-                        writer,
-                        "POST",
-                        &infer_path,
-                        Some(("application/json", body.as_bytes())),
-                    )
-                    .map_err(crate::http::HttpError::Io)
-                    .and_then(|()| crate::http::read_response(reader));
-                    match outcome {
-                        Ok(resp) => match resp.status {
-                            200 => {
-                                w.ok += 1;
-                                w.latencies_ns.push(sent.elapsed().as_nanos() as u64);
-                            }
-                            429 => {
-                                w.shed += 1;
-                                std::thread::sleep(Duration::from_millis(2));
-                            }
-                            _ => w.errors += 1,
-                        },
-                        Err(_) => {
-                            w.errors += 1;
-                            conn = None; // reconnect
+                    let mut backoff = Duration::from_millis(2);
+                    for attempt in 1..=LOADGEN_MAX_ATTEMPTS {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'requests;
                         }
+                        if conn.is_none() {
+                            match std::net::TcpStream::connect(&addr) {
+                                Ok(s) => {
+                                    s.set_read_timeout(Some(Duration::from_secs(30))).ok();
+                                    s.set_nodelay(true).ok();
+                                    match s.try_clone() {
+                                        Ok(c) => conn = Some((BufReader::new(c), s)),
+                                        Err(_) => {
+                                            w.errors += 1;
+                                            continue 'requests;
+                                        }
+                                    }
+                                }
+                                Err(_) => {
+                                    w.errors += 1;
+                                    std::thread::sleep(Duration::from_millis(5));
+                                    continue 'requests;
+                                }
+                            }
+                        }
+                        let (reader, writer) = conn.as_mut().expect("connected above");
+                        let sent = Instant::now();
+                        let outcome = crate::http::write_request(
+                            writer,
+                            "POST",
+                            &infer_path,
+                            Some(("application/json", body.as_bytes())),
+                        )
+                        .map_err(crate::http::HttpError::Io)
+                        .and_then(|()| crate::http::read_response(reader));
+                        match outcome {
+                            Ok(resp) => match resp.status {
+                                200 => {
+                                    w.ok += 1;
+                                    w.latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                                    continue 'requests;
+                                }
+                                // Shed, not failed: back off and retry
+                                // this request under the attempt budget.
+                                429 => w.shed_429 += 1,
+                                503 => w.shed_503 += 1,
+                                _ => {
+                                    w.errors += 1;
+                                    continue 'requests;
+                                }
+                            },
+                            Err(_) => {
+                                w.errors += 1;
+                                conn = None; // reconnect
+                                continue 'requests;
+                            }
+                        }
+                        // A 503 while draining closes the connection
+                        // behind the response; reconnect lazily.
+                        if attempt == LOADGEN_MAX_ATTEMPTS {
+                            continue 'requests; // budget spent: move on
+                        }
+                        w.retries += 1;
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_millis(50));
                     }
                 }
                 w
@@ -1883,15 +1916,17 @@ pub fn run_loadgen(cfg: LoadgenConfig) -> Result<String, CliError> {
     for handle in workers {
         let w = handle.join().map_err(|_| lg("a worker panicked".into()))?;
         merged.ok += w.ok;
-        merged.shed += w.shed;
+        merged.shed_429 += w.shed_429;
+        merged.shed_503 += w.shed_503;
+        merged.retries += w.retries;
         merged.errors += w.errors;
         merged.latencies_ns.extend(w.latencies_ns);
     }
     let elapsed = started.elapsed().as_secs_f64();
     if merged.ok == 0 {
         return Err(lg(format!(
-            "no successful requests in {elapsed:.1}s ({} shed, {} errors)",
-            merged.shed, merged.errors
+            "no successful requests in {elapsed:.1}s ({} shed 429, {} shed 503, {} errors)",
+            merged.shed_429, merged.shed_503, merged.errors
         )));
     }
     merged.latencies_ns.sort_unstable();
@@ -1909,9 +1944,21 @@ pub fn run_loadgen(cfg: LoadgenConfig) -> Result<String, CliError> {
         cfg.concurrency.max(1),
         elapsed
     );
+    let sends = merged.ok + merged.shed_429 + merged.shed_503 + merged.errors;
+    let retry_rate = if sends == 0 {
+        0.0
+    } else {
+        merged.retries as f64 / sends as f64
+    };
     out.push_str(&format!(
-        "requests: {} ok, {} shed (429), {} errors\n",
-        merged.ok, merged.shed, merged.errors
+        "requests: {} ok, {} shed (429 overload), {} shed (503 recovering), {} errors\n",
+        merged.ok, merged.shed_429, merged.shed_503, merged.errors
+    ));
+    out.push_str(&format!(
+        "retries: {} ({:.1}% of {} sends, backoff-bounded)\n",
+        merged.retries,
+        retry_rate * 100.0,
+        sends
     ));
     out.push_str(&format!("throughput: {req_per_s:.1} req/s\n"));
     out.push_str(&format!(
@@ -1919,7 +1966,18 @@ pub fn run_loadgen(cfg: LoadgenConfig) -> Result<String, CliError> {
     ));
 
     if cfg.check_metrics {
-        let resp = http_once(&cfg.addr, "GET", "/metrics", None)?;
+        // The scrape itself retries transport errors: against a daemon
+        // with fault injection armed, one dropped connection must not
+        // fail the whole load run.
+        let mut resp = http_once(&cfg.addr, "GET", "/metrics", None);
+        for _ in 0..3 {
+            if resp.is_ok() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            resp = http_once(&cfg.addr, "GET", "/metrics", None);
+        }
+        let resp = resp?;
         if resp.status != 200 {
             return Err(lg(format!("GET /metrics returned {}", resp.status)));
         }
@@ -1954,7 +2012,10 @@ pub fn run_loadgen(cfg: LoadgenConfig) -> Result<String, CliError> {
             ),
             ("duration_s".into(), Json::Num(elapsed)),
             ("requests_ok".into(), Json::Num(merged.ok as f64)),
-            ("shed_429".into(), Json::Num(merged.shed as f64)),
+            ("shed_429".into(), Json::Num(merged.shed_429 as f64)),
+            ("shed_503".into(), Json::Num(merged.shed_503 as f64)),
+            ("retries".into(), Json::Num(merged.retries as f64)),
+            ("retry_rate".into(), Json::Num(retry_rate)),
             ("errors".into(), Json::Num(merged.errors as f64)),
             ("req_per_s".into(), Json::Num(req_per_s)),
             ("p50_us".into(), Json::Num(p50)),

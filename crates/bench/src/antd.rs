@@ -28,6 +28,15 @@
 //!   each connection finish its in-flight exchange (responses carry
 //!   `Connection: close`), and joins every worker before `join`
 //!   returns.
+//! * **Self-healing.** A per-model circuit breaker watches for engine
+//!   death (the engine's supervisor only dies once its restart budget
+//!   is exhausted): a dead engine trips the breaker open, requests
+//!   answer 503 with `Retry-After` while a background task rebuilds
+//!   the engine from the still-mapped artifact, and the first request
+//!   through the half-open breaker proves the rebuilt engine before
+//!   traffic fully resumes. `--chaos SPEC` arms the runtime's
+//!   deterministic fault-injection plan (`ant_runtime::chaos`) for
+//!   drills and the chaos e2e suite.
 //!
 //! * **Token streaming.** `POST /v1/models/{name}/generate` drives a
 //!   causal model's decode loop through the engine's prefill/decode
@@ -48,7 +57,7 @@ use crate::http::{
 use crate::json::Json;
 use ant_obs::export::prometheus_text;
 use ant_obs::{global, Counter, Gauge, Histogram};
-use ant_runtime::{ArtifactError, BatchPolicy, Engine, MappedArtifact, RuntimeError};
+use ant_runtime::{ArtifactError, BatchPolicy, Engine, FaultPlan, MappedArtifact, RuntimeError};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -107,6 +116,10 @@ pub struct DaemonConfig {
     /// Per-request deadline: a wait past this cancels the request and
     /// answers 504.
     pub request_timeout: Duration,
+    /// Fault-injection plan installed process-wide at startup
+    /// (`--chaos SPEC`). Dormant unless the runtime's `chaos` feature
+    /// is compiled in; `None` leaves whatever plan is already active.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Default for DaemonConfig {
@@ -116,6 +129,7 @@ impl Default for DaemonConfig {
             models: Vec::new(),
             policy: BatchPolicy::default(),
             request_timeout: Duration::from_secs(30),
+            chaos: None,
         }
     }
 }
@@ -129,23 +143,105 @@ struct ModelState {
     /// `Some(dim)` when the model is a causal decoder that can serve
     /// `/generate`; the dim doubles as the synthetic vocabulary size.
     token_dim: Option<usize>,
-    /// Bumped on every successful reload (starts at 1).
+    /// Bumped on every successful reload or rebuild (starts at 1).
     generation: u64,
+    /// The mapped artifact the engine was compiled from, kept so the
+    /// breaker's background rebuild can recompile without re-reading
+    /// the file (the bytes that already served are known-good even if
+    /// the path was replaced or deleted since).
+    mapped: Arc<MappedArtifact>,
 }
 
-/// A served model: its name, artifact path, and swappable state.
+/// Circuit-breaker position for one model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Engine dead: requests answer 503 while a rebuild runs.
+    Open,
+    /// Engine rebuilt: one probe request is let through; its success
+    /// closes the breaker, its death re-opens it.
+    HalfOpen,
+}
+
+/// Mutable breaker bookkeeping, behind the slot's `breaker` mutex.
+struct BreakerInner {
+    state: BreakerState,
+    /// A half-open probe has been admitted and has not reported back.
+    probe_in_flight: bool,
+    /// A background rebuild thread is running (or about to).
+    rebuilding: bool,
+}
+
+/// `antd_breaker_state` gauge encoding.
+fn breaker_gauge_value(state: BreakerState) -> i64 {
+    match state {
+        BreakerState::Closed => 0,
+        BreakerState::Open => 1,
+        BreakerState::HalfOpen => 2,
+    }
+}
+
+/// A served model: its name, artifact path, swappable state, and the
+/// circuit breaker guarding admission to its engine.
 struct ModelSlot {
     name: String,
     path: PathBuf,
     state: RwLock<Arc<ModelState>>,
     /// Serializes reloads (the compile happens outside the state lock).
     reload_lock: Mutex<()>,
+    breaker: Mutex<BreakerInner>,
+    /// `antd_breaker_state{model=...}`: 0 closed, 1 open, 2 half-open.
+    breaker_state: Arc<Gauge>,
+    /// `antd_breaker_trips_total{model=...}`.
+    breaker_trips: Arc<Counter>,
+    /// `antd_engine_rebuilds_total{model=...}`.
+    engine_rebuilds: Arc<Counter>,
 }
 
 impl ModelSlot {
+    fn new(name: String, path: PathBuf, state: ModelState) -> ModelSlot {
+        let r = global();
+        ModelSlot {
+            breaker: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                probe_in_flight: false,
+                rebuilding: false,
+            }),
+            breaker_state: r.gauge_with(
+                "antd_breaker_state",
+                "model",
+                &name,
+                "Per-model circuit breaker: 0 closed, 1 open, 2 half-open",
+            ),
+            breaker_trips: r.counter_with(
+                "antd_breaker_trips_total",
+                "model",
+                &name,
+                "Breaker trips: engine deaths that opened the circuit",
+            ),
+            engine_rebuilds: r.counter_with(
+                "antd_engine_rebuilds_total",
+                "model",
+                &name,
+                "Engines rebuilt from the still-mapped artifact after death",
+            ),
+            name,
+            path,
+            state: RwLock::new(Arc::new(state)),
+            reload_lock: Mutex::new(()),
+        }
+    }
+
     /// The current generation's state (cheap: one `Arc` clone).
     fn current(&self) -> Arc<ModelState> {
         Arc::clone(&self.state.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Locks the breaker, recovering from poison (a panicking rebuild
+    /// thread must not wedge admission forever).
+    fn breaker(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.breaker.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -166,7 +262,7 @@ impl DaemonMetrics {
     fn new() -> DaemonMetrics {
         let r = global();
         let help = "antd responses by HTTP status code";
-        let by_code = [200u16, 400, 404, 405, 408, 413, 429, 500, 503, 504]
+        let by_code = [200u16, 400, 404, 405, 408, 413, 422, 429, 500, 503, 504]
             .into_iter()
             .map(|code| {
                 let c =
@@ -205,6 +301,10 @@ impl Inner {
     fn model(&self, name: &str) -> Option<&ModelSlot> {
         self.models.iter().find(|m| m.name == name)
     }
+
+    fn model_idx(&self, name: &str) -> Option<usize> {
+        self.models.iter().position(|m| m.name == name)
+    }
 }
 
 /// A running serving daemon. Dropping it without [`Daemon::join`]
@@ -221,7 +321,7 @@ fn build_state(
     policy: BatchPolicy,
     generation: u64,
 ) -> Result<ModelState, DaemonError> {
-    let mapped = MappedArtifact::open(path)?;
+    let mapped = Arc::new(MappedArtifact::open(path)?);
     let plan = mapped.compile_strict()?;
     let in_features = plan.in_features();
     let token_dim = plan.token_dim();
@@ -230,7 +330,147 @@ fn build_state(
         in_features,
         token_dim,
         generation,
+        mapped,
     })
+}
+
+/// Recompiles a model's engine from its still-mapped artifact — the
+/// breaker's background self-heal. No file I/O: the mapping that
+/// already served requests is the trusted source.
+fn rebuild_state(slot: &ModelSlot, policy: BatchPolicy) -> Result<ModelState, DaemonError> {
+    let old = slot.current();
+    #[cfg(feature = "chaos")]
+    if ant_runtime::chaos::maybe_fail(ant_runtime::chaos::FaultSite::ReloadCorrupt) {
+        return Err(DaemonError::Artifact(ArtifactError::Io(io::Error::other(
+            "chaos: injected artifact-reload corruption",
+        ))));
+    }
+    let plan = old.mapped.compile_strict()?;
+    let in_features = plan.in_features();
+    let token_dim = plan.token_dim();
+    Ok(ModelState {
+        engine: Engine::new(plan, policy),
+        in_features,
+        token_dim,
+        generation: old.generation + 1,
+        mapped: Arc::clone(&old.mapped),
+    })
+}
+
+/// Rebuild attempts per breaker trip. Exhausting them leaves the
+/// breaker open; the next refused request re-arms a fresh rebuild, so
+/// a transiently failing recompile (e.g. injected reload corruption)
+/// never strands the model permanently.
+const REBUILD_ATTEMPTS: u32 = 10;
+
+/// The breaker's refusal: same shape as overload shedding (503 +
+/// `Retry-After`) so clients reuse their backoff path.
+fn breaker_refuse(name: &str) -> Response {
+    Response::new(503)
+        .header("Retry-After", "1")
+        .text(format!("model {name:?} is recovering; retry shortly\n"))
+}
+
+/// Admission through the model's circuit breaker. `Ok(probe)` admits
+/// the request (`probe` marks the single half-open canary);
+/// `Err(resp)` is the 503 to send instead. An open breaker with no
+/// rebuild running re-arms one — traffic keeps the self-heal alive
+/// even after a rebuild gave up.
+fn breaker_admit(inner: &Arc<Inner>, idx: usize) -> Result<bool, Response> {
+    let slot = &inner.models[idx];
+    let mut b = slot.breaker();
+    match b.state {
+        BreakerState::Closed => Ok(false),
+        BreakerState::Open => {
+            if !b.rebuilding {
+                b.rebuilding = true;
+                spawn_rebuild(inner, idx);
+            }
+            Err(breaker_refuse(&slot.name))
+        }
+        BreakerState::HalfOpen => {
+            if b.probe_in_flight {
+                Err(breaker_refuse(&slot.name))
+            } else {
+                b.probe_in_flight = true;
+                Ok(true)
+            }
+        }
+    }
+}
+
+/// Post-request breaker bookkeeping: an engine found dead (on the
+/// still-current generation) trips the breaker open and arms a
+/// rebuild; a surviving half-open probe closes it.
+fn breaker_report(inner: &Arc<Inner>, idx: usize, probe: bool, engine_dead: bool) {
+    let slot = &inner.models[idx];
+    let mut b = slot.breaker();
+    if engine_dead {
+        if b.state != BreakerState::Open {
+            slot.breaker_trips.add(1);
+            eprintln!(
+                "[antd] model {:?}: engine dead; breaker open, rebuilding",
+                slot.name
+            );
+        }
+        b.state = BreakerState::Open;
+        b.probe_in_flight = false;
+        slot.breaker_state.set(breaker_gauge_value(b.state));
+        if !b.rebuilding {
+            b.rebuilding = true;
+            spawn_rebuild(inner, idx);
+        }
+    } else if probe {
+        b.state = BreakerState::Closed;
+        b.probe_in_flight = false;
+        slot.breaker_state.set(breaker_gauge_value(b.state));
+        eprintln!(
+            "[antd] model {:?}: probe succeeded; breaker closed",
+            slot.name
+        );
+    }
+}
+
+/// Background self-heal: recompile the engine from the still-mapped
+/// artifact under a bounded retry budget, then move the breaker to
+/// half-open. The caller must have set `rebuilding` before spawning.
+fn spawn_rebuild(inner: &Arc<Inner>, idx: usize) {
+    let inner = Arc::clone(inner);
+    std::thread::spawn(move || {
+        let slot = &inner.models[idx];
+        let mut backoff = Duration::from_millis(10);
+        for attempt in 1..=REBUILD_ATTEMPTS {
+            match rebuild_state(slot, inner.policy) {
+                Ok(fresh) => {
+                    let generation = fresh.generation;
+                    *slot.state.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(fresh);
+                    slot.engine_rebuilds.add(1);
+                    let mut b = slot.breaker();
+                    b.state = BreakerState::HalfOpen;
+                    b.probe_in_flight = false;
+                    b.rebuilding = false;
+                    slot.breaker_state.set(breaker_gauge_value(b.state));
+                    eprintln!(
+                        "[antd] model {:?}: engine rebuilt (generation {generation}); \
+                         breaker half-open",
+                        slot.name
+                    );
+                    return;
+                }
+                Err(e) => {
+                    eprintln!(
+                        "[antd] model {:?}: rebuild attempt {attempt}/{REBUILD_ATTEMPTS} \
+                         failed: {e}",
+                        slot.name
+                    );
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(500));
+                }
+            }
+        }
+        // Give up for now; stay open. The next refused request re-arms.
+        slot.breaker().rebuilding = false;
+    });
 }
 
 impl Daemon {
@@ -245,6 +485,13 @@ impl Daemon {
         if config.models.is_empty() {
             return Err(DaemonError::Config("no models configured".into()));
         }
+        if let Some(plan) = &config.chaos {
+            // Installed before the first artifact opens so mmap-load
+            // faults can hit startup paths too. A no-op (plan never
+            // consulted) unless the runtime's `chaos` feature is on.
+            eprintln!("[antd] chaos plan armed: {plan:?}");
+            ant_runtime::chaos::install(plan.clone());
+        }
         let mut models = Vec::new();
         for (name, path) in &config.models {
             if models.iter().any(|m: &ModelSlot| m.name == *name) {
@@ -253,12 +500,7 @@ impl Daemon {
                 )));
             }
             let state = build_state(path, config.policy, 1)?;
-            models.push(ModelSlot {
-                name: name.clone(),
-                path: path.clone(),
-                state: RwLock::new(Arc::new(state)),
-                reload_lock: Mutex::new(()),
-            });
+            models.push(ModelSlot::new(name.clone(), path.clone(), state));
         }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -392,6 +634,10 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) -> io::Result<()> {
             }
         };
         let started = ant_obs::now_ns();
+        #[cfg(feature = "chaos")]
+        if ant_runtime::chaos::maybe_fail(ant_runtime::chaos::FaultSite::ConnDrop) {
+            return Ok(()); // chaos: hang up without answering
+        }
         let close = req.wants_close() || inner.draining.load(Ordering::SeqCst);
         // `/generate` streams its body chunk by chunk, so it writes the
         // socket itself instead of returning a buffered `Response`.
@@ -429,7 +675,11 @@ fn route(inner: &Arc<Inner>, req: &Request) -> Response {
     match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
             if inner.draining.load(Ordering::SeqCst) {
-                Response::new(503).text("draining\n")
+                // Same contract as overload shedding: tell pollers when
+                // to come back instead of leaving them to guess.
+                Response::new(503)
+                    .header("Retry-After", "1")
+                    .text("draining\n")
             } else {
                 Response::new(200).text("ok\n")
             }
@@ -515,21 +765,49 @@ fn parse_input(body: &[u8]) -> Result<Vec<f32>, String> {
         .collect()
 }
 
-/// `POST /v1/models/{name}/infer`: submit through the model's engine,
-/// wait under the request deadline, map engine errors to HTTP.
-fn infer(inner: &Inner, name: &str, body: &[u8]) -> Response {
-    let Some(slot) = inner.model(name) else {
+/// Maps an unexpected engine error to HTTP: a dead engine answers like
+/// the breaker's refusal (the trip itself happens in the caller's
+/// `breaker_report`), anything else is a plain 500.
+fn engine_failure(name: &str, engine: &Engine, e: &RuntimeError) -> Response {
+    if engine.is_dead() {
+        breaker_refuse(name)
+    } else {
+        Response::new(500).text(format!("{e}\n"))
+    }
+}
+
+/// `POST /v1/models/{name}/infer`: admit through the breaker, submit
+/// through the model's engine, wait under the request deadline, map
+/// engine errors to HTTP, and report the outcome back to the breaker.
+fn infer(inner: &Arc<Inner>, name: &str, body: &[u8]) -> Response {
+    let Some(idx) = inner.model_idx(name) else {
         return Response::new(404).text(format!("no model {name:?}\n"));
     };
     let input = match parse_input(body) {
         Ok(v) => v,
         Err(m) => return Response::new(400).text(format!("{m}\n")),
     };
+    let probe = match breaker_admit(inner, idx) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let slot = &inner.models[idx];
     // Pin this request to the current generation: a concurrent reload
     // swaps the slot, but this Arc keeps the old engine (and its mmap)
     // alive until the response is out.
     let state = slot.current();
-    let id = match state.engine.submit(&input) {
+    let resp = infer_on(inner, name, &state, &input);
+    // Only the still-current generation can trip the breaker: a dead
+    // engine pinned from before a reload/rebuild says nothing about
+    // the engine now serving.
+    let dead = state.engine.is_dead() && Arc::ptr_eq(&state, &slot.current());
+    breaker_report(inner, idx, probe, dead);
+    resp
+}
+
+/// The engine round-trip of [`infer`], after breaker admission.
+fn infer_on(inner: &Inner, name: &str, state: &ModelState, input: &[f32]) -> Response {
+    let id = match state.engine.submit(input) {
         Ok(id) => id,
         Err(RuntimeError::Overloaded { queued, max_queue }) => {
             return Response::new(429)
@@ -539,7 +817,7 @@ fn infer(inner: &Inner, name: &str, body: &[u8]) -> Response {
         Err(e @ RuntimeError::ShapeMismatch { .. }) => {
             return Response::new(400).text(format!("{e}\n"));
         }
-        Err(e) => return Response::new(500).text(format!("{e}\n")),
+        Err(e) => return engine_failure(name, &state.engine, &e),
     };
     match state.engine.wait_timeout(id, inner.request_timeout) {
         Ok(Some(output)) => {
@@ -558,7 +836,10 @@ fn infer(inner: &Inner, name: &str, body: &[u8]) -> Response {
             state.engine.cancel(id);
             Response::new(504).text("request deadline exceeded\n")
         }
-        Err(e) => Response::new(500).text(format!("{e}\n")),
+        // The quarantine isolated this request as the one that poisons
+        // its batch: a client bug, not a server fault — don't retry.
+        Err(e @ RuntimeError::PoisonedRequest { .. }) => Response::new(422).text(format!("{e}\n")),
+        Err(e) => engine_failure(name, &state.engine, &e),
     }
 }
 
@@ -663,25 +944,28 @@ impl Drop for SessionGuard<'_> {
     }
 }
 
-/// `POST /v1/models/{name}/generate`: prefill the prompt, then stream
-/// one greedy-sampled token per decode step as a JSON line over chunked
-/// transfer coding, ending with a `{"done": true, ...}` line. Errors
-/// before the first chunk are ordinary buffered responses; errors
-/// mid-stream become a final `{"error": ...}` line (the HTTP status is
-/// already on the wire). Returns the status for metrics.
+/// Writes a buffered (non-streaming) response and returns its status.
+fn buffered(w: &mut impl Write, resp: Response, close: bool) -> io::Result<u16> {
+    let status = resp.status;
+    resp.write_to(w, close)?;
+    Ok(status)
+}
+
+/// `POST /v1/models/{name}/generate`: admit through the breaker, then
+/// prefill the prompt and stream one greedy-sampled token per decode
+/// step as a JSON line over chunked transfer coding, ending with a
+/// `{"done": true, ...}` line. Errors before the first chunk are
+/// ordinary buffered responses; errors mid-stream become a final
+/// `{"error": ...}` line (the HTTP status is already on the wire).
+/// Returns the status for metrics.
 fn generate(
-    inner: &Inner,
+    inner: &Arc<Inner>,
     name: &str,
     body: &[u8],
     w: &mut impl Write,
     close: bool,
 ) -> io::Result<u16> {
-    fn buffered(w: &mut impl Write, resp: Response, close: bool) -> io::Result<u16> {
-        let status = resp.status;
-        resp.write_to(w, close)?;
-        Ok(status)
-    }
-    let Some(slot) = inner.model(name) else {
+    let Some(idx) = inner.model_idx(name) else {
         return buffered(
             w,
             Response::new(404).text(format!("no model {name:?}\n")),
@@ -692,7 +976,27 @@ fn generate(
         Ok(p) => p,
         Err(m) => return buffered(w, Response::new(400).text(format!("{m}\n")), close),
     };
+    let probe = match breaker_admit(inner, idx) {
+        Ok(p) => p,
+        Err(resp) => return buffered(w, resp, close),
+    };
+    let slot = &inner.models[idx];
     let state = slot.current();
+    let status = stream_generate(inner, name, &state, &params, w, close);
+    let dead = state.engine.is_dead() && Arc::ptr_eq(&state, &slot.current());
+    breaker_report(inner, idx, probe, dead);
+    status
+}
+
+/// The streaming body of [`generate`], after breaker admission.
+fn stream_generate(
+    inner: &Inner,
+    name: &str,
+    state: &ModelState,
+    params: &GenerateParams,
+    w: &mut impl Write,
+    close: bool,
+) -> io::Result<u16> {
     let Some(dim) = state.token_dim else {
         return buffered(
             w,
@@ -718,7 +1022,7 @@ fn generate(
     }
     // Prefill before committing to a 200: its errors (overload, a
     // mid-flight reload closing the session) still map to clean HTTP.
-    let mut last = match submit_and_wait(inner, &state.engine, sid, &rows, true) {
+    let mut last = match submit_and_wait(inner, name, &state.engine, sid, &rows, true) {
         Ok(row) => row,
         Err(resp) => return buffered(w, resp, close),
     };
@@ -730,13 +1034,21 @@ fn generate(
     while produced < params.max_tokens {
         let token = argmax(&last);
         write_chunk(w, format!("{{\"token\":{token}}}\n").as_bytes())?;
+        #[cfg(feature = "chaos")]
+        if ant_runtime::chaos::maybe_fail(ant_runtime::chaos::FaultSite::ConnDrop) {
+            // The guard closes the session; the io error closes the
+            // connection — exactly what a dropped client looks like.
+            return Err(io::Error::other(
+                "chaos: injected mid-stream connection drop",
+            ));
+        }
         produced += 1;
         if produced == params.max_tokens {
             break;
         }
         step.clear();
         embed_token(token, dim, &mut step);
-        match submit_and_wait(inner, &state.engine, sid, &step, false) {
+        match submit_and_wait(inner, name, &state.engine, sid, &step, false) {
             Ok(row) => last = row,
             Err(resp) => {
                 // Already streaming: the failure rides the body.
@@ -763,6 +1075,7 @@ fn generate(
 /// HTTP response the caller would have sent.
 fn submit_and_wait(
     inner: &Inner,
+    name: &str,
     engine: &Engine,
     sid: ant_runtime::SessionId,
     rows: &[f32],
@@ -783,7 +1096,7 @@ fn submit_and_wait(
         Err(e @ RuntimeError::ShapeMismatch { .. }) => {
             return Err(Response::new(400).text(format!("{e}\n")));
         }
-        Err(e) => return Err(Response::new(500).text(format!("{e}\n"))),
+        Err(e) => return Err(engine_failure(name, engine, &e)),
     };
     match engine.wait_timeout(id, inner.request_timeout) {
         Ok(Some(row)) => Ok(row),
@@ -791,7 +1104,10 @@ fn submit_and_wait(
             engine.cancel(id);
             Err(Response::new(504).text("request deadline exceeded\n"))
         }
-        Err(e) => Err(Response::new(500).text(format!("{e}\n"))),
+        Err(e @ RuntimeError::PoisonedRequest { .. }) => {
+            Err(Response::new(422).text(format!("{e}\n")))
+        }
+        Err(e) => Err(engine_failure(name, engine, &e)),
     }
 }
 
@@ -811,6 +1127,14 @@ fn reload(inner: &Inner, name: &str) -> Response {
     };
     *slot.state.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(fresh);
     inner.metrics.reloads.add(1);
+    {
+        // An operator-driven reload installed a known-fresh engine: any
+        // open breaker can close without waiting out a probe.
+        let mut b = slot.breaker();
+        b.state = BreakerState::Closed;
+        b.probe_in_flight = false;
+        slot.breaker_state.set(breaker_gauge_value(b.state));
+    }
     let doc = Json::Obj(vec![
         ("model".into(), Json::Str(name.to_string())),
         ("generation".into(), Json::Num(generation as f64)),
@@ -882,7 +1206,13 @@ pub fn serve_until_shutdown(daemon: Daemon) {
 /// Parses `antd` binary arguments into a config.
 ///
 /// Usage: `antd --model NAME=PATH [--model ...] [--addr HOST:PORT]
-/// [--max-batch N] [--max-wait-ms N] [--max-queue N] [--timeout-ms N]`
+/// [--max-batch N] [--max-wait-ms N] [--max-queue N] [--timeout-ms N]
+/// [--max-restarts N] [--chaos SPEC]`
+///
+/// `--chaos` arms the runtime's deterministic fault-injection plan
+/// (e.g. `seed=42,worker_panic=0.05,poison=1000000`); see
+/// `ant_runtime::chaos` for the grammar. Dormant in builds without the
+/// `chaos` feature.
 ///
 /// # Errors
 ///
@@ -920,6 +1250,13 @@ pub fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
             "--timeout-ms" => {
                 config.request_timeout = Duration::from_millis(parse_num(&value("N")?)? as u64);
             }
+            "--max-restarts" => {
+                config.policy.max_restarts = parse_num(&value("N")?)? as u32;
+            }
+            "--chaos" => {
+                let spec = value("SPEC")?;
+                config.chaos = Some(FaultPlan::parse(&spec).map_err(|e| format!("--chaos: {e}"))?);
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -952,6 +1289,10 @@ mod tests {
             "2",
             "--timeout-ms",
             "5000",
+            "--max-restarts",
+            "5",
+            "--chaos",
+            "seed=7,worker_panic=0.25,poison=1000000",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -964,6 +1305,19 @@ mod tests {
         assert_eq!(c.policy.max_batch, 16);
         assert_eq!(c.policy.max_wait, Duration::from_millis(2));
         assert_eq!(c.request_timeout, Duration::from_millis(5000));
+        assert_eq!(c.policy.max_restarts, 5);
+        let plan = c.chaos.expect("--chaos parses into a plan");
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.poison(), Some(1_000_000.0));
+    }
+
+    #[test]
+    fn args_reject_bad_chaos_specs() {
+        let bad: Vec<String> = ["--model", "m=/tmp/m.antm", "--chaos", "seed=nope"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&bad).is_err());
     }
 
     #[test]

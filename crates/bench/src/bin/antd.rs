@@ -18,7 +18,8 @@ fn main() {
             eprintln!("antd: {msg}");
             eprintln!(
                 "usage: antd --model NAME=PATH [--model ...] [--addr HOST:PORT] \
-                 [--max-batch N] [--max-wait-ms N] [--max-queue N] [--timeout-ms N]"
+                 [--max-batch N] [--max-wait-ms N] [--max-queue N] [--timeout-ms N] \
+                 [--max-restarts N] [--chaos SPEC]"
             );
             std::process::exit(2);
         }

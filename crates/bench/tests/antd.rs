@@ -74,6 +74,7 @@ fn serves_concurrent_clients_with_metrics_reload_and_drain() {
             ..BatchPolicy::default()
         },
         request_timeout: Duration::from_secs(30),
+        ..DaemonConfig::default()
     })
     .expect("daemon start");
     let addr = daemon.local_addr();
@@ -171,10 +172,29 @@ fn serves_concurrent_clients_with_metrics_reload_and_drain() {
     );
 
     // Clean drain through the endpoint: the daemon stops serving and
-    // join returns (bounded by the test harness timeout).
-    let bye = call(addr, "POST", "/shutdown", None).unwrap();
+    // join returns (bounded by the test harness timeout). The drain is
+    // initiated over a keep-alive connection so the draining /healthz
+    // answer — 503 *with* Retry-After, same contract as overload
+    // shedding — is observable after /shutdown (fresh connections are
+    // refused once the accept loop stops).
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    write_request(&mut writer, "POST", "/shutdown", None).unwrap();
+    let bye = read_response(&mut reader).unwrap();
     assert_eq!(bye.status, 200);
     assert!(daemon.is_draining());
+    write_request(&mut writer, "GET", "/healthz", None).unwrap();
+    let draining = read_response(&mut reader).unwrap();
+    assert_eq!(draining.status, 503, "{}", draining.body_str());
+    assert_eq!(
+        draining.header("retry-after"),
+        Some("1"),
+        "draining 503 must carry Retry-After"
+    );
     daemon.join();
     // The listener is gone: new connections are refused (or reset).
     assert!(call(addr, "GET", "/healthz", None).is_err());
@@ -194,8 +214,10 @@ fn overload_sheds_with_429_and_retry_after_then_recovers() {
             max_batch: 64,
             max_wait: Duration::from_millis(500),
             max_queue: 2,
+            ..BatchPolicy::default()
         },
         request_timeout: Duration::from_secs(30),
+        ..DaemonConfig::default()
     })
     .expect("daemon start");
     let addr = daemon.local_addr();
@@ -285,6 +307,7 @@ fn generate_streams_tokens_and_drains_cleanly() {
             ..BatchPolicy::default()
         },
         request_timeout: Duration::from_secs(30),
+        ..DaemonConfig::default()
     })
     .expect("daemon start");
     let addr = daemon.local_addr();
@@ -423,8 +446,10 @@ fn request_deadline_maps_to_504_not_a_hang() {
             max_batch: 64,
             max_wait: Duration::from_millis(2_000),
             max_queue: 64,
+            ..BatchPolicy::default()
         },
         request_timeout: Duration::from_millis(50),
+        ..DaemonConfig::default()
     })
     .expect("daemon start");
     let addr = daemon.local_addr();

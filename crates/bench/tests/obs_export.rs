@@ -171,6 +171,7 @@ fn live_decode_series_parse_cleanly() {
             max_batch: 64,
             max_wait: Duration::from_millis(50),
             max_queue: 64,
+            ..BatchPolicy::default()
         },
     );
     let token = |seed: u64| {

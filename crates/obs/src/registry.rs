@@ -105,6 +105,22 @@ impl Registry {
         }
     }
 
+    /// Registers (or retrieves) a gauge series with one label.
+    pub fn gauge_with(
+        &self,
+        family: &str,
+        key: &'static str,
+        value: &str,
+        help: &str,
+    ) -> Arc<Gauge> {
+        match self.get_or_insert(family, Some((key, value)), help, || {
+            Metric::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {family} already registered with a different type"),
+        }
+    }
+
     /// Registers (or retrieves) an unlabeled histogram.
     pub fn histogram(&self, family: &str, help: &str) -> Arc<Histogram> {
         match self.get_or_insert(family, None, help, || {
@@ -259,6 +275,11 @@ mod tests {
         let lc = r.counter_with("layer_total", "kind", "relu", "per-kind");
         assert!(Arc::ptr_eq(&la, &lc));
         assert!(!Arc::ptr_eq(&la, &lb));
+        let ga = r.gauge_with("breaker_state", "model", "mlp", "per-model");
+        let gb = r.gauge_with("breaker_state", "model", "dec", "per-model");
+        let gc = r.gauge_with("breaker_state", "model", "mlp", "per-model");
+        assert!(Arc::ptr_eq(&ga, &gc));
+        assert!(!Arc::ptr_eq(&ga, &gb));
     }
 
     #[test]

@@ -1598,6 +1598,14 @@ impl MappedArtifact {
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, ArtifactError> {
         let start = crate::obs::now();
         let copies_before = load_copies();
+        // Chaos site: a simulated unreadable artifact at the mmap layer
+        // (exercises reload/rebuild failure handling in serving code).
+        #[cfg(feature = "chaos")]
+        if crate::chaos::maybe_fail(crate::chaos::FaultSite::MmapLoad) {
+            return Err(ArtifactError::Io(std::io::Error::other(
+                "chaos: injected mmap-load failure",
+            )));
+        }
         let map = Arc::new(Mmap::open(path.as_ref())?);
         let owner: ArcOwner = map.clone();
         let (artifact, info) = parse_artifact(map.as_slice(), Some(&owner))?;

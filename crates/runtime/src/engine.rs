@@ -56,6 +56,19 @@ pub struct BatchPolicy {
     /// limit. The default is generous — overload should mean *overload*,
     /// not a batch worth of burst.
     pub max_queue: usize,
+    /// Consecutive panicking batch executions the supervisor absorbs
+    /// before declaring the engine dead. Each absorbed panic fails (or
+    /// quarantines) only its own batch; the counter resets on any
+    /// successful execution — including a successful bisection probe —
+    /// so sporadic poison never accumulates toward death, while an
+    /// engine that can no longer execute *anything* dies within the
+    /// budget. `0` restores the pre-supervision contract: the first
+    /// panic kills the engine.
+    pub max_restarts: u32,
+    /// Base delay before the worker resumes scheduling after an
+    /// absorbed panic; doubles per consecutive panic, capped at 1 s.
+    /// Zero disables the backoff (useful in tests).
+    pub restart_backoff: Duration,
 }
 
 impl Default for BatchPolicy {
@@ -64,6 +77,8 @@ impl Default for BatchPolicy {
             max_batch: 32,
             max_wait: Duration::from_millis(1),
             max_queue: 1024,
+            max_restarts: 3,
+            restart_backoff: Duration::from_millis(10),
         }
     }
 }
@@ -118,6 +133,15 @@ pub struct EngineStats {
     pub decode_tokens: u64,
     /// Largest decode step batch (sessions advanced in one call).
     pub largest_decode_batch: usize,
+    /// Supervisor recoveries: batch executions that panicked and were
+    /// absorbed (the engine kept serving).
+    pub restarts: u64,
+    /// Requests isolated by bisection and failed with
+    /// [`RuntimeError::PoisonedRequest`].
+    pub poisoned: u64,
+    /// Bisection probe executions performed while isolating poisoned
+    /// requests.
+    pub quarantine_probes: u64,
 }
 
 /// What a queued request asks the worker to run.
@@ -164,7 +188,7 @@ struct SessionSlot {
 
 struct State {
     queue: VecDeque<Queued>,
-    results: HashMap<u64, Result<Vec<f32>, String>>,
+    results: HashMap<u64, Result<Vec<f32>, RuntimeError>>,
     sessions: HashMap<u64, SessionSlot>,
     /// Sum of `bytes` over `sessions` (the `ant_kv_cache_bytes` gauge).
     kv_bytes: usize,
@@ -218,17 +242,19 @@ impl Shared {
     }
 }
 
-/// The batch-execution seam: production engines forward through the
-/// plan's scratch arena; tests inject blocking or panicking executors to
-/// pin the overload and worker-death contracts deterministically.
-pub(crate) type BatchExec = Box<
+/// The batch-execution seam ([`Engine::with_exec`]): production engines
+/// forward through the plan's scratch arena; chaos and contract tests
+/// inject blocking, panicking or fault-scheduled executors to pin the
+/// overload, supervision and quarantine contracts deterministically.
+/// Arguments are `(plan, stacked_rows, batch_size, outputs)`.
+pub type BatchExec = Box<
     dyn FnMut(&mut CompiledPlan, &[f32], usize, &mut Vec<f32>) -> Result<(), RuntimeError> + Send,
 >;
 
-/// A test-only gate invoked at the start of every prefill/decode batch
-/// execution (after the sessions were taken from their slots), so tests
-/// can hold the worker mid-batch deterministically.
-pub(crate) type StepGate = Box<dyn FnMut() + Send>;
+/// A gate invoked at the start of every prefill/decode batch execution
+/// (after the sessions were taken from their slots), so tests can hold
+/// the worker mid-batch deterministically ([`Engine::with_hooks`]).
+pub type StepGate = Box<dyn FnMut() + Send>;
 
 /// A batched inference engine over a [`CompiledPlan`].
 pub struct Engine {
@@ -255,11 +281,27 @@ impl Engine {
         )
     }
 
-    pub(crate) fn with_exec(plan: CompiledPlan, policy: BatchPolicy, exec: BatchExec) -> Self {
+    /// Starts the engine with a custom batch executor — the
+    /// fault-injection seam. Production code uses [`Engine::new`];
+    /// tests and the chaos harness ([`crate::chaos`]) substitute
+    /// executors that block, panic or fail on schedule to prove the
+    /// overload, supervision and quarantine contracts deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.max_batch` or `policy.max_queue` is zero.
+    pub fn with_exec(plan: CompiledPlan, policy: BatchPolicy, exec: BatchExec) -> Self {
         Self::with_hooks(plan, policy, exec, None)
     }
 
-    pub(crate) fn with_hooks(
+    /// [`Engine::with_exec`] plus a [`StepGate`] called at the start of
+    /// every prefill/decode batch execution (after the sessions were
+    /// claimed from their slots), so tests can hold the worker mid-batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.max_batch` or `policy.max_queue` is zero.
+    pub fn with_hooks(
         plan: CompiledPlan,
         policy: BatchPolicy,
         exec: BatchExec,
@@ -289,9 +331,11 @@ impl Engine {
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::spawn(move || {
-            // The worker loop only unwinds if batch execution panics
-            // (a plan bug, a poisoned pool, an injected test executor).
-            // Swallowing the unwind silently would leave every waiter
+            // Batch-execution panics are supervised *inside* the loop
+            // (failed batch, bisection quarantine, bounded restarts);
+            // this outer guard is the backstop for panics in the
+            // scheduler itself and for an exhausted restart budget.
+            // Swallowing an unwind silently would leave every waiter
             // blocked on `done_cv` forever; instead the engine is marked
             // dead, every in-flight request is failed, and all waiters
             // are woken so `wait` returns an error promptly.
@@ -497,9 +541,13 @@ impl Engine {
         };
         let woke = !orphaned.is_empty();
         for id in orphaned {
-            state
-                .results
-                .insert(id, Err(format!("session {} was closed", sid.0)));
+            state.results.insert(
+                id,
+                Err(RuntimeError::Engine(format!(
+                    "session {} was closed",
+                    sid.0
+                ))),
+            );
         }
         obs::metrics().engine_queue_depth(state.queue.len());
         drop(state);
@@ -586,10 +634,7 @@ impl Engine {
     /// the result (taken out of the engine) once its batch completed.
     pub fn poll(&self, id: RequestId) -> Option<Result<Vec<f32>, RuntimeError>> {
         let mut state = self.shared.lock();
-        state
-            .results
-            .remove(&id.0)
-            .map(|r| r.map_err(RuntimeError::Engine))
+        state.results.remove(&id.0)
     }
 
     /// Blocks until the request's batch completes and returns its result.
@@ -673,7 +718,7 @@ impl Engine {
         let mut state = self.shared.lock();
         loop {
             if let Some(r) = state.results.remove(&id.0) {
-                return r.map(Some).map_err(RuntimeError::Engine);
+                return r.map(Some);
             }
             if !state.in_flight(id.0) {
                 return Err(RuntimeError::Engine(format!(
@@ -744,6 +789,15 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         self.shared.lock().stats
     }
+
+    /// Whether the worker died by panic (its restart budget exhausted,
+    /// or the scheduler itself panicked): every in-flight result is
+    /// already failed and no future request can complete. Serving front
+    /// ends use this to distinguish "rebuild the engine" (trip a
+    /// circuit breaker) from a per-request failure.
+    pub fn is_dead(&self) -> bool {
+        self.shared.lock().worker_panicked
+    }
 }
 
 /// The `Engine`/`wait` error text for a dead engine, distinguishing a
@@ -781,9 +835,12 @@ fn fail_after_worker_panic(shared: &Shared, msg: &str) {
         if state.abandoned.remove(&id) {
             continue;
         }
-        state
-            .results
-            .insert(id, Err(format!("engine worker panicked: {msg}")));
+        state.results.insert(
+            id,
+            Err(RuntimeError::Engine(format!(
+                "engine worker panicked: {msg}"
+            ))),
+        );
     }
     // Sessions the dead worker held are gone with its stack; the rest
     // can never be served again. Drop them all so the byte gauge stays
@@ -841,14 +898,35 @@ fn gatherable(queue: &VecDeque<Queued>, max_batch: usize) -> usize {
     }
 }
 
+/// What one supervised batch episode produced: the per-request results
+/// to publish plus the supervision counters it moved.
+struct Episode {
+    results: BatchResults,
+    step_count: usize,
+    /// 1 when the supervisor absorbed a panic this episode.
+    restarted: u64,
+    poisoned: u64,
+    probes: u64,
+}
+
 /// The worker: wait for work, gather a same-kind batch under the policy,
-/// execute, publish results, repeat. Queued work is drained even during
-/// shutdown so submitted requests are never silently dropped.
+/// execute **under supervision**, publish results, repeat. Queued work
+/// is drained even during shutdown so submitted requests are never
+/// silently dropped.
+///
+/// Supervision: every batch execution runs under `catch_unwind`. A
+/// panicking infer batch is re-run in bisection to isolate the poisoned
+/// request(s) — innocents are transparently re-executed, offenders fail
+/// with [`RuntimeError::PoisonedRequest`]. A panicking prefill/decode
+/// batch fails its members and closes their sessions (the KV state is
+/// unknowable after a partial append). The engine only dies when
+/// [`BatchPolicy::max_restarts`] *consecutive* executions panic.
 ///
 /// The input-stacking and output buffers persist across batches and the
 /// plan executes through its scratch arena, so a steady-state batch costs
 /// one allocation per *request* (the result row handed to the caller),
-/// not one per intermediate.
+/// not one per intermediate; the `catch_unwind` wrapper allocates
+/// nothing on the non-panicking path.
 fn worker_loop(
     shared: &Shared,
     mut plan: CompiledPlan,
@@ -858,6 +936,9 @@ fn worker_loop(
 ) {
     let mut stacked: Vec<f32> = Vec::new();
     let mut outputs: Vec<f32> = Vec::new();
+    // Consecutive panicked executions; any successful execution
+    // (including a quarantine probe) resets it.
+    let mut consecutive_panics: u32 = 0;
     loop {
         let batch = {
             let mut state = shared.lock();
@@ -915,34 +996,113 @@ fn worker_loop(
             m.engine_request_wait(dispatch.saturating_sub(q.submitted));
         }
         let is_step = !matches!(batch[0].work, Work::Infer);
-        let (outputs, step_count) = if is_step {
-            run_step_batch(shared, &mut plan, &batch, &mut outputs, &mut step_gate)
-        } else {
-            (
-                run_batch(&mut plan, &mut exec, &batch, &mut stacked, &mut outputs),
-                0,
-            )
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            #[cfg(feature = "chaos")]
+            {
+                crate::chaos::maybe_slow(crate::chaos::FaultSite::SlowBatch);
+                crate::chaos::maybe_panic(crate::chaos::FaultSite::WorkerPanic);
+            }
+            if is_step {
+                run_step_batch(shared, &mut plan, &batch, &mut outputs, &mut step_gate)
+            } else {
+                (
+                    run_batch(&mut plan, &mut exec, &batch, &mut stacked, &mut outputs),
+                    0,
+                )
+            }
+        }));
+        let episode = match attempt {
+            Ok((results, step_count)) => {
+                consecutive_panics = 0;
+                Episode {
+                    results,
+                    step_count,
+                    restarted: 0,
+                    poisoned: 0,
+                    probes: 0,
+                }
+            }
+            Err(payload) => {
+                let msg = panic_message(&payload);
+                consecutive_panics += 1;
+                if consecutive_panics > policy.max_restarts {
+                    eprintln!(
+                        "engine: batch execution panicked ({msg}); restart budget \
+                         ({}) exhausted -- engine is dead",
+                        policy.max_restarts
+                    );
+                    fail_after_worker_panic(shared, &msg);
+                    return;
+                }
+                eprintln!(
+                    "engine: batch execution panicked ({msg}); supervisor recovering \
+                     (restart {consecutive_panics}/{})",
+                    policy.max_restarts
+                );
+                obs::metrics().engine_restart();
+                if is_step {
+                    let (results, poisoned) = fail_step_batch_after_panic(shared, &batch, &msg);
+                    Episode {
+                        results,
+                        step_count: 0,
+                        restarted: 1,
+                        poisoned,
+                        probes: 0,
+                    }
+                } else {
+                    let q = quarantine_infer(
+                        &mut plan,
+                        &mut exec,
+                        &batch,
+                        &mut stacked,
+                        &mut outputs,
+                        &msg,
+                    );
+                    if q.any_success {
+                        // The plan still executes work: isolated poison,
+                        // not a broken engine.
+                        consecutive_panics = 0;
+                    }
+                    Episode {
+                        results: q.results,
+                        step_count: 0,
+                        restarted: 1,
+                        poisoned: q.poisoned,
+                        probes: q.probes,
+                    }
+                }
+            }
         };
         let dur = obs::now().saturating_sub(dispatch);
-        if step_count > 0 && matches!(batch[0].work, Work::Decode { .. }) {
-            m.engine_decode_batch(dispatch, dur, step_count);
+        if episode.step_count > 0 && matches!(batch[0].work, Work::Decode { .. }) {
+            m.engine_decode_batch(dispatch, dur, episode.step_count);
         } else {
             m.engine_batch_done(dispatch, dur, batch.len());
+        }
+        if episode.poisoned > 0 {
+            m.engine_poisoned(episode.poisoned);
+        }
+        if episode.probes > 0 {
+            m.engine_quarantine_probes(episode.probes);
         }
         let mut state = shared.lock();
         state.stats.batches += 1;
         state.stats.largest_batch = state.stats.largest_batch.max(batch.len());
         state.stats.completed += batch.len() as u64;
+        state.stats.restarts += episode.restarted;
+        state.stats.poisoned += episode.poisoned;
+        state.stats.quarantine_probes += episode.probes;
         match batch[0].work {
             Work::Prefill { .. } => state.stats.prefills += 1,
-            Work::Decode { .. } if step_count > 0 => {
+            Work::Decode { .. } if episode.step_count > 0 => {
                 state.stats.decode_batches += 1;
-                state.stats.decode_tokens += step_count as u64;
-                state.stats.largest_decode_batch = state.stats.largest_decode_batch.max(step_count);
+                state.stats.decode_tokens += episode.step_count as u64;
+                state.stats.largest_decode_batch =
+                    state.stats.largest_decode_batch.max(episode.step_count);
             }
             _ => {}
         }
-        for (id, result) in outputs {
+        for (id, result) in episode.results {
             state.executing.remove(&id);
             if state.abandoned.remove(&id) {
                 continue; // caller timed out and cancelled; drop the result
@@ -951,26 +1111,161 @@ fn worker_loop(
         }
         drop(state);
         shared.done_cv.notify_all();
+        // Exponential backoff after an absorbed panic that did not prove
+        // the engine healthy (no successful execution this episode):
+        // don't spin on a broken plan at full speed.
+        if consecutive_panics > 0 && !policy.restart_backoff.is_zero() {
+            let exp = consecutive_panics.saturating_sub(1).min(16);
+            let delay = policy
+                .restart_backoff
+                .saturating_mul(1u32 << exp)
+                .min(Duration::from_secs(1));
+            std::thread::sleep(delay);
+        }
+    }
+}
+
+/// After a panicked infer batch, isolates the poisoned request(s) by
+/// bisection: halves of a known-panicking subset are re-executed under
+/// `catch_unwind`; a half that completes delivers its (innocent)
+/// results — bit-identical to a fault-free run, since integer execution
+/// is grouping-independent — while a panicking half shrinks further. A
+/// member that still panics alone is the offender and fails with
+/// [`RuntimeError::PoisonedRequest`]. Costs O(k·log n) probes for k
+/// offenders in a batch of n.
+fn quarantine_infer(
+    plan: &mut CompiledPlan,
+    exec: &mut BatchExec,
+    batch: &[Queued],
+    stacked: &mut Vec<f32>,
+    outputs: &mut Vec<f32>,
+    msg: &str,
+) -> Quarantine {
+    let mut q = Quarantine {
+        results: Vec::with_capacity(batch.len()),
+        probes: 0,
+        poisoned: 0,
+        any_success: false,
+    };
+    // Subsets known to panic as a whole, shrunk by halving.
+    let mut suspect: Vec<&[Queued]> = vec![batch];
+    while let Some(sub) = suspect.pop() {
+        if sub.len() == 1 {
+            q.poisoned += 1;
+            q.results.push((
+                sub[0].id,
+                Err(RuntimeError::PoisonedRequest {
+                    message: msg.to_string(),
+                }),
+            ));
+            continue;
+        }
+        let mid = sub.len() / 2;
+        for half in [&sub[..mid], &sub[mid..]] {
+            q.probes += 1;
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_batch(plan, exec, half, stacked, outputs)
+            }));
+            match attempt {
+                Ok(results) => {
+                    q.any_success = true;
+                    q.results.extend(results);
+                }
+                Err(payload) if half.len() == 1 => {
+                    q.poisoned += 1;
+                    q.results.push((
+                        half[0].id,
+                        Err(RuntimeError::PoisonedRequest {
+                            message: panic_message(&payload),
+                        }),
+                    ));
+                }
+                Err(_) => suspect.push(half),
+            }
+        }
+    }
+    q
+}
+
+/// Per-request results of one isolated poison quarantine, plus what it
+/// cost and whether any probe proved the engine still executes.
+struct Quarantine {
+    results: BatchResults,
+    probes: u64,
+    poisoned: u64,
+    any_success: bool,
+}
+
+/// After a panicked prefill/decode batch: the involved sessions' KV
+/// state is unknowable (the unwind may have interrupted a partial
+/// append), so every session the batch touched is closed and freed —
+/// the byte/session gauges drain — and its request fails. A step batch
+/// that ran *alone* isolates its offender by construction, so that
+/// request fails as [`RuntimeError::PoisonedRequest`]; members of a
+/// coalesced decode batch fail with a retriable engine error instead
+/// (the panicking member is unknown and steps cannot be safely re-run).
+fn fail_step_batch_after_panic(
+    shared: &Shared,
+    batch: &[Queued],
+    msg: &str,
+) -> (BatchResults, u64) {
+    let mut state = shared.lock();
+    for q in batch {
+        if let Some(sid) = q.work.sid() {
+            state.free_session(sid);
+        }
+    }
+    drop(state);
+    if batch.len() == 1 {
+        let err = RuntimeError::PoisonedRequest {
+            message: format!("{msg} (ran alone; its session was closed)"),
+        };
+        (vec![(batch[0].id, Err(err))], 1)
+    } else {
+        let results = batch
+            .iter()
+            .map(|q| {
+                (
+                    q.id,
+                    Err(RuntimeError::Engine(format!(
+                        "engine worker panicked during a decode step; session closed: {msg}"
+                    ))),
+                )
+            })
+            .collect();
+        (results, 0)
     }
 }
 
 /// Stacks the batch into one `[b, features]` slice (reusing `stacked`),
 /// runs the plan through its scratch arena (reusing `outputs`), and
-/// splits the output back into per-request rows.
+/// splits the output back into per-request rows. Called both for the
+/// scheduled batch and for quarantine probes over its subsets, so the
+/// chaos poison scan at the top re-triggers on exactly the poisoned
+/// members during bisection.
 fn run_batch(
     plan: &mut CompiledPlan,
     exec: &mut BatchExec,
     batch: &[Queued],
     stacked: &mut Vec<f32>,
     outputs: &mut Vec<f32>,
-) -> Vec<(u64, Result<Vec<f32>, String>)> {
+) -> BatchResults {
+    #[cfg(feature = "chaos")]
+    crate::chaos::assert_unpoisoned(batch.iter().map(|q| q.input.as_slice()));
     let features = batch[0].input.len();
     if batch.iter().any(|q| q.input.len() != features) {
         // Heterogeneous rows can only happen when the plan has no pinned
         // input width; fail each request individually.
         return batch
             .iter()
-            .map(|q| (q.id, Err("mixed feature counts in batch".to_string())))
+            .map(|q| {
+                (
+                    q.id,
+                    Err(RuntimeError::Engine(
+                        "mixed feature counts in batch".to_string(),
+                    )),
+                )
+            })
             .collect();
     }
     stacked.clear();
@@ -986,12 +1281,16 @@ fn run_batch(
                 .map(|(i, q)| (q.id, Ok(outputs[i * per..(i + 1) * per].to_vec())))
                 .collect()
         }
-        Err(e) => batch.iter().map(|q| (q.id, Err(e.to_string()))).collect(),
+        Err(e) if batch.len() == 1 => vec![(batch[0].id, Err(e))],
+        Err(e) => batch
+            .iter()
+            .map(|q| (q.id, Err(RuntimeError::Engine(e.to_string()))))
+            .collect(),
     }
 }
 
-/// Per-request `(id, outcome)` pairs one step batch yields.
-type StepResults = Vec<(u64, Result<Vec<f32>, String>)>;
+/// Per-request `(id, outcome)` pairs one batch yields.
+type BatchResults = Vec<(u64, Result<Vec<f32>, RuntimeError>)>;
 
 /// Executes a prefill (always alone) or a coalesced decode step batch:
 /// takes each request's session out of its slot, runs the phase against
@@ -1005,8 +1304,10 @@ fn run_step_batch(
     batch: &[Queued],
     outputs: &mut Vec<f32>,
     step_gate: &mut Option<StepGate>,
-) -> (StepResults, usize) {
-    let mut results: StepResults = Vec::with_capacity(batch.len());
+) -> (BatchResults, usize) {
+    #[cfg(feature = "chaos")]
+    crate::chaos::assert_unpoisoned(batch.iter().map(|q| q.input.as_slice()));
+    let mut results: BatchResults = Vec::with_capacity(batch.len());
     // Claim sessions. A missing/closed slot fails that request alone.
     let mut claimed: Vec<(&Queued, u64, DecodeSession)> = Vec::with_capacity(batch.len());
     {
@@ -1015,7 +1316,10 @@ fn run_step_batch(
             let sid = q.work.sid().expect("step batches carry session work");
             match state.sessions.get_mut(&sid).and_then(|s| s.session.take()) {
                 Some(sess) => claimed.push((q, sid, sess)),
-                None => results.push((q.id, Err(format!("session {sid} is not open")))),
+                None => results.push((
+                    q.id,
+                    Err(RuntimeError::Engine(format!("session {sid} is not open"))),
+                )),
             }
         }
     }
@@ -1032,8 +1336,7 @@ fn run_step_batch(
                 q.id,
                 Err(RuntimeError::KvCacheFull {
                     capacity: sess.max_tokens(),
-                }
-                .to_string()),
+                }),
             ));
             return_session(shared, sid, sess);
         } else {
@@ -1052,7 +1355,7 @@ fn run_step_batch(
             let dim = outputs.len() / sess.tokens().max(1);
             outputs[outputs.len() - dim..].to_vec()
         });
-        results.push((q.id, r.map_err(|e| e.to_string())));
+        results.push((q.id, r));
         return_session(shared, sid, sess);
     } else {
         let mut stacked: Vec<f32> = Vec::with_capacity(ready.len() * ready[0].0.input.len());
@@ -1072,7 +1375,7 @@ fn run_step_batch(
             }
             Err(e) => {
                 for (q, _, _) in &ready {
-                    results.push((q.id, Err(e.to_string())));
+                    results.push((q.id, Err(RuntimeError::Engine(e.to_string()))));
                 }
             }
         }
@@ -1248,6 +1551,7 @@ mod tests {
                 max_batch: 1,
                 max_wait: Duration::from_millis(1),
                 max_queue: 2,
+                ..BatchPolicy::default()
             },
             gated_exec(gate_rx),
         );
@@ -1285,6 +1589,8 @@ mod tests {
 
     #[test]
     fn worker_panic_fails_wait_promptly_and_kills_engine() {
+        // `max_restarts: 0` pins the pre-supervision contract: the first
+        // panicked batch exhausts the budget and the engine dies.
         let (p, calib) = plan();
         let engine = Engine::with_exec(
             p,
@@ -1292,6 +1598,8 @@ mod tests {
                 max_batch: 4,
                 max_wait: Duration::from_millis(1),
                 max_queue: 16,
+                max_restarts: 0,
+                restart_backoff: Duration::ZERO,
             },
             Box::new(|_, _, _, _| panic!("injected batch failure")),
         );
@@ -1309,11 +1617,169 @@ mod tests {
             err.to_string().contains("panicked"),
             "error does not name the panic: {err}"
         );
+        assert!(engine.is_dead());
         // The engine is dead: later submits fail fast with the cause.
         let err = engine.submit(row).unwrap_err();
         assert!(matches!(err, RuntimeError::Engine(_)));
         assert!(err.to_string().contains("panicked"), "{err}");
         drop(engine); // join of the panicked worker must not deadlock
+    }
+
+    /// The poison sentinel the supervision tests key panics on: an exec
+    /// that panics whenever a request row leads with this value.
+    const POISON: f32 = 1.0e6;
+
+    fn poison_sensitive_exec() -> BatchExec {
+        Box::new(|plan, x, batch, out| {
+            let per = x.len() / batch;
+            for row in x.chunks(per) {
+                assert!(row[0] != POISON, "poisoned row reached the plan");
+            }
+            plan.forward_rows(x, batch, out)
+        })
+    }
+
+    #[test]
+    fn supervisor_quarantines_poison_and_keeps_serving() {
+        let (p, calib) = plan();
+        let mut reference = p.clone();
+        let engine = Engine::with_exec(
+            p,
+            BatchPolicy {
+                max_batch: 8,
+                // Generous gather window so all requests below land in
+                // one batch (the gather-window trick).
+                max_wait: Duration::from_millis(300),
+                max_queue: 64,
+                max_restarts: 3,
+                restart_backoff: Duration::ZERO,
+            },
+            poison_sensitive_exec(),
+        );
+        let f = 8;
+        let mut poison_row = calib.as_slice()[..f].to_vec();
+        poison_row[0] = POISON;
+        // One poisoned request sandwiched between innocents.
+        let a = engine.submit(&calib.as_slice()[..f]).unwrap();
+        let bad = engine.submit(&poison_row).unwrap();
+        let b = engine.submit(&calib.as_slice()[f..2 * f]).unwrap();
+        let c = engine.submit(&calib.as_slice()[2 * f..3 * f]).unwrap();
+        // The offender is isolated and fails as PoisonedRequest...
+        let err = engine.wait(bad).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::PoisonedRequest { .. }),
+            "expected PoisonedRequest, got: {err}"
+        );
+        // ...innocents complete bit-identically to a fault-free run...
+        for (i, id) in [(0usize, a), (1, b), (2, c)] {
+            let got = engine.wait(id).unwrap();
+            let row =
+                Tensor::from_vec(calib.as_slice()[i * f..(i + 1) * f].to_vec(), &[1, f]).unwrap();
+            assert_eq!(got, reference.forward(&row).unwrap().as_slice());
+        }
+        // ...and the engine is alive and still serving.
+        assert!(!engine.is_dead());
+        let d = engine.submit(&calib.as_slice()[..f]).unwrap();
+        assert!(engine.wait(d).is_ok());
+        let stats = engine.stats();
+        assert_eq!(stats.poisoned, 1, "{stats:?}");
+        assert!(stats.restarts >= 1, "{stats:?}");
+        assert!(stats.quarantine_probes >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_kills_engine() {
+        // An exec that panics unconditionally: no quarantine probe can
+        // succeed, so consecutive panics accumulate to the budget.
+        let (p, calib) = plan();
+        let engine = Engine::with_exec(
+            p,
+            BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::from_millis(1),
+                max_queue: 16,
+                max_restarts: 2,
+                restart_backoff: Duration::ZERO,
+            },
+            Box::new(|_, _, _, _| panic!("engine is broken")),
+        );
+        let row = &calib.as_slice()[..8];
+        // Each single-request batch panics; the first two are absorbed
+        // (isolated => PoisonedRequest), the third exhausts the budget.
+        let mut dead = false;
+        for _ in 0..64 {
+            match engine.submit(row) {
+                Ok(id) => {
+                    let _ = engine.wait(id);
+                }
+                Err(e) => {
+                    assert!(e.to_string().contains("panicked"), "{e}");
+                    dead = true;
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(dead, "engine never exhausted its restart budget");
+        assert!(engine.is_dead());
+    }
+
+    #[test]
+    fn step_batch_panic_closes_sessions_and_engine_recovers() {
+        // A panicking decode step cannot leave its session behind: the
+        // KV state is unknowable after a partial append, so the session
+        // is closed, its bytes drain, and a fresh session decodes
+        // correctly on the recovered engine.
+        let (seq, dim) = (8, 16);
+        let plan = decoder_plan(seq, dim);
+        let mut direct = plan.clone();
+        let mut first = true;
+        let engine = Engine::with_hooks(
+            plan,
+            BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+                max_queue: 16,
+                max_restarts: 3,
+                restart_backoff: Duration::ZERO,
+            },
+            Box::new(|plan, x, batch, out| plan.forward_rows(x, batch, out)),
+            Some(Box::new(move || {
+                if std::mem::replace(&mut first, false) {
+                    panic!("injected step failure");
+                }
+            })),
+        );
+        let sid = engine.open_session(seq).unwrap();
+        assert!(engine.kv_bytes() > 0);
+        // The first step batch panics in the gate: the lone request is
+        // the isolated offender, and its session is gone.
+        let id = engine.submit_decode(sid, &token(dim, 3)).unwrap();
+        let err = engine.wait(id).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::PoisonedRequest { .. }),
+            "lone step batch panic must isolate the offender: {err}"
+        );
+        assert_eq!(engine.kv_bytes(), 0, "KV bytes must drain");
+        assert_eq!(engine.session_count(), 0, "session must be closed");
+        assert!(matches!(
+            engine.submit_decode(sid, &token(dim, 4)),
+            Err(RuntimeError::Engine(_))
+        ));
+        // The engine recovered: a fresh session decodes bit-identically
+        // to direct plan execution.
+        assert!(!engine.is_dead());
+        let t = token(dim, 5);
+        let mut sess = direct.open_session(seq).unwrap();
+        let mut want = Vec::new();
+        direct
+            .decode_steps(&mut [&mut sess], &t, &mut want)
+            .unwrap();
+        let sid2 = engine.open_session(seq).unwrap();
+        let id2 = engine.submit_decode(sid2, &t).unwrap();
+        assert_eq!(engine.wait(id2).unwrap(), want);
+        assert!(engine.close_session(sid2));
+        assert_eq!(engine.stats().restarts, 1);
     }
 
     #[test]
@@ -1326,6 +1792,7 @@ mod tests {
                 max_batch: 1,
                 max_wait: Duration::from_millis(1),
                 max_queue: 16,
+                ..BatchPolicy::default()
             },
             gated_exec(gate_rx),
         );
@@ -1353,6 +1820,7 @@ mod tests {
                 max_batch: 1,
                 max_wait: Duration::from_millis(1),
                 max_queue: 16,
+                ..BatchPolicy::default()
             },
             gated_exec(gate_rx),
         );
@@ -1575,6 +2043,7 @@ mod tests {
                 max_batch: 4,
                 max_wait: Duration::from_millis(1),
                 max_queue: 16,
+                ..BatchPolicy::default()
             },
             Box::new(|plan, x, batch, out| plan.forward_rows(x, batch, out)),
             Some(Box::new(move || {
@@ -1629,6 +2098,7 @@ mod tests {
                 max_batch: 1,
                 max_wait: Duration::from_millis(1),
                 max_queue: 16,
+                ..BatchPolicy::default()
             },
             Box::new(|plan, x, batch, out| plan.forward_rows(x, batch, out)),
             Some(Box::new(move || {

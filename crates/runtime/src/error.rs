@@ -52,6 +52,16 @@ pub enum RuntimeError {
         /// The queue bound ([`crate::BatchPolicy::max_queue`]).
         max_queue: usize,
     },
+    /// The request was isolated as the cause of a panicking batch: after
+    /// a batch execution panics, the supervisor re-runs its members in
+    /// bisection; a request that still panics alone is *poisoned* and is
+    /// failed with this variant while innocent co-batched requests are
+    /// transparently re-executed. Serving front ends map this to HTTP
+    /// 422 — retrying the same request will poison another batch.
+    PoisonedRequest {
+        /// The panic message the isolated request produced.
+        message: String,
+    },
     /// A decode session's KV cache reached the token capacity it was
     /// opened with — the per-session arena is sized once at
     /// [`crate::CompiledPlan::open_session`] time so the decode hot path
@@ -89,6 +99,9 @@ impl fmt::Display for RuntimeError {
                     f,
                     "engine overloaded: submit queue full ({queued}/{max_queue}); retry later"
                 )
+            }
+            RuntimeError::PoisonedRequest { message } => {
+                write!(f, "request poisoned its batch: {message}")
             }
             RuntimeError::KvCacheFull { capacity } => {
                 write!(f, "KV cache full: session holds {capacity} tokens")
@@ -145,6 +158,9 @@ mod tests {
             RuntimeError::Overloaded {
                 queued: 1024,
                 max_queue: 1024,
+            },
+            RuntimeError::PoisonedRequest {
+                message: "injected".into(),
             },
             RuntimeError::KvCacheFull { capacity: 128 },
         ];

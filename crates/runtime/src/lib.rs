@@ -44,7 +44,16 @@
 //!   a worker coalesces them under a [`BatchPolicy`] (max-batch /
 //!   max-wait) into one batched pass per layer, [`Engine::poll`] or
 //!   [`Engine::wait`] for results. Integer execution is exact, so results
-//!   are independent of batch grouping,
+//!   are independent of batch grouping. The worker is *supervised*: a
+//!   panicking batch fails only its own requests, poisoned requests are
+//!   isolated by bisection ([`RuntimeError::PoisonedRequest`]) while
+//!   innocents re-execute, and the engine only dies when the
+//!   [`BatchPolicy::max_restarts`] budget is exhausted,
+//! * [`chaos`] — deterministic fault injection (default-on `chaos`
+//!   feature): a seeded [`FaultPlan`] drives worker panics, slow
+//!   batches, pool-task panics, mmap-load failures, reload corruption
+//!   and connection drops through instrumented sites, reproducibly by
+//!   seed; `--no-default-features` compiles every site out,
 //! * [`ModelArtifact`] — the quantize-once/serve-anywhere boundary: a
 //!   versioned `.antm` binary artifact holding per-tensor type
 //!   selections, per-channel scales, packed wire codes, biases/norm
@@ -91,6 +100,7 @@ mod error;
 
 pub mod artifact;
 pub mod cache;
+pub mod chaos;
 pub mod engine;
 pub mod gemm;
 pub mod kv;
@@ -105,7 +115,8 @@ pub use artifact::{
     SectionInfo, WeightSummary, FORMAT_VERSION,
 };
 pub use cache::{Planner, SelectionCache, TypeDecision};
-pub use engine::{BatchPolicy, Engine, EngineStats, RequestId, SessionId};
+pub use chaos::{FaultPlan, FaultSite};
+pub use engine::{BatchExec, BatchPolicy, Engine, EngineStats, RequestId, SessionId, StepGate};
 pub use error::RuntimeError;
 pub use kv::{DecodeSession, KvQuantSpec};
 pub use mmap::Mmap;

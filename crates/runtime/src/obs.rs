@@ -121,6 +121,9 @@ mod imp {
         engine_decode_batch: Arc<Histogram>,
         engine_decode_step: Arc<Histogram>,
         engine_decode_tokens: Arc<Counter>,
+        engine_restarts: Arc<Counter>,
+        engine_poisoned: Arc<Counter>,
+        engine_quarantine_probes: Arc<Counter>,
         kv_cache_bytes: Arc<Gauge>,
         kv_sessions: Arc<Gauge>,
         artifact_load: Arc<Histogram>,
@@ -206,6 +209,18 @@ mod imp {
                 engine_decode_tokens: r.counter(
                     "ant_engine_decode_tokens_total",
                     "Tokens produced by decode steps (sum of decode batch sizes)",
+                ),
+                engine_restarts: r.counter(
+                    "ant_engine_restarts_total",
+                    "Supervisor recoveries: panicked batch executions absorbed without killing the engine",
+                ),
+                engine_poisoned: r.counter(
+                    "ant_engine_poisoned_total",
+                    "Requests isolated by bisection quarantine and failed as PoisonedRequest",
+                ),
+                engine_quarantine_probes: r.counter(
+                    "ant_engine_quarantine_probes_total",
+                    "Bisection probe executions performed while isolating poisoned requests",
                 ),
                 kv_cache_bytes: r.gauge(
                     "ant_kv_cache_bytes",
@@ -303,6 +318,25 @@ mod imp {
             self.engine_decode_step.record(dur_ns);
             self.engine_decode_tokens.add(batch as u64);
             ant_obs::record_span(self.span_batch, start_ns, dur_ns);
+        }
+
+        /// Counts one supervisor recovery (a panicked batch execution
+        /// absorbed without killing the engine).
+        #[inline]
+        pub fn engine_restart(&self) {
+            self.engine_restarts.inc();
+        }
+
+        /// Counts `n` requests isolated as poisoned.
+        #[inline]
+        pub fn engine_poisoned(&self, n: u64) {
+            self.engine_poisoned.add(n);
+        }
+
+        /// Counts `n` bisection probe executions.
+        #[inline]
+        pub fn engine_quarantine_probes(&self, n: u64) {
+            self.engine_quarantine_probes.add(n);
         }
 
         /// Publishes the bytes currently pinned by open sessions' packed
@@ -486,6 +520,12 @@ mod imp {
         pub fn engine_batch_done(&self, _: u64, _: u64, _: usize) {}
         #[inline(always)]
         pub fn engine_decode_batch(&self, _: u64, _: u64, _: usize) {}
+        #[inline(always)]
+        pub fn engine_restart(&self) {}
+        #[inline(always)]
+        pub fn engine_poisoned(&self, _: u64) {}
+        #[inline(always)]
+        pub fn engine_quarantine_probes(&self, _: u64) {}
         #[inline(always)]
         pub fn kv_cache_usage(&self, _: usize, _: usize) {}
         #[inline(always)]

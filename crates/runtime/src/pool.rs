@@ -257,7 +257,15 @@ fn execute(
     slot: usize,
 ) {
     shared.obs.record_task(slot);
-    if catch_unwind(AssertUnwindSafe(|| body(task))).is_err() {
+    let run_task = || {
+        // Chaos site: a GEMM shard dying mid-layer. The panic rides the
+        // pool's normal forwarding — `ctl.panicked` → `run` re-raises on
+        // the caller — into the engine supervisor.
+        #[cfg(feature = "chaos")]
+        crate::chaos::maybe_panic(crate::chaos::FaultSite::PoolTask);
+        body(task)
+    };
+    if catch_unwind(AssertUnwindSafe(run_task)).is_err() {
         ctl.panicked.store(true, Ordering::Release);
     }
     // Completion must be published under the lock so a `run` caller

@@ -73,6 +73,7 @@ fn bounded_queue_sheds_load_and_recovers() {
             max_batch: 64,
             max_wait: Duration::from_millis(500),
             max_queue: 4,
+            ..BatchPolicy::default()
         },
     );
     let row = [0.5_f32; 8];
@@ -106,6 +107,7 @@ fn wait_timeout_expires_while_batch_is_held_open() {
             max_batch: 64,
             max_wait: Duration::from_millis(500),
             max_queue: 64,
+            ..BatchPolicy::default()
         },
     );
     let id = engine.submit(&[0.5; 8]).unwrap();
@@ -129,6 +131,7 @@ fn cancel_after_timeout_drops_the_result() {
             max_batch: 64,
             max_wait: Duration::from_millis(200),
             max_queue: 64,
+            ..BatchPolicy::default()
         },
     );
     let id = engine.submit(&[0.5; 8]).unwrap();
@@ -160,6 +163,7 @@ fn decode_steps_from_many_sessions_coalesce_into_one_batch() {
             max_batch: 64,
             max_wait: Duration::from_millis(500),
             max_queue: 64,
+            ..BatchPolicy::default()
         },
     );
     let sids: Vec<_> = (0..6).map(|_| engine.open_session(SEQ).unwrap()).collect();
@@ -196,6 +200,7 @@ fn prefill_does_not_starve_queued_decode_steps_past_max_wait() {
             max_batch: 64,
             max_wait,
             max_queue: 64,
+            ..BatchPolicy::default()
         },
     );
     let a = engine.open_session(SEQ).unwrap();
@@ -234,6 +239,7 @@ fn session_close_frees_kv_even_with_requests_in_flight() {
             max_batch: 64,
             max_wait: Duration::from_millis(300),
             max_queue: 64,
+            ..BatchPolicy::default()
         },
     );
     let sid = engine.open_session(SEQ).unwrap();

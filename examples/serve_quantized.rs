@@ -73,6 +73,7 @@ fn serve_and_verify(
                 // (at the default 1024 the engine would shed with
                 // `Overloaded`, which is backpressure, not a bug).
                 max_queue: requests.max(64),
+                ..BatchPolicy::default()
             },
         );
         // Warm up the worker (first batches pay one-time page-in costs).
